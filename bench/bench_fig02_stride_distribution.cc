@@ -1,0 +1,62 @@
+// Reproduces Fig. 2: stride-length label distributions of different PDR
+// users — the label distribution characterizes the target scenario.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 2",
+              "Stride length distribution of different users: label "
+              "distributions characterize target scenarios.");
+  PdrHarnessConfig cfg = PaperPdrConfig();
+  PdrSimulator sim(cfg.sim, cfg.seed);
+
+  CsvWriter csv;
+  csv.SetHeader({"user", "bin_center_m", "probability"});
+
+  const double lo = 0.4, hi = 2.4;
+  const size_t bins = 20;
+  for (size_t u = 0; u < 3; ++u) {
+    const PdrUserProfile& profile = sim.seen_profiles()[u];
+    Rng rng(1000 + u);
+    PdrTrajectory traj = sim.SimulateTrajectory(profile, 800, &rng);
+    std::vector<double> strides;
+    for (size_t i = 0; i < 800; ++i) {
+      const double dx = traj.steps.targets.At(i, 0);
+      const double dy = traj.steps.targets.At(i, 1);
+      strides.push_back(std::sqrt(dx * dx + dy * dy));
+    }
+    std::vector<size_t> hist = stats::Histogram(strides, lo, hi, bins);
+    std::printf("\nUser %d (stride mean %.2f m / 2 s):\n", profile.id,
+                profile.stride_mean);
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (size_t b = 0; b < bins; ++b) {
+      const double center = lo + (hi - lo) * (b + 0.5) / bins;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fm", center);
+      labels.emplace_back(buf);
+      const double p = static_cast<double>(hist[b]) / 800.0;
+      values.push_back(p);
+      csv.AddRow({std::to_string(profile.id), std::to_string(center),
+                  std::to_string(p)});
+    }
+    std::fputs(AsciiBarChart(labels, values, 40).c_str(), stdout);
+  }
+  WriteCsv("fig02_stride_distribution", csv);
+  std::printf(
+      "\nPaper: distinct per-user stride distributions. Reproduced: each\n"
+      "user concentrates at a different stride length with its own "
+      "spread.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

@@ -1,0 +1,74 @@
+// Reproduces Fig. 8: pseudo-label error vs grid size under different
+// error-model families (Gaussian / Laplace / Uniform) — TASFAR is robust
+// to the family and to small grids; only very large grids degrade.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 8",
+              "Pseudo-label error vs grid size for Gaussian / Laplace / "
+              "Uniform instance-error models.");
+  PdrHarness harness(PaperPdrConfig());
+  harness.Prepare();
+
+  std::vector<PdrUserCache> caches;
+  for (const PdrUserData& user : harness.users()) {
+    if (!user.profile.seen) continue;
+    caches.push_back(harness.BuildUserCache(user));
+    if (caches.size() >= 8) break;
+  }
+
+  const double grid_sizes[] = {0.02, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6};
+  const ErrorModelKind kinds[] = {ErrorModelKind::kGaussian,
+                                  ErrorModelKind::kLaplace,
+                                  ErrorModelKind::kUniform};
+  CsvWriter csv;
+  csv.SetHeader({"grid_size_m", "error_model", "pseudo_label_mae",
+                 "prediction_mae"});
+  TablePrinter table({"grid size (m)", "Gaussian", "Laplace", "Uniform",
+                      "raw prediction"});
+  for (double g : grid_sizes) {
+    std::vector<double> row;
+    double pred_mae = 0.0;
+    for (ErrorModelKind kind : kinds) {
+      double mae = 0.0;
+      double pm = 0.0;
+      size_t counted = 0;
+      for (const PdrUserCache& cache : caches) {
+        PseudoLabelEval eval = harness.PseudoLabelQuality(
+            cache, harness.calibration(), g, kind);
+        if (eval.num_uncertain == 0) continue;
+        mae += eval.pseudo_mae;
+        pm += eval.pred_mae;
+        ++counted;
+      }
+      mae /= static_cast<double>(counted);
+      pm /= static_cast<double>(counted);
+      row.push_back(mae);
+      pred_mae = pm;
+      csv.AddRow({std::to_string(g), ErrorModelKindToString(kind),
+                  std::to_string(mae), std::to_string(pm)});
+    }
+    row.push_back(pred_mae);
+    table.AddRow(std::to_string(g).substr(0, 4), row, 4);
+  }
+  table.Print();
+  WriteCsv("fig08_gridsize_errormodel", csv);
+  std::printf(
+      "\nPaper: no significant difference between error models; small "
+      "grids\nare fine, only very large grids hurt; pseudo-labels beat "
+      "the raw\npredictions. Reproduced: compare the three family columns "
+      "(similar)\nagainst the raw-prediction column (larger), and note "
+      "the degradation\nat the largest grid sizes.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

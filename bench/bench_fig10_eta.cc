@@ -1,0 +1,95 @@
+// Reproduces Fig. 10: pseudo-label error vs confidence ratio η.
+//
+// η moves the threshold τ, which changes (a) which data build the density
+// map and (b) the credibility scale. To isolate that effect, the error is
+// measured on a FIXED evaluation set — the samples that are uncertain at
+// the paper's operating point η = 0.9 — while each sweep point uses its
+// own calibration for the map and the generator. Small η starves the map
+// of confident data; very large η admits unreliable predictions into it.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 10",
+              "Pseudo-label error vs confidence ratio eta (fixed "
+              "evaluation set; threshold tau = eta-quantile of source "
+              "uncertainty).");
+  PdrHarness harness(PaperPdrConfig());
+  harness.Prepare();
+
+  std::vector<PdrUserCache> caches;
+  for (const PdrUserData& user : harness.users()) {
+    if (!user.profile.seen) continue;
+    caches.push_back(harness.BuildUserCache(user));
+    if (caches.size() >= 8) break;
+  }
+  // The fixed evaluation sets: uncertain at the reference eta = 0.9.
+  const SourceCalibration reference = harness.CalibrateWith(0.9, 40);
+  std::vector<std::vector<size_t>> eval_sets;
+  for (const PdrUserCache& cache : caches) {
+    ConfidenceClassifier classifier(reference.tau);
+    eval_sets.push_back(classifier.Classify(cache.adapt_preds).uncertain);
+  }
+
+  const double etas[] = {0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.97};
+  CsvWriter csv;
+  csv.SetHeader({"eta", "pseudo_label_mae", "confident_fraction"});
+  TablePrinter table(
+      {"eta", "pseudo-label MAE (m)", "confident fraction"});
+  for (double eta : etas) {
+    SourceCalibration calib = harness.CalibrateWith(eta, 40);
+    double mae_sum = 0.0;
+    size_t mae_count = 0;
+    double conf_frac = 0.0;
+    for (size_t u = 0; u < caches.size(); ++u) {
+      const PdrUserCache& cache = caches[u];
+      ConfidenceClassifier classifier(calib.tau);
+      ConfidenceSplit split = classifier.Classify(cache.adapt_preds);
+      conf_frac += static_cast<double>(split.confident.size()) /
+                   static_cast<double>(cache.adapt_preds.size());
+      if (split.confident.empty()) continue;
+      std::vector<McPrediction> confident;
+      for (size_t i : split.confident) {
+        confident.push_back(cache.adapt_preds[i]);
+      }
+      LabelDistributionEstimator estimator(calib.qs_per_dim,
+                                           ErrorModelKind::kGaussian);
+      std::vector<GridSpec> axes = estimator.AutoAxes(confident, 0.1);
+      DensityMap map = estimator.Estimate(confident, axes);
+      PseudoLabelGenerator generator(&map, &estimator, calib.tau);
+      for (size_t i : eval_sets[u]) {
+        PseudoLabel pl = generator.Generate(cache.adapt_preds[i]);
+        double err = 0.0;
+        for (size_t d = 0; d < pl.value.size(); ++d) {
+          const double diff =
+              pl.value[d] - cache.adapt_pool.targets.At(i, d);
+          err += diff * diff;
+        }
+        mae_sum += std::sqrt(err);
+        ++mae_count;
+      }
+    }
+    const double mae = mae_sum / static_cast<double>(mae_count);
+    conf_frac /= static_cast<double>(caches.size());
+    table.AddRow(std::to_string(eta).substr(0, 4), {mae, conf_frac}, 4);
+    csv.AddNumericRow({eta, mae, conf_frac});
+  }
+  table.Print();
+  WriteCsv("fig10_eta", csv);
+  std::printf(
+      "\nPaper: the error decreases as eta grows toward ~0.9 and a wide\n"
+      "range of eta works; the paper sets eta = 0.9. Reproduced: compare\n"
+      "MAE across the eta column on the fixed evaluation set.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

@@ -1,0 +1,127 @@
+// Reproduces Fig. 12: ablation of the credibility weight β_t — STE on the
+// adaptation set vs training epoch, with and without β weighting. β helps
+// most in early epochs; the gap narrows with more training, motivating
+// early stopping.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace tasfar::bench {
+namespace {
+
+/// Trains a clone of the source model on the pseudo-labeled uncertain set
+/// (+ confident replay) and records STE on the adaptation pool per epoch.
+std::vector<double> TrainAndTrackSte(PdrHarness* harness,
+                                     const PdrUserCache& cache,
+                                     bool use_beta, size_t epochs,
+                                     Rng* rng) {
+  const SourceCalibration& calib = harness->calibration();
+  ConfidenceClassifier classifier(calib.tau);
+  ConfidenceSplit split = classifier.Classify(cache.adapt_preds);
+  std::vector<McPrediction> confident, uncertain;
+  for (size_t i : split.confident) confident.push_back(cache.adapt_preds[i]);
+  for (size_t i : split.uncertain) uncertain.push_back(cache.adapt_preds[i]);
+
+  LabelDistributionEstimator estimator(calib.qs_per_dim,
+                                       ErrorModelKind::kGaussian);
+  std::vector<GridSpec> axes = estimator.AutoAxes(confident, 0.1);
+  DensityMap map = estimator.Estimate(confident, axes);
+  PseudoLabelGenerator generator(&map, &estimator, calib.tau);
+  std::vector<PseudoLabel> pls = generator.GenerateAll(uncertain);
+
+  // Assemble the training set: uncertain with pseudo-labels, confident
+  // with their own predictions (replay).
+  const size_t n_u = split.uncertain.size();
+  const size_t n_c = split.confident.size();
+  std::vector<size_t> order = split.uncertain;
+  order.insert(order.end(), split.confident.begin(), split.confident.end());
+  Tensor inputs = GatherFirstDim(cache.adapt_pool.inputs, order);
+  Tensor targets({n_u + n_c, 2});
+  std::vector<double> weights(n_u + n_c, 1.0);
+  for (size_t i = 0; i < n_u; ++i) {
+    targets.At(i, 0) = pls[i].value[0];
+    targets.At(i, 1) = pls[i].value[1];
+    weights[i] = use_beta ? pls[i].credibility : 1.0;
+  }
+  if (use_beta && n_u > 0) {
+    // Same mean-1 normalization the adaptation trainer applies: the global
+    // scale of beta is a learning-rate change, not a credibility signal.
+    double mean_beta = 0.0;
+    for (size_t i = 0; i < n_u; ++i) mean_beta += weights[i];
+    mean_beta /= static_cast<double>(n_u);
+    if (mean_beta > 0.0) {
+      for (size_t i = 0; i < n_u; ++i) weights[i] /= mean_beta;
+    }
+  }
+  for (size_t i = 0; i < n_c; ++i) {
+    targets.At(n_u + i, 0) = confident[i].mean[0];
+    targets.At(n_u + i, 1) = confident[i].mean[1];
+  }
+
+  auto model = harness->source_model()->CloneSequential();
+  Adam optimizer(5e-4);
+  Trainer trainer(model.get(), &optimizer,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 32;
+  std::vector<double> ste_curve;
+  trainer.Fit(inputs, targets, tc, rng, &weights,
+              [&](const EpochStats&) {
+                Tensor pred = BatchedForward(model.get(),
+                                             cache.adapt_pool.inputs);
+                ste_curve.push_back(
+                    metrics::Ste(pred, cache.adapt_pool.targets));
+              });
+  return ste_curve;
+}
+
+void Run() {
+  PrintHeader("Figure 12",
+              "Ablation of credibility beta_t: STE vs adaptation epoch "
+              "with / without the weight.");
+  PdrHarness harness(PaperPdrConfig());
+  harness.Prepare();
+
+  CsvWriter csv;
+  csv.SetHeader({"user", "epoch", "ste_with_beta", "ste_without_beta"});
+  int shown = 0;
+  for (const PdrUserData& user : harness.users()) {
+    if (!user.profile.seen) continue;
+    PdrUserCache cache = harness.BuildUserCache(user);
+    Rng rng1(1234), rng2(1234);
+    std::vector<double> with_beta =
+        TrainAndTrackSte(&harness, cache, true, 40, &rng1);
+    std::vector<double> without_beta =
+        TrainAndTrackSte(&harness, cache, false, 40, &rng2);
+    if (with_beta.empty()) continue;
+
+    std::printf("\nUser %d (STE per epoch):\n", user.profile.id);
+    TablePrinter table({"epoch", "with beta", "without beta"});
+    for (size_t e = 0; e < with_beta.size(); e += 5) {
+      table.AddRow(std::to_string(e), {with_beta[e], without_beta[e]}, 4);
+      csv.AddNumericRow({static_cast<double>(user.profile.id),
+                         static_cast<double>(e), with_beta[e],
+                         without_beta[e]});
+    }
+    table.Print();
+    if (++shown >= 2) break;  // The paper shows two users.
+  }
+  WriteCsv("fig12_beta_ablation", csv);
+  std::printf(
+      "\nPaper: the beta-weighted curve sits below the unweighted one, "
+      "with\nthe gap largest at early epochs. Reproduced: compare the two "
+      "columns\nat small vs large epochs.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

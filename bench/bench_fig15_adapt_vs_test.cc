@@ -1,0 +1,58 @@
+// Reproduces Fig. 15: STE reduction on the adaptation set vs the held-out
+// test set — the reductions transfer because both sets come from the same
+// target scenario.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stats.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 15",
+              "STE reduction (%) on adaptation vs test set, seen group.");
+  PdrHarness harness(PaperPdrConfig());
+  harness.Prepare();
+  auto schemes = MakeSchemes(PdrModelCutLayer());
+
+  const char* names[] = {"TASFAR", "MMD*", "ADV*", "AUGfree", "Datafree"};
+  std::vector<std::vector<double>> adapt_red(5), test_red(5);
+  for (const PdrUserData& user : harness.users()) {
+    if (!user.profile.seen) continue;
+    PdrUserCache cache = harness.BuildUserCache(user);
+    std::vector<PdrSchemeEval> evals;
+    evals.push_back(harness.EvaluateTasfar(cache));
+    for (auto& scheme : schemes) {
+      evals.push_back(harness.EvaluateScheme(scheme.get(), cache));
+    }
+    for (size_t s = 0; s < evals.size(); ++s) {
+      adapt_red[s].push_back(metrics::ReductionPercent(
+          evals[s].ste_adapt_before, evals[s].ste_adapt_after));
+      test_red[s].push_back(metrics::ReductionPercent(
+          evals[s].ste_test_before, evals[s].ste_test_after));
+    }
+  }
+
+  TablePrinter table({"scheme", "adaptation set (%)", "test set (%)"});
+  CsvWriter csv;
+  csv.SetHeader({"scheme", "adapt_reduction_pct", "test_reduction_pct"});
+  for (size_t s = 0; s < 5; ++s) {
+    const double a = stats::Mean(adapt_red[s]);
+    const double t = stats::Mean(test_red[s]);
+    table.AddRow(names[s], {a, t}, 1);
+    csv.AddRow({names[s], std::to_string(a), std::to_string(t)});
+  }
+  table.Print();
+  WriteCsv("fig15_adapt_vs_test", csv);
+  std::printf(
+      "\nPaper: 13.6%% (adaptation) vs 13.4%% (test) for TASFAR — nearly\n"
+      "identical, and similar consistency for all schemes. Reproduced:\n"
+      "compare the two columns per scheme.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

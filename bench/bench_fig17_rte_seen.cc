@@ -1,0 +1,6 @@
+// Reproduces Fig. 17: how many seen-group users' test-trajectory RTEs are
+// reduced, per scheme (distribution of RTE reduction).
+
+#include "bench_common.h"
+
+int main() { tasfar::bench::RunRteReductionBench(true, "Figure 17"); }

@@ -1,0 +1,6 @@
+// Reproduces Fig. 18: how many unseen-group users' test-trajectory RTEs
+// are reduced, per scheme (large domain gap).
+
+#include "bench_common.h"
+
+int main() { tasfar::bench::RunRteReductionBench(false, "Figure 18"); }

@@ -1,0 +1,55 @@
+// Reproduces Fig. 19: per-scene crowd-counting comparison on the test set
+// (the paper shows MMD for the source-based side since ADV behaves the
+// same; we print all schemes).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 19",
+              "People counting per scene (test set MAE), all schemes.");
+  CrowdHarness harness(PaperCrowdConfig());
+  harness.Prepare();
+  std::vector<CrowdSceneData> scenes = harness.BuildScenes();
+  auto schemes = MakeSchemes(CrowdModelCutLayer());
+
+  TablePrinter table({"scene", "Baseline", "MMD*", "ADV*", "AUGfree",
+                      "Datafree", "TASFAR"});
+  CsvWriter csv;
+  csv.SetHeader({"scene", "scheme", "test_mae"});
+  const char* names[] = {"Baseline", "MMD", "ADV", "AUGfree", "Datafree",
+                         "TASFAR"};
+  for (const CrowdSceneData& scene : scenes) {
+    std::vector<double> row;
+    row.push_back(harness.Evaluate(harness.source_model(), scene).mae_test);
+    for (auto& scheme : schemes) {
+      auto adapted = harness.AdaptScheme(scheme.get(), scene);
+      row.push_back(harness.Evaluate(adapted.get(), scene).mae_test);
+    }
+    auto tasfar_model = harness.AdaptTasfar(scene, nullptr);
+    row.push_back(harness.Evaluate(tasfar_model.get(), scene).mae_test);
+    table.AddRow("scene " + std::to_string(scene.scene_id + 1), row, 2);
+    for (size_t s = 0; s < row.size(); ++s) {
+      csv.AddRow({std::to_string(scene.scene_id + 1), names[s],
+                  std::to_string(row[s])});
+    }
+  }
+  table.Print();
+  WriteCsv("fig19_scenes", csv);
+  std::printf(
+      "\nPaper: TASFAR comparable to source-based UDA on all three scenes "
+      "and\nahead of the source-free schemes, with the largest margin "
+      "where the\nscene's count distribution is most informative. "
+      "Reproduced: compare\nTASFAR's column against AUGfree/Datafree per "
+      "scene.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

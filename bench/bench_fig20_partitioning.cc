@@ -1,0 +1,59 @@
+// Reproduces Fig. 20: TASFAR with and without partitioning the target
+// data by scene — per-scene adaptation preserves each site's label
+// distribution; pooling blurs it.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "nn/trainer.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 20",
+              "TASFAR with vs without per-scene partitioning (test MAE).");
+  CrowdHarness harness(PaperCrowdConfig());
+  harness.Prepare();
+
+  // Partitioned: adapt each scene separately.
+  std::vector<CrowdSceneData> scenes = harness.BuildScenes();
+  std::vector<double> partitioned_mae(scenes.size());
+  for (size_t s = 0; s < scenes.size(); ++s) {
+    auto model = harness.AdaptTasfar(scenes[s], nullptr);
+    partitioned_mae[s] = harness.Evaluate(model.get(), scenes[s]).mae_test;
+  }
+
+  // Unpartitioned: adapt once on the pooled Part-B data, then evaluate the
+  // single model on each scene's test images.
+  CrowdSceneData pooled = harness.BuildPooledScene();
+  auto pooled_model = harness.AdaptTasfar(pooled, nullptr);
+
+  TablePrinter table(
+      {"scene", "baseline", "TASFAR partitioned", "TASFAR pooled"});
+  CsvWriter csv;
+  csv.SetHeader({"scene", "baseline_mae", "partitioned_mae", "pooled_mae"});
+  for (size_t s = 0; s < scenes.size(); ++s) {
+    const double baseline =
+        harness.Evaluate(harness.source_model(), scenes[s]).mae_test;
+    const double pooled_mae =
+        harness.Evaluate(pooled_model.get(), scenes[s]).mae_test;
+    table.AddRow("scene " + std::to_string(scenes[s].scene_id + 1),
+                 {baseline, partitioned_mae[s], pooled_mae}, 2);
+    csv.AddNumericRow({static_cast<double>(scenes[s].scene_id + 1),
+                       baseline, partitioned_mae[s], pooled_mae});
+  }
+  table.Print();
+  WriteCsv("fig20_partitioning", csv);
+  std::printf(
+      "\nPaper: partitioned adaptation beats pooled on every scene, but "
+      "even\npooled TASFAR improves on the baseline (Part-B counts remain\n"
+      "correlated). Reproduced: compare the last two columns per scene "
+      "and\nboth against the baseline.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

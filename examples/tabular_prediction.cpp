@@ -1,0 +1,65 @@
+// Tabular prediction: housing prices (coastal target) and taxi trip
+// durations (Manhattan target) — the paper's two generality checks.
+
+#include <cstdio>
+
+#include "data/housing_sim.h"
+#include "data/taxi_sim.h"
+#include "eval/tabular_harness.h"
+
+using namespace tasfar;  // Example code; library code never does this.
+
+namespace {
+
+void RunTask(const char* label, TabularHarnessConfig cfg, Dataset source,
+             Dataset target) {
+  std::printf("\n== %s ==\n", label);
+  TabularHarness harness(cfg, std::move(source), std::move(target));
+  harness.Prepare();
+  TasfarReport report;
+  TabularEval eval = harness.EvaluateTasfar(&report);
+  const char* metric =
+      cfg.metric == TabularMetric::kMse ? "MSE" : "RMSLE";
+  std::printf("target %s: %.4f -> %.4f on the adaptation region\n", metric,
+              eval.metric_adapt_before, eval.metric_adapt_after);
+  std::printf("target %s: %.4f -> %.4f on held-out target data\n", metric,
+              eval.metric_test_before, eval.metric_test_after);
+  std::printf("(%zu of %zu target rows were uncertain)\n",
+              report.num_uncertain,
+              report.num_uncertain + report.num_confident);
+}
+
+}  // namespace
+
+int main() {
+  {
+    HousingSimConfig sim;
+    sim.source_samples = 2500;
+    sim.target_samples = 1200;
+    HousingSimulator simulator(sim, 5);
+    TabularHarnessConfig cfg;
+    cfg.task_name = "housing";
+    cfg.metric = TabularMetric::kMse;
+    cfg.source_epochs = 30;
+    cfg.tasfar.grid_cell_size = 0.05;  // Standardized label units.
+    RunTask("California housing (coastal districts as target)", cfg,
+            simulator.GenerateSource(), simulator.GenerateTarget());
+  }
+  {
+    TaxiSimConfig sim;
+    sim.source_samples = 2500;
+    sim.target_samples = 1200;
+    TaxiSimulator simulator(sim, 5);
+    TabularHarnessConfig cfg;
+    cfg.task_name = "taxi";
+    cfg.metric = TabularMetric::kRmsle;
+    cfg.source_epochs = 30;
+    cfg.tasfar.grid_cell_size = 0.05;  // Standardized label units.
+    RunTask("NYC taxi trip duration (Manhattan departures as target)", cfg,
+            simulator.GenerateSource(), simulator.GenerateTarget());
+  }
+  std::printf(
+      "\nThe same Tasfar options adapt an MLP on both tasks — the label\n"
+      "distribution of the target region is all it needs.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "core/adaptation_trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace tasfar {
+
+AdaptationTrainer::AdaptationTrainer(const AdaptationTrainConfig& config)
+    : config_(config) {
+  TASFAR_CHECK(config.learning_rate > 0.0);
+  TASFAR_CHECK(config.confident_weight >= 0.0);
+  TASFAR_CHECK(config.beta_clamp >= 0.0);
+}
+
+AdaptationResult AdaptationTrainer::Run(
+    const Sequential& source_model, const Tensor& uncertain_inputs,
+    const std::vector<PseudoLabel>& pseudo_labels,
+    const Tensor& confident_inputs, const Tensor& confident_preds,
+    Rng* rng) const {
+  TASFAR_CHECK(rng != nullptr);
+  const size_t n_u = uncertain_inputs.rank() == 0 ? 0 : uncertain_inputs.dim(0);
+  TASFAR_CHECK(pseudo_labels.size() == n_u);
+  const bool use_confident =
+      config_.include_confident && confident_inputs.rank() != 0 &&
+      confident_inputs.dim(0) > 0;
+  const size_t n_c = use_confident ? confident_inputs.dim(0) : 0;
+  TASFAR_CHECK_MSG(n_u + n_c > 0, "nothing to adapt on");
+
+  // Determine per-sample shapes from whichever set is non-empty.
+  const Tensor& shape_ref = n_u > 0 ? uncertain_inputs : confident_inputs;
+  std::vector<size_t> in_shape = shape_ref.shape();
+  in_shape[0] = n_u + n_c;
+  const size_t out_dim =
+      n_u > 0 ? pseudo_labels[0].value.size() : confident_preds.dim(1);
+
+  Tensor inputs(in_shape);
+  Tensor targets({n_u + n_c, out_dim});
+  std::vector<double> weights(n_u + n_c, 0.0);
+
+  size_t per_sample = 1;
+  for (size_t d = 1; d < in_shape.size(); ++d) per_sample *= in_shape[d];
+
+  for (size_t i = 0; i < n_u; ++i) {
+    std::copy(uncertain_inputs.data() + i * per_sample,
+              uncertain_inputs.data() + (i + 1) * per_sample,
+              inputs.data() + i * per_sample);
+    TASFAR_CHECK(pseudo_labels[i].value.size() == out_dim);
+    for (size_t d = 0; d < out_dim; ++d) {
+      targets.At(i, d) = pseudo_labels[i].value[d];
+    }
+    double beta = pseudo_labels[i].credibility;
+    if (config_.beta_clamp > 0.0) beta = std::min(beta, config_.beta_clamp);
+    weights[i] = beta;
+  }
+  if (config_.normalize_beta && n_u > 0) {
+    double mean_beta = 0.0;
+    for (size_t i = 0; i < n_u; ++i) mean_beta += weights[i];
+    mean_beta /= static_cast<double>(n_u);
+    if (mean_beta > 0.0) {
+      for (size_t i = 0; i < n_u; ++i) weights[i] /= mean_beta;
+    }
+  }
+  if (use_confident) {
+    TASFAR_CHECK(confident_preds.rank() == 2 &&
+                 confident_preds.dim(0) == n_c &&
+                 confident_preds.dim(1) == out_dim);
+    for (size_t i = 0; i < n_c; ++i) {
+      std::copy(confident_inputs.data() + i * per_sample,
+                confident_inputs.data() + (i + 1) * per_sample,
+                inputs.data() + (n_u + i) * per_sample);
+      for (size_t d = 0; d < out_dim; ++d) {
+        targets.At(n_u + i, d) = confident_preds.At(i, d);
+      }
+      weights[n_u + i] = config_.confident_weight;
+    }
+  }
+
+  AdaptationResult result;
+  result.model = source_model.CloneSequential();
+  std::unique_ptr<Optimizer> optimizer;
+  if (config_.use_sgd) {
+    optimizer = std::make_unique<Sgd>(config_.learning_rate,
+                                      config_.sgd_momentum);
+  } else {
+    optimizer = std::make_unique<Adam>(config_.learning_rate);
+  }
+  Trainer trainer(result.model.get(), optimizer.get(),
+                  [](const Tensor& pred, const Tensor& target, Tensor* grad,
+                     const std::vector<double>* w) {
+                    return loss::Mse(pred, target, grad, w);
+                  });
+  result.history =
+      trainer.Fit(inputs, targets, config_.train, rng, &weights);
+  return result;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,176 @@
+#include "core/calibration_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace tasfar {
+
+namespace {
+
+constexpr const char kCalibMagic[] = "TASFAR_CALIB_V1";
+constexpr const char kMapMagic[] = "TASFAR_DENSITY_MAP_V1";
+
+void EmitHex(std::ostringstream* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  *out << buf;
+}
+
+bool ReadDouble(std::istringstream* in, double* v) {
+  std::string tok;
+  *in >> tok;
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  *v = std::strtod(tok.c_str(), &end);
+  return end != tok.c_str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  f << content;
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::string SerializeCalibration(const SourceCalibration& calibration) {
+  std::ostringstream out;
+  out << kCalibMagic << "\n";
+  out << "tau ";
+  EmitHex(&out, calibration.tau);
+  out << "\nqs " << calibration.qs_per_dim.size() << "\n";
+  for (const QsModel& qs : calibration.qs_per_dim) {
+    EmitHex(&out, qs.line.intercept);
+    out << " ";
+    EmitHex(&out, qs.line.slope);
+    out << " ";
+    EmitHex(&out, qs.sigma_min);
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<SourceCalibration> DeserializeCalibration(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic, key;
+  in >> magic;
+  if (magic != kCalibMagic) {
+    return Status::InvalidArgument("bad calibration magic");
+  }
+  SourceCalibration calib;
+  in >> key;
+  if (key != "tau" || !ReadDouble(&in, &calib.tau)) {
+    return Status::InvalidArgument("missing tau");
+  }
+  size_t dims = 0;
+  in >> key >> dims;
+  if (key != "qs" || dims == 0 || dims > 16) {
+    return Status::InvalidArgument("bad qs dimension count");
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    QsModel qs;
+    if (!ReadDouble(&in, &qs.line.intercept) ||
+        !ReadDouble(&in, &qs.line.slope) ||
+        !ReadDouble(&in, &qs.sigma_min)) {
+      return Status::InvalidArgument("truncated Qs entry");
+    }
+    if (qs.sigma_min <= 0.0) {
+      return Status::InvalidArgument("sigma_min must be positive");
+    }
+    calib.qs_per_dim.push_back(qs);
+  }
+  return calib;
+}
+
+Status SaveCalibration(const SourceCalibration& calibration,
+                       const std::string& path) {
+  return WriteFile(path, SerializeCalibration(calibration));
+}
+
+Result<SourceCalibration> LoadCalibration(const std::string& path) {
+  Result<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  return DeserializeCalibration(content.value());
+}
+
+std::string SerializeDensityMap(const DensityMap& map) {
+  std::ostringstream out;
+  out << kMapMagic << "\n" << map.num_dims() << "\n";
+  for (size_t d = 0; d < map.num_dims(); ++d) {
+    const GridSpec& axis = map.axis(d);
+    EmitHex(&out, axis.origin);
+    out << " ";
+    EmitHex(&out, axis.cell_size);
+    out << " " << axis.num_cells << "\n";
+  }
+  out << map.NumCells() << "\n";
+  for (size_t i = 0; i < map.NumCells(); ++i) {
+    EmitHex(&out, map.cell(i));
+    out << (i + 1 == map.NumCells() ? "" : " ");
+  }
+  out << "\n";
+  return out.str();
+}
+
+Result<DensityMap> DeserializeDensityMap(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  in >> magic;
+  if (magic != kMapMagic) {
+    return Status::InvalidArgument("bad density-map magic");
+  }
+  size_t dims = 0;
+  in >> dims;
+  if (dims == 0 || dims > 2) {
+    return Status::InvalidArgument("density maps are 1-D or 2-D");
+  }
+  std::vector<GridSpec> axes(dims);
+  for (GridSpec& axis : axes) {
+    if (!ReadDouble(&in, &axis.origin) ||
+        !ReadDouble(&in, &axis.cell_size)) {
+      return Status::InvalidArgument("truncated axis");
+    }
+    in >> axis.num_cells;
+    if (!in || axis.num_cells == 0 || axis.cell_size <= 0.0) {
+      return Status::InvalidArgument("bad axis geometry");
+    }
+  }
+  size_t cells = 0;
+  in >> cells;
+  DensityMap map(std::move(axes));
+  if (cells != map.NumCells()) {
+    return Status::InvalidArgument("cell count does not match axes");
+  }
+  for (size_t i = 0; i < cells; ++i) {
+    double v = 0.0;
+    if (!ReadDouble(&in, &v)) {
+      return Status::InvalidArgument("truncated cell data");
+    }
+    map.cell_mutable(i) = v;
+  }
+  return map;
+}
+
+Status SaveDensityMap(const DensityMap& map, const std::string& path) {
+  return WriteFile(path, SerializeDensityMap(map));
+}
+
+Result<DensityMap> LoadDensityMap(const std::string& path) {
+  Result<std::string> content = ReadFile(path);
+  if (!content.ok()) return content.status();
+  return DeserializeDensityMap(content.value());
+}
+
+}  // namespace tasfar

@@ -1,0 +1,35 @@
+#ifndef TASFAR_CORE_CALIBRATION_IO_H_
+#define TASFAR_CORE_CALIBRATION_IO_H_
+
+#include <string>
+
+#include "core/density_map.h"
+#include "core/tasfar.h"
+#include "util/status.h"
+
+namespace tasfar {
+
+/// Serialization of the source-side calibration artifacts.
+///
+/// In the source-free deployment story, the model weights (nn/serialize.h)
+/// and the calibration (τ + per-dimension Q_s) are what ship to the target
+/// device — the source data never leaves. These helpers give both a
+/// versioned text format, plus the same for density maps so adaptation
+/// diagnostics can be persisted and inspected offline.
+///
+/// All formats round-trip doubles exactly (hex-float encoding).
+
+std::string SerializeCalibration(const SourceCalibration& calibration);
+Result<SourceCalibration> DeserializeCalibration(const std::string& text);
+Status SaveCalibration(const SourceCalibration& calibration,
+                       const std::string& path);
+Result<SourceCalibration> LoadCalibration(const std::string& path);
+
+std::string SerializeDensityMap(const DensityMap& map);
+Result<DensityMap> DeserializeDensityMap(const std::string& text);
+Status SaveDensityMap(const DensityMap& map, const std::string& path);
+Result<DensityMap> LoadDensityMap(const std::string& path);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_CALIBRATION_IO_H_

@@ -1,0 +1,40 @@
+#include "core/confidence_classifier.h"
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace tasfar {
+
+double ConfidenceClassifier::ComputeThreshold(
+    std::vector<double> source_uncertainties, double eta) {
+  TASFAR_CHECK_MSG(eta > 0.0 && eta < 1.0, "eta must be in (0, 1)");
+  TASFAR_CHECK(!source_uncertainties.empty());
+  return stats::Quantile(std::move(source_uncertainties), eta);
+}
+
+ConfidenceClassifier::ConfidenceClassifier(double tau) : tau_(tau) {
+  TASFAR_CHECK_MSG(tau >= 0.0, "tau must be non-negative");
+}
+
+ConfidenceSplit ConfidenceClassifier::Classify(
+    const std::vector<McPrediction>& preds) const {
+  std::vector<double> u;
+  u.reserve(preds.size());
+  for (const McPrediction& p : preds) u.push_back(p.ScalarUncertainty());
+  return ClassifyUncertainties(u);
+}
+
+ConfidenceSplit ConfidenceClassifier::ClassifyUncertainties(
+    const std::vector<double>& uncertainties) const {
+  ConfidenceSplit split;
+  for (size_t i = 0; i < uncertainties.size(); ++i) {
+    if (uncertainties[i] > tau_) {
+      split.uncertain.push_back(i);
+    } else {
+      split.confident.push_back(i);
+    }
+  }
+  return split;
+}
+
+}  // namespace tasfar

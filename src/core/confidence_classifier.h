@@ -1,0 +1,45 @@
+#ifndef TASFAR_CORE_CONFIDENCE_CLASSIFIER_H_
+#define TASFAR_CORE_CONFIDENCE_CLASSIFIER_H_
+
+#include <vector>
+
+#include "uncertainty/mc_dropout.h"
+
+namespace tasfar {
+
+/// Indices of a dataset split into confident and uncertain samples.
+struct ConfidenceSplit {
+  std::vector<size_t> confident;
+  std::vector<size_t> uncertain;
+};
+
+/// The confidence classifier of Algorithm 1: target samples whose scalar
+/// prediction uncertainty exceeds a threshold τ are *uncertain*; the rest
+/// are *confident*. τ is calibrated on the source data as the η-quantile
+/// of source prediction uncertainties ("we regard it as a confident
+/// prediction if η of the source data show uncertainty lower than τ"), so
+/// it ships with the source model and needs no target labels.
+class ConfidenceClassifier {
+ public:
+  /// τ as the η-quantile of the source-side uncertainties; η in (0, 1).
+  static double ComputeThreshold(std::vector<double> source_uncertainties,
+                                 double eta);
+
+  explicit ConfidenceClassifier(double tau);
+
+  /// Splits MC-dropout predictions by scalar uncertainty vs τ.
+  ConfidenceSplit Classify(const std::vector<McPrediction>& preds) const;
+
+  /// Splits raw scalar uncertainties.
+  ConfidenceSplit ClassifyUncertainties(
+      const std::vector<double>& uncertainties) const;
+
+  double tau() const { return tau_; }
+
+ private:
+  double tau_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_CONFIDENCE_CLASSIFIER_H_

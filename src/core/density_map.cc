@@ -1,0 +1,197 @@
+#include "core/density_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+double GridSpec::CellLo(size_t i) const {
+  TASFAR_CHECK(i < num_cells);
+  return origin + cell_size * static_cast<double>(i);
+}
+
+double GridSpec::CellHi(size_t i) const { return CellLo(i) + cell_size; }
+
+double GridSpec::CellCenter(size_t i) const {
+  return CellLo(i) + 0.5 * cell_size;
+}
+
+double GridSpec::RangeHi() const {
+  return origin + cell_size * static_cast<double>(num_cells);
+}
+
+long GridSpec::CellIndexOf(double y) const {
+  return static_cast<long>(std::floor((y - origin) / cell_size));
+}
+
+GridSpec GridSpec::FromRange(double lo, double hi, double cell_size) {
+  TASFAR_CHECK(cell_size > 0.0);
+  TASFAR_CHECK(hi > lo);
+  GridSpec g;
+  g.origin = lo;
+  g.cell_size = cell_size;
+  g.num_cells = static_cast<size_t>(std::ceil((hi - lo) / cell_size));
+  if (g.num_cells == 0) g.num_cells = 1;
+  return g;
+}
+
+GridSpec GridSpec::FromCellCount(double lo, double hi, size_t num_cells) {
+  TASFAR_CHECK(num_cells > 0);
+  TASFAR_CHECK(hi > lo);
+  GridSpec g;
+  g.origin = lo;
+  g.cell_size = (hi - lo) / static_cast<double>(num_cells);
+  g.num_cells = num_cells;
+  return g;
+}
+
+DensityMap::DensityMap(std::vector<GridSpec> axes) : axes_(std::move(axes)) {
+  TASFAR_CHECK_MSG(axes_.size() == 1 || axes_.size() == 2,
+                   "DensityMap supports 1-D and 2-D labels");
+  size_t total = 1;
+  for (const GridSpec& a : axes_) {
+    TASFAR_CHECK(a.num_cells > 0 && a.cell_size > 0.0);
+    total *= a.num_cells;
+  }
+  cells_.assign(total, 0.0);
+}
+
+const GridSpec& DensityMap::axis(size_t d) const {
+  TASFAR_CHECK(d < axes_.size());
+  return axes_[d];
+}
+
+size_t DensityMap::FlatIndex(const std::vector<size_t>& idx) const {
+  TASFAR_CHECK(idx.size() == axes_.size());
+  size_t flat = 0;
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    TASFAR_CHECK(idx[d] < axes_[d].num_cells);
+    flat = flat * axes_[d].num_cells + idx[d];
+  }
+  return flat;
+}
+
+double DensityMap::cell(size_t flat) const {
+  TASFAR_CHECK(flat < cells_.size());
+  return cells_[flat];
+}
+
+double& DensityMap::cell_mutable(size_t flat) {
+  TASFAR_CHECK(flat < cells_.size());
+  return cells_[flat];
+}
+
+std::vector<double> DensityMap::CellCenterOf(size_t flat) const {
+  TASFAR_CHECK(flat < cells_.size());
+  std::vector<double> center(axes_.size());
+  for (size_t d = axes_.size(); d > 0; --d) {
+    const size_t cells_d = axes_[d - 1].num_cells;
+    center[d - 1] = axes_[d - 1].CellCenter(flat % cells_d);
+    flat /= cells_d;
+  }
+  return center;
+}
+
+void DensityMap::Deposit(const std::vector<double>& mean,
+                         const std::vector<double>& sigma,
+                         ErrorModelKind kind) {
+  TASFAR_CHECK(mean.size() == axes_.size());
+  TASFAR_CHECK(sigma.size() == axes_.size());
+  // The instance-label distribution is separable across dimensions (the
+  // paper treats label dimensions as independent), so compute per-axis
+  // cell masses once and combine.
+  std::vector<std::vector<double>> axis_mass(axes_.size());
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    TASFAR_CHECK(sigma[d] > 0.0);
+    const GridSpec& a = axes_[d];
+    axis_mass[d].resize(a.num_cells);
+    for (size_t i = 0; i < a.num_cells; ++i) {
+      axis_mass[d][i] =
+          ErrorModelCellMass(kind, a.CellLo(i), a.CellHi(i), mean[d],
+                             sigma[d]);
+    }
+  }
+  if (axes_.size() == 1) {
+    for (size_t i = 0; i < cells_.size(); ++i) cells_[i] += axis_mass[0][i];
+    return;
+  }
+  const size_t n1 = axes_[1].num_cells;
+  for (size_t i = 0; i < axes_[0].num_cells; ++i) {
+    const double m0 = axis_mass[0][i];
+    if (m0 == 0.0) continue;
+    for (size_t j = 0; j < n1; ++j) {
+      cells_[i * n1 + j] += m0 * axis_mass[1][j];
+    }
+  }
+}
+
+void DensityMap::DepositLabel(const std::vector<double>& label) {
+  TASFAR_CHECK(label.size() == axes_.size());
+  size_t flat = 0;
+  for (size_t d = 0; d < axes_.size(); ++d) {
+    const long idx = axes_[d].CellIndexOf(label[d]);
+    if (idx < 0 || idx >= static_cast<long>(axes_[d].num_cells)) return;
+    flat = flat * axes_[d].num_cells + static_cast<size_t>(idx);
+  }
+  cells_[flat] += 1.0;
+}
+
+void DensityMap::Normalize(double denominator) {
+  TASFAR_CHECK(denominator > 0.0);
+  for (double& c : cells_) c /= denominator;
+}
+
+double DensityMap::TotalMass() const {
+  double s = 0.0;
+  for (double c : cells_) s += c;
+  return s;
+}
+
+double DensityMap::GlobalMeanDensity() const {
+  TASFAR_CHECK(!cells_.empty());
+  return TotalMass() / static_cast<double>(cells_.size());
+}
+
+double DensityMap::MeanAbsDiff(const DensityMap& other) const {
+  TASFAR_CHECK(cells_.size() == other.cells_.size());
+  double s = 0.0;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    s += std::fabs(cells_[i] - other.cells_[i]);
+  }
+  return s / static_cast<double>(cells_.size());
+}
+
+std::vector<std::vector<double>> DensityMap::AsGrid2d() const {
+  TASFAR_CHECK(axes_.size() == 2);
+  std::vector<std::vector<double>> grid(axes_[0].num_cells);
+  const size_t n1 = axes_[1].num_cells;
+  for (size_t i = 0; i < axes_[0].num_cells; ++i) {
+    grid[i].assign(cells_.begin() + i * n1, cells_.begin() + (i + 1) * n1);
+  }
+  return grid;
+}
+
+std::vector<double> DensityMap::AsVector1d() const {
+  TASFAR_CHECK(axes_.size() == 1);
+  return cells_;
+}
+
+DensityMap BuildTrueDensityMap(const Tensor& labels,
+                               std::vector<GridSpec> axes) {
+  TASFAR_CHECK(labels.rank() == 2);
+  TASFAR_CHECK(labels.dim(1) == axes.size());
+  DensityMap map(std::move(axes));
+  const size_t n = labels.dim(0);
+  TASFAR_CHECK(n > 0);
+  std::vector<double> label(labels.dim(1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < label.size(); ++d) label[d] = labels.At(i, d);
+    map.DepositLabel(label);
+  }
+  map.Normalize(static_cast<double>(n));
+  return map;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,98 @@
+#ifndef TASFAR_CORE_DENSITY_MAP_H_
+#define TASFAR_CORE_DENSITY_MAP_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "uncertainty/error_model.h"
+
+namespace tasfar {
+
+/// Uniform grid over one label dimension (the paper's y_0 / g / J triple
+/// of Algorithm 2).
+struct GridSpec {
+  double origin = 0.0;     ///< y_0: lower edge of cell 0.
+  double cell_size = 1.0;  ///< g.
+  size_t num_cells = 1;    ///< J.
+
+  double CellLo(size_t i) const;
+  double CellHi(size_t i) const;
+  double CellCenter(size_t i) const;
+  /// Upper edge of the grid.
+  double RangeHi() const;
+  /// Cell index containing y; may be negative or >= num_cells when y is
+  /// outside the grid (callers must range-check).
+  long CellIndexOf(double y) const;
+
+  /// Grid covering [lo, hi] with the given cell size (at least one cell).
+  static GridSpec FromRange(double lo, double hi, double cell_size);
+  /// Grid covering [lo, hi] with a fixed number of cells.
+  static GridSpec FromCellCount(double lo, double hi, size_t num_cells);
+};
+
+/// The label density map M (Section III-C): a normalized histogram of the
+/// target label distribution over a 1-D or 2-D grid. Multi-dimensional
+/// labels use one axis per dimension, matching the paper's extension with
+/// a multi-dimensional index.
+class DensityMap {
+ public:
+  /// One or two axes (the repo's tasks have 1-D or 2-D labels).
+  explicit DensityMap(std::vector<GridSpec> axes);
+
+  size_t num_dims() const { return axes_.size(); }
+  const GridSpec& axis(size_t d) const;
+  size_t NumCells() const { return cells_.size(); }
+
+  /// Flat index of a multi-dimensional cell index (row-major).
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+  double cell(size_t flat) const;
+  double& cell_mutable(size_t flat);
+
+  /// Centers of the cell with the given flat index, one per dimension.
+  std::vector<double> CellCenterOf(size_t flat) const;
+
+  /// Adds the probability mass of one instance-label distribution: a
+  /// separable distribution with per-dimension mean/sigma of the given
+  /// error-model family, integrated per cell (Eq. 10-11). Mass falling
+  /// outside the grid is dropped.
+  void Deposit(const std::vector<double>& mean,
+               const std::vector<double>& sigma, ErrorModelKind kind);
+
+  /// Adds an indicator count for a known label (Eq. 4) — used to build
+  /// ground-truth maps. Labels outside the grid are dropped.
+  void DepositLabel(const std::vector<double>& label);
+
+  /// Divides all cells by `denominator` (the 1/D normalization of
+  /// Eq. 12); denominator > 0.
+  void Normalize(double denominator);
+
+  /// Sum of all cell densities.
+  double TotalMass() const;
+
+  /// Mean density over all cells (the d̄_i of Eq. 19).
+  double GlobalMeanDensity() const;
+
+  /// Mean absolute per-cell difference to another map on the same grid —
+  /// the metric of Fig. 7.
+  double MeanAbsDiff(const DensityMap& other) const;
+
+  /// 2-D map as a row-major grid (rows = dim 0) for visualization.
+  std::vector<std::vector<double>> AsGrid2d() const;
+
+  /// 1-D map as a vector.
+  std::vector<double> AsVector1d() const;
+
+ private:
+  std::vector<GridSpec> axes_;
+  std::vector<double> cells_;
+};
+
+/// Convenience: builds the ground-truth density map of a label matrix
+/// {n, d} on the given axes, normalized by n.
+DensityMap BuildTrueDensityMap(const Tensor& labels,
+                               std::vector<GridSpec> axes);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_DENSITY_MAP_H_

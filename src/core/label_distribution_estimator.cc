@@ -1,0 +1,71 @@
+#include "core/label_distribution_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+LabelDistributionEstimator::LabelDistributionEstimator(
+    std::vector<QsModel> qs_per_dim, ErrorModelKind error_model)
+    : qs_per_dim_(std::move(qs_per_dim)), error_model_(error_model) {
+  TASFAR_CHECK_MSG(qs_per_dim_.size() == 1 || qs_per_dim_.size() == 2,
+                   "one Qs model per label dimension (1-D or 2-D labels)");
+}
+
+double LabelDistributionEstimator::SigmaFor(const McPrediction& pred,
+                                            size_t dim) const {
+  TASFAR_CHECK(dim < qs_per_dim_.size());
+  TASFAR_CHECK(pred.std.size() == qs_per_dim_.size());
+  return qs_per_dim_[dim].Sigma(pred.std[dim]);
+}
+
+DensityMap LabelDistributionEstimator::Estimate(
+    const std::vector<McPrediction>& confident,
+    std::vector<GridSpec> axes) const {
+  TASFAR_CHECK_MSG(!confident.empty(), "no confident data to estimate from");
+  TASFAR_CHECK(axes.size() == qs_per_dim_.size());
+  DensityMap map(std::move(axes));
+  const size_t dims = qs_per_dim_.size();
+  std::vector<double> mean(dims), sigma(dims);
+  for (const McPrediction& pred : confident) {
+    TASFAR_CHECK(pred.mean.size() == dims);
+    for (size_t d = 0; d < dims; ++d) {
+      mean[d] = pred.mean[d];
+      sigma[d] = SigmaFor(pred, d);
+    }
+    map.Deposit(mean, sigma, error_model_);
+  }
+  map.Normalize(static_cast<double>(confident.size()));  // 1/|SET_C|.
+  return map;
+}
+
+std::vector<GridSpec> LabelDistributionEstimator::AutoAxes(
+    const std::vector<McPrediction>& confident, double cell_size,
+    double margin_sigmas) const {
+  TASFAR_CHECK(!confident.empty());
+  TASFAR_CHECK(cell_size > 0.0);
+  TASFAR_CHECK(margin_sigmas >= 0.0);
+  const size_t dims = qs_per_dim_.size();
+  std::vector<GridSpec> axes;
+  axes.reserve(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    double lo = confident[0].mean[d];
+    double hi = lo;
+    double max_sigma = 0.0;
+    for (const McPrediction& pred : confident) {
+      TASFAR_CHECK(pred.mean.size() == dims);
+      lo = std::min(lo, pred.mean[d]);
+      hi = std::max(hi, pred.mean[d]);
+      max_sigma = std::max(max_sigma, SigmaFor(pred, d));
+    }
+    const double margin = margin_sigmas * max_sigma;
+    lo -= margin;
+    hi += margin;
+    if (hi - lo < cell_size) hi = lo + cell_size;  // Degenerate range guard.
+    axes.push_back(GridSpec::FromRange(lo, hi, cell_size));
+  }
+  return axes;
+}
+
+}  // namespace tasfar

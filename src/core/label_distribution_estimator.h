@@ -1,0 +1,48 @@
+#ifndef TASFAR_CORE_LABEL_DISTRIBUTION_ESTIMATOR_H_
+#define TASFAR_CORE_LABEL_DISTRIBUTION_ESTIMATOR_H_
+
+#include <vector>
+
+#include "core/density_map.h"
+#include "uncertainty/mc_dropout.h"
+#include "uncertainty/qs_calibration.h"
+
+namespace tasfar {
+
+/// The label distribution estimator of Algorithm 2: accumulates the
+/// instance-label distributions of the confident predictions into a label
+/// density map. For each confident prediction, the per-dimension spread is
+/// σ_d = Q_s(u_d) (Eq. 6) and the per-cell mass is the integral of the
+/// error-model density over the cell (Eq. 10-12).
+class LabelDistributionEstimator {
+ public:
+  /// One Q_s model per label dimension (fitted on the source dataset).
+  LabelDistributionEstimator(std::vector<QsModel> qs_per_dim,
+                             ErrorModelKind error_model);
+
+  /// Builds the normalized density map of the confident predictions on the
+  /// given axes. `confident` must be non-empty, with per-prediction
+  /// dimensionality equal to axes.size().
+  DensityMap Estimate(const std::vector<McPrediction>& confident,
+                      std::vector<GridSpec> axes) const;
+
+  /// Chooses axes covering all confident predictions ± `margin_sigmas`
+  /// spreads, one axis per label dimension, with the given cell size.
+  std::vector<GridSpec> AutoAxes(const std::vector<McPrediction>& confident,
+                                 double cell_size,
+                                 double margin_sigmas = 3.0) const;
+
+  /// σ for one prediction and dimension (exposed for the generator/tests).
+  double SigmaFor(const McPrediction& pred, size_t dim) const;
+
+  ErrorModelKind error_model() const { return error_model_; }
+  const std::vector<QsModel>& qs() const { return qs_per_dim_; }
+
+ private:
+  std::vector<QsModel> qs_per_dim_;
+  ErrorModelKind error_model_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_LABEL_DISTRIBUTION_ESTIMATOR_H_

@@ -1,0 +1,138 @@
+#include "core/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+TargetPartitioner::Partition TargetPartitioner::ByGroup(
+    const Dataset& target) {
+  TASFAR_CHECK_MSG(!target.group_ids.empty(),
+                   "ByGroup requires group-tagged data");
+  Partition parts;
+  std::vector<int> seen;
+  for (size_t i = 0; i < target.group_ids.size(); ++i) {
+    const int g = target.group_ids[i];
+    size_t slot = seen.size();
+    for (size_t s = 0; s < seen.size(); ++s) {
+      if (seen[s] == g) {
+        slot = s;
+        break;
+      }
+    }
+    if (slot == seen.size()) {
+      seen.push_back(g);
+      parts.emplace_back();
+    }
+    parts[slot].push_back(i);
+  }
+  return parts;
+}
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t d = 0; d < a.size(); ++d) {
+    s += (a[d] - b[d]) * (a[d] - b[d]);
+  }
+  return s;
+}
+
+}  // namespace
+
+TargetPartitioner::Partition TargetPartitioner::KMeans(
+    const std::vector<std::vector<double>>& features, size_t k, Rng* rng,
+    size_t max_iters) {
+  TASFAR_CHECK(rng != nullptr);
+  TASFAR_CHECK(k >= 1);
+  TASFAR_CHECK(!features.empty());
+  const size_t n = features.size();
+  const size_t dims = features[0].size();
+  for (const auto& f : features) TASFAR_CHECK(f.size() == dims);
+  k = std::min(k, n);
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centers;
+  centers.push_back(features[rng->UniformInt(n)]);
+  std::vector<double> dist2(n);
+  while (centers.size() < k) {
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centers) {
+        best = std::min(best, SquaredDistance(features[i], c));
+      }
+      dist2[i] = best;
+    }
+    double total = 0.0;
+    for (double d : dist2) total += d;
+    if (total <= 0.0) break;  // All points coincide with centers.
+    centers.push_back(features[rng->Categorical(dist2)]);
+  }
+
+  std::vector<size_t> assign(n, 0);
+  for (size_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        const double d = SquaredDistance(features[i], centers[c]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Recompute centers.
+    std::vector<std::vector<double>> sums(centers.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(centers.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t d = 0; d < dims; ++d) sums[assign[i]][d] += features[i][d];
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // Keep the old center.
+      for (size_t d = 0; d < dims; ++d) {
+        centers[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  Partition parts(centers.size());
+  for (size_t i = 0; i < n; ++i) parts[assign[i]].push_back(i);
+  parts.erase(std::remove_if(parts.begin(), parts.end(),
+                             [](const std::vector<size_t>& p) {
+                               return p.empty();
+                             }),
+              parts.end());
+  return parts;
+}
+
+TargetPartitioner::Partition TargetPartitioner::KMeansOnColumns(
+    const Dataset& target, const std::vector<size_t>& columns, size_t k,
+    Rng* rng) {
+  TASFAR_CHECK(target.inputs.rank() == 2);
+  TASFAR_CHECK(!columns.empty());
+  std::vector<std::vector<double>> features(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    features[i].reserve(columns.size());
+    for (size_t c : columns) {
+      TASFAR_CHECK(c < target.inputs.dim(1));
+      features[i].push_back(target.inputs.At(i, c));
+    }
+  }
+  return KMeans(features, k, rng);
+}
+
+}  // namespace tasfar

@@ -1,0 +1,48 @@
+#ifndef TASFAR_CORE_PARTITIONER_H_
+#define TASFAR_CORE_PARTITIONER_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace tasfar {
+
+/// Target-data partitioning (the paper's Section VI future work): TASFAR
+/// performs best when the target set holds a *single* scenario, so a
+/// deployment can first split the target data into scenario-coherent parts
+/// and adapt each independently (e.g. morning vs evening in surveillance
+/// counting, or per site / per user).
+///
+/// Two partitioners are provided:
+///  - ByGroup: uses explicit scenario tags (the Dataset's group_ids),
+///    the "task-specific knowledge" route the paper suggests.
+///  - KMeans: unsupervised fallback on a caller-chosen feature row
+///    (e.g. timestamps, coordinates, or embedding coordinates) when no
+///    tags exist.
+class TargetPartitioner {
+ public:
+  /// One part: the indices of the samples assigned to it.
+  using Partition = std::vector<std::vector<size_t>>;
+
+  /// Splits by the dataset's group tags; requires non-empty group_ids.
+  /// Parts appear in first-appearance order of the tags.
+  static Partition ByGroup(const Dataset& target);
+
+  /// K-means (Lloyd's algorithm, k-means++ seeding) on the given feature
+  /// vectors, one row per sample. `k` >= 1; iterates until assignment is
+  /// stable or `max_iters` is hit. Empty clusters are dropped from the
+  /// result.
+  static Partition KMeans(const std::vector<std::vector<double>>& features,
+                          size_t k, Rng* rng, size_t max_iters = 50);
+
+  /// Convenience: K-means on a subset of the dataset's input columns
+  /// (rank-2 inputs only).
+  static Partition KMeansOnColumns(const Dataset& target,
+                                   const std::vector<size_t>& columns,
+                                   size_t k, Rng* rng);
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_PARTITIONER_H_

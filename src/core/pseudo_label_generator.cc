@@ -1,0 +1,116 @@
+#include "core/pseudo_label_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+PseudoLabelGenerator::PseudoLabelGenerator(
+    const DensityMap* map, const LabelDistributionEstimator* estimator,
+    double tau)
+    : map_(map), estimator_(estimator), tau_(tau) {
+  TASFAR_CHECK(map != nullptr && estimator != nullptr);
+  TASFAR_CHECK_MSG(tau > 0.0, "tau must be positive");
+}
+
+PseudoLabel PseudoLabelGenerator::Generate(const McPrediction& pred) const {
+  const size_t dims = map_->num_dims();
+  TASFAR_CHECK(pred.mean.size() == dims);
+
+  // Per-dimension sigma and 3σ locality bounds (Eq. 20 / Alg. 3 line 9).
+  std::vector<double> sigma(dims);
+  std::vector<long> lo_cell(dims), hi_cell(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    sigma[d] = estimator_->SigmaFor(pred, d);
+    const GridSpec& axis = map_->axis(d);
+    const long lo = axis.CellIndexOf(pred.mean[d] - 3.0 * sigma[d]);
+    const long hi = axis.CellIndexOf(pred.mean[d] + 3.0 * sigma[d]);
+    lo_cell[d] = std::max<long>(0, lo);
+    hi_cell[d] = std::min<long>(static_cast<long>(axis.num_cells) - 1, hi);
+  }
+
+  // Posterior accumulation over the local cells: weight = prior M(cell) ×
+  // instance mass (Eq. 14); the pseudo-label interpolates cell centers by
+  // weight (Eq. 15). The local mean density feeds I_l (Eq. 19).
+  double weight_sum = 0.0;
+  std::vector<double> value_sum(dims, 0.0);
+  double local_density_sum = 0.0;
+  size_t local_cells = 0;
+
+  auto visit_cell = [&](const std::vector<size_t>& idx) {
+    // Keep only cells whose center is inside the 3σ ball per dimension
+    // (the locality definition of Eq. 20).
+    double instance_mass = 1.0;
+    for (size_t d = 0; d < dims; ++d) {
+      const GridSpec& axis = map_->axis(d);
+      const double center = axis.CellCenter(idx[d]);
+      if (std::fabs(center - pred.mean[d]) >= 3.0 * sigma[d]) return;
+      instance_mass *= ErrorModelCellMass(estimator_->error_model(),
+                                          axis.CellLo(idx[d]),
+                                          axis.CellHi(idx[d]), pred.mean[d],
+                                          sigma[d]);
+    }
+    const size_t flat = map_->FlatIndex(idx);
+    const double prior = map_->cell(flat);
+    local_density_sum += prior;
+    ++local_cells;
+    const double w = prior * instance_mass;
+    if (w <= 0.0) return;
+    weight_sum += w;
+    for (size_t d = 0; d < dims; ++d) {
+      value_sum[d] += w * map_->axis(d).CellCenter(idx[d]);
+    }
+  };
+
+  std::vector<size_t> idx(dims);
+  if (dims == 1) {
+    for (long i = lo_cell[0]; i <= hi_cell[0]; ++i) {
+      idx[0] = static_cast<size_t>(i);
+      visit_cell(idx);
+    }
+  } else {
+    for (long i = lo_cell[0]; i <= hi_cell[0]; ++i) {
+      idx[0] = static_cast<size_t>(i);
+      for (long j = lo_cell[1]; j <= hi_cell[1]; ++j) {
+        idx[1] = static_cast<size_t>(j);
+        visit_cell(idx);
+      }
+    }
+  }
+
+  PseudoLabel out;
+  out.value.resize(dims);
+  const double u = std::max(pred.ScalarUncertainty(), 1e-12);
+  const double global_mean = map_->GlobalMeanDensity();
+  const double local_mean =
+      local_cells > 0
+          ? local_density_sum / static_cast<double>(local_cells)
+          : 0.0;
+  // β_t = I_l / I_d with I_l = d̄_l / d̄_i and I_d = τ / u_t (Eq. 18-21).
+  const double i_l = global_mean > 0.0 ? local_mean / global_mean : 0.0;
+  out.credibility = i_l * u / tau_;
+
+  if (weight_sum > 0.0) {
+    for (size_t d = 0; d < dims; ++d) out.value[d] = value_sum[d] / weight_sum;
+  } else {
+    // No informative prior locally: keep the source prediction and give it
+    // no training weight, so an uninformative map cannot hurt (Section
+    // III-D's degradation-avoidance property).
+    out.value = pred.mean;
+    out.credibility = 0.0;
+    out.fallback = true;
+  }
+  return out;
+}
+
+std::vector<PseudoLabel> PseudoLabelGenerator::GenerateAll(
+    const std::vector<McPrediction>& preds) const {
+  std::vector<PseudoLabel> out;
+  out.reserve(preds.size());
+  for (const McPrediction& p : preds) out.push_back(Generate(p));
+  return out;
+}
+
+}  // namespace tasfar

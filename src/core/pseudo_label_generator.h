@@ -1,0 +1,49 @@
+#ifndef TASFAR_CORE_PSEUDO_LABEL_GENERATOR_H_
+#define TASFAR_CORE_PSEUDO_LABEL_GENERATOR_H_
+
+#include <vector>
+
+#include "core/density_map.h"
+#include "core/label_distribution_estimator.h"
+#include "uncertainty/mc_dropout.h"
+
+namespace tasfar {
+
+/// A pseudo-label with its credibility weight (Algorithm 3).
+struct PseudoLabel {
+  std::vector<double> value;  ///< ŷ_t per label dimension (Eq. 15).
+  double credibility = 0.0;   ///< β_t (Eq. 21), the training weight.
+  bool fallback = false;      ///< True if no local density existed and the
+                              ///< label fell back to the raw prediction.
+};
+
+/// The pseudo-label generator of Algorithm 3. For each uncertain
+/// prediction it forms the posterior over grid cells within the 3σ
+/// locality (Eq. 14: density-map prior × instance-label distribution),
+/// interpolates the cell centers by posterior mass to get the pseudo-label
+/// (Eq. 15), and scores its credibility β_t = I_l / I_d (Eq. 18-21) where
+/// I_l is the local-to-global mean density ratio and I_d = τ/u_t.
+class PseudoLabelGenerator {
+ public:
+  /// `map` must outlive the generator. `estimator` supplies σ = Q_s(u) and
+  /// the error-model family; `tau` is the confidence threshold.
+  PseudoLabelGenerator(const DensityMap* map,
+                       const LabelDistributionEstimator* estimator,
+                       double tau);
+
+  /// Pseudo-labels one uncertain prediction.
+  PseudoLabel Generate(const McPrediction& pred) const;
+
+  /// Pseudo-labels a batch.
+  std::vector<PseudoLabel> GenerateAll(
+      const std::vector<McPrediction>& preds) const;
+
+ private:
+  const DensityMap* map_;
+  const LabelDistributionEstimator* estimator_;
+  double tau_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_PSEUDO_LABEL_GENERATOR_H_

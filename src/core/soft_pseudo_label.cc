@@ -1,0 +1,77 @@
+#include "core/soft_pseudo_label.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasfar {
+
+SoftPseudoLabeler::SoftPseudoLabeler(std::vector<double> class_prior,
+                                     double tau)
+    : class_prior_(std::move(class_prior)), tau_(tau) {
+  TASFAR_CHECK_MSG(!class_prior_.empty(), "empty class prior");
+  TASFAR_CHECK_MSG(tau > 0.0, "tau must be positive");
+  double total = 0.0;
+  for (double p : class_prior_) {
+    TASFAR_CHECK(p >= 0.0);
+    total += p;
+  }
+  TASFAR_CHECK_MSG(total > 0.0, "class prior must have positive mass");
+  for (double& p : class_prior_) p /= total;
+  mean_prior_ = 1.0 / static_cast<double>(class_prior_.size());
+}
+
+std::vector<double> SoftPseudoLabeler::PriorFromConfident(
+    const std::vector<std::vector<double>>& confident_probs,
+    size_t num_classes) {
+  TASFAR_CHECK(num_classes > 0);
+  std::vector<double> prior(num_classes, 1.0);  // Add-one smoothing.
+  for (const auto& probs : confident_probs) {
+    TASFAR_CHECK(probs.size() == num_classes);
+    const size_t top = static_cast<size_t>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+    prior[top] += 1.0;
+  }
+  const double total =
+      static_cast<double>(confident_probs.size() + num_classes);
+  for (double& p : prior) p /= total;
+  return prior;
+}
+
+SoftPseudoLabeler::SoftLabel SoftPseudoLabeler::Generate(
+    const std::vector<double>& predicted_probs, double uncertainty) const {
+  TASFAR_CHECK(predicted_probs.size() == class_prior_.size());
+  SoftLabel label;
+  label.probabilities.resize(predicted_probs.size());
+  double z = 0.0;
+  double prior_mass = 0.0;  // Prior mass weighted by the prediction —
+                            // the analogue of the local mean density.
+  for (size_t c = 0; c < predicted_probs.size(); ++c) {
+    TASFAR_CHECK(predicted_probs[c] >= 0.0);
+    label.probabilities[c] = predicted_probs[c] * class_prior_[c];
+    z += label.probabilities[c];
+    prior_mass += predicted_probs[c] * class_prior_[c];
+  }
+  if (z <= 0.0) {
+    // Degenerate prediction: keep it unchanged with zero credibility (the
+    // regression generator's fallback behaviour).
+    label.probabilities = predicted_probs;
+    label.credibility = 0.0;
+    return label;
+  }
+  for (double& p : label.probabilities) p /= z;
+  const double i_l = prior_mass / mean_prior_;
+  label.credibility = i_l * std::max(uncertainty, 1e-12) / tau_;
+  return label;
+}
+
+double PredictiveEntropy(const std::vector<double>& probs) {
+  TASFAR_CHECK(!probs.empty());
+  double h = 0.0;
+  for (double p : probs) {
+    TASFAR_CHECK(p >= 0.0);
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace tasfar

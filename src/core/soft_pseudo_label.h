@@ -1,0 +1,60 @@
+#ifndef TASFAR_CORE_SOFT_PSEUDO_LABEL_H_
+#define TASFAR_CORE_SOFT_PSEUDO_LABEL_H_
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+/// The classification plug-in sketched in the paper's Section VI: TASFAR's
+/// label-distribution idea transferred to classifiers as *soft*
+/// pseudo-labels ("dark knowledge"). The class-frequency distribution of
+/// the confident target predictions plays the role of the density map; an
+/// uncertain sample's softmax output is combined with that prior and
+/// re-normalized, and the same credibility shape (Eq. 18-21 with the local
+/// density replaced by the prior mass the sample's top classes carry)
+/// weighs the resulting soft label.
+class SoftPseudoLabeler {
+ public:
+  /// A soft pseudo-label over `num_classes` classes.
+  struct SoftLabel {
+    std::vector<double> probabilities;  ///< Sums to 1.
+    double credibility = 0.0;           ///< β, same role as in regression.
+  };
+
+  /// `class_prior` is the (normalized) class-frequency distribution of the
+  /// confident target predictions; `tau` the confidence threshold used to
+  /// split the data (uncertainty here = predictive entropy or MC-dropout
+  /// disagreement, caller's choice).
+  SoftPseudoLabeler(std::vector<double> class_prior, double tau);
+
+  /// Builds the class prior by counting argmax classes of the confident
+  /// set's probability vectors (with add-one smoothing so no class has
+  /// zero prior).
+  static std::vector<double> PriorFromConfident(
+      const std::vector<std::vector<double>>& confident_probs,
+      size_t num_classes);
+
+  /// Combines the sample's predicted distribution with the prior
+  /// (elementwise product, renormalized — the Bayes-rule analogue of
+  /// Eq. 14) and computes the credibility from `uncertainty` and the
+  /// prior mass under the sample's distribution.
+  SoftLabel Generate(const std::vector<double>& predicted_probs,
+                     double uncertainty) const;
+
+  const std::vector<double>& class_prior() const { return class_prior_; }
+
+ private:
+  std::vector<double> class_prior_;
+  double tau_;
+  double mean_prior_;
+};
+
+/// Predictive entropy of a probability vector (nats) — a standard
+/// uncertainty score for classifiers, usable as `uncertainty` above.
+double PredictiveEntropy(const std::vector<double>& probs);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_SOFT_PSEUDO_LABEL_H_

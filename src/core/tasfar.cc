@@ -1,0 +1,137 @@
+#include "core/tasfar.h"
+
+#include <algorithm>
+
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace tasfar {
+
+Tasfar::Tasfar(const TasfarOptions& options) : options_(options) {
+  TASFAR_CHECK(options.mc_samples >= 2);
+  TASFAR_CHECK(options.eta > 0.0 && options.eta < 1.0);
+  TASFAR_CHECK(options.num_segments >= 1);
+  TASFAR_CHECK(options.grid_cell_size > 0.0);
+}
+
+SourceCalibration Tasfar::Calibrate(Sequential* source_model,
+                                    const Tensor& source_inputs,
+                                    const Tensor& source_targets) const {
+  TASFAR_CHECK(source_model != nullptr);
+  TASFAR_CHECK(source_inputs.dim(0) == source_targets.dim(0));
+  McDropoutPredictor predictor(source_model, options_.mc_samples);
+  return CalibrateFromPredictions(predictor.Predict(source_inputs),
+                                  source_targets);
+}
+
+SourceCalibration Tasfar::CalibrateFromPredictions(
+    const std::vector<McPrediction>& preds,
+    const Tensor& source_targets) const {
+  TASFAR_CHECK(source_targets.rank() == 2);
+  TASFAR_CHECK(preds.size() == source_targets.dim(0));
+  const size_t dims = source_targets.dim(1);
+
+  SourceCalibration calib;
+  std::vector<double> uncertainties;
+  uncertainties.reserve(preds.size());
+  for (const McPrediction& p : preds) {
+    uncertainties.push_back(p.ScalarUncertainty());
+  }
+  calib.tau =
+      ConfidenceClassifier::ComputeThreshold(uncertainties, options_.eta);
+
+  calib.qs_per_dim.reserve(dims);
+  for (size_t d = 0; d < dims; ++d) {
+    std::vector<UncertaintyErrorPair> pairs;
+    pairs.reserve(preds.size());
+    for (size_t i = 0; i < preds.size(); ++i) {
+      pairs.push_back({preds[i].std[d],
+                       preds[i].mean[d] - source_targets.At(i, d)});
+    }
+    const size_t q = std::min(options_.num_segments, pairs.size());
+    calib.qs_per_dim.push_back(QsCalibrator::Fit(std::move(pairs), q));
+  }
+  return calib;
+}
+
+TasfarReport Tasfar::Adapt(Sequential* source_model,
+                           const SourceCalibration& calibration,
+                           const Tensor& target_inputs, Rng* rng) const {
+  TASFAR_CHECK(source_model != nullptr);
+  McDropoutPredictor predictor(source_model, options_.mc_samples);
+  return AdaptWithPredictions(source_model, calibration, target_inputs,
+                              predictor.Predict(target_inputs), rng);
+}
+
+TasfarReport Tasfar::AdaptWithPredictions(
+    Sequential* source_model, const SourceCalibration& calibration,
+    const Tensor& target_inputs, std::vector<McPrediction> predictions,
+    Rng* rng) const {
+  TASFAR_CHECK(source_model != nullptr && rng != nullptr);
+  TASFAR_CHECK_MSG(!calibration.qs_per_dim.empty(),
+                   "calibration must be computed first");
+  TASFAR_CHECK(predictions.size() == target_inputs.dim(0));
+  TasfarReport report;
+  report.tau = calibration.tau;
+
+  // 1. Confidence classification (Alg. 1).
+  report.predictions = std::move(predictions);
+  ConfidenceClassifier classifier(calibration.tau);
+  ConfidenceSplit split = classifier.Classify(report.predictions);
+  report.confident_indices = split.confident;
+  report.uncertain_indices = split.uncertain;
+  report.num_confident = split.confident.size();
+  report.num_uncertain = split.uncertain.size();
+
+  if (split.confident.empty() || split.uncertain.empty()) {
+    TASFAR_LOG(kWarning)
+        << "TASFAR skipped: confident=" << split.confident.size()
+        << " uncertain=" << split.uncertain.size();
+    report.target_model = source_model->CloneSequential();
+    report.skipped = true;
+    return report;
+  }
+
+  std::vector<McPrediction> confident_preds, uncertain_preds;
+  confident_preds.reserve(split.confident.size());
+  for (size_t i : split.confident) {
+    confident_preds.push_back(report.predictions[i]);
+  }
+  uncertain_preds.reserve(split.uncertain.size());
+  for (size_t i : split.uncertain) {
+    uncertain_preds.push_back(report.predictions[i]);
+  }
+
+  // 2. Label distribution estimation (Alg. 2).
+  LabelDistributionEstimator estimator(calibration.qs_per_dim,
+                                       options_.error_model);
+  std::vector<GridSpec> axes = estimator.AutoAxes(
+      confident_preds, options_.grid_cell_size, options_.grid_margin_sigmas);
+  report.density_map.emplace(estimator.Estimate(confident_preds, axes));
+
+  // 3. Pseudo-label generation (Alg. 3).
+  PseudoLabelGenerator generator(&report.density_map.value(), &estimator,
+                                 calibration.tau);
+  report.pseudo_labels = generator.GenerateAll(uncertain_preds);
+
+  // 4. Weighted fine-tuning (Eq. 22) with confident replay.
+  Tensor uncertain_inputs = GatherFirstDim(target_inputs, split.uncertain);
+  Tensor confident_inputs = GatherFirstDim(target_inputs, split.confident);
+  // Replay targets are the deterministic source predictions (ŷ = ỹ).
+  Tensor confident_targets({split.confident.size(),
+                            calibration.qs_per_dim.size()});
+  for (size_t i = 0; i < confident_preds.size(); ++i) {
+    for (size_t d = 0; d < confident_preds[i].mean.size(); ++d) {
+      confident_targets.At(i, d) = confident_preds[i].mean[d];
+    }
+  }
+  AdaptationTrainer trainer(options_.adaptation);
+  AdaptationResult result =
+      trainer.Run(*source_model, uncertain_inputs, report.pseudo_labels,
+                  confident_inputs, confident_targets, rng);
+  report.target_model = std::move(result.model);
+  report.history = std::move(result.history);
+  return report;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,105 @@
+#ifndef TASFAR_CORE_TASFAR_H_
+#define TASFAR_CORE_TASFAR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/adaptation_trainer.h"
+#include "core/confidence_classifier.h"
+#include "core/density_map.h"
+#include "core/label_distribution_estimator.h"
+#include "core/pseudo_label_generator.h"
+#include "uncertainty/mc_dropout.h"
+#include "uncertainty/qs_calibration.h"
+
+namespace tasfar {
+
+/// End-to-end configuration of TASFAR. Defaults follow the paper's
+/// experimental section: 20 MC-dropout samples, η = 0.9, q = 40 segments,
+/// a Gaussian error model, and confident-data replay during fine-tuning.
+struct TasfarOptions {
+  size_t mc_samples = 20;     ///< Stochastic passes for MC dropout.
+  double eta = 0.9;           ///< Source confidence ratio for τ (Alg. 1).
+  size_t num_segments = 40;   ///< q of Eq. 7.
+  double grid_cell_size = 0.1;  ///< g, in label units.
+  double grid_margin_sigmas = 3.0;  ///< Axis margin beyond predictions.
+  ErrorModelKind error_model = ErrorModelKind::kGaussian;
+  AdaptationTrainConfig adaptation;
+};
+
+/// Everything computed on the source side before deployment: the
+/// confidence threshold τ and the per-dimension Q_s curves. In the
+/// source-free setting this travels with the model — no source data leaves
+/// the source.
+struct SourceCalibration {
+  double tau = 0.0;
+  std::vector<QsModel> qs_per_dim;
+};
+
+/// Diagnostics and artifacts of one adaptation run.
+struct TasfarReport {
+  std::unique_ptr<Sequential> target_model;
+  double tau = 0.0;
+  size_t num_confident = 0;
+  size_t num_uncertain = 0;
+  /// Density map estimated from the confident data (empty optional when
+  /// adaptation was skipped for lack of data).
+  std::optional<DensityMap> density_map;
+  /// Pseudo-labels of the uncertain samples, parallel to
+  /// `uncertain_indices`.
+  std::vector<PseudoLabel> pseudo_labels;
+  std::vector<size_t> uncertain_indices;
+  std::vector<size_t> confident_indices;
+  /// MC predictions of every target sample (adaptation diagnostics).
+  std::vector<McPrediction> predictions;
+  /// Fine-tuning learning curve.
+  std::vector<EpochStats> history;
+  /// True when TASFAR fell back to returning a copy of the source model
+  /// (no uncertain or no confident data).
+  bool skipped = false;
+};
+
+/// The TASFAR pipeline (Fig. 1): confidence classification → label
+/// distribution estimation → pseudo-label generation → weighted
+/// fine-tuning.
+class Tasfar {
+ public:
+  explicit Tasfar(const TasfarOptions& options);
+
+  /// Source-side calibration: runs MC dropout on held-out source data with
+  /// known labels, derives τ (η-quantile of uncertainties) and fits Q_s
+  /// per label dimension (Eq. 7-9). Call once before "shipping" the model.
+  SourceCalibration Calibrate(Sequential* source_model,
+                              const Tensor& source_inputs,
+                              const Tensor& source_targets) const;
+
+  /// Target-side adaptation on unlabeled `target_inputs`. Returns the
+  /// adapted model plus diagnostics. If either split is empty the source
+  /// model is returned unchanged (skipped = true).
+  TasfarReport Adapt(Sequential* source_model,
+                     const SourceCalibration& calibration,
+                     const Tensor& target_inputs, Rng* rng) const;
+
+  /// The uncertainty estimator is orthogonal to TASFAR (Section III-B of
+  /// the paper), so both stages also accept externally computed
+  /// predictions — e.g. from a DeepEnsemble — instead of running the
+  /// built-in MC-dropout pass.
+  SourceCalibration CalibrateFromPredictions(
+      const std::vector<McPrediction>& predictions,
+      const Tensor& source_targets) const;
+  TasfarReport AdaptWithPredictions(Sequential* source_model,
+                                    const SourceCalibration& calibration,
+                                    const Tensor& target_inputs,
+                                    std::vector<McPrediction> predictions,
+                                    Rng* rng) const;
+
+  const TasfarOptions& options() const { return options_; }
+
+ private:
+  TasfarOptions options_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_CORE_TASFAR_H_

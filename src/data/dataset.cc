@@ -1,0 +1,150 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/trainer.h"
+
+namespace tasfar {
+
+void Dataset::Validate() const {
+  TASFAR_CHECK(inputs.rank() >= 2);
+  TASFAR_CHECK(targets.rank() == 2);
+  TASFAR_CHECK(inputs.dim(0) == targets.dim(0));
+  if (!group_ids.empty()) {
+    TASFAR_CHECK(group_ids.size() == inputs.dim(0));
+  }
+}
+
+Dataset Subset(const Dataset& ds, const std::vector<size_t>& indices) {
+  ds.Validate();
+  Dataset out;
+  out.inputs = GatherFirstDim(ds.inputs, indices);
+  out.targets = GatherFirstDim(ds.targets, indices);
+  if (!ds.group_ids.empty()) {
+    out.group_ids.reserve(indices.size());
+    for (size_t i : indices) {
+      TASFAR_CHECK(i < ds.group_ids.size());
+      out.group_ids.push_back(ds.group_ids[i]);
+    }
+  }
+  return out;
+}
+
+Dataset Concat(const std::vector<Dataset>& parts) {
+  TASFAR_CHECK(!parts.empty());
+  size_t total = 0;
+  for (const Dataset& p : parts) {
+    p.Validate();
+    total += p.size();
+  }
+  const Dataset& head = parts[0];
+  std::vector<size_t> in_shape = head.inputs.shape();
+  std::vector<size_t> tg_shape = head.targets.shape();
+  in_shape[0] = total;
+  tg_shape[0] = total;
+  Dataset out;
+  out.inputs = Tensor(in_shape);
+  out.targets = Tensor(tg_shape);
+  const bool has_groups = !head.group_ids.empty();
+  size_t in_off = 0, tg_off = 0;
+  for (const Dataset& p : parts) {
+    TASFAR_CHECK_MSG(p.inputs.rank() == head.inputs.rank(),
+                     "Concat requires identical per-sample input shapes");
+    for (size_t d = 1; d < p.inputs.rank(); ++d) {
+      TASFAR_CHECK(p.inputs.dim(d) == head.inputs.dim(d));
+    }
+    TASFAR_CHECK(p.targets.dim(1) == head.targets.dim(1));
+    TASFAR_CHECK(p.group_ids.empty() == !has_groups);
+    std::copy(p.inputs.data(), p.inputs.data() + p.inputs.size(),
+              out.inputs.data() + in_off);
+    std::copy(p.targets.data(), p.targets.data() + p.targets.size(),
+              out.targets.data() + tg_off);
+    in_off += p.inputs.size();
+    tg_off += p.targets.size();
+    if (has_groups) {
+      out.group_ids.insert(out.group_ids.end(), p.group_ids.begin(),
+                           p.group_ids.end());
+    }
+  }
+  return out;
+}
+
+Dataset FilterByGroup(const Dataset& ds, int group) {
+  TASFAR_CHECK_MSG(!ds.group_ids.empty(), "dataset has no group tags");
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < ds.group_ids.size(); ++i) {
+    if (ds.group_ids[i] == group) idx.push_back(i);
+  }
+  return Subset(ds, idx);
+}
+
+std::vector<int> DistinctGroups(const Dataset& ds) {
+  std::vector<int> out;
+  for (int g : ds.group_ids) {
+    if (std::find(out.begin(), out.end(), g) == out.end()) out.push_back(g);
+  }
+  return out;
+}
+
+SplitResult SplitFraction(const Dataset& ds, double first_fraction,
+                          bool shuffle, Rng* rng) {
+  ds.Validate();
+  TASFAR_CHECK(first_fraction >= 0.0 && first_fraction <= 1.0);
+  const size_t n = ds.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  if (shuffle) {
+    TASFAR_CHECK(rng != nullptr);
+    order = rng->Permutation(n);
+  }
+  const size_t k = static_cast<size_t>(
+      std::llround(first_fraction * static_cast<double>(n)));
+  std::vector<size_t> first_idx(order.begin(), order.begin() + k);
+  std::vector<size_t> second_idx(order.begin() + k, order.end());
+  return {Subset(ds, first_idx), Subset(ds, second_idx)};
+}
+
+void Normalizer::Fit(const Tensor& inputs) {
+  TASFAR_CHECK(inputs.rank() >= 2 && inputs.dim(0) > 0);
+  per_feature_ = inputs.rank() == 2;
+  if (per_feature_) {
+    const Tensor m = inputs.ColMean();
+    const Tensor s = inputs.ColStd();
+    mean_.assign(m.data(), m.data() + m.size());
+    std_.assign(s.data(), s.data() + s.size());
+    for (double& v : std_) {
+      if (v == 0.0) v = 1.0;
+    }
+  } else {
+    double m = inputs.Mean();
+    double var = 0.0;
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      var += (inputs[i] - m) * (inputs[i] - m);
+    }
+    var /= static_cast<double>(inputs.size());
+    mean_.assign(1, m);
+    std_.assign(1, var > 0.0 ? std::sqrt(var) : 1.0);
+  }
+  fitted_ = true;
+}
+
+Tensor Normalizer::Apply(const Tensor& inputs) const {
+  TASFAR_CHECK_MSG(fitted_, "Normalizer::Apply before Fit");
+  if (per_feature_) {
+    TASFAR_CHECK(inputs.rank() == 2 && inputs.dim(1) == mean_.size());
+    Tensor out = inputs;
+    for (size_t i = 0; i < inputs.dim(0); ++i) {
+      for (size_t j = 0; j < inputs.dim(1); ++j) {
+        out.At(i, j) = (inputs.At(i, j) - mean_[j]) / std_[j];
+      }
+    }
+    return out;
+  }
+  Tensor out = inputs;
+  const double m = mean_[0], s = std_[0];
+  out.MapInPlace([m, s](double x) { return (x - m) / s; });
+  return out;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,156 @@
+#include "eval/crowd_harness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "util/logging.h"
+
+namespace tasfar {
+
+size_t CrowdModelCutLayer() {
+  // BuildCrowdModel: MultiColumn, Dropout, Dense, Relu, Dropout, Dense —
+  // features are the activation after layer 3 (the fused ReLU).
+  return 4;
+}
+
+CrowdHarness::CrowdHarness(const CrowdHarnessConfig& config)
+    : config_(config) {}
+
+void CrowdHarness::Prepare() {
+  TASFAR_CHECK_MSG(!prepared_, "Prepare called twice");
+  simulator_ = std::make_unique<CrowdSimulator>(config_.sim, config_.seed);
+  Rng rng(config_.seed ^ 0x5c0ffeeULL);
+
+  Dataset part_a = simulator_->GeneratePartA();
+  if (config_.log_counts) {
+    part_a.targets.MapInPlace([](double y) { return std::log1p(y); });
+  }
+  SplitResult split = SplitFraction(part_a,
+                                    1.0 - config_.calibration_fraction,
+                                    /*shuffle=*/true, &rng);
+  source_train_ = std::move(split.first);
+  source_calib_ = std::move(split.second);
+
+  source_model_ = BuildCrowdModel(config_.sim.image_size, &rng);
+  Adam optimizer(config_.source_lr);
+  Trainer trainer(source_model_.get(), &optimizer,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = config_.source_epochs;
+  tc.batch_size = config_.source_batch;
+  trainer.Fit(source_train_.inputs, source_train_.targets, tc, &rng);
+  // Cool-down phase (see PdrHarness): squeeze out the optimization noise
+  // so the confidence threshold reflects genuine uncertainty.
+  optimizer.set_learning_rate(config_.source_lr / 5.0);
+  tc.epochs = config_.source_epochs / 2;
+  trainer.Fit(source_train_.inputs, source_train_.targets, tc, &rng);
+
+  Tasfar tasfar(config_.tasfar);
+  calibration_ = tasfar.Calibrate(source_model_.get(), source_calib_.inputs,
+                                  source_calib_.targets);
+  part_b_ = simulator_->GeneratePartB();
+  prepared_ = true;
+  TASFAR_LOG(kInfo) << "CrowdHarness ready: tau=" << calibration_.tau;
+}
+
+namespace {
+
+CrowdSceneData MakeSceneData(int scene_id, const Dataset& data,
+                             double adapt_fraction, Sequential* model,
+                             const TasfarOptions& opts, double tau,
+                             Rng* rng) {
+  CrowdSceneData scene;
+  scene.scene_id = scene_id;
+  SplitResult split = SplitFraction(data, adapt_fraction, /*shuffle=*/true,
+                                    rng);
+  scene.adapt = std::move(split.first);
+  scene.test = std::move(split.second);
+  McDropoutPredictor predictor(model, opts.mc_samples);
+  scene.adapt_preds = predictor.Predict(scene.adapt.inputs);
+  ConfidenceClassifier classifier(tau);
+  scene.uncertain_indices = classifier.Classify(scene.adapt_preds).uncertain;
+  return scene;
+}
+
+}  // namespace
+
+std::vector<CrowdSceneData> CrowdHarness::BuildScenes() const {
+  TASFAR_CHECK(prepared_);
+  Rng rng(config_.seed ^ 0xd1ce5ULL);
+  std::vector<CrowdSceneData> scenes;
+  for (int scene_id : DistinctGroups(part_b_)) {
+    Dataset data = FilterByGroup(part_b_, scene_id);
+    scenes.push_back(MakeSceneData(scene_id, data,
+                                   config_.sim.adaptation_fraction,
+                                   source_model_.get(), config_.tasfar,
+                                   calibration_.tau, &rng));
+  }
+  return scenes;
+}
+
+CrowdSceneData CrowdHarness::BuildPooledScene() const {
+  TASFAR_CHECK(prepared_);
+  Rng rng(config_.seed ^ 0xd1ce6ULL);
+  return MakeSceneData(-1, part_b_, config_.sim.adaptation_fraction,
+                       source_model_.get(), config_.tasfar,
+                       calibration_.tau, &rng);
+}
+
+Tensor CrowdHarness::ToCounts(const Tensor& model_output) const {
+  if (!config_.log_counts) return model_output;
+  return model_output.Map(
+      [](double y) { return std::max(0.0, std::expm1(y)); });
+}
+
+CrowdEval CrowdHarness::Evaluate(Sequential* model,
+                                 const CrowdSceneData& scene) const {
+  TASFAR_CHECK(prepared_ && model != nullptr);
+  CrowdEval eval;
+  Tensor adapt_pred = ToCounts(BatchedForward(model, scene.adapt.inputs));
+  eval.mae_adapt_whole = metrics::Mae(adapt_pred, scene.adapt.targets);
+  eval.mse_adapt_whole = metrics::Rmse(adapt_pred, scene.adapt.targets);
+  if (!scene.uncertain_indices.empty()) {
+    Tensor unc_pred = GatherFirstDim(adapt_pred, scene.uncertain_indices);
+    Tensor unc_truth =
+        GatherFirstDim(scene.adapt.targets, scene.uncertain_indices);
+    eval.mae_adapt_uncertain = metrics::Mae(unc_pred, unc_truth);
+    eval.mse_adapt_uncertain = metrics::Rmse(unc_pred, unc_truth);
+  }
+  Tensor test_pred = ToCounts(BatchedForward(model, scene.test.inputs));
+  eval.mae_test = metrics::Mae(test_pred, scene.test.targets);
+  eval.mse_test = metrics::Rmse(test_pred, scene.test.targets);
+  return eval;
+}
+
+std::unique_ptr<Sequential> CrowdHarness::AdaptTasfar(
+    const CrowdSceneData& scene, TasfarReport* report_out) const {
+  TASFAR_CHECK(prepared_);
+  Tasfar tasfar(config_.tasfar);
+  Rng rng(config_.seed ^ (0xabc0ULL + static_cast<uint64_t>(
+                                          scene.scene_id + 2)));
+  TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
+                                     scene.adapt.inputs, &rng);
+  std::unique_ptr<Sequential> model = std::move(report.target_model);
+  if (report_out != nullptr) *report_out = std::move(report);
+  return model;
+}
+
+std::unique_ptr<Sequential> CrowdHarness::AdaptScheme(
+    UdaScheme* scheme, const CrowdSceneData& scene) const {
+  TASFAR_CHECK(prepared_ && scheme != nullptr);
+  Rng rng(config_.seed ^ (0xdef0ULL + static_cast<uint64_t>(
+                                          scene.scene_id + 2)));
+  UdaContext context;
+  context.source_inputs = &source_train_.inputs;
+  context.source_targets = &source_train_.targets;
+  context.target_inputs = &scene.adapt.inputs;
+  return scheme->Adapt(*source_model_, context, &rng);
+}
+
+}  // namespace tasfar

@@ -1,0 +1,102 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar::metrics {
+
+namespace {
+void CheckShapes(const Tensor& pred, const Tensor& target) {
+  TASFAR_CHECK(pred.rank() == 2);
+  TASFAR_CHECK(pred.SameShape(target));
+  TASFAR_CHECK(pred.dim(0) > 0);
+}
+}  // namespace
+
+double Mse(const Tensor& pred, const Tensor& target) {
+  CheckShapes(pred, target);
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(pred.dim(0));
+}
+
+double Mae(const Tensor& pred, const Tensor& target) {
+  CheckShapes(pred, target);
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    s += std::fabs(pred[i] - target[i]);
+  }
+  return s / static_cast<double>(pred.size());
+}
+
+double Rmse(const Tensor& pred, const Tensor& target) {
+  CheckShapes(pred, target);
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double d = pred[i] - target[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+double Rmsle(const Tensor& pred, const Tensor& target) {
+  CheckShapes(pred, target);
+  double s = 0.0;
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const double p = std::max(0.0, pred[i]);
+    TASFAR_CHECK_MSG(target[i] > -1.0, "RMSLE targets must exceed -1");
+    const double d = std::log1p(p) - std::log1p(target[i]);
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(pred.size()));
+}
+
+std::vector<double> PerSampleL2Error(const Tensor& pred,
+                                     const Tensor& target) {
+  CheckShapes(pred, target);
+  const size_t n = pred.dim(0), d = pred.dim(1);
+  std::vector<double> out(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) {
+      const double diff = pred.At(i, j) - target.At(i, j);
+      s += diff * diff;
+    }
+    out[i] = std::sqrt(s);
+  }
+  return out;
+}
+
+double Ste(const Tensor& pred, const Tensor& target) {
+  const std::vector<double> errors = PerSampleL2Error(pred, target);
+  double s = 0.0;
+  for (double e : errors) s += e;
+  return s / static_cast<double>(errors.size());
+}
+
+double Rte(const Tensor& pred, const Tensor& target) {
+  CheckShapes(pred, target);
+  const size_t n = pred.dim(0), d = pred.dim(1);
+  double s = 0.0;
+  for (size_t j = 0; j < d; ++j) {
+    double sum_pred = 0.0, sum_true = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum_pred += pred.At(i, j);
+      sum_true += target.At(i, j);
+    }
+    s += (sum_pred - sum_true) * (sum_pred - sum_true);
+  }
+  return std::sqrt(s);
+}
+
+double ReductionPercent(double before, double after) {
+  if (before == 0.0) return 0.0;
+  return 100.0 * (before - after) / before;
+}
+
+}  // namespace tasfar::metrics

@@ -1,0 +1,48 @@
+#ifndef TASFAR_EVAL_METRICS_H_
+#define TASFAR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tasfar {
+
+/// Evaluation metrics of the paper's four tasks. All functions take
+/// {n, d} prediction/target tensors with matching shapes and n > 0.
+namespace metrics {
+
+/// Mean squared error (mean over samples of the squared L2 residual).
+double Mse(const Tensor& pred, const Tensor& target);
+
+/// Mean absolute error (mean over samples and dimensions of |residual|).
+double Mae(const Tensor& pred, const Tensor& target);
+
+/// Root mean squared error. Note: the crowd-counting literature (and the
+/// paper's Table I) reports this quantity under the name "MSE".
+double Rmse(const Tensor& pred, const Tensor& target);
+
+/// Root mean squared logarithmic error (the taxi-duration metric).
+/// Predictions and targets must be > -1; negative predictions are clamped
+/// to 0 before the log, as Kaggle's RMSLE does.
+double Rmsle(const Tensor& pred, const Tensor& target);
+
+/// Per-sample Euclidean residual norms.
+std::vector<double> PerSampleL2Error(const Tensor& pred,
+                                     const Tensor& target);
+
+/// Step error of a PDR trajectory (Eq. 23): mean per-step Euclidean
+/// displacement error.
+double Ste(const Tensor& pred, const Tensor& target);
+
+/// Relative trajectory error (Eq. 24): Euclidean distance between the
+/// summed (integrated) predicted and true displacements.
+double Rte(const Tensor& pred, const Tensor& target);
+
+/// Relative error reduction in percent: 100 * (before - after) / before.
+/// Returns 0 when before == 0.
+double ReductionPercent(double before, double after);
+
+}  // namespace metrics
+}  // namespace tasfar
+
+#endif  // TASFAR_EVAL_METRICS_H_

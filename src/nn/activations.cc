@@ -1,0 +1,84 @@
+#include "nn/activations.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tasfar {
+
+Tensor Relu::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  return input.Map([](double x) { return x > 0.0 ? x : 0.0; });
+}
+
+Tensor Relu::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0) grad[i] = 0.0;
+  }
+  return grad;
+}
+
+LeakyRelu::LeakyRelu(double negative_slope)
+    : negative_slope_(negative_slope) {
+  TASFAR_CHECK(negative_slope >= 0.0);
+}
+
+Tensor LeakyRelu::Forward(const Tensor& input, bool /*training*/) {
+  cached_input_ = input;
+  const double s = negative_slope_;
+  return input.Map([s](double x) { return x > 0.0 ? x : s * x; });
+}
+
+Tensor LeakyRelu::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK(grad_output.SameShape(cached_input_));
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    if (cached_input_[i] <= 0.0) grad[i] *= negative_slope_;
+  }
+  return grad;
+}
+
+std::string LeakyRelu::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "LeakyRelu(%.3g)", negative_slope_);
+  return buf;
+}
+
+Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
+  cached_output_ = input.Map([](double x) { return std::tanh(x); });
+  return cached_output_;
+}
+
+Tensor Tanh::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= 1.0 - cached_output_[i] * cached_output_[i];
+  }
+  return grad;
+}
+
+Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
+  cached_output_ = input.Map([](double x) {
+    // Numerically stable logistic.
+    if (x >= 0.0) {
+      const double z = std::exp(-x);
+      return 1.0 / (1.0 + z);
+    }
+    const double z = std::exp(x);
+    return z / (1.0 + z);
+  });
+  return cached_output_;
+}
+
+Tensor Sigmoid::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK(grad_output.SameShape(cached_output_));
+  Tensor grad = grad_output;
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad[i] *= cached_output_[i] * (1.0 - cached_output_[i]);
+  }
+  return grad;
+}
+
+}  // namespace tasfar

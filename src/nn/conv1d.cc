@@ -1,0 +1,112 @@
+#include "nn/conv1d.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace tasfar {
+
+Conv1d::Conv1d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               Rng* rng, size_t stride, size_t padding, size_t dilation)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      dilation_(dilation),
+      weight_({out_channels, in_channels, kernel_size}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel_size}),
+      grad_bias_({out_channels}) {
+  TASFAR_CHECK(in_channels > 0 && out_channels > 0 && kernel_size > 0);
+  TASFAR_CHECK(stride > 0 && dilation > 0);
+  TASFAR_CHECK(rng != nullptr);
+  const double fan_in =
+      static_cast<double>(in_channels) * static_cast<double>(kernel_size);
+  const double limit = std::sqrt(6.0 / fan_in);
+  weight_ = Tensor::RandomUniform({out_channels, in_channels, kernel_size},
+                                  rng, -limit, limit);
+}
+
+size_t Conv1d::OutputLength(size_t t) const {
+  const size_t effective = dilation_ * (kernel_size_ - 1) + 1;
+  TASFAR_CHECK_MSG(t + 2 * padding_ >= effective,
+                   "Conv1d input shorter than effective kernel");
+  return (t + 2 * padding_ - effective) / stride_ + 1;
+}
+
+Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 3 && input.dim(1) == in_channels_,
+                   "Conv1d expects a {batch, in_channels, time} input");
+  cached_input_ = input;
+  const size_t batch = input.dim(0);
+  const size_t t_in = input.dim(2);
+  const size_t t_out = OutputLength(t_in);
+  Tensor out({batch, out_channels_, t_out});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t to = 0; to < t_out; ++to) {
+        double acc = bias_[oc];
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          for (size_t k = 0; k < kernel_size_; ++k) {
+            const long ti = static_cast<long>(to * stride_ + k * dilation_) -
+                            static_cast<long>(padding_);
+            if (ti < 0 || ti >= static_cast<long>(t_in)) continue;
+            acc += weight_.At(oc, ic, k) *
+                   input.At(b, ic, static_cast<size_t>(ti));
+          }
+        }
+        out.At(b, oc, to) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  const size_t batch = cached_input_.dim(0);
+  const size_t t_in = cached_input_.dim(2);
+  const size_t t_out = OutputLength(t_in);
+  TASFAR_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == batch &&
+               grad_output.dim(1) == out_channels_ &&
+               grad_output.dim(2) == t_out);
+  Tensor grad_input(cached_input_.shape());
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t to = 0; to < t_out; ++to) {
+        const double go = grad_output.At(b, oc, to);
+        if (go == 0.0) continue;
+        grad_bias_[oc] += go;
+        for (size_t ic = 0; ic < in_channels_; ++ic) {
+          for (size_t k = 0; k < kernel_size_; ++k) {
+            const long ti = static_cast<long>(to * stride_ + k * dilation_) -
+                            static_cast<long>(padding_);
+            if (ti < 0 || ti >= static_cast<long>(t_in)) continue;
+            const size_t tiu = static_cast<size_t>(ti);
+            grad_weight_.At(oc, ic, k) += go * cached_input_.At(b, ic, tiu);
+            grad_input.At(b, ic, tiu) += go * weight_.At(oc, ic, k);
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv1d::Clone() const {
+  auto copy = std::make_unique<Conv1d>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+std::string Conv1d::Name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Conv1d(%zu->%zu,k=%zu,s=%zu,p=%zu,d=%zu)",
+                in_channels_, out_channels_, kernel_size_, stride_, padding_,
+                dilation_);
+  return buf;
+}
+
+}  // namespace tasfar

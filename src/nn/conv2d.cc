@@ -1,0 +1,238 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace tasfar {
+
+Conv2d::Conv2d(size_t in_channels, size_t out_channels, size_t kernel_size,
+               Rng* rng, size_t stride, size_t padding)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_size_(kernel_size),
+      stride_(stride),
+      padding_(padding),
+      weight_({out_channels, in_channels, kernel_size, kernel_size}),
+      bias_({out_channels}),
+      grad_weight_({out_channels, in_channels, kernel_size, kernel_size}),
+      grad_bias_({out_channels}) {
+  TASFAR_CHECK(in_channels > 0 && out_channels > 0 && kernel_size > 0);
+  TASFAR_CHECK(stride > 0);
+  TASFAR_CHECK(rng != nullptr);
+  const double fan_in = static_cast<double>(in_channels) *
+                        static_cast<double>(kernel_size * kernel_size);
+  const double limit = std::sqrt(6.0 / fan_in);
+  weight_ = Tensor::RandomUniform(
+      {out_channels, in_channels, kernel_size, kernel_size}, rng, -limit,
+      limit);
+}
+
+size_t Conv2d::OutputExtent(size_t n) const {
+  TASFAR_CHECK_MSG(n + 2 * padding_ >= kernel_size_,
+                   "Conv2d input smaller than kernel");
+  return (n + 2 * padding_ - kernel_size_) / stride_ + 1;
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 4 && input.dim(1) == in_channels_,
+                   "Conv2d expects a {batch, in_channels, h, w} input");
+  cached_input_ = input;
+  const size_t batch = input.dim(0);
+  const size_t h_in = input.dim(2), w_in = input.dim(3);
+  const size_t h_out = OutputExtent(h_in), w_out = OutputExtent(w_in);
+  Tensor out({batch, out_channels_, h_out, w_out});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t ho = 0; ho < h_out; ++ho) {
+        for (size_t wo = 0; wo < w_out; ++wo) {
+          double acc = bias_[oc];
+          for (size_t ic = 0; ic < in_channels_; ++ic) {
+            for (size_t kh = 0; kh < kernel_size_; ++kh) {
+              const long hi = static_cast<long>(ho * stride_ + kh) -
+                              static_cast<long>(padding_);
+              if (hi < 0 || hi >= static_cast<long>(h_in)) continue;
+              for (size_t kw = 0; kw < kernel_size_; ++kw) {
+                const long wi = static_cast<long>(wo * stride_ + kw) -
+                                static_cast<long>(padding_);
+                if (wi < 0 || wi >= static_cast<long>(w_in)) continue;
+                acc += weight_.At(oc, ic, kh, kw) *
+                       input.At(b, ic, static_cast<size_t>(hi),
+                                static_cast<size_t>(wi));
+              }
+            }
+          }
+          out.At(b, oc, ho, wo) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  const size_t batch = cached_input_.dim(0);
+  const size_t h_in = cached_input_.dim(2), w_in = cached_input_.dim(3);
+  const size_t h_out = OutputExtent(h_in), w_out = OutputExtent(w_in);
+  TASFAR_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
+               grad_output.dim(1) == out_channels_ &&
+               grad_output.dim(2) == h_out && grad_output.dim(3) == w_out);
+  Tensor grad_input(cached_input_.shape());
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t oc = 0; oc < out_channels_; ++oc) {
+      for (size_t ho = 0; ho < h_out; ++ho) {
+        for (size_t wo = 0; wo < w_out; ++wo) {
+          const double go = grad_output.At(b, oc, ho, wo);
+          if (go == 0.0) continue;
+          grad_bias_[oc] += go;
+          for (size_t ic = 0; ic < in_channels_; ++ic) {
+            for (size_t kh = 0; kh < kernel_size_; ++kh) {
+              const long hi = static_cast<long>(ho * stride_ + kh) -
+                              static_cast<long>(padding_);
+              if (hi < 0 || hi >= static_cast<long>(h_in)) continue;
+              for (size_t kw = 0; kw < kernel_size_; ++kw) {
+                const long wi = static_cast<long>(wo * stride_ + kw) -
+                                static_cast<long>(padding_);
+                if (wi < 0 || wi >= static_cast<long>(w_in)) continue;
+                const size_t hiu = static_cast<size_t>(hi);
+                const size_t wiu = static_cast<size_t>(wi);
+                grad_weight_.At(oc, ic, kh, kw) +=
+                    go * cached_input_.At(b, ic, hiu, wiu);
+                grad_input.At(b, ic, hiu, wiu) +=
+                    go * weight_.At(oc, ic, kh, kw);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> Conv2d::Clone() const {
+  auto copy = std::make_unique<Conv2d>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+std::string Conv2d::Name() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "Conv2d(%zu->%zu,k=%zu,s=%zu,p=%zu)",
+                in_channels_, out_channels_, kernel_size_, stride_, padding_);
+  return buf;
+}
+
+MaxPool2d::MaxPool2d(size_t window) : window_(window) {
+  TASFAR_CHECK(window > 0);
+}
+
+Tensor MaxPool2d::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 4, "MaxPool2d expects a rank-4 input");
+  cached_input_ = input;
+  const size_t batch = input.dim(0), ch = input.dim(1);
+  const size_t h_in = input.dim(2), w_in = input.dim(3);
+  TASFAR_CHECK_MSG(h_in >= window_ && w_in >= window_,
+                   "MaxPool2d window larger than input");
+  const size_t h_out = h_in / window_, w_out = w_in / window_;
+  Tensor out({batch, ch, h_out, w_out});
+  argmax_.assign(out.size(), 0);
+  size_t flat = 0;
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < ch; ++c) {
+      for (size_t ho = 0; ho < h_out; ++ho) {
+        for (size_t wo = 0; wo < w_out; ++wo, ++flat) {
+          double best = -std::numeric_limits<double>::infinity();
+          size_t best_idx = 0;
+          for (size_t kh = 0; kh < window_; ++kh) {
+            for (size_t kw = 0; kw < window_; ++kw) {
+              const size_t hi = ho * window_ + kh;
+              const size_t wi = wo * window_ + kw;
+              const size_t idx = ((b * ch + c) * h_in + hi) * w_in + wi;
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          out.At(b, c, ho, wo) = best;
+          argmax_[flat] = best_idx;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor MaxPool2d::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  TASFAR_CHECK(grad_output.size() == argmax_.size());
+  Tensor grad_input(cached_input_.shape());
+  for (size_t i = 0; i < argmax_.size(); ++i) {
+    grad_input[argmax_[i]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2d::Clone() const {
+  return std::make_unique<MaxPool2d>(window_);
+}
+
+std::string MaxPool2d::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "MaxPool2d(%zu)", window_);
+  return buf;
+}
+
+Tensor Flatten::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() >= 2, "Flatten expects rank >= 2");
+  cached_shape_ = input.shape();
+  size_t features = 1;
+  for (size_t i = 1; i < input.rank(); ++i) features *= input.dim(i);
+  return input.Reshape({input.dim(0), features});
+}
+
+Tensor Flatten::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(!cached_shape_.empty(), "Backward before Forward");
+  return grad_output.Reshape(cached_shape_);
+}
+
+Tensor GlobalAvgPool2d::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 4, "GlobalAvgPool2d expects rank-4 input");
+  cached_shape_ = input.shape();
+  const size_t batch = input.dim(0), ch = input.dim(1);
+  const size_t hw = input.dim(2) * input.dim(3);
+  Tensor out({batch, ch});
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < ch; ++c) {
+      double s = 0.0;
+      for (size_t h = 0; h < input.dim(2); ++h) {
+        for (size_t w = 0; w < input.dim(3); ++w) s += input.At(b, c, h, w);
+      }
+      out.At(b, c) = s / static_cast<double>(hw);
+    }
+  }
+  return out;
+}
+
+Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(!cached_shape_.empty(), "Backward before Forward");
+  Tensor grad_input(cached_shape_);
+  const size_t batch = cached_shape_[0], ch = cached_shape_[1];
+  const size_t h = cached_shape_[2], w = cached_shape_[3];
+  const double scale = 1.0 / static_cast<double>(h * w);
+  for (size_t b = 0; b < batch; ++b) {
+    for (size_t c = 0; c < ch; ++c) {
+      const double g = grad_output.At(b, c) * scale;
+      for (size_t hh = 0; hh < h; ++hh) {
+        for (size_t ww = 0; ww < w; ++ww) grad_input.At(b, c, hh, ww) = g;
+      }
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,57 @@
+#include "nn/dense.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace tasfar {
+
+Dense::Dense(size_t in_dim, size_t out_dim, Rng* rng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_({in_dim, out_dim}),
+      bias_({out_dim}),
+      grad_weight_({in_dim, out_dim}),
+      grad_bias_({out_dim}) {
+  TASFAR_CHECK(in_dim > 0 && out_dim > 0);
+  TASFAR_CHECK(rng != nullptr);
+  // He-uniform: U(-limit, limit) with limit = sqrt(6 / fan_in).
+  const double limit = std::sqrt(6.0 / static_cast<double>(in_dim));
+  weight_ = Tensor::RandomUniform({in_dim, out_dim}, rng, -limit, limit);
+}
+
+Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 2 && input.dim(1) == in_dim_,
+                   "Dense expects a {batch, in_dim} input");
+  cached_input_ = input;
+  return input.MatMul(weight_).AddRowBroadcast(bias_);
+}
+
+Tensor Dense::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_dim_);
+  TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
+  TASFAR_CHECK(grad_output.dim(0) == cached_input_.dim(0));
+  grad_weight_ += cached_input_.Transposed().MatMul(grad_output);
+  const size_t batch = grad_output.dim(0);
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < out_dim_; ++j) {
+      grad_bias_[j] += grad_output.At(i, j);
+    }
+  }
+  return grad_output.MatMul(weight_.Transposed());
+}
+
+std::unique_ptr<Layer> Dense::Clone() const {
+  auto copy = std::make_unique<Dense>(*this);
+  copy->cached_input_ = Tensor();
+  return copy;
+}
+
+std::string Dense::Name() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "Dense(%zu->%zu)", in_dim_, out_dim_);
+  return buf;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,41 @@
+#include "nn/dropout.h"
+
+#include <cstdio>
+
+namespace tasfar {
+
+Dropout::Dropout(double rate, uint64_t seed)
+    : rate_(rate), seed_(seed), rng_(seed) {
+  TASFAR_CHECK_MSG(rate >= 0.0 && rate < 1.0, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool training) {
+  last_training_ = training;
+  if (!training || rate_ == 0.0) return input;
+  const double keep = 1.0 - rate_;
+  mask_ = Tensor(input.shape());
+  for (size_t i = 0; i < mask_.size(); ++i) {
+    mask_[i] = rng_.Bernoulli(keep) ? 1.0 / keep : 0.0;
+  }
+  return input * mask_;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!last_training_ || rate_ == 0.0) return grad_output;
+  TASFAR_CHECK(grad_output.SameShape(mask_));
+  return grad_output * mask_;
+}
+
+std::unique_ptr<Layer> Dropout::Clone() const {
+  // The clone restarts its mask stream from the configured seed; dropout
+  // masks are not part of the model state.
+  return std::make_unique<Dropout>(rate_, seed_);
+}
+
+std::string Dropout::Name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "Dropout(%.2f)", rate_);
+  return buf;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,61 @@
+#ifndef TASFAR_NN_LAYER_H_
+#define TASFAR_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tasfar {
+
+/// Interface of a differentiable network layer.
+///
+/// The library uses layer-wise backpropagation instead of a tape autograd:
+/// every network in this repo is a static feed-forward chain, so each layer
+/// caches what its Backward pass needs during Forward, and Backward returns
+/// the gradient with respect to the layer input while accumulating the
+/// gradients of its own parameters.
+///
+/// Contract:
+///  - Backward must be called with the gradient of the loss with respect to
+///    the output of the *most recent* Forward call.
+///  - Parameter gradients accumulate across Backward calls until
+///    ZeroGrads() is invoked (this enables gradient accumulation).
+///  - Clone() deep-copies parameters and configuration; cached activations
+///    are not cloned.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output. `training` toggles train-time behaviour
+  /// (e.g. dropout masking); Monte-Carlo dropout inference passes
+  /// training=true deliberately.
+  virtual Tensor Forward(const Tensor& input, bool training) = 0;
+
+  /// Backpropagates `grad_output` (d loss / d output) through the layer,
+  /// returning d loss / d input and accumulating parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameter tensors (possibly empty). Pointers remain valid
+  /// for the lifetime of the layer.
+  virtual std::vector<Tensor*> Params() { return {}; }
+
+  /// Gradient tensors, parallel to Params().
+  virtual std::vector<Tensor*> Grads() { return {}; }
+
+  /// Resets all parameter gradients to zero.
+  void ZeroGrads() {
+    for (Tensor* g : Grads()) g->Fill(0.0);
+  }
+
+  /// Deep copy of parameters and configuration.
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+
+  /// Diagnostic layer name, e.g. "Dense(16->8)".
+  virtual std::string Name() const = 0;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_LAYER_H_

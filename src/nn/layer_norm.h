@@ -1,0 +1,75 @@
+#ifndef TASFAR_NN_LAYER_NORM_H_
+#define TASFAR_NN_LAYER_NORM_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace tasfar {
+
+/// Layer normalization over the feature dimension of a rank-2 input
+/// {batch, features}, with learned gain/bias. Unlike batch normalization
+/// it carries no running statistics, so it behaves identically in training
+/// and inference — the property that makes it safe to combine with the
+/// MC-dropout machinery (the uncertainty passes never mutate state).
+class LayerNorm : public Layer {
+ public:
+  explicit LayerNorm(size_t features, double epsilon = 1e-5);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return {&gain_, &bias_}; }
+  std::vector<Tensor*> Grads() override { return {&grad_gain_, &grad_bias_}; }
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override;
+
+ private:
+  size_t features_;
+  double epsilon_;
+  Tensor gain_;   ///< {features}, initialized to 1.
+  Tensor bias_;   ///< {features}, initialized to 0.
+  Tensor grad_gain_;
+  Tensor grad_bias_;
+  Tensor cached_normalized_;  ///< x̂ of the last forward.
+  std::vector<double> cached_inv_std_;  ///< 1/σ per row.
+};
+
+/// Exponential linear unit: x for x > 0, α(e^x − 1) otherwise.
+class Elu : public Layer {
+ public:
+  explicit Elu(double alpha = 1.0);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Elu>(alpha_);
+  }
+  std::string Name() const override;
+
+ private:
+  double alpha_;
+  Tensor cached_output_;
+  Tensor cached_input_;
+};
+
+/// Average pooling with a square window and stride equal to the window.
+class AvgPool2d : public Layer {
+ public:
+  explicit AvgPool2d(size_t window = 2);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<AvgPool2d>(window_);
+  }
+  std::string Name() const override;
+
+ private:
+  size_t window_;
+  std::vector<size_t> cached_shape_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_LAYER_NORM_H_

@@ -1,0 +1,118 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar::loss {
+
+namespace {
+
+void CheckShapes(const Tensor& pred, const Tensor& target,
+                 const std::vector<double>* weights) {
+  TASFAR_CHECK_MSG(pred.rank() == 2, "losses expect {batch, out_dim} tensors");
+  TASFAR_CHECK(pred.SameShape(target));
+  TASFAR_CHECK(pred.dim(0) > 0);
+  if (weights != nullptr) {
+    TASFAR_CHECK_MSG(weights->size() == pred.dim(0),
+                     "one weight per batch row required");
+  }
+}
+
+double WeightOf(const std::vector<double>* weights, size_t row) {
+  return weights == nullptr ? 1.0 : (*weights)[row];
+}
+
+}  // namespace
+
+double Mse(const Tensor& pred, const Tensor& target, Tensor* grad,
+           const std::vector<double>* weights) {
+  CheckShapes(pred, target, weights);
+  const size_t batch = pred.dim(0), dims = pred.dim(1);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  if (grad != nullptr) *grad = Tensor(pred.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    const double w = WeightOf(weights, i);
+    for (size_t j = 0; j < dims; ++j) {
+      const double d = pred.At(i, j) - target.At(i, j);
+      total += w * d * d;
+      if (grad != nullptr) grad->At(i, j) = 2.0 * w * d * inv_batch;
+    }
+  }
+  return total * inv_batch;
+}
+
+double Mae(const Tensor& pred, const Tensor& target, Tensor* grad,
+           const std::vector<double>* weights) {
+  CheckShapes(pred, target, weights);
+  const size_t batch = pred.dim(0), dims = pred.dim(1);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  if (grad != nullptr) *grad = Tensor(pred.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    const double w = WeightOf(weights, i);
+    for (size_t j = 0; j < dims; ++j) {
+      const double d = pred.At(i, j) - target.At(i, j);
+      total += w * std::fabs(d);
+      if (grad != nullptr) {
+        grad->At(i, j) = w * (d > 0.0 ? 1.0 : (d < 0.0 ? -1.0 : 0.0)) *
+                         inv_batch;
+      }
+    }
+  }
+  return total * inv_batch;
+}
+
+double Huber(const Tensor& pred, const Tensor& target, double delta,
+             Tensor* grad, const std::vector<double>* weights) {
+  TASFAR_CHECK(delta > 0.0);
+  CheckShapes(pred, target, weights);
+  const size_t batch = pred.dim(0), dims = pred.dim(1);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  if (grad != nullptr) *grad = Tensor(pred.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    const double w = WeightOf(weights, i);
+    for (size_t j = 0; j < dims; ++j) {
+      const double d = pred.At(i, j) - target.At(i, j);
+      const double ad = std::fabs(d);
+      if (ad <= delta) {
+        total += w * 0.5 * d * d;
+        if (grad != nullptr) grad->At(i, j) = w * d * inv_batch;
+      } else {
+        total += w * delta * (ad - 0.5 * delta);
+        if (grad != nullptr) {
+          grad->At(i, j) = w * delta * (d > 0.0 ? 1.0 : -1.0) * inv_batch;
+        }
+      }
+    }
+  }
+  return total * inv_batch;
+}
+
+double BinaryCrossEntropy(const Tensor& prob, const Tensor& target,
+                          Tensor* grad) {
+  TASFAR_CHECK(prob.rank() == 2 && prob.SameShape(target));
+  const size_t batch = prob.dim(0), dims = prob.dim(1);
+  TASFAR_CHECK(batch > 0);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  const double eps = 1e-12;
+  if (grad != nullptr) *grad = Tensor(prob.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    for (size_t j = 0; j < dims; ++j) {
+      const double p = std::clamp(prob.At(i, j), eps, 1.0 - eps);
+      const double y = target.At(i, j);
+      TASFAR_CHECK_MSG(y == 0.0 || y == 1.0, "BCE targets must be 0/1");
+      total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+      if (grad != nullptr) {
+        grad->At(i, j) = (p - y) / (p * (1.0 - p)) * inv_batch;
+      }
+    }
+  }
+  return total * inv_batch;
+}
+
+}  // namespace tasfar::loss

@@ -1,0 +1,104 @@
+#include "nn/multi_column.h"
+
+namespace tasfar {
+
+MultiColumn& MultiColumn::AddBranch(std::unique_ptr<Sequential> branch) {
+  TASFAR_CHECK(branch != nullptr);
+  branches_.push_back(std::move(branch));
+  return *this;
+}
+
+Tensor MultiColumn::Forward(const Tensor& input, bool training) {
+  TASFAR_CHECK_MSG(!branches_.empty(), "MultiColumn has no branches");
+  std::vector<Tensor> outputs;
+  outputs.reserve(branches_.size());
+  branch_widths_.clear();
+  size_t total_width = 0;
+  size_t batch = 0;
+  for (auto& branch : branches_) {
+    Tensor out = branch->Forward(input, training);
+    TASFAR_CHECK_MSG(out.rank() == 2,
+                     "MultiColumn branches must emit {batch, features}");
+    if (outputs.empty()) {
+      batch = out.dim(0);
+    } else {
+      TASFAR_CHECK(out.dim(0) == batch);
+    }
+    branch_widths_.push_back(out.dim(1));
+    total_width += out.dim(1);
+    outputs.push_back(std::move(out));
+  }
+  Tensor fused({batch, total_width});
+  for (size_t b = 0; b < batch; ++b) {
+    size_t offset = 0;
+    for (const Tensor& out : outputs) {
+      for (size_t j = 0; j < out.dim(1); ++j) {
+        fused.At(b, offset + j) = out.At(b, j);
+      }
+      offset += out.dim(1);
+    }
+  }
+  return fused;
+}
+
+Tensor MultiColumn::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(!branch_widths_.empty(), "Backward before Forward");
+  TASFAR_CHECK(grad_output.rank() == 2);
+  const size_t batch = grad_output.dim(0);
+  Tensor grad_input;
+  size_t offset = 0;
+  for (size_t k = 0; k < branches_.size(); ++k) {
+    const size_t width = branch_widths_[k];
+    Tensor grad_branch({batch, width});
+    for (size_t b = 0; b < batch; ++b) {
+      for (size_t j = 0; j < width; ++j) {
+        grad_branch.At(b, j) = grad_output.At(b, offset + j);
+      }
+    }
+    offset += width;
+    Tensor g = branches_[k]->Backward(grad_branch);
+    if (k == 0) {
+      grad_input = g;
+    } else {
+      grad_input += g;
+    }
+  }
+  TASFAR_CHECK(offset == grad_output.dim(1));
+  return grad_input;
+}
+
+std::vector<Tensor*> MultiColumn::Params() {
+  std::vector<Tensor*> out;
+  for (auto& branch : branches_) {
+    for (Tensor* p : branch->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> MultiColumn::Grads() {
+  std::vector<Tensor*> out;
+  for (auto& branch : branches_) {
+    for (Tensor* g : branch->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> MultiColumn::Clone() const {
+  auto copy = std::make_unique<MultiColumn>();
+  for (const auto& branch : branches_) {
+    copy->AddBranch(branch->CloneSequential());
+  }
+  return copy;
+}
+
+std::string MultiColumn::Name() const {
+  std::string out = "MultiColumn{";
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += branches_[i]->Name();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tasfar

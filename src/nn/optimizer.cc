@@ -1,0 +1,107 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+namespace {
+
+void CheckBinding(const std::vector<Tensor*>& params,
+                  const std::vector<Tensor*>& grads,
+                  const std::vector<Tensor>& state) {
+  TASFAR_CHECK(params.size() == grads.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    TASFAR_CHECK(params[i] != nullptr && grads[i] != nullptr);
+    TASFAR_CHECK(params[i]->SameShape(*grads[i]));
+    if (!state.empty()) {
+      TASFAR_CHECK_MSG(state[i].SameShape(*params[i]),
+                       "optimizer rebound to a different parameter list");
+    }
+  }
+}
+
+}  // namespace
+
+Sgd::Sgd(double learning_rate, double momentum, double weight_decay)
+    : Optimizer(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  TASFAR_CHECK(learning_rate > 0.0);
+  TASFAR_CHECK(momentum >= 0.0 && momentum < 1.0);
+  TASFAR_CHECK(weight_decay >= 0.0);
+}
+
+void Sgd::Step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  CheckBinding(params, grads, velocity_);
+  if (velocity_.empty() && momentum_ > 0.0) {
+    velocity_.reserve(params.size());
+    for (Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    for (size_t k = 0; k < p.size(); ++k) {
+      double gk = g[k] + weight_decay_ * p[k];
+      if (momentum_ > 0.0) {
+        velocity_[i][k] = momentum_ * velocity_[i][k] + gk;
+        gk = velocity_[i][k];
+      }
+      p[k] -= learning_rate_ * gk;
+    }
+  }
+}
+
+void Sgd::Reset() { velocity_.clear(); }
+
+Adam::Adam(double learning_rate, double beta1, double beta2, double epsilon,
+           double weight_decay)
+    : Optimizer(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  TASFAR_CHECK(learning_rate > 0.0);
+  TASFAR_CHECK(beta1 >= 0.0 && beta1 < 1.0);
+  TASFAR_CHECK(beta2 >= 0.0 && beta2 < 1.0);
+  TASFAR_CHECK(epsilon > 0.0);
+  TASFAR_CHECK(weight_decay >= 0.0);
+}
+
+void Adam::Step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  CheckBinding(params, grads, m_);
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  ++step_count_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(step_count_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    for (size_t k = 0; k < p.size(); ++k) {
+      const double gk = g[k] + weight_decay_ * p[k];
+      m_[i][k] = beta1_ * m_[i][k] + (1.0 - beta1_) * gk;
+      v_[i][k] = beta2_ * v_[i][k] + (1.0 - beta2_) * gk * gk;
+      const double m_hat = m_[i][k] / bc1;
+      const double v_hat = v_[i][k] / bc2;
+      p[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+void Adam::Reset() {
+  m_.clear();
+  v_.clear();
+  step_count_ = 0;
+}
+
+}  // namespace tasfar

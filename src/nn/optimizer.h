@@ -1,0 +1,70 @@
+#ifndef TASFAR_NN_OPTIMIZER_H_
+#define TASFAR_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tasfar {
+
+/// Interface of a first-order optimizer. The optimizer is bound to a fixed
+/// parameter list on the first Step() call; subsequent calls must pass the
+/// same tensors in the same order.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update: params[i] -= f(grads[i]).
+  virtual void Step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+
+  /// Clears momentum/statistics state (e.g. before re-using the optimizer
+  /// on a different model copy).
+  virtual void Reset() = 0;
+
+  double learning_rate() const { return learning_rate_; }
+  void set_learning_rate(double lr) { learning_rate_ = lr; }
+
+ protected:
+  explicit Optimizer(double learning_rate) : learning_rate_(learning_rate) {}
+  double learning_rate_;
+};
+
+/// Stochastic gradient descent with classical momentum and optional L2
+/// weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double momentum = 0.0,
+               double weight_decay = 0.0);
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  void Reset() override;
+
+ private:
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and optional L2 weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8, double weight_decay = 0.0);
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  void Reset() override;
+
+ private:
+  double beta1_, beta2_, epsilon_, weight_decay_;
+  size_t step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_OPTIMIZER_H_

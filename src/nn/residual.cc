@@ -1,0 +1,30 @@
+#include "nn/residual.h"
+
+namespace tasfar {
+
+Residual::Residual(std::unique_ptr<Sequential> body)
+    : body_(std::move(body)) {
+  TASFAR_CHECK(body_ != nullptr);
+}
+
+Tensor Residual::Forward(const Tensor& input, bool training) {
+  Tensor out = body_->Forward(input, training);
+  TASFAR_CHECK_MSG(out.SameShape(input),
+                   "Residual body must preserve the input shape");
+  return out + input;
+}
+
+Tensor Residual::Backward(const Tensor& grad_output) {
+  // d(x + f(x)) = grad + f'(x)^T grad.
+  return body_->Backward(grad_output) + grad_output;
+}
+
+std::unique_ptr<Layer> Residual::Clone() const {
+  return std::make_unique<Residual>(body_->CloneSequential());
+}
+
+std::string Residual::Name() const {
+  return "Residual{" + body_->Name() + "}";
+}
+
+}  // namespace tasfar

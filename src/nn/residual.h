@@ -1,0 +1,34 @@
+#ifndef TASFAR_NN_RESIDUAL_H_
+#define TASFAR_NN_RESIDUAL_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/sequential.h"
+
+namespace tasfar {
+
+/// Residual wrapper: y = x + body(x). The body must preserve the input
+/// shape. This is the building block of TCN residual blocks (the paper's
+/// RoNIN baseline is a residual temporal-convolutional network).
+class Residual : public Layer {
+ public:
+  /// Takes ownership of the body.
+  explicit Residual(std::unique_ptr<Sequential> body);
+
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Params() override { return body_->Params(); }
+  std::vector<Tensor*> Grads() override { return body_->Grads(); }
+  std::unique_ptr<Layer> Clone() const override;
+  std::string Name() const override;
+
+  Sequential& body() { return *body_; }
+
+ private:
+  std::unique_ptr<Sequential> body_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_RESIDUAL_H_

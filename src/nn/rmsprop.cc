@@ -1,0 +1,73 @@
+#include "nn/rmsprop.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+RmsProp::RmsProp(double learning_rate, double decay, double epsilon,
+                 double momentum)
+    : Optimizer(learning_rate),
+      decay_(decay),
+      epsilon_(epsilon),
+      momentum_(momentum) {
+  TASFAR_CHECK(learning_rate > 0.0);
+  TASFAR_CHECK(decay >= 0.0 && decay < 1.0);
+  TASFAR_CHECK(epsilon > 0.0);
+  TASFAR_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+void RmsProp::Step(const std::vector<Tensor*>& params,
+                   const std::vector<Tensor*>& grads) {
+  TASFAR_CHECK(params.size() == grads.size());
+  if (mean_sq_.empty()) {
+    mean_sq_.reserve(params.size());
+    velocity_.reserve(params.size());
+    for (Tensor* p : params) {
+      mean_sq_.emplace_back(p->shape());
+      velocity_.emplace_back(p->shape());
+    }
+  }
+  TASFAR_CHECK_MSG(mean_sq_.size() == params.size(),
+                   "optimizer rebound to a different parameter list");
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    TASFAR_CHECK(p.SameShape(g));
+    TASFAR_CHECK(mean_sq_[i].SameShape(p));
+    for (size_t k = 0; k < p.size(); ++k) {
+      mean_sq_[i][k] =
+          decay_ * mean_sq_[i][k] + (1.0 - decay_) * g[k] * g[k];
+      double step =
+          learning_rate_ * g[k] / (std::sqrt(mean_sq_[i][k]) + epsilon_);
+      if (momentum_ > 0.0) {
+        velocity_[i][k] = momentum_ * velocity_[i][k] + step;
+        step = velocity_[i][k];
+      }
+      p[k] -= step;
+    }
+  }
+}
+
+void RmsProp::Reset() {
+  mean_sq_.clear();
+  velocity_.clear();
+}
+
+StepDecaySchedule::StepDecaySchedule(Optimizer* optimizer, size_t period,
+                                     double factor)
+    : optimizer_(optimizer), period_(period), factor_(factor) {
+  TASFAR_CHECK(optimizer != nullptr);
+  TASFAR_CHECK(period >= 1);
+  TASFAR_CHECK(factor > 0.0 && factor <= 1.0);
+}
+
+void StepDecaySchedule::Tick() {
+  ++ticks_;
+  if (ticks_ % period_ == 0) {
+    optimizer_->set_learning_rate(optimizer_->learning_rate() * factor_);
+  }
+}
+
+}  // namespace tasfar

@@ -1,0 +1,49 @@
+#ifndef TASFAR_NN_RMSPROP_H_
+#define TASFAR_NN_RMSPROP_H_
+
+#include <vector>
+
+#include "nn/optimizer.h"
+
+namespace tasfar {
+
+/// RMSProp (Tieleman & Hinton): per-parameter step normalized by a decaying
+/// average of squared gradients, with optional momentum.
+class RmsProp : public Optimizer {
+ public:
+  explicit RmsProp(double learning_rate, double decay = 0.9,
+                   double epsilon = 1e-8, double momentum = 0.0);
+
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+  void Reset() override;
+
+ private:
+  double decay_, epsilon_, momentum_;
+  std::vector<Tensor> mean_sq_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Step-decay learning-rate schedule: multiplies an optimizer's learning
+/// rate by `factor` every `period` calls to Tick(). A small helper the
+/// training harnesses use for cool-down phases.
+class StepDecaySchedule {
+ public:
+  /// `optimizer` must outlive the schedule; factor in (0, 1], period >= 1.
+  StepDecaySchedule(Optimizer* optimizer, size_t period, double factor);
+
+  /// Call once per epoch.
+  void Tick();
+
+  size_t ticks() const { return ticks_; }
+
+ private:
+  Optimizer* optimizer_;
+  size_t period_;
+  double factor_;
+  size_t ticks_ = 0;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_RMSPROP_H_

@@ -1,0 +1,96 @@
+#include "nn/sequential.h"
+
+namespace tasfar {
+
+Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
+  TASFAR_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::Forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& layer : layers_) x = layer->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  return BackwardFrom(grad_output, layers_.size());
+}
+
+Tensor Sequential::ForwardTo(const Tensor& input, size_t cut, bool training) {
+  TASFAR_CHECK(cut <= layers_.size());
+  Tensor x = input;
+  for (size_t i = 0; i < cut; ++i) x = layers_[i]->Forward(x, training);
+  return x;
+}
+
+Tensor Sequential::ForwardFrom(const Tensor& features, size_t cut,
+                               bool training) {
+  TASFAR_CHECK(cut <= layers_.size());
+  Tensor x = features;
+  for (size_t i = cut; i < layers_.size(); ++i) {
+    x = layers_[i]->Forward(x, training);
+  }
+  return x;
+}
+
+Tensor Sequential::BackwardFrom(const Tensor& grad, size_t cut) {
+  TASFAR_CHECK(cut <= layers_.size());
+  Tensor g = grad;
+  for (size_t i = cut; i > 0; --i) g = layers_[i - 1]->Backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::Params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::Grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::unique_ptr<Layer> Sequential::Clone() const { return CloneSequential(); }
+
+std::unique_ptr<Sequential> Sequential::CloneSequential() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& layer : layers_) copy->Add(layer->Clone());
+  return copy;
+}
+
+std::string Sequential::Name() const {
+  std::string out = "Sequential[";
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += layers_[i]->Name();
+  }
+  out += "]";
+  return out;
+}
+
+size_t Sequential::ParameterCount() {
+  size_t n = 0;
+  for (Tensor* p : Params()) n += p->size();
+  return n;
+}
+
+void Sequential::CopyParamsFrom(Sequential& other) {
+  auto dst = Params();
+  auto src = other.Params();
+  TASFAR_CHECK_MSG(dst.size() == src.size(),
+                   "CopyParamsFrom requires identical architectures");
+  for (size_t i = 0; i < dst.size(); ++i) {
+    TASFAR_CHECK(dst[i]->SameShape(*src[i]));
+    *dst[i] = *src[i];
+  }
+}
+
+}  // namespace tasfar

@@ -1,0 +1,86 @@
+#include "nn/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tasfar {
+
+namespace {
+constexpr const char kMagic[] = "TASFAR_PARAMS_V1";
+}  // namespace
+
+std::string SerializeParams(Sequential* model) {
+  TASFAR_CHECK(model != nullptr);
+  std::ostringstream out;
+  auto params = model->Params();
+  out << kMagic << "\n" << params.size() << "\n";
+  for (Tensor* p : params) {
+    out << p->rank();
+    for (size_t d : p->shape()) out << " " << d;
+    out << "\n";
+    char buf[40];
+    for (size_t i = 0; i < p->size(); ++i) {
+      // %a (hex float) round-trips doubles exactly.
+      std::snprintf(buf, sizeof(buf), "%a", (*p)[i]);
+      out << buf << (i + 1 == p->size() ? "" : " ");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status DeserializeParams(Sequential* model, const std::string& text) {
+  TASFAR_CHECK(model != nullptr);
+  std::istringstream in(text);
+  std::string magic;
+  in >> magic;
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic: expected " +
+                                   std::string(kMagic));
+  }
+  size_t count = 0;
+  in >> count;
+  auto params = model->Params();
+  if (count != params.size()) {
+    return Status::InvalidArgument("parameter count mismatch: file has " +
+                                   std::to_string(count) + ", model has " +
+                                   std::to_string(params.size()));
+  }
+  for (Tensor* p : params) {
+    size_t rank = 0;
+    in >> rank;
+    if (!in) return Status::InvalidArgument("truncated shape header");
+    std::vector<size_t> shape(rank);
+    for (size_t& d : shape) in >> d;
+    if (shape != p->shape()) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    for (size_t i = 0; i < p->size(); ++i) {
+      std::string tok;
+      in >> tok;
+      if (!in) return Status::InvalidArgument("truncated parameter data");
+      (*p)[i] = std::strtod(tok.c_str(), nullptr);
+    }
+  }
+  return Status::Ok();
+}
+
+Status SaveParams(Sequential* model, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  f << SerializeParams(model);
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadParams(Sequential* model, const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return DeserializeParams(model, buf.str());
+}
+
+}  // namespace tasfar

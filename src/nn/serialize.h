@@ -1,0 +1,29 @@
+#ifndef TASFAR_NN_SERIALIZE_H_
+#define TASFAR_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/sequential.h"
+#include "util/status.h"
+
+namespace tasfar {
+
+/// Saves all parameters of `model` to a versioned text file. Only the
+/// parameter values are stored — loading requires a model with the same
+/// architecture (this mirrors the source-free deployment setting: the
+/// target device holds the architecture and receives the weights).
+Status SaveParams(Sequential* model, const std::string& path);
+
+/// Loads parameters saved by SaveParams into `model`. Fails with
+/// InvalidArgument if the parameter count or any shape differs.
+Status LoadParams(Sequential* model, const std::string& path);
+
+/// In-memory round trip used by tests: serializes to a string.
+std::string SerializeParams(Sequential* model);
+
+/// Parses a string produced by SerializeParams into `model`.
+Status DeserializeParams(Sequential* model, const std::string& text);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_SERIALIZE_H_

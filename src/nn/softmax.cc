@@ -1,0 +1,75 @@
+#include "nn/softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tasfar {
+
+Tensor Softmax::Forward(const Tensor& input, bool /*training*/) {
+  TASFAR_CHECK_MSG(input.rank() == 2, "Softmax expects {batch, classes}");
+  const size_t batch = input.dim(0), classes = input.dim(1);
+  cached_output_ = Tensor(input.shape());
+  for (size_t i = 0; i < batch; ++i) {
+    double max_logit = input.At(i, 0);
+    for (size_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, input.At(i, c));
+    }
+    double z = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      const double e = std::exp(input.At(i, c) - max_logit);
+      cached_output_.At(i, c) = e;
+      z += e;
+    }
+    for (size_t c = 0; c < classes; ++c) cached_output_.At(i, c) /= z;
+  }
+  return cached_output_;
+}
+
+Tensor Softmax::Backward(const Tensor& grad_output) {
+  TASFAR_CHECK_MSG(cached_output_.size() > 0, "Backward before Forward");
+  TASFAR_CHECK(grad_output.SameShape(cached_output_));
+  const size_t batch = cached_output_.dim(0);
+  const size_t classes = cached_output_.dim(1);
+  Tensor grad_input(cached_output_.shape());
+  // d softmax: J = diag(p) - p p^T, so grad_in = p ⊙ (g - <g, p>).
+  for (size_t i = 0; i < batch; ++i) {
+    double dot = 0.0;
+    for (size_t c = 0; c < classes; ++c) {
+      dot += grad_output.At(i, c) * cached_output_.At(i, c);
+    }
+    for (size_t c = 0; c < classes; ++c) {
+      grad_input.At(i, c) =
+          cached_output_.At(i, c) * (grad_output.At(i, c) - dot);
+    }
+  }
+  return grad_input;
+}
+
+namespace loss {
+
+double CrossEntropy(const Tensor& prob, const Tensor& target, Tensor* grad,
+                    const std::vector<double>* weights) {
+  TASFAR_CHECK(prob.rank() == 2 && prob.SameShape(target));
+  const size_t batch = prob.dim(0), classes = prob.dim(1);
+  TASFAR_CHECK(batch > 0);
+  if (weights != nullptr) TASFAR_CHECK(weights->size() == batch);
+  const double inv_batch = 1.0 / static_cast<double>(batch);
+  const double eps = 1e-12;
+  if (grad != nullptr) *grad = Tensor(prob.shape());
+  double total = 0.0;
+  for (size_t i = 0; i < batch; ++i) {
+    const double w = weights == nullptr ? 1.0 : (*weights)[i];
+    for (size_t c = 0; c < classes; ++c) {
+      const double t = target.At(i, c);
+      TASFAR_CHECK(t >= 0.0);
+      if (t == 0.0) continue;
+      const double p = std::max(prob.At(i, c), eps);
+      total += -w * t * std::log(p);
+      if (grad != nullptr) grad->At(i, c) = -w * t / p * inv_batch;
+    }
+  }
+  return total * inv_batch;
+}
+
+}  // namespace loss
+}  // namespace tasfar

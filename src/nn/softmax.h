@@ -1,0 +1,42 @@
+#ifndef TASFAR_NN_SOFTMAX_H_
+#define TASFAR_NN_SOFTMAX_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/layer.h"
+
+namespace tasfar {
+
+/// Row-wise softmax over a {batch, classes} input (numerically stabilized
+/// by max subtraction). Together with loss::CrossEntropy this lets the
+/// library express the classifiers that the Section-VI SoftPseudoLabeler
+/// plug-in consumes.
+class Softmax : public Layer {
+ public:
+  Tensor Forward(const Tensor& input, bool training) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Layer> Clone() const override {
+    return std::make_unique<Softmax>();
+  }
+  std::string Name() const override { return "Softmax"; }
+
+ private:
+  Tensor cached_output_;
+};
+
+namespace loss {
+
+/// Cross-entropy between predicted probabilities (rows of a softmax
+/// output) and target distributions (one-hot or soft labels whose rows
+/// sum to 1). Returns the batch-mean loss; writes d loss / d prob when
+/// `grad` is non-null. Optional per-sample weights as in the regression
+/// losses.
+double CrossEntropy(const Tensor& prob, const Tensor& target,
+                    Tensor* grad = nullptr,
+                    const std::vector<double>* weights = nullptr);
+
+}  // namespace loss
+}  // namespace tasfar
+
+#endif  // TASFAR_NN_SOFTMAX_H_

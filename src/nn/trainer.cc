@@ -1,0 +1,131 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tasfar {
+
+Tensor GatherFirstDim(const Tensor& t, const std::vector<size_t>& indices) {
+  TASFAR_CHECK(t.rank() >= 1);
+  const size_t n = t.dim(0);
+  size_t row = 1;
+  for (size_t i = 1; i < t.rank(); ++i) row *= t.dim(i);
+  Tensor flat = t.Reshape({n, row});
+  Tensor gathered = flat.GatherRows(indices);
+  std::vector<size_t> shape = t.shape();
+  shape[0] = indices.size();
+  return gathered.Reshape(std::move(shape));
+}
+
+Tensor BatchedForward(Sequential* model, const Tensor& inputs, bool training,
+                      size_t batch_size) {
+  TASFAR_CHECK(model != nullptr);
+  TASFAR_CHECK(batch_size > 0);
+  const size_t n = inputs.dim(0);
+  std::vector<Tensor> rows;
+  rows.reserve(n);
+  for (size_t start = 0; start < n; start += batch_size) {
+    const size_t end = std::min(start + batch_size, n);
+    std::vector<size_t> idx(end - start);
+    for (size_t i = start; i < end; ++i) idx[i - start] = i;
+    Tensor out = model->Forward(GatherFirstDim(inputs, idx), training);
+    TASFAR_CHECK(out.rank() == 2);
+    for (size_t i = 0; i < out.dim(0); ++i) rows.push_back(out.Row(i));
+  }
+  return Tensor::StackRows(rows);
+}
+
+Trainer::Trainer(Sequential* model, Optimizer* optimizer, LossFn loss)
+    : model_(model), optimizer_(optimizer), loss_(std::move(loss)) {
+  TASFAR_CHECK(model != nullptr && optimizer != nullptr);
+  TASFAR_CHECK(loss_ != nullptr);
+}
+
+std::vector<EpochStats> Trainer::Fit(
+    const Tensor& inputs, const Tensor& targets, const TrainConfig& config,
+    Rng* rng, const std::vector<double>* sample_weights,
+    const std::function<void(const EpochStats&)>& on_epoch) {
+  TASFAR_CHECK(rng != nullptr);
+  TASFAR_CHECK(inputs.rank() >= 2 && targets.rank() == 2);
+  const size_t n = inputs.dim(0);
+  TASFAR_CHECK(targets.dim(0) == n);
+  TASFAR_CHECK(n > 0);
+  if (sample_weights != nullptr) {
+    TASFAR_CHECK_MSG(sample_weights->size() == n,
+                     "one weight per sample required");
+  }
+  const size_t batch_size = std::min(config.batch_size, n);
+  TASFAR_CHECK(batch_size > 0);
+
+  std::vector<EpochStats> history;
+  double prev_loss = std::numeric_limits<double>::infinity();
+  size_t stall = 0;
+  for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::vector<size_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = i;
+    if (config.shuffle) order = rng->Permutation(n);
+
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < n; start += batch_size) {
+      const size_t end = std::min(start + batch_size, n);
+      std::vector<size_t> idx(order.begin() + start, order.begin() + end);
+      Tensor x = GatherFirstDim(inputs, idx);
+      Tensor y = GatherFirstDim(targets, idx);
+      std::vector<double> w;
+      const std::vector<double>* w_ptr = nullptr;
+      if (sample_weights != nullptr) {
+        w.reserve(idx.size());
+        for (size_t i : idx) w.push_back((*sample_weights)[i]);
+        w_ptr = &w;
+      }
+      Tensor pred = model_->Forward(x, config.dropout_during_training);
+      Tensor grad;
+      const double batch_loss = loss_(pred, y, &grad, w_ptr);
+      model_->ZeroGrads();
+      model_->Backward(grad);
+      if (config.clip_grad_norm > 0.0) {
+        double norm_sq = 0.0;
+        for (Tensor* g : model_->Grads()) norm_sq += g->SquaredNorm();
+        const double norm = std::sqrt(norm_sq);
+        if (norm > config.clip_grad_norm) {
+          const double scale = config.clip_grad_norm / norm;
+          for (Tensor* g : model_->Grads()) *g *= scale;
+        }
+      }
+      optimizer_->Step(model_->Params(), model_->Grads());
+      epoch_loss += batch_loss;
+      ++batches;
+    }
+    epoch_loss /= static_cast<double>(batches);
+
+    EpochStats st{epoch, epoch_loss};
+    history.push_back(st);
+    if (on_epoch != nullptr) on_epoch(st);
+    if (config.verbose) {
+      TASFAR_LOG(kInfo) << "epoch " << epoch << " loss " << epoch_loss;
+    }
+
+    if (config.early_stop_rel_drop > 0.0 &&
+        std::isfinite(prev_loss) && prev_loss > 0.0) {
+      const double rel_drop = (prev_loss - epoch_loss) / prev_loss;
+      if (rel_drop < config.early_stop_rel_drop) {
+        if (++stall >= config.patience) break;
+      } else {
+        stall = 0;
+      }
+    }
+    prev_loss = epoch_loss;
+  }
+  return history;
+}
+
+double Trainer::Evaluate(const Tensor& inputs, const Tensor& targets) {
+  Tensor pred = BatchedForward(model_, inputs, /*training=*/false);
+  return loss_(pred, targets, nullptr, nullptr);
+}
+
+}  // namespace tasfar

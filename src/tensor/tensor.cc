@@ -1,0 +1,325 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.h"
+
+namespace tasfar {
+
+namespace {
+
+size_t ElementCount(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return shape.empty() ? 0 : n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(ElementCount(shape_), 0.0) {}
+
+Tensor::Tensor(std::vector<size_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  TASFAR_CHECK_MSG(data_.size() == ElementCount(shape_),
+                   "data size must match shape element count");
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<size_t> shape) {
+  return Full(std::move(shape), 1.0);
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, double value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<double>& values) {
+  return Tensor({values.size()}, values);
+}
+
+Tensor Tensor::FromRows(const std::vector<std::vector<double>>& rows) {
+  TASFAR_CHECK(!rows.empty());
+  const size_t cols = rows[0].size();
+  std::vector<double> data;
+  data.reserve(rows.size() * cols);
+  for (const auto& row : rows) {
+    TASFAR_CHECK_MSG(row.size() == cols, "ragged rows in FromRows");
+    data.insert(data.end(), row.begin(), row.end());
+  }
+  return Tensor({rows.size(), cols}, std::move(data));
+}
+
+Tensor Tensor::RandomNormal(std::vector<size_t> shape, Rng* rng, double mean,
+                            double stddev) {
+  TASFAR_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t.data_[i] = rng->Normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::RandomUniform(std::vector<size_t> shape, Rng* rng, double lo,
+                             double hi) {
+  TASFAR_CHECK(rng != nullptr);
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t.data_[i] = rng->Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
+  TASFAR_CHECK_MSG(ElementCount(new_shape) == data_.size(),
+                   "Reshape must preserve element count");
+  return Tensor(std::move(new_shape), data_);
+}
+
+std::string Tensor::ShapeString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%zu", shape_[i]);
+    out += buf;
+  }
+  out += "]";
+  return out;
+}
+
+#define TASFAR_DEFINE_ELEMENTWISE(op)                                  \
+  Tensor Tensor::operator op(const Tensor& other) const {              \
+    TASFAR_CHECK_MSG(SameShape(other), "shape mismatch in elementwise" \
+                                       " operator" #op);               \
+    Tensor out = *this;                                                \
+    for (size_t i = 0; i < data_.size(); ++i)                          \
+      out.data_[i] = data_[i] op other.data_[i];                       \
+    return out;                                                        \
+  }
+
+TASFAR_DEFINE_ELEMENTWISE(+)
+TASFAR_DEFINE_ELEMENTWISE(-)
+TASFAR_DEFINE_ELEMENTWISE(*)
+TASFAR_DEFINE_ELEMENTWISE(/)
+#undef TASFAR_DEFINE_ELEMENTWISE
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  TASFAR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  TASFAR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  TASFAR_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor Tensor::operator+(double s) const {
+  Tensor out = *this;
+  for (double& v : out.data_) v += s;
+  return out;
+}
+
+Tensor Tensor::operator-(double s) const { return *this + (-s); }
+
+Tensor Tensor::operator*(double s) const {
+  Tensor out = *this;
+  for (double& v : out.data_) v *= s;
+  return out;
+}
+
+Tensor Tensor::operator/(double s) const {
+  TASFAR_CHECK(s != 0.0);
+  return *this * (1.0 / s);
+}
+
+Tensor& Tensor::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(double s) {
+  for (double& v : data_) v += s;
+  return *this;
+}
+
+Tensor Tensor::operator-() const { return *this * -1.0; }
+
+Tensor Tensor::Map(const std::function<double(double)>& fn) const {
+  Tensor out = *this;
+  for (double& v : out.data_) v = fn(v);
+  return out;
+}
+
+void Tensor::MapInPlace(const std::function<double(double)>& fn) {
+  for (double& v : data_) v = fn(v);
+}
+
+void Tensor::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::MatMul(const Tensor& other) const {
+  TASFAR_CHECK_MSG(rank() == 2 && other.rank() == 2,
+                   "MatMul requires rank-2 operands");
+  TASFAR_CHECK_MSG(shape_[1] == other.shape_[0],
+                   "MatMul inner dimensions must agree");
+  const size_t m = shape_[0], k = shape_[1], n = other.shape_[1];
+  Tensor out({m, n});
+  // i-k-j loop order keeps the inner loop contiguous in both B and C.
+  for (size_t i = 0; i < m; ++i) {
+    const double* a_row = data_.data() + i * k;
+    double* c_row = out.data_.data() + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const double a = a_row[p];
+      if (a == 0.0) continue;
+      const double* b_row = other.data_.data() + p * n;
+      for (size_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  TASFAR_CHECK(rank() == 2);
+  const size_t r = shape_[0], c = shape_[1];
+  Tensor out({c, r});
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) out.data_[j * r + i] = data_[i * c + j];
+  }
+  return out;
+}
+
+Tensor Tensor::AddRowBroadcast(const Tensor& row) const {
+  TASFAR_CHECK(rank() == 2 && row.rank() == 1 && row.shape_[0] == shape_[1]);
+  Tensor out = *this;
+  const size_t r = shape_[0], c = shape_[1];
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) out.data_[i * c + j] += row.data_[j];
+  }
+  return out;
+}
+
+Tensor Tensor::Row(size_t r) const {
+  TASFAR_CHECK(rank() == 2 && r < shape_[0]);
+  const size_t c = shape_[1];
+  std::vector<double> data(data_.begin() + r * c, data_.begin() + (r + 1) * c);
+  return Tensor({c}, std::move(data));
+}
+
+void Tensor::SetRow(size_t r, const Tensor& row) {
+  TASFAR_CHECK(rank() == 2 && r < shape_[0]);
+  TASFAR_CHECK(row.rank() == 1 && row.shape_[0] == shape_[1]);
+  std::copy(row.data_.begin(), row.data_.end(),
+            data_.begin() + r * shape_[1]);
+}
+
+Tensor Tensor::StackRows(const std::vector<Tensor>& rows) {
+  TASFAR_CHECK(!rows.empty());
+  const size_t c = rows[0].size();
+  Tensor out({rows.size(), c});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    TASFAR_CHECK(rows[i].rank() == 1 && rows[i].size() == c);
+    std::copy(rows[i].data_.begin(), rows[i].data_.end(),
+              out.data_.begin() + i * c);
+  }
+  return out;
+}
+
+Tensor Tensor::GatherRows(const std::vector<size_t>& indices) const {
+  TASFAR_CHECK(rank() == 2);
+  const size_t c = shape_[1];
+  Tensor out({indices.size(), c});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    TASFAR_CHECK(indices[i] < shape_[0]);
+    std::copy(data_.begin() + indices[i] * c,
+              data_.begin() + (indices[i] + 1) * c, out.data_.begin() + i * c);
+  }
+  return out;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Tensor::Mean() const {
+  TASFAR_CHECK(!data_.empty());
+  return Sum() / static_cast<double>(data_.size());
+}
+
+double Tensor::Min() const {
+  TASFAR_CHECK(!data_.empty());
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double Tensor::Max() const {
+  TASFAR_CHECK(!data_.empty());
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return s;
+}
+
+Tensor Tensor::ColMean() const {
+  TASFAR_CHECK(rank() == 2 && shape_[0] > 0);
+  const size_t r = shape_[0], c = shape_[1];
+  Tensor out({c});
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) out.data_[j] += data_[i * c + j];
+  }
+  for (size_t j = 0; j < c; ++j) out.data_[j] /= static_cast<double>(r);
+  return out;
+}
+
+Tensor Tensor::ColStd() const {
+  TASFAR_CHECK(rank() == 2 && shape_[0] > 0);
+  const size_t r = shape_[0], c = shape_[1];
+  const Tensor mean = ColMean();
+  Tensor out({c});
+  for (size_t i = 0; i < r; ++i) {
+    for (size_t j = 0; j < c; ++j) {
+      const double d = data_[i * c + j] - mean.data_[j];
+      out.data_[j] += d * d;
+    }
+  }
+  for (size_t j = 0; j < c; ++j) {
+    out.data_[j] = std::sqrt(out.data_[j] / static_cast<double>(r));
+  }
+  return out;
+}
+
+bool Tensor::AllFinite() const {
+  for (double v : data_) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+double Tensor::MaxAbsDiff(const Tensor& other) const {
+  TASFAR_CHECK(SameShape(other));
+  double m = 0.0;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+Tensor operator*(double s, const Tensor& t) { return t * s; }
+
+}  // namespace tasfar

@@ -1,0 +1,215 @@
+#ifndef TASFAR_TENSOR_TENSOR_H_
+#define TASFAR_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+class Rng;
+
+/// Dense row-major tensor of doubles with arbitrary rank.
+///
+/// This is the numeric substrate of the library: the nn/ layers, the
+/// simulators, and the TASFAR core all operate on Tensor. Design goals are
+/// correctness and clarity over raw speed — the networks in this repo are
+/// small (hidden dims 16-64), so a straightforward row-major implementation
+/// with bounds-checked debug accessors is fast enough for every bench.
+///
+/// The rank-2 case (matrix of shape {rows, cols}) is the workhorse; batch
+/// image tensors use rank 4 ({batch, channels, height, width}) and batch
+/// sequence tensors rank 3 ({batch, channels, time}).
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape. Zero-size dimensions are
+  /// allowed (total element count may be 0).
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Tensor with the given shape and data; data.size() must equal the shape
+  /// element count.
+  Tensor(std::vector<size_t> shape, std::vector<double> data);
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(std::vector<size_t> shape);
+  static Tensor Ones(std::vector<size_t> shape);
+  static Tensor Full(std::vector<size_t> shape, double value);
+
+  /// Rank-1 tensor from values.
+  static Tensor FromVector(const std::vector<double>& values);
+
+  /// Rank-2 tensor from nested rows; all rows must have equal length.
+  static Tensor FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// i.i.d. N(mean, stddev) entries drawn from `rng`.
+  static Tensor RandomNormal(std::vector<size_t> shape, Rng* rng,
+                             double mean = 0.0, double stddev = 1.0);
+
+  /// i.i.d. U[lo, hi) entries drawn from `rng`.
+  static Tensor RandomUniform(std::vector<size_t> shape, Rng* rng, double lo,
+                              double hi);
+
+  // --- Shape ---------------------------------------------------------------
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+
+  /// Dimension `axis`; requires axis < rank().
+  size_t dim(size_t axis) const {
+    TASFAR_CHECK(axis < shape_.size());
+    return shape_[axis];
+  }
+
+  /// Returns a tensor with the same data and a new shape of equal element
+  /// count.
+  Tensor Reshape(std::vector<size_t> new_shape) const;
+
+  /// True when shapes match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  /// "[2, 3]"-style shape string for diagnostics.
+  std::string ShapeString() const;
+
+  // --- Element access ------------------------------------------------------
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Flat accessors (row-major order).
+  double& operator[](size_t i) {
+    TASFAR_CHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    TASFAR_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Rank-2 accessors.
+  double& At(size_t r, size_t c) {
+    TASFAR_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  double At(size_t r, size_t c) const {
+    TASFAR_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Rank-3 accessors ({batch, channels, time}).
+  double& At(size_t b, size_t c, size_t t) {
+    TASFAR_CHECK(rank() == 3 && b < shape_[0] && c < shape_[1] &&
+                 t < shape_[2]);
+    return data_[(b * shape_[1] + c) * shape_[2] + t];
+  }
+  double At(size_t b, size_t c, size_t t) const {
+    TASFAR_CHECK(rank() == 3 && b < shape_[0] && c < shape_[1] &&
+                 t < shape_[2]);
+    return data_[(b * shape_[1] + c) * shape_[2] + t];
+  }
+
+  /// Rank-4 accessors ({batch, channels, height, width}).
+  double& At(size_t b, size_t c, size_t h, size_t w) {
+    TASFAR_CHECK(rank() == 4 && b < shape_[0] && c < shape_[1] &&
+                 h < shape_[2] && w < shape_[3]);
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  double At(size_t b, size_t c, size_t h, size_t w) const {
+    TASFAR_CHECK(rank() == 4 && b < shape_[0] && c < shape_[1] &&
+                 h < shape_[2] && w < shape_[3]);
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  // --- Elementwise arithmetic ----------------------------------------------
+
+  Tensor operator+(const Tensor& other) const;
+  Tensor operator-(const Tensor& other) const;
+  Tensor operator*(const Tensor& other) const;  ///< Hadamard product.
+  Tensor operator/(const Tensor& other) const;
+
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(const Tensor& other);
+
+  Tensor operator+(double s) const;
+  Tensor operator-(double s) const;
+  Tensor operator*(double s) const;
+  Tensor operator/(double s) const;
+  Tensor& operator*=(double s);
+  Tensor& operator+=(double s);
+
+  Tensor operator-() const;
+
+  /// Applies fn to each element, returning a new tensor.
+  Tensor Map(const std::function<double(double)>& fn) const;
+
+  /// Applies fn to each element in place.
+  void MapInPlace(const std::function<double(double)>& fn);
+
+  /// Fills every element with `value`.
+  void Fill(double value);
+
+  // --- Linear algebra (rank-2) ---------------------------------------------
+
+  /// Matrix product; requires rank-2 operands with matching inner dim.
+  Tensor MatMul(const Tensor& other) const;
+
+  /// Transpose of a rank-2 tensor.
+  Tensor Transposed() const;
+
+  /// Adds a rank-1 bias (length = cols) to every row of a rank-2 tensor.
+  Tensor AddRowBroadcast(const Tensor& row) const;
+
+  /// Returns row `r` of a rank-2 tensor as a rank-1 tensor.
+  Tensor Row(size_t r) const;
+
+  /// Copies rank-1 `row` (length = cols) into row `r`.
+  void SetRow(size_t r, const Tensor& row);
+
+  /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
+  static Tensor StackRows(const std::vector<Tensor>& rows);
+
+  /// Gathers the given rows of a rank-2 tensor into a new rank-2 tensor.
+  Tensor GatherRows(const std::vector<size_t>& indices) const;
+
+  // --- Reductions ----------------------------------------------------------
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  /// Sum of squared elements.
+  double SquaredNorm() const;
+
+  /// Column means of a rank-2 tensor (rank-1 result of length cols).
+  Tensor ColMean() const;
+
+  /// Column population standard deviations of a rank-2 tensor.
+  Tensor ColStd() const;
+
+  /// True when all elements are finite.
+  bool AllFinite() const;
+
+  /// Maximum absolute elementwise difference; shapes must match.
+  double MaxAbsDiff(const Tensor& other) const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<double> data_;
+};
+
+/// Scalar * tensor.
+Tensor operator*(double s, const Tensor& t);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_TENSOR_TENSOR_H_

@@ -1,0 +1,90 @@
+#include "uncertainty/ensemble.h"
+
+#include <cmath>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace tasfar {
+
+DeepEnsemble::DeepEnsemble(
+    std::vector<std::unique_ptr<Sequential>> members)
+    : members_(std::move(members)) {
+  TASFAR_CHECK_MSG(members_.size() >= 2,
+                   "an ensemble needs at least two members");
+  for (const auto& m : members_) TASFAR_CHECK(m != nullptr);
+}
+
+DeepEnsemble DeepEnsemble::Train(
+    const std::function<std::unique_ptr<Sequential>(Rng*)>& builder,
+    const Tensor& inputs, const Tensor& targets, size_t num_members,
+    const TrainConfig& config, double learning_rate, Rng* rng) {
+  TASFAR_CHECK(rng != nullptr);
+  TASFAR_CHECK(num_members >= 2);
+  std::vector<std::unique_ptr<Sequential>> members;
+  members.reserve(num_members);
+  for (size_t k = 0; k < num_members; ++k) {
+    Rng member_rng = rng->Fork(k + 1);
+    std::unique_ptr<Sequential> model = builder(&member_rng);
+    TASFAR_CHECK(model != nullptr);
+    Adam optimizer(learning_rate);
+    Trainer trainer(model.get(), &optimizer,
+                    [](const Tensor& p, const Tensor& t, Tensor* g,
+                       const std::vector<double>* w) {
+                      return loss::Mse(p, t, g, w);
+                    });
+    Rng train_rng = rng->Fork(1000 + k);
+    trainer.Fit(inputs, targets, config, &train_rng);
+    members.push_back(std::move(model));
+  }
+  return DeepEnsemble(std::move(members));
+}
+
+std::vector<McPrediction> DeepEnsemble::Predict(const Tensor& inputs) const {
+  const size_t n = inputs.dim(0);
+  Tensor sum, sum_sq;
+  size_t out_dim = 0;
+  for (size_t k = 0; k < members_.size(); ++k) {
+    Tensor pass = BatchedForward(members_[k].get(), inputs,
+                                 /*training=*/false);
+    if (k == 0) {
+      out_dim = pass.dim(1);
+      sum = pass;
+      sum_sq = pass * pass;
+    } else {
+      TASFAR_CHECK_MSG(pass.dim(1) == out_dim,
+                       "ensemble members disagree on output width");
+      sum += pass;
+      sum_sq += pass * pass;
+    }
+  }
+  const double inv_k = 1.0 / static_cast<double>(members_.size());
+  std::vector<McPrediction> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].mean.resize(out_dim);
+    out[i].std.resize(out_dim);
+    for (size_t j = 0; j < out_dim; ++j) {
+      const double m = sum.At(i, j) * inv_k;
+      double var = sum_sq.At(i, j) * inv_k - m * m;
+      if (var < 0.0) var = 0.0;
+      out[i].mean[j] = m;
+      out[i].std[j] = std::sqrt(var);
+    }
+  }
+  return out;
+}
+
+Tensor DeepEnsemble::PredictMean(const Tensor& inputs) const {
+  Tensor sum;
+  for (size_t k = 0; k < members_.size(); ++k) {
+    Tensor pass = BatchedForward(members_[k].get(), inputs, false);
+    if (k == 0) {
+      sum = pass;
+    } else {
+      sum += pass;
+    }
+  }
+  return sum / static_cast<double>(members_.size());
+}
+
+}  // namespace tasfar

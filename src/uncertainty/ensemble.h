@@ -1,0 +1,51 @@
+#ifndef TASFAR_UNCERTAINTY_ENSEMBLE_H_
+#define TASFAR_UNCERTAINTY_ENSEMBLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/trainer.h"
+#include "uncertainty/mc_dropout.h"
+
+namespace tasfar {
+
+/// Deep-ensemble uncertainty estimation (Lakshminarayanan et al.): the
+/// prediction is the mean over independently initialized and trained
+/// member models, the uncertainty their disagreement (std). The paper
+/// notes TASFAR is orthogonal to the uncertainty estimator — this is the
+/// standard alternative to MC dropout, pluggable into the pipeline via
+/// Tasfar's *WithPredictions entry points.
+class DeepEnsemble {
+ public:
+  /// Takes ownership of at least two trained member models with identical
+  /// output dimensionality.
+  explicit DeepEnsemble(std::vector<std::unique_ptr<Sequential>> members);
+
+  /// Trains `num_members` fresh models produced by `builder` (called with
+  /// a per-member Rng) on (inputs, targets) and wraps them. The members
+  /// differ by initialization and data order.
+  static DeepEnsemble Train(
+      const std::function<std::unique_ptr<Sequential>(Rng*)>& builder,
+      const Tensor& inputs, const Tensor& targets, size_t num_members,
+      const TrainConfig& config, double learning_rate, Rng* rng);
+
+  /// Mean/std across members for every sample in `inputs`.
+  std::vector<McPrediction> Predict(const Tensor& inputs) const;
+
+  /// Deterministic ensemble-mean predictions, {n, out_dim}.
+  Tensor PredictMean(const Tensor& inputs) const;
+
+  size_t num_members() const { return members_.size(); }
+  Sequential& member(size_t i) {
+    TASFAR_CHECK(i < members_.size());
+    return *members_[i];
+  }
+
+ private:
+  std::vector<std::unique_ptr<Sequential>> members_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UNCERTAINTY_ENSEMBLE_H_

@@ -1,0 +1,71 @@
+#include "uncertainty/error_model.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+const char* ErrorModelKindToString(ErrorModelKind kind) {
+  switch (kind) {
+    case ErrorModelKind::kGaussian:
+      return "Gaussian";
+    case ErrorModelKind::kLaplace:
+      return "Laplace";
+    case ErrorModelKind::kUniform:
+      return "Uniform";
+  }
+  return "?";
+}
+
+double ErrorModelCdf(ErrorModelKind kind, double x, double mean,
+                     double sigma) {
+  TASFAR_CHECK(sigma > 0.0);
+  const double z = x - mean;
+  switch (kind) {
+    case ErrorModelKind::kGaussian:
+      return 0.5 * (1.0 + std::erf(z / (sigma * std::numbers::sqrt2)));
+    case ErrorModelKind::kLaplace: {
+      const double b = sigma / std::numbers::sqrt2;  // Var = 2b².
+      if (z < 0.0) return 0.5 * std::exp(z / b);
+      return 1.0 - 0.5 * std::exp(-z / b);
+    }
+    case ErrorModelKind::kUniform: {
+      const double half = std::sqrt(3.0) * sigma;  // Var = half²/3.
+      if (z <= -half) return 0.0;
+      if (z >= half) return 1.0;
+      return (z + half) / (2.0 * half);
+    }
+  }
+  return 0.0;
+}
+
+double ErrorModelCellMass(ErrorModelKind kind, double lo, double hi,
+                          double mean, double sigma) {
+  TASFAR_CHECK(hi >= lo);
+  return ErrorModelCdf(kind, hi, mean, sigma) -
+         ErrorModelCdf(kind, lo, mean, sigma);
+}
+
+double ErrorModelPdf(ErrorModelKind kind, double x, double mean,
+                     double sigma) {
+  TASFAR_CHECK(sigma > 0.0);
+  const double z = x - mean;
+  switch (kind) {
+    case ErrorModelKind::kGaussian:
+      return std::exp(-z * z / (2.0 * sigma * sigma)) /
+             (sigma * std::sqrt(2.0 * std::numbers::pi));
+    case ErrorModelKind::kLaplace: {
+      const double b = sigma / std::numbers::sqrt2;
+      return std::exp(-std::fabs(z) / b) / (2.0 * b);
+    }
+    case ErrorModelKind::kUniform: {
+      const double half = std::sqrt(3.0) * sigma;
+      return (z > -half && z < half) ? 1.0 / (2.0 * half) : 0.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace tasfar

@@ -1,0 +1,35 @@
+#ifndef TASFAR_UNCERTAINTY_ERROR_MODEL_H_
+#define TASFAR_UNCERTAINTY_ERROR_MODEL_H_
+
+namespace tasfar {
+
+/// Family of the instance-label error distribution (Eq. 5). The paper uses
+/// a Gaussian by default and reports (Fig. 8) that TASFAR is compatible
+/// with other unimodal forms as long as larger uncertainty means larger
+/// spread, so the alternatives are variance-matched Laplace and Uniform.
+enum class ErrorModelKind {
+  kGaussian,
+  kLaplace,
+  kUniform,
+};
+
+const char* ErrorModelKindToString(ErrorModelKind kind);
+
+/// Cumulative distribution at x of the chosen family with the given mean
+/// and standard deviation (sigma > 0; families are parameterized to have
+/// exactly that std).
+double ErrorModelCdf(ErrorModelKind kind, double x, double mean,
+                     double sigma);
+
+/// Probability mass of the interval [lo, hi) — the per-grid-cell integral
+/// of Eq. 10.
+double ErrorModelCellMass(ErrorModelKind kind, double lo, double hi,
+                          double mean, double sigma);
+
+/// Probability density at x (used by diagnostics/tests).
+double ErrorModelPdf(ErrorModelKind kind, double x, double mean,
+                     double sigma);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UNCERTAINTY_ERROR_MODEL_H_

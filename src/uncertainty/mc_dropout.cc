@@ -1,0 +1,58 @@
+#include "uncertainty/mc_dropout.h"
+
+#include <cmath>
+
+#include "nn/trainer.h"
+
+namespace tasfar {
+
+double McPrediction::ScalarUncertainty() const {
+  double s = 0.0;
+  for (double v : std) s += v * v;
+  return std::sqrt(s);
+}
+
+McDropoutPredictor::McDropoutPredictor(Sequential* model, size_t num_samples,
+                                       size_t batch_size)
+    : model_(model), num_samples_(num_samples), batch_size_(batch_size) {
+  TASFAR_CHECK(model != nullptr);
+  TASFAR_CHECK_MSG(num_samples >= 2, "MC dropout needs >= 2 samples");
+  TASFAR_CHECK(batch_size > 0);
+}
+
+std::vector<McPrediction> McDropoutPredictor::Predict(
+    const Tensor& inputs) const {
+  const size_t n = inputs.dim(0);
+  // Accumulate sum and sum-of-squares across stochastic passes.
+  Tensor first = BatchedForward(model_, inputs, /*training=*/true,
+                                batch_size_);
+  const size_t out_dim = first.dim(1);
+  Tensor sum = first;
+  Tensor sum_sq = first * first;
+  for (size_t s = 1; s < num_samples_; ++s) {
+    Tensor pass = BatchedForward(model_, inputs, /*training=*/true,
+                                 batch_size_);
+    sum += pass;
+    sum_sq += pass * pass;
+  }
+  const double inv_s = 1.0 / static_cast<double>(num_samples_);
+  std::vector<McPrediction> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i].mean.resize(out_dim);
+    out[i].std.resize(out_dim);
+    for (size_t j = 0; j < out_dim; ++j) {
+      const double m = sum.At(i, j) * inv_s;
+      double var = sum_sq.At(i, j) * inv_s - m * m;
+      if (var < 0.0) var = 0.0;  // Numerical guard.
+      out[i].mean[j] = m;
+      out[i].std[j] = std::sqrt(var);
+    }
+  }
+  return out;
+}
+
+Tensor McDropoutPredictor::PredictMean(const Tensor& inputs) const {
+  return BatchedForward(model_, inputs, /*training=*/false, batch_size_);
+}
+
+}  // namespace tasfar

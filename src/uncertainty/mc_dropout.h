@@ -1,0 +1,52 @@
+#ifndef TASFAR_UNCERTAINTY_MC_DROPOUT_H_
+#define TASFAR_UNCERTAINTY_MC_DROPOUT_H_
+
+#include <vector>
+
+#include "nn/sequential.h"
+
+namespace tasfar {
+
+/// Prediction with Monte-Carlo dropout uncertainty.
+struct McPrediction {
+  std::vector<double> mean;  ///< Per-label-dim predictive mean.
+  std::vector<double> std;   ///< Per-label-dim predictive std deviation.
+
+  /// Scalar uncertainty used by the confidence classifier: the L2 norm of
+  /// the per-dimension standard deviations (reduces to |std| for 1-D
+  /// labels, matching the paper's "standard deviation of predictions from
+  /// twenty samplings").
+  double ScalarUncertainty() const;
+};
+
+/// Monte-Carlo dropout predictor (Gal, 2016), the uncertainty estimator
+/// used in the paper's experiments: the prediction is the mean of
+/// `num_samples` stochastic forward passes (dropout active at inference)
+/// and the uncertainty is the standard deviation across passes.
+///
+/// The wrapped model must contain at least one Dropout layer for the
+/// uncertainty to be non-degenerate; models without dropout yield zero
+/// uncertainty, which the predictor reports as-is.
+class McDropoutPredictor {
+ public:
+  /// `model` must outlive the predictor. num_samples >= 2.
+  McDropoutPredictor(Sequential* model, size_t num_samples = 20,
+                     size_t batch_size = 64);
+
+  /// Runs MC-dropout over all samples in `inputs` (first dim = samples).
+  std::vector<McPrediction> Predict(const Tensor& inputs) const;
+
+  /// Deterministic (dropout-off) predictions, {n, out_dim}.
+  Tensor PredictMean(const Tensor& inputs) const;
+
+  size_t num_samples() const { return num_samples_; }
+
+ private:
+  Sequential* model_;
+  size_t num_samples_;
+  size_t batch_size_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UNCERTAINTY_MC_DROPOUT_H_

@@ -1,0 +1,63 @@
+#include "uncertainty/qs_calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+std::vector<SegmentStats> QsCalibrator::Segment(
+    std::vector<UncertaintyErrorPair> pairs, size_t num_segments) {
+  TASFAR_CHECK(num_segments >= 1);
+  TASFAR_CHECK_MSG(pairs.size() >= num_segments,
+                   "need at least one pair per segment");
+  std::sort(pairs.begin(), pairs.end(),
+            [](const UncertaintyErrorPair& a, const UncertaintyErrorPair& b) {
+              return a.uncertainty < b.uncertainty;
+            });
+  std::vector<SegmentStats> segments;
+  segments.reserve(num_segments);
+  const size_t n = pairs.size();
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t lo = s * n / num_segments;
+    const size_t hi = (s + 1) * n / num_segments;
+    TASFAR_CHECK(hi > lo);
+    SegmentStats st;
+    st.count = hi - lo;
+    double u_sum = 0.0, e_sq_sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) {
+      u_sum += pairs[i].uncertainty;
+      e_sq_sum += pairs[i].error * pairs[i].error;
+    }
+    st.mean_uncertainty = u_sum / static_cast<double>(st.count);
+    st.error_std = std::sqrt(e_sq_sum / static_cast<double>(st.count));
+    segments.push_back(st);
+  }
+  return segments;
+}
+
+QsModel QsCalibrator::Fit(std::vector<UncertaintyErrorPair> pairs,
+                          size_t num_segments, double sigma_min) {
+  TASFAR_CHECK(sigma_min > 0.0);
+  const std::vector<SegmentStats> segments =
+      Segment(std::move(pairs), num_segments);
+  QsModel model;
+  model.sigma_min = sigma_min;
+  if (segments.size() == 1) {
+    model.line.slope = 0.0;
+    model.line.intercept = segments[0].error_std;
+    return model;
+  }
+  std::vector<double> u, e;
+  u.reserve(segments.size());
+  e.reserve(segments.size());
+  for (const SegmentStats& s : segments) {
+    u.push_back(s.mean_uncertainty);
+    e.push_back(s.error_std);
+  }
+  model.line = stats::LeastSquares(u, e);
+  return model;
+}
+
+}  // namespace tasfar

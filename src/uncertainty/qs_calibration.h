@@ -1,0 +1,58 @@
+#ifndef TASFAR_UNCERTAINTY_QS_CALIBRATION_H_
+#define TASFAR_UNCERTAINTY_QS_CALIBRATION_H_
+
+#include <vector>
+
+#include "util/stats.h"
+
+namespace tasfar {
+
+/// One (prediction uncertainty, signed prediction error) observation from
+/// the source dataset, for one label dimension.
+struct UncertaintyErrorPair {
+  double uncertainty = 0.0;
+  double error = 0.0;  ///< Signed: prediction - ground truth.
+};
+
+/// Summary of one uncertainty segment (Eq. 7 of the paper).
+struct SegmentStats {
+  double mean_uncertainty = 0.0;  ///< ū of the segment.
+  double error_std = 0.0;         ///< e_σ: RMS of signed errors (≈ the σ
+                                  ///< such that ~68% of errors are below).
+  size_t count = 0;
+};
+
+/// The fitted σ = Q_s(u) relation (Eq. 6/8): a first-order linear model
+/// mapping prediction uncertainty to the standard deviation of the
+/// instance-label distribution, clamped below by sigma_min so downstream
+/// Gaussians stay proper.
+struct QsModel {
+  stats::LinearFit line;
+  double sigma_min = 1e-6;
+
+  double Sigma(double uncertainty) const {
+    const double s = line(uncertainty);
+    return s > sigma_min ? s : sigma_min;
+  }
+};
+
+/// Fits Q_s from source-side (uncertainty, error) pairs, replicating the
+/// paper's curve-fitting recipe: sort by uncertainty, split into
+/// `num_segments` equal-count segments, compute each segment's mean
+/// uncertainty and error RMS, then least-squares fit a line through the
+/// segment points (Eq. 7-9).
+class QsCalibrator {
+ public:
+  /// Segments the pairs (requires pairs.size() >= num_segments >= 1).
+  static std::vector<SegmentStats> Segment(
+      std::vector<UncertaintyErrorPair> pairs, size_t num_segments);
+
+  /// Full pipeline: Segment + least squares. With a single segment the
+  /// line is flat at that segment's error std.
+  static QsModel Fit(std::vector<UncertaintyErrorPair> pairs,
+                     size_t num_segments, double sigma_min = 1e-6);
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UNCERTAINTY_QS_CALIBRATION_H_

@@ -1,0 +1,36 @@
+#ifndef TASFAR_UTIL_CHECK_H_
+#define TASFAR_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tasfar::internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "TASFAR_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace tasfar::internal_check
+
+/// Aborts the process when `expr` is false. Used for programming errors
+/// (invariant violations); recoverable failures use Status instead.
+#define TASFAR_CHECK(expr)                                                 \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::tasfar::internal_check::CheckFailed(__FILE__, __LINE__, #expr, ""); \
+    }                                                                      \
+  } while (0)
+
+/// TASFAR_CHECK with an explanatory message.
+#define TASFAR_CHECK_MSG(expr, msg)                                          \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::tasfar::internal_check::CheckFailed(__FILE__, __LINE__, #expr, msg); \
+    }                                                                        \
+  } while (0)
+
+#endif  // TASFAR_UTIL_CHECK_H_

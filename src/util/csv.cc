@@ -1,0 +1,75 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::SetHeader(std::vector<std::string> columns) {
+  TASFAR_CHECK_MSG(rows_.empty(), "SetHeader must precede AddRow");
+  header_ = std::move(columns);
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  if (!header_.empty()) {
+    TASFAR_CHECK_MSG(cells.size() == header_.size(),
+                     "row width must match header width");
+  }
+  rows_.push_back(cells);
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& cells) {
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  char buf[64];
+  for (double v : cells) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    row.emplace_back(buf);
+  }
+  AddRow(row);
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += QuoteCell(row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+Status CsvWriter::WriteToFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f.is_open()) return Status::IoError("cannot open " + path);
+  f << ToString();
+  if (!f.good()) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace tasfar

@@ -1,0 +1,40 @@
+#ifndef TASFAR_UTIL_CSV_H_
+#define TASFAR_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tasfar {
+
+/// Minimal CSV writer used by the bench harness to dump the series behind
+/// each figure so they can be re-plotted outside the repo.
+class CsvWriter {
+ public:
+  /// Sets the header row; must be called before any AddRow.
+  void SetHeader(std::vector<std::string> columns);
+
+  /// Appends a row; the size must match the header (if one was set).
+  void AddRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.6g.
+  void AddNumericRow(const std::vector<double>& cells);
+
+  /// Serializes the content (RFC-4180 quoting for cells containing
+  /// comma/quote/newline).
+  std::string ToString() const;
+
+  /// Writes the content to `path`, overwriting.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_CSV_H_

@@ -1,0 +1,48 @@
+#ifndef TASFAR_UTIL_LOGGING_H_
+#define TASFAR_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace tasfar {
+
+/// Log severity levels, in increasing order.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum severity; messages below it are dropped.
+/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Usage: TASFAR_LOG(kInfo) << "epoch " << epoch << " loss " << loss;
+#define TASFAR_LOG(severity)                                       \
+  ::tasfar::internal_logging::LogMessage(                          \
+      ::tasfar::LogLevel::severity, __FILE__, __LINE__)
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_LOGGING_H_

@@ -1,0 +1,144 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  TASFAR_CHECK(lo <= hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  TASFAR_CHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const uint64_t r = NextU64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 in (0,1] so log() is finite.
+  double u1 = 1.0 - Uniform();
+  double u2 = Uniform();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  TASFAR_CHECK(stddev >= 0.0);
+  return mean + stddev * Normal();
+}
+
+double Rng::Laplace(double mu, double b) {
+  TASFAR_CHECK(b > 0.0);
+  double u = Uniform() - 0.5;
+  return mu - b * std::copysign(std::log(1.0 - 2.0 * std::fabs(u)), u);
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double lambda) {
+  TASFAR_CHECK(lambda >= 0.0);
+  if (lambda == 0.0) return 0;
+  if (lambda < 30.0) {
+    // Knuth inversion.
+    const double limit = std::exp(-lambda);
+    double prod = Uniform();
+    int k = 0;
+    while (prod > limit) {
+      prod *= Uniform();
+      ++k;
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // crowd-count simulator where lambda can reach a few hundred.
+  double x = Normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  TASFAR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    TASFAR_CHECK(w >= 0.0);
+    total += w;
+  }
+  TASFAR_CHECK_MSG(total > 0.0, "Categorical weights must not all be zero");
+  double r = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;  // Guard against floating-point round-off.
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  for (size_t i = n; i > 1; --i) {
+    size_t j = UniformInt(i);
+    std::swap(idx[i - 1], idx[j]);
+  }
+  return idx;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the original seed with the stream id through SplitMix64 so that
+  // consecutive stream ids give decorrelated generators.
+  uint64_t mix = seed_ ^ (0xa0761d6478bd642fULL * (stream + 1));
+  uint64_t sm = mix;
+  return Rng(SplitMix64(&sm));
+}
+
+}  // namespace tasfar

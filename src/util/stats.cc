@@ -1,0 +1,135 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tasfar::stats {
+
+double Mean(const std::vector<double>& v) {
+  TASFAR_CHECK(!v.empty());
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  TASFAR_CHECK(!v.empty());
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double SampleStdDev(const std::vector<double>& v) {
+  TASFAR_CHECK(v.size() >= 2);
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double Min(const std::vector<double>& v) {
+  TASFAR_CHECK(!v.empty());
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  TASFAR_CHECK(!v.empty());
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+double Quantile(std::vector<double> v, double p) {
+  TASFAR_CHECK(!v.empty());
+  TASFAR_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  TASFAR_CHECK(x.size() == y.size());
+  TASFAR_CHECK(x.size() >= 2);
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit LeastSquares(const std::vector<double>& x,
+                       const std::vector<double>& y) {
+  TASFAR_CHECK(x.size() == y.size());
+  TASFAR_CHECK(x.size() >= 2);
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  LinearFit fit;
+  if (den == 0.0) {
+    fit.slope = 0.0;
+    fit.intercept = my;
+  } else {
+    fit.slope = num / den;
+    fit.intercept = my - fit.slope * mx;
+  }
+  return fit;
+}
+
+std::vector<size_t> Histogram(const std::vector<double>& v, double lo,
+                              double hi, size_t bins) {
+  TASFAR_CHECK(bins > 0);
+  TASFAR_CHECK(hi > lo);
+  std::vector<size_t> counts(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : v) {
+    double pos = (x - lo) / width;
+    long bin = static_cast<long>(std::floor(pos));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(bins) - 1);
+    ++counts[static_cast<size_t>(bin)];
+  }
+  return counts;
+}
+
+std::vector<double> EmpiricalCdf(const std::vector<double>& v,
+                                 const std::vector<double>& thresholds) {
+  TASFAR_CHECK(!v.empty());
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    const auto it = std::upper_bound(sorted.begin(), sorted.end(), t);
+    out.push_back(static_cast<double>(it - sorted.begin()) /
+                  static_cast<double>(sorted.size()));
+  }
+  return out;
+}
+
+}  // namespace tasfar::stats

@@ -1,0 +1,62 @@
+#ifndef TASFAR_UTIL_STATS_H_
+#define TASFAR_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tasfar {
+
+/// Descriptive statistics over std::vector<double> used throughout the
+/// evaluation and calibration code. All functions are pure.
+namespace stats {
+
+/// Arithmetic mean; requires a non-empty input.
+double Mean(const std::vector<double>& v);
+
+/// Population variance (divides by N); requires a non-empty input.
+double Variance(const std::vector<double>& v);
+
+/// Population standard deviation.
+double StdDev(const std::vector<double>& v);
+
+/// Sample standard deviation (divides by N-1); requires size >= 2.
+double SampleStdDev(const std::vector<double>& v);
+
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+double Sum(const std::vector<double>& v);
+double Median(std::vector<double> v);
+
+/// Linear-interpolated quantile, p in [0, 1]. Sorts a copy.
+double Quantile(std::vector<double> v, double p);
+
+/// Pearson correlation coefficient; requires equal sizes >= 2. Returns 0
+/// when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Ordinary least squares for y = a0 + a1*x (Eq. 9 of the paper).
+/// Requires equal sizes >= 2. When x has zero variance the slope is 0 and
+/// the intercept is mean(y).
+struct LinearFit {
+  double intercept = 0.0;  ///< a0
+  double slope = 0.0;      ///< a1
+  /// Evaluates the fitted line at x.
+  double operator()(double x) const { return intercept + slope * x; }
+};
+LinearFit LeastSquares(const std::vector<double>& x,
+                       const std::vector<double>& y);
+
+/// Histogram with `bins` equal-width bins spanning [lo, hi]; values outside
+/// are clamped into the boundary bins. Returns per-bin counts.
+std::vector<size_t> Histogram(const std::vector<double>& v, double lo,
+                              double hi, size_t bins);
+
+/// Empirical CDF evaluated at each threshold: fraction of v <= t.
+std::vector<double> EmpiricalCdf(const std::vector<double>& v,
+                                 const std::vector<double>& thresholds);
+
+}  // namespace stats
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_STATS_H_

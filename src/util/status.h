@@ -1,0 +1,120 @@
+#ifndef TASFAR_UTIL_STATUS_H_
+#define TASFAR_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tasfar {
+
+/// Error categories used across the library. Mirrors the RocksDB-style
+/// status taxonomy, trimmed to the cases this library can actually hit.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed an argument violating a precondition.
+  kOutOfRange,        ///< Index / value outside a permitted range.
+  kFailedPrecondition,///< Object not in the required state for the call.
+  kNotFound,          ///< Named entity (file, key, user id) does not exist.
+  kInternal,          ///< Invariant violation inside the library.
+  kIoError,           ///< Filesystem read/write failure.
+  kUnimplemented,     ///< Requested feature is not implemented.
+};
+
+/// Human-readable name of a status code ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation that has no payload.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// operations that can fail for reasons other than programming errors
+/// return a Status (or Result<T> when they produce a value).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result of a fallible operation producing a value of type T.
+///
+/// Holds either a T or a non-OK Status. Accessing value() on an error
+/// result aborts (programming error), so callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::Ok() when the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& value_or(const T& fallback) const {
+    return ok() ? std::get<T>(payload_) : fallback;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define TASFAR_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::tasfar::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_STATUS_H_

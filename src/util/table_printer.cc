@@ -1,0 +1,116 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  TASFAR_CHECK(!columns_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  TASFAR_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  TASFAR_CHECK(values.size() + 1 == columns_.size());
+  std::vector<std::string> cells;
+  cells.reserve(columns_.size());
+  cells.push_back(label);
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    cells.emplace_back(buf);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string* out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      *out += (c == 0) ? "| " : " | ";
+      *out += row[c];
+      out->append(widths[c] - row[c].size(), ' ');
+    }
+    *out += " |\n";
+  };
+  std::string out;
+  emit_row(columns_, &out);
+  out += '|';
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    out.append(widths[c] + 2, '-');
+    out += '|';
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, &out);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string AsciiBarChart(const std::vector<std::string>& labels,
+                          const std::vector<double>& values, int width) {
+  TASFAR_CHECK(labels.size() == values.size());
+  TASFAR_CHECK(width > 0);
+  size_t label_width = 0;
+  double max_abs = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    label_width = std::max(label_width, labels[i].size());
+    max_abs = std::max(max_abs, std::fabs(values[i]));
+  }
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < labels.size(); ++i) {
+    out += labels[i];
+    out.append(label_width - labels[i].size(), ' ');
+    out += " |";
+    const int bar =
+        max_abs == 0.0
+            ? 0
+            : static_cast<int>(std::lround(std::fabs(values[i]) / max_abs *
+                                           static_cast<double>(width)));
+    out.append(static_cast<size_t>(bar), values[i] < 0.0 ? '-' : '#');
+    std::snprintf(buf, sizeof(buf), " %.4g", values[i]);
+    out += buf;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AsciiDensityMap(const std::vector<std::vector<double>>& grid) {
+  static const char kShades[] = {' ', '.', ':', '*', '#', '@'};
+  double max_v = 0.0;
+  for (const auto& row : grid) {
+    for (double v : row) max_v = std::max(max_v, v);
+  }
+  std::string out;
+  for (const auto& row : grid) {
+    for (double v : row) {
+      int level = 0;
+      if (max_v > 0.0) {
+        level = static_cast<int>(v / max_v * 5.0);
+        level = std::clamp(level, 0, 5);
+      }
+      out += kShades[level];
+      out += kShades[level];  // Double width so cells look square.
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tasfar

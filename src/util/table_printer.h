@@ -1,0 +1,46 @@
+#ifndef TASFAR_UTIL_TABLE_PRINTER_H_
+#define TASFAR_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace tasfar {
+
+/// Renders aligned ASCII tables, used by the bench binaries to print the
+/// paper's tables and figure series in a readable form.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends a row; width must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for mixed label + numeric rows (numbers formatted %.*f).
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a horizontal ASCII bar chart: one line per (label, value), with
+/// bars scaled to `width` characters at the maximum |value|. Negative
+/// values are rendered with '-' bars. Used to sketch the paper figures in
+/// terminal output.
+std::string AsciiBarChart(const std::vector<std::string>& labels,
+                          const std::vector<double>& values, int width = 50);
+
+/// Renders a 2-D density map as ASCII shades (' ', '.', ':', '*', '#', '@')
+/// scaled to the maximum cell. Rows are printed top-to-bottom as given.
+std::string AsciiDensityMap(const std::vector<std::vector<double>>& grid);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_TABLE_PRINTER_H_

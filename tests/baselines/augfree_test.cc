@@ -1,0 +1,105 @@
+#include "baselines/augfree_uda.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> SmallModel(Rng* rng) {
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(2, 8, rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dense>(8, 1, rng);
+  return m;
+}
+
+TEST(AugfreeUdaTest, RunsWithoutSourceData) {
+  Rng rng(1);
+  auto model = SmallModel(&rng);
+  Tensor xt = Tensor::RandomNormal({64, 2}, &rng);
+  AugfreeUdaOptions opts;
+  opts.epochs = 2;
+  AugfreeUda scheme(opts);
+  UdaContext ctx{nullptr, nullptr, &xt};
+  Rng r(2);
+  auto adapted = scheme.Adapt(*model, ctx, &r);
+  ASSERT_NE(adapted, nullptr);
+  EXPECT_EQ(scheme.name(), "AUGfree");
+}
+
+TEST(AugfreeUdaTest, ImprovesConsistencyUnderPerturbation) {
+  Rng rng(3);
+  auto model = SmallModel(&rng);
+  Tensor xt = Tensor::RandomNormal({256, 2}, &rng);
+
+  AugfreeUdaOptions opts;
+  opts.epochs = 20;
+  opts.perturbation_scale = 0.3;
+  AugfreeUda scheme(opts);
+  UdaContext ctx{nullptr, nullptr, &xt};
+  Rng r(4);
+  auto adapted = scheme.Adapt(*model, ctx, &r);
+
+  // Measure prediction consistency under fresh perturbations.
+  auto consistency_loss = [&](Sequential* m, uint64_t seed) {
+    Rng noise(seed);
+    Tensor clean = m->Forward(xt, false);
+    Tensor perturbed = xt;
+    for (size_t i = 0; i < perturbed.size(); ++i) {
+      perturbed[i] += noise.Normal(0.0, 0.3);
+    }
+    Tensor pred = m->Forward(perturbed, false);
+    return loss::Mse(pred, clean, nullptr, nullptr);
+  };
+  EXPECT_LT(consistency_loss(adapted.get(), 99),
+            consistency_loss(model.get(), 99));
+}
+
+TEST(AugfreeUdaTest, ZeroPerturbationIsNearlyIdentityTraining) {
+  Rng rng(5);
+  auto model = SmallModel(&rng);
+  Tensor xt = Tensor::RandomNormal({64, 2}, &rng);
+  AugfreeUdaOptions opts;
+  opts.epochs = 3;
+  opts.perturbation_scale = 0.0;
+  AugfreeUda scheme(opts);
+  UdaContext ctx{nullptr, nullptr, &xt};
+  Rng r(6);
+  auto adapted = scheme.Adapt(*model, ctx, &r);
+  // Training on (x, f(x)) pairs with zero noise leaves behaviour intact.
+  Tensor before = model->Forward(xt, false);
+  Tensor after = adapted->Forward(xt, false);
+  EXPECT_NEAR(before.MaxAbsDiff(after), 0.0, 0.05);
+}
+
+TEST(AugfreeUdaTest, SourceModelUnchanged) {
+  Rng rng(7);
+  auto model = SmallModel(&rng);
+  Tensor snapshot = *model->Params()[0];
+  Tensor xt = Tensor::RandomNormal({32, 2}, &rng);
+  AugfreeUdaOptions opts;
+  opts.epochs = 2;
+  AugfreeUda scheme(opts);
+  UdaContext ctx{nullptr, nullptr, &xt};
+  Rng r(8);
+  scheme.Adapt(*model, ctx, &r);
+  EXPECT_DOUBLE_EQ(snapshot.MaxAbsDiff(*model->Params()[0]), 0.0);
+}
+
+TEST(AugfreeUdaDeathTest, MissingTargetAborts) {
+  Rng rng(9);
+  auto model = SmallModel(&rng);
+  AugfreeUdaOptions opts;
+  AugfreeUda scheme(opts);
+  UdaContext ctx;
+  Rng r(10);
+  EXPECT_DEATH(scheme.Adapt(*model, ctx, &r), "target inputs");
+}
+
+}  // namespace
+}  // namespace tasfar

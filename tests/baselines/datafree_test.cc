@@ -1,0 +1,166 @@
+#include "baselines/datafree_uda.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+TEST(SoftHistogramTest, MassSumsToOne) {
+  SoftHistogram h = ComputeSoftHistogram({0.0, 0.5, 1.0, 1.5, 2.0}, 8);
+  double total = 0.0;
+  for (double m : h.mass) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_EQ(h.centers.size(), 8u);
+}
+
+TEST(SoftHistogramTest, CentersSpanValueRange) {
+  SoftHistogram h = ComputeSoftHistogram({-2.0, 3.0}, 6);
+  EXPECT_DOUBLE_EQ(h.centers.front(), -2.0);
+  EXPECT_DOUBLE_EQ(h.centers.back(), 3.0);
+}
+
+TEST(SoftHistogramTest, PeaksWhereValuesConcentrate) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(1.0);
+  values.push_back(0.0);
+  values.push_back(2.0);
+  SoftHistogram h = ComputeSoftHistogram(values, 9);
+  size_t best = 0;
+  for (size_t b = 1; b < h.mass.size(); ++b) {
+    if (h.mass[b] > h.mass[best]) best = b;
+  }
+  EXPECT_NEAR(h.centers[best], 1.0, h.bandwidth + 1e-9);
+}
+
+TEST(SoftHistogramTest, ConstantFeatureHandled) {
+  SoftHistogram h = ComputeSoftHistogram({5.0, 5.0, 5.0}, 4);
+  double total = 0.0;
+  for (double m : h.mass) total += m;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SoftHistogramTest, SameDistributionSimilarMass) {
+  Rng rng(1);
+  std::vector<double> a(2000), b(2000);
+  for (double& x : a) x = rng.Normal(0.0, 1.0);
+  for (double& x : b) x = rng.Normal(0.0, 1.0);
+  SoftHistogram ref = ComputeSoftHistogram(a, 12);
+  std::vector<double> mass_b = SoftHistogramMass(b, ref);
+  double diff = 0.0;
+  for (size_t i = 0; i < mass_b.size(); ++i) {
+    diff += std::fabs(mass_b[i] - ref.mass[i]);
+  }
+  EXPECT_LT(diff, 0.1);
+}
+
+TEST(SoftHistogramTest, ShiftedDistributionLargerDiff) {
+  Rng rng(2);
+  std::vector<double> a(2000), same(2000), shifted(2000);
+  for (double& x : a) x = rng.Normal(0.0, 1.0);
+  for (double& x : same) x = rng.Normal(0.0, 1.0);
+  for (double& x : shifted) x = rng.Normal(2.0, 1.0);
+  SoftHistogram ref = ComputeSoftHistogram(a, 12);
+  auto l1 = [&](const std::vector<double>& values) {
+    std::vector<double> mass = SoftHistogramMass(values, ref);
+    double d = 0.0;
+    for (size_t i = 0; i < mass.size(); ++i) {
+      d += std::fabs(mass[i] - ref.mass[i]);
+    }
+    return d;
+  };
+  EXPECT_GT(l1(shifted), l1(same) * 3.0);
+}
+
+std::unique_ptr<Sequential> SmallModel(Rng* rng) {
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(2, 8, rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dense>(8, 1, rng);
+  return m;
+}
+
+TEST(DatafreeUdaTest, ComputeStatsShapes) {
+  Rng rng(3);
+  auto model = SmallModel(&rng);
+  DatafreeUdaOptions opts;
+  opts.cut_layer = 2;
+  opts.num_bins = 10;
+  DatafreeUda scheme(opts);
+  Tensor xs = Tensor::RandomNormal({64, 2}, &rng);
+  DatafreeSourceStats stats = scheme.ComputeStats(model.get(), xs);
+  EXPECT_EQ(stats.cut_layer, 2u);
+  EXPECT_EQ(stats.histograms.size(), 8u);  // Feature width at the cut.
+  for (const auto& h : stats.histograms) {
+    EXPECT_EQ(h.mass.size(), 10u);
+  }
+}
+
+TEST(DatafreeUdaTest, AdaptWithStatsReducesHistogramMismatch) {
+  Rng rng(4);
+  auto model = SmallModel(&rng);
+  Tensor xs = Tensor::RandomNormal({256, 2}, &rng);
+  Tensor xt = Tensor::RandomNormal({256, 2}, &rng) * 1.5 + 1.0;
+
+  DatafreeUdaOptions opts;
+  opts.cut_layer = 2;
+  opts.epochs = 15;
+  DatafreeUda scheme(opts);
+  DatafreeSourceStats stats = scheme.ComputeStats(model.get(), xs);
+  Rng adapt_rng(5);
+  auto adapted = scheme.AdaptWithStats(*model, stats, xt, &adapt_rng);
+
+  auto mismatch = [&](Sequential* m) {
+    Tensor feat = m->ForwardTo(xt, 2, false);
+    double total = 0.0;
+    for (size_t d = 0; d < stats.histograms.size(); ++d) {
+      std::vector<double> values(feat.dim(0));
+      for (size_t i = 0; i < feat.dim(0); ++i) values[i] = feat.At(i, d);
+      std::vector<double> mass =
+          SoftHistogramMass(values, stats.histograms[d]);
+      for (size_t b = 0; b < mass.size(); ++b) {
+        const double diff = mass[b] - stats.histograms[d].mass[b];
+        total += diff * diff;
+      }
+    }
+    return total;
+  };
+  EXPECT_LT(mismatch(adapted.get()), mismatch(model.get()));
+}
+
+TEST(DatafreeUdaTest, UdaSchemeEntryPointWorks) {
+  Rng rng(6);
+  auto model = SmallModel(&rng);
+  Tensor xs = Tensor::RandomNormal({64, 2}, &rng);
+  Tensor xt = Tensor::RandomNormal({64, 2}, &rng) + 0.5;
+  DatafreeUdaOptions opts;
+  opts.cut_layer = 2;
+  opts.epochs = 2;
+  DatafreeUda scheme(opts);
+  UdaContext ctx{&xs, nullptr, &xt};
+  Rng r(7);
+  auto adapted = scheme.Adapt(*model, ctx, &r);
+  EXPECT_NE(adapted, nullptr);
+  EXPECT_EQ(scheme.name(), "Datafree");
+}
+
+TEST(DatafreeUdaDeathTest, NoSourceInputsAborts) {
+  Rng rng(8);
+  auto model = SmallModel(&rng);
+  DatafreeUdaOptions opts;
+  opts.cut_layer = 2;
+  DatafreeUda scheme(opts);
+  Tensor xt({4, 2});
+  UdaContext ctx{nullptr, nullptr, &xt};
+  Rng r(9);
+  EXPECT_DEATH(scheme.Adapt(*model, ctx, &r), "");
+}
+
+}  // namespace
+}  // namespace tasfar

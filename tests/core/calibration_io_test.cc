@@ -1,0 +1,111 @@
+#include "core/calibration_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tasfar {
+namespace {
+
+SourceCalibration MakeCalibration() {
+  SourceCalibration calib;
+  calib.tau = 0.1 + 0.2;  // Not exactly representable in decimal.
+  QsModel qs0;
+  qs0.line.intercept = 0.05;
+  qs0.line.slope = 0.85;
+  qs0.sigma_min = 1e-6;
+  QsModel qs1;
+  qs1.line.intercept = -0.01;
+  qs1.line.slope = 1.2;
+  qs1.sigma_min = 1e-4;
+  calib.qs_per_dim = {qs0, qs1};
+  return calib;
+}
+
+TEST(CalibrationIoTest, RoundTripExact) {
+  SourceCalibration original = MakeCalibration();
+  Result<SourceCalibration> loaded =
+      DeserializeCalibration(SerializeCalibration(original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().tau, original.tau);
+  ASSERT_EQ(loaded.value().qs_per_dim.size(), 2u);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(loaded.value().qs_per_dim[d].line.intercept,
+                     original.qs_per_dim[d].line.intercept);
+    EXPECT_DOUBLE_EQ(loaded.value().qs_per_dim[d].line.slope,
+                     original.qs_per_dim[d].line.slope);
+    EXPECT_DOUBLE_EQ(loaded.value().qs_per_dim[d].sigma_min,
+                     original.qs_per_dim[d].sigma_min);
+  }
+}
+
+TEST(CalibrationIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/calib_test.txt";
+  ASSERT_TRUE(SaveCalibration(MakeCalibration(), path).ok());
+  Result<SourceCalibration> loaded = LoadCalibration(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().tau, 0.1 + 0.2);
+  std::remove(path.c_str());
+}
+
+TEST(CalibrationIoTest, BadMagicRejected) {
+  EXPECT_EQ(DeserializeCalibration("NOPE").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CalibrationIoTest, TruncatedRejected) {
+  std::string blob = SerializeCalibration(MakeCalibration());
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DeserializeCalibration(blob).ok());
+}
+
+TEST(CalibrationIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadCalibration("/no/such/calib.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+DensityMap MakeMap2d() {
+  DensityMap map({GridSpec{.origin = -1.5, .cell_size = 0.25, .num_cells = 8},
+                  GridSpec{.origin = 0.0, .cell_size = 0.5, .num_cells = 4}});
+  map.Deposit({0.0, 1.0}, {0.5, 0.5}, ErrorModelKind::kGaussian);
+  return map;
+}
+
+TEST(DensityMapIoTest, RoundTripExact) {
+  DensityMap original = MakeMap2d();
+  Result<DensityMap> loaded =
+      DeserializeDensityMap(SerializeDensityMap(original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_dims(), 2u);
+  EXPECT_EQ(loaded.value().NumCells(), original.NumCells());
+  EXPECT_DOUBLE_EQ(loaded.value().MeanAbsDiff(original), 0.0);
+  EXPECT_DOUBLE_EQ(loaded.value().axis(0).origin, -1.5);
+  EXPECT_DOUBLE_EQ(loaded.value().axis(1).cell_size, 0.5);
+}
+
+TEST(DensityMapIoTest, OneDimensionalRoundTrip) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 5}});
+  map.DepositLabel({2.5});
+  Result<DensityMap> loaded = DeserializeDensityMap(SerializeDensityMap(map));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().cell(2), 1.0);
+}
+
+TEST(DensityMapIoTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/map_test.txt";
+  ASSERT_TRUE(SaveDensityMap(MakeMap2d(), path).ok());
+  Result<DensityMap> loaded = LoadDensityMap(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_DOUBLE_EQ(loaded.value().MeanAbsDiff(MakeMap2d()), 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(DensityMapIoTest, CorruptGeometryRejected) {
+  EXPECT_FALSE(DeserializeDensityMap("TASFAR_DENSITY_MAP_V1\n3\n").ok());
+  EXPECT_FALSE(DeserializeDensityMap("TASFAR_DENSITY_MAP_V1\n1\n0x0p+0 "
+                                     "0x0p+0 4\n4\n")
+                   .ok());  // Zero cell size.
+}
+
+}  // namespace
+}  // namespace tasfar

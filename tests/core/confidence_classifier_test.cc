@@ -1,0 +1,109 @@
+#include "core/confidence_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(ConfidenceClassifierTest, ThresholdIsEtaQuantile) {
+  std::vector<double> u;
+  for (int i = 1; i <= 100; ++i) u.push_back(static_cast<double>(i));
+  const double tau = ConfidenceClassifier::ComputeThreshold(u, 0.9);
+  EXPECT_NEAR(tau, 90.1, 0.5);
+}
+
+TEST(ConfidenceClassifierTest, HigherEtaHigherThreshold) {
+  Rng rng(1);
+  std::vector<double> u(1000);
+  for (double& x : u) x = rng.Uniform();
+  EXPECT_GT(ConfidenceClassifier::ComputeThreshold(u, 0.95),
+            ConfidenceClassifier::ComputeThreshold(u, 0.5));
+}
+
+TEST(ConfidenceClassifierTest, SplitsByThreshold) {
+  ConfidenceClassifier classifier(1.0);
+  ConfidenceSplit split =
+      classifier.ClassifyUncertainties({0.5, 1.5, 1.0, 2.0, 0.1});
+  EXPECT_EQ(split.confident, (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(split.uncertain, (std::vector<size_t>{1, 3}));
+}
+
+TEST(ConfidenceClassifierTest, BoundaryIsConfident) {
+  // u == tau is "uncertainty lower than or equal to τ" -> confident
+  // (Alg. 1 uses strict > for uncertain).
+  ConfidenceClassifier classifier(1.0);
+  ConfidenceSplit split = classifier.ClassifyUncertainties({1.0});
+  EXPECT_EQ(split.confident.size(), 1u);
+  EXPECT_TRUE(split.uncertain.empty());
+}
+
+TEST(ConfidenceClassifierTest, ClassifiesMcPredictions) {
+  ConfidenceClassifier classifier(0.5);
+  McPrediction low;
+  low.mean = {0.0};
+  low.std = {0.1};
+  McPrediction high;
+  high.mean = {0.0};
+  high.std = {2.0};
+  ConfidenceSplit split = classifier.Classify({low, high});
+  EXPECT_EQ(split.confident, (std::vector<size_t>{0}));
+  EXPECT_EQ(split.uncertain, (std::vector<size_t>{1}));
+}
+
+TEST(ConfidenceClassifierTest, MultiDimUncertaintyUsesL2Norm) {
+  ConfidenceClassifier classifier(1.0);
+  McPrediction p;
+  p.mean = {0.0, 0.0};
+  p.std = {0.8, 0.8};  // L2 = 1.13 > 1.
+  ConfidenceSplit split = classifier.Classify({p});
+  EXPECT_EQ(split.uncertain.size(), 1u);
+}
+
+TEST(ConfidenceClassifierTest, SourceQuantileCalibratedSplitRatio) {
+  // On the calibration distribution itself, ~η of samples are confident.
+  Rng rng(3);
+  std::vector<double> source(5000);
+  for (double& x : source) x = rng.Normal(1.0, 0.3);
+  const double tau = ConfidenceClassifier::ComputeThreshold(source, 0.9);
+  ConfidenceClassifier classifier(tau);
+  std::vector<double> fresh(5000);
+  for (double& x : fresh) x = rng.Normal(1.0, 0.3);
+  ConfidenceSplit split = classifier.ClassifyUncertainties(fresh);
+  EXPECT_NEAR(static_cast<double>(split.confident.size()) / 5000.0, 0.9,
+              0.02);
+}
+
+TEST(ConfidenceClassifierTest, ShiftedDistributionYieldsMoreUncertain) {
+  // The target's uncertainty distribution shifts upward under a domain
+  // gap, so the uncertain ratio exceeds 1 - η (Fig. 16's observation).
+  Rng rng(5);
+  std::vector<double> source(2000);
+  for (double& x : source) x = rng.Normal(1.0, 0.3);
+  const double tau = ConfidenceClassifier::ComputeThreshold(source, 0.9);
+  std::vector<double> target(2000);
+  for (double& x : target) x = rng.Normal(1.3, 0.4);
+  ConfidenceClassifier classifier(tau);
+  ConfidenceSplit split = classifier.ClassifyUncertainties(target);
+  EXPECT_GT(static_cast<double>(split.uncertain.size()) / 2000.0, 0.15);
+}
+
+TEST(ConfidenceClassifierTest, EmptyInputGivesEmptySplit) {
+  ConfidenceClassifier classifier(1.0);
+  ConfidenceSplit split = classifier.ClassifyUncertainties({});
+  EXPECT_TRUE(split.confident.empty());
+  EXPECT_TRUE(split.uncertain.empty());
+}
+
+TEST(ConfidenceClassifierDeathTest, BadEtaAborts) {
+  EXPECT_DEATH(ConfidenceClassifier::ComputeThreshold({1.0}, 0.0), "eta");
+  EXPECT_DEATH(ConfidenceClassifier::ComputeThreshold({1.0}, 1.0), "eta");
+}
+
+TEST(ConfidenceClassifierDeathTest, NegativeTauAborts) {
+  EXPECT_DEATH(ConfidenceClassifier(-0.1), "non-negative");
+}
+
+}  // namespace
+}  // namespace tasfar

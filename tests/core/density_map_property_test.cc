@@ -1,0 +1,142 @@
+// Property-style sweeps over the density map and pseudo-label machinery:
+// the same invariants must hold for every error-model family, grid
+// resolution, and label dimensionality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/label_distribution_estimator.h"
+#include "core/pseudo_label_generator.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+using Param = std::tuple<ErrorModelKind, double /*cell*/, size_t /*dims*/>;
+
+class DensityMapPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  ErrorModelKind kind() const { return std::get<0>(GetParam()); }
+  double cell() const { return std::get<1>(GetParam()); }
+  size_t dims() const { return std::get<2>(GetParam()); }
+
+  QsModel FlatQs(double sigma) const {
+    QsModel qs;
+    qs.line.intercept = sigma;
+    return qs;
+  }
+
+  std::vector<McPrediction> RandomPredictions(size_t n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<McPrediction> preds(n);
+    for (auto& p : preds) {
+      p.mean.resize(dims());
+      p.std.resize(dims());
+      for (size_t d = 0; d < dims(); ++d) {
+        p.mean[d] = rng.Normal(0.0, 1.0);
+        p.std[d] = rng.Uniform(0.05, 0.3);
+      }
+    }
+    return preds;
+  }
+
+  LabelDistributionEstimator MakeEstimator() const {
+    std::vector<QsModel> qs(dims(), FlatQs(0.25));
+    return LabelDistributionEstimator(qs, kind());
+  }
+};
+
+TEST_P(DensityMapPropertyTest, EstimateMassIsNormalized) {
+  // With wide-enough auto axes the map mass is ~1 for every family, grid
+  // size, and dimensionality (Eq. 12's 1/|SET_C| normalization).
+  auto preds = RandomPredictions(100, 1);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(preds, cell(), /*margin_sigmas=*/8.0);
+  DensityMap map = est.Estimate(preds, axes);
+  EXPECT_NEAR(map.TotalMass(), 1.0, 0.02);
+}
+
+TEST_P(DensityMapPropertyTest, AllCellsNonNegative) {
+  auto preds = RandomPredictions(50, 2);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(preds, cell());
+  DensityMap map = est.Estimate(preds, axes);
+  for (size_t i = 0; i < map.NumCells(); ++i) {
+    EXPECT_GE(map.cell(i), 0.0);
+  }
+}
+
+TEST_P(DensityMapPropertyTest, EstimateIsOrderInvariant) {
+  auto preds = RandomPredictions(40, 3);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(preds, cell());
+  DensityMap forward = est.Estimate(preds, axes);
+  std::vector<McPrediction> reversed(preds.rbegin(), preds.rend());
+  DensityMap backward = est.Estimate(reversed, axes);
+  EXPECT_NEAR(forward.MeanAbsDiff(backward), 0.0, 1e-12);
+}
+
+TEST_P(DensityMapPropertyTest, PseudoLabelsStayWithinLocality) {
+  // Eq. 15 interpolates cell centers within the 3σ ball, so a pseudo-label
+  // can never be further than 3σ + half a cell from the prediction.
+  auto confident = RandomPredictions(120, 4);
+  auto uncertain = RandomPredictions(20, 5);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(confident, cell());
+  DensityMap map = est.Estimate(confident, axes);
+  PseudoLabelGenerator gen(&map, &est, /*tau=*/0.2);
+  for (const McPrediction& pred : uncertain) {
+    PseudoLabel pl = gen.Generate(pred);
+    for (size_t d = 0; d < dims(); ++d) {
+      const double sigma = est.SigmaFor(pred, d);
+      EXPECT_LE(std::fabs(pl.value[d] - pred.mean[d]),
+                3.0 * sigma + 0.5 * cell() + 1e-9);
+    }
+  }
+}
+
+TEST_P(DensityMapPropertyTest, CredibilityNonNegative) {
+  auto confident = RandomPredictions(80, 6);
+  auto uncertain = RandomPredictions(15, 7);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(confident, cell());
+  DensityMap map = est.Estimate(confident, axes);
+  PseudoLabelGenerator gen(&map, &est, 0.2);
+  for (const PseudoLabel& pl : gen.GenerateAll(uncertain)) {
+    EXPECT_GE(pl.credibility, 0.0);
+  }
+}
+
+TEST_P(DensityMapPropertyTest, DuplicatedConfidentSetGivesSameMap) {
+  // The normalization makes the map a *distribution*: duplicating every
+  // sample must not change it.
+  auto preds = RandomPredictions(30, 8);
+  LabelDistributionEstimator est = MakeEstimator();
+  auto axes = est.AutoAxes(preds, cell());
+  DensityMap once = est.Estimate(preds, axes);
+  std::vector<McPrediction> doubled = preds;
+  doubled.insert(doubled.end(), preds.begin(), preds.end());
+  DensityMap twice = est.Estimate(doubled, axes);
+  EXPECT_NEAR(once.MeanAbsDiff(twice), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DensityMapPropertyTest,
+    ::testing::Combine(::testing::Values(ErrorModelKind::kGaussian,
+                                         ErrorModelKind::kLaplace,
+                                         ErrorModelKind::kUniform),
+                       ::testing::Values(0.05, 0.2, 0.8),
+                       ::testing::Values(1u, 2u)),
+    [](const auto& info) {
+      std::string name = ErrorModelKindToString(std::get<0>(info.param));
+      name += "_c";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      name += "_d";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,171 @@
+#include "core/density_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+TEST(GridSpecTest, CellGeometry) {
+  GridSpec g{.origin = -1.0, .cell_size = 0.5, .num_cells = 4};
+  EXPECT_DOUBLE_EQ(g.CellLo(0), -1.0);
+  EXPECT_DOUBLE_EQ(g.CellHi(0), -0.5);
+  EXPECT_DOUBLE_EQ(g.CellCenter(3), 0.75);
+  EXPECT_DOUBLE_EQ(g.RangeHi(), 1.0);
+}
+
+TEST(GridSpecTest, CellIndexOf) {
+  GridSpec g{.origin = 0.0, .cell_size = 1.0, .num_cells = 5};
+  EXPECT_EQ(g.CellIndexOf(0.0), 0);
+  EXPECT_EQ(g.CellIndexOf(4.99), 4);
+  EXPECT_EQ(g.CellIndexOf(-0.5), -1);  // Below the grid.
+  EXPECT_EQ(g.CellIndexOf(7.0), 7);    // Above the grid.
+}
+
+TEST(GridSpecTest, FromRangeCeilsCellCount) {
+  GridSpec g = GridSpec::FromRange(0.0, 1.0, 0.3);
+  EXPECT_EQ(g.num_cells, 4u);
+  EXPECT_DOUBLE_EQ(g.cell_size, 0.3);
+}
+
+TEST(GridSpecTest, FromCellCount) {
+  GridSpec g = GridSpec::FromCellCount(-2.0, 2.0, 8);
+  EXPECT_EQ(g.num_cells, 8u);
+  EXPECT_DOUBLE_EQ(g.cell_size, 0.5);
+}
+
+TEST(DensityMapTest, OneDimensionalLayout) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 4}});
+  EXPECT_EQ(map.num_dims(), 1u);
+  EXPECT_EQ(map.NumCells(), 4u);
+  EXPECT_EQ(map.FlatIndex({2}), 2u);
+  EXPECT_DOUBLE_EQ(map.CellCenterOf(2)[0], 2.5);
+}
+
+TEST(DensityMapTest, TwoDimensionalRowMajorLayout) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 2},
+                  GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  EXPECT_EQ(map.NumCells(), 6u);
+  EXPECT_EQ(map.FlatIndex({1, 2}), 5u);
+  std::vector<double> center = map.CellCenterOf(5);
+  EXPECT_DOUBLE_EQ(center[0], 1.5);
+  EXPECT_DOUBLE_EQ(center[1], 2.5);
+}
+
+TEST(DensityMapTest, DepositLabelCounts) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  map.DepositLabel({0.5});
+  map.DepositLabel({0.9});
+  map.DepositLabel({2.1});
+  map.DepositLabel({5.0});  // Out of range, dropped.
+  EXPECT_DOUBLE_EQ(map.cell(0), 2.0);
+  EXPECT_DOUBLE_EQ(map.cell(1), 0.0);
+  EXPECT_DOUBLE_EQ(map.cell(2), 1.0);
+  EXPECT_DOUBLE_EQ(map.TotalMass(), 3.0);
+}
+
+TEST(DensityMapTest, DepositGaussianMassSumsToOneOnWideGrid) {
+  DensityMap map(
+      {GridSpec{.origin = -10.0, .cell_size = 0.5, .num_cells = 40}});
+  map.Deposit({0.0}, {1.0}, ErrorModelKind::kGaussian);
+  EXPECT_NEAR(map.TotalMass(), 1.0, 1e-9);
+}
+
+TEST(DensityMapTest, DepositPeaksAtMean) {
+  DensityMap map(
+      {GridSpec{.origin = -5.0, .cell_size = 0.5, .num_cells = 20}});
+  map.Deposit({1.25}, {0.8}, ErrorModelKind::kGaussian);
+  size_t best = 0;
+  for (size_t i = 1; i < map.NumCells(); ++i) {
+    if (map.cell(i) > map.cell(best)) best = i;
+  }
+  EXPECT_NEAR(map.CellCenterOf(best)[0], 1.25, 0.5);
+}
+
+TEST(DensityMapTest, Deposit2dIsSeparableProduct) {
+  GridSpec axis{.origin = -4.0, .cell_size = 1.0, .num_cells = 8};
+  DensityMap joint({axis, axis});
+  joint.Deposit({0.0, 1.0}, {1.0, 0.5}, ErrorModelKind::kGaussian);
+  DensityMap mx({axis}), my({axis});
+  mx.Deposit({0.0}, {1.0}, ErrorModelKind::kGaussian);
+  my.Deposit({1.0}, {0.5}, ErrorModelKind::kGaussian);
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t j = 0; j < 8; ++j) {
+      EXPECT_NEAR(joint.cell(joint.FlatIndex({i, j})),
+                  mx.cell(i) * my.cell(j), 1e-12);
+    }
+  }
+}
+
+TEST(DensityMapTest, NormalizeDividesCells) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 2}});
+  map.DepositLabel({0.5});
+  map.DepositLabel({0.5});
+  map.Normalize(2.0);
+  EXPECT_DOUBLE_EQ(map.cell(0), 1.0);
+}
+
+TEST(DensityMapTest, GlobalMeanDensity) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 4}});
+  map.cell_mutable(0) = 2.0;
+  map.cell_mutable(3) = 2.0;
+  EXPECT_DOUBLE_EQ(map.GlobalMeanDensity(), 1.0);
+}
+
+TEST(DensityMapTest, MeanAbsDiffZeroForIdenticalMaps) {
+  DensityMap a({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  a.DepositLabel({1.5});
+  DensityMap b = a;
+  EXPECT_DOUBLE_EQ(a.MeanAbsDiff(b), 0.0);
+  b.cell_mutable(0) += 0.3;
+  EXPECT_DOUBLE_EQ(a.MeanAbsDiff(b), 0.1);
+}
+
+TEST(DensityMapTest, AsGrid2dRowsMatchDim0) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 2},
+                  GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  map.cell_mutable(map.FlatIndex({1, 2})) = 7.0;
+  auto grid = map.AsGrid2d();
+  ASSERT_EQ(grid.size(), 2u);
+  ASSERT_EQ(grid[0].size(), 3u);
+  EXPECT_DOUBLE_EQ(grid[1][2], 7.0);
+}
+
+TEST(DensityMapTest, AsVector1d) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  map.cell_mutable(1) = 4.0;
+  std::vector<double> v = map.AsVector1d();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+}
+
+TEST(BuildTrueDensityMapTest, NormalizedHistogram) {
+  Tensor labels({4, 1}, {0.5, 0.6, 1.5, 2.5});
+  DensityMap map = BuildTrueDensityMap(
+      labels, {GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 3}});
+  EXPECT_DOUBLE_EQ(map.cell(0), 0.5);
+  EXPECT_DOUBLE_EQ(map.cell(1), 0.25);
+  EXPECT_DOUBLE_EQ(map.cell(2), 0.25);
+}
+
+TEST(BuildTrueDensityMapTest, TwoDimensional) {
+  Tensor labels({2, 2}, {0.5, 0.5, 1.5, 1.5});
+  GridSpec axis{.origin = 0.0, .cell_size = 1.0, .num_cells = 2};
+  DensityMap map = BuildTrueDensityMap(labels, {axis, axis});
+  EXPECT_DOUBLE_EQ(map.cell(map.FlatIndex({0, 0})), 0.5);
+  EXPECT_DOUBLE_EQ(map.cell(map.FlatIndex({1, 1})), 0.5);
+}
+
+TEST(DensityMapDeathTest, ThreeDimensionalRejected) {
+  GridSpec axis{.origin = 0.0, .cell_size = 1.0, .num_cells = 2};
+  EXPECT_DEATH(DensityMap({axis, axis, axis}), "1-D and 2-D");
+}
+
+TEST(DensityMapDeathTest, NormalizeByZeroAborts) {
+  DensityMap map({GridSpec{.origin = 0.0, .cell_size = 1.0, .num_cells = 2}});
+  EXPECT_DEATH(map.Normalize(0.0), "");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,146 @@
+#include "core/label_distribution_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+QsModel FlatQs(double sigma) {
+  QsModel qs;
+  qs.line.intercept = sigma;
+  qs.line.slope = 0.0;
+  return qs;
+}
+
+McPrediction Pred1d(double mean, double std) {
+  McPrediction p;
+  p.mean = {mean};
+  p.std = {std};
+  return p;
+}
+
+McPrediction Pred2d(double m0, double m1, double s0, double s1) {
+  McPrediction p;
+  p.mean = {m0, m1};
+  p.std = {s0, s1};
+  return p;
+}
+
+TEST(EstimatorTest, SigmaForUsesQsPerDim) {
+  QsModel qs0;
+  qs0.line = {0.1, 2.0};
+  QsModel qs1;
+  qs1.line = {0.2, 1.0};
+  LabelDistributionEstimator est({qs0, qs1}, ErrorModelKind::kGaussian);
+  McPrediction p = Pred2d(0, 0, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(est.SigmaFor(p, 0), 0.1 + 2.0 * 0.5);
+  EXPECT_DOUBLE_EQ(est.SigmaFor(p, 1), 0.2 + 1.0 * 0.5);
+}
+
+TEST(EstimatorTest, EstimateMassNormalizedPerSample) {
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  std::vector<McPrediction> preds{Pred1d(0.0, 0.1), Pred1d(1.0, 0.1)};
+  DensityMap map = est.Estimate(
+      preds, {GridSpec{.origin = -5.0, .cell_size = 0.25, .num_cells = 48}});
+  // Each prediction deposits ~1 of mass; normalization divides by K=2.
+  EXPECT_NEAR(map.TotalMass(), 1.0, 1e-6);
+}
+
+TEST(EstimatorTest, EstimatePeaksNearPredictions) {
+  LabelDistributionEstimator est({FlatQs(0.3)}, ErrorModelKind::kGaussian);
+  std::vector<McPrediction> preds;
+  for (int i = 0; i < 10; ++i) preds.push_back(Pred1d(2.0, 0.1));
+  DensityMap map = est.Estimate(
+      preds, {GridSpec{.origin = 0.0, .cell_size = 0.2, .num_cells = 20}});
+  size_t best = 0;
+  for (size_t i = 1; i < map.NumCells(); ++i) {
+    if (map.cell(i) > map.cell(best)) best = i;
+  }
+  EXPECT_NEAR(map.CellCenterOf(best)[0], 2.0, 0.21);
+}
+
+TEST(EstimatorTest, ApproximatesTrueLabelDistribution) {
+  // Predictions = labels + noise with std 0.4; a matched Qs should
+  // reconstruct the underlying label histogram closely.
+  Rng rng(7);
+  const size_t n = 4000;
+  std::vector<McPrediction> preds;
+  Tensor labels({n, 1});
+  for (size_t i = 0; i < n; ++i) {
+    const double label = rng.Normal(1.0, 0.8);
+    labels.At(i, 0) = label;
+    preds.push_back(Pred1d(label + rng.Normal(0.0, 0.4), 0.4));
+  }
+  LabelDistributionEstimator est({FlatQs(0.4)}, ErrorModelKind::kGaussian);
+  std::vector<GridSpec> axes{
+      GridSpec{.origin = -3.0, .cell_size = 0.25, .num_cells = 32}};
+  DensityMap estimated = est.Estimate(preds, axes);
+  DensityMap truth = BuildTrueDensityMap(labels, axes);
+  // The estimate is the truth convolved with the noise kernel; it should
+  // still be much closer to the truth than a uniform map is.
+  DensityMap uniform(axes);
+  for (size_t i = 0; i < uniform.NumCells(); ++i) {
+    uniform.cell_mutable(i) = 1.0 / 32.0;
+  }
+  EXPECT_LT(estimated.MeanAbsDiff(truth), uniform.MeanAbsDiff(truth) * 0.6);
+}
+
+TEST(EstimatorTest, AutoAxesCoverPredictionsWithMargin) {
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  std::vector<McPrediction> preds{Pred1d(-1.0, 0.0), Pred1d(3.0, 0.0)};
+  std::vector<GridSpec> axes = est.AutoAxes(preds, 0.1, 3.0);
+  ASSERT_EQ(axes.size(), 1u);
+  EXPECT_LE(axes[0].origin, -1.0 - 1.49);  // 3 sigma = 1.5 margin.
+  EXPECT_GE(axes[0].RangeHi(), 3.0 + 1.49);
+}
+
+TEST(EstimatorTest, AutoAxesDegenerateRangeStillValid) {
+  LabelDistributionEstimator est({FlatQs(1e-6)}, ErrorModelKind::kGaussian);
+  std::vector<McPrediction> preds{Pred1d(1.0, 0.0)};
+  std::vector<GridSpec> axes = est.AutoAxes(preds, 0.5, 0.0);
+  EXPECT_GE(axes[0].num_cells, 1u);
+}
+
+TEST(EstimatorTest, TwoDimensionalEstimate) {
+  LabelDistributionEstimator est({FlatQs(0.3), FlatQs(0.3)},
+                                 ErrorModelKind::kGaussian);
+  std::vector<McPrediction> preds{Pred2d(1.0, -1.0, 0.1, 0.1)};
+  std::vector<GridSpec> axes = est.AutoAxes(preds, 0.2);
+  DensityMap map = est.Estimate(preds, axes);
+  EXPECT_EQ(map.num_dims(), 2u);
+  // The auto grid spans ±3σ, which captures (erf(3/√2))² of the 2-D mass.
+  EXPECT_NEAR(map.TotalMass(), 1.0, 0.01);
+}
+
+TEST(EstimatorTest, LaplaceAndUniformFamiliesWork) {
+  for (ErrorModelKind kind :
+       {ErrorModelKind::kLaplace, ErrorModelKind::kUniform}) {
+    LabelDistributionEstimator est({FlatQs(0.5)}, kind);
+    std::vector<McPrediction> preds{Pred1d(0.0, 0.2)};
+    // ±8σ grid: wide enough for the Laplace tails too.
+    DensityMap map = est.Estimate(
+        preds, {GridSpec{.origin = -4.0, .cell_size = 0.25, .num_cells = 32}});
+    EXPECT_NEAR(map.TotalMass(), 1.0, 1e-4);
+  }
+}
+
+TEST(EstimatorDeathTest, EmptyConfidentSetAborts) {
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  EXPECT_DEATH(
+      est.Estimate({}, {GridSpec{.origin = 0, .cell_size = 1,
+                                 .num_cells = 2}}),
+      "no confident data");
+}
+
+TEST(EstimatorDeathTest, AxisCountMismatchAborts) {
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  GridSpec axis{.origin = 0, .cell_size = 1, .num_cells = 2};
+  EXPECT_DEATH(est.Estimate({Pred1d(0, 0)}, {axis, axis}), "");
+}
+
+}  // namespace
+}  // namespace tasfar

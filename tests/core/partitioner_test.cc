@@ -1,0 +1,123 @@
+#include "core/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tasfar {
+namespace {
+
+Dataset GroupedDataset() {
+  Dataset ds;
+  ds.inputs = Tensor({6, 2});
+  ds.targets = Tensor({6, 1});
+  ds.group_ids = {2, 0, 2, 1, 0, 2};
+  return ds;
+}
+
+TEST(PartitionerTest, ByGroupSplitsOnTags) {
+  auto parts = TargetPartitioner::ByGroup(GroupedDataset());
+  ASSERT_EQ(parts.size(), 3u);
+  // First-appearance order: group 2, group 0, group 1.
+  EXPECT_EQ(parts[0], (std::vector<size_t>{0, 2, 5}));
+  EXPECT_EQ(parts[1], (std::vector<size_t>{1, 4}));
+  EXPECT_EQ(parts[2], (std::vector<size_t>{3}));
+}
+
+TEST(PartitionerTest, ByGroupCoversEverySample) {
+  auto parts = TargetPartitioner::ByGroup(GroupedDataset());
+  std::vector<size_t> all;
+  for (const auto& p : parts) all.insert(all.end(), p.begin(), p.end());
+  std::sort(all.begin(), all.end());
+  for (size_t i = 0; i < 6; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(PartitionerDeathTest, ByGroupWithoutTagsAborts) {
+  Dataset ds;
+  ds.inputs = Tensor({2, 1});
+  ds.targets = Tensor({2, 1});
+  EXPECT_DEATH(TargetPartitioner::ByGroup(ds), "group-tagged");
+}
+
+std::vector<std::vector<double>> TwoBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> features;
+  for (size_t i = 0; i < per_blob; ++i) {
+    features.push_back({rng.Normal(0.0, 0.3), rng.Normal(0.0, 0.3)});
+  }
+  for (size_t i = 0; i < per_blob; ++i) {
+    features.push_back({rng.Normal(5.0, 0.3), rng.Normal(5.0, 0.3)});
+  }
+  return features;
+}
+
+TEST(PartitionerTest, KMeansSeparatesWellSeparatedBlobs) {
+  auto features = TwoBlobs(40, 7);
+  Rng rng(11);
+  auto parts = TargetPartitioner::KMeans(features, 2, &rng);
+  ASSERT_EQ(parts.size(), 2u);
+  // Each part is pure: indices all below 40 or all at/above 40.
+  for (const auto& part : parts) {
+    const bool first_blob = part[0] < 40;
+    for (size_t idx : part) EXPECT_EQ(idx < 40, first_blob);
+  }
+  EXPECT_EQ(parts[0].size() + parts[1].size(), 80u);
+}
+
+TEST(PartitionerTest, KMeansSingleClusterKeepsEverything) {
+  auto features = TwoBlobs(10, 13);
+  Rng rng(17);
+  auto parts = TargetPartitioner::KMeans(features, 1, &rng);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 20u);
+}
+
+TEST(PartitionerTest, KMeansClampsKToSampleCount) {
+  std::vector<std::vector<double>> features{{0.0}, {1.0}};
+  Rng rng(19);
+  auto parts = TargetPartitioner::KMeans(features, 10, &rng);
+  EXPECT_LE(parts.size(), 2u);
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(PartitionerTest, KMeansIdenticalPointsCollapse) {
+  std::vector<std::vector<double>> features(12, {3.0, 3.0});
+  Rng rng(23);
+  auto parts = TargetPartitioner::KMeans(features, 3, &rng);
+  // All points coincide: the extra centers never attract anything.
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), 12u);
+}
+
+TEST(PartitionerTest, KMeansDeterministicGivenSeed) {
+  auto features = TwoBlobs(25, 29);
+  Rng rng1(31), rng2(31);
+  auto a = TargetPartitioner::KMeans(features, 2, &rng1);
+  auto b = TargetPartitioner::KMeans(features, 2, &rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t p = 0; p < a.size(); ++p) EXPECT_EQ(a[p], b[p]);
+}
+
+TEST(PartitionerTest, KMeansOnColumnsUsesSelectedFeatures) {
+  // Column 0 separates the blobs; column 1 is pure noise.
+  Dataset ds;
+  ds.inputs = Tensor({40, 2});
+  ds.targets = Tensor({40, 1});
+  Rng rng(37);
+  for (size_t i = 0; i < 40; ++i) {
+    ds.inputs.At(i, 0) = (i < 20) ? 0.0 : 10.0;
+    ds.inputs.At(i, 1) = rng.Normal(0.0, 100.0);
+  }
+  Rng krng(41);
+  auto parts = TargetPartitioner::KMeansOnColumns(ds, {0}, 2, &krng);
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& part : parts) {
+    const bool first = part[0] < 20;
+    for (size_t idx : part) EXPECT_EQ(idx < 20, first);
+  }
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,170 @@
+#include "core/pseudo_label_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+QsModel FlatQs(double sigma) {
+  QsModel qs;
+  qs.line.intercept = sigma;
+  qs.line.slope = 0.0;
+  return qs;
+}
+
+McPrediction Pred1d(double mean, double std) {
+  McPrediction p;
+  p.mean = {mean};
+  p.std = {std};
+  return p;
+}
+
+/// A 1-D map with all mass concentrated around `peak`.
+DensityMap PeakedMap(double peak, double lo, double hi, size_t cells) {
+  DensityMap map({GridSpec::FromCellCount(lo, hi, cells)});
+  const long idx = map.axis(0).CellIndexOf(peak);
+  map.cell_mutable(static_cast<size_t>(idx)) = 1.0;
+  return map;
+}
+
+/// A uniform 1-D map.
+DensityMap UniformMap(double lo, double hi, size_t cells) {
+  DensityMap map({GridSpec::FromCellCount(lo, hi, cells)});
+  for (size_t i = 0; i < cells; ++i) {
+    map.cell_mutable(i) = 1.0 / static_cast<double>(cells);
+  }
+  return map;
+}
+
+TEST(PseudoLabelTest, PulledTowardDensityPeak) {
+  DensityMap map = PeakedMap(2.0, -5.0, 5.0, 50);
+  LabelDistributionEstimator est({FlatQs(1.0)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, /*tau=*/0.5);
+  // Prediction at 1.0 with sigma 1: the 3σ window contains the peak at 2.
+  PseudoLabel pl = gen.Generate(Pred1d(1.0, 1.0));
+  EXPECT_FALSE(pl.fallback);
+  EXPECT_NEAR(pl.value[0], 2.0, 0.15);  // Snaps to the only dense cell.
+}
+
+TEST(PseudoLabelTest, UniformPriorKeepsPredictionCentered) {
+  // With an uninformative (uniform) prior the interpolation reproduces the
+  // prediction — the degradation-avoidance property of Eq. 15.
+  DensityMap map = UniformMap(-5.0, 5.0, 100);
+  LabelDistributionEstimator est({FlatQs(0.8)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  PseudoLabel pl = gen.Generate(Pred1d(0.7, 0.8));
+  EXPECT_NEAR(pl.value[0], 0.7, 0.1);
+}
+
+TEST(PseudoLabelTest, PeakOutsideLocalityIgnored) {
+  // The peak sits 10σ away: outside the 3σ locality, so no weight exists
+  // and the generator falls back to the prediction with zero credibility.
+  DensityMap map = PeakedMap(4.0, -5.0, 5.0, 100);
+  LabelDistributionEstimator est({FlatQs(0.3)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  PseudoLabel pl = gen.Generate(Pred1d(0.0, 0.3));
+  EXPECT_TRUE(pl.fallback);
+  EXPECT_DOUBLE_EQ(pl.value[0], 0.0);
+  EXPECT_DOUBLE_EQ(pl.credibility, 0.0);
+}
+
+TEST(PseudoLabelTest, CredibilityGrowsWithUncertainty) {
+  DensityMap map = UniformMap(-5.0, 5.0, 50);
+  LabelDistributionEstimator est({FlatQs(1.0)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, /*tau=*/1.0);
+  PseudoLabel a = gen.Generate(Pred1d(0.0, 1.5));
+  PseudoLabel b = gen.Generate(Pred1d(0.0, 3.0));
+  EXPECT_GT(b.credibility, a.credibility);
+}
+
+TEST(PseudoLabelTest, CredibilityGrowsWithLocalDensity) {
+  // Same uncertainty; map A has dense cells near the prediction, map B is
+  // dense far away.
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  DensityMap near = PeakedMap(0.0, -5.0, 5.0, 50);
+  DensityMap far = PeakedMap(4.5, -5.0, 5.0, 50);
+  PseudoLabelGenerator gen_near(&near, &est, 1.0);
+  PseudoLabelGenerator gen_far(&far, &est, 1.0);
+  const McPrediction p = Pred1d(0.0, 0.5);
+  EXPECT_GT(gen_near.Generate(p).credibility,
+            gen_far.Generate(p).credibility);
+}
+
+TEST(PseudoLabelTest, CredibilityFormulaMatchesEquation) {
+  // Hand-check β = (d̄_l / d̄_i) * (u / τ) on a fully uniform map, where
+  // local mean density equals global mean density -> β = u / τ.
+  DensityMap map = UniformMap(-5.0, 5.0, 50);
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, /*tau=*/2.0);
+  PseudoLabel pl = gen.Generate(Pred1d(0.0, 3.0));
+  EXPECT_NEAR(pl.credibility, 3.0 / 2.0, 1e-9);
+}
+
+TEST(PseudoLabelTest, BimodalPriorInterpolatesBetweenModes) {
+  DensityMap map({GridSpec::FromCellCount(-5.0, 5.0, 100)});
+  const long a = map.axis(0).CellIndexOf(-1.0);
+  const long b = map.axis(0).CellIndexOf(1.0);
+  map.cell_mutable(static_cast<size_t>(a)) = 1.0;
+  map.cell_mutable(static_cast<size_t>(b)) = 1.0;
+  LabelDistributionEstimator est({FlatQs(1.0)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  // A centered prediction is pulled to neither mode (the failure-case
+  // behaviour of Fig. 22: double-ring maps give near-prediction labels).
+  PseudoLabel pl = gen.Generate(Pred1d(0.0, 1.0));
+  EXPECT_NEAR(pl.value[0], 0.0, 0.12);
+}
+
+TEST(PseudoLabelTest, TwoDimensionalGeneration) {
+  GridSpec axis = GridSpec::FromCellCount(-3.0, 3.0, 30);
+  DensityMap map({axis, axis});
+  map.cell_mutable(map.FlatIndex(
+      {static_cast<size_t>(axis.CellIndexOf(1.0)),
+       static_cast<size_t>(axis.CellIndexOf(-1.0))})) = 1.0;
+  LabelDistributionEstimator est({FlatQs(0.8), FlatQs(0.8)},
+                                 ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  McPrediction p;
+  p.mean = {0.5, -0.5};
+  p.std = {0.8, 0.8};
+  PseudoLabel pl = gen.Generate(p);
+  ASSERT_EQ(pl.value.size(), 2u);
+  EXPECT_NEAR(pl.value[0], 1.0, 0.15);
+  EXPECT_NEAR(pl.value[1], -1.0, 0.15);
+}
+
+TEST(PseudoLabelTest, GenerateAllParallelsInputs) {
+  DensityMap map = UniformMap(-5.0, 5.0, 50);
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  auto labels = gen.GenerateAll({Pred1d(0.0, 0.5), Pred1d(1.0, 0.5)});
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_NEAR(labels[1].value[0] - labels[0].value[0], 1.0, 0.2);
+}
+
+TEST(PseudoLabelTest, ImprovesOverPredictionWhenPriorIsRight) {
+  // Labels live at exactly 2.0; predictions scatter around 1.2. The prior
+  // corrects them toward 2.0, reducing the error (the paper's core claim).
+  DensityMap map = PeakedMap(2.0, -5.0, 5.0, 100);
+  LabelDistributionEstimator est({FlatQs(1.0)}, ErrorModelKind::kGaussian);
+  PseudoLabelGenerator gen(&map, &est, 0.5);
+  const double truth = 2.0;
+  double pred_err = 0.0, pseudo_err = 0.0;
+  for (double offset : {-0.5, -0.2, 0.2, 0.5}) {
+    const double pred = 1.2 + offset;
+    PseudoLabel pl = gen.Generate(Pred1d(pred, 1.0));
+    pred_err += std::fabs(pred - truth);
+    pseudo_err += std::fabs(pl.value[0] - truth);
+  }
+  EXPECT_LT(pseudo_err, pred_err * 0.3);
+}
+
+TEST(PseudoLabelDeathTest, NonPositiveTauAborts) {
+  DensityMap map = UniformMap(-1.0, 1.0, 10);
+  LabelDistributionEstimator est({FlatQs(0.5)}, ErrorModelKind::kGaussian);
+  EXPECT_DEATH(PseudoLabelGenerator(&map, &est, 0.0), "tau");
+}
+
+}  // namespace
+}  // namespace tasfar

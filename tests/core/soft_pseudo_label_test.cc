@@ -1,0 +1,105 @@
+#include "core/soft_pseudo_label.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+TEST(SoftPseudoLabelTest, PriorFromConfidentCountsArgmax) {
+  std::vector<std::vector<double>> confident{
+      {0.9, 0.1, 0.0},
+      {0.8, 0.1, 0.1},
+      {0.2, 0.7, 0.1},
+  };
+  std::vector<double> prior =
+      SoftPseudoLabeler::PriorFromConfident(confident, 3);
+  // Add-one smoothing: counts {2,1,0} + 1 each over total 6.
+  EXPECT_DOUBLE_EQ(prior[0], 3.0 / 6.0);
+  EXPECT_DOUBLE_EQ(prior[1], 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(prior[2], 1.0 / 6.0);
+}
+
+TEST(SoftPseudoLabelTest, PriorNeverZero) {
+  std::vector<std::vector<double>> confident{{1.0, 0.0}};
+  std::vector<double> prior =
+      SoftPseudoLabeler::PriorFromConfident(confident, 2);
+  EXPECT_GT(prior[1], 0.0);
+}
+
+TEST(SoftPseudoLabelTest, GenerateIsBayesUpdate) {
+  SoftPseudoLabeler labeler({0.5, 0.25, 0.25}, /*tau=*/1.0);
+  auto label = labeler.Generate({0.2, 0.4, 0.4}, /*uncertainty=*/2.0);
+  // Posterior ∝ {0.1, 0.1, 0.1} -> uniform.
+  EXPECT_NEAR(label.probabilities[0], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(label.probabilities[1], 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(label.probabilities[2], 1.0 / 3.0, 1e-12);
+}
+
+TEST(SoftPseudoLabelTest, OutputSumsToOne) {
+  SoftPseudoLabeler labeler({0.7, 0.2, 0.1}, 0.5);
+  auto label = labeler.Generate({0.1, 0.3, 0.6}, 1.0);
+  double total = 0.0;
+  for (double p : label.probabilities) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SoftPseudoLabelTest, PriorPullsTowardFrequentClasses) {
+  SoftPseudoLabeler labeler({0.9, 0.1}, 1.0);
+  auto label = labeler.Generate({0.5, 0.5}, 1.0);
+  EXPECT_GT(label.probabilities[0], 0.85);
+}
+
+TEST(SoftPseudoLabelTest, CredibilityGrowsWithUncertainty) {
+  SoftPseudoLabeler labeler({0.5, 0.5}, /*tau=*/1.0);
+  auto low = labeler.Generate({0.6, 0.4}, 1.0);
+  auto high = labeler.Generate({0.6, 0.4}, 3.0);
+  EXPECT_GT(high.credibility, low.credibility);
+}
+
+TEST(SoftPseudoLabelTest, CredibilityGrowsWithPriorAgreement) {
+  SoftPseudoLabeler labeler({0.9, 0.1}, 1.0);
+  // A prediction concentrated on the frequent class carries more prior
+  // mass than one on the rare class.
+  auto agree = labeler.Generate({0.95, 0.05}, 1.0);
+  auto disagree = labeler.Generate({0.05, 0.95}, 1.0);
+  EXPECT_GT(agree.credibility, disagree.credibility);
+}
+
+TEST(SoftPseudoLabelTest, DegeneratePredictionFallsBack) {
+  SoftPseudoLabeler labeler({1.0, 0.0}, 1.0);  // Normalized internally...
+  // Zero-overlap case: prediction entirely on the zero-prior class.
+  SoftPseudoLabeler labeler2({1.0, 0.0}, 1.0);
+  auto label = labeler2.Generate({0.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(label.credibility, 0.0);
+  EXPECT_DOUBLE_EQ(label.probabilities[1], 1.0);  // Unchanged prediction.
+}
+
+TEST(SoftPseudoLabelTest, UniformPriorLeavesPredictionUnchanged) {
+  SoftPseudoLabeler labeler({0.25, 0.25, 0.25, 0.25}, 1.0);
+  std::vector<double> pred{0.1, 0.2, 0.3, 0.4};
+  auto label = labeler.Generate(pred, 1.0);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(label.probabilities[c], pred[c], 1e-12);
+  }
+}
+
+TEST(PredictiveEntropyTest, UniformIsMaximal) {
+  const double uniform = PredictiveEntropy({0.25, 0.25, 0.25, 0.25});
+  EXPECT_NEAR(uniform, std::log(4.0), 1e-12);
+  EXPECT_LT(PredictiveEntropy({0.9, 0.05, 0.03, 0.02}), uniform);
+}
+
+TEST(PredictiveEntropyTest, DeterministicIsZero) {
+  EXPECT_DOUBLE_EQ(PredictiveEntropy({1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(SoftPseudoLabelDeathTest, BadConstructionAborts) {
+  EXPECT_DEATH(SoftPseudoLabeler({}, 1.0), "empty");
+  EXPECT_DEATH(SoftPseudoLabeler({1.0}, 0.0), "tau");
+  EXPECT_DEATH(SoftPseudoLabeler({0.0, 0.0}, 1.0), "positive mass");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,187 @@
+#include "core/tasfar.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+
+namespace tasfar {
+namespace {
+
+/// A 1-D regression fixture with a genuine domain gap: the source covers
+/// x in [-2, 2] with y = x; the target sits at x around 3.5 (off the
+/// training support, so uncertainty rises) with labels concentrated at 2.
+class TasfarPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(11);
+    model_ = std::make_unique<Sequential>();
+    model_->Emplace<Dense>(1, 24, &rng);
+    model_->Emplace<Relu>();
+    model_->Emplace<Dropout>(0.2, rng.NextU64());
+    model_->Emplace<Dense>(24, 1, &rng);
+
+    // Source data: y = clamp(x, -2, 2) essentially linear in-range.
+    const size_t n = 400;
+    src_x_ = Tensor({n, 1});
+    src_y_ = Tensor({n, 1});
+    for (size_t i = 0; i < n; ++i) {
+      const double x = rng.Uniform(-2.0, 2.0);
+      src_x_.At(i, 0) = x;
+      src_y_.At(i, 0) = x + rng.Normal(0.0, 0.05);
+    }
+    Adam opt(0.01);
+    Trainer trainer(model_.get(), &opt,
+                    [](const Tensor& p, const Tensor& t, Tensor* g,
+                       const std::vector<double>* w) {
+                      return loss::Mse(p, t, g, w);
+                    });
+    TrainConfig tc;
+    tc.epochs = 60;
+    trainer.Fit(src_x_, src_y_, tc, &rng);
+
+    // Target: a mix of in-distribution inputs (confident) and
+    // out-of-distribution inputs (uncertain), all with labels near 2.
+    const size_t nt = 200;
+    tgt_x_ = Tensor({nt, 1});
+    tgt_y_ = Tensor({nt, 1});
+    for (size_t i = 0; i < nt; ++i) {
+      const bool ood = i % 3 == 0;
+      tgt_x_.At(i, 0) =
+          ood ? rng.Uniform(3.0, 4.5) : rng.Uniform(1.5, 2.0);
+      tgt_y_.At(i, 0) = 1.9 + rng.Normal(0.0, 0.1);
+    }
+
+    options_.mc_samples = 15;
+    options_.eta = 0.9;
+    options_.num_segments = 10;
+    options_.grid_cell_size = 0.1;
+    options_.adaptation.train.epochs = 40;
+    options_.adaptation.learning_rate = 2e-3;
+  }
+
+  std::unique_ptr<Sequential> model_;
+  Tensor src_x_, src_y_, tgt_x_, tgt_y_;
+  TasfarOptions options_;
+};
+
+TEST_F(TasfarPipelineTest, CalibrationProducesPositiveTauAndQs) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib =
+      tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  EXPECT_GT(calib.tau, 0.0);
+  ASSERT_EQ(calib.qs_per_dim.size(), 1u);
+  EXPECT_GT(calib.qs_per_dim[0].Sigma(calib.tau), 0.0);
+}
+
+TEST_F(TasfarPipelineTest, AdaptReportIsCoherent) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  Rng rng(13);
+  TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  EXPECT_EQ(report.num_confident + report.num_uncertain, tgt_x_.dim(0));
+  EXPECT_EQ(report.predictions.size(), tgt_x_.dim(0));
+  ASSERT_FALSE(report.skipped);
+  ASSERT_TRUE(report.density_map.has_value());
+  EXPECT_EQ(report.pseudo_labels.size(), report.num_uncertain);
+  EXPECT_FALSE(report.history.empty());
+  ASSERT_NE(report.target_model, nullptr);
+}
+
+TEST_F(TasfarPipelineTest, OutOfDistributionInputsAreTheUncertainOnes) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  Rng rng(17);
+  TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  // OOD inputs (x > 3) carry systematically larger MC-dropout uncertainty
+  // than the in-distribution ones.
+  ASSERT_GT(report.num_uncertain, 0u);
+  double u_ood = 0.0, u_in = 0.0;
+  size_t n_ood = 0, n_in = 0;
+  for (size_t i = 0; i < report.predictions.size(); ++i) {
+    const double u = report.predictions[i].ScalarUncertainty();
+    if (tgt_x_.At(i, 0) > 3.0) {
+      u_ood += u;
+      ++n_ood;
+    } else {
+      u_in += u;
+      ++n_in;
+    }
+  }
+  ASSERT_GT(n_ood, 0u);
+  ASSERT_GT(n_in, 0u);
+  EXPECT_GT(u_ood / static_cast<double>(n_ood),
+            u_in / static_cast<double>(n_in));
+}
+
+TEST_F(TasfarPipelineTest, AdaptationReducesTargetError) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  Rng rng(19);
+  TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  ASSERT_FALSE(report.skipped);
+  Tensor before = BatchedForward(model_.get(), tgt_x_);
+  Tensor after = BatchedForward(report.target_model.get(), tgt_x_);
+  const double mse_before = loss::Mse(before, tgt_y_, nullptr, nullptr);
+  const double mse_after = loss::Mse(after, tgt_y_, nullptr, nullptr);
+  EXPECT_LT(mse_after, mse_before);
+}
+
+TEST_F(TasfarPipelineTest, SkipsWhenEverythingConfident) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  calib.tau = 1e9;  // Nothing exceeds this.
+  Rng rng(23);
+  TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  EXPECT_TRUE(report.skipped);
+  ASSERT_NE(report.target_model, nullptr);
+  // The returned model behaves exactly like the source model.
+  Tensor a = BatchedForward(model_.get(), tgt_x_);
+  Tensor b = BatchedForward(report.target_model.get(), tgt_x_);
+  EXPECT_NEAR(a.MaxAbsDiff(b), 0.0, 1e-12);
+}
+
+TEST_F(TasfarPipelineTest, SkipsWhenNothingConfident) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  calib.tau = 0.0;  // Everything exceeds this... except exact zeros.
+  calib.tau = 1e-12;
+  Rng rng(29);
+  TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  EXPECT_TRUE(report.skipped);
+}
+
+TEST_F(TasfarPipelineTest, DeterministicGivenSeeds) {
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  Rng rng1(31);
+  // Clone the model so dropout-mask streams start identically.
+  auto m1 = model_->CloneSequential();
+  TasfarReport r1 = tasfar.Adapt(m1.get(), calib, tgt_x_, &rng1);
+  Rng rng2(31);
+  auto m2 = model_->CloneSequential();
+  TasfarReport r2 = tasfar.Adapt(m2.get(), calib, tgt_x_, &rng2);
+  EXPECT_EQ(r1.num_uncertain, r2.num_uncertain);
+  Tensor p1 = BatchedForward(r1.target_model.get(), tgt_x_);
+  Tensor p2 = BatchedForward(r2.target_model.get(), tgt_x_);
+  EXPECT_NEAR(p1.MaxAbsDiff(p2), 0.0, 1e-12);
+}
+
+TEST(TasfarOptionsDeathTest, InvalidOptionsAbort) {
+  TasfarOptions bad;
+  bad.eta = 1.5;
+  EXPECT_DEATH(Tasfar{bad}, "");
+  TasfarOptions bad2;
+  bad2.grid_cell_size = 0.0;
+  EXPECT_DEATH(Tasfar{bad2}, "");
+  TasfarOptions bad3;
+  bad3.mc_samples = 1;
+  EXPECT_DEATH(Tasfar{bad3}, "");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,149 @@
+#include "data/crowd_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+CrowdSimConfig TinyConfig() {
+  CrowdSimConfig cfg;
+  cfg.image_size = 16;
+  cfg.part_a_images = 40;
+  cfg.part_b_images = 60;
+  cfg.num_scenes_b = 3;
+  return cfg;
+}
+
+TEST(CrowdSimTest, PartShapes) {
+  CrowdSimulator sim(TinyConfig(), 5);
+  Dataset a = sim.GeneratePartA();
+  Dataset b = sim.GeneratePartB();
+  a.Validate();
+  b.Validate();
+  EXPECT_EQ(a.size(), 40u);
+  EXPECT_EQ(b.size(), 60u);
+  EXPECT_EQ(a.inputs.rank(), 4u);
+  EXPECT_EQ(a.inputs.dim(1), 1u);
+  EXPECT_EQ(a.inputs.dim(2), 16u);
+  EXPECT_EQ(b.label_dim(), 1u);
+}
+
+TEST(CrowdSimTest, Deterministic) {
+  CrowdSimulator s1(TinyConfig(), 5);
+  CrowdSimulator s2(TinyConfig(), 5);
+  EXPECT_DOUBLE_EQ(
+      s1.GeneratePartB().inputs.MaxAbsDiff(s2.GeneratePartB().inputs), 0.0);
+}
+
+TEST(CrowdSimTest, PartBHasThreeScenes) {
+  CrowdSimulator sim(TinyConfig(), 7);
+  Dataset b = sim.GeneratePartB();
+  std::vector<int> groups = DistinctGroups(b);
+  EXPECT_EQ(groups.size(), 3u);
+  for (int g : groups) {
+    EXPECT_GE(FilterByGroup(b, g).size(), 15u);
+  }
+}
+
+TEST(CrowdSimTest, SceneCountLevelsDiffer) {
+  CrowdSimulator sim(TinyConfig(), 9);
+  Dataset b = sim.GeneratePartB();
+  std::vector<double> means;
+  for (int g : DistinctGroups(b)) {
+    Dataset scene = FilterByGroup(b, g);
+    std::vector<double> counts;
+    for (size_t i = 0; i < scene.size(); ++i) {
+      counts.push_back(scene.targets.At(i, 0));
+    }
+    means.push_back(stats::Mean(counts));
+  }
+  std::sort(means.begin(), means.end());
+  // Sparse / medium / crowded sites have clearly separated levels.
+  EXPECT_GT(means[1], means[0] * 1.3);
+  EXPECT_GT(means[2], means[1] * 1.3);
+}
+
+TEST(CrowdSimTest, CrowdedSceneHasTighterRelativeSpread) {
+  // Scene 3 of the paper keeps a stable pedestrian stream: its coefficient
+  // of variation is smaller than the sparse scene's.
+  CrowdSimConfig cfg = TinyConfig();
+  cfg.part_b_images = 300;
+  CrowdSimulator sim(cfg, 11);
+  Dataset b = sim.GeneratePartB();
+  auto cv_of = [&](int g) {
+    Dataset scene = FilterByGroup(b, g);
+    std::vector<double> counts;
+    for (size_t i = 0; i < scene.size(); ++i) {
+      counts.push_back(scene.targets.At(i, 0));
+    }
+    return stats::StdDev(counts) / stats::Mean(counts);
+  };
+  EXPECT_LT(cv_of(2), cv_of(0));
+}
+
+TEST(CrowdSimTest, ImageIntensityTracksCount) {
+  CrowdSimulator sim(TinyConfig(), 13);
+  CrowdSceneProfile scene = sim.part_b_scenes()[1];
+  scene.glare_prob = 0.0;  // Isolate the count signal.
+  Rng rng(17);
+  Tensor sparse = sim.RenderImage(scene, 5, &rng);
+  Tensor dense = sim.RenderImage(scene, 80, &rng);
+  EXPECT_GT(dense.Sum(), sparse.Sum());
+}
+
+TEST(CrowdSimTest, ZeroCountImageIsBackgroundOnly) {
+  CrowdSimulator sim(TinyConfig(), 17);
+  CrowdSceneProfile scene = sim.part_b_scenes()[0];
+  scene.glare_prob = 0.0;  // Isolate the background.
+  Rng rng(19);
+  Tensor img = sim.RenderImage(scene, 0, &rng);
+  // Background is darkish with clutter noise; nothing bright.
+  EXPECT_LT(img.Max(), 0.5);
+}
+
+TEST(CrowdSimTest, PartBHasGlareArtifacts) {
+  CrowdSimulator sim(TinyConfig(), 19);
+  Dataset a = sim.GeneratePartA();
+  Dataset b = sim.GeneratePartB();
+  // Appearance gap: Part B's street footage is frequently contaminated by
+  // bright lens glare; curated Part A rarely is. Count the images whose
+  // peak intensity exceeds what person blobs alone produce.
+  auto glare_fraction = [](const Dataset& ds) {
+    size_t glared = 0;
+    const size_t per_image = ds.inputs.size() / ds.size();
+    for (size_t i = 0; i < ds.size(); ++i) {
+      double peak = 0.0;
+      for (size_t k = 0; k < per_image; ++k) {
+        peak = std::max(peak, ds.inputs[i * per_image + k]);
+      }
+      glared += (peak > 2.5) ? 1 : 0;
+    }
+    return static_cast<double>(glared) / static_cast<double>(ds.size());
+  };
+  EXPECT_GT(glare_fraction(b), glare_fraction(a) + 0.1);
+}
+
+TEST(CrowdSimTest, CountsNonNegative) {
+  CrowdSimulator sim(TinyConfig(), 23);
+  Dataset b = sim.GeneratePartB();
+  EXPECT_GE(b.targets.Min(), 0.0);
+}
+
+TEST(BuildCrowdModelTest, OutputShapeAndParamSharing) {
+  Rng rng(29);
+  auto model = BuildCrowdModel(16, &rng);
+  Tensor x = Tensor::RandomNormal({2, 1, 16, 16}, &rng);
+  Tensor y = model->Forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 1u);
+  EXPECT_GT(model->ParameterCount(), 100u);
+}
+
+}  // namespace
+}  // namespace tasfar

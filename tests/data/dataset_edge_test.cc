@@ -1,0 +1,100 @@
+// Edge cases of the dataset utilities: boundary fractions, singleton
+// datasets, empty subsets — failure surfaces that matter because every
+// harness splits data before anything else runs.
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace tasfar {
+namespace {
+
+Dataset Make(size_t n) {
+  Dataset ds;
+  ds.inputs = Tensor({n, 2});
+  ds.targets = Tensor({n, 1});
+  for (size_t i = 0; i < n; ++i) {
+    ds.inputs.At(i, 0) = static_cast<double>(i);
+    ds.targets.At(i, 0) = static_cast<double>(i);
+  }
+  return ds;
+}
+
+TEST(DatasetEdgeTest, SplitFractionZeroPutsEverythingSecond) {
+  Rng rng(1);
+  SplitResult split = SplitFraction(Make(5), 0.0, true, &rng);
+  EXPECT_EQ(split.first.size(), 0u);
+  EXPECT_EQ(split.second.size(), 5u);
+}
+
+TEST(DatasetEdgeTest, SplitFractionOnePutsEverythingFirst) {
+  Rng rng(2);
+  SplitResult split = SplitFraction(Make(5), 1.0, true, &rng);
+  EXPECT_EQ(split.first.size(), 5u);
+  EXPECT_EQ(split.second.size(), 0u);
+}
+
+TEST(DatasetEdgeTest, SplitSingletonDataset) {
+  Rng rng(3);
+  SplitResult split = SplitFraction(Make(1), 0.5, true, &rng);
+  EXPECT_EQ(split.first.size() + split.second.size(), 1u);
+}
+
+TEST(DatasetEdgeTest, EmptySubsetHasZeroRows) {
+  Dataset sub = Subset(Make(4), {});
+  EXPECT_EQ(sub.size(), 0u);
+  EXPECT_EQ(sub.inputs.dim(1), 2u);  // Trailing shape preserved.
+}
+
+TEST(DatasetEdgeTest, SubsetWithRepeats) {
+  Dataset sub = Subset(Make(3), {2, 2, 0});
+  ASSERT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.inputs.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.inputs.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.inputs.At(2, 0), 0.0);
+}
+
+TEST(DatasetEdgeTest, ConcatSingleDatasetIsIdentity) {
+  Dataset a = Make(3);
+  Dataset c = Concat({a});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c.inputs.MaxAbsDiff(a.inputs), 0.0);
+}
+
+TEST(DatasetEdgeTest, FilterByMissingGroupIsEmpty) {
+  Dataset ds = Make(3);
+  ds.group_ids = {1, 1, 2};
+  Dataset none = FilterByGroup(ds, 99);
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST(DatasetEdgeTest, DistinctGroupsOnUntaggedDatasetIsEmpty) {
+  EXPECT_TRUE(DistinctGroups(Make(3)).empty());
+}
+
+TEST(DatasetEdgeTest, NormalizerSingleRow) {
+  Normalizer norm;
+  Tensor x({1, 3}, {1.0, 2.0, 3.0});
+  norm.Fit(x);  // Zero variance everywhere -> std defaults to 1.
+  Tensor z = norm.Apply(x);
+  EXPECT_DOUBLE_EQ(z.SquaredNorm(), 0.0);
+}
+
+TEST(DatasetEdgeTest, NormalizerRoundTripRecoversValues) {
+  Normalizer norm;
+  Rng rng(7);
+  Tensor x = Tensor::RandomNormal({20, 3}, &rng, 5.0, 2.0);
+  norm.Fit(x);
+  Tensor z = norm.Apply(x);
+  // Invert manually.
+  Tensor back = z;
+  for (size_t i = 0; i < 20; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      back.At(i, j) = z.At(i, j) * norm.std()[j] + norm.mean()[j];
+    }
+  }
+  EXPECT_NEAR(back.MaxAbsDiff(x), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tasfar

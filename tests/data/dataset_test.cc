@@ -1,0 +1,153 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+Dataset MakeTabular(size_t n) {
+  Dataset ds;
+  ds.inputs = Tensor({n, 2});
+  ds.targets = Tensor({n, 1});
+  for (size_t i = 0; i < n; ++i) {
+    ds.inputs.At(i, 0) = static_cast<double>(i);
+    ds.inputs.At(i, 1) = static_cast<double>(i) * 10.0;
+    ds.targets.At(i, 0) = static_cast<double>(i) * 100.0;
+    ds.group_ids.push_back(static_cast<int>(i % 3));
+  }
+  return ds;
+}
+
+TEST(DatasetTest, SizeAndLabelDim) {
+  Dataset ds = MakeTabular(5);
+  EXPECT_EQ(ds.size(), 5u);
+  EXPECT_EQ(ds.label_dim(), 1u);
+  ds.Validate();
+}
+
+TEST(DatasetTest, EmptyDefaultHasSizeZero) {
+  Dataset ds;
+  EXPECT_EQ(ds.size(), 0u);
+}
+
+TEST(DatasetTest, SubsetSelectsRowsAndGroups) {
+  Dataset ds = MakeTabular(6);
+  Dataset sub = Subset(ds, {4, 1});
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.inputs.At(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sub.targets.At(1, 0), 100.0);
+  EXPECT_EQ(sub.group_ids[0], 1);  // 4 % 3.
+}
+
+TEST(DatasetTest, ConcatStacksEverything) {
+  Dataset a = MakeTabular(2);
+  Dataset b = MakeTabular(3);
+  Dataset c = Concat({a, b});
+  EXPECT_EQ(c.size(), 5u);
+  EXPECT_DOUBLE_EQ(c.inputs.At(2, 0), 0.0);  // First row of b.
+  EXPECT_EQ(c.group_ids.size(), 5u);
+}
+
+TEST(DatasetTest, FilterByGroup) {
+  Dataset ds = MakeTabular(9);
+  Dataset g1 = FilterByGroup(ds, 1);
+  EXPECT_EQ(g1.size(), 3u);
+  for (int g : g1.group_ids) EXPECT_EQ(g, 1);
+}
+
+TEST(DatasetTest, DistinctGroupsInFirstAppearanceOrder) {
+  Dataset ds = MakeTabular(9);
+  std::vector<int> groups = DistinctGroups(ds);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], 0);
+  EXPECT_EQ(groups[1], 1);
+  EXPECT_EQ(groups[2], 2);
+}
+
+TEST(DatasetTest, SplitFractionCountsCorrect) {
+  Dataset ds = MakeTabular(10);
+  Rng rng(1);
+  SplitResult split = SplitFraction(ds, 0.8, true, &rng);
+  EXPECT_EQ(split.first.size(), 8u);
+  EXPECT_EQ(split.second.size(), 2u);
+}
+
+TEST(DatasetTest, SplitWithoutShuffleKeepsOrder) {
+  Dataset ds = MakeTabular(4);
+  SplitResult split = SplitFraction(ds, 0.5, false, nullptr);
+  EXPECT_DOUBLE_EQ(split.first.inputs.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(split.second.inputs.At(0, 0), 2.0);
+}
+
+TEST(DatasetTest, SplitShufflePartitionsAllRows) {
+  Dataset ds = MakeTabular(20);
+  Rng rng(2);
+  SplitResult split = SplitFraction(ds, 0.7, true, &rng);
+  std::vector<double> seen;
+  for (size_t i = 0; i < split.first.size(); ++i) {
+    seen.push_back(split.first.inputs.At(i, 0));
+  }
+  for (size_t i = 0; i < split.second.size(); ++i) {
+    seen.push_back(split.second.inputs.At(i, 0));
+  }
+  std::sort(seen.begin(), seen.end());
+  for (size_t i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+}
+
+TEST(NormalizerTest, TabularZScores) {
+  Normalizer norm;
+  Tensor x({4, 2}, {0.0, 10.0, 2.0, 20.0, 4.0, 30.0, 6.0, 40.0});
+  norm.Fit(x);
+  Tensor z = norm.Apply(x);
+  // Each column has mean 0 std 1 after the transform.
+  Tensor mean = z.ColMean();
+  Tensor stdv = z.ColStd();
+  EXPECT_NEAR(mean[0], 0.0, 1e-12);
+  EXPECT_NEAR(mean[1], 0.0, 1e-12);
+  EXPECT_NEAR(stdv[0], 1.0, 1e-12);
+  EXPECT_NEAR(stdv[1], 1.0, 1e-12);
+}
+
+TEST(NormalizerTest, ConstantFeatureGetsUnitStd) {
+  Normalizer norm;
+  Tensor x({3, 1}, {5.0, 5.0, 5.0});
+  norm.Fit(x);
+  Tensor z = norm.Apply(x);
+  EXPECT_DOUBLE_EQ(z.At(0, 0), 0.0);
+  EXPECT_TRUE(z.AllFinite());
+}
+
+TEST(NormalizerTest, AppliesSourceStatsToTarget) {
+  Normalizer norm;
+  Tensor source({2, 1}, {0.0, 2.0});  // mean 1, std 1.
+  norm.Fit(source);
+  Tensor target({1, 1}, {3.0});
+  EXPECT_DOUBLE_EQ(norm.Apply(target).At(0, 0), 2.0);
+}
+
+TEST(NormalizerTest, HigherRankUsesGlobalStats) {
+  Normalizer norm;
+  Tensor x({2, 1, 2, 2}, {0, 0, 0, 0, 2, 2, 2, 2});
+  norm.Fit(x);
+  Tensor z = norm.Apply(x);
+  EXPECT_NEAR(z.Mean(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z[0], -1.0);
+  EXPECT_DOUBLE_EQ(z[7], 1.0);
+}
+
+TEST(NormalizerDeathTest, ApplyBeforeFitAborts) {
+  Normalizer norm;
+  EXPECT_DEATH(norm.Apply(Tensor({1, 1})), "before Fit");
+}
+
+TEST(DatasetDeathTest, ConcatShapeMismatchAborts) {
+  Dataset a = MakeTabular(2);
+  Dataset b;
+  b.inputs = Tensor({2, 3});
+  b.targets = Tensor({2, 1});
+  b.group_ids = {0, 0};
+  EXPECT_DEATH(Concat({a, b}), "");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,177 @@
+#include "data/pdr_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/sequential.h"
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+PdrSimConfig TinyConfig() {
+  PdrSimConfig cfg;
+  cfg.num_seen_users = 3;
+  cfg.num_unseen_users = 2;
+  cfg.source_steps_per_user = 30;
+  cfg.target_trajectories_seen = 4;
+  cfg.target_trajectories_unseen = 5;
+  cfg.steps_per_trajectory = 15;
+  return cfg;
+}
+
+TEST(PdrSimTest, SourceDatasetShape) {
+  PdrSimulator sim(TinyConfig(), 42);
+  Dataset src = sim.GenerateSourceDataset();
+  src.Validate();
+  EXPECT_EQ(src.size(), 3u * 30);
+  EXPECT_EQ(src.inputs.rank(), 3u);
+  EXPECT_EQ(src.inputs.dim(1), 6u);
+  EXPECT_EQ(src.inputs.dim(2), 20u);
+  EXPECT_EQ(src.label_dim(), 2u);
+}
+
+TEST(PdrSimTest, Deterministic) {
+  PdrSimulator a(TinyConfig(), 42);
+  PdrSimulator b(TinyConfig(), 42);
+  Dataset da = a.GenerateSourceDataset();
+  Dataset db = b.GenerateSourceDataset();
+  EXPECT_DOUBLE_EQ(da.inputs.MaxAbsDiff(db.inputs), 0.0);
+  EXPECT_DOUBLE_EQ(da.targets.MaxAbsDiff(db.targets), 0.0);
+}
+
+TEST(PdrSimTest, DifferentSeedsDiffer) {
+  PdrSimulator a(TinyConfig(), 1);
+  PdrSimulator b(TinyConfig(), 2);
+  EXPECT_GT(a.GenerateSourceDataset().inputs.MaxAbsDiff(
+                b.GenerateSourceDataset().inputs),
+            0.0);
+}
+
+TEST(PdrSimTest, TargetUserCountsAndGroups) {
+  PdrSimulator sim(TinyConfig(), 7);
+  auto users = sim.GenerateTargetUsers();
+  ASSERT_EQ(users.size(), 5u);
+  size_t seen = 0, unseen = 0;
+  for (const auto& u : users) {
+    (u.profile.seen ? seen : unseen) += 1;
+    EXPECT_FALSE(u.adaptation.empty());
+    EXPECT_FALSE(u.test.empty());
+  }
+  EXPECT_EQ(seen, 3u);
+  EXPECT_EQ(unseen, 2u);
+}
+
+TEST(PdrSimTest, AdaptationFractionRoughly80Percent) {
+  PdrSimConfig cfg = TinyConfig();
+  cfg.target_trajectories_seen = 10;
+  PdrSimulator sim(cfg, 7);
+  auto users = sim.GenerateTargetUsers();
+  EXPECT_EQ(users[0].adaptation.size(), 8u);
+  EXPECT_EQ(users[0].test.size(), 2u);
+}
+
+TEST(PdrSimTest, StepLengthsMatchProfile) {
+  PdrSimulator sim(TinyConfig(), 11);
+  PdrUserProfile p;
+  p.id = 0;
+  p.stride_mean = 1.3;
+  p.stride_std = 0.1;
+  Rng rng(5);
+  PdrTrajectory traj = sim.SimulateTrajectory(p, 400, &rng);
+  std::vector<double> lengths;
+  for (size_t i = 0; i < 400; ++i) {
+    const double dx = traj.steps.targets.At(i, 0);
+    const double dy = traj.steps.targets.At(i, 1);
+    lengths.push_back(std::sqrt(dx * dx + dy * dy));
+  }
+  EXPECT_NEAR(stats::Mean(lengths), 1.3, 0.05);
+  EXPECT_NEAR(stats::StdDev(lengths), 0.1, 0.05);
+}
+
+TEST(PdrSimTest, LabelsFormARing) {
+  // All displacement magnitudes concentrate near the stride mean while
+  // headings spread — the ring-shaped density of Fig. 2/6.
+  PdrSimulator sim(TinyConfig(), 13);
+  PdrUserProfile p;
+  p.stride_mean = 1.0;
+  p.stride_std = 0.05;
+  p.turn_std = 0.5;  // Headings wander quickly.
+  Rng rng(17);
+  PdrTrajectory traj = sim.SimulateTrajectory(p, 600, &rng);
+  size_t quadrant[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < 600; ++i) {
+    const double dx = traj.steps.targets.At(i, 0);
+    const double dy = traj.steps.targets.At(i, 1);
+    quadrant[(dx >= 0 ? 0 : 1) + (dy >= 0 ? 0 : 2)] += 1;
+  }
+  // The walk covers all heading quadrants.
+  for (size_t q = 0; q < 4; ++q) EXPECT_GT(quadrant[q], 30u);
+}
+
+TEST(PdrSimTest, SignalEncodesHeading) {
+  // Channels 4/5 carry cos/sin of the heading (plus noise/gain), so they
+  // must correlate with the normalized displacement direction.
+  PdrSimulator sim(TinyConfig(), 19);
+  PdrUserProfile p;  // Default gains = 1, small noise.
+  Rng rng(23);
+  PdrTrajectory traj = sim.SimulateTrajectory(p, 100, &rng);
+  std::vector<double> ch4, cos_heading;
+  for (size_t i = 0; i < 100; ++i) {
+    double mean_ch4 = 0.0;
+    for (size_t t = 0; t < 20; ++t) mean_ch4 += traj.steps.inputs.At(i, 4, t);
+    ch4.push_back(mean_ch4 / 20.0);
+    const double dx = traj.steps.targets.At(i, 0);
+    const double dy = traj.steps.targets.At(i, 1);
+    cos_heading.push_back(dx / std::sqrt(dx * dx + dy * dy));
+  }
+  EXPECT_GT(stats::PearsonCorrelation(ch4, cos_heading), 0.9);
+}
+
+TEST(PdrSimTest, UnseenUsersHaveLargerDeviceDistortion) {
+  PdrSimConfig cfg = TinyConfig();
+  cfg.num_seen_users = 10;
+  cfg.num_unseen_users = 10;
+  PdrSimulator sim(cfg, 29);
+  auto users = sim.GenerateTargetUsers();
+  double seen_dev = 0.0, unseen_dev = 0.0;
+  size_t ns = 0, nu = 0;
+  for (const auto& u : users) {
+    double dev = 0.0;
+    for (size_t c = 0; c < 6; ++c) {
+      dev += std::fabs(u.profile.channel_gain[c] - 1.0);
+    }
+    if (u.profile.seen) {
+      seen_dev += dev;
+      ++ns;
+    } else {
+      unseen_dev += dev;
+      ++nu;
+    }
+  }
+  EXPECT_GT(unseen_dev / nu, seen_dev / ns);
+}
+
+TEST(PdrSimTest, AllSignalsFinite) {
+  PdrSimulator sim(TinyConfig(), 31);
+  Dataset src = sim.GenerateSourceDataset();
+  EXPECT_TRUE(src.inputs.AllFinite());
+  EXPECT_TRUE(src.targets.AllFinite());
+}
+
+TEST(BuildPdrModelTest, OutputShapeAndDropout) {
+  Rng rng(37);
+  auto model = BuildPdrModel(20, &rng);
+  Tensor x = Tensor::RandomNormal({3, 6, 20}, &rng);
+  Tensor y = model->Forward(x, false);
+  EXPECT_EQ(y.dim(0), 3u);
+  EXPECT_EQ(y.dim(1), 2u);
+  // Stochastic under training=true (MC dropout requirement).
+  Tensor y1 = model->Forward(x, true);
+  Tensor y2 = model->Forward(x, true);
+  EXPECT_GT(y1.MaxAbsDiff(y2), 0.0);
+}
+
+}  // namespace
+}  // namespace tasfar

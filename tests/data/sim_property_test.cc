@@ -1,0 +1,175 @@
+// Property-style sweeps over the simulators: structural invariants that
+// must hold for any configuration (shapes, determinism, group integrity,
+// label sanity).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "data/crowd_sim.h"
+#include "data/housing_sim.h"
+#include "data/pdr_sim.h"
+#include "data/taxi_sim.h"
+
+namespace tasfar {
+namespace {
+
+// --- PDR -------------------------------------------------------------
+
+using PdrParam = std::tuple<size_t /*window*/, size_t /*steps*/,
+                            uint64_t /*seed*/>;
+
+class PdrSimPropertyTest : public ::testing::TestWithParam<PdrParam> {
+ protected:
+  PdrSimConfig Config() const {
+    PdrSimConfig cfg;
+    cfg.num_seen_users = 2;
+    cfg.num_unseen_users = 1;
+    cfg.window_len = std::get<0>(GetParam());
+    cfg.source_steps_per_user = 20;
+    cfg.target_trajectories_seen = 3;
+    cfg.target_trajectories_unseen = 3;
+    cfg.steps_per_trajectory = std::get<1>(GetParam());
+    return cfg;
+  }
+  uint64_t seed() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(PdrSimPropertyTest, ShapesMatchConfig) {
+  PdrSimulator sim(Config(), seed());
+  Dataset src = sim.GenerateSourceDataset();
+  EXPECT_EQ(src.inputs.dim(2), Config().window_len);
+  for (const PdrUserData& user : sim.GenerateTargetUsers()) {
+    for (const PdrTrajectory& traj : user.adaptation) {
+      EXPECT_EQ(traj.steps.inputs.dim(0), Config().steps_per_trajectory);
+      EXPECT_EQ(traj.steps.inputs.dim(2), Config().window_len);
+      EXPECT_EQ(traj.steps.targets.dim(1), 2u);
+    }
+    EXPECT_FALSE(user.test.empty());
+  }
+}
+
+TEST_P(PdrSimPropertyTest, StepLengthsArePositiveAndBounded) {
+  PdrSimulator sim(Config(), seed());
+  for (const PdrUserData& user : sim.GenerateTargetUsers()) {
+    for (const PdrTrajectory& traj : user.adaptation) {
+      for (size_t s = 0; s < traj.steps.size(); ++s) {
+        const double dx = traj.steps.targets.At(s, 0);
+        const double dy = traj.steps.targets.At(s, 1);
+        const double len = std::sqrt(dx * dx + dy * dy);
+        EXPECT_GT(len, 0.05);
+        EXPECT_LT(len, 3.0);
+      }
+    }
+  }
+}
+
+TEST_P(PdrSimPropertyTest, GroupTagsMatchUserIds) {
+  PdrSimulator sim(Config(), seed());
+  for (const PdrUserData& user : sim.GenerateTargetUsers()) {
+    for (const PdrTrajectory& traj : user.adaptation) {
+      for (int g : traj.steps.group_ids) {
+        EXPECT_EQ(g, user.profile.id);
+      }
+    }
+  }
+}
+
+TEST_P(PdrSimPropertyTest, RegenerationIsIdentical) {
+  PdrSimulator a(Config(), seed());
+  PdrSimulator b(Config(), seed());
+  auto ua = a.GenerateTargetUsers();
+  auto ub = b.GenerateTargetUsers();
+  ASSERT_EQ(ua.size(), ub.size());
+  for (size_t u = 0; u < ua.size(); ++u) {
+    ASSERT_EQ(ua[u].adaptation.size(), ub[u].adaptation.size());
+    EXPECT_DOUBLE_EQ(ua[u].adaptation[0].steps.inputs.MaxAbsDiff(
+                         ub[u].adaptation[0].steps.inputs),
+                     0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PdrSimPropertyTest,
+    ::testing::Combine(::testing::Values(8u, 20u, 32u),
+                       ::testing::Values(5u, 25u),
+                       ::testing::Values(1u, 99u)),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "s" +
+             std::to_string(std::get<1>(info.param)) + "seed" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// --- Crowd -----------------------------------------------------------
+
+class CrowdSimPropertyTest
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(CrowdSimPropertyTest, ImagesAreFiniteAndLabeled) {
+  CrowdSimConfig cfg;
+  cfg.image_size = std::get<0>(GetParam());
+  cfg.part_a_images = 12;
+  cfg.part_b_images = 15;
+  CrowdSimulator sim(cfg, std::get<1>(GetParam()));
+  for (const Dataset& part : {sim.GeneratePartA(), sim.GeneratePartB()}) {
+    part.Validate();
+    EXPECT_TRUE(part.inputs.AllFinite());
+    EXPECT_GE(part.targets.Min(), 0.0);
+    EXPECT_EQ(part.inputs.dim(2), cfg.image_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrowdSimPropertyTest,
+                         ::testing::Combine(::testing::Values(8u, 16u, 24u),
+                                            ::testing::Values(4u, 44u)),
+                         [](const auto& info) {
+                           return "s" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "seed" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// --- Tabular ----------------------------------------------------------
+
+class TabularSimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TabularSimPropertyTest, HousingRegionsDisjointAndFinite) {
+  HousingSimConfig cfg;
+  cfg.source_samples = 150;
+  cfg.target_samples = 100;
+  HousingSimulator sim(cfg, GetParam());
+  Dataset src = sim.GenerateSource();
+  Dataset tgt = sim.GenerateTarget();
+  EXPECT_TRUE(src.inputs.AllFinite());
+  EXPECT_TRUE(tgt.inputs.AllFinite());
+  double src_min_cd = 1e9, tgt_max_cd = -1e9;
+  for (size_t i = 0; i < src.size(); ++i) {
+    src_min_cd = std::min(src_min_cd, src.inputs.At(i, kCoastDistance));
+  }
+  for (size_t i = 0; i < tgt.size(); ++i) {
+    tgt_max_cd = std::max(tgt_max_cd, tgt.inputs.At(i, kCoastDistance));
+  }
+  EXPECT_GE(src_min_cd, tgt_max_cd);
+}
+
+TEST_P(TabularSimPropertyTest, TaxiDurationsPositiveEverywhere) {
+  TaxiSimConfig cfg;
+  cfg.source_samples = 150;
+  cfg.target_samples = 100;
+  TaxiSimulator sim(cfg, GetParam());
+  for (const Dataset& part : {sim.GenerateSource(), sim.GenerateTarget()}) {
+    part.Validate();
+    EXPECT_GE(part.targets.Min(), 1.0);
+    EXPECT_TRUE(part.inputs.AllFinite());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TabularSimPropertyTest,
+                         ::testing::Values(1u, 7u, 1234u),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tasfar

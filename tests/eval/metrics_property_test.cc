@@ -1,0 +1,90 @@
+// Invariance properties of the trajectory metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(MetricsPropertyTest, SteIsPermutationInvariant) {
+  Rng rng(1);
+  Tensor pred = Tensor::RandomNormal({12, 2}, &rng);
+  Tensor truth = Tensor::RandomNormal({12, 2}, &rng);
+  std::vector<size_t> perm = rng.Permutation(12);
+  EXPECT_NEAR(metrics::Ste(pred, truth),
+              metrics::Ste(pred.GatherRows(perm), truth.GatherRows(perm)),
+              1e-12);
+}
+
+TEST(MetricsPropertyTest, RteIsPermutationInvariant) {
+  // RTE only depends on the summed displacement, so step order is
+  // irrelevant.
+  Rng rng(2);
+  Tensor pred = Tensor::RandomNormal({10, 2}, &rng);
+  Tensor truth = Tensor::RandomNormal({10, 2}, &rng);
+  std::vector<size_t> perm = rng.Permutation(10);
+  EXPECT_NEAR(metrics::Rte(pred, truth),
+              metrics::Rte(pred.GatherRows(perm), truth.GatherRows(perm)),
+              1e-12);
+}
+
+TEST(MetricsPropertyTest, RteNeverExceedsSummedStepError) {
+  // Triangle inequality: |Σ (p_i - t_i)| <= Σ |p_i - t_i| = n * STE.
+  Rng rng(3);
+  for (int rep = 0; rep < 10; ++rep) {
+    Tensor pred = Tensor::RandomNormal({15, 2}, &rng);
+    Tensor truth = Tensor::RandomNormal({15, 2}, &rng);
+    EXPECT_LE(metrics::Rte(pred, truth),
+              15.0 * metrics::Ste(pred, truth) + 1e-9);
+  }
+}
+
+TEST(MetricsPropertyTest, SteTranslationOfBothIsInvariant) {
+  Rng rng(4);
+  Tensor pred = Tensor::RandomNormal({8, 2}, &rng);
+  Tensor truth = Tensor::RandomNormal({8, 2}, &rng);
+  EXPECT_NEAR(metrics::Ste(pred + 3.0, truth + 3.0),
+              metrics::Ste(pred, truth), 1e-12);
+}
+
+TEST(MetricsPropertyTest, RmseDominatesMae) {
+  // By Jensen: RMSE >= MAE on the same residuals.
+  Rng rng(5);
+  Tensor pred = Tensor::RandomNormal({20, 1}, &rng);
+  Tensor truth = Tensor::RandomNormal({20, 1}, &rng);
+  EXPECT_GE(metrics::Rmse(pred, truth), metrics::Mae(pred, truth) - 1e-12);
+}
+
+TEST(MetricsPropertyTest, MseIsSquaredRmseForOneDim) {
+  Rng rng(6);
+  Tensor pred = Tensor::RandomNormal({9, 1}, &rng);
+  Tensor truth = Tensor::RandomNormal({9, 1}, &rng);
+  const double rmse = metrics::Rmse(pred, truth);
+  EXPECT_NEAR(metrics::Mse(pred, truth), rmse * rmse, 1e-10);
+}
+
+TEST(MetricsPropertyTest, RmsleInvariantToJointExponentialScaling) {
+  // RMSLE on (e^a - 1)-transformed values equals RMSE on the originals.
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal({10, 1}, &rng, 2.0, 0.3);
+  Tensor b = Tensor::RandomNormal({10, 1}, &rng, 2.0, 0.3);
+  Tensor ea = a.Map([](double x) { return std::expm1(x); });
+  Tensor eb = b.Map([](double x) { return std::expm1(x); });
+  EXPECT_NEAR(metrics::Rmsle(ea, eb), metrics::Rmse(a, b), 1e-9);
+}
+
+TEST(MetricsPropertyTest, ReductionPercentRoundTrips) {
+  // after = before * (1 - r/100) recovers r.
+  for (double r : {-50.0, 0.0, 10.0, 99.0}) {
+    const double before = 7.5;
+    const double after = before * (1.0 - r / 100.0);
+    EXPECT_NEAR(metrics::ReductionPercent(before, after), r, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tasfar

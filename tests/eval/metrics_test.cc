@@ -1,0 +1,98 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+TEST(MetricsTest, MseMeanOverSamples) {
+  Tensor p({2, 1}, {1.0, 3.0});
+  Tensor t({2, 1}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(metrics::Mse(p, t), 5.0);
+}
+
+TEST(MetricsTest, MseSumsOverDims) {
+  Tensor p({1, 2}, {1.0, 2.0});
+  Tensor t({1, 2}, {0.0, 0.0});
+  EXPECT_DOUBLE_EQ(metrics::Mse(p, t), 5.0);
+}
+
+TEST(MetricsTest, MaeMeansOverAllEntries) {
+  Tensor p({2, 2}, {1.0, -1.0, 2.0, -2.0});
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DOUBLE_EQ(metrics::Mae(p, t), 1.5);
+}
+
+TEST(MetricsTest, RmseIsSqrtOfPerEntryMse) {
+  Tensor p({2, 1}, {3.0, 4.0});
+  Tensor t = Tensor::Zeros({2, 1});
+  EXPECT_DOUBLE_EQ(metrics::Rmse(p, t), std::sqrt(12.5));
+}
+
+TEST(MetricsTest, RmsleKnownValue) {
+  Tensor p({1, 1}, {std::exp(1.0) - 1.0});
+  Tensor t({1, 1}, {0.0});
+  EXPECT_NEAR(metrics::Rmsle(p, t), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, RmsleClampsNegativePredictions) {
+  Tensor p({1, 1}, {-5.0});
+  Tensor t({1, 1}, {0.0});
+  EXPECT_DOUBLE_EQ(metrics::Rmsle(p, t), 0.0);
+}
+
+TEST(MetricsTest, RmsleScaleInvariantIntuition) {
+  // Equal ratios give equal RMSLE regardless of magnitude.
+  Tensor p1({1, 1}, {2.0});
+  Tensor t1({1, 1}, {1.0});
+  Tensor t2({1, 1}, {100.0});
+  // log1p(p2) - log1p(100) = log(1.5) requires 1 + p2 = 1.5 * 101.
+  Tensor p2({1, 1}, {1.5 * 101.0 - 1.0});
+  EXPECT_NEAR(metrics::Rmsle(p1, t1), metrics::Rmsle(p2, t2), 1e-12);
+}
+
+TEST(MetricsTest, PerSampleL2Error) {
+  Tensor p({2, 2}, {3.0, 4.0, 0.0, 0.0});
+  Tensor t = Tensor::Zeros({2, 2});
+  std::vector<double> errors = metrics::PerSampleL2Error(p, t);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_DOUBLE_EQ(errors[0], 5.0);
+  EXPECT_DOUBLE_EQ(errors[1], 0.0);
+}
+
+TEST(MetricsTest, SteIsMeanPerStepError) {
+  Tensor p({2, 2}, {3.0, 4.0, 0.0, 1.0});
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DOUBLE_EQ(metrics::Ste(p, t), 3.0);
+}
+
+TEST(MetricsTest, RteMeasuresEndpointError) {
+  // Per-step errors cancel: the integrated endpoint matches.
+  Tensor p({2, 2}, {1.0, 0.0, -1.0, 0.0});
+  Tensor t = Tensor::Zeros({2, 2});
+  EXPECT_DOUBLE_EQ(metrics::Rte(p, t), 0.0);
+  EXPECT_GT(metrics::Ste(p, t), 0.0);
+}
+
+TEST(MetricsTest, RteAccumulatesBias) {
+  Tensor p({3, 2}, {1.0, 0.0, 1.0, 0.0, 1.0, 0.0});
+  Tensor t = Tensor::Zeros({3, 2});
+  EXPECT_DOUBLE_EQ(metrics::Rte(p, t), 3.0);
+}
+
+TEST(MetricsTest, ReductionPercent) {
+  EXPECT_DOUBLE_EQ(metrics::ReductionPercent(10.0, 8.0), 20.0);
+  EXPECT_DOUBLE_EQ(metrics::ReductionPercent(10.0, 12.0), -20.0);
+  EXPECT_DOUBLE_EQ(metrics::ReductionPercent(0.0, 5.0), 0.0);
+}
+
+TEST(MetricsDeathTest, ShapeMismatchAborts) {
+  Tensor p({2, 1});
+  Tensor t({2, 2});
+  EXPECT_DEATH(metrics::Mse(p, t), "");
+}
+
+}  // namespace
+}  // namespace tasfar

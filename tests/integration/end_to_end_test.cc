@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "data/housing_sim.h"
+#include "data/taxi_sim.h"
+#include "eval/crowd_harness.h"
+#include "eval/pdr_harness.h"
+#include "eval/tabular_harness.h"
+
+namespace tasfar {
+namespace {
+
+// Deliberately tiny configurations: these tests exercise the full
+// pipelines (simulate → train → calibrate → adapt → evaluate) for
+// correctness, not for the paper-scale numbers (the benches do that).
+
+TEST(EndToEndTabularTest, HousingTasfarImprovesTargetMetric) {
+  HousingSimConfig sim;
+  sim.source_samples = 1200;
+  sim.target_samples = 600;
+  HousingSimulator simulator(sim, 31);
+
+  TabularHarnessConfig cfg;
+  cfg.task_name = "housing-mini";
+  cfg.metric = TabularMetric::kMse;
+  cfg.source_epochs = 25;
+  cfg.tasfar.mc_samples = 12;
+  cfg.tasfar.grid_cell_size = 0.05;  // Standardized label units.
+  cfg.tasfar.adaptation.train.epochs = 30;
+  TabularHarness harness(cfg, simulator.GenerateSource(),
+                         simulator.GenerateTarget());
+  harness.Prepare();
+
+  TasfarReport report;
+  TabularEval eval = harness.EvaluateTasfar(&report);
+  EXPECT_FALSE(report.skipped);
+  EXPECT_GT(report.num_uncertain, 0u);
+  EXPECT_GT(report.num_confident, 0u);
+  // The headline claim: adaptation reduces target error, on both the
+  // adaptation and the held-out test split.
+  EXPECT_LT(eval.metric_adapt_after, eval.metric_adapt_before);
+  EXPECT_LT(eval.metric_test_after, eval.metric_test_before);
+}
+
+TEST(EndToEndTabularTest, TaxiPipelineRunsWithRmsle) {
+  TaxiSimConfig sim;
+  sim.source_samples = 1000;
+  sim.target_samples = 500;
+  TaxiSimulator simulator(sim, 37);
+
+  TabularHarnessConfig cfg;
+  cfg.task_name = "taxi-mini";
+  cfg.metric = TabularMetric::kRmsle;
+  cfg.source_epochs = 20;
+  cfg.tasfar.mc_samples = 10;
+  cfg.tasfar.grid_cell_size = 0.05;  // Standardized label units.
+  cfg.tasfar.adaptation.train.epochs = 25;
+  TabularHarness harness(cfg, simulator.GenerateSource(),
+                         simulator.GenerateTarget());
+  harness.Prepare();
+
+  TabularEval eval = harness.EvaluateTasfar();
+  EXPECT_GT(eval.metric_adapt_before, 0.0);
+  EXPECT_LT(eval.metric_adapt_after, eval.metric_adapt_before);
+}
+
+TEST(EndToEndPdrTest, HarnessAdaptsOneUser) {
+  PdrHarnessConfig cfg;
+  cfg.sim.num_seen_users = 3;
+  cfg.sim.num_unseen_users = 1;
+  cfg.sim.source_steps_per_user = 80;
+  cfg.sim.target_trajectories_seen = 4;
+  cfg.sim.target_trajectories_unseen = 4;
+  cfg.sim.steps_per_trajectory = 30;
+  cfg.source_epochs = 12;
+  cfg.tasfar.mc_samples = 10;
+  cfg.tasfar.grid_cell_size = 0.1;
+  cfg.tasfar.adaptation.train.epochs = 25;
+  PdrHarness harness(cfg);
+  harness.Prepare();
+  ASSERT_EQ(harness.users().size(), 4u);
+
+  PdrUserCache cache = harness.BuildUserCache(harness.users()[0]);
+  EXPECT_EQ(cache.adapt_preds.size(), cache.adapt_pool.size());
+
+  TasfarReport report;
+  PdrSchemeEval eval = harness.EvaluateTasfar(cache, &report);
+  EXPECT_GT(eval.ste_adapt_before, 0.0);
+  EXPECT_GT(eval.ste_test_before, 0.0);
+  EXPECT_EQ(eval.rte_test_before.size(), cache.user.test.size());
+  if (!report.skipped) {
+    EXPECT_EQ(report.pseudo_labels.size(), report.num_uncertain);
+    EXPECT_TRUE(report.density_map.has_value());
+    EXPECT_EQ(report.density_map->num_dims(), 2u);
+  }
+}
+
+TEST(EndToEndPdrTest, PseudoLabelQualityBeatsRawPredictions) {
+  PdrHarnessConfig cfg;
+  cfg.sim.num_seen_users = 4;
+  cfg.sim.num_unseen_users = 0;
+  cfg.sim.source_steps_per_user = 100;
+  cfg.sim.target_trajectories_seen = 5;
+  cfg.sim.steps_per_trajectory = 40;
+  cfg.source_epochs = 15;
+  cfg.tasfar.mc_samples = 12;
+  PdrHarness harness(cfg);
+  harness.Prepare();
+
+  // Averaged over users, the density-map pseudo-labels should be at least
+  // as good as the raw source predictions on the uncertain set.
+  double pseudo = 0.0, pred = 0.0;
+  size_t counted = 0;
+  for (const PdrUserData& user : harness.users()) {
+    PdrUserCache cache = harness.BuildUserCache(user);
+    PseudoLabelEval eval = harness.PseudoLabelQuality(
+        cache, harness.calibration(), 0.1, ErrorModelKind::kGaussian);
+    if (eval.num_uncertain == 0) continue;
+    pseudo += eval.pseudo_mae;
+    pred += eval.pred_mae;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_LT(pseudo, pred * 1.05);
+}
+
+TEST(EndToEndCrowdTest, HarnessProducesTableOneRows) {
+  CrowdHarnessConfig cfg;
+  cfg.sim.image_size = 16;
+  cfg.sim.part_a_images = 60;
+  cfg.sim.part_b_images = 90;
+  cfg.source_epochs = 8;
+  cfg.tasfar.mc_samples = 8;
+  cfg.tasfar.grid_cell_size = 0.1;  // log1p(count) units.
+  cfg.tasfar.adaptation.train.epochs = 10;
+  cfg.tasfar.adaptation.learning_rate = 1e-4;
+  CrowdHarness harness(cfg);
+  harness.Prepare();
+
+  std::vector<CrowdSceneData> scenes = harness.BuildScenes();
+  ASSERT_EQ(scenes.size(), 3u);
+  const CrowdSceneData& scene = scenes[0];
+  CrowdEval before = harness.Evaluate(harness.source_model(), scene);
+  EXPECT_GT(before.mae_adapt_whole, 0.0);
+  EXPECT_GE(before.mse_adapt_whole, before.mae_adapt_whole);
+
+  auto adapted = harness.AdaptTasfar(scene, nullptr);
+  ASSERT_NE(adapted, nullptr);
+  CrowdEval after = harness.Evaluate(adapted.get(), scene);
+  EXPECT_GT(after.mae_test, 0.0);
+
+  CrowdSceneData pooled = harness.BuildPooledScene();
+  EXPECT_EQ(pooled.adapt.size() + pooled.test.size(), 90u);
+}
+
+}  // namespace
+}  // namespace tasfar

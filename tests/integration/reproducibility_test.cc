@@ -1,0 +1,78 @@
+// End-to-end determinism: two independent harness instances with the same
+// configuration must produce bit-identical source models, calibrations,
+// and adapted target models. This is what makes every bench figure
+// reproducible run-to-run.
+
+#include <gtest/gtest.h>
+
+#include "eval/pdr_harness.h"
+
+namespace tasfar {
+namespace {
+
+PdrHarnessConfig TinyConfig() {
+  PdrHarnessConfig cfg;
+  cfg.sim.num_seen_users = 2;
+  cfg.sim.num_unseen_users = 0;
+  cfg.sim.source_steps_per_user = 60;
+  cfg.sim.target_trajectories_seen = 3;
+  cfg.sim.steps_per_trajectory = 20;
+  cfg.source_epochs = 6;
+  cfg.tasfar.mc_samples = 6;
+  cfg.tasfar.adaptation.train.epochs = 10;
+  return cfg;
+}
+
+TEST(ReproducibilityTest, HarnessIsBitDeterministic) {
+  PdrHarness a(TinyConfig());
+  PdrHarness b(TinyConfig());
+  a.Prepare();
+  b.Prepare();
+
+  // Identical calibration.
+  EXPECT_DOUBLE_EQ(a.calibration().tau, b.calibration().tau);
+  for (size_t d = 0; d < 2; ++d) {
+    EXPECT_DOUBLE_EQ(a.calibration().qs_per_dim[d].line.slope,
+                     b.calibration().qs_per_dim[d].line.slope);
+    EXPECT_DOUBLE_EQ(a.calibration().qs_per_dim[d].line.intercept,
+                     b.calibration().qs_per_dim[d].line.intercept);
+  }
+
+  // Identical source models.
+  auto pa = a.source_model()->Params();
+  auto pb = b.source_model()->Params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i]->MaxAbsDiff(*pb[i]), 0.0);
+  }
+
+  // Identical adaptation outcomes, down to the learning curves.
+  PdrUserCache ca = a.BuildUserCache(a.users()[0]);
+  PdrUserCache cb = b.BuildUserCache(b.users()[0]);
+  TasfarReport ra, rb;
+  PdrSchemeEval ea = a.EvaluateTasfar(ca, &ra);
+  PdrSchemeEval eb = b.EvaluateTasfar(cb, &rb);
+  EXPECT_DOUBLE_EQ(ea.ste_adapt_after, eb.ste_adapt_after);
+  EXPECT_DOUBLE_EQ(ea.ste_test_after, eb.ste_test_after);
+  EXPECT_EQ(ra.num_uncertain, rb.num_uncertain);
+  ASSERT_EQ(ra.history.size(), rb.history.size());
+  for (size_t e = 0; e < ra.history.size(); ++e) {
+    EXPECT_DOUBLE_EQ(ra.history[e].train_loss, rb.history[e].train_loss);
+  }
+}
+
+TEST(ReproducibilityTest, DifferentSeedsDifferentModels) {
+  PdrHarnessConfig cfg1 = TinyConfig();
+  PdrHarnessConfig cfg2 = TinyConfig();
+  cfg2.seed = cfg1.seed + 1;
+  PdrHarness a(cfg1);
+  PdrHarness b(cfg2);
+  a.Prepare();
+  b.Prepare();
+  EXPECT_GT(a.source_model()->Params()[0]->MaxAbsDiff(
+                *b.source_model()->Params()[0]),
+            0.0);
+}
+
+}  // namespace
+}  // namespace tasfar

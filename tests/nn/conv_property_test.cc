@@ -1,0 +1,153 @@
+// Property-style checks of the convolutions against naive reference
+// implementations across stride/padding/dilation combinations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+// --- Conv1d reference ---------------------------------------------------
+
+double RefConv1dAt(const Tensor& x, const Tensor& w, const Tensor& b,
+                   size_t batch, size_t oc, size_t to, size_t stride,
+                   size_t padding, size_t dilation) {
+  double acc = b[oc];
+  const size_t in_ch = x.dim(1), t_in = x.dim(2), kernel = w.dim(2);
+  for (size_t ic = 0; ic < in_ch; ++ic) {
+    for (size_t k = 0; k < kernel; ++k) {
+      const long ti = static_cast<long>(to * stride + k * dilation) -
+                      static_cast<long>(padding);
+      if (ti < 0 || ti >= static_cast<long>(t_in)) continue;
+      acc += w.At(oc, ic, k) * x.At(batch, ic, static_cast<size_t>(ti));
+    }
+  }
+  return acc;
+}
+
+using Conv1dParam = std::tuple<size_t /*stride*/, size_t /*pad*/,
+                               size_t /*dilation*/, size_t /*kernel*/>;
+
+class Conv1dPropertyTest : public ::testing::TestWithParam<Conv1dParam> {};
+
+TEST_P(Conv1dPropertyTest, ForwardMatchesReference) {
+  const auto stride = std::get<0>(GetParam());
+  const auto pad = std::get<1>(GetParam());
+  const auto dilation = std::get<2>(GetParam());
+  const auto kernel = std::get<3>(GetParam());
+  Rng rng(stride * 100 + pad * 10 + dilation + kernel);
+  Conv1d conv(3, 2, kernel, &rng, stride, pad, dilation);
+  Tensor x = Tensor::RandomNormal({2, 3, 12}, &rng);
+  Tensor y = conv.Forward(x, false);
+  const Tensor& w = *conv.Params()[0];
+  const Tensor& b = *conv.Params()[1];
+  for (size_t n = 0; n < y.dim(0); ++n) {
+    for (size_t oc = 0; oc < y.dim(1); ++oc) {
+      for (size_t to = 0; to < y.dim(2); ++to) {
+        EXPECT_NEAR(y.At(n, oc, to),
+                    RefConv1dAt(x, w, b, n, oc, to, stride, pad, dilation),
+                    1e-10);
+      }
+    }
+  }
+}
+
+TEST_P(Conv1dPropertyTest, BackwardIsLinearInUpstreamGradient) {
+  // Backward(g1 + g2) == Backward(g1) + Backward(g2) for the input grad,
+  // and parameter grads accumulate identically.
+  const auto stride = std::get<0>(GetParam());
+  const auto pad = std::get<1>(GetParam());
+  const auto dilation = std::get<2>(GetParam());
+  const auto kernel = std::get<3>(GetParam());
+  Rng rng(stride + pad * 7 + dilation * 13 + kernel * 29);
+  Conv1d conv(2, 3, kernel, &rng, stride, pad, dilation);
+  Tensor x = Tensor::RandomNormal({1, 2, 12}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g1 = Tensor::RandomNormal(y.shape(), &rng);
+  Tensor g2 = Tensor::RandomNormal(y.shape(), &rng);
+
+  conv.ZeroGrads();
+  Tensor gi_sum = conv.Backward(g1 + g2);
+  Tensor gw_sum = *conv.Grads()[0];
+
+  conv.ZeroGrads();
+  Tensor gi_split = conv.Backward(g1);
+  gi_split += conv.Backward(g2);
+  Tensor gw_split = *conv.Grads()[0];
+
+  EXPECT_NEAR(gi_sum.MaxAbsDiff(gi_split), 0.0, 1e-10);
+  EXPECT_NEAR(gw_sum.MaxAbsDiff(gw_split), 0.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Conv1dPropertyTest,
+    ::testing::Values(Conv1dParam{1, 0, 1, 3}, Conv1dParam{1, 1, 1, 3},
+                      Conv1dParam{2, 0, 1, 3}, Conv1dParam{1, 2, 2, 3},
+                      Conv1dParam{2, 2, 2, 5}, Conv1dParam{1, 0, 3, 2},
+                      Conv1dParam{3, 1, 1, 4}),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "p" +
+             std::to_string(std::get<1>(info.param)) + "d" +
+             std::to_string(std::get<2>(info.param)) + "k" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// --- Conv2d reference ---------------------------------------------------
+
+using Conv2dParam = std::tuple<size_t /*stride*/, size_t /*pad*/,
+                               size_t /*kernel*/>;
+
+class Conv2dPropertyTest : public ::testing::TestWithParam<Conv2dParam> {};
+
+TEST_P(Conv2dPropertyTest, ForwardMatchesReference) {
+  const auto stride = std::get<0>(GetParam());
+  const auto pad = std::get<1>(GetParam());
+  const auto kernel = std::get<2>(GetParam());
+  Rng rng(stride * 31 + pad * 7 + kernel);
+  Conv2d conv(2, 2, kernel, &rng, stride, pad);
+  Tensor x = Tensor::RandomNormal({1, 2, 8, 8}, &rng);
+  Tensor y = conv.Forward(x, false);
+  const Tensor& w = *conv.Params()[0];
+  const Tensor& b = *conv.Params()[1];
+  for (size_t oc = 0; oc < y.dim(1); ++oc) {
+    for (size_t ho = 0; ho < y.dim(2); ++ho) {
+      for (size_t wo = 0; wo < y.dim(3); ++wo) {
+        double ref = b[oc];
+        for (size_t ic = 0; ic < 2; ++ic) {
+          for (size_t kh = 0; kh < kernel; ++kh) {
+            for (size_t kw = 0; kw < kernel; ++kw) {
+              const long hi = static_cast<long>(ho * stride + kh) -
+                              static_cast<long>(pad);
+              const long wi = static_cast<long>(wo * stride + kw) -
+                              static_cast<long>(pad);
+              if (hi < 0 || hi >= 8 || wi < 0 || wi >= 8) continue;
+              ref += w.At(oc, ic, kh, kw) *
+                     x.At(0, ic, static_cast<size_t>(hi),
+                          static_cast<size_t>(wi));
+            }
+          }
+        }
+        EXPECT_NEAR(y.At(0, oc, ho, wo), ref, 1e-10);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, Conv2dPropertyTest,
+    ::testing::Values(Conv2dParam{1, 0, 3}, Conv2dParam{1, 1, 3},
+                      Conv2dParam{2, 0, 3}, Conv2dParam{2, 2, 5},
+                      Conv2dParam{1, 0, 1}, Conv2dParam{3, 1, 2}),
+    [](const auto& info) {
+      return "s" + std::to_string(std::get<0>(info.param)) + "p" +
+             std::to_string(std::get<1>(info.param)) + "k" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+}  // namespace
+}  // namespace tasfar

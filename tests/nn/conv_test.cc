@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "nn/conv1d.h"
+#include "nn/conv2d.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+// --- Conv1d ----------------------------------------------------------------
+
+TEST(Conv1dTest, OutputLengthNoPadding) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 3, &rng);
+  EXPECT_EQ(conv.OutputLength(10), 8u);
+}
+
+TEST(Conv1dTest, OutputLengthSamePadding) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 3, &rng, 1, /*padding=*/1);
+  EXPECT_EQ(conv.OutputLength(10), 10u);
+}
+
+TEST(Conv1dTest, OutputLengthWithStrideAndDilation) {
+  Rng rng(1);
+  Conv1d conv(1, 1, 3, &rng, /*stride=*/2, /*padding=*/0, /*dilation=*/2);
+  // Effective kernel = 5, (10 - 5)/2 + 1 = 3.
+  EXPECT_EQ(conv.OutputLength(10), 3u);
+}
+
+TEST(Conv1dTest, IdentityKernelPassesThrough) {
+  Rng rng(2);
+  Conv1d conv(1, 1, 1, &rng);
+  conv.Params()[0]->Fill(1.0);  // 1x1x1 kernel = identity.
+  conv.Params()[1]->Fill(0.0);
+  Tensor x({1, 1, 5}, {1, 2, 3, 4, 5});
+  Tensor y = conv.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.MaxAbsDiff(x), 0.0);
+}
+
+TEST(Conv1dTest, MovingSumKernel) {
+  Rng rng(3);
+  Conv1d conv(1, 1, 2, &rng);
+  conv.Params()[0]->Fill(1.0);
+  conv.Params()[1]->Fill(0.0);
+  Tensor x({1, 1, 4}, {1, 2, 3, 4});
+  Tensor y = conv.Forward(x, false);
+  ASSERT_EQ(y.dim(2), 3u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 2), 7.0);
+}
+
+TEST(Conv1dTest, BiasAdded) {
+  Rng rng(4);
+  Conv1d conv(1, 1, 1, &rng);
+  conv.Params()[0]->Fill(0.0);
+  (*conv.Params()[1])[0] = 2.5;
+  Tensor y = conv.Forward(Tensor({1, 1, 3}), false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 1), 2.5);
+}
+
+TEST(Conv1dTest, PaddingContributesZeros) {
+  Rng rng(5);
+  Conv1d conv(1, 1, 3, &rng, 1, /*padding=*/1);
+  conv.Params()[0]->Fill(1.0);
+  conv.Params()[1]->Fill(0.0);
+  Tensor x({1, 1, 3}, {1, 1, 1});
+  Tensor y = conv.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0), 2.0);  // Left edge misses one tap.
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 2), 2.0);
+}
+
+TEST(Conv1dTest, MultiChannelSumsContributions) {
+  Rng rng(6);
+  Conv1d conv(2, 1, 1, &rng);
+  conv.Params()[0]->Fill(1.0);
+  conv.Params()[1]->Fill(0.0);
+  Tensor x({1, 2, 2}, {1.0, 2.0, 10.0, 20.0});
+  Tensor y = conv.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 1), 22.0);
+}
+
+TEST(Conv1dTest, BackwardShapesMatch) {
+  Rng rng(7);
+  Conv1d conv(3, 5, 3, &rng, 1, 1);
+  Tensor x = Tensor::RandomNormal({2, 3, 8}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = conv.Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+TEST(Conv1dTest, CloneProducesSameOutput) {
+  Rng rng(8);
+  Conv1d conv(2, 4, 3, &rng, 1, 1, 2);
+  auto clone = conv.Clone();
+  Tensor x = Tensor::RandomNormal({1, 2, 10}, &rng);
+  EXPECT_DOUBLE_EQ(
+      conv.Forward(x, false).MaxAbsDiff(clone->Forward(x, false)), 0.0);
+}
+
+TEST(Conv1dDeathTest, WrongChannelCountAborts) {
+  Rng rng(9);
+  Conv1d conv(3, 1, 3, &rng);
+  EXPECT_DEATH(conv.Forward(Tensor({1, 2, 8}), false), "Conv1d expects");
+}
+
+// --- Conv2d ----------------------------------------------------------------
+
+TEST(Conv2dTest, OutputExtent) {
+  Rng rng(10);
+  Conv2d conv(1, 1, 3, &rng);
+  EXPECT_EQ(conv.OutputExtent(8), 6u);
+  Conv2d same(1, 1, 3, &rng, 1, 1);
+  EXPECT_EQ(same.OutputExtent(8), 8u);
+}
+
+TEST(Conv2dTest, BoxFilterSums) {
+  Rng rng(11);
+  Conv2d conv(1, 1, 2, &rng);
+  conv.Params()[0]->Fill(1.0);
+  conv.Params()[1]->Fill(0.0);
+  Tensor x({1, 1, 2, 2}, {1.0, 2.0, 3.0, 4.0});
+  Tensor y = conv.Forward(x, false);
+  ASSERT_EQ(y.dim(2), 1u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0, 0), 10.0);
+}
+
+TEST(Conv2dTest, StrideSkipsPositions) {
+  Rng rng(12);
+  Conv2d conv(1, 1, 2, &rng, /*stride=*/2);
+  conv.Params()[0]->Fill(1.0);
+  conv.Params()[1]->Fill(0.0);
+  Tensor x = Tensor::Ones({1, 1, 4, 4});
+  Tensor y = conv.Forward(x, false);
+  EXPECT_EQ(y.dim(2), 2u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 1, 1), 4.0);
+}
+
+TEST(Conv2dTest, BackwardShapesMatch) {
+  Rng rng(13);
+  Conv2d conv(2, 3, 3, &rng, 1, 1);
+  Tensor x = Tensor::RandomNormal({2, 2, 6, 6}, &rng);
+  Tensor y = conv.Forward(x, true);
+  Tensor g = conv.Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+// --- MaxPool2d ---------------------------------------------------------
+
+TEST(MaxPool2dTest, PicksMaxima) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 0,
+                          3, 4, 9, 1});
+  Tensor y = pool.Forward(x, false);
+  ASSERT_EQ(y.dim(2), 1u);
+  ASSERT_EQ(y.dim(3), 2u);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0, 1), 9.0);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0, 7.0, 3.0, 2.0});
+  pool.Forward(x, true);
+  Tensor g = pool.Backward(Tensor({1, 1, 1, 1}, {1.0}));
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[1], 1.0);  // 7 was the max.
+  EXPECT_DOUBLE_EQ(g[2], 0.0);
+  EXPECT_DOUBLE_EQ(g[3], 0.0);
+}
+
+TEST(MaxPool2dTest, NegativeInputsHandled) {
+  MaxPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {-5.0, -1.0, -3.0, -2.0});
+  Tensor y = pool.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0, 0), -1.0);
+}
+
+// --- Flatten & GlobalAvgPool2d ------------------------------------------
+
+TEST(FlattenTest, CollapsesTrailingDims) {
+  Flatten f;
+  Tensor x({2, 3, 4, 5});
+  Tensor y = f.Forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 60u);
+}
+
+TEST(FlattenTest, BackwardRestoresShape) {
+  Flatten f;
+  Tensor x({2, 3, 4});
+  Tensor y = f.Forward(x, true);
+  Tensor g = f.Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+TEST(GlobalAvgPool2dTest, AveragesSpatially) {
+  GlobalAvgPool2d gap;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 20, 30, 40});
+  Tensor y = gap.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(y.At(0, 1), 25.0);
+}
+
+TEST(GlobalAvgPool2dTest, BackwardSpreadsUniformly) {
+  GlobalAvgPool2d gap;
+  Tensor x({1, 1, 2, 2});
+  gap.Forward(x, true);
+  Tensor g = gap.Backward(Tensor({1, 1}, {4.0}));
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(g[i], 1.0);
+}
+
+}  // namespace
+}  // namespace tasfar

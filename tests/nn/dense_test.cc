@@ -1,0 +1,126 @@
+#include "nn/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(DenseTest, OutputShape) {
+  Rng rng(1);
+  Dense layer(4, 3, &rng);
+  Tensor x({2, 4});
+  Tensor y = layer.Forward(x, false);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 3u);
+}
+
+TEST(DenseTest, ZeroInputYieldsBias) {
+  Rng rng(2);
+  Dense layer(3, 2, &rng);
+  layer.bias()[0] = 1.5;
+  layer.bias()[1] = -0.5;
+  Tensor y = layer.Forward(Tensor({1, 3}), false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(y.At(0, 1), -0.5);
+}
+
+TEST(DenseTest, KnownWeightsComputeAffineMap) {
+  Rng rng(3);
+  Dense layer(2, 1, &rng);
+  layer.weight().At(0, 0) = 2.0;
+  layer.weight().At(1, 0) = -1.0;
+  layer.bias()[0] = 0.5;
+  Tensor x({1, 2}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(layer.Forward(x, false).At(0, 0), 2.0 * 3 - 4 + 0.5);
+}
+
+TEST(DenseTest, BackwardReturnsInputGradient) {
+  Rng rng(4);
+  Dense layer(2, 1, &rng);
+  layer.weight().At(0, 0) = 2.0;
+  layer.weight().At(1, 0) = 3.0;
+  Tensor x({1, 2}, {1.0, 1.0});
+  layer.Forward(x, true);
+  Tensor g = layer.Backward(Tensor({1, 1}, {1.0}));
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(g.At(0, 1), 3.0);
+}
+
+TEST(DenseTest, BackwardAccumulatesWeightGradient) {
+  Rng rng(5);
+  Dense layer(2, 1, &rng);
+  Tensor x({1, 2}, {5.0, 7.0});
+  layer.Forward(x, true);
+  layer.Backward(Tensor({1, 1}, {1.0}));
+  EXPECT_DOUBLE_EQ((*layer.Grads()[0]).At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ((*layer.Grads()[0]).At(1, 0), 7.0);
+  EXPECT_DOUBLE_EQ((*layer.Grads()[1])[0], 1.0);
+  // Second backward accumulates.
+  layer.Forward(x, true);
+  layer.Backward(Tensor({1, 1}, {1.0}));
+  EXPECT_DOUBLE_EQ((*layer.Grads()[0]).At(0, 0), 10.0);
+}
+
+TEST(DenseTest, ZeroGradsClears) {
+  Rng rng(6);
+  Dense layer(2, 2, &rng);
+  layer.Forward(Tensor({1, 2}, {1.0, 1.0}), true);
+  layer.Backward(Tensor({1, 2}, {1.0, 1.0}));
+  layer.ZeroGrads();
+  EXPECT_DOUBLE_EQ(layer.Grads()[0]->SquaredNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(layer.Grads()[1]->SquaredNorm(), 0.0);
+}
+
+TEST(DenseTest, CloneIsDeepCopy) {
+  Rng rng(7);
+  Dense layer(2, 2, &rng);
+  auto clone = layer.Clone();
+  auto* dense_clone = dynamic_cast<Dense*>(clone.get());
+  ASSERT_NE(dense_clone, nullptr);
+  dense_clone->weight().At(0, 0) = 99.0;
+  EXPECT_NE(layer.weight().At(0, 0), 99.0);
+}
+
+TEST(DenseTest, CloneProducesSameOutputs) {
+  Rng rng(8);
+  Dense layer(3, 2, &rng);
+  auto clone = layer.Clone();
+  Rng data_rng(9);
+  Tensor x = Tensor::RandomNormal({4, 3}, &data_rng);
+  EXPECT_DOUBLE_EQ(
+      layer.Forward(x, false).MaxAbsDiff(clone->Forward(x, false)), 0.0);
+}
+
+TEST(DenseTest, InitializationIsBounded) {
+  Rng rng(10);
+  Dense layer(100, 50, &rng);
+  const double limit = std::sqrt(6.0 / 100.0);
+  EXPECT_LE(layer.weight().Max(), limit);
+  EXPECT_GE(layer.weight().Min(), -limit);
+  // And not all-zero.
+  EXPECT_GT(layer.weight().SquaredNorm(), 0.0);
+}
+
+TEST(DenseTest, NameDescribesShape) {
+  Rng rng(11);
+  EXPECT_EQ(Dense(16, 8, &rng).Name(), "Dense(16->8)");
+}
+
+TEST(DenseDeathTest, WrongInputWidthAborts) {
+  Rng rng(12);
+  Dense layer(4, 2, &rng);
+  EXPECT_DEATH(layer.Forward(Tensor({1, 3}), false), "Dense expects");
+}
+
+TEST(DenseDeathTest, BackwardBeforeForwardAborts) {
+  Rng rng(13);
+  Dense layer(2, 2, &rng);
+  EXPECT_DEATH(layer.Backward(Tensor({1, 2})), "Backward before Forward");
+}
+
+}  // namespace
+}  // namespace tasfar

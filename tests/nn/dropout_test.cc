@@ -1,0 +1,98 @@
+#include "nn/dropout.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(DropoutTest, IdentityAtInference) {
+  Dropout d(0.5);
+  Tensor x({4, 4}, std::vector<double>(16, 3.0));
+  Tensor y = d.Forward(x, /*training=*/false);
+  EXPECT_DOUBLE_EQ(y.MaxAbsDiff(x), 0.0);
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  Dropout d(0.0);
+  Tensor x({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.Forward(x, true).MaxAbsDiff(x), 0.0);
+}
+
+TEST(DropoutTest, TrainingZeroesRoughlyRateFraction) {
+  Dropout d(0.3, /*seed=*/42);
+  Tensor x = Tensor::Ones({100, 100});
+  Tensor y = d.Forward(x, true);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) zeros += (y[i] == 0.0) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.3, 0.02);
+}
+
+TEST(DropoutTest, SurvivorsScaledByInverseKeep) {
+  Dropout d(0.5, 7);
+  Tensor x = Tensor::Ones({10, 10});
+  Tensor y = d.Forward(x, true);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(y[i] == 0.0 || y[i] == 2.0);
+  }
+}
+
+TEST(DropoutTest, ExpectedValuePreserved) {
+  Dropout d(0.2, 11);
+  Tensor x = Tensor::Ones({200, 200});
+  Tensor y = d.Forward(x, true);
+  EXPECT_NEAR(y.Mean(), 1.0, 0.02);
+}
+
+TEST(DropoutTest, BackwardUsesSameMask) {
+  Dropout d(0.5, 13);
+  Tensor x = Tensor::Ones({8, 8});
+  Tensor y = d.Forward(x, true);
+  Tensor g = d.Backward(Tensor::Ones({8, 8}));
+  // Gradient passes exactly where the forward did.
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(g[i], y[i]);
+  }
+}
+
+TEST(DropoutTest, BackwardIdentityAfterInferenceForward) {
+  Dropout d(0.5, 17);
+  Tensor x = Tensor::Ones({4, 4});
+  d.Forward(x, false);
+  Tensor g = d.Backward(Tensor::Full({4, 4}, 2.0));
+  EXPECT_DOUBLE_EQ(g.MaxAbsDiff(Tensor::Full({4, 4}, 2.0)), 0.0);
+}
+
+TEST(DropoutTest, StochasticAcrossCalls) {
+  Dropout d(0.5, 19);
+  Tensor x = Tensor::Ones({10, 10});
+  Tensor y1 = d.Forward(x, true);
+  Tensor y2 = d.Forward(x, true);
+  EXPECT_GT(y1.MaxAbsDiff(y2), 0.0);  // MC-dropout relies on this.
+}
+
+TEST(DropoutTest, SameSeedSameMaskSequence) {
+  Dropout a(0.5, 23), b(0.5, 23);
+  Tensor x = Tensor::Ones({10, 10});
+  EXPECT_DOUBLE_EQ(a.Forward(x, true).MaxAbsDiff(b.Forward(x, true)), 0.0);
+}
+
+TEST(DropoutTest, CloneRestartsSeed) {
+  Dropout d(0.5, 29);
+  Tensor x = Tensor::Ones({10, 10});
+  Tensor first = d.Forward(x, true);
+  auto clone = d.Clone();
+  // Clone starts from the seed, so its first mask equals d's first mask.
+  EXPECT_DOUBLE_EQ(clone->Forward(x, true).MaxAbsDiff(first), 0.0);
+}
+
+TEST(DropoutTest, NameShowsRate) {
+  EXPECT_EQ(Dropout(0.2).Name(), "Dropout(0.20)");
+}
+
+TEST(DropoutDeathTest, InvalidRateAborts) {
+  EXPECT_DEATH(Dropout(1.0), "rate");
+  EXPECT_DEATH(Dropout(-0.1), "rate");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,147 @@
+#include "nn/layer_norm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/gradient_check.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(LayerNormTest, NormalizesEachRow) {
+  LayerNorm ln(4);
+  Tensor x({2, 4}, {1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0});
+  Tensor y = ln.Forward(x, false);
+  for (size_t i = 0; i < 2; ++i) {
+    double mean = 0.0, var = 0.0;
+    for (size_t j = 0; j < 4; ++j) mean += y.At(i, j);
+    mean /= 4.0;
+    for (size_t j = 0; j < 4; ++j) {
+      var += (y.At(i, j) - mean) * (y.At(i, j) - mean);
+    }
+    var /= 4.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-4);
+  }
+}
+
+TEST(LayerNormTest, ScaleInvariantPerRow) {
+  LayerNorm ln(3);
+  Tensor a({1, 3}, {1.0, 2.0, 3.0});
+  Tensor b({1, 3}, {10.0, 20.0, 30.0});
+  Tensor ya = ln.Forward(a, false);
+  Tensor yb = ln.Forward(b, false);
+  EXPECT_NEAR(ya.MaxAbsDiff(yb), 0.0, 1e-4);
+}
+
+TEST(LayerNormTest, GainAndBiasApplied) {
+  LayerNorm ln(2);
+  (*ln.Params()[0])[0] = 2.0;  // gain
+  (*ln.Params()[1])[1] = 5.0;  // bias
+  Tensor x({1, 2}, {-1.0, 1.0});
+  Tensor y = ln.Forward(x, false);
+  // Normalized input is approx {-1, +1}.
+  EXPECT_NEAR(y.At(0, 0), -2.0, 1e-2);
+  EXPECT_NEAR(y.At(0, 1), 6.0, 1e-2);
+}
+
+TEST(LayerNormTest, TrainingFlagIrrelevant) {
+  LayerNorm ln(4);
+  Rng rng(1);
+  Tensor x = Tensor::RandomNormal({3, 4}, &rng);
+  EXPECT_DOUBLE_EQ(ln.Forward(x, true).MaxAbsDiff(ln.Forward(x, false)),
+                   0.0);
+}
+
+TEST(LayerNormTest, GradientsMatchFiniteDifference) {
+  Rng rng(2);
+  Sequential model;
+  model.Emplace<Dense>(3, 4, &rng);
+  model.Emplace<LayerNorm>(4);
+  model.Emplace<Dense>(4, 2, &rng);
+  Tensor x = Tensor::RandomNormal({3, 3}, &rng);
+  Tensor y = Tensor::RandomNormal({3, 2}, &rng);
+  GradCheckResult result = CheckGradients(
+      &model, x, y,
+      [](const Tensor& p, const Tensor& t, Tensor* g,
+         const std::vector<double>* w) { return loss::Mse(p, t, g, w); });
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+TEST(LayerNormTest, CloneCopiesParams) {
+  LayerNorm ln(2);
+  (*ln.Params()[0])[0] = 3.0;
+  auto clone = ln.Clone();
+  EXPECT_DOUBLE_EQ((*clone->Params()[0])[0], 3.0);
+  (*clone->Params()[0])[0] = 7.0;
+  EXPECT_DOUBLE_EQ((*ln.Params()[0])[0], 3.0);
+}
+
+TEST(EluTest, PositiveIdentityNegativeSaturates) {
+  Elu elu(1.0);
+  Tensor x({1, 3}, {-10.0, 0.0, 2.0});
+  Tensor y = elu.Forward(x, false);
+  EXPECT_NEAR(y[0], -1.0, 1e-4);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 2.0);
+}
+
+TEST(EluTest, ContinuousDerivativeAtZero) {
+  Elu elu(1.0);
+  elu.Forward(Tensor({1, 2}, {-1e-9, 1e-9}), true);
+  Tensor g = elu.Backward(Tensor({1, 2}, {1.0, 1.0}));
+  EXPECT_NEAR(g[0], 1.0, 1e-6);
+  EXPECT_NEAR(g[1], 1.0, 1e-6);
+}
+
+TEST(EluTest, GradientsMatchFiniteDifference) {
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Dense>(2, 4, &rng);
+  model.Emplace<Elu>(0.7);
+  model.Emplace<Dense>(4, 1, &rng);
+  Tensor x = Tensor::RandomNormal({4, 2}, &rng);
+  Tensor y = Tensor::RandomNormal({4, 1}, &rng);
+  GradCheckResult result = CheckGradients(
+      &model, x, y,
+      [](const Tensor& p, const Tensor& t, Tensor* g,
+         const std::vector<double>* w) { return loss::Mse(p, t, g, w); });
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+TEST(AvgPool2dTest, AveragesWindows) {
+  AvgPool2d pool(2);
+  Tensor x({1, 1, 2, 2}, {1.0, 3.0, 5.0, 7.0});
+  Tensor y = pool.Forward(x, false);
+  EXPECT_DOUBLE_EQ(y.At(0, 0, 0, 0), 4.0);
+}
+
+TEST(AvgPool2dTest, BackwardSpreadsUniformly) {
+  AvgPool2d pool(2);
+  pool.Forward(Tensor({1, 1, 2, 2}), true);
+  Tensor g = pool.Backward(Tensor({1, 1, 1, 1}, {8.0}));
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(g[i], 2.0);
+}
+
+TEST(AvgPool2dTest, GradientsMatchFiniteDifference) {
+  Rng rng(4);
+  Sequential model;
+  model.Emplace<AvgPool2d>(2);
+  model.Emplace<Flatten>();
+  model.Emplace<Dense>(4, 1, &rng);
+  Tensor x = Tensor::RandomNormal({2, 1, 4, 4}, &rng);
+  Tensor y = Tensor::RandomNormal({2, 1}, &rng);
+  GradCheckResult result = CheckGradients(
+      &model, x, y,
+      [](const Tensor& p, const Tensor& t, Tensor* g,
+         const std::vector<double>* w) { return loss::Mse(p, t, g, w); });
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,99 @@
+#include "nn/multi_column.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> Branch(size_t in, size_t out, Rng* rng) {
+  auto b = std::make_unique<Sequential>();
+  b->Emplace<Dense>(in, out, rng);
+  b->Emplace<Relu>();
+  return b;
+}
+
+TEST(MultiColumnTest, ConcatenatesBranchOutputs) {
+  Rng rng(1);
+  MultiColumn mc;
+  mc.AddBranch(Branch(3, 2, &rng));
+  mc.AddBranch(Branch(3, 5, &rng));
+  Tensor x = Tensor::RandomNormal({4, 3}, &rng);
+  Tensor y = mc.Forward(x, false);
+  EXPECT_EQ(y.dim(0), 4u);
+  EXPECT_EQ(y.dim(1), 7u);
+}
+
+TEST(MultiColumnTest, OutputsMatchIndividualBranches) {
+  Rng rng(2);
+  auto b1 = Branch(3, 2, &rng);
+  auto b2 = Branch(3, 3, &rng);
+  auto b1_copy = b1->CloneSequential();
+  auto b2_copy = b2->CloneSequential();
+  MultiColumn mc;
+  mc.AddBranch(std::move(b1));
+  mc.AddBranch(std::move(b2));
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor fused = mc.Forward(x, false);
+  Tensor y1 = b1_copy->Forward(x, false);
+  Tensor y2 = b2_copy->Forward(x, false);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t j = 0; j < 2; ++j) {
+      EXPECT_DOUBLE_EQ(fused.At(i, j), y1.At(i, j));
+    }
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(fused.At(i, 2 + j), y2.At(i, j));
+    }
+  }
+}
+
+TEST(MultiColumnTest, BackwardSumsBranchInputGradients) {
+  Rng rng(3);
+  MultiColumn mc;
+  mc.AddBranch(Branch(3, 2, &rng));
+  mc.AddBranch(Branch(3, 2, &rng));
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor y = mc.Forward(x, true);
+  Tensor g = mc.Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+TEST(MultiColumnTest, ParamsAcrossBranches) {
+  Rng rng(4);
+  MultiColumn mc;
+  mc.AddBranch(Branch(3, 2, &rng));
+  mc.AddBranch(Branch(3, 2, &rng));
+  EXPECT_EQ(mc.Params().size(), 4u);
+  EXPECT_EQ(mc.Grads().size(), 4u);
+}
+
+TEST(MultiColumnTest, CloneIsDeepAndEquivalent) {
+  Rng rng(5);
+  MultiColumn mc;
+  mc.AddBranch(Branch(3, 2, &rng));
+  mc.AddBranch(Branch(3, 4, &rng));
+  auto clone = mc.Clone();
+  Tensor x = Tensor::RandomNormal({3, 3}, &rng);
+  EXPECT_DOUBLE_EQ(mc.Forward(x, false).MaxAbsDiff(clone->Forward(x, false)),
+                   0.0);
+  (*clone->Params()[0])[0] += 1.0;
+  EXPECT_NE((*clone->Params()[0])[0], (*mc.Params()[0])[0]);
+}
+
+TEST(MultiColumnTest, NameListsBranches) {
+  Rng rng(6);
+  MultiColumn mc;
+  mc.AddBranch(Branch(3, 2, &rng));
+  EXPECT_NE(mc.Name().find("MultiColumn{"), std::string::npos);
+}
+
+TEST(MultiColumnDeathTest, NoBranchesAborts) {
+  MultiColumn mc;
+  EXPECT_DEATH(mc.Forward(Tensor({1, 3}), false), "no branches");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,141 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+// Minimizes f(x) = (x - 3)² starting from 0 with the given optimizer.
+double MinimizeQuadratic(Optimizer* opt, int steps) {
+  Tensor x({1}, {0.0});
+  Tensor g({1});
+  for (int i = 0; i < steps; ++i) {
+    g[0] = 2.0 * (x[0] - 3.0);
+    opt->Step({&x}, {&g});
+  }
+  return x[0];
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Sgd sgd(0.1);
+  EXPECT_NEAR(MinimizeQuadratic(&sgd, 200), 3.0, 1e-6);
+}
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  Sgd sgd(0.5);
+  Tensor x({1}, {1.0});
+  Tensor g({1}, {2.0});
+  sgd.Step({&x}, {&g});
+  EXPECT_DOUBLE_EQ(x[0], 0.0);
+}
+
+TEST(SgdTest, MomentumAcceleratesAlongConstantGradient) {
+  Sgd plain(0.1, 0.0);
+  Sgd momentum(0.1, 0.9);
+  Tensor x1({1}, {0.0}), x2({1}, {0.0});
+  Tensor g({1}, {1.0});
+  for (int i = 0; i < 10; ++i) {
+    plain.Step({&x1}, {&g});
+    momentum.Step({&x2}, {&g});
+  }
+  EXPECT_LT(x2[0], x1[0]);  // Momentum travels further (more negative).
+}
+
+TEST(SgdTest, WeightDecayShrinksParameters) {
+  Sgd sgd(0.1, 0.0, /*weight_decay=*/0.5);
+  Tensor x({1}, {10.0});
+  Tensor g({1}, {0.0});
+  sgd.Step({&x}, {&g});
+  EXPECT_DOUBLE_EQ(x[0], 10.0 - 0.1 * 0.5 * 10.0);
+}
+
+TEST(SgdTest, ResetClearsMomentum) {
+  Sgd sgd(0.1, 0.9);
+  Tensor x({1}, {0.0});
+  Tensor g({1}, {1.0});
+  sgd.Step({&x}, {&g});
+  sgd.Reset();
+  Tensor x2({1}, {0.0});
+  Tensor g2({1}, {1.0});
+  sgd.Step({&x2}, {&g2});
+  EXPECT_DOUBLE_EQ(x2[0], -0.1);  // Fresh momentum state.
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Adam adam(0.1);
+  EXPECT_NEAR(MinimizeQuadratic(&adam, 500), 3.0, 1e-4);
+}
+
+TEST(AdamTest, FirstStepIsLearningRateSized) {
+  Adam adam(0.01);
+  Tensor x({1}, {0.0});
+  Tensor g({1}, {100.0});
+  adam.Step({&x}, {&g});
+  // Bias-corrected Adam moves ~lr regardless of gradient scale.
+  EXPECT_NEAR(x[0], -0.01, 1e-6);
+}
+
+TEST(AdamTest, InvariantToGradientScale) {
+  Adam a1(0.05), a2(0.05);
+  Tensor x1({1}, {0.0}), x2({1}, {0.0});
+  for (int i = 0; i < 20; ++i) {
+    Tensor g1({1}, {1.0});
+    Tensor g2({1}, {1000.0});
+    a1.Step({&x1}, {&g1});
+    a2.Step({&x2}, {&g2});
+  }
+  EXPECT_NEAR(x1[0], x2[0], 1e-6);
+}
+
+TEST(AdamTest, ResetRestoresFreshState) {
+  Adam adam(0.1);
+  Tensor x({1}, {0.0});
+  Tensor g({1}, {1.0});
+  adam.Step({&x}, {&g});
+  const double first_move = x[0];
+  adam.Reset();
+  Tensor y({1}, {0.0});
+  adam.Step({&y}, {&g});
+  EXPECT_DOUBLE_EQ(y[0], first_move);
+}
+
+TEST(AdamTest, LearningRateMutable) {
+  Adam adam(0.1);
+  adam.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.5);
+}
+
+TEST(OptimizerTest, MultipleParameterTensors) {
+  Adam adam(0.1);
+  Tensor a({2}, {0.0, 0.0});
+  Tensor b({1}, {0.0});
+  for (int i = 0; i < 300; ++i) {
+    Tensor ga({2}, {2.0 * (a[0] - 1.0), 2.0 * (a[1] + 1.0)});
+    Tensor gb({1}, {2.0 * (b[0] - 5.0)});
+    adam.Step({&a, &b}, {&ga, &gb});
+  }
+  EXPECT_NEAR(a[0], 1.0, 1e-3);
+  EXPECT_NEAR(a[1], -1.0, 1e-3);
+  EXPECT_NEAR(b[0], 5.0, 1e-3);
+}
+
+TEST(OptimizerDeathTest, RebindingDifferentShapesAborts) {
+  Adam adam(0.1);
+  Tensor a({2});
+  Tensor ga({2});
+  adam.Step({&a}, {&ga});
+  Tensor b({3});
+  Tensor gb({3});
+  EXPECT_DEATH(adam.Step({&b}, {&gb}), "rebound");
+}
+
+TEST(OptimizerDeathTest, BadHyperparametersAbort) {
+  EXPECT_DEATH(Sgd(-0.1), "");
+  EXPECT_DEATH(Sgd(0.1, 1.0), "");
+  EXPECT_DEATH(Adam(0.1, 1.0), "");
+}
+
+}  // namespace
+}  // namespace tasfar

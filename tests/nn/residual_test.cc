@@ -1,0 +1,99 @@
+#include "nn/residual.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv1d.h"
+#include "nn/dense.h"
+#include "nn/gradient_check.h"
+#include "nn/loss.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> DenseBody(size_t dim, Rng* rng) {
+  auto body = std::make_unique<Sequential>();
+  body->Emplace<Dense>(dim, dim, rng);
+  body->Emplace<Tanh>();
+  return body;
+}
+
+TEST(ResidualTest, AddsSkipConnection) {
+  Rng rng(1);
+  auto body = DenseBody(3, &rng);
+  auto body_copy = body->CloneSequential();
+  Residual res(std::move(body));
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor y = res.Forward(x, false);
+  Tensor expected = body_copy->Forward(x, false) + x;
+  EXPECT_NEAR(y.MaxAbsDiff(expected), 0.0, 1e-12);
+}
+
+TEST(ResidualTest, ZeroBodyIsIdentity) {
+  Rng rng(2);
+  auto body = std::make_unique<Sequential>();
+  body->Emplace<Dense>(4, 4, &rng);
+  Residual res(std::move(body));
+  for (Tensor* p : res.Params()) p->Fill(0.0);
+  Tensor x = Tensor::RandomNormal({3, 4}, &rng);
+  EXPECT_DOUBLE_EQ(res.Forward(x, false).MaxAbsDiff(x), 0.0);
+}
+
+TEST(ResidualTest, GradientsMatchFiniteDifference) {
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Dense>(2, 4, &rng);
+  model.Emplace<Residual>(DenseBody(4, &rng));
+  model.Emplace<Dense>(4, 1, &rng);
+  Tensor x = Tensor::RandomNormal({3, 2}, &rng);
+  Tensor y = Tensor::RandomNormal({3, 1}, &rng);
+  GradCheckResult result = CheckGradients(
+      &model, x, y,
+      [](const Tensor& p, const Tensor& t, Tensor* g,
+         const std::vector<double>* w) { return loss::Mse(p, t, g, w); });
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+TEST(ResidualTest, TcnStyleConvBlock) {
+  // A same-shape dilated Conv1d block, the RoNIN/TCN building pattern.
+  Rng rng(4);
+  auto body = std::make_unique<Sequential>();
+  body->Emplace<Conv1d>(4, 4, 3, &rng, 1, /*padding=*/2, /*dilation=*/2);
+  body->Emplace<Tanh>();
+  Sequential model;
+  model.Emplace<Residual>(std::move(body));
+  Tensor x = Tensor::RandomNormal({2, 4, 10}, &rng);
+  Tensor y = model.Forward(x, false);
+  EXPECT_TRUE(y.SameShape(x));
+  Tensor g = model.Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+TEST(ResidualTest, CloneIsDeepAndEquivalent) {
+  Rng rng(5);
+  Residual res(DenseBody(3, &rng));
+  auto clone = res.Clone();
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  EXPECT_DOUBLE_EQ(res.Forward(x, false).MaxAbsDiff(clone->Forward(x, false)),
+                   0.0);
+  (*clone->Params()[0])[0] += 1.0;
+  EXPECT_NE((*clone->Params()[0])[0], (*res.Params()[0])[0]);
+}
+
+TEST(ResidualTest, NameWrapsBody) {
+  Rng rng(6);
+  Residual res(DenseBody(2, &rng));
+  EXPECT_NE(res.Name().find("Residual{"), std::string::npos);
+}
+
+TEST(ResidualDeathTest, ShapeChangingBodyAborts) {
+  Rng rng(7);
+  auto body = std::make_unique<Sequential>();
+  body->Emplace<Dense>(3, 5, &rng);
+  Residual res(std::move(body));
+  EXPECT_DEATH(res.Forward(Tensor({1, 3}), false), "preserve the input");
+}
+
+}  // namespace
+}  // namespace tasfar

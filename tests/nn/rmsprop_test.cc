@@ -1,0 +1,81 @@
+#include "nn/rmsprop.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+
+namespace tasfar {
+namespace {
+
+double MinimizeQuadratic(Optimizer* opt, int steps) {
+  Tensor x({1}, {0.0});
+  Tensor g({1});
+  for (int i = 0; i < steps; ++i) {
+    g[0] = 2.0 * (x[0] - 3.0);
+    opt->Step({&x}, {&g});
+  }
+  return x[0];
+}
+
+TEST(RmsPropTest, ConvergesOnQuadratic) {
+  RmsProp opt(0.05);
+  EXPECT_NEAR(MinimizeQuadratic(&opt, 500), 3.0, 1e-3);
+}
+
+TEST(RmsPropTest, MomentumVariantConverges) {
+  RmsProp opt(0.02, 0.9, 1e-8, 0.5);
+  EXPECT_NEAR(MinimizeQuadratic(&opt, 1200), 3.0, 2e-2);
+}
+
+TEST(RmsPropTest, FirstStepIsBounded) {
+  RmsProp opt(0.01);
+  Tensor x({1}, {0.0});
+  Tensor g({1}, {1000.0});
+  opt.Step({&x}, {&g});
+  // RMS normalization makes the first step ~lr/sqrt(1-decay), independent
+  // of the raw gradient scale.
+  EXPECT_LT(std::fabs(x[0]), 0.05);
+}
+
+TEST(RmsPropTest, ResetClearsState) {
+  RmsProp opt(0.01);
+  Tensor x({1}, {0.0});
+  Tensor g({1}, {1.0});
+  opt.Step({&x}, {&g});
+  const double first = x[0];
+  opt.Reset();
+  Tensor y({1}, {0.0});
+  opt.Step({&y}, {&g});
+  EXPECT_DOUBLE_EQ(y[0], first);
+}
+
+TEST(RmsPropDeathTest, BadHyperparametersAbort) {
+  EXPECT_DEATH(RmsProp(-1.0), "");
+  EXPECT_DEATH(RmsProp(0.01, 1.0), "");
+  EXPECT_DEATH(RmsProp(0.01, 0.9, 1e-8, 1.0), "");
+}
+
+TEST(StepDecayScheduleTest, HalvesEveryPeriod) {
+  Sgd sgd(0.8);
+  StepDecaySchedule schedule(&sgd, /*period=*/2, /*factor=*/0.5);
+  schedule.Tick();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.8);
+  schedule.Tick();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.4);
+  schedule.Tick();
+  schedule.Tick();
+  EXPECT_DOUBLE_EQ(sgd.learning_rate(), 0.2);
+  EXPECT_EQ(schedule.ticks(), 4u);
+}
+
+TEST(StepDecayScheduleTest, FactorOneIsConstant) {
+  Adam adam(0.1);
+  StepDecaySchedule schedule(&adam, 1, 1.0);
+  for (int i = 0; i < 5; ++i) schedule.Tick();
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace tasfar

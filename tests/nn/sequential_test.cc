@@ -1,0 +1,149 @@
+#include "nn/sequential.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> SmallMlp(Rng* rng) {
+  auto model = std::make_unique<Sequential>();
+  model->Emplace<Dense>(3, 4, rng);
+  model->Emplace<Relu>();
+  model->Emplace<Dense>(4, 2, rng);
+  return model;
+}
+
+TEST(SequentialTest, ForwardChainsLayers) {
+  Rng rng(1);
+  auto model = SmallMlp(&rng);
+  Tensor x = Tensor::RandomNormal({5, 3}, &rng);
+  Tensor y = model->Forward(x, false);
+  EXPECT_EQ(y.dim(0), 5u);
+  EXPECT_EQ(y.dim(1), 2u);
+}
+
+TEST(SequentialTest, NumLayersAndAccess) {
+  Rng rng(2);
+  auto model = SmallMlp(&rng);
+  EXPECT_EQ(model->NumLayers(), 3u);
+  EXPECT_EQ(model->layer(1).Name(), "Relu");
+}
+
+TEST(SequentialTest, ParamsConcatenateAcrossLayers) {
+  Rng rng(3);
+  auto model = SmallMlp(&rng);
+  EXPECT_EQ(model->Params().size(), 4u);  // Two Dense layers, W + b each.
+  EXPECT_EQ(model->Grads().size(), 4u);
+  EXPECT_EQ(model->ParameterCount(), 3u * 4 + 4 + 4u * 2 + 2);
+}
+
+TEST(SequentialTest, BackwardProducesInputGradient) {
+  Rng rng(4);
+  auto model = SmallMlp(&rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor y = model->Forward(x, true);
+  Tensor g = model->Backward(Tensor::Ones(y.shape()));
+  EXPECT_TRUE(g.SameShape(x));
+}
+
+TEST(SequentialTest, ForwardToStopsAtCut) {
+  Rng rng(5);
+  auto model = SmallMlp(&rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor feat = model->ForwardTo(x, 2, false);
+  EXPECT_EQ(feat.dim(1), 4u);  // After Dense(3->4) + Relu.
+  // ForwardTo with cut = 0 is the identity.
+  EXPECT_DOUBLE_EQ(model->ForwardTo(x, 0, false).MaxAbsDiff(x), 0.0);
+}
+
+TEST(SequentialTest, ForwardFromRunsTheHead) {
+  Rng rng(6);
+  auto model = SmallMlp(&rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor feat = model->ForwardTo(x, 2, false);
+  Tensor head_out = model->ForwardFrom(feat, 2, false);
+  Tensor full_out = model->Forward(x, false);
+  EXPECT_NEAR(head_out.MaxAbsDiff(full_out), 0.0, 1e-12);
+}
+
+TEST(SequentialTest, BackwardFromOnlyTouchesPrefixGrads) {
+  Rng rng(7);
+  auto model = SmallMlp(&rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor feat = model->ForwardTo(x, 2, true);
+  model->ZeroGrads();
+  model->BackwardFrom(Tensor::Ones(feat.shape()), 2);
+  auto grads = model->Grads();
+  // First Dense touched, second untouched.
+  EXPECT_GT(grads[0]->SquaredNorm(), 0.0);
+  EXPECT_DOUBLE_EQ(grads[2]->SquaredNorm(), 0.0);
+}
+
+TEST(SequentialTest, CloneSequentialMatchesOutputs) {
+  Rng rng(8);
+  auto model = SmallMlp(&rng);
+  auto clone = model->CloneSequential();
+  Tensor x = Tensor::RandomNormal({3, 3}, &rng);
+  EXPECT_DOUBLE_EQ(
+      model->Forward(x, false).MaxAbsDiff(clone->Forward(x, false)), 0.0);
+}
+
+TEST(SequentialTest, CloneIsIndependent) {
+  Rng rng(9);
+  auto model = SmallMlp(&rng);
+  auto clone = model->CloneSequential();
+  (*clone->Params()[0])[0] += 10.0;
+  EXPECT_NE((*clone->Params()[0])[0], (*model->Params()[0])[0]);
+}
+
+TEST(SequentialTest, CopyParamsFrom) {
+  Rng rng(10);
+  auto a = SmallMlp(&rng);
+  auto b = SmallMlp(&rng);  // Different init.
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  EXPECT_GT(a->Forward(x, false).MaxAbsDiff(b->Forward(x, false)), 0.0);
+  b->CopyParamsFrom(*a);
+  EXPECT_DOUBLE_EQ(a->Forward(x, false).MaxAbsDiff(b->Forward(x, false)),
+                   0.0);
+}
+
+TEST(SequentialTest, NameListsLayers) {
+  Rng rng(11);
+  auto model = SmallMlp(&rng);
+  const std::string name = model->Name();
+  EXPECT_NE(name.find("Dense(3->4)"), std::string::npos);
+  EXPECT_NE(name.find("Relu"), std::string::npos);
+}
+
+TEST(SequentialTest, NestedSequentialWorks) {
+  Rng rng(12);
+  auto inner = std::make_unique<Sequential>();
+  inner->Emplace<Dense>(3, 3, &rng);
+  inner->Emplace<Relu>();
+  Sequential outer;
+  outer.Add(std::move(inner));
+  outer.Emplace<Dense>(3, 1, &rng);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  Tensor y = outer.Forward(x, false);
+  EXPECT_EQ(y.dim(1), 1u);
+  EXPECT_EQ(outer.Params().size(), 4u);
+}
+
+TEST(SequentialTest, TrainingFlagPropagatesToDropout) {
+  Rng rng(13);
+  Sequential model;
+  model.Emplace<Dropout>(0.5, 99);
+  Tensor x = Tensor::Ones({10, 10});
+  Tensor inference = model.Forward(x, false);
+  EXPECT_DOUBLE_EQ(inference.MaxAbsDiff(x), 0.0);
+  Tensor training = model.Forward(x, true);
+  EXPECT_GT(training.MaxAbsDiff(x), 0.0);
+}
+
+}  // namespace
+}  // namespace tasfar

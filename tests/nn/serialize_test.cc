@@ -1,0 +1,95 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> Model(uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(3, 4, &rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dense>(4, 2, &rng);
+  return m;
+}
+
+TEST(SerializeTest, InMemoryRoundTripExact) {
+  auto a = Model(1);
+  auto b = Model(2);  // Different weights.
+  const std::string blob = SerializeParams(a.get());
+  ASSERT_TRUE(DeserializeParams(b.get(), blob).ok());
+  Rng rng(3);
+  Tensor x = Tensor::RandomNormal({5, 3}, &rng);
+  EXPECT_DOUBLE_EQ(a->Forward(x, false).MaxAbsDiff(b->Forward(x, false)),
+                   0.0);
+}
+
+TEST(SerializeTest, HexFloatsRoundTripBitExact) {
+  auto a = Model(4);
+  (*a->Params()[0])[0] = 0.1 + 0.2;  // A value with no short decimal form.
+  auto b = Model(5);
+  ASSERT_TRUE(DeserializeParams(b.get(), SerializeParams(a.get())).ok());
+  EXPECT_DOUBLE_EQ((*b->Params()[0])[0], 0.1 + 0.2);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  auto a = Model(6);
+  auto b = Model(7);
+  const std::string path = testing::TempDir() + "/params_test.txt";
+  ASSERT_TRUE(SaveParams(a.get(), path).ok());
+  ASSERT_TRUE(LoadParams(b.get(), path).ok());
+  Rng rng(8);
+  Tensor x = Tensor::RandomNormal({2, 3}, &rng);
+  EXPECT_DOUBLE_EQ(a->Forward(x, false).MaxAbsDiff(b->Forward(x, false)),
+                   0.0);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BadMagicRejected) {
+  auto m = Model(9);
+  EXPECT_EQ(DeserializeParams(m.get(), "GARBAGE\n").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ParamCountMismatchRejected) {
+  auto a = Model(10);
+  Rng rng(11);
+  Sequential small;
+  small.Emplace<Dense>(3, 4, &rng);
+  const std::string blob = SerializeParams(&small);
+  EXPECT_EQ(DeserializeParams(a.get(), blob).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(12);
+  Sequential a;
+  a.Emplace<Dense>(3, 4, &rng);
+  Sequential b;
+  b.Emplace<Dense>(4, 3, &rng);
+  EXPECT_EQ(DeserializeParams(&b, SerializeParams(&a)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, TruncatedDataRejected) {
+  auto a = Model(13);
+  std::string blob = SerializeParams(a.get());
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DeserializeParams(a.get(), blob).ok());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  auto a = Model(14);
+  EXPECT_EQ(LoadParams(a.get(), "/no/such/file.txt").code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,108 @@
+#include "nn/softmax.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/gradient_check.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(SoftmaxTest, RowsSumToOne) {
+  Softmax sm;
+  Rng rng(1);
+  Tensor x = Tensor::RandomNormal({5, 4}, &rng, 0.0, 3.0);
+  Tensor p = sm.Forward(x, false);
+  for (size_t i = 0; i < 5; ++i) {
+    double row = 0.0;
+    for (size_t c = 0; c < 4; ++c) {
+      EXPECT_GT(p.At(i, c), 0.0);
+      row += p.At(i, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(SoftmaxTest, UniformLogitsGiveUniformProbs) {
+  Softmax sm;
+  Tensor x = Tensor::Full({2, 5}, 3.7);
+  Tensor p = sm.Forward(x, false);
+  for (size_t i = 0; i < p.size(); ++i) EXPECT_NEAR(p[i], 0.2, 1e-12);
+}
+
+TEST(SoftmaxTest, ShiftInvariant) {
+  Softmax sm;
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({3, 4}, &rng);
+  Tensor p1 = sm.Forward(x, false);
+  Tensor p2 = sm.Forward(x + 100.0, false);
+  EXPECT_NEAR(p1.MaxAbsDiff(p2), 0.0, 1e-12);
+}
+
+TEST(SoftmaxTest, StableForExtremeLogits) {
+  Softmax sm;
+  Tensor x({1, 3}, {1000.0, -1000.0, 0.0});
+  Tensor p = sm.Forward(x, false);
+  EXPECT_TRUE(p.AllFinite());
+  EXPECT_NEAR(p.At(0, 0), 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, GradientMatchesFiniteDifferenceUnderCrossEntropy) {
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Dense>(3, 4, &rng);
+  model.Emplace<Softmax>();
+  Tensor x = Tensor::RandomNormal({4, 3}, &rng);
+  Tensor target({4, 4});
+  for (size_t i = 0; i < 4; ++i) target.At(i, i % 4) = 1.0;
+  GradCheckResult result = CheckGradients(
+      &model, x, target,
+      [](const Tensor& p, const Tensor& t, Tensor* g,
+         const std::vector<double>* w) {
+        return loss::CrossEntropy(p, t, g, w);
+      });
+  EXPECT_LT(result.max_rel_error, 1e-4);
+}
+
+TEST(CrossEntropyTest, PerfectOneHotPredictionIsZero) {
+  Tensor p({2, 3}, {1.0, 0.0, 0.0, 0.0, 1.0, 0.0});
+  Tensor t = p;
+  EXPECT_NEAR(loss::CrossEntropy(p, t), 0.0, 1e-10);
+}
+
+TEST(CrossEntropyTest, UniformPredictionIsLogClasses) {
+  Tensor p = Tensor::Full({1, 4}, 0.25);
+  Tensor t({1, 4}, {1.0, 0.0, 0.0, 0.0});
+  EXPECT_NEAR(loss::CrossEntropy(p, t), std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropyTest, SoftTargetsSupported) {
+  // Cross-entropy against a soft pseudo-label (the Section-VI plug-in's
+  // training signal) equals the weighted sum of per-class terms.
+  Tensor p({1, 2}, {0.7, 0.3});
+  Tensor t({1, 2}, {0.6, 0.4});
+  const double expected = -(0.6 * std::log(0.7) + 0.4 * std::log(0.3));
+  EXPECT_NEAR(loss::CrossEntropy(p, t), expected, 1e-12);
+}
+
+TEST(CrossEntropyTest, WeightsScaleContribution) {
+  Tensor p({2, 2}, {0.5, 0.5, 0.5, 0.5});
+  Tensor t({2, 2}, {1.0, 0.0, 1.0, 0.0});
+  std::vector<double> w{2.0, 0.0};
+  EXPECT_NEAR(loss::CrossEntropy(p, t, nullptr, &w), std::log(2.0), 1e-12);
+}
+
+TEST(CrossEntropyTest, ZeroProbabilityGuarded) {
+  Tensor p({1, 2}, {0.0, 1.0});
+  Tensor t({1, 2}, {1.0, 0.0});
+  Tensor grad;
+  const double value = loss::CrossEntropy(p, t, &grad);
+  EXPECT_TRUE(std::isfinite(value));
+  EXPECT_TRUE(grad.AllFinite());
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,161 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+
+namespace tasfar {
+namespace {
+
+LossFn MseLoss() {
+  return [](const Tensor& p, const Tensor& t, Tensor* g,
+            const std::vector<double>* w) { return loss::Mse(p, t, g, w); };
+}
+
+TEST(GatherFirstDimTest, Rank2) {
+  Tensor t({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherFirstDim(t, {2, 0});
+  EXPECT_DOUBLE_EQ(g.At(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 0), 1.0);
+}
+
+TEST(GatherFirstDimTest, Rank3PreservesTrailingShape) {
+  Tensor t({2, 3, 4});
+  t.At(1, 2, 3) = 9.0;
+  Tensor g = GatherFirstDim(t, {1});
+  EXPECT_EQ(g.shape(), (std::vector<size_t>{1, 3, 4}));
+  EXPECT_DOUBLE_EQ(g.At(0, 2, 3), 9.0);
+}
+
+TEST(BatchedForwardTest, MatchesSingleForward) {
+  Rng rng(1);
+  Sequential model;
+  model.Emplace<Dense>(3, 2, &rng);
+  Tensor x = Tensor::RandomNormal({10, 3}, &rng);
+  Tensor full = model.Forward(x, false);
+  Tensor batched = BatchedForward(&model, x, false, /*batch_size=*/3);
+  EXPECT_NEAR(full.MaxAbsDiff(batched), 0.0, 1e-12);
+}
+
+TEST(TrainerTest, LearnsLinearMap) {
+  Rng rng(2);
+  Sequential model;
+  model.Emplace<Dense>(2, 1, &rng);
+  // y = 3 x0 - 2 x1 + 1.
+  Tensor x = Tensor::RandomNormal({200, 2}, &rng);
+  Tensor y({200, 1});
+  for (size_t i = 0; i < 200; ++i) {
+    y.At(i, 0) = 3.0 * x.At(i, 0) - 2.0 * x.At(i, 1) + 1.0;
+  }
+  Adam opt(0.05);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 100;
+  tc.batch_size = 32;
+  trainer.Fit(x, y, tc, &rng);
+  EXPECT_LT(trainer.Evaluate(x, y), 1e-3);
+}
+
+TEST(TrainerTest, LossHistoryDecreases) {
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Dense>(2, 4, &rng);
+  model.Emplace<Relu>();
+  model.Emplace<Dense>(4, 1, &rng);
+  Tensor x = Tensor::RandomNormal({100, 2}, &rng);
+  Tensor y({100, 1});
+  for (size_t i = 0; i < 100; ++i) y.At(i, 0) = x.At(i, 0) * x.At(i, 1);
+  Adam opt(0.01);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 30;
+  auto history = trainer.Fit(x, y, tc, &rng);
+  ASSERT_EQ(history.size(), 30u);
+  EXPECT_LT(history.back().train_loss, history.front().train_loss);
+}
+
+TEST(TrainerTest, EarlyStoppingShortensHistory) {
+  Rng rng(4);
+  Sequential model;
+  model.Emplace<Dense>(1, 1, &rng);
+  // Trivial task converges instantly -> early stop kicks in.
+  Tensor x = Tensor::RandomNormal({50, 1}, &rng);
+  Tensor y = x;
+  Adam opt(0.5);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 200;
+  tc.early_stop_rel_drop = 0.01;
+  tc.patience = 2;
+  auto history = trainer.Fit(x, y, tc, &rng);
+  EXPECT_LT(history.size(), 200u);
+}
+
+TEST(TrainerTest, SampleWeightsFocusTraining) {
+  Rng rng(5);
+  // Two conflicting clusters; weights select which one the model fits.
+  Tensor x({40, 1});
+  Tensor y({40, 1});
+  std::vector<double> w(40);
+  for (size_t i = 0; i < 40; ++i) {
+    x.At(i, 0) = 1.0;
+    y.At(i, 0) = (i < 20) ? 1.0 : -1.0;
+    w[i] = (i < 20) ? 1.0 : 0.0;  // Only the +1 cluster counts.
+  }
+  Sequential model;
+  model.Emplace<Dense>(1, 1, &rng);
+  Adam opt(0.05);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 200;
+  trainer.Fit(x, y, tc, &rng, &w);
+  Tensor pred = model.Forward(Tensor({1, 1}, {1.0}), false);
+  EXPECT_NEAR(pred.At(0, 0), 1.0, 0.05);
+}
+
+TEST(TrainerTest, EpochCallbackInvoked) {
+  Rng rng(6);
+  Sequential model;
+  model.Emplace<Dense>(1, 1, &rng);
+  Tensor x = Tensor::RandomNormal({10, 1}, &rng);
+  Adam opt(0.01);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 5;
+  size_t calls = 0;
+  trainer.Fit(x, x, tc, &rng, nullptr,
+              [&calls](const EpochStats& st) {
+                EXPECT_EQ(st.epoch, calls);
+                ++calls;
+              });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(TrainerTest, BatchLargerThanDatasetClamped) {
+  Rng rng(7);
+  Sequential model;
+  model.Emplace<Dense>(1, 1, &rng);
+  Tensor x = Tensor::RandomNormal({5, 1}, &rng);
+  Adam opt(0.01);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 100;
+  auto history = trainer.Fit(x, x, tc, &rng);
+  EXPECT_EQ(history.size(), 2u);
+}
+
+TEST(TrainerDeathTest, MismatchedRowsAbort) {
+  Rng rng(8);
+  Sequential model;
+  model.Emplace<Dense>(1, 1, &rng);
+  Adam opt(0.01);
+  Trainer trainer(&model, &opt, MseLoss());
+  TrainConfig tc;
+  EXPECT_DEATH(trainer.Fit(Tensor({4, 1}), Tensor({3, 1}), tc, &rng), "");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,117 @@
+// Property-style checks of the tensor algebra against naive reference
+// implementations and algebraic identities, across a sweep of shapes.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+using Shape = std::tuple<size_t, size_t, size_t>;  // m, k, n.
+
+class MatMulPropertyTest : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(MatMulPropertyTest, MatchesNaiveTripleLoop) {
+  const auto m = std::get<0>(GetParam());
+  const auto k = std::get<1>(GetParam());
+  const auto n = std::get<2>(GetParam());
+  Rng rng(m * 131 + k * 17 + n);
+  Tensor a = Tensor::RandomNormal({m, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, n}, &rng);
+  Tensor c = a.MatMul(b);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      for (size_t p = 0; p < k; ++p) ref += a.At(i, p) * b.At(p, j);
+      EXPECT_NEAR(c.At(i, j), ref, 1e-10);
+    }
+  }
+}
+
+TEST_P(MatMulPropertyTest, TransposeIdentity) {
+  // (A B)^T == B^T A^T.
+  const auto m = std::get<0>(GetParam());
+  const auto k = std::get<1>(GetParam());
+  const auto n = std::get<2>(GetParam());
+  Rng rng(m + k * 7 + n * 31);
+  Tensor a = Tensor::RandomNormal({m, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, n}, &rng);
+  Tensor left = a.MatMul(b).Transposed();
+  Tensor right = b.Transposed().MatMul(a.Transposed());
+  EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-10);
+}
+
+TEST_P(MatMulPropertyTest, DistributesOverAddition) {
+  // A (B + C) == A B + A C.
+  const auto m = std::get<0>(GetParam());
+  const auto k = std::get<1>(GetParam());
+  const auto n = std::get<2>(GetParam());
+  Rng rng(m * 3 + k + n * 11);
+  Tensor a = Tensor::RandomNormal({m, k}, &rng);
+  Tensor b = Tensor::RandomNormal({k, n}, &rng);
+  Tensor c = Tensor::RandomNormal({k, n}, &rng);
+  Tensor left = a.MatMul(b + c);
+  Tensor right = a.MatMul(b) + a.MatMul(c);
+  EXPECT_NEAR(left.MaxAbsDiff(right), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulPropertyTest,
+    ::testing::Values(Shape{1, 1, 1}, Shape{1, 5, 3}, Shape{4, 1, 4},
+                      Shape{3, 7, 2}, Shape{8, 8, 8}, Shape{2, 16, 5}),
+    [](const auto& info) {
+      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
+             std::to_string(std::get<1>(info.param)) + "n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(TensorAlgebraTest, ColMeanMatchesManualAverage) {
+  Rng rng(5);
+  Tensor a = Tensor::RandomNormal({17, 6}, &rng);
+  Tensor mean = a.ColMean();
+  for (size_t j = 0; j < 6; ++j) {
+    double ref = 0.0;
+    for (size_t i = 0; i < 17; ++i) ref += a.At(i, j);
+    EXPECT_NEAR(mean[j], ref / 17.0, 1e-12);
+  }
+}
+
+TEST(TensorAlgebraTest, GatherThenStackRoundTrips) {
+  Rng rng(7);
+  Tensor a = Tensor::RandomNormal({9, 4}, &rng);
+  std::vector<size_t> all(9);
+  for (size_t i = 0; i < 9; ++i) all[i] = i;
+  EXPECT_DOUBLE_EQ(a.GatherRows(all).MaxAbsDiff(a), 0.0);
+  std::vector<Tensor> rows;
+  for (size_t i = 0; i < 9; ++i) rows.push_back(a.Row(i));
+  EXPECT_DOUBLE_EQ(Tensor::StackRows(rows).MaxAbsDiff(a), 0.0);
+}
+
+TEST(TensorAlgebraTest, ReshapeIsAnIsometry) {
+  Rng rng(9);
+  Tensor a = Tensor::RandomNormal({3, 4, 5}, &rng);
+  Tensor r = a.Reshape({60}).Reshape({5, 12}).Reshape({3, 4, 5});
+  EXPECT_DOUBLE_EQ(r.MaxAbsDiff(a), 0.0);
+  EXPECT_DOUBLE_EQ(r.SquaredNorm(), a.SquaredNorm());
+}
+
+TEST(TensorAlgebraTest, HadamardCommutes) {
+  Rng rng(11);
+  Tensor a = Tensor::RandomNormal({6, 6}, &rng);
+  Tensor b = Tensor::RandomNormal({6, 6}, &rng);
+  EXPECT_DOUBLE_EQ((a * b).MaxAbsDiff(b * a), 0.0);
+}
+
+TEST(TensorAlgebraTest, ScalarOpsCompose) {
+  Rng rng(13);
+  Tensor a = Tensor::RandomNormal({10}, &rng);
+  Tensor left = (a * 2.0 + 3.0) / 2.0 - 1.5;
+  EXPECT_NEAR(left.MaxAbsDiff(a), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tasfar

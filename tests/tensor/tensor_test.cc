@@ -1,0 +1,233 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorTest, ShapeConstructorZeroInitializes) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.size(), 6u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 0.0);
+}
+
+TEST(TensorTest, DataConstructorKeepsValues) {
+  Tensor t({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.At(1, 1), 4.0);
+}
+
+TEST(TensorTest, FactoriesFillCorrectly) {
+  EXPECT_DOUBLE_EQ(Tensor::Ones({3})[1], 1.0);
+  EXPECT_DOUBLE_EQ(Tensor::Full({2}, 7.5)[0], 7.5);
+  Tensor v = Tensor::FromVector({1.0, 2.0});
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+}
+
+TEST(TensorTest, FromRows) {
+  Tensor t = Tensor::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_EQ(t.dim(1), 2u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+}
+
+TEST(TensorTest, RandomNormalStatistics) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomNormal({100, 100}, &rng, 2.0, 3.0);
+  EXPECT_NEAR(t.Mean(), 2.0, 0.1);
+}
+
+TEST(TensorTest, RandomUniformBounds) {
+  Rng rng(5);
+  Tensor t = Tensor::RandomUniform({1000}, &rng, -1.0, 1.0);
+  EXPECT_GE(t.Min(), -1.0);
+  EXPECT_LT(t.Max(), 1.0);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  EXPECT_DOUBLE_EQ(r.At(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 2.0);
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor({2, 3}).ShapeString(), "[2, 3]");
+}
+
+TEST(TensorTest, Rank3And4Accessors) {
+  Tensor t3({2, 3, 4});
+  t3.At(1, 2, 3) = 9.0;
+  EXPECT_DOUBLE_EQ(t3[1 * 12 + 2 * 4 + 3], 9.0);
+  Tensor t4({2, 2, 2, 2});
+  t4.At(1, 0, 1, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(t4[8 + 0 + 2 + 0], 5.0);
+}
+
+TEST(TensorTest, ElementwiseArithmetic) {
+  Tensor a({2}, {1.0, 2.0});
+  Tensor b({2}, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ((a + b)[1], 7.0);
+  EXPECT_DOUBLE_EQ((b - a)[0], 2.0);
+  EXPECT_DOUBLE_EQ((a * b)[1], 10.0);
+  EXPECT_DOUBLE_EQ((b / a)[1], 2.5);
+}
+
+TEST(TensorTest, CompoundAssignment) {
+  Tensor a({2}, {1.0, 2.0});
+  a += Tensor({2}, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  a -= Tensor({2}, {0.5, 0.5});
+  EXPECT_DOUBLE_EQ(a[1], 2.5);
+  a *= Tensor({2}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+}
+
+TEST(TensorTest, ScalarOps) {
+  Tensor a({2}, {1.0, 2.0});
+  EXPECT_DOUBLE_EQ((a + 1.0)[0], 2.0);
+  EXPECT_DOUBLE_EQ((a - 1.0)[1], 1.0);
+  EXPECT_DOUBLE_EQ((a * 3.0)[1], 6.0);
+  EXPECT_DOUBLE_EQ((a / 2.0)[0], 0.5);
+  EXPECT_DOUBLE_EQ((2.0 * a)[1], 4.0);
+  EXPECT_DOUBLE_EQ((-a)[0], -1.0);
+}
+
+TEST(TensorTest, MapAndFill) {
+  Tensor a({3}, {1.0, 4.0, 9.0});
+  Tensor s = a.Map([](double x) { return std::sqrt(x); });
+  EXPECT_DOUBLE_EQ(s[2], 3.0);
+  a.Fill(2.0);
+  EXPECT_DOUBLE_EQ(a[0], 2.0);
+  a.MapInPlace([](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(a[1], 4.0);
+}
+
+TEST(TensorTest, MatMulKnownResult) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = a.MatMul(b);
+  EXPECT_DOUBLE_EQ(c.At(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.At(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.At(1, 1), 154.0);
+}
+
+TEST(TensorTest, MatMulIdentity) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor id({2, 2}, {1, 0, 0, 1});
+  EXPECT_DOUBLE_EQ(a.MatMul(id).MaxAbsDiff(a), 0.0);
+}
+
+TEST(TensorTest, Transposed) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = a.Transposed();
+  EXPECT_EQ(t.dim(0), 3u);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t.Transposed().MaxAbsDiff(a), 0.0);
+}
+
+TEST(TensorTest, AddRowBroadcast) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor row({2}, {10.0, 20.0});
+  Tensor out = a.AddRowBroadcast(row);
+  EXPECT_DOUBLE_EQ(out.At(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(out.At(1, 0), 13.0);
+}
+
+TEST(TensorTest, RowAndSetRow) {
+  Tensor a({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = a.Row(1);
+  EXPECT_EQ(r.rank(), 1u);
+  EXPECT_DOUBLE_EQ(r[2], 6.0);
+  a.SetRow(0, Tensor({3}, {9.0, 9.0, 9.0}));
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 9.0);
+}
+
+TEST(TensorTest, StackRows) {
+  Tensor s = Tensor::StackRows(
+      {Tensor({2}, {1.0, 2.0}), Tensor({2}, {3.0, 4.0})});
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 3.0);
+}
+
+TEST(TensorTest, GatherRows) {
+  Tensor a({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor g = a.GatherRows({2, 0});
+  EXPECT_DOUBLE_EQ(g.At(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(g.At(1, 1), 2.0);
+}
+
+TEST(TensorTest, GatherRowsAllowsDuplicates) {
+  Tensor a({2, 1}, {1.0, 2.0});
+  Tensor g = a.GatherRows({1, 1, 1});
+  EXPECT_EQ(g.dim(0), 3u);
+  EXPECT_DOUBLE_EQ(g.At(2, 0), 2.0);
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 30.0);
+}
+
+TEST(TensorTest, ColMeanAndColStd) {
+  Tensor a({2, 2}, {1.0, 10.0, 3.0, 30.0});
+  Tensor m = a.ColMean();
+  EXPECT_DOUBLE_EQ(m[0], 2.0);
+  EXPECT_DOUBLE_EQ(m[1], 20.0);
+  Tensor s = a.ColStd();
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 10.0);
+}
+
+TEST(TensorTest, AllFinite) {
+  Tensor a({2}, {1.0, 2.0});
+  EXPECT_TRUE(a.AllFinite());
+  a[0] = std::nan("");
+  EXPECT_FALSE(a.AllFinite());
+  a[0] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(a.AllFinite());
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a({2}, {1.0, 2.0});
+  Tensor b({2}, {1.5, 1.0});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 1.0);
+}
+
+TEST(TensorDeathTest, ShapeMismatchAborts) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_DEATH(a + b, "shape mismatch");
+}
+
+TEST(TensorDeathTest, MatMulDimensionMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({2, 3});
+  EXPECT_DEATH(a.MatMul(b), "inner dimensions");
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(a.Reshape({4}), "preserve element count");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,133 @@
+#include "uncertainty/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "core/tasfar.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> SmallModel(Rng* rng) {
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(1, 16, rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dense>(16, 1, rng);
+  return m;
+}
+
+DeepEnsemble TrainedEnsemble(size_t members, uint64_t seed) {
+  Rng rng(seed);
+  Tensor x({200, 1});
+  Tensor y({200, 1});
+  for (size_t i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.Uniform(-2.0, 2.0);
+    y.At(i, 0) = x.At(i, 0) + rng.Normal(0.0, 0.05);
+  }
+  TrainConfig tc;
+  tc.epochs = 40;
+  return DeepEnsemble::Train(SmallModel, x, y, members, tc, 0.01, &rng);
+}
+
+TEST(DeepEnsembleTest, PredictsPerSampleWithDisagreement) {
+  DeepEnsemble ensemble = TrainedEnsemble(3, 1);
+  EXPECT_EQ(ensemble.num_members(), 3u);
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({10, 1}, &rng);
+  auto preds = ensemble.Predict(x);
+  ASSERT_EQ(preds.size(), 10u);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p.mean.size(), 1u);
+    EXPECT_GE(p.std[0], 0.0);
+  }
+}
+
+TEST(DeepEnsembleTest, InDistributionPredictionsAccurate) {
+  DeepEnsemble ensemble = TrainedEnsemble(3, 3);
+  Tensor x({3, 1}, {-1.0, 0.0, 1.0});
+  Tensor mean = ensemble.PredictMean(x);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(mean.At(i, 0), x.At(i, 0), 0.15);
+  }
+}
+
+TEST(DeepEnsembleTest, DisagreementGrowsOutOfDistribution) {
+  DeepEnsemble ensemble = TrainedEnsemble(4, 5);
+  Tensor in_dist({20, 1});
+  Tensor out_dist({20, 1});
+  Rng rng(7);
+  for (size_t i = 0; i < 20; ++i) {
+    in_dist.At(i, 0) = rng.Uniform(-1.5, 1.5);
+    out_dist.At(i, 0) = rng.Uniform(5.0, 8.0);
+  }
+  double u_in = 0.0, u_out = 0.0;
+  for (const auto& p : ensemble.Predict(in_dist)) {
+    u_in += p.ScalarUncertainty();
+  }
+  for (const auto& p : ensemble.Predict(out_dist)) {
+    u_out += p.ScalarUncertainty();
+  }
+  EXPECT_GT(u_out, u_in);
+}
+
+TEST(DeepEnsembleTest, MeanMatchesMemberAverage) {
+  DeepEnsemble ensemble = TrainedEnsemble(2, 9);
+  Rng rng(11);
+  Tensor x = Tensor::RandomNormal({5, 1}, &rng);
+  Tensor mean = ensemble.PredictMean(x);
+  Tensor manual = (ensemble.member(0).Forward(x, false) +
+                   ensemble.member(1).Forward(x, false)) /
+                  2.0;
+  EXPECT_NEAR(mean.MaxAbsDiff(manual), 0.0, 1e-12);
+}
+
+TEST(DeepEnsembleTest, PluggableIntoTasfarPipeline) {
+  // The paper's orthogonality claim, end to end: calibrate and adapt with
+  // ensemble predictions instead of MC dropout.
+  Rng rng(13);
+  Tensor src_x({300, 1});
+  Tensor src_y({300, 1});
+  for (size_t i = 0; i < 300; ++i) {
+    src_x.At(i, 0) = rng.Uniform(-2.0, 2.0);
+    src_y.At(i, 0) = src_x.At(i, 0) + rng.Normal(0.0, 0.05);
+  }
+  TrainConfig tc;
+  tc.epochs = 40;
+  DeepEnsemble ensemble =
+      DeepEnsemble::Train(SmallModel, src_x, src_y, 3, tc, 0.01, &rng);
+
+  TasfarOptions options;
+  options.grid_cell_size = 0.05;
+  options.adaptation.train.epochs = 30;
+  Tasfar tasfar(options);
+  SourceCalibration calib = tasfar.CalibrateFromPredictions(
+      ensemble.Predict(src_x), src_y);
+  EXPECT_GT(calib.tau, 0.0);
+
+  // Target: in-distribution cluster + OOD inputs, labels near 1.8.
+  Tensor tgt_x({150, 1});
+  for (size_t i = 0; i < 150; ++i) {
+    tgt_x.At(i, 0) =
+        (i % 3 == 0) ? rng.Uniform(2.5, 3.5) : rng.Uniform(1.4, 1.9);
+  }
+  // Adapt member 0 using the ensemble's uncertainties.
+  Rng adapt_rng(17);
+  TasfarReport report = tasfar.AdaptWithPredictions(
+      &ensemble.member(0), calib, tgt_x, ensemble.Predict(tgt_x),
+      &adapt_rng);
+  EXPECT_EQ(report.predictions.size(), 150u);
+  EXPECT_EQ(report.num_confident + report.num_uncertain, 150u);
+  ASSERT_NE(report.target_model, nullptr);
+}
+
+TEST(DeepEnsembleDeathTest, SingleMemberRejected) {
+  Rng rng(19);
+  std::vector<std::unique_ptr<Sequential>> one;
+  one.push_back(SmallModel(&rng));
+  EXPECT_DEATH(DeepEnsemble{std::move(one)}, "at least two");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,115 @@
+#include "uncertainty/error_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+const ErrorModelKind kAllKinds[] = {ErrorModelKind::kGaussian,
+                                    ErrorModelKind::kLaplace,
+                                    ErrorModelKind::kUniform};
+
+class ErrorModelParamTest : public ::testing::TestWithParam<ErrorModelKind> {
+};
+
+TEST_P(ErrorModelParamTest, CdfMonotoneFromZeroToOne) {
+  const ErrorModelKind kind = GetParam();
+  double prev = -1.0;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    const double c = ErrorModelCdf(kind, x, 0.0, 1.5);
+    EXPECT_GE(c, prev - 1e-12);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(ErrorModelCdf(kind, -100.0, 0.0, 1.5), 0.0, 1e-9);
+  EXPECT_NEAR(ErrorModelCdf(kind, 100.0, 0.0, 1.5), 1.0, 1e-9);
+}
+
+TEST_P(ErrorModelParamTest, CdfAtMeanIsHalf) {
+  EXPECT_NEAR(ErrorModelCdf(GetParam(), 2.0, 2.0, 0.7), 0.5, 1e-12);
+}
+
+TEST_P(ErrorModelParamTest, VarianceMatchesSigma) {
+  // Numerically integrate x² pdf to confirm the families are
+  // variance-matched to sigma².
+  const ErrorModelKind kind = GetParam();
+  const double sigma = 1.3;
+  double var = 0.0;
+  const double dx = 0.001;
+  for (double x = -15.0; x <= 15.0; x += dx) {
+    var += x * x * ErrorModelPdf(kind, x, 0.0, sigma) * dx;
+  }
+  EXPECT_NEAR(var, sigma * sigma, 0.01);
+}
+
+TEST_P(ErrorModelParamTest, PdfIntegratesToOne) {
+  const ErrorModelKind kind = GetParam();
+  double total = 0.0;
+  const double dx = 0.001;
+  for (double x = -15.0; x <= 15.0; x += dx) {
+    total += ErrorModelPdf(kind, x, 1.0, 1.1) * dx;
+  }
+  EXPECT_NEAR(total, 1.0, 0.01);
+}
+
+TEST_P(ErrorModelParamTest, CellMassMatchesCdfDifference) {
+  const ErrorModelKind kind = GetParam();
+  const double mass = ErrorModelCellMass(kind, -0.5, 0.7, 0.1, 0.9);
+  EXPECT_NEAR(mass,
+              ErrorModelCdf(kind, 0.7, 0.1, 0.9) -
+                  ErrorModelCdf(kind, -0.5, 0.1, 0.9),
+              1e-15);
+  EXPECT_GE(mass, 0.0);
+}
+
+TEST_P(ErrorModelParamTest, FullLineMassIsOne) {
+  EXPECT_NEAR(ErrorModelCellMass(GetParam(), -100.0, 100.0, 0.0, 1.0), 1.0,
+              1e-9);
+}
+
+TEST_P(ErrorModelParamTest, SymmetricMassAroundMean) {
+  const ErrorModelKind kind = GetParam();
+  const double left = ErrorModelCellMass(kind, -1.0, 0.0, 0.0, 1.0);
+  const double right = ErrorModelCellMass(kind, 0.0, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(left, right, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ErrorModelParamTest,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const auto& info) {
+                           return ErrorModelKindToString(info.param);
+                         });
+
+TEST(ErrorModelTest, GaussianCdfKnownValue) {
+  // Φ(1) ≈ 0.8413.
+  EXPECT_NEAR(ErrorModelCdf(ErrorModelKind::kGaussian, 1.0, 0.0, 1.0),
+              0.841345, 1e-5);
+}
+
+TEST(ErrorModelTest, UniformCdfHasCompactSupport) {
+  const double half = std::sqrt(3.0);
+  EXPECT_DOUBLE_EQ(
+      ErrorModelCdf(ErrorModelKind::kUniform, -half - 0.01, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      ErrorModelCdf(ErrorModelKind::kUniform, half + 0.01, 0.0, 1.0), 1.0);
+}
+
+TEST(ErrorModelTest, LaplaceHeavierTailsThanGaussian) {
+  const double g = 1.0 - ErrorModelCdf(ErrorModelKind::kGaussian, 3.0, 0.0,
+                                       1.0);
+  const double l = 1.0 - ErrorModelCdf(ErrorModelKind::kLaplace, 3.0, 0.0,
+                                       1.0);
+  EXPECT_GT(l, g);
+}
+
+TEST(ErrorModelTest, KindNames) {
+  EXPECT_STREQ(ErrorModelKindToString(ErrorModelKind::kGaussian), "Gaussian");
+  EXPECT_STREQ(ErrorModelKindToString(ErrorModelKind::kLaplace), "Laplace");
+  EXPECT_STREQ(ErrorModelKindToString(ErrorModelKind::kUniform), "Uniform");
+}
+
+}  // namespace
+}  // namespace tasfar

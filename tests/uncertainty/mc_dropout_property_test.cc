@@ -1,0 +1,100 @@
+// Property-style sweeps over MC dropout: estimator consistency across
+// dropout rates and sample counts.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "uncertainty/mc_dropout.h"
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+using Param = std::tuple<double /*rate*/, size_t /*samples*/>;
+
+class McDropoutPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  double rate() const { return std::get<0>(GetParam()); }
+  size_t samples() const { return std::get<1>(GetParam()); }
+
+  std::unique_ptr<Sequential> Model(uint64_t seed) const {
+    Rng rng(seed);
+    auto m = std::make_unique<Sequential>();
+    m->Emplace<Dense>(2, 24, &rng);
+    m->Emplace<Relu>();
+    m->Emplace<Dropout>(rate(), rng.NextU64());
+    m->Emplace<Dense>(24, 1, &rng);
+    return m;
+  }
+};
+
+TEST_P(McDropoutPropertyTest, StdsAreFiniteAndNonNegative) {
+  auto model = Model(1);
+  McDropoutPredictor predictor(model.get(), samples());
+  Rng rng(2);
+  Tensor x = Tensor::RandomNormal({12, 2}, &rng);
+  for (const McPrediction& p : predictor.Predict(x)) {
+    EXPECT_GE(p.std[0], 0.0);
+    EXPECT_TRUE(std::isfinite(p.std[0]));
+    EXPECT_TRUE(std::isfinite(p.mean[0]));
+  }
+}
+
+TEST_P(McDropoutPropertyTest, HigherRateMoreUncertainty) {
+  if (rate() == 0.0) return;
+  auto model = Model(3);
+  // Rebuild the same weights with a higher dropout rate by copying params.
+  Rng rng(3);
+  auto higher = std::make_unique<Sequential>();
+  higher->Emplace<Dense>(2, 24, &rng);
+  higher->Emplace<Relu>();
+  higher->Emplace<Dropout>(std::min(0.6, rate() + 0.25), rng.NextU64());
+  higher->Emplace<Dense>(24, 1, &rng);
+  higher->CopyParamsFrom(*model);
+
+  Rng data_rng(5);
+  Tensor x = Tensor::RandomNormal({40, 2}, &data_rng);
+  McDropoutPredictor p_low(model.get(), samples());
+  McDropoutPredictor p_high(higher.get(), samples());
+  double u_low = 0.0, u_high = 0.0;
+  for (const auto& p : p_low.Predict(x)) u_low += p.std[0];
+  for (const auto& p : p_high.Predict(x)) u_high += p.std[0];
+  EXPECT_GT(u_high, u_low);
+}
+
+TEST_P(McDropoutPropertyTest, MeanEstimateStabilizesWithSamples) {
+  // The spread of the MC mean across independent estimates shrinks as the
+  // sample count grows (law of large numbers on the dropout ensemble).
+  if (rate() == 0.0) return;
+  auto model = Model(7);
+  Rng rng(9);
+  Tensor x = Tensor::RandomNormal({1, 2}, &rng, 0.0, 2.0);
+  auto spread_of = [&](size_t s) {
+    std::vector<double> means;
+    McDropoutPredictor predictor(model.get(), s);
+    for (int rep = 0; rep < 12; ++rep) {
+      means.push_back(predictor.Predict(x)[0].mean[0]);
+    }
+    return stats::StdDev(means);
+  };
+  EXPECT_LE(spread_of(64), spread_of(4) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, McDropoutPropertyTest,
+    ::testing::Combine(::testing::Values(0.0, 0.1, 0.3),
+                       ::testing::Values(5u, 20u)),
+    [](const auto& info) {
+      return "r" +
+             std::to_string(
+                 static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_s" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,125 @@
+#include "uncertainty/mc_dropout.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::unique_ptr<Sequential> DropoutModel(Rng* rng) {
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(2, 16, rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dropout>(0.2, rng->NextU64());
+  m->Emplace<Dense>(16, 1, rng);
+  return m;
+}
+
+TEST(McPredictionTest, ScalarUncertaintyIsL2OfStds) {
+  McPrediction p;
+  p.std = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(p.ScalarUncertainty(), 5.0);
+  McPrediction q;
+  q.std = {2.0};
+  EXPECT_DOUBLE_EQ(q.ScalarUncertainty(), 2.0);
+}
+
+TEST(McDropoutTest, PredictsPerSample) {
+  Rng rng(1);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 10);
+  Tensor x = Tensor::RandomNormal({7, 2}, &rng);
+  auto preds = predictor.Predict(x);
+  ASSERT_EQ(preds.size(), 7u);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p.mean.size(), 1u);
+    EXPECT_EQ(p.std.size(), 1u);
+    EXPECT_GE(p.std[0], 0.0);
+  }
+}
+
+TEST(McDropoutTest, DropoutProducesNonzeroUncertainty) {
+  Rng rng(2);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 20);
+  Tensor x = Tensor::RandomNormal({20, 2}, &rng, 0.0, 2.0);
+  auto preds = predictor.Predict(x);
+  double total_std = 0.0;
+  for (const auto& p : preds) total_std += p.std[0];
+  EXPECT_GT(total_std, 0.0);
+}
+
+TEST(McDropoutTest, NoDropoutMeansZeroUncertainty) {
+  Rng rng(3);
+  Sequential model;
+  model.Emplace<Dense>(2, 4, &rng);
+  model.Emplace<Relu>();
+  model.Emplace<Dense>(4, 1, &rng);
+  McDropoutPredictor predictor(&model, 5);
+  Tensor x = Tensor::RandomNormal({5, 2}, &rng);
+  for (const auto& p : predictor.Predict(x)) {
+    EXPECT_NEAR(p.std[0], 0.0, 1e-6);  // FP round-off in sum-of-squares.
+  }
+}
+
+TEST(McDropoutTest, MeanApproximatesDeterministicPrediction) {
+  Rng rng(4);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 200);
+  Tensor x = Tensor::RandomNormal({5, 2}, &rng);
+  auto preds = predictor.Predict(x);
+  Tensor det = predictor.PredictMean(x);
+  for (size_t i = 0; i < preds.size(); ++i) {
+    // MC mean is an unbiased estimate of the dropout-expected output; for
+    // this near-linear head it lands close to the deterministic pass.
+    EXPECT_NEAR(preds[i].mean[0], det.At(i, 0),
+                5.0 * preds[i].std[0] / std::sqrt(200.0) + 0.05);
+  }
+}
+
+TEST(McDropoutTest, MultiOutputStdsPerDim) {
+  Rng rng(5);
+  Sequential model;
+  model.Emplace<Dense>(3, 8, &rng);
+  model.Emplace<Dropout>(0.5, 99);
+  model.Emplace<Dense>(8, 2, &rng);
+  McDropoutPredictor predictor(&model, 15);
+  Tensor x = Tensor::RandomNormal({4, 3}, &rng);
+  auto preds = predictor.Predict(x);
+  for (const auto& p : preds) {
+    EXPECT_EQ(p.mean.size(), 2u);
+    EXPECT_EQ(p.std.size(), 2u);
+  }
+}
+
+TEST(McDropoutTest, LargerInputsLargerUncertainty) {
+  // Dropout noise scales with activation magnitude, the property the
+  // confidence classifier leans on (far-from-distribution inputs excite
+  // larger activations and thus larger predictive variance).
+  Rng rng(6);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 50);
+  Tensor small = Tensor::RandomNormal({30, 2}, &rng, 0.0, 0.1);
+  Tensor large = Tensor::RandomNormal({30, 2}, &rng, 0.0, 5.0);
+  auto preds_small = predictor.Predict(small);
+  auto preds_large = predictor.Predict(large);
+  double u_small = 0.0, u_large = 0.0;
+  for (const auto& p : preds_small) u_small += p.ScalarUncertainty();
+  for (const auto& p : preds_large) u_large += p.ScalarUncertainty();
+  EXPECT_GT(u_large, u_small);
+}
+
+TEST(McDropoutDeathTest, TooFewSamplesAborts) {
+  Rng rng(7);
+  auto model = DropoutModel(&rng);
+  EXPECT_DEATH(McDropoutPredictor(model.get(), 1), ">= 2 samples");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,96 @@
+#include "uncertainty/qs_calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+std::vector<UncertaintyErrorPair> LinearNoisyPairs(size_t n, double a0,
+                                                   double a1, uint64_t seed) {
+  // error ~ N(0, a0 + a1 * u): the exact generative model Q_s assumes.
+  Rng rng(seed);
+  std::vector<UncertaintyErrorPair> pairs;
+  pairs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.Uniform(0.1, 2.0);
+    pairs.push_back({u, rng.Normal(0.0, a0 + a1 * u)});
+  }
+  return pairs;
+}
+
+TEST(QsCalibratorTest, SegmentCountsAndOrdering) {
+  auto pairs = LinearNoisyPairs(100, 0.1, 0.5, 1);
+  auto segments = QsCalibrator::Segment(pairs, 10);
+  ASSERT_EQ(segments.size(), 10u);
+  size_t total = 0;
+  for (size_t s = 0; s + 1 < segments.size(); ++s) {
+    EXPECT_LE(segments[s].mean_uncertainty, segments[s + 1].mean_uncertainty);
+    total += segments[s].count;
+  }
+  total += segments.back().count;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(QsCalibratorTest, SegmentErrorStdIsRms) {
+  std::vector<UncertaintyErrorPair> pairs{{1.0, 3.0}, {1.0, -4.0}};
+  auto segments = QsCalibrator::Segment(pairs, 1);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(segments[0].error_std, std::sqrt((9.0 + 16.0) / 2.0));
+  EXPECT_DOUBLE_EQ(segments[0].mean_uncertainty, 1.0);
+}
+
+TEST(QsCalibratorTest, RecoversLinearRelation) {
+  auto pairs = LinearNoisyPairs(20000, 0.2, 0.8, 2);
+  QsModel model = QsCalibrator::Fit(pairs, 40);
+  EXPECT_NEAR(model.line.intercept, 0.2, 0.05);
+  EXPECT_NEAR(model.line.slope, 0.8, 0.05);
+}
+
+TEST(QsCalibratorTest, SigmaIncreasesWithUncertainty) {
+  auto pairs = LinearNoisyPairs(5000, 0.1, 1.0, 3);
+  QsModel model = QsCalibrator::Fit(pairs, 20);
+  EXPECT_GT(model.Sigma(2.0), model.Sigma(0.2));
+}
+
+TEST(QsCalibratorTest, SingleSegmentGivesFlatModel) {
+  auto pairs = LinearNoisyPairs(100, 0.5, 0.0, 4);
+  QsModel model = QsCalibrator::Fit(pairs, 1);
+  EXPECT_DOUBLE_EQ(model.line.slope, 0.0);
+  EXPECT_NEAR(model.line.intercept, 0.5, 0.15);
+}
+
+TEST(QsModelTest, SigmaClampedBelow) {
+  QsModel model;
+  model.line.intercept = -1.0;  // A pathological fit.
+  model.line.slope = 0.0;
+  model.sigma_min = 0.01;
+  EXPECT_DOUBLE_EQ(model.Sigma(5.0), 0.01);
+}
+
+TEST(QsModelTest, SigmaPassesThroughWhenAboveMin) {
+  QsModel model;
+  model.line.intercept = 0.1;
+  model.line.slope = 2.0;
+  EXPECT_DOUBLE_EQ(model.Sigma(1.0), 2.1);
+}
+
+TEST(QsCalibratorTest, ConstantUncertaintyDegeneratesGracefully) {
+  std::vector<UncertaintyErrorPair> pairs;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) pairs.push_back({1.0, rng.Normal(0.0, 0.7)});
+  QsModel model = QsCalibrator::Fit(pairs, 10);
+  // All segments have identical mean uncertainty -> flat fit near 0.7.
+  EXPECT_NEAR(model.Sigma(1.0), 0.7, 0.15);
+}
+
+TEST(QsCalibratorDeathTest, MoreSegmentsThanPairsAborts) {
+  std::vector<UncertaintyErrorPair> pairs{{1.0, 0.0}};
+  EXPECT_DEATH(QsCalibrator::Segment(pairs, 2), "at least one pair");
+}
+
+}  // namespace
+}  // namespace tasfar

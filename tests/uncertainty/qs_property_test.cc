@@ -1,0 +1,88 @@
+// Property-style sweeps over the Q_s calibration: the fit must recover the
+// generative uncertainty→error-spread relation for every slope/intercept
+// combination and error-noise family.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+#include "uncertainty/qs_calibration.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+using Param = std::tuple<double /*a0*/, double /*a1*/, int /*noise kind*/>;
+
+class QsPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  double a0() const { return std::get<0>(GetParam()); }
+  double a1() const { return std::get<1>(GetParam()); }
+  int noise_kind() const { return std::get<2>(GetParam()); }
+
+  /// error ~ family(0, a0 + a1 u): Gaussian (0) or Laplace (1), both
+  /// variance-matched.
+  std::vector<UncertaintyErrorPair> Generate(size_t n, uint64_t seed) const {
+    Rng rng(seed);
+    std::vector<UncertaintyErrorPair> pairs;
+    pairs.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double u = rng.Uniform(0.1, 2.0);
+      const double sigma = a0() + a1() * u;
+      const double e = noise_kind() == 0
+                           ? rng.Normal(0.0, sigma)
+                           : rng.Laplace(0.0, sigma / std::numbers::sqrt2);
+      pairs.push_back({u, e});
+    }
+    return pairs;
+  }
+};
+
+TEST_P(QsPropertyTest, RecoversInterceptAndSlope) {
+  QsModel model = QsCalibrator::Fit(Generate(30000, 11), 40);
+  EXPECT_NEAR(model.line.intercept, a0(), 0.06 + 0.05 * a0());
+  EXPECT_NEAR(model.line.slope, a1(), 0.06 + 0.05 * a1());
+}
+
+TEST_P(QsPropertyTest, SegmentsAreMonotoneInUncertainty) {
+  auto segments = QsCalibrator::Segment(Generate(5000, 13), 20);
+  for (size_t s = 0; s + 1 < segments.size(); ++s) {
+    EXPECT_LE(segments[s].mean_uncertainty,
+              segments[s + 1].mean_uncertainty);
+  }
+}
+
+TEST_P(QsPropertyTest, SigmaPositiveAcrossRange) {
+  QsModel model = QsCalibrator::Fit(Generate(5000, 17), 20);
+  for (double u = 0.0; u <= 3.0; u += 0.1) {
+    EXPECT_GT(model.Sigma(u), 0.0);
+  }
+}
+
+TEST_P(QsPropertyTest, FitIsSampleOrderInvariant) {
+  auto pairs = Generate(2000, 19);
+  QsModel forward = QsCalibrator::Fit(pairs, 10);
+  std::vector<UncertaintyErrorPair> reversed(pairs.rbegin(), pairs.rend());
+  QsModel backward = QsCalibrator::Fit(reversed, 10);
+  EXPECT_DOUBLE_EQ(forward.line.intercept, backward.line.intercept);
+  EXPECT_DOUBLE_EQ(forward.line.slope, backward.line.slope);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QsPropertyTest,
+    ::testing::Combine(::testing::Values(0.05, 0.3),
+                       ::testing::Values(0.2, 1.0),
+                       ::testing::Values(0, 1)),
+    [](const auto& info) {
+      std::string name = "a0_";
+      name += std::to_string(static_cast<int>(std::get<0>(info.param) * 100));
+      name += "_a1_";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      name += (std::get<2>(info.param) == 0 ? "_gauss" : "_laplace");
+      return name;
+    });
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,33 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TASFAR_CHECK(1 + 1 == 2);
+  TASFAR_CHECK_MSG(true, "never printed");
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithExpression) {
+  EXPECT_DEATH(TASFAR_CHECK(2 < 1), "2 < 1");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesMessage) {
+  EXPECT_DEATH(TASFAR_CHECK_MSG(false, "grid size must be positive"),
+               "grid size must be positive");
+}
+
+TEST(CheckDeathTest, ReportsFileLocation) {
+  EXPECT_DEATH(TASFAR_CHECK(false), "check_test.cc");
+}
+
+TEST(CheckTest, SideEffectsEvaluatedExactlyOnce) {
+  int counter = 0;
+  TASFAR_CHECK(++counter == 1);
+  EXPECT_EQ(counter, 1);
+}
+
+}  // namespace
+}  // namespace tasfar

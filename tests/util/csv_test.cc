@@ -1,0 +1,77 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace tasfar {
+namespace {
+
+TEST(CsvTest, EmptyWriterProducesEmptyString) {
+  CsvWriter w;
+  EXPECT_EQ(w.ToString(), "");
+  EXPECT_EQ(w.row_count(), 0u);
+}
+
+TEST(CsvTest, HeaderOnly) {
+  CsvWriter w;
+  w.SetHeader({"a", "b"});
+  EXPECT_EQ(w.ToString(), "a,b\n");
+}
+
+TEST(CsvTest, RowsSerialize) {
+  CsvWriter w;
+  w.SetHeader({"x", "y"});
+  w.AddRow({"1", "2"});
+  w.AddRow({"3", "4"});
+  EXPECT_EQ(w.ToString(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(w.row_count(), 2u);
+}
+
+TEST(CsvTest, NumericRowFormatting) {
+  CsvWriter w;
+  w.AddNumericRow({1.5, 2.0, 0.3333333333});
+  EXPECT_EQ(w.ToString(), "1.5,2,0.333333\n");
+}
+
+TEST(CsvTest, QuotesCellsWithCommas) {
+  CsvWriter w;
+  w.AddRow({"a,b", "plain"});
+  EXPECT_EQ(w.ToString(), "\"a,b\",plain\n");
+}
+
+TEST(CsvTest, EscapesEmbeddedQuotes) {
+  CsvWriter w;
+  w.AddRow({"say \"hi\""});
+  EXPECT_EQ(w.ToString(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvTest, QuotesNewlines) {
+  CsvWriter w;
+  w.AddRow({"line1\nline2"});
+  EXPECT_EQ(w.ToString(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvTest, WriteToFileRoundTrips) {
+  CsvWriter w;
+  w.SetHeader({"k", "v"});
+  w.AddRow({"grid", "0.1"});
+  const std::string path = testing::TempDir() + "/csv_test_out.csv";
+  ASSERT_TRUE(w.WriteToFile(path).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "k,v\ngrid,0.1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteToBadPathFails) {
+  CsvWriter w;
+  w.AddRow({"x"});
+  EXPECT_EQ(w.WriteToFile("/nonexistent_dir_zz/file.csv").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(LoggingTest, DefaultLevelIsInfo) {
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  TASFAR_LOG(kDebug) << "below threshold " << 42;
+  TASFAR_LOG(kInfo) << "also below " << 3.14;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamAcceptsMixedTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // Keep the test output clean.
+  TASFAR_LOG(kWarning) << "x=" << 1 << " y=" << 2.5 << " z=" << true
+                       << " s=" << std::string("abc");
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, LevelOrderingIsMonotone) {
+  EXPECT_LT(static_cast<int>(LogLevel::kDebug),
+            static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo),
+            static_cast<int>(LogLevel::kWarning));
+  EXPECT_LT(static_cast<int>(LogLevel::kWarning),
+            static_cast<int>(LogLevel::kError));
+}
+
+}  // namespace
+}  // namespace tasfar

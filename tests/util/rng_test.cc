@@ -1,0 +1,174 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.NextU64() != b.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Uniform();
+  EXPECT_NEAR(stats::Mean(xs), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(13);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[rng.UniformInt(10)];
+  for (int count : seen) EXPECT_GT(count, 300);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(17);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.Normal();
+  EXPECT_NEAR(stats::Mean(xs), 0.0, 0.02);
+  EXPECT_NEAR(stats::StdDev(xs), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalParameterized) {
+  Rng rng(19);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.Normal(3.0, 0.5);
+  EXPECT_NEAR(stats::Mean(xs), 3.0, 0.02);
+  EXPECT_NEAR(stats::StdDev(xs), 0.5, 0.02);
+}
+
+TEST(RngTest, NormalZeroStddevIsDeterministic) {
+  Rng rng(21);
+  EXPECT_DOUBLE_EQ(rng.Normal(2.5, 0.0), 2.5);
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(23);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = rng.Laplace(1.0, 2.0);
+  EXPECT_NEAR(stats::Mean(xs), 1.0, 0.05);
+  // Laplace variance = 2 b².
+  EXPECT_NEAR(stats::Variance(xs), 8.0, 0.5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(RngTest, PoissonSmallLambdaMean) {
+  Rng rng(31);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Poisson(4.0);
+  EXPECT_NEAR(stats::Mean(xs), 4.0, 0.1);
+  EXPECT_NEAR(stats::Variance(xs), 4.0, 0.3);
+}
+
+TEST(RngTest, PoissonLargeLambdaUsesNormalApprox) {
+  Rng rng(37);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.Poisson(100.0);
+  EXPECT_NEAR(stats::Mean(xs), 100.0, 1.0);
+  for (double x : xs) EXPECT_GE(x, 0.0);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(38);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(41);
+  std::vector<double> w{1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_NEAR(counts[0] / 30000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 30000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / 30000.0, 0.6, 0.02);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeight) {
+  Rng rng(43);
+  std::vector<double> w{0.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(47);
+  std::vector<size_t> p = rng.Permutation(100);
+  std::sort(p.begin(), p.end());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne) {
+  Rng rng(53);
+  EXPECT_TRUE(rng.Permutation(0).empty());
+  std::vector<size_t> one = rng.Permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, PermutationShuffles) {
+  Rng rng(59);
+  std::vector<size_t> p = rng.Permutation(50);
+  size_t fixed = 0;
+  for (size_t i = 0; i < p.size(); ++i) fixed += (p[i] == i) ? 1 : 0;
+  EXPECT_LT(fixed, 10u);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(99), b(99);
+  Rng fa = a.Fork(5), fb = b.Fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(fa.NextU64(), fb.NextU64());
+}
+
+TEST(RngTest, ForkStreamsDecorrelated) {
+  Rng base(99);
+  Rng f1 = base.Fork(1), f2 = base.Fork(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (f1.NextU64() != f2.NextU64()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,134 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tasfar {
+namespace {
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(stats::Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::Mean({5.0}), 5.0);
+}
+
+TEST(StatsTest, VarianceAndStdDev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(stats::Variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stats::StdDev(v), 2.0);
+}
+
+TEST(StatsTest, SampleStdDevUsesBesselCorrection) {
+  std::vector<double> v{1.0, 3.0};
+  // mean 2, squared devs 1+1=2, /(n-1)=2 -> sqrt(2).
+  EXPECT_DOUBLE_EQ(stats::SampleStdDev(v), std::sqrt(2.0));
+}
+
+TEST(StatsTest, MinMaxSum) {
+  std::vector<double> v{3.0, -1.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::Min(v), -1.0);
+  EXPECT_DOUBLE_EQ(stats::Max(v), 4.0);
+  EXPECT_DOUBLE_EQ(stats::Sum(v), 6.0);
+}
+
+TEST(StatsTest, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(stats::Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stats::Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(StatsTest, QuantileEndpoints) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(stats::Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats::Quantile(v, 1.0), 4.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(stats::Quantile(v, 0.25), 2.5);
+}
+
+TEST(StatsTest, QuantileSingleElement) {
+  EXPECT_DOUBLE_EQ(stats::Quantile({7.0}, 0.9), 7.0);
+}
+
+TEST(StatsTest, PearsonPerfectPositive) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{2.0, 4.0, 6.0};
+  EXPECT_NEAR(stats::PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectNegative) {
+  std::vector<double> x{1.0, 2.0, 3.0};
+  std::vector<double> y{3.0, 2.0, 1.0};
+  EXPECT_NEAR(stats::PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(StatsTest, PearsonZeroVarianceGivesZero) {
+  std::vector<double> x{1.0, 1.0, 1.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(stats::PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(StatsTest, LeastSquaresExactLine) {
+  std::vector<double> x{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{1.0, 3.0, 5.0, 7.0};  // y = 1 + 2x.
+  stats::LinearFit fit = stats::LeastSquares(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit(10.0), 21.0, 1e-12);
+}
+
+TEST(StatsTest, LeastSquaresDegenerateXGivesFlatFit) {
+  std::vector<double> x{2.0, 2.0, 2.0};
+  std::vector<double> y{1.0, 2.0, 3.0};
+  stats::LinearFit fit = stats::LeastSquares(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(StatsTest, LeastSquaresMinimizesResiduals) {
+  std::vector<double> x{0.0, 1.0, 2.0};
+  std::vector<double> y{0.0, 1.0, 3.0};
+  stats::LinearFit fit = stats::LeastSquares(x, y);
+  auto sse = [&](double a0, double a1) {
+    double s = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (a0 + a1 * x[i]);
+      s += r * r;
+    }
+    return s;
+  };
+  const double best = sse(fit.intercept, fit.slope);
+  EXPECT_LE(best, sse(fit.intercept + 0.1, fit.slope));
+  EXPECT_LE(best, sse(fit.intercept - 0.1, fit.slope));
+  EXPECT_LE(best, sse(fit.intercept, fit.slope + 0.1));
+  EXPECT_LE(best, sse(fit.intercept, fit.slope - 0.1));
+}
+
+TEST(StatsTest, HistogramCountsAndClamping) {
+  std::vector<double> v{-5.0, 0.1, 0.5, 0.9, 99.0};
+  std::vector<size_t> h = stats::Histogram(v, 0.0, 1.0, 2);
+  EXPECT_EQ(h[0], 2u);  // -5 clamped into bin 0, plus 0.1.
+  EXPECT_EQ(h[1], 3u);  // 0.5 and 0.9, plus 99 clamped into bin 1.
+}
+
+TEST(StatsTest, HistogramTotalMatchesInput) {
+  std::vector<double> v(100, 0.5);
+  std::vector<size_t> h = stats::Histogram(v, 0.0, 1.0, 10);
+  size_t total = 0;
+  for (size_t c : h) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(StatsTest, EmpiricalCdfMonotone) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> cdf = stats::EmpiricalCdf(v, {0.0, 1.0, 2.5, 4.0, 9.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+  EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,72 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(TablePrinterTest, HeaderAndSeparatorPresent) {
+  TablePrinter t({"scheme", "mae"});
+  t.AddRow({"TASFAR", "52.4"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("scheme"), std::string::npos);
+  EXPECT_NE(out.find("TASFAR"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormatsPrecision) {
+  TablePrinter t({"name", "v"});
+  t.AddRow("x", {1.23456}, 2);
+  EXPECT_NE(t.ToString().find("1.23"), std::string::npos);
+  EXPECT_EQ(t.ToString().find("1.2345"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"a", "bbbb"});
+  t.AddRow({"xxxxxx", "y"});
+  const std::string out = t.ToString();
+  // Each rendered line has equal length.
+  size_t prev = std::string::npos;
+  size_t start = 0;
+  while (start < out.size()) {
+    size_t end = out.find('\n', start);
+    const size_t len = end - start;
+    if (prev != std::string::npos) {
+      EXPECT_EQ(len, prev);
+    }
+    prev = len;
+    start = end + 1;
+  }
+}
+
+TEST(AsciiBarChartTest, BarsScaleWithValues) {
+  const std::string out =
+      AsciiBarChart({"small", "large"}, {1.0, 2.0}, 10);
+  // The larger value gets the full width.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+}
+
+TEST(AsciiBarChartTest, NegativeValuesUseDashes) {
+  const std::string out = AsciiBarChart({"neg"}, {-1.0}, 5);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(AsciiBarChartTest, AllZerosProducesNoBars) {
+  const std::string out = AsciiBarChart({"z"}, {0.0}, 10);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(AsciiDensityMapTest, HighestCellIsDarkest) {
+  std::vector<std::vector<double>> grid{{0.0, 0.5}, {1.0, 0.1}};
+  const std::string out = AsciiDensityMap(grid);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(AsciiDensityMapTest, EmptyGridAllBlank) {
+  std::vector<std::vector<double>> grid{{0.0, 0.0}};
+  const std::string out = AsciiDensityMap(grid);
+  EXPECT_EQ(out, "    \n");
+}
+
+}  // namespace
+}  // namespace tasfar
