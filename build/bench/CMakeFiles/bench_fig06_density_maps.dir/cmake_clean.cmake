@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_density_maps.dir/bench_fig06_density_maps.cc.o"
+  "CMakeFiles/bench_fig06_density_maps.dir/bench_fig06_density_maps.cc.o.d"
+  "bench_fig06_density_maps"
+  "bench_fig06_density_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_density_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_gridsize_errormodel.dir/bench_fig08_gridsize_errormodel.cc.o"
+  "CMakeFiles/bench_fig08_gridsize_errormodel.dir/bench_fig08_gridsize_errormodel.cc.o.d"
+  "bench_fig08_gridsize_errormodel"
+  "bench_fig08_gridsize_errormodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_gridsize_errormodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

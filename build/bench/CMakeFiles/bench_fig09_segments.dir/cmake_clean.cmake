@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_segments.dir/bench_fig09_segments.cc.o"
+  "CMakeFiles/bench_fig09_segments.dir/bench_fig09_segments.cc.o.d"
+  "bench_fig09_segments"
+  "bench_fig09_segments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_eta.dir/bench_fig10_eta.cc.o"
+  "CMakeFiles/bench_fig10_eta.dir/bench_fig10_eta.cc.o.d"
+  "bench_fig10_eta"
+  "bench_fig10_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

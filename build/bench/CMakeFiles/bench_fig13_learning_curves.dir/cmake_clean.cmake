@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_learning_curves.dir/bench_fig13_learning_curves.cc.o"
+  "CMakeFiles/bench_fig13_learning_curves.dir/bench_fig13_learning_curves.cc.o.d"
+  "bench_fig13_learning_curves"
+  "bench_fig13_learning_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_learning_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

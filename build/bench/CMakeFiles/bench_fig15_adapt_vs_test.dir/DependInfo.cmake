@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_adapt_vs_test.cc" "bench/CMakeFiles/bench_fig15_adapt_vs_test.dir/bench_fig15_adapt_vs_test.cc.o" "gcc" "bench/CMakeFiles/bench_fig15_adapt_vs_test.dir/bench_fig15_adapt_vs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/tasfar_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tasfar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tasfar_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tasfar_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tasfar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

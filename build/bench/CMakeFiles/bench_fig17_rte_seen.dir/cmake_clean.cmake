@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_rte_seen.dir/bench_fig17_rte_seen.cc.o"
+  "CMakeFiles/bench_fig17_rte_seen.dir/bench_fig17_rte_seen.cc.o.d"
+  "bench_fig17_rte_seen"
+  "bench_fig17_rte_seen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_rte_seen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_rte_unseen.dir/bench_fig18_rte_unseen.cc.o"
+  "CMakeFiles/bench_fig18_rte_unseen.dir/bench_fig18_rte_unseen.cc.o.d"
+  "bench_fig18_rte_unseen"
+  "bench_fig18_rte_unseen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_rte_unseen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_scenes.dir/bench_fig19_scenes.cc.o"
+  "CMakeFiles/bench_fig19_scenes.dir/bench_fig19_scenes.cc.o.d"
+  "bench_fig19_scenes"
+  "bench_fig19_scenes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_scenes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_crowd_counting.dir/bench_table1_crowd_counting.cc.o"
+  "CMakeFiles/bench_table1_crowd_counting.dir/bench_table1_crowd_counting.cc.o.d"
+  "bench_table1_crowd_counting"
+  "bench_table1_crowd_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_crowd_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_counting.dir/crowd_counting.cpp.o"
+  "CMakeFiles/crowd_counting.dir/crowd_counting.cpp.o.d"
+  "crowd_counting"
+  "crowd_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

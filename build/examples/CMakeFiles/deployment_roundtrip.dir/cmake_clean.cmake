@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_roundtrip.dir/deployment_roundtrip.cpp.o"
+  "CMakeFiles/deployment_roundtrip.dir/deployment_roundtrip.cpp.o.d"
+  "deployment_roundtrip"
+  "deployment_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

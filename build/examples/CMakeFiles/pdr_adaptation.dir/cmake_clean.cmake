@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_adaptation.dir/pdr_adaptation.cpp.o"
+  "CMakeFiles/pdr_adaptation.dir/pdr_adaptation.cpp.o.d"
+  "pdr_adaptation"
+  "pdr_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_prediction.dir/tabular_prediction.cpp.o"
+  "CMakeFiles/tabular_prediction.dir/tabular_prediction.cpp.o.d"
+  "tabular_prediction"
+  "tabular_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/adv_uda.cc" "src/baselines/CMakeFiles/tasfar_baselines.dir/adv_uda.cc.o" "gcc" "src/baselines/CMakeFiles/tasfar_baselines.dir/adv_uda.cc.o.d"
+  "/root/repo/src/baselines/augfree_uda.cc" "src/baselines/CMakeFiles/tasfar_baselines.dir/augfree_uda.cc.o" "gcc" "src/baselines/CMakeFiles/tasfar_baselines.dir/augfree_uda.cc.o.d"
+  "/root/repo/src/baselines/datafree_uda.cc" "src/baselines/CMakeFiles/tasfar_baselines.dir/datafree_uda.cc.o" "gcc" "src/baselines/CMakeFiles/tasfar_baselines.dir/datafree_uda.cc.o.d"
+  "/root/repo/src/baselines/mmd_uda.cc" "src/baselines/CMakeFiles/tasfar_baselines.dir/mmd_uda.cc.o" "gcc" "src/baselines/CMakeFiles/tasfar_baselines.dir/mmd_uda.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tasfar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_baselines.dir/adv_uda.cc.o"
+  "CMakeFiles/tasfar_baselines.dir/adv_uda.cc.o.d"
+  "CMakeFiles/tasfar_baselines.dir/augfree_uda.cc.o"
+  "CMakeFiles/tasfar_baselines.dir/augfree_uda.cc.o.d"
+  "CMakeFiles/tasfar_baselines.dir/datafree_uda.cc.o"
+  "CMakeFiles/tasfar_baselines.dir/datafree_uda.cc.o.d"
+  "CMakeFiles/tasfar_baselines.dir/mmd_uda.cc.o"
+  "CMakeFiles/tasfar_baselines.dir/mmd_uda.cc.o.d"
+  "libtasfar_baselines.a"
+  "libtasfar_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptation_trainer.cc" "src/core/CMakeFiles/tasfar_core.dir/adaptation_trainer.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/adaptation_trainer.cc.o.d"
+  "/root/repo/src/core/calibration_io.cc" "src/core/CMakeFiles/tasfar_core.dir/calibration_io.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/calibration_io.cc.o.d"
+  "/root/repo/src/core/confidence_classifier.cc" "src/core/CMakeFiles/tasfar_core.dir/confidence_classifier.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/confidence_classifier.cc.o.d"
+  "/root/repo/src/core/density_map.cc" "src/core/CMakeFiles/tasfar_core.dir/density_map.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/density_map.cc.o.d"
+  "/root/repo/src/core/label_distribution_estimator.cc" "src/core/CMakeFiles/tasfar_core.dir/label_distribution_estimator.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/label_distribution_estimator.cc.o.d"
+  "/root/repo/src/core/partitioner.cc" "src/core/CMakeFiles/tasfar_core.dir/partitioner.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/partitioner.cc.o.d"
+  "/root/repo/src/core/pseudo_label_generator.cc" "src/core/CMakeFiles/tasfar_core.dir/pseudo_label_generator.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/pseudo_label_generator.cc.o.d"
+  "/root/repo/src/core/soft_pseudo_label.cc" "src/core/CMakeFiles/tasfar_core.dir/soft_pseudo_label.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/soft_pseudo_label.cc.o.d"
+  "/root/repo/src/core/tasfar.cc" "src/core/CMakeFiles/tasfar_core.dir/tasfar.cc.o" "gcc" "src/core/CMakeFiles/tasfar_core.dir/tasfar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tasfar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_core.dir/adaptation_trainer.cc.o"
+  "CMakeFiles/tasfar_core.dir/adaptation_trainer.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/calibration_io.cc.o"
+  "CMakeFiles/tasfar_core.dir/calibration_io.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/confidence_classifier.cc.o"
+  "CMakeFiles/tasfar_core.dir/confidence_classifier.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/density_map.cc.o"
+  "CMakeFiles/tasfar_core.dir/density_map.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/label_distribution_estimator.cc.o"
+  "CMakeFiles/tasfar_core.dir/label_distribution_estimator.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/partitioner.cc.o"
+  "CMakeFiles/tasfar_core.dir/partitioner.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/pseudo_label_generator.cc.o"
+  "CMakeFiles/tasfar_core.dir/pseudo_label_generator.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/soft_pseudo_label.cc.o"
+  "CMakeFiles/tasfar_core.dir/soft_pseudo_label.cc.o.d"
+  "CMakeFiles/tasfar_core.dir/tasfar.cc.o"
+  "CMakeFiles/tasfar_core.dir/tasfar.cc.o.d"
+  "libtasfar_core.a"
+  "libtasfar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtasfar_core.a"
+)

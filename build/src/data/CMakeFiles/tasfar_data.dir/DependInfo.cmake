@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/crowd_sim.cc" "src/data/CMakeFiles/tasfar_data.dir/crowd_sim.cc.o" "gcc" "src/data/CMakeFiles/tasfar_data.dir/crowd_sim.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/tasfar_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/tasfar_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/housing_sim.cc" "src/data/CMakeFiles/tasfar_data.dir/housing_sim.cc.o" "gcc" "src/data/CMakeFiles/tasfar_data.dir/housing_sim.cc.o.d"
+  "/root/repo/src/data/pdr_sim.cc" "src/data/CMakeFiles/tasfar_data.dir/pdr_sim.cc.o" "gcc" "src/data/CMakeFiles/tasfar_data.dir/pdr_sim.cc.o.d"
+  "/root/repo/src/data/taxi_sim.cc" "src/data/CMakeFiles/tasfar_data.dir/taxi_sim.cc.o" "gcc" "src/data/CMakeFiles/tasfar_data.dir/taxi_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tasfar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_data.dir/crowd_sim.cc.o"
+  "CMakeFiles/tasfar_data.dir/crowd_sim.cc.o.d"
+  "CMakeFiles/tasfar_data.dir/dataset.cc.o"
+  "CMakeFiles/tasfar_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tasfar_data.dir/housing_sim.cc.o"
+  "CMakeFiles/tasfar_data.dir/housing_sim.cc.o.d"
+  "CMakeFiles/tasfar_data.dir/pdr_sim.cc.o"
+  "CMakeFiles/tasfar_data.dir/pdr_sim.cc.o.d"
+  "CMakeFiles/tasfar_data.dir/taxi_sim.cc.o"
+  "CMakeFiles/tasfar_data.dir/taxi_sim.cc.o.d"
+  "libtasfar_data.a"
+  "libtasfar_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_eval.dir/crowd_harness.cc.o"
+  "CMakeFiles/tasfar_eval.dir/crowd_harness.cc.o.d"
+  "CMakeFiles/tasfar_eval.dir/metrics.cc.o"
+  "CMakeFiles/tasfar_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/tasfar_eval.dir/pdr_harness.cc.o"
+  "CMakeFiles/tasfar_eval.dir/pdr_harness.cc.o.d"
+  "CMakeFiles/tasfar_eval.dir/tabular_harness.cc.o"
+  "CMakeFiles/tasfar_eval.dir/tabular_harness.cc.o.d"
+  "libtasfar_eval.a"
+  "libtasfar_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

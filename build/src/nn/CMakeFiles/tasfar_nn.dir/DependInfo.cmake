@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/tasfar_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/conv1d.cc" "src/nn/CMakeFiles/tasfar_nn.dir/conv1d.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/conv1d.cc.o.d"
+  "/root/repo/src/nn/conv2d.cc" "src/nn/CMakeFiles/tasfar_nn.dir/conv2d.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/conv2d.cc.o.d"
+  "/root/repo/src/nn/dense.cc" "src/nn/CMakeFiles/tasfar_nn.dir/dense.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/dense.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/tasfar_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/gradient_check.cc" "src/nn/CMakeFiles/tasfar_nn.dir/gradient_check.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/gradient_check.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/tasfar_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/tasfar_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/multi_column.cc" "src/nn/CMakeFiles/tasfar_nn.dir/multi_column.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/multi_column.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tasfar_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/residual.cc" "src/nn/CMakeFiles/tasfar_nn.dir/residual.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/residual.cc.o.d"
+  "/root/repo/src/nn/rmsprop.cc" "src/nn/CMakeFiles/tasfar_nn.dir/rmsprop.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/rmsprop.cc.o.d"
+  "/root/repo/src/nn/sequential.cc" "src/nn/CMakeFiles/tasfar_nn.dir/sequential.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/sequential.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/tasfar_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/softmax.cc" "src/nn/CMakeFiles/tasfar_nn.dir/softmax.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/softmax.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/tasfar_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/tasfar_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tasfar_tensor.dir/tensor.cc.o.d"
+  "libtasfar_tensor.a"
+  "libtasfar_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

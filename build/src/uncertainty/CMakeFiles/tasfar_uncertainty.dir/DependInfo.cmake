@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uncertainty/ensemble.cc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/ensemble.cc.o" "gcc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/ensemble.cc.o.d"
+  "/root/repo/src/uncertainty/error_model.cc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/error_model.cc.o" "gcc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/error_model.cc.o.d"
+  "/root/repo/src/uncertainty/mc_dropout.cc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/mc_dropout.cc.o" "gcc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/mc_dropout.cc.o.d"
+  "/root/repo/src/uncertainty/qs_calibration.cc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/qs_calibration.cc.o" "gcc" "src/uncertainty/CMakeFiles/tasfar_uncertainty.dir/qs_calibration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/tasfar_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tasfar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/tasfar_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_uncertainty.dir/ensemble.cc.o"
+  "CMakeFiles/tasfar_uncertainty.dir/ensemble.cc.o.d"
+  "CMakeFiles/tasfar_uncertainty.dir/error_model.cc.o"
+  "CMakeFiles/tasfar_uncertainty.dir/error_model.cc.o.d"
+  "CMakeFiles/tasfar_uncertainty.dir/mc_dropout.cc.o"
+  "CMakeFiles/tasfar_uncertainty.dir/mc_dropout.cc.o.d"
+  "CMakeFiles/tasfar_uncertainty.dir/qs_calibration.cc.o"
+  "CMakeFiles/tasfar_uncertainty.dir/qs_calibration.cc.o.d"
+  "libtasfar_uncertainty.a"
+  "libtasfar_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

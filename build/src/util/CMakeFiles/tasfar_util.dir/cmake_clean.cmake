@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_util.dir/csv.cc.o"
+  "CMakeFiles/tasfar_util.dir/csv.cc.o.d"
+  "CMakeFiles/tasfar_util.dir/logging.cc.o"
+  "CMakeFiles/tasfar_util.dir/logging.cc.o.d"
+  "CMakeFiles/tasfar_util.dir/rng.cc.o"
+  "CMakeFiles/tasfar_util.dir/rng.cc.o.d"
+  "CMakeFiles/tasfar_util.dir/stats.cc.o"
+  "CMakeFiles/tasfar_util.dir/stats.cc.o.d"
+  "CMakeFiles/tasfar_util.dir/status.cc.o"
+  "CMakeFiles/tasfar_util.dir/status.cc.o.d"
+  "CMakeFiles/tasfar_util.dir/table_printer.cc.o"
+  "CMakeFiles/tasfar_util.dir/table_printer.cc.o.d"
+  "libtasfar_util.a"
+  "libtasfar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

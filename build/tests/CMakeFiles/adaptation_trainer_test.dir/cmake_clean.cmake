@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptation_trainer_test.dir/core/adaptation_trainer_test.cc.o"
+  "CMakeFiles/adaptation_trainer_test.dir/core/adaptation_trainer_test.cc.o.d"
+  "adaptation_trainer_test"
+  "adaptation_trainer_test.pdb"
+  "adaptation_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptation_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adv_test.dir/baselines/adv_test.cc.o"
+  "CMakeFiles/adv_test.dir/baselines/adv_test.cc.o.d"
+  "adv_test"
+  "adv_test.pdb"
+  "adv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augfree_test.dir/baselines/augfree_test.cc.o"
+  "CMakeFiles/augfree_test.dir/baselines/augfree_test.cc.o.d"
+  "augfree_test"
+  "augfree_test.pdb"
+  "augfree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augfree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence_classifier_test.dir/core/confidence_classifier_test.cc.o"
+  "CMakeFiles/confidence_classifier_test.dir/core/confidence_classifier_test.cc.o.d"
+  "confidence_classifier_test"
+  "confidence_classifier_test.pdb"
+  "confidence_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_sim_test.dir/data/crowd_sim_test.cc.o"
+  "CMakeFiles/crowd_sim_test.dir/data/crowd_sim_test.cc.o.d"
+  "crowd_sim_test"
+  "crowd_sim_test.pdb"
+  "crowd_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datafree_test.dir/baselines/datafree_test.cc.o"
+  "CMakeFiles/datafree_test.dir/baselines/datafree_test.cc.o.d"
+  "datafree_test"
+  "datafree_test.pdb"
+  "datafree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datafree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

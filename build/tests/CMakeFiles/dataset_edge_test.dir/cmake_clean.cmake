@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_edge_test.dir/data/dataset_edge_test.cc.o"
+  "CMakeFiles/dataset_edge_test.dir/data/dataset_edge_test.cc.o.d"
+  "dataset_edge_test"
+  "dataset_edge_test.pdb"
+  "dataset_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

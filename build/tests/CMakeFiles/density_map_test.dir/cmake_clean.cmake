@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_map_test.dir/core/density_map_test.cc.o"
+  "CMakeFiles/density_map_test.dir/core/density_map_test.cc.o.d"
+  "density_map_test"
+  "density_map_test.pdb"
+  "density_map_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

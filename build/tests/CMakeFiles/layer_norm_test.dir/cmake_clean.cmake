@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layer_norm_test.dir/nn/layer_norm_test.cc.o"
+  "CMakeFiles/layer_norm_test.dir/nn/layer_norm_test.cc.o.d"
+  "layer_norm_test"
+  "layer_norm_test.pdb"
+  "layer_norm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layer_norm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

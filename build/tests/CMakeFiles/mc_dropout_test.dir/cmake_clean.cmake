@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_dropout_test.dir/uncertainty/mc_dropout_test.cc.o"
+  "CMakeFiles/mc_dropout_test.dir/uncertainty/mc_dropout_test.cc.o.d"
+  "mc_dropout_test"
+  "mc_dropout_test.pdb"
+  "mc_dropout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_dropout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

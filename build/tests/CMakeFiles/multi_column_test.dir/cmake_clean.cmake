@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_column_test.dir/nn/multi_column_test.cc.o"
+  "CMakeFiles/multi_column_test.dir/nn/multi_column_test.cc.o.d"
+  "multi_column_test"
+  "multi_column_test.pdb"
+  "multi_column_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_column_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

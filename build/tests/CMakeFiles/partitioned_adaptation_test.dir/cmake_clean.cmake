@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitioned_adaptation_test.dir/core/partitioned_adaptation_test.cc.o"
+  "CMakeFiles/partitioned_adaptation_test.dir/core/partitioned_adaptation_test.cc.o.d"
+  "partitioned_adaptation_test"
+  "partitioned_adaptation_test.pdb"
+  "partitioned_adaptation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitioned_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

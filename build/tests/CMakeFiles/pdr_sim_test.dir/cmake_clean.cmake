@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdr_sim_test.dir/data/pdr_sim_test.cc.o"
+  "CMakeFiles/pdr_sim_test.dir/data/pdr_sim_test.cc.o.d"
+  "pdr_sim_test"
+  "pdr_sim_test.pdb"
+  "pdr_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdr_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

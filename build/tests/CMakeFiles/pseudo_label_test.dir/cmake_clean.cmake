@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pseudo_label_test.dir/core/pseudo_label_test.cc.o"
+  "CMakeFiles/pseudo_label_test.dir/core/pseudo_label_test.cc.o.d"
+  "pseudo_label_test"
+  "pseudo_label_test.pdb"
+  "pseudo_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pseudo_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_calibration_test.dir/uncertainty/qs_calibration_test.cc.o"
+  "CMakeFiles/qs_calibration_test.dir/uncertainty/qs_calibration_test.cc.o.d"
+  "qs_calibration_test"
+  "qs_calibration_test.pdb"
+  "qs_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

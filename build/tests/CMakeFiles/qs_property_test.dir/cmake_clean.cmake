@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qs_property_test.dir/uncertainty/qs_property_test.cc.o"
+  "CMakeFiles/qs_property_test.dir/uncertainty/qs_property_test.cc.o.d"
+  "qs_property_test"
+  "qs_property_test.pdb"
+  "qs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

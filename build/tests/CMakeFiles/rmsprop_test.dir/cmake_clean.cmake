@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmsprop_test.dir/nn/rmsprop_test.cc.o"
+  "CMakeFiles/rmsprop_test.dir/nn/rmsprop_test.cc.o.d"
+  "rmsprop_test"
+  "rmsprop_test.pdb"
+  "rmsprop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmsprop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soft_pseudo_label_test.dir/core/soft_pseudo_label_test.cc.o"
+  "CMakeFiles/soft_pseudo_label_test.dir/core/soft_pseudo_label_test.cc.o.d"
+  "soft_pseudo_label_test"
+  "soft_pseudo_label_test.pdb"
+  "soft_pseudo_label_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soft_pseudo_label_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

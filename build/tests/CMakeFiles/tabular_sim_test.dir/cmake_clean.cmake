@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_sim_test.dir/data/tabular_sim_test.cc.o"
+  "CMakeFiles/tabular_sim_test.dir/data/tabular_sim_test.cc.o.d"
+  "tabular_sim_test"
+  "tabular_sim_test.pdb"
+  "tabular_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

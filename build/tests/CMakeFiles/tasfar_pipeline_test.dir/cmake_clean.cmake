@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tasfar_pipeline_test.dir/core/tasfar_pipeline_test.cc.o"
+  "CMakeFiles/tasfar_pipeline_test.dir/core/tasfar_pipeline_test.cc.o.d"
+  "tasfar_pipeline_test"
+  "tasfar_pipeline_test.pdb"
+  "tasfar_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tasfar_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
