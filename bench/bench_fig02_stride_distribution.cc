@@ -38,7 +38,9 @@ void Run() {
     std::vector<std::string> labels;
     std::vector<double> values;
     for (size_t b = 0; b < bins; ++b) {
-      const double center = lo + (hi - lo) * (b + 0.5) / bins;
+      const double center =
+          lo + (hi - lo) * (static_cast<double>(b) + 0.5) /
+                   static_cast<double>(bins);
       char buf[32];
       std::snprintf(buf, sizeof(buf), "%.2fm", center);
       labels.emplace_back(buf);

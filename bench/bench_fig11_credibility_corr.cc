@@ -43,8 +43,9 @@ void Run() {
   std::vector<double> values;
   for (size_t b = 0; b < hist.size(); ++b) {
     char buf[48];
-    std::snprintf(buf, sizeof(buf), "[%+.2f,%+.2f)", -1.0 + 0.25 * b,
-                  -0.75 + 0.25 * b);
+    std::snprintf(buf, sizeof(buf), "[%+.2f,%+.2f)",
+                  -1.0 + 0.25 * static_cast<double>(b),
+                  -0.75 + 0.25 * static_cast<double>(b));
     labels.emplace_back(buf);
     values.push_back(static_cast<double>(hist[b]) /
                      static_cast<double>(correlations.size()));

@@ -20,6 +20,12 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+namespace internal_rng {
+
+double PositiveUnit(double u) { return u > 0.0 ? u : 0x1.0p-53; }
+
+}  // namespace internal_rng
+
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);
@@ -63,8 +69,10 @@ double Rng::Normal() {
     has_cached_normal_ = false;
     return cached_normal_;
   }
-  // Box–Muller; u1 in (0,1] so log() is finite.
-  double u1 = 1.0 - Uniform();
+  // Box–Muller; 1 - Uniform() is in (0,1] and the clamp guards the
+  // log(0) = -inf edge even if Uniform() ever returns a value rounding
+  // the difference to zero.
+  double u1 = internal_rng::PositiveUnit(1.0 - Uniform());
   double u2 = Uniform();
   double r = std::sqrt(-2.0 * std::log(u1));
   double theta = 2.0 * std::numbers::pi * u2;
@@ -80,8 +88,12 @@ double Rng::Normal(double mean, double stddev) {
 
 double Rng::Laplace(double mu, double b) {
   TASFAR_CHECK(b > 0.0);
+  // When Uniform() returns exactly 0, u = -0.5 and the log argument is 0;
+  // the clamp keeps the sample finite (it maps to the most extreme value
+  // the generator can otherwise produce).
   double u = Uniform() - 0.5;
-  return mu - b * std::copysign(std::log(1.0 - 2.0 * std::fabs(u)), u);
+  double t = internal_rng::PositiveUnit(1.0 - 2.0 * std::fabs(u));
+  return mu - b * std::copysign(std::log(t), u);
 }
 
 bool Rng::Bernoulli(double p) { return Uniform() < p; }

@@ -7,6 +7,18 @@
 
 namespace tasfar {
 
+namespace internal_rng {
+
+/// Clamps a nominally-positive uniform draw strictly away from zero so that
+/// log(u) stays finite. Uniform() can return exactly 0 (one draw in 2^53);
+/// fed through Box–Muller or the Laplace inverse CDF that would yield
+/// log(0) = -inf. Mapping such a draw to the smallest value Uniform() can
+/// otherwise produce (2^-53) keeps every sample finite without perturbing
+/// any other draw.
+double PositiveUnit(double u);
+
+}  // namespace internal_rng
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// SplitMix64) with the sampling primitives the library needs.
 ///

@@ -129,12 +129,12 @@ INSTANTIATE_TEST_SUITE_P(
                                          ErrorModelKind::kUniform),
                        ::testing::Values(0.05, 0.2, 0.8),
                        ::testing::Values(1u, 2u)),
-    [](const auto& info) {
-      std::string name = ErrorModelKindToString(std::get<0>(info.param));
+    [](const auto& param_info) {
+      std::string name = ErrorModelKindToString(std::get<0>(param_info.param));
       name += "_c";
-      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+      name += std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100));
       name += "_d";
-      name += std::to_string(std::get<2>(info.param));
+      name += std::to_string(std::get<2>(param_info.param));
       return name;
     });
 

@@ -87,7 +87,7 @@ TEST(PartitionedAdaptationTest, KMeansRecoversUserStructureFromLabelsProxy) {
     size_t first_user = 0;
     for (size_t idx : part) first_user += (idx < 60) ? 1 : 0;
     const double purity =
-        std::max(first_user, part.size() - first_user) /
+        static_cast<double>(std::max(first_user, part.size() - first_user)) /
         static_cast<double>(part.size());
     EXPECT_GT(purity, 0.8);
   }

@@ -91,7 +91,9 @@ TEST(DatasetTest, SplitShufflePartitionsAllRows) {
     seen.push_back(split.second.inputs.At(i, 0));
   }
   std::sort(seen.begin(), seen.end());
-  for (size_t i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(seen[i], i);
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(seen[i], static_cast<double>(i));
+  }
 }
 
 TEST(NormalizerTest, TabularZScores) {

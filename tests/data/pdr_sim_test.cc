@@ -150,7 +150,8 @@ TEST(PdrSimTest, UnseenUsersHaveLargerDeviceDistortion) {
       ++nu;
     }
   }
-  EXPECT_GT(unseen_dev / nu, seen_dev / ns);
+  EXPECT_GT(unseen_dev / static_cast<double>(nu),
+            seen_dev / static_cast<double>(ns));
 }
 
 TEST(PdrSimTest, AllSignalsFinite) {

@@ -95,10 +95,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(8u, 20u, 32u),
                        ::testing::Values(5u, 25u),
                        ::testing::Values(1u, 99u)),
-    [](const auto& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "s" +
-             std::to_string(std::get<1>(info.param)) + "seed" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "s" +
+             std::to_string(std::get<1>(param_info.param)) + "seed" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // --- Crowd -----------------------------------------------------------
@@ -123,11 +123,11 @@ TEST_P(CrowdSimPropertyTest, ImagesAreFiniteAndLabeled) {
 INSTANTIATE_TEST_SUITE_P(Sweep, CrowdSimPropertyTest,
                          ::testing::Combine(::testing::Values(8u, 16u, 24u),
                                             ::testing::Values(4u, 44u)),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "s" +
-                                  std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<0>(param_info.param)) +
                                   "seed" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 // --- Tabular ----------------------------------------------------------
@@ -167,8 +167,8 @@ TEST_P(TabularSimPropertyTest, TaxiDurationsPositiveEverywhere) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, TabularSimPropertyTest,
                          ::testing::Values(1u, 7u, 1234u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -90,11 +90,11 @@ INSTANTIATE_TEST_SUITE_P(
                       Conv1dParam{2, 0, 1, 3}, Conv1dParam{1, 2, 2, 3},
                       Conv1dParam{2, 2, 2, 5}, Conv1dParam{1, 0, 3, 2},
                       Conv1dParam{3, 1, 1, 4}),
-    [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "p" +
-             std::to_string(std::get<1>(info.param)) + "d" +
-             std::to_string(std::get<2>(info.param)) + "k" +
-             std::to_string(std::get<3>(info.param));
+    [](const auto& param_info) {
+      return "s" + std::to_string(std::get<0>(param_info.param)) + "p" +
+             std::to_string(std::get<1>(param_info.param)) + "d" +
+             std::to_string(std::get<2>(param_info.param)) + "k" +
+             std::to_string(std::get<3>(param_info.param));
     });
 
 // --- Conv2d reference ---------------------------------------------------
@@ -143,10 +143,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Conv2dParam{1, 0, 3}, Conv2dParam{1, 1, 3},
                       Conv2dParam{2, 0, 3}, Conv2dParam{2, 2, 5},
                       Conv2dParam{1, 0, 1}, Conv2dParam{3, 1, 2}),
-    [](const auto& info) {
-      return "s" + std::to_string(std::get<0>(info.param)) + "p" +
-             std::to_string(std::get<1>(info.param)) + "k" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "s" + std::to_string(std::get<0>(param_info.param)) + "p" +
+             std::to_string(std::get<1>(param_info.param)) + "k" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 }  // namespace

@@ -24,7 +24,8 @@ TEST(DropoutTest, TrainingZeroesRoughlyRateFraction) {
   Tensor y = d.Forward(x, true);
   size_t zeros = 0;
   for (size_t i = 0; i < y.size(); ++i) zeros += (y[i] == 0.0) ? 1 : 0;
-  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.3, 0.02);
+  EXPECT_NEAR(static_cast<double>(zeros) / static_cast<double>(y.size()),
+              0.3, 0.02);
 }
 
 TEST(DropoutTest, SurvivorsScaledByInverseKeep) {

@@ -88,11 +88,11 @@ INSTANTIATE_TEST_SUITE_P(Shapes, LossPropertyTest,
                          ::testing::Values(Shape{1, 1}, Shape{4, 1},
                                            Shape{1, 3}, Shape{7, 2},
                                            Shape{16, 4}),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return "b" +
-                                  std::to_string(std::get<0>(info.param)) +
+                                  std::to_string(std::get<0>(param_info.param)) +
                                   "d" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 }  // namespace

@@ -124,8 +124,8 @@ INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerPropertyTest,
                                            OptKind::kSgdMomentum,
                                            OptKind::kAdam,
                                            OptKind::kRmsProp),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case OptKind::kSgd:
                                return "Sgd";
                              case OptKind::kSgdMomentum:

@@ -63,10 +63,10 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, MatMulPropertyTest,
     ::testing::Values(Shape{1, 1, 1}, Shape{1, 5, 3}, Shape{4, 1, 4},
                       Shape{3, 7, 2}, Shape{8, 8, 8}, Shape{2, 16, 5}),
-    [](const auto& info) {
-      return "m" + std::to_string(std::get<0>(info.param)) + "k" +
-             std::to_string(std::get<1>(info.param)) + "n" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "m" + std::to_string(std::get<0>(param_info.param)) + "k" +
+             std::to_string(std::get<1>(param_info.param)) + "n" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 TEST(TensorAlgebraTest, ColMeanMatchesManualAverage) {

@@ -79,8 +79,8 @@ TEST_P(ErrorModelParamTest, SymmetricMassAroundMean) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, ErrorModelParamTest,
                          ::testing::ValuesIn(kAllKinds),
-                         [](const auto& info) {
-                           return ErrorModelKindToString(info.param);
+                         [](const auto& param_info) {
+                           return ErrorModelKindToString(param_info.param);
                          });
 
 TEST(ErrorModelTest, GaussianCdfKnownValue) {

@@ -89,11 +89,11 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, McDropoutPropertyTest,
     ::testing::Combine(::testing::Values(0.0, 0.1, 0.3),
                        ::testing::Values(5u, 20u)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       return "r" +
              std::to_string(
-                 static_cast<int>(std::get<0>(info.param) * 100)) +
-             "_s" + std::to_string(std::get<1>(info.param));
+                 static_cast<int>(std::get<0>(param_info.param) * 100)) +
+             "_s" + std::to_string(std::get<1>(param_info.param));
     });
 
 }  // namespace

@@ -75,12 +75,12 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.05, 0.3),
                        ::testing::Values(0.2, 1.0),
                        ::testing::Values(0, 1)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name = "a0_";
-      name += std::to_string(static_cast<int>(std::get<0>(info.param) * 100));
+      name += std::to_string(static_cast<int>(std::get<0>(param_info.param) * 100));
       name += "_a1_";
-      name += std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
-      name += (std::get<2>(info.param) == 0 ? "_gauss" : "_laplace");
+      name += std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100));
+      name += (std::get<2>(param_info.param) == 0 ? "_gauss" : "_laplace");
       return name;
     });
 

@@ -1,0 +1,32 @@
+// Pins NDEBUG off for this translation unit regardless of the build type
+// (the #undef overrides a -DNDEBUG from the command line for everything that
+// follows): both assert() and TASFAR_CHECK must fire.
+
+#ifdef NDEBUG
+#undef NDEBUG
+#endif
+
+#include <cassert>
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(CheckDebugDeathTest, AssertFires) {
+  EXPECT_DEATH(assert(false), "false");
+}
+
+TEST(CheckDebugDeathTest, TasfarCheckFires) {
+  EXPECT_DEATH(TASFAR_CHECK(false), "TASFAR_CHECK failed");
+}
+
+TEST(CheckDebugDeathTest, TasfarCheckMsgFires) {
+  EXPECT_DEATH(TASFAR_CHECK_MSG(false, "fires without NDEBUG"),
+               "fires without NDEBUG");
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,34 @@
+// Pins NDEBUG on for this translation unit regardless of the build type:
+// assert() must be compiled out while TASFAR_CHECK keeps firing. The macros
+// are expanded here, after the forced definition, so this exercises exactly
+// the release-mode behavior even in a Debug build.
+
+#ifndef NDEBUG
+#define NDEBUG 1
+#endif
+
+#include <cassert>
+
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace tasfar {
+namespace {
+
+TEST(CheckNdebugTest, AssertIsCompiledOut) {
+  assert(false);  // No-op under NDEBUG; reaching the next line is the test.
+  SUCCEED();
+}
+
+TEST(CheckNdebugDeathTest, TasfarCheckStillFires) {
+  EXPECT_DEATH(TASFAR_CHECK(false), "TASFAR_CHECK failed");
+}
+
+TEST(CheckNdebugDeathTest, TasfarCheckMsgStillFires) {
+  EXPECT_DEATH(TASFAR_CHECK_MSG(false, "fires under NDEBUG"),
+               "fires under NDEBUG");
+}
+
+}  // namespace
+}  // namespace tasfar

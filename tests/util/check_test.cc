@@ -29,5 +29,27 @@ TEST(CheckTest, SideEffectsEvaluatedExactlyOnce) {
   EXPECT_EQ(counter, 1);
 }
 
+TEST(CheckTest, CheckMsgSideEffectsEvaluatedExactlyOnce) {
+  int counter = 0;
+  TASFAR_CHECK_MSG(++counter == 1, "once");
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(CheckTest, ComposesAsSingleStatement) {
+  // The do/while(0) wrapper must make the macro usable unbraced.
+  if (true)
+    TASFAR_CHECK(true);
+  else
+    TASFAR_CHECK_MSG(false, "unreachable");
+}
+
+TEST(CheckDeathTest, ActiveInThisBuildMode) {
+  // Unlike assert(), TASFAR_CHECK must fire whether or not NDEBUG is
+  // defined. This test runs in whatever mode the suite was built with; the
+  // check_ndebug_test and check_debug_test translation units pin each mode
+  // explicitly.
+  EXPECT_DEATH(TASFAR_CHECK(false), "TASFAR_CHECK failed");
+}
+
 }  // namespace
 }  // namespace tasfar

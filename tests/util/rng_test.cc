@@ -78,6 +78,44 @@ TEST(RngTest, NormalZeroStddevIsDeterministic) {
   EXPECT_DOUBLE_EQ(rng.Normal(2.5, 0.0), 2.5);
 }
 
+TEST(RngTest, PositiveUnitClampsZeroDraw) {
+  // Regression: Uniform() can return exactly 0; fed into Box–Muller or the
+  // Laplace inverse CDF unclamped, log(0) would produce -inf.
+  EXPECT_GT(internal_rng::PositiveUnit(0.0), 0.0);
+  EXPECT_TRUE(std::isfinite(std::log(internal_rng::PositiveUnit(0.0))));
+  EXPECT_TRUE(std::isfinite(
+      std::sqrt(-2.0 * std::log(internal_rng::PositiveUnit(0.0)))));
+}
+
+TEST(RngTest, PositiveUnitIsIdentityOnPositiveDraws) {
+  EXPECT_DOUBLE_EQ(internal_rng::PositiveUnit(0x1.0p-53), 0x1.0p-53);
+  EXPECT_DOUBLE_EQ(internal_rng::PositiveUnit(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(internal_rng::PositiveUnit(1.0), 1.0);
+}
+
+TEST(RngTest, NormalDrawsAreFinite) {
+  Rng rng(61);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.Normal()));
+  }
+}
+
+TEST(RngTest, LaplaceDrawsAreFinite) {
+  Rng rng(67);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(std::isfinite(rng.Laplace(0.0, 1.0)));
+  }
+}
+
+TEST(RngTest, LaplaceWorstCaseUniformIsFiniteAndExtreme) {
+  // The value Laplace() produces when Uniform() == 0 exactly: the clamp maps
+  // the log argument to 2^-53, i.e. the most negative sample the generator
+  // can emit (mu - b * 53 ln 2) rather than -inf.
+  const double worst = -1.0 * std::log(internal_rng::PositiveUnit(0.0));
+  EXPECT_TRUE(std::isfinite(worst));
+  EXPECT_NEAR(worst, 53.0 * std::log(2.0), 1e-12);
+}
+
 TEST(RngTest, LaplaceMomentsMatch) {
   Rng rng(23);
   std::vector<double> xs(50000);

@@ -1,0 +1,338 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace tasfar::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `text[pos]` holds the token `tok` with identifier boundaries on
+/// both sides (so "rand" matches neither inside "operand" nor as a prefix of
+/// "random_device").
+bool TokenStartsAt(const std::string& text, size_t pos,
+                   const std::string& tok) {
+  if (text.compare(pos, tok.size(), tok) != 0) return false;
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + tok.size();
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+int LineOfOffset(const std::string& text, size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+/// Whether the parenthesized argument list starting at `open` (which must
+/// index a '(') contains only whitespace or one of the null-ish tokens —
+/// i.e. a wall-clock `time()` / `time(NULL)` / `time(nullptr)` / `time(0)`
+/// call used as a seed.
+bool IsNullishArgList(const std::string& text, size_t open) {
+  size_t close = text.find(')', open);
+  if (close == std::string::npos) return false;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  inner.erase(std::remove_if(inner.begin(), inner.end(),
+                             [](char c) {
+                               return std::isspace(
+                                          static_cast<unsigned char>(c)) != 0;
+                             }),
+              inner.end());
+  return inner.empty() || inner == "NULL" || inner == "nullptr" ||
+         inner == "0";
+}
+
+struct BannedToken {
+  const char* token;
+  const char* why;
+};
+
+/// Implicit-RNG primitives. Everything stochastic must draw from an
+/// explicitly passed tasfar::Rng& so runs are reproducible.
+constexpr BannedToken kBannedRandomTokens[] = {
+    {"std::rand", "use an explicitly passed tasfar::Rng& instead"},
+    {"std::srand", "use an explicitly passed tasfar::Rng& instead"},
+    {"std::random_device", "use an explicitly passed tasfar::Rng& instead"},
+    {"std::mt19937", "use an explicitly passed tasfar::Rng& instead"},
+    {"std::minstd_rand", "use an explicitly passed tasfar::Rng& instead"},
+    {"std::default_random_engine",
+     "use an explicitly passed tasfar::Rng& instead"},
+    {"random_device", "use an explicitly passed tasfar::Rng& instead"},
+    {"mt19937", "use an explicitly passed tasfar::Rng& instead"},
+};
+
+void CheckRngDiscipline(const std::string& path, const std::string& code,
+                        std::vector<Finding>* findings) {
+  for (const BannedToken& banned : kBannedRandomTokens) {
+    const std::string tok(banned.token);
+    for (size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!TokenStartsAt(code, pos, tok)) continue;
+      // Skip "random_device" / "mt19937" already reported via the
+      // std::-qualified form at the same site.
+      if (pos >= 2 && code.compare(pos - 2, 2, "::") == 0) continue;
+      findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
+                           tok + " is banned: " + banned.why});
+    }
+  }
+  // Bare rand( / srand( from <cstdlib>.
+  for (const char* fn : {"rand", "srand"}) {
+    const std::string tok(fn);
+    for (size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!TokenStartsAt(code, pos, tok)) continue;
+      if (pos >= 2 && code.compare(pos - 2, 2, "::") == 0) continue;
+      size_t after = code.find_first_not_of(" \t", pos + tok.size());
+      if (after == std::string::npos || code[after] != '(') continue;
+      findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
+                           tok + "() is banned: use an explicitly passed "
+                                 "tasfar::Rng& instead"});
+    }
+  }
+  // Argless time() as an entropy source.
+  const std::string time_tok = "time";
+  for (size_t pos = code.find(time_tok); pos != std::string::npos;
+       pos = code.find(time_tok, pos + 1)) {
+    if (!TokenStartsAt(code, pos, time_tok)) continue;
+    size_t after = code.find_first_not_of(" \t", pos + time_tok.size());
+    if (after == std::string::npos || code[after] != '(') continue;
+    if (!IsNullishArgList(code, after)) continue;
+    findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
+                         "wall-clock time() seeding is banned: pass a fixed "
+                         "seed through tasfar::Rng"});
+  }
+}
+
+void CheckNoIostream(const std::string& path, const std::string& code,
+                     std::vector<Finding>* findings) {
+  for (size_t pos = code.find("#include"); pos != std::string::npos;
+       pos = code.find("#include", pos + 1)) {
+    size_t lt = code.find_first_not_of(" \t", pos + 8);
+    if (lt == std::string::npos) continue;
+    if (code.compare(lt, 10, "<iostream>") == 0) {
+      findings->push_back({path, LineOfOffset(code, pos), "no-iostream",
+                           "<iostream> is banned in src/: use "
+                           "util/logging.h (TASFAR_LOG) instead"});
+    }
+  }
+}
+
+void CheckNoBareAssert(const std::string& path, const std::string& code,
+                       std::vector<Finding>* findings) {
+  for (const char* header : {"<cassert>", "<assert.h>"}) {
+    const std::string h(header);
+    for (size_t pos = code.find(h); pos != std::string::npos;
+         pos = code.find(h, pos + 1)) {
+      findings->push_back({path, LineOfOffset(code, pos), "check-not-assert",
+                           h + " is banned in src/: use util/check.h "
+                               "(TASFAR_CHECK) instead"});
+    }
+  }
+  const std::string tok = "assert";
+  for (size_t pos = code.find(tok); pos != std::string::npos;
+       pos = code.find(tok, pos + 1)) {
+    if (!TokenStartsAt(code, pos, tok)) continue;
+    size_t after = code.find_first_not_of(" \t", pos + tok.size());
+    if (after == std::string::npos || code[after] != '(') continue;
+    findings->push_back({path, LineOfOffset(code, pos), "check-not-assert",
+                         "bare assert() is banned in src/: use TASFAR_CHECK "
+                         "(active in all build modes) instead"});
+  }
+}
+
+void CheckHeaderGuard(const std::string& path, const std::string& code,
+                      std::vector<Finding>* findings) {
+  const std::string expected = ExpectedHeaderGuard(path);
+  std::istringstream lines(code);
+  std::string line;
+  int lineno = 0;
+  int ifndef_line = 0;
+  std::string guard;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line.compare(start, 7, "#ifndef") == 0) {
+      size_t name_start = line.find_first_not_of(" \t", start + 7);
+      if (name_start != std::string::npos) {
+        size_t name_end = name_start;
+        while (name_end < line.size() && IsIdentChar(line[name_end])) {
+          ++name_end;
+        }
+        guard = line.substr(name_start, name_end - name_start);
+        ifndef_line = lineno;
+      }
+      break;
+    }
+    if (line.compare(start, 1, "#") == 0) break;  // Any other directive first.
+  }
+  if (guard.empty()) {
+    findings->push_back({path, 1, "header-guard",
+                         "missing include guard; expected #ifndef " +
+                             expected});
+    return;
+  }
+  if (guard != expected) {
+    findings->push_back({path, ifndef_line, "header-guard",
+                         "include guard " + guard + " should be named " +
+                             expected});
+    return;
+  }
+  if (code.find("#define " + expected) == std::string::npos) {
+    findings->push_back({path, ifndef_line, "header-guard",
+                         "include guard " + expected +
+                             " is never #defined"});
+  }
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& source) {
+  std::string out = source;
+  size_t i = 0;
+  const size_t n = source.size();
+  auto blank = [&out](size_t from, size_t to) {
+    for (size_t k = from; k < to && k < out.size(); ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    char c = source[i];
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t end = source.find('\n', i);
+      if (end == std::string::npos) end = n;
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t end = source.find("*/", i + 2);
+      end = (end == std::string::npos) ? n : end + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim".
+      size_t open = source.find('(', i + 2);
+      if (open == std::string::npos) {
+        ++i;
+        continue;
+      }
+      const std::string delim = source.substr(i + 2, open - (i + 2));
+      size_t end = source.find(")" + delim + "\"", open + 1);
+      end = (end == std::string::npos) ? n : end + delim.size() + 2;
+      blank(i, end);
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      size_t j = i + 1;
+      while (j < n && source[j] != c) {
+        j += (source[j] == '\\') ? 2 : 1;
+      }
+      size_t end = (j < n) ? j + 1 : n;
+      blank(i, end);
+      i = end;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string ExpectedHeaderGuard(const std::string& repo_rel_path) {
+  std::string path = repo_rel_path;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "TASFAR_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+std::vector<Finding> LintSource(const std::string& repo_rel_path,
+                                const std::string& source) {
+  std::vector<Finding> findings;
+  const std::string code = StripCommentsAndStrings(source);
+  CheckRngDiscipline(repo_rel_path, code, &findings);
+  if (StartsWith(repo_rel_path, "src/")) {
+    CheckNoIostream(repo_rel_path, code, &findings);
+    CheckNoBareAssert(repo_rel_path, code, &findings);
+  }
+  const bool is_header = repo_rel_path.size() >= 2 &&
+                         repo_rel_path.compare(repo_rel_path.size() - 2, 2,
+                                               ".h") == 0;
+  if (is_header) CheckHeaderGuard(repo_rel_path, source, &findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+Result<std::vector<Finding>> LintFile(const std::string& repo_root,
+                                      const std::string& repo_rel_path) {
+  const std::filesystem::path full =
+      std::filesystem::path(repo_root) / repo_rel_path;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot read " + full.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LintSource(repo_rel_path, buf.str());
+}
+
+Result<std::vector<Finding>> LintTree(const std::string& repo_root,
+                                      const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> all;
+  for (const std::string& root : roots) {
+    const fs::path dir = fs::path(repo_root) / root;
+    if (!fs::is_directory(dir)) {
+      return Status::NotFound("lint root is not a directory: " +
+                              dir.string());
+    }
+    std::vector<std::string> rel_paths;
+    for (fs::recursive_directory_iterator it(dir), end; it != end; ++it) {
+      if (it->is_directory()) {
+        const std::string name = it->path().filename().string();
+        if (StartsWith(name, "build") || StartsWith(name, ".")) {
+          it.disable_recursion_pending();
+        }
+        continue;
+      }
+      const std::string ext = it->path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      rel_paths.push_back(
+          fs::relative(it->path(), repo_root).generic_string());
+    }
+    // Deterministic order regardless of directory iteration order.
+    std::sort(rel_paths.begin(), rel_paths.end());
+    for (const std::string& rel : rel_paths) {
+      Result<std::vector<Finding>> one = LintFile(repo_root, rel);
+      if (!one.ok()) return one.status();
+      all.insert(all.end(), one.value().begin(), one.value().end());
+    }
+  }
+  return all;
+}
+
+}  // namespace tasfar::lint

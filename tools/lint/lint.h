@@ -1,0 +1,57 @@
+#ifndef TASFAR_TOOLS_LINT_LINT_H_
+#define TASFAR_TOOLS_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tasfar::lint {
+
+/// One rule violation at a specific source location.
+struct Finding {
+  std::string file;  ///< Repo-relative path.
+  int line;          ///< 1-based line number (0 when file-scoped).
+  std::string rule;  ///< Stable rule id, e.g. "rng-discipline".
+  std::string message;
+
+  bool operator==(const Finding& other) const {
+    return file == other.file && line == other.line && rule == other.rule &&
+           message == other.message;
+  }
+};
+
+/// Replaces the contents of comments (// and /* */), string literals
+/// (including raw strings), and character literals with spaces, preserving
+/// newlines so that line numbers of the remaining code are unchanged. Rules
+/// match against the stripped text, so a banned token mentioned in a comment
+/// or string is not a violation.
+std::string StripCommentsAndStrings(const std::string& source);
+
+/// The include-guard macro required for a header at `repo_rel_path`:
+/// TASFAR_<PATH>_H_ with the path uppercased and separators mapped to '_'.
+/// Paths under src/ drop the src/ prefix (src/util/rng.h ->
+/// TASFAR_UTIL_RNG_H_); all other roots keep it (bench/bench_common.h ->
+/// TASFAR_BENCH_BENCH_COMMON_H_).
+std::string ExpectedHeaderGuard(const std::string& repo_rel_path);
+
+/// Runs every applicable rule over one file's contents. `repo_rel_path`
+/// selects the rule set: the iostream and assert bans apply only under src/,
+/// the RNG-discipline ban and header-guard check apply everywhere.
+std::vector<Finding> LintSource(const std::string& repo_rel_path,
+                                const std::string& source);
+
+/// Lints one file on disk (path = repo_root / repo_rel_path).
+Result<std::vector<Finding>> LintFile(const std::string& repo_root,
+                                      const std::string& repo_rel_path);
+
+/// Recursively lints every .h/.cc/.cpp file under the given roots
+/// (repo-relative directories, e.g. {"src", "tests"}). Skips anything under
+/// a directory whose name starts with "build". Roots that do not exist are
+/// an error.
+Result<std::vector<Finding>> LintTree(const std::string& repo_root,
+                                      const std::vector<std::string>& roots);
+
+}  // namespace tasfar::lint
+
+#endif  // TASFAR_TOOLS_LINT_LINT_H_

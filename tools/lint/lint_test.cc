@@ -1,0 +1,222 @@
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tasfar::lint {
+namespace {
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+// --- StripCommentsAndStrings ------------------------------------------------
+
+TEST(StripTest, RemovesLineComments) {
+  const std::string out =
+      StripCommentsAndStrings("int x;  // std::rand here\nint y;");
+  EXPECT_EQ(out.find("std::rand"), std::string::npos);
+  EXPECT_NE(out.find("int y;"), std::string::npos);
+}
+
+TEST(StripTest, RemovesBlockCommentsButKeepsNewlines) {
+  const std::string out =
+      StripCommentsAndStrings("a /* std::rand\nstd::rand */ b");
+  EXPECT_EQ(out.find("std::rand"), std::string::npos);
+  // The newline inside the comment survives so line numbers stay stable.
+  EXPECT_NE(out.find('\n'), std::string::npos);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+TEST(StripTest, RemovesStringAndCharLiterals) {
+  const std::string out = StripCommentsAndStrings(
+      "f(\"std::rand\"); g('\\\"'); h(\"esc\\\"std::rand\");");
+  EXPECT_EQ(out.find("std::rand"), std::string::npos);
+}
+
+TEST(StripTest, RemovesRawStrings) {
+  const std::string out =
+      StripCommentsAndStrings("auto s = R\"(std::rand \" )\"; int k;");
+  EXPECT_EQ(out.find("std::rand"), std::string::npos);
+  EXPECT_NE(out.find("int k;"), std::string::npos);
+}
+
+TEST(StripTest, KeepsCodeIntact) {
+  const std::string src = "int dividend = a / b; int c = a / *p;";
+  EXPECT_EQ(StripCommentsAndStrings(src), src);
+}
+
+// --- rng-discipline ---------------------------------------------------------
+
+TEST(RngDisciplineTest, FlagsStdRand) {
+  const auto findings = LintSource("src/foo.cc", "int x = std::rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(RngDisciplineTest, FlagsBareRandCall) {
+  const auto findings = LintSource("tests/foo_test.cc", "int x = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "rng-discipline");
+}
+
+TEST(RngDisciplineTest, FlagsMt19937AndRandomDevice) {
+  const auto findings = LintSource(
+      "bench/foo.cc", "std::mt19937 gen(std::random_device{}());\n");
+  EXPECT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) EXPECT_EQ(f.rule, "rng-discipline");
+}
+
+TEST(RngDisciplineTest, FlagsUnqualifiedMt19937) {
+  const auto findings =
+      LintSource("src/foo.cc", "using std::mt19937;\nmt19937 gen;\n");
+  EXPECT_EQ(findings.size(), 2u);
+}
+
+TEST(RngDisciplineTest, FlagsArglessTimeSeeding) {
+  EXPECT_EQ(LintSource("src/a.cc", "seed(time(NULL));\n").size(), 1u);
+  EXPECT_EQ(LintSource("src/a.cc", "seed(time(nullptr));\n").size(), 1u);
+  EXPECT_EQ(LintSource("src/a.cc", "seed(time( 0 ));\n").size(), 1u);
+  EXPECT_EQ(LintSource("src/a.cc", "seed(std::time(nullptr));\n").size(), 1u);
+}
+
+TEST(RngDisciplineTest, AllowsTimeWithRealArgument) {
+  EXPECT_TRUE(LintSource("src/a.cc", "time_t t; time(&t);\n").empty());
+}
+
+TEST(RngDisciplineTest, NoFalsePositiveOnSubstrings) {
+  // "rand" inside identifiers, Rng usage, and elapsed-time helpers are fine.
+  const std::string src =
+      "int operand = 1;\n"
+      "double r = rng.Uniform();\n"
+      "double elapsed_time(int x);\n"
+      "my_rand_helper();\n";
+  EXPECT_TRUE(LintSource("src/foo.cc", src).empty());
+}
+
+TEST(RngDisciplineTest, IgnoresCommentsAndStrings) {
+  const std::string src =
+      "// std::rand is banned\n"
+      "const char* msg = \"std::mt19937\";\n";
+  EXPECT_TRUE(LintSource("src/foo.cc", src).empty());
+}
+
+TEST(RngDisciplineTest, AppliesOutsideSrcToo) {
+  EXPECT_EQ(LintSource("examples/demo.cpp", "std::rand();\n").size(), 1u);
+  EXPECT_EQ(LintSource("tools/gen.cc", "std::rand();\n").size(), 1u);
+}
+
+// --- no-iostream ------------------------------------------------------------
+
+TEST(NoIostreamTest, FlagsIostreamInSrc) {
+  const auto findings =
+      LintSource("src/core/foo.cc", "#include <iostream>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "no-iostream");
+}
+
+TEST(NoIostreamTest, AllowsIostreamOutsideSrc) {
+  EXPECT_TRUE(
+      LintSource("examples/demo.cpp", "#include <iostream>\n").empty());
+  EXPECT_TRUE(
+      LintSource("tests/foo_test.cc", "#include <iostream>\n").empty());
+}
+
+TEST(NoIostreamTest, AllowsOtherStreamHeadersInSrc) {
+  EXPECT_TRUE(LintSource("src/foo.cc",
+                         "#include <sstream>\n#include <fstream>\n")
+                  .empty());
+}
+
+// --- check-not-assert -------------------------------------------------------
+
+TEST(CheckNotAssertTest, FlagsAssertCallAndHeaderInSrc) {
+  const auto findings = LintSource(
+      "src/foo.cc", "#include <cassert>\nvoid f() { assert(1 == 1); }\n");
+  EXPECT_EQ(Rules(findings),
+            (std::vector<std::string>{"check-not-assert",
+                                      "check-not-assert"}));
+}
+
+TEST(CheckNotAssertTest, AllowsTasfarCheckAndStaticAssert) {
+  const std::string src =
+      "TASFAR_CHECK(x > 0);\n"
+      "static_assert(sizeof(int) == 4);\n";
+  EXPECT_TRUE(LintSource("src/foo.cc", src).empty());
+}
+
+TEST(CheckNotAssertTest, AllowsAssertOutsideSrc) {
+  EXPECT_TRUE(LintSource("tests/foo_test.cc", "assert(true);\n").empty());
+}
+
+// --- header-guard -----------------------------------------------------------
+
+TEST(HeaderGuardTest, ExpectedGuardDropsSrcPrefix) {
+  EXPECT_EQ(ExpectedHeaderGuard("src/util/rng.h"), "TASFAR_UTIL_RNG_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("src/core/partitioner.h"),
+            "TASFAR_CORE_PARTITIONER_H_");
+}
+
+TEST(HeaderGuardTest, ExpectedGuardKeepsNonSrcRoots) {
+  EXPECT_EQ(ExpectedHeaderGuard("bench/bench_common.h"),
+            "TASFAR_BENCH_BENCH_COMMON_H_");
+  EXPECT_EQ(ExpectedHeaderGuard("tools/lint/lint.h"),
+            "TASFAR_TOOLS_LINT_LINT_H_");
+}
+
+TEST(HeaderGuardTest, AcceptsCorrectGuard) {
+  const std::string src =
+      "#ifndef TASFAR_UTIL_FOO_H_\n"
+      "#define TASFAR_UTIL_FOO_H_\n"
+      "#endif  // TASFAR_UTIL_FOO_H_\n";
+  EXPECT_TRUE(LintSource("src/util/foo.h", src).empty());
+}
+
+TEST(HeaderGuardTest, FlagsMissingGuard) {
+  const auto findings = LintSource("src/util/foo.h", "int x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-guard");
+}
+
+TEST(HeaderGuardTest, FlagsWrongGuardName) {
+  const std::string src =
+      "#ifndef FOO_H\n#define FOO_H\n#endif\n";
+  const auto findings = LintSource("src/util/foo.h", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("TASFAR_UTIL_FOO_H_"),
+            std::string::npos);
+}
+
+TEST(HeaderGuardTest, FlagsGuardNeverDefined) {
+  const std::string src = "#ifndef TASFAR_UTIL_FOO_H_\nint x;\n#endif\n";
+  const auto findings = LintSource("src/util/foo.h", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("never #defined"), std::string::npos);
+}
+
+TEST(HeaderGuardTest, SkipsNonHeaderFiles) {
+  EXPECT_TRUE(LintSource("src/util/foo.cc", "int x;\n").empty());
+}
+
+// --- ordering ---------------------------------------------------------------
+
+TEST(LintSourceTest, FindingsSortedByLine) {
+  const std::string src =
+      "int a = 1;\n"
+      "std::mt19937 g;\n"
+      "int b = std::rand();\n";
+  const auto findings = LintSource("src/foo.cc", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 3);
+}
+
+}  // namespace
+}  // namespace tasfar::lint

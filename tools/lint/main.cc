@@ -1,0 +1,50 @@
+// tasfar_lint — repo-specific invariant checker.
+//
+// Enforces the invariants clang-tidy cannot express for this codebase:
+//   rng-discipline    everything stochastic draws from an explicit
+//                     tasfar::Rng& (no std::rand / std::random_device /
+//                     std::mt19937 / wall-clock time() seeding), repo-wide
+//   no-iostream       src/ logs through util/logging.h, never <iostream>
+//   check-not-assert  src/ uses TASFAR_CHECK, never bare assert()
+//   header-guard      headers guard with TASFAR_<PATH>_H_
+//
+// Usage: tasfar_lint [repo_root] [root_dir ...]
+// Default roots: src tests bench examples tools. Exits 1 on any finding,
+// 2 on I/O errors.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+int main(int argc, char** argv) {
+  const std::string repo_root = argc > 1 ? argv[1] : ".";
+  std::vector<std::string> roots;
+  for (int i = 2; i < argc; ++i) roots.emplace_back(argv[i]);
+  if (roots.empty()) {
+    roots = {"src", "tests", "bench", "examples", "tools"};
+  }
+
+  tasfar::Result<std::vector<tasfar::lint::Finding>> result =
+      tasfar::lint::LintTree(repo_root, roots);
+  if (!result.ok()) {
+    TASFAR_LOG(kError) << "tasfar_lint: " << result.status().ToString();
+    return 2;
+  }
+
+  const std::vector<tasfar::lint::Finding>& findings = result.value();
+  for (const tasfar::lint::Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!findings.empty()) {
+    TASFAR_LOG(kError) << "tasfar_lint: " << findings.size()
+                       << " invariant violation(s)";
+    return 1;
+  }
+  TASFAR_LOG(kInfo) << "tasfar_lint: clean";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the project's
+# first-party sources using the compile database of an existing build dir.
+#
+# Usage: tools/run_clang_tidy.sh [build_dir] [-- extra clang-tidy args]
+#   build_dir defaults to "build". If it has no compile_commands.json, one is
+#   generated with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON.
+#
+# Exits nonzero on any finding (WarningsAsErrors is '*' in .clang-tidy).
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy_bin" >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: '$tidy_bin' not found on PATH." >&2
+  echo "Install clang-tidy or set CLANG_TIDY=/path/to/clang-tidy." >&2
+  exit 2
+fi
+
+cd "$repo_root"
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_clang_tidy.sh: generating $build_dir/compile_commands.json"
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# First-party translation units only; system/third-party headers are already
+# excluded by HeaderFilterRegex in .clang-tidy.
+mapfile -t sources < <(git ls-files \
+  'src/**/*.cc' 'tools/**/*.cc' 'tests/**/*.cc' 'bench/**/*.cc' \
+  'examples/**/*.cpp')
+
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run_clang_tidy.sh: no sources found" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy.sh: checking ${#sources[@]} files"
+status=0
+for src in "${sources[@]}"; do
+  if ! "$tidy_bin" -p "$build_dir" --quiet "$@" "$src"; then
+    status=1
+  fi
+done
+
+if [[ $status -ne 0 ]]; then
+  echo "run_clang_tidy.sh: findings detected" >&2
+fi
+exit $status
