@@ -12,6 +12,7 @@
 #include "nn/sequential.h"
 #include "uncertainty/mc_dropout.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 namespace {
@@ -94,6 +95,34 @@ void BM_McDropoutPredict(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128 * state.range(0));
 }
 BENCHMARK(BM_McDropoutPredict)->Arg(5)->Arg(20);
+
+// Serial-vs-parallel MC dropout (the pipeline's hot path): range(0) =
+// stochastic passes, range(1) = thread count. Predictions are
+// byte-identical across rows (docs/THREADING.md); the 1-thread rows are
+// the serial baseline of the speedup table in docs/BENCHMARKING.md.
+void BM_McDropoutPredictThreads(benchmark::State& state) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(1)));
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({512, 8}, &rng);
+  McDropoutPredictor predictor(model.get(),
+                               static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto preds = predictor.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * state.range(0));
+  SetNumThreads(prev_threads);
+}
+// UseRealTime: with pooled workers the main thread's CPU clock misses the
+// work, so wall time is the only honest denominator.
+BENCHMARK(BM_McDropoutPredictThreads)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({20, 8})
+    ->UseRealTime();
 
 void BM_QsCalibration(benchmark::State& state) {
   Rng rng(6);

@@ -13,6 +13,7 @@
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 namespace {
@@ -29,6 +30,34 @@ void BM_MatMul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+// Serial-vs-parallel MatMul: range(0) = matrix size, range(1) = thread
+// count. The 1-thread rows are the serial baseline for the speedup table
+// in docs/BENCHMARKING.md; results are bit-identical across rows.
+void BM_MatMulThreads(benchmark::State& state) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(1)));
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  for (auto _ : state) {
+    Tensor c = a.MatMul(b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetNumThreads(prev_threads);
+}
+// UseRealTime: with pooled workers the main thread's CPU clock misses the
+// work, so wall time is the only honest denominator.
+BENCHMARK(BM_MatMulThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->UseRealTime();
 
 void BM_Conv1dForwardBackward(benchmark::State& state) {
   Rng rng(2);

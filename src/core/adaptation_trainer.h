@@ -58,6 +58,7 @@ struct AdaptationResult {
 /// loss-drop early-stopping rule.
 class AdaptationTrainer {
  public:
+  /// Captures the config by value; the instance is stateless otherwise.
   explicit AdaptationTrainer(const AdaptationTrainConfig& config);
 
   /// `uncertain_inputs` {n_u, ...} with one PseudoLabel each;

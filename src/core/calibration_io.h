@@ -19,15 +19,31 @@ namespace tasfar {
 ///
 /// All formats round-trip doubles exactly (hex-float encoding).
 
+/// Encodes τ and the per-dimension Q_s lines as versioned text.
 std::string SerializeCalibration(const SourceCalibration& calibration);
+
+/// Parses SerializeCalibration output; kInvalidArgument on malformed or
+/// version-mismatched text.
 Result<SourceCalibration> DeserializeCalibration(const std::string& text);
+
+/// Writes SerializeCalibration output to `path` (kIoError on failure).
 Status SaveCalibration(const SourceCalibration& calibration,
                        const std::string& path);
+
+/// Reads and parses a calibration file written by SaveCalibration.
 Result<SourceCalibration> LoadCalibration(const std::string& path);
 
+/// Encodes grid axes and cell masses as versioned text.
 std::string SerializeDensityMap(const DensityMap& map);
+
+/// Parses SerializeDensityMap output; kInvalidArgument on malformed or
+/// version-mismatched text.
 Result<DensityMap> DeserializeDensityMap(const std::string& text);
+
+/// Writes SerializeDensityMap output to `path` (kIoError on failure).
 Status SaveDensityMap(const DensityMap& map, const std::string& path);
+
+/// Reads and parses a density-map file written by SaveDensityMap.
 Result<DensityMap> LoadDensityMap(const std::string& path);
 
 }  // namespace tasfar

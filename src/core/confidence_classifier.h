@@ -25,6 +25,8 @@ class ConfidenceClassifier {
   static double ComputeThreshold(std::vector<double> source_uncertainties,
                                  double eta);
 
+  /// Wraps a precomputed threshold (from ComputeThreshold on source data,
+  /// or deserialized from a shipped SourceCalibration).
   explicit ConfidenceClassifier(double tau);
 
   /// Splits MC-dropout predictions by scalar uncertainty vs τ.

@@ -15,8 +15,11 @@ struct GridSpec {
   double cell_size = 1.0;  ///< g.
   size_t num_cells = 1;    ///< J.
 
+  /// Lower edge of cell i.
   double CellLo(size_t i) const;
+  /// Upper edge of cell i.
   double CellHi(size_t i) const;
+  /// Midpoint of cell i.
   double CellCenter(size_t i) const;
   /// Upper edge of the grid.
   double RangeHi() const;
@@ -39,14 +42,19 @@ class DensityMap {
   /// One or two axes (the repo's tasks have 1-D or 2-D labels).
   explicit DensityMap(std::vector<GridSpec> axes);
 
+  /// Number of label dimensions (= number of axes).
   size_t num_dims() const { return axes_.size(); }
+  /// The grid of label dimension d.
   const GridSpec& axis(size_t d) const;
+  /// Total cell count (product over axes).
   size_t NumCells() const { return cells_.size(); }
 
   /// Flat index of a multi-dimensional cell index (row-major).
   size_t FlatIndex(const std::vector<size_t>& idx) const;
 
+  /// Density of the cell with the given flat index.
   double cell(size_t flat) const;
+  /// Mutable access to one cell's density (used by deserialization).
   double& cell_mutable(size_t flat);
 
   /// Centers of the cell with the given flat index, one per dimension.

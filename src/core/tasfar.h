@@ -65,6 +65,8 @@ struct TasfarReport {
 /// fine-tuning.
 class Tasfar {
  public:
+  /// Captures the options by value; the instance is stateless otherwise
+  /// and reusable across models and datasets.
   explicit Tasfar(const TasfarOptions& options);
 
   /// Source-side calibration: runs MC dropout on held-out source data with

@@ -26,6 +26,11 @@ Tensor Dropout::Backward(const Tensor& grad_output) {
   return grad_output * mask_;
 }
 
+void Dropout::ReseedStochastic(uint64_t seed) {
+  seed_ = seed;
+  rng_ = Rng(seed);
+}
+
 std::unique_ptr<Layer> Dropout::Clone() const {
   // The clone restarts its mask stream from the configured seed; dropout
   // masks are not part of the model state.

@@ -26,6 +26,10 @@ class Dropout : public Layer {
   std::unique_ptr<Layer> Clone() const override;
   std::string Name() const override;
 
+  /// Restarts the mask stream from `seed` (same seed ⇒ same masks on the
+  /// following Forward calls).
+  void ReseedStochastic(uint64_t seed) override;
+
   double rate() const { return rate_; }
 
  private:

@@ -52,6 +52,16 @@ class Layer {
   /// Deep copy of parameters and configuration.
   virtual std::unique_ptr<Layer> Clone() const = 0;
 
+  /// Re-seeds every stochastic stream in the layer (dropout masks today)
+  /// from `seed`, deterministically: the same seed always reproduces the
+  /// same mask sequence on the next Forward calls. Containers recurse,
+  /// deriving a distinct child seed per sub-layer via MixSeed, so one root
+  /// seed pins the randomness of a whole model replica — this is how
+  /// MC-dropout makes its parallel stochastic passes bit-reproducible at
+  /// any thread count (docs/THREADING.md). Layers without stochastic state
+  /// ignore the call.
+  virtual void ReseedStochastic(uint64_t seed) { (void)seed; }
+
   /// Diagnostic layer name, e.g. "Dense(16->8)".
   virtual std::string Name() const = 0;
 };

@@ -1,5 +1,7 @@
 #include "nn/multi_column.h"
 
+#include "util/rng.h"
+
 namespace tasfar {
 
 MultiColumn& MultiColumn::AddBranch(std::unique_ptr<Sequential> branch) {
@@ -89,6 +91,12 @@ std::unique_ptr<Layer> MultiColumn::Clone() const {
     copy->AddBranch(branch->CloneSequential());
   }
   return copy;
+}
+
+void MultiColumn::ReseedStochastic(uint64_t seed) {
+  for (size_t b = 0; b < branches_.size(); ++b) {
+    branches_[b]->ReseedStochastic(MixSeed(seed, b));
+  }
 }
 
 std::string MultiColumn::Name() const {

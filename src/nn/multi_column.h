@@ -30,6 +30,8 @@ class MultiColumn : public Layer {
   std::vector<Tensor*> Grads() override;
   std::unique_ptr<Layer> Clone() const override;
   std::string Name() const override;
+  /// Recurses with a distinct MixSeed(seed, branch_index) per branch.
+  void ReseedStochastic(uint64_t seed) override;
 
  private:
   std::vector<std::unique_ptr<Sequential>> branches_;

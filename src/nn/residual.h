@@ -22,6 +22,7 @@ class Residual : public Layer {
   std::vector<Tensor*> Grads() override { return body_->Grads(); }
   std::unique_ptr<Layer> Clone() const override;
   std::string Name() const override;
+  void ReseedStochastic(uint64_t seed) override { body_->ReseedStochastic(seed); }
 
   Sequential& body() { return *body_; }
 

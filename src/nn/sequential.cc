@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include "util/rng.h"
+
 namespace tasfar {
 
 Sequential& Sequential::Add(std::unique_ptr<Layer> layer) {
@@ -64,6 +66,12 @@ std::unique_ptr<Sequential> Sequential::CloneSequential() const {
   auto copy = std::make_unique<Sequential>();
   for (const auto& layer : layers_) copy->Add(layer->Clone());
   return copy;
+}
+
+void Sequential::ReseedStochastic(uint64_t seed) {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->ReseedStochastic(MixSeed(seed, i));
+  }
 }
 
 std::string Sequential::Name() const {

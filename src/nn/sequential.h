@@ -44,6 +44,8 @@ class Sequential : public Layer {
   std::vector<Tensor*> Grads() override;
   std::unique_ptr<Layer> Clone() const override;
   std::string Name() const override;
+  /// Recurses with a distinct MixSeed(seed, layer_index) per layer.
+  void ReseedStochastic(uint64_t seed) override;
 
   // --- Partial passes ----------------------------------------------------
 

@@ -25,6 +25,7 @@ Tensor BatchedForward(Sequential* model, const Tensor& inputs, bool training,
   TASFAR_CHECK(model != nullptr);
   TASFAR_CHECK(batch_size > 0);
   const size_t n = inputs.dim(0);
+  if (n == 0) return Tensor({0, 0});
   std::vector<Tensor> rows;
   rows.reserve(n);
   for (size_t start = 0; start < n; start += batch_size) {

@@ -79,6 +79,8 @@ Tensor GatherFirstDim(const Tensor& t, const std::vector<size_t>& indices);
 
 /// Runs the whole tensor through the model in batches of `batch_size`
 /// (bounding peak memory for conv nets) and concatenates the outputs.
+/// A trailing partial batch is forwarded as-is; zero samples yield an
+/// empty {0, 0} tensor without touching the model.
 Tensor BatchedForward(Sequential* model, const Tensor& inputs,
                       bool training = false, size_t batch_size = 64);
 

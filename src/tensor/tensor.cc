@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 
@@ -170,6 +171,23 @@ void Tensor::Fill(double value) {
   std::fill(data_.begin(), data_.end(), value);
 }
 
+namespace {
+
+// Cache-block sizes of the MatMul kernel: a kBlockK × kBlockN panel of B
+// (64 × 128 doubles = 64 KiB) stays L1/L2-resident while every row of the
+// A block streams through it. Accumulation order over p is globally
+// ascending for each output element regardless of the blocking (the p0
+// loop is outside the j0 loop), which keeps results bit-identical to the
+// unblocked i-k-j kernel and invariant under row sharding.
+constexpr size_t kMatMulBlockK = 64;
+constexpr size_t kMatMulBlockN = 128;
+
+// Below this many multiply-adds the ParallelFor dispatch overhead
+// dominates; run serially (64³ = 262144 sits just above).
+constexpr size_t kMatMulParallelMinFlops = 1 << 17;
+
+}  // namespace
+
 Tensor Tensor::MatMul(const Tensor& other) const {
   TASFAR_CHECK_MSG(rank() == 2 && other.rank() == 2,
                    "MatMul requires rank-2 operands");
@@ -177,17 +195,44 @@ Tensor Tensor::MatMul(const Tensor& other) const {
                    "MatMul inner dimensions must agree");
   const size_t m = shape_[0], k = shape_[1], n = other.shape_[1];
   Tensor out({m, n});
-  // i-k-j loop order keeps the inner loop contiguous in both B and C.
-  for (size_t i = 0; i < m; ++i) {
-    const double* a_row = data_.data() + i * k;
-    double* c_row = out.data_.data() + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const double a = a_row[p];
-      if (a == 0.0) continue;
-      const double* b_row = other.data_.data() + p * n;
-      for (size_t j = 0; j < n; ++j) c_row[j] += a * b_row[j];
+  const double* a_data = data_.data();
+  const double* b_data = other.data_.data();
+  double* c_data = out.data_.data();
+  // Cache-blocked i-k-j kernel for the rows [i0, i1): the inner loop is
+  // contiguous in both B and C; the a == 0 skip keeps post-ReLU sparsity
+  // cheap. Each output row is written by exactly one ParallelFor chunk,
+  // so row sharding is race-free and deterministic (see docs/THREADING.md).
+  auto row_block = [&](size_t i0, size_t i1) {
+    for (size_t p0 = 0; p0 < k; p0 += kMatMulBlockK) {
+      const size_t p1 = std::min(p0 + kMatMulBlockK, k);
+      for (size_t j0 = 0; j0 < n; j0 += kMatMulBlockN) {
+        const size_t j1 = std::min(j0 + kMatMulBlockN, n);
+        for (size_t i = i0; i < i1; ++i) {
+          const double* a_row = a_data + i * k;
+          double* c_row = c_data + i * n;
+          for (size_t p = p0; p < p1; ++p) {
+            const double a = a_row[p];
+            if (a == 0.0) continue;
+            const double* b_row = b_data + p * n;
+            for (size_t j = j0; j < j1; ++j) c_row[j] += a * b_row[j];
+          }
+        }
+      }
     }
+  };
+  if (m < 2 || m * k * n < kMatMulParallelMinFlops) {
+    row_block(0, m);
+    return out;
   }
+  // Shard over row blocks (not single rows) so each task reuses a
+  // B panel across all its rows; ~4 blocks per thread for balance.
+  const size_t num_shards = GetNumThreads() * 4;
+  const size_t rows_per_shard = std::max<size_t>(4, (m + num_shards - 1) / num_shards);
+  const size_t shards = (m + rows_per_shard - 1) / rows_per_shard;
+  ParallelFor(0, shards, /*grain=*/1, [&](size_t s) {
+    const size_t i0 = s * rows_per_shard;
+    row_block(i0, std::min(i0 + rows_per_shard, m));
+  });
   return out;
 }
 

@@ -17,9 +17,12 @@ class Rng;
 ///
 /// This is the numeric substrate of the library: the nn/ layers, the
 /// simulators, and the TASFAR core all operate on Tensor. Design goals are
-/// correctness and clarity over raw speed — the networks in this repo are
-/// small (hidden dims 16-64), so a straightforward row-major implementation
-/// with bounds-checked debug accessors is fast enough for every bench.
+/// correctness and clarity first — the networks in this repo are small
+/// (hidden dims 16-64), so a straightforward row-major layout with
+/// bounds-checked debug accessors suffices for most operations. The one
+/// hot spot, MatMul, uses a cache-blocked kernel with a row-sharded
+/// parallel outer loop on the global thread pool (util/thread_pool.h);
+/// its results are bit-identical at every thread count.
 ///
 /// The rank-2 case (matrix of shape {rows, cols}) is the workhorse; batch
 /// image tensors use rank 4 ({batch, channels, height, width}) and batch
@@ -160,6 +163,10 @@ class Tensor {
   // --- Linear algebra (rank-2) ---------------------------------------------
 
   /// Matrix product; requires rank-2 operands with matching inner dim.
+  /// Cache-blocked, and parallelized over row shards once the product is
+  /// large enough to amortize dispatch; per-element accumulation order is
+  /// fixed (ascending inner index), so the result is bit-identical for
+  /// any thread count.
   Tensor MatMul(const Tensor& other) const;
 
   /// Transpose of a rank-2 tensor.

@@ -1,8 +1,11 @@
 #include "uncertainty/mc_dropout.h"
 
 #include <cmath>
+#include <memory>
 
 #include "nn/trainer.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 
@@ -13,8 +16,11 @@ double McPrediction::ScalarUncertainty() const {
 }
 
 McDropoutPredictor::McDropoutPredictor(Sequential* model, size_t num_samples,
-                                       size_t batch_size)
-    : model_(model), num_samples_(num_samples), batch_size_(batch_size) {
+                                       size_t batch_size, uint64_t seed)
+    : model_(model),
+      num_samples_(num_samples),
+      batch_size_(batch_size),
+      seed_(seed) {
   TASFAR_CHECK(model != nullptr);
   TASFAR_CHECK_MSG(num_samples >= 2, "MC dropout needs >= 2 samples");
   TASFAR_CHECK(batch_size > 0);
@@ -23,20 +29,33 @@ McDropoutPredictor::McDropoutPredictor(Sequential* model, size_t num_samples,
 std::vector<McPrediction> McDropoutPredictor::Predict(
     const Tensor& inputs) const {
   const size_t n = inputs.dim(0);
+  std::vector<McPrediction> out(n);
+  if (n == 0) return out;
+
+  // One stochastic pass per task, each on a private model replica whose
+  // dropout streams are pinned to (root seed, call index, pass index).
+  // Tasks only read `inputs`/`model_` and write disjoint `passes` slots,
+  // so the fan-out is race-free and the reduction below — done serially
+  // in ascending pass order — is byte-identical at every thread count.
+  const uint64_t call_seed =
+      MixSeed(seed_, next_call_.fetch_add(1, std::memory_order_relaxed));
+  std::vector<Tensor> passes(num_samples_);
+  ParallelFor(0, num_samples_, /*grain=*/1, [&](size_t s) {
+    std::unique_ptr<Sequential> replica = model_->CloneSequential();
+    replica->ReseedStochastic(MixSeed(call_seed, s));
+    passes[s] = BatchedForward(replica.get(), inputs, /*training=*/true,
+                               batch_size_);
+  });
+
   // Accumulate sum and sum-of-squares across stochastic passes.
-  Tensor first = BatchedForward(model_, inputs, /*training=*/true,
-                                batch_size_);
-  const size_t out_dim = first.dim(1);
-  Tensor sum = first;
-  Tensor sum_sq = first * first;
+  const size_t out_dim = passes[0].dim(1);
+  Tensor sum = passes[0];
+  Tensor sum_sq = passes[0] * passes[0];
   for (size_t s = 1; s < num_samples_; ++s) {
-    Tensor pass = BatchedForward(model_, inputs, /*training=*/true,
-                                 batch_size_);
-    sum += pass;
-    sum_sq += pass * pass;
+    sum += passes[s];
+    sum_sq += passes[s] * passes[s];
   }
   const double inv_s = 1.0 / static_cast<double>(num_samples_);
-  std::vector<McPrediction> out(n);
   for (size_t i = 0; i < n; ++i) {
     out[i].mean.resize(out_dim);
     out[i].std.resize(out_dim);
@@ -52,6 +71,7 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
 }
 
 Tensor McDropoutPredictor::PredictMean(const Tensor& inputs) const {
+  if (inputs.dim(0) == 0) return Tensor({0, 0});
   return BatchedForward(model_, inputs, /*training=*/false, batch_size_);
 }
 

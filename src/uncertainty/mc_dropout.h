@@ -1,6 +1,8 @@
 #ifndef TASFAR_UNCERTAINTY_MC_DROPOUT_H_
 #define TASFAR_UNCERTAINTY_MC_DROPOUT_H_
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "nn/sequential.h"
@@ -27,16 +29,37 @@ struct McPrediction {
 /// The wrapped model must contain at least one Dropout layer for the
 /// uncertainty to be non-degenerate; models without dropout yield zero
 /// uncertainty, which the predictor reports as-is.
+///
+/// Parallelism and determinism (docs/THREADING.md): Predict fans the
+/// stochastic passes across the global thread pool. Each pass runs on a
+/// private replica of the model whose dropout streams are reseeded from
+/// (seed, call index, pass index), so for a fixed seed the k-th Predict
+/// call on a predictor returns byte-identical results at every thread
+/// count — while successive calls still draw fresh dropout ensembles (the
+/// MC mean remains a statistical estimate). Predict never mutates the
+/// wrapped model; concurrent Predict calls are safe as long as nothing
+/// else mutates the model. PredictMean runs the model itself (layer
+/// activation caches mutate) and is not thread-safe.
 class McDropoutPredictor {
  public:
-  /// `model` must outlive the predictor. num_samples >= 2.
+  /// `model` must outlive the predictor. num_samples >= 2. `seed` is the
+  /// root of every dropout stream the predictor will ever use; two
+  /// predictors with the same model, seed, and call history produce
+  /// identical outputs.
   McDropoutPredictor(Sequential* model, size_t num_samples = 20,
-                     size_t batch_size = 64);
+                     size_t batch_size = 64, uint64_t seed = 0x5eedULL);
+
+  McDropoutPredictor(const McDropoutPredictor&) = delete;
+  McDropoutPredictor& operator=(const McDropoutPredictor&) = delete;
 
   /// Runs MC-dropout over all samples in `inputs` (first dim = samples).
+  /// Handles any row count: n == 0 returns an empty vector, and n that is
+  /// smaller than or not a multiple of the batch size is forwarded in one
+  /// short final batch.
   std::vector<McPrediction> Predict(const Tensor& inputs) const;
 
-  /// Deterministic (dropout-off) predictions, {n, out_dim}.
+  /// Deterministic (dropout-off) predictions, {n, out_dim}; returns an
+  /// empty rank-2 tensor when n == 0.
   Tensor PredictMean(const Tensor& inputs) const;
 
   size_t num_samples() const { return num_samples_; }
@@ -45,6 +68,10 @@ class McDropoutPredictor {
   Sequential* model_;
   size_t num_samples_;
   size_t batch_size_;
+  uint64_t seed_;
+  /// Stream index of the next Predict call; atomic so concurrent Predict
+  /// calls draw disjoint dropout ensembles.
+  mutable std::atomic<uint64_t> next_call_{0};
 };
 
 }  // namespace tasfar

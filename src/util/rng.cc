@@ -26,6 +26,13 @@ double PositiveUnit(double u) { return u > 0.0 ? u : 0x1.0p-53; }
 
 }  // namespace internal_rng
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Mix the seed with the stream id through SplitMix64 so that consecutive
+  // stream ids give decorrelated child seeds.
+  uint64_t sm = seed ^ (0xa0761d6478bd642fULL * (stream + 1));
+  return SplitMix64(&sm);
+}
+
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);
@@ -145,12 +152,6 @@ std::vector<size_t> Rng::Permutation(size_t n) {
   return idx;
 }
 
-Rng Rng::Fork(uint64_t stream) const {
-  // Mix the original seed with the stream id through SplitMix64 so that
-  // consecutive stream ids give decorrelated generators.
-  uint64_t mix = seed_ ^ (0xa0761d6478bd642fULL * (stream + 1));
-  uint64_t sm = mix;
-  return Rng(SplitMix64(&sm));
-}
+Rng Rng::Fork(uint64_t stream) const { return Rng(MixSeed(seed_, stream)); }
 
 }  // namespace tasfar

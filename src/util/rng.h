@@ -19,6 +19,14 @@ double PositiveUnit(double u);
 
 }  // namespace internal_rng
 
+/// Deterministically derives a child seed from a parent seed and a stream
+/// id (the mixing step behind Rng::Fork, exposed so callers can split seed
+/// *hierarchies* — e.g. per-call, then per-pass, then per-layer — without
+/// constructing intermediate generators). Distinct streams give
+/// decorrelated seeds; the same (seed, stream) pair always gives the same
+/// result.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded via
 /// SplitMix64) with the sampling primitives the library needs.
 ///

@@ -1,0 +1,154 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "util/check.h"
+
+namespace tasfar {
+
+namespace {
+
+/// Set (permanently) on every pool worker thread; ParallelFor consults it
+/// to run nested parallel regions inline instead of re-entering the queue.
+thread_local bool tls_is_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads < 2) return;
+  workers_.reserve(num_threads);
+  for (size_t t = 0; t < num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_is_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  // Serial fast paths: no workers, a nested region on a worker thread, or
+  // a range that fits in one chunk. All three execute iterations in
+  // ascending order, like every chunk below, so the result is the same.
+  if (workers_.empty() || tls_is_pool_worker || range <= grain) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // ~4 chunks per worker balances uneven iteration costs without a
+  // stealing scheduler; `grain` keeps chunks from getting too fine.
+  const size_t target_chunks = workers_.size() * 4;
+  const size_t chunk =
+      std::max(grain, (range + target_chunks - 1) / target_chunks);
+  const size_t num_chunks = (range + chunk - 1) / chunk;
+
+  // Per-region completion latch + first-exception capture, shared by the
+  // queued chunk tasks. Heap-allocated so the region state stays valid
+  // even while tasks still hold references during the final notify.
+  struct Region {
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t pending;
+    std::exception_ptr first_error;
+  };
+  auto region = std::make_shared<Region>();
+  region->pending = num_chunks;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TASFAR_CHECK_MSG(!stop_, "ParallelFor on a stopped ThreadPool");
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const size_t lo = begin + c * chunk;
+      const size_t hi = std::min(lo + chunk, end);
+      queue_.emplace_back([region, lo, hi, &fn] {
+        try {
+          for (size_t i = lo; i < hi; ++i) fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> rlock(region->mu);
+          if (!region->first_error) {
+            region->first_error = std::current_exception();
+          }
+        }
+        std::lock_guard<std::mutex> rlock(region->mu);
+        if (--region->pending == 0) region->done_cv.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> rlock(region->mu);
+  region->done_cv.wait(rlock, [&region] { return region->pending == 0; });
+  if (region->first_error) std::rethrow_exception(region->first_error);
+}
+
+namespace {
+
+size_t DefaultNumThreads() {
+  if (const char* env = std::getenv("TASFAR_NUM_THREADS")) {
+    char* parse_end = nullptr;
+    const unsigned long v = std::strtoul(env, &parse_end, 10);
+    if (parse_end != env && *parse_end == '\0' && v > 0) {
+      return static_cast<size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+ThreadPool& GlobalPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultNumThreads());
+  return *slot;
+}
+
+}  // namespace
+
+size_t GetNumThreads() { return GlobalPool().num_threads(); }
+
+void SetNumThreads(size_t num_threads) {
+  const size_t n = num_threads == 0 ? DefaultNumThreads() : num_threads;
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  std::unique_ptr<ThreadPool>& slot = GlobalPoolSlot();
+  slot.reset();  // Join the old workers before spawning the new pool.
+  slot = std::make_unique<ThreadPool>(n);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn) {
+  GlobalPool().ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace tasfar

@@ -1,0 +1,87 @@
+#ifndef TASFAR_UTIL_THREAD_POOL_H_
+#define TASFAR_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tasfar {
+
+/// Fixed-size thread pool with a deterministic `ParallelFor` — the only
+/// parallel execution primitive in the library (tools/lint forbids raw
+/// `std::thread` anywhere else; see docs/THREADING.md for the threading
+/// model and determinism contract).
+///
+/// Design constraints, in order:
+///  1. *Determinism.* ParallelFor only ever partitions an index range into
+///     contiguous chunks; it never reorders iterations within a chunk and
+///     callers write to disjoint, pre-sized outputs. Any computation whose
+///     per-index work is a pure function of the index therefore produces
+///     bit-identical results at every thread count (including 1).
+///  2. *No nesting surprises.* A ParallelFor issued from inside a pool
+///     worker runs inline on that worker (a thread-local flag marks worker
+///     threads), so nested parallel regions cannot deadlock the pool and
+///     total concurrency stays bounded by the pool size.
+///  3. *Simplicity over stealing.* Chunks are pushed to a single FIFO
+///     queue guarded by one mutex. The networks in this repo are small;
+///     chunk counts are tens, not millions, so a work-stealing scheduler
+///     would buy nothing.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (values 0 and 1 spawn none; every
+  /// ParallelFor then runs inline on the calling thread).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Joins all workers. Outstanding ParallelFor calls must have returned.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of execution lanes (1 when no workers were spawned).
+  size_t num_threads() const {
+    return workers_.empty() ? 1 : workers_.size();
+  }
+
+  /// Calls `fn(i)` for every i in [begin, end), partitioned into
+  /// contiguous chunks of at least `grain` iterations (grain 0 is treated
+  /// as 1), and blocks until all iterations completed. Empty ranges
+  /// return immediately. If any `fn` throws, the first exception captured
+  /// is rethrown on the calling thread after the region drains (remaining
+  /// chunks still run).
+  ///
+  /// `fn` runs concurrently with itself: it must only touch state that is
+  /// disjoint per index (or otherwise synchronized by the caller).
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Number of threads the global pool uses (lazily created on first use).
+size_t GetNumThreads();
+
+/// Replaces the global pool with one of `num_threads` threads (0 restores
+/// the default: the TASFAR_NUM_THREADS environment variable if set, else
+/// std::thread::hardware_concurrency()). Must not be called while another
+/// thread is inside a global ParallelFor.
+void SetNumThreads(size_t num_threads);
+
+/// ParallelFor on the global pool; see ThreadPool::ParallelFor.
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UTIL_THREAD_POOL_H_

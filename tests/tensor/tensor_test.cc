@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 namespace {
@@ -130,6 +131,59 @@ TEST(TensorTest, MatMulIdentity) {
   Tensor a({2, 2}, {1, 2, 3, 4});
   Tensor id({2, 2}, {1, 0, 0, 1});
   EXPECT_DOUBLE_EQ(a.MatMul(id).MaxAbsDiff(a), 0.0);
+}
+
+// Naive triple-loop reference for validating the blocked MatMul kernel.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (size_t p = 0; p < k; ++p) acc += a.At(i, p) * b.At(p, j);
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(TensorTest, MatMulMatchesNaiveOnAwkwardShapes) {
+  // Shapes chosen to leave partial blocks in every blocked dimension
+  // (block sizes are 64 and 128) and to cross the parallel threshold.
+  Rng rng(77);
+  const size_t shapes[][3] = {{1, 1, 1},   {3, 70, 5},    {65, 129, 67},
+                              {128, 64, 128}, {40, 200, 130}, {97, 3, 257}};
+  for (const auto& s : shapes) {
+    Tensor a = Tensor::RandomNormal({s[0], s[1]}, &rng);
+    Tensor b = Tensor::RandomNormal({s[1], s[2]}, &rng);
+    EXPECT_LT(a.MatMul(b).MaxAbsDiff(NaiveMatMul(a, b)),
+              1e-9 * static_cast<double>(s[1]))
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(TensorTest, MatMulBitIdenticalAcrossThreadCounts) {
+  Rng rng(78);
+  Tensor a = Tensor::RandomNormal({150, 90}, &rng);
+  Tensor b = Tensor::RandomNormal({90, 170}, &rng);
+  SetNumThreads(1);
+  Tensor serial = a.MatMul(b);
+  for (size_t threads : {2u, 5u, 8u}) {
+    SetNumThreads(threads);
+    EXPECT_DOUBLE_EQ(a.MatMul(b).MaxAbsDiff(serial), 0.0) << threads;
+  }
+  SetNumThreads(0);
+}
+
+TEST(TensorTest, MatMulZeroSizeDims) {
+  Tensor a({0, 4});
+  Tensor b({4, 3});
+  Tensor c = a.MatMul(b);
+  EXPECT_EQ(c.dim(0), 0u);
+  EXPECT_EQ(c.dim(1), 3u);
+  Tensor d({3, 4});
+  Tensor e({4, 0});
+  EXPECT_EQ(d.MatMul(e).dim(1), 0u);
 }
 
 TEST(TensorTest, Transposed) {

@@ -8,6 +8,7 @@
 #include "nn/dense.h"
 #include "nn/dropout.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 namespace {
@@ -113,6 +114,110 @@ TEST(McDropoutTest, LargerInputsLargerUncertainty) {
   for (const auto& p : preds_small) u_small += p.ScalarUncertainty();
   for (const auto& p : preds_large) u_large += p.ScalarUncertainty();
   EXPECT_GT(u_large, u_small);
+}
+
+TEST(McDropoutTest, EmptyInputReturnsEmpty) {
+  Rng rng(20);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 5);
+  Tensor empty({0, 2});
+  EXPECT_TRUE(predictor.Predict(empty).empty());
+  Tensor mean = predictor.PredictMean(empty);
+  EXPECT_EQ(mean.rank(), 2u);
+  EXPECT_EQ(mean.dim(0), 0u);
+}
+
+TEST(McDropoutTest, RowsBelowBatchSizeAreAllPredicted) {
+  // Regression: n < batch_size must forward one short batch, not drop or
+  // pad rows.
+  Rng rng(21);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 5, /*batch_size=*/64);
+  Tensor x = Tensor::RandomNormal({3, 2}, &rng);
+  auto preds = predictor.Predict(x);
+  ASSERT_EQ(preds.size(), 3u);
+  for (const auto& p : preds) EXPECT_TRUE(std::isfinite(p.mean[0]));
+}
+
+TEST(McDropoutTest, BatchSizeDoesNotChangeResults) {
+  // Regression: n % batch_size != 0 leaves a trailing partial batch; the
+  // split must be invisible in the outputs (same seed ⇒ same predictions
+  // whatever the batch size, since dropout masks are drawn per pass, not
+  // per batch-row-count — the model here is row-independent Dense/ReLU).
+  Rng rng(22);
+  Sequential model;
+  model.Emplace<Dense>(2, 8, &rng);
+  model.Emplace<Relu>();
+  model.Emplace<Dense>(8, 1, &rng);
+  Tensor x = Tensor::RandomNormal({13, 2}, &rng);
+  McDropoutPredictor whole(&model, 5, /*batch_size=*/64);
+  McDropoutPredictor split(&model, 5, /*batch_size=*/4);  // 13 = 3*4 + 1.
+  auto a = whole.Predict(x);
+  auto b = split.Predict(x);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].mean[0], b[i].mean[0], 1e-12);
+  }
+}
+
+TEST(McDropoutTest, PredictIsByteIdenticalAtAnyThreadCount) {
+  // The determinism contract of docs/THREADING.md: same root seed + same
+  // call index ⇒ identical McPredictions at 1, 2, and 8 threads.
+  auto run = [](size_t threads) {
+    SetNumThreads(threads);
+    Rng rng(23);
+    auto model = DropoutModel(&rng);
+    McDropoutPredictor predictor(model.get(), 20, 8, /*seed=*/0xfeedULL);
+    Tensor x = Tensor::RandomNormal({37, 2}, &rng);
+    auto first = predictor.Predict(x);
+    auto second = predictor.Predict(x);  // Call #2 (distinct stream).
+    SetNumThreads(0);
+    return std::make_pair(first, second);
+  };
+  auto [a1, a2] = run(1);
+  auto [b1, b2] = run(2);
+  auto [c1, c2] = run(8);
+  auto expect_identical = [](const std::vector<McPrediction>& x_preds,
+                             const std::vector<McPrediction>& y_preds) {
+    ASSERT_EQ(x_preds.size(), y_preds.size());
+    for (size_t i = 0; i < x_preds.size(); ++i) {
+      ASSERT_EQ(x_preds[i].mean.size(), y_preds[i].mean.size());
+      for (size_t j = 0; j < x_preds[i].mean.size(); ++j) {
+        // EXPECT_EQ (not NEAR): byte-identical is the contract.
+        EXPECT_EQ(x_preds[i].mean[j], y_preds[i].mean[j]);
+        EXPECT_EQ(x_preds[i].std[j], y_preds[i].std[j]);
+      }
+    }
+  };
+  expect_identical(a1, b1);
+  expect_identical(a1, c1);
+  expect_identical(a2, b2);
+  expect_identical(a2, c2);
+}
+
+TEST(McDropoutTest, SuccessiveCallsDrawFreshDropoutEnsembles) {
+  Rng rng(24);
+  auto model = DropoutModel(&rng);
+  McDropoutPredictor predictor(model.get(), 10);
+  Tensor x = Tensor::RandomNormal({6, 2}, &rng, 0.0, 2.0);
+  auto first = predictor.Predict(x);
+  auto second = predictor.Predict(x);
+  double diff = 0.0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    diff += std::fabs(first[i].mean[0] - second[i].mean[0]);
+  }
+  EXPECT_GT(diff, 0.0);  // Distinct per-call streams.
+}
+
+TEST(McDropoutTest, PredictDoesNotMutateTheWrappedModel) {
+  Rng rng(25);
+  auto model = DropoutModel(&rng);
+  Tensor x = Tensor::RandomNormal({5, 2}, &rng);
+  Tensor before = model->Forward(x, /*training=*/false);
+  McDropoutPredictor predictor(model.get(), 10);
+  predictor.Predict(x);
+  Tensor after = model->Forward(x, /*training=*/false);
+  EXPECT_DOUBLE_EQ(before.MaxAbsDiff(after), 0.0);
 }
 
 TEST(McDropoutDeathTest, TooFewSamplesAborts) {

@@ -1,0 +1,137 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tasfar {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&](size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](size_t) { ++calls; });  // begin > end.
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), 3, [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // Unsynchronized: valid only if run inline.
+  pool.ParallelFor(2, 6, 100, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 64, 0, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 64u * 63u / 2u);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolSpawnsNoWorkers) {
+  ThreadPool pool0(0);
+  ThreadPool pool1(1);
+  EXPECT_EQ(pool0.num_threads(), 1u);
+  EXPECT_EQ(pool1.num_threads(), 1u);
+  std::vector<int> order;
+  pool1.ParallelFor(0, 5, 1, [&](size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t i) {
+                         if (i == 37) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionOnInlinePathPropagatesToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(0, 4, 1,
+                                [&](size_t) {
+                                  throw std::runtime_error("inline boom");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(0, 8, 1,
+                                [&](size_t) {
+                                  throw std::runtime_error("first");
+                                }),
+               std::runtime_error);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineOnWorkers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(16 * 16);
+  // If the nested region re-entered the queue this could deadlock with all
+  // workers blocked waiting; the inline rule makes it finish.
+  pool.ParallelFor(0, 16, 1, [&](size_t i) {
+    pool.ParallelFor(0, 16, 1, [&](size_t j) { ++hits[i * 16 + j]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DisjointWritesAreDeterministicAcrossThreadCounts) {
+  auto run = [](size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(512);
+    pool.ParallelFor(0, out.size(), 1, [&](size_t i) {
+      double v = static_cast<double>(i) * 0.37;
+      for (int r = 0; r < 20; ++r) v = v * 1.000001 + 0.5;
+      out[i] = v;
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(GlobalPoolTest, SetNumThreadsControlsGetNumThreads) {
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3u);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1u);
+  SetNumThreads(0);  // Restore the default for other tests.
+  EXPECT_GE(GetNumThreads(), 1u);
+}
+
+TEST(GlobalPoolTest, GlobalParallelForSums) {
+  SetNumThreads(4);
+  std::vector<size_t> out(100);
+  ParallelFor(0, out.size(), 1, [&](size_t i) { out[i] = i * i; });
+  size_t total = std::accumulate(out.begin(), out.end(), size_t{0});
+  size_t expect = 0;
+  for (size_t i = 0; i < out.size(); ++i) expect += i * i;
+  EXPECT_EQ(total, expect);
+  SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace tasfar

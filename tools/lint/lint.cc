@@ -114,6 +114,36 @@ void CheckRngDiscipline(const std::string& path, const std::string& code,
   }
 }
 
+/// Raw threading primitives. All parallelism must flow through the
+/// ThreadPool / ParallelFor substrate so the determinism contract of
+/// docs/THREADING.md (same seed + any thread count ⇒ identical output)
+/// holds repo-wide; only the substrate itself may spawn threads.
+constexpr BannedToken kBannedThreadTokens[] = {
+    {"std::thread",
+     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
+    {"std::jthread",
+     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
+    {"std::async",
+     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
+};
+
+void CheckThreadDiscipline(const std::string& path, const std::string& code,
+                           std::vector<Finding>* findings) {
+  if (path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc") {
+    return;
+  }
+  for (const BannedToken& banned : kBannedThreadTokens) {
+    const std::string tok(banned.token);
+    for (size_t pos = code.find(tok); pos != std::string::npos;
+         pos = code.find(tok, pos + 1)) {
+      if (!TokenStartsAt(code, pos, tok)) continue;
+      findings->push_back({path, LineOfOffset(code, pos),
+                           "thread-discipline",
+                           tok + " is banned: " + banned.why});
+    }
+  }
+}
+
 void CheckNoIostream(const std::string& path, const std::string& code,
                      std::vector<Finding>* findings) {
   for (size_t pos = code.find("#include"); pos != std::string::npos;
@@ -271,6 +301,7 @@ std::vector<Finding> LintSource(const std::string& repo_rel_path,
   std::vector<Finding> findings;
   const std::string code = StripCommentsAndStrings(source);
   CheckRngDiscipline(repo_rel_path, code, &findings);
+  CheckThreadDiscipline(repo_rel_path, code, &findings);
   if (StartsWith(repo_rel_path, "src/")) {
     CheckNoIostream(repo_rel_path, code, &findings);
     CheckNoBareAssert(repo_rel_path, code, &findings);

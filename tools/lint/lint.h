@@ -36,8 +36,10 @@ std::string StripCommentsAndStrings(const std::string& source);
 std::string ExpectedHeaderGuard(const std::string& repo_rel_path);
 
 /// Runs every applicable rule over one file's contents. `repo_rel_path`
-/// selects the rule set: the iostream and assert bans apply only under src/,
-/// the RNG-discipline ban and header-guard check apply everywhere.
+/// selects the rule set: the iostream and assert bans apply only under src/;
+/// the RNG-discipline ban, the thread-discipline ban (raw std::thread /
+/// std::jthread / std::async anywhere but src/util/thread_pool.*), and the
+/// header-guard check apply everywhere.
 std::vector<Finding> LintSource(const std::string& repo_rel_path,
                                 const std::string& source);
 

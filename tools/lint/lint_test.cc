@@ -113,6 +113,60 @@ TEST(RngDisciplineTest, AppliesOutsideSrcToo) {
   EXPECT_EQ(LintSource("tools/gen.cc", "std::rand();\n").size(), 1u);
 }
 
+// --- thread-discipline ------------------------------------------------------
+
+TEST(ThreadDisciplineTest, FlagsRawStdThread) {
+  const auto findings =
+      LintSource("src/core/foo.cc", "std::thread t([]{});\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "thread-discipline");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(ThreadDisciplineTest, FlagsJthreadAndAsync) {
+  const auto findings = LintSource(
+      "bench/foo.cc", "std::jthread t([]{});\nauto f = std::async([]{});\n");
+  ASSERT_EQ(findings.size(), 2u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "thread-discipline");
+  }
+}
+
+TEST(ThreadDisciplineTest, AppliesOutsideSrcToo) {
+  EXPECT_EQ(LintSource("tests/foo_test.cc", "std::thread t;\n").size(), 1u);
+  EXPECT_EQ(LintSource("examples/demo.cpp", "std::thread t;\n").size(), 1u);
+}
+
+TEST(ThreadDisciplineTest, AllowsThreadPoolImplementation) {
+  EXPECT_TRUE(LintSource("src/util/thread_pool.cc",
+                         "workers_.emplace_back(std::thread([]{}));\n")
+                  .empty());
+  // The .h snippet still gets the header-guard rule; only the
+  // thread-discipline exemption is under test here.
+  for (const Finding& f :
+       LintSource("src/util/thread_pool.h",
+                  "std::vector<std::thread> workers_;\n")) {
+    EXPECT_NE(f.rule, "thread-discipline");
+  }
+}
+
+TEST(ThreadDisciplineTest, AllowsThisThreadAndThreadPool) {
+  // std::this_thread (sleep/yield) and our own ThreadPool are fine; so is
+  // the word "thread" in identifiers.
+  EXPECT_TRUE(LintSource("src/core/foo.cc",
+                         "std::this_thread::yield();\n"
+                         "ThreadPool pool(4);\n"
+                         "size_t num_threads = 2;\n")
+                  .empty());
+}
+
+TEST(ThreadDisciplineTest, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintSource("src/core/foo.cc",
+                         "// std::thread is banned here\n"
+                         "const char* s = \"std::thread\";\n")
+                  .empty());
+}
+
 // --- no-iostream ------------------------------------------------------------
 
 TEST(NoIostreamTest, FlagsIostreamInSrc) {

@@ -4,6 +4,9 @@
 //   rng-discipline    everything stochastic draws from an explicit
 //                     tasfar::Rng& (no std::rand / std::random_device /
 //                     std::mt19937 / wall-clock time() seeding), repo-wide
+//   thread-discipline all parallelism goes through util/thread_pool.h
+//                     (no raw std::thread / std::jthread / std::async
+//                     outside src/util/thread_pool.*), repo-wide
 //   no-iostream       src/ logs through util/logging.h, never <iostream>
 //   check-not-assert  src/ uses TASFAR_CHECK, never bare assert()
 //   header-guard      headers guard with TASFAR_<PATH>_H_
