@@ -14,14 +14,21 @@
 #include "core/calibration_io.h"
 #include "core/tasfar.h"
 #include "data/housing_sim.h"
+#include "eval/metrics.h"
 #include "nn/serialize.h"
 #include "nn/trainer.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace tasfar;  // Example code; library code never does this.
 
 int main() {
+  // Observability demo: metrics are always collected here; tracing follows
+  // TASFAR_TRACE (set it to a path, e.g. trace.json, then load the file in
+  // chrome://tracing or https://ui.perfetto.dev).
+  obs::SetMetricsEnabled(true);
   const std::string weights_path = "/tmp/tasfar_demo_weights.txt";
   const std::string calib_path = "/tmp/tasfar_demo_calib.txt";
   const std::string map_path = "/tmp/tasfar_demo_density_map.txt";
@@ -88,6 +95,12 @@ int main() {
     const double mse_after =
         loss::Mse(after, target.targets, nullptr, nullptr);
     std::printf("coastal MSE: %.4f -> %.4f\n", mse_before, mse_after);
+    obs::Registry::Get()
+        .GetGauge("tasfar.eval.mae_before")
+        ->Set(metrics::Mae(before, target.targets));
+    obs::Registry::Get()
+        .GetGauge("tasfar.eval.mae_after")
+        ->Set(metrics::Mae(after, target.targets));
 
     if (report.density_map.has_value()) {
       TASFAR_CHECK(SaveDensityMap(*report.density_map, map_path).ok());
@@ -99,6 +112,13 @@ int main() {
           map_path.c_str(), reloaded.value().NumCells(),
           reloaded.value().TotalMass());
     }
+  }
+  if (obs::WriteMetricsSnapshot("deployment")) {
+    std::printf("metrics snapshot: bench_out/metrics_deployment.json\n");
+  }
+  if (obs::FlushTraceToEnvPath()) {
+    std::printf("trace written to $TASFAR_TRACE — open it in "
+                "chrome://tracing or https://ui.perfetto.dev\n");
   }
   std::printf(
       "\nEverything the target needed fit in two small text files — no\n"

@@ -6,6 +6,8 @@
 #include "data/housing_sim.h"
 #include "data/taxi_sim.h"
 #include "eval/tabular_harness.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 using namespace tasfar;  // Example code; library code never does this.
 
@@ -27,11 +29,18 @@ void RunTask(const char* label, TabularHarnessConfig cfg, Dataset source,
   std::printf("(%zu of %zu target rows were uncertain)\n",
               report.num_uncertain,
               report.num_uncertain + report.num_confident);
+  // One snapshot per task; reset so each file reflects only its own run.
+  if (obs::WriteMetricsSnapshot(cfg.task_name)) {
+    std::printf("metrics snapshot: bench_out/metrics_%s.json\n",
+                cfg.task_name.c_str());
+  }
+  obs::Registry::Get().ResetAllForTest();
 }
 
 }  // namespace
 
 int main() {
+  obs::SetMetricsEnabled(true);
   {
     HousingSimConfig sim;
     sim.source_samples = 2500;
@@ -57,6 +66,9 @@ int main() {
     cfg.tasfar.grid_cell_size = 0.05;  // Standardized label units.
     RunTask("NYC taxi trip duration (Manhattan departures as target)", cfg,
             simulator.GenerateSource(), simulator.GenerateTarget());
+  }
+  if (obs::FlushTraceToEnvPath()) {
+    std::printf("trace written to $TASFAR_TRACE\n");
   }
   std::printf(
       "\nThe same Tasfar options adapt an MLP on both tasks — the label\n"

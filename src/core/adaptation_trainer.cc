@@ -5,6 +5,8 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tasfar {
 
@@ -21,6 +23,7 @@ AdaptationResult AdaptationTrainer::Run(
     const Tensor& confident_inputs, const Tensor& confident_preds,
     Rng* rng) const {
   TASFAR_CHECK(rng != nullptr);
+  TASFAR_TRACE_SPAN("fine_tune");
   const size_t n_u = uncertain_inputs.rank() == 0 ? 0 : uncertain_inputs.dim(0);
   TASFAR_CHECK(pseudo_labels.size() == n_u);
   const bool use_confident =
@@ -94,6 +97,21 @@ AdaptationResult AdaptationTrainer::Run(
                   });
   result.history =
       trainer.Fit(inputs, targets, config_.train, rng, &weights);
+  if (obs::MetricsEnabled() && !result.history.empty()) {
+    static obs::Gauge* const kEpochs =
+        obs::Registry::Get().GetGauge("tasfar.adaptation.epochs");
+    static obs::Gauge* const kFinalLoss =
+        obs::Registry::Get().GetGauge("tasfar.adaptation.final_loss");
+    static obs::Gauge* const kEarlyStop =
+        obs::Registry::Get().GetGauge("tasfar.adaptation.early_stop_epoch");
+    kEpochs->Set(static_cast<double>(result.history.size()));
+    kFinalLoss->Set(result.history.back().train_loss);
+    // 0 means the full budget ran; otherwise the 0-based epoch where early
+    // stopping triggered.
+    kEarlyStop->Set(result.history.size() < config_.train.epochs
+                        ? static_cast<double>(result.history.size())
+                        : 0.0);
+  }
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "core/confidence_classifier.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -26,6 +28,7 @@ ConfidenceSplit ConfidenceClassifier::Classify(
 
 ConfidenceSplit ConfidenceClassifier::ClassifyUncertainties(
     const std::vector<double>& uncertainties) const {
+  TASFAR_TRACE_SPAN("partition");
   ConfidenceSplit split;
   for (size_t i = 0; i < uncertainties.size(); ++i) {
     if (uncertainties[i] > tau_) {
@@ -33,6 +36,29 @@ ConfidenceSplit ConfidenceClassifier::ClassifyUncertainties(
     } else {
       split.confident.push_back(i);
     }
+  }
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const kConfident =
+        obs::Registry::Get().GetCounter("tasfar.partition.confident");
+    static obs::Counter* const kUncertain =
+        obs::Registry::Get().GetCounter("tasfar.partition.uncertain");
+    static obs::Gauge* const kRatio =
+        obs::Registry::Get().GetGauge("tasfar.partition.uncertain_ratio");
+    static obs::Histogram* const kUncertaintyHist =
+        obs::Registry::Get().GetHistogram(
+            "tasfar.partition.uncertainty",
+            obs::Histogram::ExponentialEdges(1e-4, 2.0, 24));
+    kConfident->Increment(split.confident.size());
+    kUncertain->Increment(split.uncertain.size());
+    // Degenerate splits (everything confident, everything uncertain, or an
+    // empty input) are legal — the ratio is defined as 0/0 -> 0 rather
+    // than dividing by a zero total.
+    const size_t total = uncertainties.size();
+    kRatio->Set(total == 0
+                    ? 0.0
+                    : static_cast<double>(split.uncertain.size()) /
+                          static_cast<double>(total));
+    for (double u : uncertainties) kUncertaintyHist->Observe(u);
   }
   return split;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tasfar {
@@ -23,20 +25,48 @@ double LabelDistributionEstimator::SigmaFor(const McPrediction& pred,
 DensityMap LabelDistributionEstimator::Estimate(
     const std::vector<McPrediction>& confident,
     std::vector<GridSpec> axes) const {
+  TASFAR_TRACE_SPAN("density_map");
   TASFAR_CHECK_MSG(!confident.empty(), "no confident data to estimate from");
   TASFAR_CHECK(axes.size() == qs_per_dim_.size());
   DensityMap map(std::move(axes));
   const size_t dims = qs_per_dim_.size();
   std::vector<double> mean(dims), sigma(dims);
+  double sigma_sum = 0.0;
   for (const McPrediction& pred : confident) {
     TASFAR_CHECK(pred.mean.size() == dims);
     for (size_t d = 0; d < dims; ++d) {
       mean[d] = pred.mean[d];
       sigma[d] = SigmaFor(pred, d);
+      sigma_sum += sigma[d];
     }
     map.Deposit(mean, sigma, error_model_);
   }
   map.Normalize(static_cast<double>(confident.size()));  // 1/|SET_C|.
+  if (obs::MetricsEnabled()) {
+    static obs::Gauge* const kMass =
+        obs::Registry::Get().GetGauge("tasfar.density_map.total_mass");
+    static obs::Gauge* const kCells =
+        obs::Registry::Get().GetGauge("tasfar.density_map.num_cells");
+    static obs::Gauge* const kOccupied = obs::Registry::Get().GetGauge(
+        "tasfar.density_map.occupied_fraction");
+    static obs::Gauge* const kBandwidth =
+        obs::Registry::Get().GetGauge("tasfar.density_map.mean_sigma");
+    static obs::Counter* const kDeposits =
+        obs::Registry::Get().GetCounter("tasfar.density_map.deposits");
+    kMass->Set(map.TotalMass());
+    kCells->Set(static_cast<double>(map.NumCells()));
+    size_t occupied = 0;
+    for (size_t i = 0; i < map.NumCells(); ++i) {
+      if (map.cell(i) > 0.0) ++occupied;
+    }
+    kOccupied->Set(map.NumCells() == 0
+                       ? 0.0
+                       : static_cast<double>(occupied) /
+                             static_cast<double>(map.NumCells()));
+    kBandwidth->Set(sigma_sum /
+                    static_cast<double>(confident.size() * dims));
+    kDeposits->Increment(confident.size());
+  }
   return map;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tasfar {
@@ -107,9 +109,36 @@ PseudoLabel PseudoLabelGenerator::Generate(const McPrediction& pred) const {
 
 std::vector<PseudoLabel> PseudoLabelGenerator::GenerateAll(
     const std::vector<McPrediction>& preds) const {
+  TASFAR_TRACE_SPAN("pseudo_label");
   std::vector<PseudoLabel> out;
   out.reserve(preds.size());
   for (const McPrediction& p : preds) out.push_back(Generate(p));
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const kGenerated =
+        obs::Registry::Get().GetCounter("tasfar.pseudo_label.generated");
+    static obs::Counter* const kFallbacks =
+        obs::Registry::Get().GetCounter("tasfar.pseudo_label.fallbacks");
+    static obs::Histogram* const kCredibility =
+        obs::Registry::Get().GetHistogram(
+            "tasfar.pseudo_label.credibility",
+            obs::Histogram::LinearEdges(0.0, 5.0, 50));
+    static obs::Histogram* const kShift = obs::Registry::Get().GetHistogram(
+        "tasfar.pseudo_label.posterior_shift",
+        obs::Histogram::ExponentialEdges(1e-4, 2.0, 24));
+    kGenerated->Increment(out.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i].fallback) kFallbacks->Increment();
+      kCredibility->Observe(out[i].credibility);
+      // How far the density-map posterior pulled the label away from the
+      // raw prediction (Eq. 15 vs the MC mean), as an L2 norm.
+      double shift_sq = 0.0;
+      for (size_t d = 0; d < out[i].value.size(); ++d) {
+        const double delta = out[i].value[d] - preds[i].mean[d];
+        shift_sq += delta * delta;
+      }
+      kShift->Observe(std::sqrt(shift_sq));
+    }
+  }
   return out;
 }
 

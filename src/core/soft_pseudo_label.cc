@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace tasfar {
+
+namespace {
+
+/// Shared with the regression generator's credibility histogram in
+/// spirit, but kept under its own name so classification and regression
+/// runs stay distinguishable in one snapshot.
+void RecordSoftLabel(const SoftPseudoLabeler::SoftLabel& label) {
+  if (!obs::MetricsEnabled()) return;
+  static obs::Counter* const kGenerated =
+      obs::Registry::Get().GetCounter("tasfar.soft_pseudo_label.generated");
+  static obs::Histogram* const kCredibility =
+      obs::Registry::Get().GetHistogram(
+          "tasfar.soft_pseudo_label.credibility",
+          obs::Histogram::LinearEdges(0.0, 5.0, 50));
+  kGenerated->Increment();
+  kCredibility->Observe(label.credibility);
+}
+
+}  // namespace
 
 SoftPseudoLabeler::SoftPseudoLabeler(std::vector<double> class_prior,
                                      double tau)
@@ -56,11 +77,13 @@ SoftPseudoLabeler::SoftLabel SoftPseudoLabeler::Generate(
     // regression generator's fallback behaviour).
     label.probabilities = predicted_probs;
     label.credibility = 0.0;
+    RecordSoftLabel(label);
     return label;
   }
   for (double& p : label.probabilities) p /= z;
   const double i_l = prior_mass / mean_prior_;
   label.credibility = i_l * std::max(uncertainty, 1e-12) / tau_;
+  RecordSoftLabel(label);
   return label;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tasfar {
@@ -27,6 +29,7 @@ SourceCalibration Tasfar::Calibrate(Sequential* source_model,
 SourceCalibration Tasfar::CalibrateFromPredictions(
     const std::vector<McPrediction>& preds,
     const Tensor& source_targets) const {
+  TASFAR_TRACE_SPAN("calibrate");
   TASFAR_CHECK(source_targets.rank() == 2);
   TASFAR_CHECK(preds.size() == source_targets.dim(0));
   const size_t dims = source_targets.dim(1);
@@ -71,6 +74,7 @@ TasfarReport Tasfar::AdaptWithPredictions(
   TASFAR_CHECK_MSG(!calibration.qs_per_dim.empty(),
                    "calibration must be computed first");
   TASFAR_CHECK(predictions.size() == target_inputs.dim(0));
+  TASFAR_TRACE_SPAN("adapt");
   TasfarReport report;
   report.tau = calibration.tau;
 
@@ -84,9 +88,15 @@ TasfarReport Tasfar::AdaptWithPredictions(
   report.num_uncertain = split.uncertain.size();
 
   if (split.confident.empty() || split.uncertain.empty()) {
+    // Degenerate ratio-0 / ratio-1 splits fall back to the source model;
+    // no downstream stage (density map, pseudo-labels, fine-tuning) runs,
+    // so they cannot divide by an empty set.
     TASFAR_LOG(kWarning)
         << "TASFAR skipped: confident=" << split.confident.size()
         << " uncertain=" << split.uncertain.size();
+    static obs::Counter* const kSkipped =
+        obs::Registry::Get().GetCounter("tasfar.adapt.skipped");
+    kSkipped->Increment();
     report.target_model = source_model->CloneSequential();
     report.skipped = true;
     return report;

@@ -6,6 +6,8 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tasfar {
@@ -125,12 +127,23 @@ CrowdEval CrowdHarness::Evaluate(Sequential* model,
   Tensor test_pred = ToCounts(BatchedForward(model, scene.test.inputs));
   eval.mae_test = metrics::Mae(test_pred, scene.test.targets);
   eval.mse_test = metrics::Rmse(test_pred, scene.test.targets);
+  if (obs::MetricsEnabled()) {
+    // Last-evaluated-model results; snapshots written right after an
+    // evaluation therefore carry that model's numbers.
+    static obs::Gauge* const kMae =
+        obs::Registry::Get().GetGauge("tasfar.eval.mae_test");
+    static obs::Gauge* const kRmse =
+        obs::Registry::Get().GetGauge("tasfar.eval.rmse_test");
+    kMae->Set(eval.mae_test);
+    kRmse->Set(eval.mse_test);
+  }
   return eval;
 }
 
 std::unique_ptr<Sequential> CrowdHarness::AdaptTasfar(
     const CrowdSceneData& scene, TasfarReport* report_out) const {
   TASFAR_CHECK(prepared_);
+  TASFAR_TRACE_SPAN("eval.crowd");
   Tasfar tasfar(config_.tasfar);
   Rng rng(config_.seed ^ (0xabc0ULL + static_cast<uint64_t>(
                                           scene.scene_id + 2)));

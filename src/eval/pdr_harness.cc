@@ -6,6 +6,8 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tasfar {
@@ -156,12 +158,21 @@ PdrSchemeEval PdrHarness::EvaluateTasfarWithOptions(
     const PdrUserCache& cache, const TasfarOptions& options,
     TasfarReport* report_out) const {
   TASFAR_CHECK(prepared_);
+  TASFAR_TRACE_SPAN("eval.pdr");
   Tasfar tasfar(options);
   Rng rng(config_.seed ^ (0x77fULL + static_cast<uint64_t>(
                                           cache.user.profile.id)));
   TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
                                      cache.adapt_pool.inputs, &rng);
   PdrSchemeEval eval = EvaluateModel(report.target_model.get(), cache);
+  if (obs::MetricsEnabled()) {
+    static obs::Gauge* const kSteBefore =
+        obs::Registry::Get().GetGauge("tasfar.eval.ste_test_before");
+    static obs::Gauge* const kSteAfter =
+        obs::Registry::Get().GetGauge("tasfar.eval.ste_test_after");
+    kSteBefore->Set(eval.ste_test_before);
+    kSteAfter->Set(eval.ste_test_after);
+  }
   if (report_out != nullptr) *report_out = std::move(report);
   return eval;
 }

@@ -6,6 +6,8 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tasfar {
@@ -120,11 +122,26 @@ TabularEval TabularHarness::EvaluateModel(Sequential* target_model) const {
 
 TabularEval TabularHarness::EvaluateTasfar(TasfarReport* report_out) const {
   TASFAR_CHECK(prepared_);
+  TASFAR_TRACE_SPAN("eval.tabular");
   Tasfar tasfar(config_.tasfar);
   Rng rng(config_.seed ^ 0x9d7ULL);
   TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
                                      target_adapt_.inputs, &rng);
   TabularEval eval = EvaluateModel(report.target_model.get());
+  if (obs::MetricsEnabled()) {
+    static obs::Gauge* const kTestBefore =
+        obs::Registry::Get().GetGauge("tasfar.eval.metric_test_before");
+    static obs::Gauge* const kTestAfter =
+        obs::Registry::Get().GetGauge("tasfar.eval.metric_test_after");
+    static obs::Gauge* const kAdaptBefore =
+        obs::Registry::Get().GetGauge("tasfar.eval.metric_adapt_before");
+    static obs::Gauge* const kAdaptAfter =
+        obs::Registry::Get().GetGauge("tasfar.eval.metric_adapt_after");
+    kTestBefore->Set(eval.metric_test_before);
+    kTestAfter->Set(eval.metric_test_after);
+    kAdaptBefore->Set(eval.metric_adapt_before);
+    kAdaptAfter->Set(eval.metric_adapt_after);
+  }
   if (report_out != nullptr) *report_out = std::move(report);
   return eval;
 }

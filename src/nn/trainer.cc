@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace tasfar {
@@ -60,6 +62,7 @@ std::vector<EpochStats> Trainer::Fit(
   }
   const size_t batch_size = std::min(config.batch_size, n);
   TASFAR_CHECK(batch_size > 0);
+  TASFAR_TRACE_SPAN("train.fit");
 
   std::vector<EpochStats> history;
   double prev_loss = std::numeric_limits<double>::infinity();
@@ -105,6 +108,14 @@ std::vector<EpochStats> Trainer::Fit(
 
     EpochStats st{epoch, epoch_loss};
     history.push_back(st);
+    if (obs::MetricsEnabled()) {
+      static obs::Gauge* const kEpochLoss =
+          obs::Registry::Get().GetGauge("tasfar.train.epoch_loss");
+      static obs::Counter* const kEpochs =
+          obs::Registry::Get().GetCounter("tasfar.train.epochs_total");
+      kEpochLoss->Set(epoch_loss);
+      kEpochs->Increment();
+    }
     if (on_epoch != nullptr) on_epoch(st);
     if (config.verbose) {
       TASFAR_LOG(kInfo) << "epoch " << epoch << " loss " << epoch_loss;

@@ -1,0 +1,25 @@
+#include "obs/clock.h"
+
+#include <atomic>
+#include <chrono>
+
+namespace tasfar::obs {
+
+uint64_t MonotonicMicros() {
+  // The epoch is captured on the first call (thread-safe static init), so
+  // timestamps start near zero and fit comfortably in a double for JSON.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+int CurrentThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace tasfar::obs

@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/clock.h"
+#include "util/check.h"
+
+namespace tasfar::obs {
+
+namespace {
+
+bool EnvTruthy(const char* var) {
+  const char* v = std::getenv(var);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// JSON-escapes the (controlled, ASCII) metric and task names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+namespace internal_obs {
+std::atomic<bool> g_metrics_enabled{EnvTruthy("TASFAR_METRICS")};
+}  // namespace internal_obs
+
+void SetMetricsEnabled(bool enabled) {
+  internal_obs::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> edges)
+    : name_(std::move(name)),
+      edges_(std::move(edges)),
+      buckets_(edges_.size() - 1) {
+  TASFAR_CHECK_MSG(edges_.size() >= 2, "histogram needs >= 2 bucket edges");
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    TASFAR_CHECK_MSG(edges_[i] > edges_[i - 1],
+                     "histogram edges must be strictly increasing");
+  }
+}
+
+std::vector<double> Histogram::LinearEdges(double lo, double hi, size_t n) {
+  TASFAR_CHECK(n >= 1 && hi > lo);
+  std::vector<double> edges(n + 1);
+  const double width = (hi - lo) / static_cast<double>(n);
+  for (size_t i = 0; i <= n; ++i) {
+    edges[i] = lo + static_cast<double>(i) * width;
+  }
+  edges[n] = hi;  // Exact upper edge regardless of rounding.
+  return edges;
+}
+
+std::vector<double> Histogram::ExponentialEdges(double start, double factor,
+                                                size_t n) {
+  TASFAR_CHECK(n >= 1 && start > 0.0 && factor > 1.0);
+  std::vector<double> edges(n + 1);
+  double e = start;
+  for (size_t i = 0; i <= n; ++i) {
+    edges[i] = e;
+    e *= factor;
+  }
+  return edges;
+}
+
+std::vector<double> Histogram::LatencyEdgesMs() {
+  return ExponentialEdges(1e-3, 2.0, 25);  // 1 µs .. ~33.6 s.
+}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  const size_t n = buckets_.size();
+  size_t idx;
+  if (v <= edges_.front()) {
+    idx = 0;
+  } else if (v >= edges_.back()) {
+    idx = n - 1;
+  } else {
+    // First edge strictly greater than v, minus one = containing bucket.
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), v);
+    idx = static_cast<size_t>(it - edges_.begin()) - 1;
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::Quantile(double p) const {
+  const std::vector<uint64_t> counts = bucket_counts();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (target <= next) {
+      const double frac =
+          std::clamp((target - cum) / static_cast<double>(counts[i]),
+                     0.0, 1.0);
+      return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+    }
+    cum = next;
+  }
+  // p == 1 lands past the last increment's bucket upper bound.
+  for (size_t i = counts.size(); i-- > 0;) {
+    if (counts[i] > 0) return edges_[i + 1];
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::Get() {
+  // Intentionally leaked: metric handles must stay valid while static
+  // destructors and atexit hooks (e.g. the trace flush) still run.
+  static Registry* const kRegistry = new Registry();
+  return *kRegistry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASFAR_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                       histograms_.find(name) == histograms_.end(),
+                   "metric name already used by another kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>(name)).first;
+  }
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASFAR_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                       histograms_.find(name) == histograms_.end(),
+                   "metric name already used by another kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>(name)).first;
+  }
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASFAR_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                       gauges_.find(name) == gauges_.end(),
+                   "metric name already used by another kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(name,
+                                                        std::move(edges)))
+             .first;
+  } else {
+    TASFAR_CHECK_MSG(it->second->edges() == edges,
+                     "histogram re-registered with different edges");
+  }
+  return it->second.get();
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << c->value();
+  }
+  out << "},\n\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\": " << JsonNumber(g->value());
+  }
+  out << "},\n\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n  \"" << JsonEscape(name) << "\": {\"count\": " << h->count()
+        << ", \"sum\": " << JsonNumber(h->sum());
+    if (h->count() > 0) {
+      out << ", \"p50\": " << JsonNumber(h->Quantile(0.5))
+          << ", \"p90\": " << JsonNumber(h->Quantile(0.9))
+          << ", \"p99\": " << JsonNumber(h->Quantile(0.99));
+    }
+    out << ", \"buckets\": [";
+    const std::vector<uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& edges = h->edges();
+    bool first_bucket = true;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // Sparse: most buckets are empty.
+      if (!first_bucket) out << ", ";
+      first_bucket = false;
+      out << "{\"lo\": " << JsonNumber(edges[i])
+          << ", \"hi\": " << JsonNumber(edges[i + 1])
+          << ", \"count\": " << counts[i] << "}";
+    }
+    out << "]}";
+  }
+  out << "\n}";
+  return out.str();
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+bool WriteMetricsSnapshot(const std::string& task,
+                          const std::string& out_dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) return false;
+  const std::filesystem::path path =
+      std::filesystem::path(out_dir) / ("metrics_" + task + ".json");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n\"task\": \"" << JsonEscape(task) << "\",\n\"uptime_us\": "
+      << MonotonicMicros() << ",\n"
+      << Registry::Get().ToJson() << "\n}\n";
+  return out.good();
+}
+
+}  // namespace tasfar::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/clock.h"
+
+namespace tasfar::obs {
+
+namespace {
+
+/// Mutex-guarded event buffer. Span ends are orders of magnitude rarer
+/// than counter increments (stages, not inner loops), so a mutex is fine
+/// here where it would not be in Counter::Increment. Leaked intentionally
+/// so the atexit flush and late spans on joining pool workers stay valid.
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  size_t capacity = 1u << 20;
+  uint64_t dropped = 0;
+  std::string env_path;  ///< Output path from TASFAR_TRACE ("" = unset).
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* const kBuffer = new TraceBuffer();
+  return *kBuffer;
+}
+
+void AppendEvent(const TraceEvent& ev) {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() >= buf.capacity) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(ev);
+}
+
+void AtExitFlush() { FlushTraceToEnvPath(); }
+
+thread_local int tls_span_depth = 0;
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+namespace internal_obs {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+void InitTraceStateOnce() {
+  static const bool kInitialized = [] {
+    const char* path = std::getenv("TASFAR_TRACE");
+    if (path != nullptr && path[0] != '\0') {
+      Buffer().env_path = path;
+      g_tracing_enabled.store(true, std::memory_order_relaxed);
+      std::atexit(AtExitFlush);
+    }
+    return true;
+  }();
+  (void)kInitialized;
+}
+
+}  // namespace internal_obs
+
+void SetTracingEnabled(bool enabled) {
+  internal_obs::InitTraceStateOnce();
+  internal_obs::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> SnapshotTraceEvents() {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  return buf.events;
+}
+
+void ClearTraceEvents() {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.clear();
+  buf.dropped = 0;
+}
+
+uint64_t DroppedTraceEvents() {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  return buf.dropped;
+}
+
+void SetTraceCapacityForTest(size_t capacity) {
+  TraceBuffer& buf = Buffer();
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.capacity = capacity;
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    if (i > 0) out << ",";
+    out << "\n{\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"pid\": 0"
+        << ", \"tid\": " << ev.tid << ", \"ts\": " << ev.start_us
+        << ", \"dur\": " << ev.dur_us << "}";
+  }
+  out << "\n]}\n";
+  return out.good();
+}
+
+bool WriteTraceJsonl(const std::string& path) {
+  const std::vector<TraceEvent> events = SnapshotTraceEvents();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  for (const TraceEvent& ev : events) {
+    out << "{\"name\": \"" << ev.name << "\", \"tid\": " << ev.tid
+        << ", \"depth\": " << ev.depth << ", \"start_us\": " << ev.start_us
+        << ", \"dur_us\": " << ev.dur_us << "}\n";
+  }
+  return out.good();
+}
+
+bool FlushTraceToEnvPath() {
+  internal_obs::InitTraceStateOnce();
+  std::string path;
+  {
+    TraceBuffer& buf = Buffer();
+    std::lock_guard<std::mutex> lock(buf.mu);
+    path = buf.env_path;
+  }
+  if (path.empty()) return false;
+  return EndsWith(path, ".jsonl") ? WriteTraceJsonl(path)
+                                  : WriteChromeTrace(path);
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* latency_ms)
+    : name_(name), latency_ms_(latency_ms) {
+  record_trace_ = TracingEnabled();
+  record_metrics_ = latency_ms_ != nullptr && MetricsEnabled();
+  if (!record_trace_ && !record_metrics_) return;
+  depth_ = tls_span_depth++;
+  start_us_ = MonotonicMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!record_trace_ && !record_metrics_) return;
+  const uint64_t dur = MonotonicMicros() - start_us_;
+  --tls_span_depth;
+  if (record_trace_) {
+    AppendEvent({name_, CurrentThreadId(), depth_, start_us_, dur});
+  }
+  if (record_metrics_) {
+    latency_ms_->Observe(static_cast<double>(dur) / 1000.0);
+  }
+}
+
+}  // namespace tasfar::obs

@@ -1,0 +1,119 @@
+#ifndef TASFAR_OBS_TRACE_H_
+#define TASFAR_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tasfar::obs {
+
+/// Scoped-timer tracing (docs/OBSERVABILITY.md).
+///
+/// `TASFAR_TRACE_SPAN("partition");` at the top of a scope records a
+/// complete event (name, thread id, nesting depth, start, duration) when
+/// tracing is enabled, and feeds the duration into the auto-registered
+/// `tasfar.span.<name>.ms` histogram when metrics are enabled. With both
+/// disabled the span costs two relaxed atomic loads and never reads the
+/// clock.
+///
+/// Enabling: set the TASFAR_TRACE environment variable to an output path
+/// — tracing starts at process start and the buffer is flushed to that
+/// path at exit (also on demand via FlushTraceToEnvPath). A `.jsonl`
+/// extension selects the flat JSONL event stream; anything else gets
+/// chrome://tracing / Perfetto JSON. Tests and tools can instead toggle
+/// SetTracingEnabled and write explicitly.
+
+namespace internal_obs {
+extern std::atomic<bool> g_tracing_enabled;
+/// Reads TASFAR_TRACE once and, if set, enables tracing and registers the
+/// atexit flush. Called from the TraceSpan constructor path and from
+/// TracingEnabled(); idempotent and thread-safe.
+void InitTraceStateOnce();
+}  // namespace internal_obs
+
+/// Whether spans record trace events.
+inline bool TracingEnabled() {
+  internal_obs::InitTraceStateOnce();
+  return internal_obs::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Programmatic override (tests, tools). Does not change the TASFAR_TRACE
+/// output path.
+void SetTracingEnabled(bool enabled);
+
+/// One completed span. `name` points at the literal passed to the span
+/// (static storage duration required).
+struct TraceEvent {
+  const char* name = nullptr;
+  int tid = 0;
+  int depth = 0;          ///< Nesting depth on its thread (0 = outermost).
+  uint64_t start_us = 0;  ///< MonotonicMicros at span entry.
+  uint64_t dur_us = 0;
+};
+
+/// Copy of the event buffer, in completion order.
+std::vector<TraceEvent> SnapshotTraceEvents();
+
+/// Drops all buffered events (keeps the enabled state).
+void ClearTraceEvents();
+
+/// Events discarded because the buffer hit its capacity.
+uint64_t DroppedTraceEvents();
+
+/// Shrinks/grows the buffer capacity (default 1M events). Test helper.
+void SetTraceCapacityForTest(size_t capacity);
+
+/// Writes the buffer as chrome://tracing "complete" events — load the
+/// file at chrome://tracing or https://ui.perfetto.dev. Returns false on
+/// I/O failure.
+bool WriteChromeTrace(const std::string& path);
+
+/// Writes the buffer as one JSON object per line (machine-friendly flat
+/// stream with the TraceEvent fields).
+bool WriteTraceJsonl(const std::string& path);
+
+/// Writes the buffer to the TASFAR_TRACE path (format by extension).
+/// Returns false when the variable is unset or the write failed.
+bool FlushTraceToEnvPath();
+
+/// RAII scoped timer; use via TASFAR_TRACE_SPAN below. `name` must have
+/// static storage duration (pass a string literal). `latency_ms` is an
+/// optional histogram that receives the duration in milliseconds.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* latency_ms = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  Histogram* latency_ms_;
+  uint64_t start_us_ = 0;
+  int depth_ = 0;
+  bool record_trace_ = false;
+  bool record_metrics_ = false;
+};
+
+#define TASFAR_OBS_CONCAT_INNER(a, b) a##b
+#define TASFAR_OBS_CONCAT(a, b) TASFAR_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as span `name` (a string literal). The
+/// latency histogram handle is resolved once per call site.
+#define TASFAR_TRACE_SPAN(name)                                           \
+  static ::tasfar::obs::Histogram* const TASFAR_OBS_CONCAT(               \
+      tasfar_span_hist_, __LINE__) =                                      \
+      ::tasfar::obs::Registry::Get().GetHistogram(                        \
+          std::string("tasfar.span.") + (name) + ".ms",                   \
+          ::tasfar::obs::Histogram::LatencyEdgesMs());                    \
+  ::tasfar::obs::TraceSpan TASFAR_OBS_CONCAT(tasfar_span_, __LINE__)(     \
+      (name), TASFAR_OBS_CONCAT(tasfar_span_hist_, __LINE__))
+
+}  // namespace tasfar::obs
+
+#endif  // TASFAR_OBS_TRACE_H_

@@ -4,6 +4,9 @@
 #include <memory>
 
 #include "nn/trainer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -31,6 +34,14 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
   const size_t n = inputs.dim(0);
   std::vector<McPrediction> out(n);
   if (n == 0) return out;
+  TASFAR_TRACE_SPAN("mc_dropout.predict");
+  const bool metrics = obs::MetricsEnabled();
+  static obs::Histogram* const kPassMs = obs::Registry::Get().GetHistogram(
+      "tasfar.mc_dropout.pass_ms", obs::Histogram::LatencyEdgesMs());
+  static obs::Counter* const kPredictions =
+      obs::Registry::Get().GetCounter("tasfar.mc_dropout.predictions");
+  static obs::Counter* const kPasses =
+      obs::Registry::Get().GetCounter("tasfar.mc_dropout.passes");
 
   // One stochastic pass per task, each on a private model replica whose
   // dropout streams are pinned to (root seed, call index, pass index).
@@ -41,11 +52,20 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
       MixSeed(seed_, next_call_.fetch_add(1, std::memory_order_relaxed));
   std::vector<Tensor> passes(num_samples_);
   ParallelFor(0, num_samples_, /*grain=*/1, [&](size_t s) {
+    const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
     std::unique_ptr<Sequential> replica = model_->CloneSequential();
     replica->ReseedStochastic(MixSeed(call_seed, s));
     passes[s] = BatchedForward(replica.get(), inputs, /*training=*/true,
                                batch_size_);
+    if (metrics) {
+      kPassMs->Observe(
+          static_cast<double>(obs::MonotonicMicros() - t0) / 1000.0);
+    }
   });
+  if (metrics) {
+    kPredictions->Increment(n);
+    kPasses->Increment(num_samples_);
+  }
 
   // Accumulate sum and sum-of-squares across stochastic passes.
   const size_t out_dim = passes[0].dim(1);

@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "obs/clock.h"
 
 namespace tasfar {
 
 namespace {
-LogLevel g_log_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,25 +24,69 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("TASFAR_LOG_LEVEL");
+  if (env != nullptr) {
+    const std::optional<LogLevel> parsed =
+        internal_logging::ParseLogLevel(env);
+    if (parsed.has_value()) return *parsed;
+  }
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_log_level{InitialLogLevel()};
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level = level; }
-LogLevel GetLogLevel() { return g_log_level; }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
+std::optional<LogLevel> ParseLogLevel(const std::string& value) {
+  std::string lower;
+  lower.reserve(value.size());
+  for (char c : value) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  return std::nullopt;
+}
+
+std::string FormatPrefix(LogLevel level, const char* file, int line) {
   // Strip directories from the file path for terse output.
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+  const uint64_t us = obs::MonotonicMicros();
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%llu.%06llu t%d %s %s:%d] ",
+                static_cast<unsigned long long>(us / 1000000),
+                static_cast<unsigned long long>(us % 1000000),
+                obs::CurrentThreadId(), LevelName(level), base, line);
+  return buf;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << FormatPrefix(level, file, line);
 }
 
 LogMessage::~LogMessage() {
-  if (level_ < g_log_level) return;
+  if (level_ < GetLogLevel()) return;
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

@@ -1,6 +1,7 @@
 #ifndef TASFAR_UTIL_LOGGING_H_
 #define TASFAR_UTIL_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -9,14 +10,27 @@ namespace tasfar {
 /// Log severity levels, in increasing order.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum severity; messages below it are dropped.
-/// Defaults to kInfo. Not thread-safe to mutate concurrently with logging.
+/// Process-wide minimum severity; messages below it are dropped. Stored
+/// in an atomic, so mutation is safe concurrently with logging from any
+/// thread (including ParallelFor workers). Defaults to kInfo, or to the
+/// TASFAR_LOG_LEVEL environment variable when set (accepted values:
+/// debug/info/warning|warn/error, case-insensitive, or the digits 0-3).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
 namespace internal_logging {
 
-/// Stream-style log line; emits to stderr on destruction.
+/// Parses a TASFAR_LOG_LEVEL value; nullopt on anything unrecognized.
+std::optional<LogLevel> ParseLogLevel(const std::string& value);
+
+/// The line prefix "[<seconds-since-start> t<tid> LEVEL file:line] " —
+/// monotonic timestamp and small dense thread id from src/obs, so
+/// interleaved multi-thread logs stay attributable and ordered.
+std::string FormatPrefix(LogLevel level, const char* file, int line);
+
+/// Stream-style log line; emits to stderr on destruction. The final
+/// write is a single fprintf, so concurrent log lines interleave per
+/// line, never mid-line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

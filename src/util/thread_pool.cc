@@ -5,6 +5,8 @@
 #include <exception>
 #include <memory>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace tasfar {
@@ -14,6 +16,39 @@ namespace {
 /// Set (permanently) on every pool worker thread; ParallelFor consults it
 /// to run nested parallel regions inline instead of re-entering the queue.
 thread_local bool tls_is_pool_worker = false;
+
+/// Pool health metrics. Handles are resolved lazily (thread-safe static
+/// locals) so a pool constructed before main() does not race registry
+/// setup; all updates are gated on the enabled flag.
+obs::Gauge* QueueDepthGauge() {
+  static obs::Gauge* const kGauge =
+      obs::Registry::Get().GetGauge("tasfar.thread_pool.queue_depth");
+  return kGauge;
+}
+
+obs::Counter* RegionsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.thread_pool.regions");
+  return kCounter;
+}
+
+obs::Counter* InlineRegionsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.thread_pool.inline_regions");
+  return kCounter;
+}
+
+obs::Counter* ChunksCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.thread_pool.chunks");
+  return kCounter;
+}
+
+obs::Counter* BusyMicrosCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.thread_pool.busy_us");
+  return kCounter;
+}
 
 }  // namespace
 
@@ -58,9 +93,11 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // a range that fits in one chunk. All three execute iterations in
   // ascending order, like every chunk below, so the result is the same.
   if (workers_.empty() || tls_is_pool_worker || range <= grain) {
+    if (obs::MetricsEnabled()) InlineRegionsCounter()->Increment();
     for (size_t i = begin; i < end; ++i) fn(i);
     return;
   }
+  const bool metrics = obs::MetricsEnabled();
   // ~4 chunks per worker balances uneven iteration costs without a
   // stealing scheduler; `grain` keeps chunks from getting too fine.
   const size_t target_chunks = workers_.size() * 4;
@@ -86,7 +123,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t lo = begin + c * chunk;
       const size_t hi = std::min(lo + chunk, end);
-      queue_.emplace_back([region, lo, hi, &fn] {
+      queue_.emplace_back([region, lo, hi, &fn, metrics] {
+        const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
         try {
           for (size_t i = lo; i < hi; ++i) fn(i);
         } catch (...) {
@@ -95,9 +133,17 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
             region->first_error = std::current_exception();
           }
         }
+        if (metrics) {
+          BusyMicrosCounter()->Increment(obs::MonotonicMicros() - t0);
+        }
         std::lock_guard<std::mutex> rlock(region->mu);
         if (--region->pending == 0) region->done_cv.notify_all();
       });
+    }
+    if (metrics) {
+      RegionsCounter()->Increment();
+      ChunksCounter()->Increment(num_chunks);
+      QueueDepthGauge()->Set(static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_all();

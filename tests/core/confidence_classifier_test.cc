@@ -1,7 +1,10 @@
 #include "core/confidence_classifier.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -94,6 +97,29 @@ TEST(ConfidenceClassifierTest, EmptyInputGivesEmptySplit) {
   ConfidenceSplit split = classifier.ClassifyUncertainties({});
   EXPECT_TRUE(split.confident.empty());
   EXPECT_TRUE(split.uncertain.empty());
+}
+
+TEST(ConfidenceClassifierTest, DegenerateSplitsKeepRatioGaugeFinite) {
+  // Regression: ratio-0 (all confident), ratio-1 (all uncertain), and
+  // empty inputs must not divide by zero in the uncertain-ratio gauge.
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::Gauge* ratio =
+      obs::Registry::Get().GetGauge("tasfar.partition.uncertain_ratio");
+
+  ConfidenceClassifier classifier(1.0);
+  classifier.ClassifyUncertainties({});  // Empty: 0/0 defined as 0.
+  EXPECT_TRUE(std::isfinite(ratio->value()));
+  EXPECT_DOUBLE_EQ(ratio->value(), 0.0);
+
+  classifier.ClassifyUncertainties({0.1, 0.2, 0.3});  // All confident.
+  EXPECT_DOUBLE_EQ(ratio->value(), 0.0);
+
+  classifier.ClassifyUncertainties({2.0, 3.0, 4.0});  // All uncertain.
+  EXPECT_DOUBLE_EQ(ratio->value(), 1.0);
+
+  obs::Registry::Get().ResetAllForTest();
+  obs::SetMetricsEnabled(was_enabled);
 }
 
 TEST(ConfidenceClassifierDeathTest, BadEtaAborts) {

@@ -1,6 +1,10 @@
 #include "core/tasfar.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -153,6 +157,40 @@ TEST_F(TasfarPipelineTest, SkipsWhenNothingConfident) {
   Rng rng(29);
   TasfarReport report = tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
   EXPECT_TRUE(report.skipped);
+}
+
+TEST_F(TasfarPipelineTest, DegenerateSplitMetricsStayFiniteAndCountSkips) {
+  // Regression: with metrics on, ratio-0 and ratio-1 splits must keep the
+  // uncertain-ratio gauge finite and be counted as skipped adaptations
+  // rather than reaching a downstream divide-by-empty-set.
+  const bool was_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  obs::Registry::Get().ResetAllForTest();
+  obs::Gauge* ratio =
+      obs::Registry::Get().GetGauge("tasfar.partition.uncertain_ratio");
+  obs::Counter* skipped =
+      obs::Registry::Get().GetCounter("tasfar.adapt.skipped");
+
+  Tasfar tasfar(options_);
+  SourceCalibration calib = tasfar.Calibrate(model_.get(), src_x_, src_y_);
+  calib.tau = 1e9;  // Ratio 0: everything confident.
+  Rng rng(41);
+  TasfarReport all_confident =
+      tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  EXPECT_TRUE(all_confident.skipped);
+  EXPECT_TRUE(std::isfinite(ratio->value()));
+  EXPECT_DOUBLE_EQ(ratio->value(), 0.0);
+  EXPECT_EQ(skipped->value(), 1u);
+
+  calib.tau = 1e-12;  // Ratio 1: everything uncertain.
+  TasfarReport all_uncertain =
+      tasfar.Adapt(model_.get(), calib, tgt_x_, &rng);
+  EXPECT_TRUE(all_uncertain.skipped);
+  EXPECT_DOUBLE_EQ(ratio->value(), 1.0);
+  EXPECT_EQ(skipped->value(), 2u);
+
+  obs::Registry::Get().ResetAllForTest();
+  obs::SetMetricsEnabled(was_enabled);
 }
 
 TEST_F(TasfarPipelineTest, DeterministicGivenSeeds) {

@@ -1,0 +1,196 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace tasfar::obs {
+namespace {
+
+/// Enables metrics for one test and restores the previous state (plus a
+/// registry reset) afterwards, so tests cannot leak values into each other.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = MetricsEnabled();
+    SetMetricsEnabled(true);
+    Registry::Get().ResetAllForTest();
+  }
+  void TearDown() override {
+    Registry::Get().ResetAllForTest();
+    SetMetricsEnabled(was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(MetricsTest, CounterIncrements) {
+  Counter* c = Registry::Get().GetCounter("test.counter.basic");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+}
+
+TEST_F(MetricsTest, GaugeKeepsLastValue) {
+  Gauge* g = Registry::Get().GetGauge("test.gauge.basic");
+  g->Set(1.5);
+  g->Set(-2.25);
+  EXPECT_DOUBLE_EQ(g->value(), -2.25);
+}
+
+TEST_F(MetricsTest, RegistryReturnsSameHandleForSameName) {
+  Counter* a = Registry::Get().GetCounter("test.counter.identity");
+  Counter* b = Registry::Get().GetCounter("test.counter.identity");
+  EXPECT_EQ(a, b);
+  Histogram* ha = Registry::Get().GetHistogram(
+      "test.hist.identity", Histogram::LinearEdges(0.0, 1.0, 4));
+  Histogram* hb = Registry::Get().GetHistogram(
+      "test.hist.identity", Histogram::LinearEdges(0.0, 1.0, 4));
+  EXPECT_EQ(ha, hb);
+}
+
+TEST_F(MetricsTest, DisabledMutationsAreNoOps) {
+  Counter* c = Registry::Get().GetCounter("test.counter.disabled");
+  Gauge* g = Registry::Get().GetGauge("test.gauge.disabled");
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.hist.disabled", Histogram::LinearEdges(0.0, 1.0, 4));
+  SetMetricsEnabled(false);
+  c->Increment(7);
+  g->Set(3.0);
+  h->Observe(0.5);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  EXPECT_EQ(h->count(), 0u);
+}
+
+TEST_F(MetricsTest, HistogramCountsAndClampsOutliers) {
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.hist.clamp", Histogram::LinearEdges(0.0, 10.0, 10));
+  h->Observe(-5.0);   // Below the range: boundary bucket.
+  h->Observe(0.5);
+  h->Observe(9.5);
+  h->Observe(100.0);  // Above the range: boundary bucket.
+  EXPECT_EQ(h->count(), 4u);
+  std::vector<uint64_t> buckets = h->bucket_counts();
+  ASSERT_EQ(buckets.size(), 10u);
+  EXPECT_EQ(buckets.front(), 2u);
+  EXPECT_EQ(buckets.back(), 2u);
+}
+
+TEST_F(MetricsTest, HistogramEdgeBuilders) {
+  std::vector<double> lin = Histogram::LinearEdges(0.0, 1.0, 4);
+  ASSERT_EQ(lin.size(), 5u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.0);
+  EXPECT_DOUBLE_EQ(lin[4], 1.0);
+  std::vector<double> expo = Histogram::ExponentialEdges(1.0, 2.0, 3);
+  ASSERT_EQ(expo.size(), 4u);
+  EXPECT_DOUBLE_EQ(expo[3], 8.0);
+  for (const std::vector<double>& edges :
+       {lin, expo, Histogram::LatencyEdgesMs()}) {
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  }
+}
+
+TEST_F(MetricsTest, QuantileIsNanWhenEmpty) {
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.hist.empty", Histogram::LinearEdges(0.0, 1.0, 4));
+  EXPECT_TRUE(std::isnan(h->Quantile(0.5)));
+}
+
+TEST_F(MetricsTest, QuantileMatchesExactSortWithinBucketWidth) {
+  // ISSUE acceptance: histogram quantile estimates vs an exact sort on
+  // random data must agree to within the bucket width.
+  const double lo = 0.0, hi = 100.0;
+  const size_t num_buckets = 200;
+  const double bucket_width = (hi - lo) / static_cast<double>(num_buckets);
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.hist.quantile", Histogram::LinearEdges(lo, hi, num_buckets));
+  Rng rng(1234);
+  std::vector<double> values;
+  values.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) {
+    // Mix of uniform and clustered mass to exercise uneven buckets.
+    const double v = i % 3 == 0 ? rng.Uniform(0.0, 100.0)
+                                : rng.Normal(40.0, 10.0);
+    const double clamped = std::clamp(v, lo, hi);
+    values.push_back(clamped);
+    h->Observe(clamped);
+  }
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = stats::Quantile(values, p);
+    const double est = h->Quantile(p);
+    EXPECT_NEAR(est, exact, bucket_width)
+        << "p=" << p << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST_F(MetricsTest, ConcurrentHammeringFromParallelForIsExact) {
+  // ISSUE acceptance: concurrent counter/histogram updates from the PR-2
+  // pool at 8 threads must lose nothing (runs under TSan in CI).
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(8);
+  Counter* c = Registry::Get().GetCounter("test.counter.hammer");
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.hist.hammer", Histogram::LinearEdges(0.0, 1.0, 16));
+  const size_t n = 100000;
+  ParallelFor(0, n, /*grain=*/64, [&](size_t i) {
+    c->Increment();
+    h->Observe(static_cast<double>(i % 16) / 16.0 + 1e-3);
+  });
+  EXPECT_EQ(c->value(), n);
+  EXPECT_EQ(h->count(), n);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : h->bucket_counts()) bucket_total += b;
+  EXPECT_EQ(bucket_total, n);
+  SetNumThreads(prev_threads);
+}
+
+TEST_F(MetricsTest, ToJsonContainsRegisteredMetrics) {
+  Registry::Get().GetCounter("test.json.counter")->Increment(3);
+  Registry::Get().GetGauge("test.json.gauge")->Set(2.5);
+  Histogram* h = Registry::Get().GetHistogram(
+      "test.json.hist", Histogram::LinearEdges(0.0, 1.0, 4));
+  h->Observe(0.4);
+  const std::string json = Registry::Get().ToJson();
+  EXPECT_NE(json.find("\"test.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(MetricsTest, WriteMetricsSnapshotProducesTaskFile) {
+  Registry::Get().GetCounter("test.snapshot.counter")->Increment();
+  const std::string dir = ::testing::TempDir() + "/tasfar_obs_metrics";
+  ASSERT_TRUE(WriteMetricsSnapshot("unit", dir));
+  std::ifstream in(dir + "/metrics_unit.json");
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  EXPECT_NE(content.find("\"task\": \"unit\""), std::string::npos);
+  EXPECT_NE(content.find("test.snapshot.counter"), std::string::npos);
+  std::remove((dir + "/metrics_unit.json").c_str());
+}
+
+TEST_F(MetricsTest, ResetClearsValuesButKeepsRegistration) {
+  Counter* c = Registry::Get().GetCounter("test.reset.counter");
+  c->Increment(9);
+  Registry::Get().ResetAllForTest();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(Registry::Get().GetCounter("test.reset.counter"), c);
+}
+
+}  // namespace
+}  // namespace tasfar::obs

@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "util/thread_pool.h"
+
+namespace tasfar::obs {
+namespace {
+
+/// Enables tracing with a clean buffer per test and restores the previous
+/// state afterwards.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = TracingEnabled();
+    SetTracingEnabled(true);
+    ClearTraceEvents();
+  }
+  void TearDown() override {
+    ClearTraceEvents();
+    SetTraceCapacityForTest(1 << 20);
+    SetTracingEnabled(was_enabled_);
+  }
+
+  static std::string ReadFile(const std::string& path) {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(TraceTest, SpanRecordsOneEvent) {
+  { TASFAR_TRACE_SPAN("unit_single"); }
+  std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "unit_single");
+  EXPECT_EQ(events[0].depth, 0);
+  EXPECT_EQ(events[0].tid, CurrentThreadId());
+}
+
+TEST_F(TraceTest, NestedSpansFormWellFormedPairs) {
+  // ISSUE acceptance: span nesting produces well-formed begin/end pairs —
+  // children complete before parents, sit at depth + 1 on the same
+  // thread, and their intervals are contained in the parent's.
+  {
+    TASFAR_TRACE_SPAN("outer");
+    {
+      TASFAR_TRACE_SPAN("middle");
+      { TASFAR_TRACE_SPAN("inner"); }
+    }
+  }
+  std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: innermost first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_STREQ(events[1].name, "middle");
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].depth, 0);
+  for (size_t child = 0; child + 1 < events.size(); ++child) {
+    const TraceEvent& c = events[child];
+    const TraceEvent& p = events[child + 1];
+    EXPECT_EQ(c.tid, p.tid);
+    EXPECT_GE(c.start_us, p.start_us);
+    EXPECT_LE(c.start_us + c.dur_us, p.start_us + p.dur_us);
+  }
+}
+
+TEST_F(TraceTest, SpansOnPoolWorkersCarryTheirOwnThreadIds) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(4);
+  ParallelFor(0, 64, /*grain=*/1,
+              [](size_t) { TASFAR_TRACE_SPAN("pool_span"); });
+  SetNumThreads(prev_threads);
+  std::vector<TraceEvent> events = SnapshotTraceEvents();
+  ASSERT_EQ(events.size(), 64u);
+  std::map<int, int> per_tid;
+  for (const TraceEvent& e : events) {
+    EXPECT_STREQ(e.name, "pool_span");
+    ++per_tid[e.tid];
+  }
+  EXPECT_GE(per_tid.size(), 1u);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  SetTracingEnabled(false);
+  { TASFAR_TRACE_SPAN("invisible"); }
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+  SetTracingEnabled(true);
+}
+
+TEST_F(TraceTest, CapacityLimitsBufferAndCountsDrops) {
+  SetTraceCapacityForTest(2);
+  { TASFAR_TRACE_SPAN("a"); }
+  { TASFAR_TRACE_SPAN("b"); }
+  { TASFAR_TRACE_SPAN("c"); }
+  EXPECT_EQ(SnapshotTraceEvents().size(), 2u);
+  EXPECT_GE(DroppedTraceEvents(), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceIsWellFormedJson) {
+  {
+    TASFAR_TRACE_SPAN("chrome_outer");
+    { TASFAR_TRACE_SPAN("chrome_inner"); }
+  }
+  const std::string path = ::testing::TempDir() + "/tasfar_trace.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  const std::string content = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\": \"chrome_inner\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\": \"chrome_outer\""), std::string::npos);
+  // Braces and brackets must balance for chrome://tracing to load it.
+  long braces = 0, brackets = 0;
+  for (char ch : content) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, JsonlHasOneObjectPerEvent) {
+  { TASFAR_TRACE_SPAN("line_one"); }
+  { TASFAR_TRACE_SPAN("line_two"); }
+  const std::string path = ::testing::TempDir() + "/tasfar_trace.jsonl";
+  ASSERT_TRUE(WriteTraceJsonl(path));
+  const std::string content = ReadFile(path);
+  std::remove(path.c_str());
+  std::istringstream lines(content);
+  std::string line;
+  size_t count = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents) {
+  { TASFAR_TRACE_SPAN("cleared"); }
+  ASSERT_FALSE(SnapshotTraceEvents().empty());
+  ClearTraceEvents();
+  EXPECT_TRUE(SnapshotTraceEvents().empty());
+}
+
+}  // namespace
+}  // namespace tasfar::obs

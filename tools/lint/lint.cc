@@ -144,6 +144,38 @@ void CheckThreadDiscipline(const std::string& path, const std::string& code,
   }
 }
 
+/// Ad-hoc timing. All clock reads in library code must go through
+/// src/obs/ (obs::MonotonicMicros / TASFAR_TRACE_SPAN / the metrics
+/// registry) so stage timings land in one observable place instead of
+/// scattered std::chrono stopwatches; only src/obs/ itself may touch the
+/// clock.
+void CheckTimingDiscipline(const std::string& path, const std::string& code,
+                           std::vector<Finding>* findings) {
+  if (path.compare(0, 8, "src/obs/") == 0) return;
+  const std::string tok = "chrono";
+  for (size_t pos = code.find(tok); pos != std::string::npos;
+       pos = code.find(tok, pos + 1)) {
+    if (!TokenStartsAt(code, pos, tok)) continue;
+    // `<chrono>` is reported (once) by the include check below.
+    if (pos > 0 && code[pos - 1] == '<') continue;
+    findings->push_back(
+        {path, LineOfOffset(code, pos), "timing-discipline",
+         "std::chrono is banned in src/ outside src/obs/: time through "
+         "obs::MonotonicMicros / TASFAR_TRACE_SPAN instead"});
+  }
+  for (size_t pos = code.find("#include"); pos != std::string::npos;
+       pos = code.find("#include", pos + 1)) {
+    size_t lt = code.find_first_not_of(" \t", pos + 8);
+    if (lt == std::string::npos) continue;
+    if (code.compare(lt, 8, "<chrono>") == 0) {
+      findings->push_back(
+          {path, LineOfOffset(code, pos), "timing-discipline",
+           "<chrono> is banned in src/ outside src/obs/: time through "
+           "obs::MonotonicMicros / TASFAR_TRACE_SPAN instead"});
+    }
+  }
+}
+
 void CheckNoIostream(const std::string& path, const std::string& code,
                      std::vector<Finding>* findings) {
   for (size_t pos = code.find("#include"); pos != std::string::npos;
@@ -305,6 +337,7 @@ std::vector<Finding> LintSource(const std::string& repo_rel_path,
   if (StartsWith(repo_rel_path, "src/")) {
     CheckNoIostream(repo_rel_path, code, &findings);
     CheckNoBareAssert(repo_rel_path, code, &findings);
+    CheckTimingDiscipline(repo_rel_path, code, &findings);
   }
   const bool is_header = repo_rel_path.size() >= 2 &&
                          repo_rel_path.compare(repo_rel_path.size() - 2, 2,

@@ -210,6 +210,53 @@ TEST(CheckNotAssertTest, AllowsAssertOutsideSrc) {
   EXPECT_TRUE(LintSource("tests/foo_test.cc", "assert(true);\n").empty());
 }
 
+// --- timing-discipline ------------------------------------------------------
+
+TEST(TimingDisciplineTest, FlagsStdChronoInSrc) {
+  const auto findings = LintSource(
+      "src/core/foo.cc",
+      "auto t0 = std::chrono::steady_clock::now();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "timing-discipline");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(TimingDisciplineTest, FlagsChronoIncludeOnce) {
+  const auto findings =
+      LintSource("src/util/foo.cc", "#include <chrono>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "timing-discipline");
+}
+
+TEST(TimingDisciplineTest, AllowsChronoInObs) {
+  EXPECT_TRUE(LintSource("src/obs/clock.cc",
+                         "#include <chrono>\n"
+                         "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(TimingDisciplineTest, AllowsChronoOutsideSrc) {
+  EXPECT_TRUE(LintSource("bench/foo.cc",
+                         "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintSource("tests/foo_test.cc", "#include <chrono>\n").empty());
+}
+
+TEST(TimingDisciplineTest, NoFalsePositiveOnIdentifiers) {
+  EXPECT_TRUE(LintSource("src/core/foo.cc",
+                         "int chronology = 1;\n"
+                         "double my_chrono_like = 2.0;\n")
+                  .empty());
+}
+
+TEST(TimingDisciplineTest, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintSource("src/core/foo.cc",
+                         "// std::chrono would be banned here\n"
+                         "const char* s = \"std::chrono\";\n")
+                  .empty());
+}
+
 // --- header-guard -----------------------------------------------------------
 
 TEST(HeaderGuardTest, ExpectedGuardDropsSrcPrefix) {
