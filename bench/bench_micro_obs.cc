@@ -7,6 +7,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/check.h"
+#include "util/failpoint.h"
 
 namespace tasfar {
 namespace {
@@ -105,6 +107,34 @@ void BM_MetricsOverhead_SpanTraced(benchmark::State& state) {
   obs::ClearTraceEvents();
 }
 BENCHMARK(BM_MetricsOverhead_SpanTraced);
+
+// Acceptance bar (ISSUE 4): with no failpoint spec active, the macro is
+// one relaxed atomic load — within noise of the disabled metrics gate
+// above, so failpoints stay compiled into release binaries.
+void BM_FailpointOverhead_Disabled(benchmark::State& state) {
+  failpoint::Disable();
+  bool fired = false;
+  for (auto _ : state) {
+    fired |= TASFAR_FAILPOINT("bench.failpoint.disabled");
+    benchmark::DoNotOptimize(fired);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FailpointOverhead_Disabled);
+
+// With a spec active on a *different* site, every hit registers + takes
+// the rule-lookup mutex: the chaos-mode cost.
+void BM_FailpointOverhead_ActiveOtherSite(benchmark::State& state) {
+  TASFAR_CHECK(failpoint::Configure("bench.failpoint.other:p=1").ok());
+  bool fired = false;
+  for (auto _ : state) {
+    fired |= TASFAR_FAILPOINT("bench.failpoint.miss");
+    benchmark::DoNotOptimize(fired);
+    benchmark::ClobberMemory();
+  }
+  failpoint::Disable();
+}
+BENCHMARK(BM_FailpointOverhead_ActiveOtherSite);
 
 }  // namespace
 }  // namespace tasfar

@@ -9,6 +9,7 @@
 //                  SaveDensityMap(report) for offline inspection
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "core/calibration_io.h"
@@ -23,6 +24,16 @@
 #include "obs/trace.h"
 
 using namespace tasfar;  // Example code; library code never does this.
+
+// File I/O on the shipped artifacts is recoverable in the library (a failed
+// load leaves the in-memory model untouched), so the demo reports the error
+// and exits instead of aborting.
+static void OrDie(const Status& s, const char* what) {
+  if (s.ok()) return;
+  std::fprintf(stderr, "deployment_roundtrip: %s: %s\n", what,
+               s.ToString().c_str());
+  std::exit(1);
+}
 
 int main() {
   // Observability demo: metrics are always collected here; tracing follows
@@ -67,8 +78,8 @@ int main() {
     Tasfar tasfar(options);
     SourceCalibration calib =
         tasfar.Calibrate(model.get(), src_x, source.targets);
-    TASFAR_CHECK(SaveParams(model.get(), weights_path).ok());
-    TASFAR_CHECK(SaveCalibration(calib, calib_path).ok());
+    OrDie(SaveParams(model.get(), weights_path), "saving weights");
+    OrDie(SaveCalibration(calib, calib_path), "saving calibration");
     std::printf("source side: shipped %s and %s (tau = %.4f)\n",
                 weights_path.c_str(), calib_path.c_str(), calib.tau);
   }
@@ -77,9 +88,9 @@ int main() {
   {
     Rng rng(2);  // Fresh process: only the architecture is known.
     auto model = BuildTabularModel(kNumHousingFeatures, &rng);
-    TASFAR_CHECK(LoadParams(model.get(), weights_path).ok());
+    OrDie(LoadParams(model.get(), weights_path), "loading weights");
     Result<SourceCalibration> calib = LoadCalibration(calib_path);
-    TASFAR_CHECK(calib.ok());
+    OrDie(calib.status(), "loading calibration");
 
     Tasfar tasfar(options);
     Rng adapt_rng(3);
@@ -103,9 +114,10 @@ int main() {
         ->Set(metrics::Mae(after, target.targets));
 
     if (report.density_map.has_value()) {
-      TASFAR_CHECK(SaveDensityMap(*report.density_map, map_path).ok());
+      OrDie(SaveDensityMap(*report.density_map, map_path),
+            "saving density map");
       Result<DensityMap> reloaded = LoadDensityMap(map_path);
-      TASFAR_CHECK(reloaded.ok());
+      OrDie(reloaded.status(), "reloading density map");
       std::printf(
           "density map saved to %s (%zu cells, mass %.3f) and verified "
           "by reload\n",

@@ -1,12 +1,16 @@
 #include "core/adaptation_trainer.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace tasfar {
 
@@ -15,7 +19,20 @@ AdaptationTrainer::AdaptationTrainer(const AdaptationTrainConfig& config)
   TASFAR_CHECK(config.learning_rate > 0.0);
   TASFAR_CHECK(config.confident_weight >= 0.0);
   TASFAR_CHECK(config.beta_clamp >= 0.0);
+  TASFAR_CHECK(config.divergence_factor >= 0.0);
+  TASFAR_CHECK(config.divergence_slack >= 0.0);
 }
+
+namespace {
+
+bool AllParamsFinite(Sequential* model) {
+  for (Tensor* p : model->Params()) {
+    if (!p->AllFinite()) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 AdaptationResult AdaptationTrainer::Run(
     const Sequential& source_model, const Tensor& uncertain_inputs,
@@ -95,8 +112,48 @@ AdaptationResult AdaptationTrainer::Run(
                      const std::vector<double>* w) {
                     return loss::Mse(pred, target, grad, w);
                   });
-  result.history =
-      trainer.Fit(inputs, targets, config_.train, rng, &weights);
+  // Snapshot the weights at every new best (finite) epoch loss. Healthy
+  // early-stopped descent improves nearly every epoch, so this costs one
+  // parameter copy per improvement; it buys the ability to roll a
+  // diverged run back to its best state instead of shipping garbage.
+  double best_loss = std::numeric_limits<double>::infinity();
+  std::vector<Tensor> best_params;
+  Sequential* const model_ptr = result.model.get();
+  result.history = trainer.Fit(
+      inputs, targets, config_.train, rng, &weights,
+      [&](const EpochStats& st) {
+        if (!std::isfinite(st.train_loss) || st.train_loss >= best_loss) {
+          return;
+        }
+        if (!AllParamsFinite(model_ptr)) return;
+        best_loss = st.train_loss;
+        best_params.clear();
+        for (Tensor* p : model_ptr->Params()) best_params.push_back(*p);
+      });
+
+  const double final_loss =
+      result.history.empty() ? std::numeric_limits<double>::quiet_NaN()
+                             : result.history.back().train_loss;
+  result.diverged = !std::isfinite(final_loss) ||
+                    !AllParamsFinite(model_ptr) ||
+                    (config_.divergence_factor > 0.0 &&
+                     std::isfinite(best_loss) &&
+                     final_loss > config_.divergence_factor * best_loss &&
+                     final_loss - best_loss > config_.divergence_slack);
+  if (TASFAR_FAILPOINT("adaptation.diverge")) result.diverged = true;
+  if (result.diverged && !best_params.empty()) {
+    auto params = model_ptr->Params();
+    for (size_t i = 0; i < params.size(); ++i) *params[i] = best_params[i];
+    result.rolled_back = true;
+    TASFAR_LOG(kWarning) << "adaptation diverged (final loss " << final_loss
+                         << " vs best " << best_loss
+                         << "); rolled back to best-epoch weights";
+    if (obs::MetricsEnabled()) {
+      static obs::Counter* const kRollback =
+          obs::Registry::Get().GetCounter("tasfar.adaptation.rollback");
+      kRollback->Increment();
+    }
+  }
   if (obs::MetricsEnabled() && !result.history.empty()) {
     static obs::Gauge* const kEpochs =
         obs::Registry::Get().GetGauge("tasfar.adaptation.epochs");

@@ -45,12 +45,32 @@ struct AdaptationTrainConfig {
   /// density map's absolute cell values while preserving the *relative*
   /// credibility ordering that Figs. 11-12 validate.
   bool normalize_beta = true;
+  /// Divergence threshold: training is declared diverged when the final
+  /// epoch loss exceeds `divergence_factor` × the best epoch loss (or is
+  /// non-finite, or any parameter ends non-finite). A diverged run rolls
+  /// back to the best-epoch weights snapshot when one exists. 2.0 leaves
+  /// the normal early-stopped descent untouched (the loss would have to
+  /// double from its best to trip it); 0 disables the ratio check.
+  double divergence_factor = 2.0;
+  /// Absolute slack under the ratio check: a run only counts as diverged
+  /// when the final loss also exceeds the best by more than this. Fully
+  /// converged runs oscillate in floating-point noise around ~0 loss,
+  /// where any ratio is meaningless (1e-17 → 2e-15 is "100× worse" and
+  /// utterly benign).
+  double divergence_slack = 1e-8;
 };
 
 /// Result of adaptation training.
 struct AdaptationResult {
   std::unique_ptr<Sequential> model;  ///< The target model f_θt.
   std::vector<EpochStats> history;    ///< Weighted-loss learning curve.
+  /// Training diverged (see AdaptationTrainConfig::divergence_factor).
+  bool diverged = false;
+  /// `model` holds the best-epoch snapshot, not the final weights. Only
+  /// possible when `diverged`; when divergence hits with no finite
+  /// snapshot to return to, the caller should discard `model` entirely
+  /// (core/tasfar.cc falls back to the source model).
+  bool rolled_back = false;
 };
 
 /// Fine-tunes a clone of the source model on pseudo-labeled uncertain data

@@ -1,9 +1,12 @@
 #include "core/calibration_io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "util/failpoint.h"
 
 namespace tasfar {
 
@@ -24,7 +27,10 @@ bool ReadDouble(std::istringstream* in, double* v) {
   if (tok.empty()) return false;
   char* end = nullptr;
   *v = std::strtod(tok.c_str(), &end);
-  return end != tok.c_str();
+  // A calibration artifact never legitimately holds NaN/Inf; rejecting
+  // them here keeps corrupt files recoverable instead of poisoning the
+  // pipeline stages that consume tau / Qs lines / density cells.
+  return end == tok.c_str() + tok.size() && std::isfinite(*v);
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -63,6 +69,9 @@ std::string SerializeCalibration(const SourceCalibration& calibration) {
 }
 
 Result<SourceCalibration> DeserializeCalibration(const std::string& text) {
+  if (TASFAR_FAILPOINT("calibration.load.corrupt")) {
+    return Status::IoError("injected fault: calibration.load.corrupt");
+  }
   std::istringstream in(text);
   std::string magic, key;
   in >> magic;

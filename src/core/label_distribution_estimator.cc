@@ -1,6 +1,8 @@
 #include "core/label_distribution_estimator.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -34,11 +36,18 @@ DensityMap LabelDistributionEstimator::Estimate(
   double sigma_sum = 0.0;
   for (const McPrediction& pred : confident) {
     TASFAR_CHECK(pred.mean.size() == dims);
+    bool finite = true;
     for (size_t d = 0; d < dims; ++d) {
       mean[d] = pred.mean[d];
       sigma[d] = SigmaFor(pred, d);
-      sigma_sum += sigma[d];
+      finite = finite && std::isfinite(mean[d]) && std::isfinite(sigma[d]);
     }
+    // A poisoned prediction deposits nothing: a NaN mean would hit a
+    // cast-from-NaN in the cell indexing, and a NaN sigma would blanket
+    // the map. The mass deficit is visible in TotalMass (< 1 after
+    // normalization) and in the mean-sigma gauge below.
+    if (!finite) continue;
+    for (size_t d = 0; d < dims; ++d) sigma_sum += sigma[d];
     map.Deposit(mean, sigma, error_model_);
   }
   map.Normalize(static_cast<double>(confident.size()));  // 1/|SET_C|.
@@ -80,14 +89,25 @@ std::vector<GridSpec> LabelDistributionEstimator::AutoAxes(
   std::vector<GridSpec> axes;
   axes.reserve(dims);
   for (size_t d = 0; d < dims; ++d) {
-    double lo = confident[0].mean[d];
-    double hi = lo;
+    // Non-finite predictions (a poisoned MC pass) are excluded from the
+    // range: seeding lo/hi from a NaN mean would stick through min/max and
+    // abort GridSpec::FromRange. With no finite prediction at all the axis
+    // degenerates to a single cell at the origin, whose ~zero total mass
+    // the caller treats as a degenerate map (core/tasfar.cc falls back).
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -std::numeric_limits<double>::infinity();
     double max_sigma = 0.0;
     for (const McPrediction& pred : confident) {
       TASFAR_CHECK(pred.mean.size() == dims);
+      if (!std::isfinite(pred.mean[d])) continue;
       lo = std::min(lo, pred.mean[d]);
       hi = std::max(hi, pred.mean[d]);
-      max_sigma = std::max(max_sigma, SigmaFor(pred, d));
+      const double sigma = SigmaFor(pred, d);
+      if (std::isfinite(sigma)) max_sigma = std::max(max_sigma, sigma);
+    }
+    if (lo > hi) {  // No finite prediction in this dimension.
+      lo = 0.0;
+      hi = cell_size;
     }
     const double margin = margin_sigmas * max_sigma;
     lo -= margin;

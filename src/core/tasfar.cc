@@ -1,13 +1,44 @@
 #include "core/tasfar.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "nn/trainer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace tasfar {
+
+namespace {
+
+bool FinitePrediction(const McPrediction& p) {
+  for (double v : p.mean) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (double v : p.std) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool FinitePseudoLabel(const PseudoLabel& label) {
+  if (!std::isfinite(label.credibility)) return false;
+  for (double v : label.value) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool AllParamsFinite(Sequential* model) {
+  for (Tensor* p : model->Params()) {
+    if (!p->AllFinite()) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 Tasfar::Tasfar(const TasfarOptions& options) : options_(options) {
   TASFAR_CHECK(options.mc_samples >= 2);
@@ -35,21 +66,48 @@ SourceCalibration Tasfar::CalibrateFromPredictions(
   const size_t dims = source_targets.dim(1);
 
   SourceCalibration calib;
+  // Only finite predictions participate in calibration; a poisoned MC pass
+  // must not propagate NaN into τ or the Q_s fits. With no finite
+  // prediction at all, τ = 0 classifies everything as uncertain, the
+  // split degenerates, and Adapt falls back to the source model.
   std::vector<double> uncertainties;
   uncertainties.reserve(preds.size());
   for (const McPrediction& p : preds) {
+    if (!FinitePrediction(p)) continue;
     uncertainties.push_back(p.ScalarUncertainty());
   }
+  if (uncertainties.size() < preds.size()) {
+    TASFAR_LOG(kWarning) << "calibration dropped "
+                         << preds.size() - uncertainties.size()
+                         << " non-finite predictions";
+    static obs::Counter* const kDropped = obs::Registry::Get().GetCounter(
+        "tasfar.guard.calibration_dropped_predictions");
+    kDropped->Increment(
+        static_cast<uint64_t>(preds.size() - uncertainties.size()));
+  }
   calib.tau =
-      ConfidenceClassifier::ComputeThreshold(uncertainties, options_.eta);
+      uncertainties.empty()
+          ? 0.0
+          : ConfidenceClassifier::ComputeThreshold(uncertainties,
+                                                   options_.eta);
 
   calib.qs_per_dim.reserve(dims);
   for (size_t d = 0; d < dims; ++d) {
     std::vector<UncertaintyErrorPair> pairs;
     pairs.reserve(preds.size());
     for (size_t i = 0; i < preds.size(); ++i) {
+      if (!FinitePrediction(preds[i]) ||
+          !std::isfinite(source_targets.At(i, d))) {
+        continue;
+      }
       pairs.push_back({preds[i].std[d],
                        preds[i].mean[d] - source_targets.At(i, d)});
+    }
+    if (pairs.empty()) {
+      // Default QsModel: zero line clamped at sigma_min — proper but
+      // uninformative, matching the degenerate τ above.
+      calib.qs_per_dim.push_back(QsModel{});
+      continue;
     }
     const size_t q = std::min(options_.num_segments, pairs.size());
     calib.qs_per_dim.push_back(QsCalibrator::Fit(std::move(pairs), q));
@@ -77,11 +135,59 @@ TasfarReport Tasfar::AdaptWithPredictions(
   TASFAR_TRACE_SPAN("adapt");
   TasfarReport report;
   report.tau = calibration.tau;
-
-  // 1. Confidence classification (Alg. 1).
   report.predictions = std::move(predictions);
+
+  // Any stage fault below lands here: ship a clone of the unmodified
+  // source model, never a crash and never a poisoned model. This is the
+  // never-worse-than-source guarantee under faults.
+  const auto fall_back = [&](const std::string& reason) {
+    TASFAR_LOG(kWarning) << "TASFAR fallback to source model: " << reason;
+    static obs::Counter* const kFallback =
+        obs::Registry::Get().GetCounter("tasfar.adapt.fallback");
+    kFallback->Increment();
+    report.target_model = source_model->CloneSequential();
+    report.fell_back = true;
+    report.fallback_reason = reason;
+  };
+
+  if (TASFAR_FAILPOINT("tasfar.stage_fault")) {
+    fall_back("injected fault: tasfar.stage_fault");
+    return report;
+  }
+  if (!std::isfinite(calibration.tau) || calibration.tau < 0.0) {
+    fall_back("invalid confidence threshold tau");
+    return report;
+  }
+
+  // 1. Confidence classification (Alg. 1), over the finite predictions
+  // only: a poisoned prediction (NaN mean/std) would otherwise land in
+  // the confident set (NaN > tau is false) and corrupt the density axes.
+  std::vector<size_t> valid_idx;
+  valid_idx.reserve(report.predictions.size());
+  std::vector<double> uncertainties;
+  uncertainties.reserve(report.predictions.size());
+  for (size_t i = 0; i < report.predictions.size(); ++i) {
+    if (!FinitePrediction(report.predictions[i])) continue;
+    valid_idx.push_back(i);
+    uncertainties.push_back(report.predictions[i].ScalarUncertainty());
+  }
+  if (valid_idx.size() < report.predictions.size()) {
+    TASFAR_LOG(kWarning) << "adaptation dropped "
+                         << report.predictions.size() - valid_idx.size()
+                         << " non-finite predictions";
+    static obs::Counter* const kDropped = obs::Registry::Get().GetCounter(
+        "tasfar.guard.dropped_predictions");
+    kDropped->Increment(
+        static_cast<uint64_t>(report.predictions.size() - valid_idx.size()));
+  }
+  if (valid_idx.empty() && !report.predictions.empty()) {
+    fall_back("every target prediction is non-finite");
+    return report;
+  }
   ConfidenceClassifier classifier(calibration.tau);
-  ConfidenceSplit split = classifier.Classify(report.predictions);
+  ConfidenceSplit split = classifier.ClassifyUncertainties(uncertainties);
+  for (size_t& i : split.confident) i = valid_idx[i];
+  for (size_t& i : split.uncertain) i = valid_idx[i];
   report.confident_indices = split.confident;
   report.uncertain_indices = split.uncertain;
   report.num_confident = split.confident.size();
@@ -118,11 +224,48 @@ TasfarReport Tasfar::AdaptWithPredictions(
   std::vector<GridSpec> axes = estimator.AutoAxes(
       confident_preds, options_.grid_cell_size, options_.grid_margin_sigmas);
   report.density_map.emplace(estimator.Estimate(confident_preds, axes));
+  const double mass = report.density_map->TotalMass();
+  if (TASFAR_FAILPOINT("density.degenerate") || !std::isfinite(mass) ||
+      mass <= 0.0) {
+    fall_back("degenerate label-density map (total mass " +
+              std::to_string(mass) + ")");
+    return report;
+  }
 
-  // 3. Pseudo-label generation (Alg. 3).
+  // 3. Pseudo-label generation (Alg. 3). Non-finite pseudo-labels (or
+  // credibilities) drop with their samples; fine-tuning proceeds on the
+  // survivors unless nothing survives.
   PseudoLabelGenerator generator(&report.density_map.value(), &estimator,
                                  calibration.tau);
   report.pseudo_labels = generator.GenerateAll(uncertain_preds);
+  {
+    size_t kept = 0;
+    for (size_t i = 0; i < report.pseudo_labels.size(); ++i) {
+      if (!FinitePseudoLabel(report.pseudo_labels[i])) continue;
+      if (kept != i) {
+        report.pseudo_labels[kept] = std::move(report.pseudo_labels[i]);
+        split.uncertain[kept] = split.uncertain[i];
+      }
+      ++kept;
+    }
+    if (kept < report.pseudo_labels.size()) {
+      TASFAR_LOG(kWarning) << "dropped "
+                           << report.pseudo_labels.size() - kept
+                           << " non-finite pseudo-labels";
+      static obs::Counter* const kDroppedLabels = obs::Registry::Get()
+          .GetCounter("tasfar.guard.dropped_pseudo_labels");
+      kDroppedLabels->Increment(
+          static_cast<uint64_t>(report.pseudo_labels.size() - kept));
+      report.pseudo_labels.resize(kept);
+      split.uncertain.resize(kept);
+      report.uncertain_indices = split.uncertain;
+      report.num_uncertain = kept;
+      if (kept == 0) {
+        fall_back("every pseudo-label is non-finite");
+        return report;
+      }
+    }
+  }
 
   // 4. Weighted fine-tuning (Eq. 22) with confident replay.
   Tensor uncertain_inputs = GatherFirstDim(target_inputs, split.uncertain);
@@ -139,8 +282,18 @@ TasfarReport Tasfar::AdaptWithPredictions(
   AdaptationResult result =
       trainer.Run(*source_model, uncertain_inputs, report.pseudo_labels,
                   confident_inputs, confident_targets, rng);
-  report.target_model = std::move(result.model);
   report.history = std::move(result.history);
+  report.diverged = result.diverged;
+  report.rolled_back = result.rolled_back;
+  if (result.diverged && !result.rolled_back) {
+    fall_back("training diverged with no rollback snapshot");
+    return report;
+  }
+  if (!AllParamsFinite(result.model.get())) {
+    fall_back("adapted model has non-finite parameters");
+    return report;
+  }
+  report.target_model = std::move(result.model);
   return report;
 }
 

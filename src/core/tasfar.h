@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/adaptation_trainer.h"
@@ -58,6 +59,18 @@ struct TasfarReport {
   /// True when TASFAR fell back to returning a copy of the source model
   /// (no uncertain or no confident data).
   bool skipped = false;
+  /// True when a pipeline stage faulted (non-finite predictions or
+  /// pseudo-labels everywhere, degenerate density map, diverged training
+  /// with no rollback snapshot, injected fault) and TASFAR returned a copy
+  /// of the source model instead. The never-worse-than-source guarantee
+  /// this fallback implements is the paper's core deployment property.
+  bool fell_back = false;
+  /// Human-readable cause of the fallback ("" when fell_back is false).
+  std::string fallback_reason;
+  /// Training diverged / was rolled back to its best-epoch snapshot
+  /// (mirrors AdaptationResult; both false when training never ran).
+  bool diverged = false;
+  bool rolled_back = false;
 };
 
 /// The TASFAR pipeline (Fig. 1): confidence classification → label

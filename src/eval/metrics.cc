@@ -2,21 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
-#include "util/check.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
 
 namespace tasfar::metrics {
 
 namespace {
-void CheckShapes(const Tensor& pred, const Tensor& target) {
-  TASFAR_CHECK(pred.rank() == 2);
-  TASFAR_CHECK(pred.SameShape(target));
-  TASFAR_CHECK(pred.dim(0) > 0);
+
+Status ValidateShapes(const Tensor& pred, const Tensor& target) {
+  if (TASFAR_FAILPOINT("eval.metric.poison")) {
+    return Status::Internal("injected fault: eval.metric.poison");
+  }
+  if (pred.rank() != 2 || target.rank() != 2) {
+    return Status::InvalidArgument("metrics expect rank-2 {n, d} tensors");
+  }
+  if (!pred.SameShape(target)) {
+    return Status::InvalidArgument("prediction/target shape mismatch");
+  }
+  if (pred.dim(0) == 0) {
+    return Status::InvalidArgument("metrics need at least one sample");
+  }
+  return Status::Ok();
 }
+
+/// Shared degradation path of the plain (non-Try) variants: report the
+/// rejection and poison the metric value instead of the process.
+double ReportInvalid(const Status& status) {
+  TASFAR_LOG(kWarning) << "metric on invalid input -> NaN: "
+                       << status.message();
+  static obs::Counter* const kInvalid =
+      obs::Registry::Get().GetCounter("tasfar.guard.metrics_invalid");
+  kInvalid->Increment();
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
 }  // namespace
 
-double Mse(const Tensor& pred, const Tensor& target) {
-  CheckShapes(pred, target);
+Result<double> TryMse(const Tensor& pred, const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   double s = 0.0;
   for (size_t i = 0; i < pred.size(); ++i) {
     const double d = pred[i] - target[i];
@@ -25,8 +51,13 @@ double Mse(const Tensor& pred, const Tensor& target) {
   return s / static_cast<double>(pred.dim(0));
 }
 
-double Mae(const Tensor& pred, const Tensor& target) {
-  CheckShapes(pred, target);
+double Mse(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TryMse(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
+}
+
+Result<double> TryMae(const Tensor& pred, const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   double s = 0.0;
   for (size_t i = 0; i < pred.size(); ++i) {
     s += std::fabs(pred[i] - target[i]);
@@ -34,8 +65,13 @@ double Mae(const Tensor& pred, const Tensor& target) {
   return s / static_cast<double>(pred.size());
 }
 
-double Rmse(const Tensor& pred, const Tensor& target) {
-  CheckShapes(pred, target);
+double Mae(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TryMae(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
+}
+
+Result<double> TryRmse(const Tensor& pred, const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   double s = 0.0;
   for (size_t i = 0; i < pred.size(); ++i) {
     const double d = pred[i] - target[i];
@@ -44,21 +80,33 @@ double Rmse(const Tensor& pred, const Tensor& target) {
   return std::sqrt(s / static_cast<double>(pred.size()));
 }
 
-double Rmsle(const Tensor& pred, const Tensor& target) {
-  CheckShapes(pred, target);
+double Rmse(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TryRmse(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
+}
+
+Result<double> TryRmsle(const Tensor& pred, const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   double s = 0.0;
   for (size_t i = 0; i < pred.size(); ++i) {
     const double p = std::max(0.0, pred[i]);
-    TASFAR_CHECK_MSG(target[i] > -1.0, "RMSLE targets must exceed -1");
+    if (!(target[i] > -1.0)) {
+      return Status::InvalidArgument("RMSLE targets must exceed -1");
+    }
     const double d = std::log1p(p) - std::log1p(target[i]);
     s += d * d;
   }
   return std::sqrt(s / static_cast<double>(pred.size()));
 }
 
-std::vector<double> PerSampleL2Error(const Tensor& pred,
-                                     const Tensor& target) {
-  CheckShapes(pred, target);
+double Rmsle(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TryRmsle(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
+}
+
+Result<std::vector<double>> TryPerSampleL2Error(const Tensor& pred,
+                                                const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   const size_t n = pred.dim(0), d = pred.dim(1);
   std::vector<double> out(n, 0.0);
   for (size_t i = 0; i < n; ++i) {
@@ -72,15 +120,31 @@ std::vector<double> PerSampleL2Error(const Tensor& pred,
   return out;
 }
 
-double Ste(const Tensor& pred, const Tensor& target) {
-  const std::vector<double> errors = PerSampleL2Error(pred, target);
-  double s = 0.0;
-  for (double e : errors) s += e;
-  return s / static_cast<double>(errors.size());
+std::vector<double> PerSampleL2Error(const Tensor& pred,
+                                     const Tensor& target) {
+  Result<std::vector<double>> r = TryPerSampleL2Error(pred, target);
+  if (!r.ok()) {
+    ReportInvalid(r.status());
+    return {};
+  }
+  return std::move(r).value();
 }
 
-double Rte(const Tensor& pred, const Tensor& target) {
-  CheckShapes(pred, target);
+Result<double> TrySte(const Tensor& pred, const Tensor& target) {
+  Result<std::vector<double>> errors = TryPerSampleL2Error(pred, target);
+  if (!errors.ok()) return errors.status();
+  double s = 0.0;
+  for (double e : errors.value()) s += e;
+  return s / static_cast<double>(errors.value().size());
+}
+
+double Ste(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TrySte(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
+}
+
+Result<double> TryRte(const Tensor& pred, const Tensor& target) {
+  TASFAR_RETURN_IF_ERROR(ValidateShapes(pred, target));
   const size_t n = pred.dim(0), d = pred.dim(1);
   double s = 0.0;
   for (size_t j = 0; j < d; ++j) {
@@ -92,6 +156,11 @@ double Rte(const Tensor& pred, const Tensor& target) {
     s += (sum_pred - sum_true) * (sum_pred - sum_true);
   }
   return std::sqrt(s);
+}
+
+double Rte(const Tensor& pred, const Tensor& target) {
+  Result<double> r = TryRte(pred, target);
+  return r.ok() ? r.value() : ReportInvalid(r.status());
 }
 
 double ReductionPercent(double before, double after) {

@@ -4,38 +4,55 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace tasfar {
 
 /// Evaluation metrics of the paper's four tasks. All functions take
 /// {n, d} prediction/target tensors with matching shapes and n > 0.
+///
+/// Invalid inputs are data-dependent (a degenerate partition or a faulted
+/// pipeline stage can legitimately hand a harness an empty or mismatched
+/// tensor), so they are recoverable, not fatal: the Try* variants return
+/// InvalidArgument, and the plain variants report through the
+/// `tasfar.guard.metrics_invalid` counter and yield NaN (empty vector for
+/// PerSampleL2Error) — a poisoned table cell instead of a dead process.
 namespace metrics {
 
 /// Mean squared error (mean over samples of the squared L2 residual).
+Result<double> TryMse(const Tensor& pred, const Tensor& target);
 double Mse(const Tensor& pred, const Tensor& target);
 
 /// Mean absolute error (mean over samples and dimensions of |residual|).
+Result<double> TryMae(const Tensor& pred, const Tensor& target);
 double Mae(const Tensor& pred, const Tensor& target);
 
 /// Root mean squared error. Note: the crowd-counting literature (and the
 /// paper's Table I) reports this quantity under the name "MSE".
+Result<double> TryRmse(const Tensor& pred, const Tensor& target);
 double Rmse(const Tensor& pred, const Tensor& target);
 
 /// Root mean squared logarithmic error (the taxi-duration metric).
 /// Predictions and targets must be > -1; negative predictions are clamped
-/// to 0 before the log, as Kaggle's RMSLE does.
+/// to 0 before the log, as Kaggle's RMSLE does. A target <= -1 is an
+/// out-of-domain input and fails with InvalidArgument.
+Result<double> TryRmsle(const Tensor& pred, const Tensor& target);
 double Rmsle(const Tensor& pred, const Tensor& target);
 
 /// Per-sample Euclidean residual norms.
+Result<std::vector<double>> TryPerSampleL2Error(const Tensor& pred,
+                                                const Tensor& target);
 std::vector<double> PerSampleL2Error(const Tensor& pred,
                                      const Tensor& target);
 
 /// Step error of a PDR trajectory (Eq. 23): mean per-step Euclidean
 /// displacement error.
+Result<double> TrySte(const Tensor& pred, const Tensor& target);
 double Ste(const Tensor& pred, const Tensor& target);
 
 /// Relative trajectory error (Eq. 24): Euclidean distance between the
 /// summed (integrated) predicted and true displacements.
+Result<double> TryRte(const Tensor& pred, const Tensor& target);
 double Rte(const Tensor& pred, const Tensor& target);
 
 /// Relative error reduction in percent: 100 * (before - after) / before.

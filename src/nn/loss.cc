@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "tensor/guard.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace tasfar::loss {
 
@@ -24,6 +27,15 @@ double WeightOf(const std::vector<double>* weights, size_t row) {
   return weights == nullptr ? 1.0 : (*weights)[row];
 }
 
+/// Detection-only guard at the loss boundary: a NaN that slipped through
+/// the forward pass surfaces here first, so report it (tasfar.guard.*)
+/// and hand the poisoned value back — the trainer skips the batch.
+double GuardLoss(double total, Tensor* grad) {
+  guard::CheckFiniteValue(total, "loss_nonfinite");
+  if (grad != nullptr) guard::CheckFinite(*grad, "loss_grad_nonfinite");
+  return total;
+}
+
 }  // namespace
 
 double Mse(const Tensor& pred, const Tensor& target, Tensor* grad,
@@ -41,7 +53,13 @@ double Mse(const Tensor& pred, const Tensor& target, Tensor* grad,
       if (grad != nullptr) grad->At(i, j) = 2.0 * w * d * inv_batch;
     }
   }
-  return total * inv_batch;
+  if (TASFAR_FAILPOINT("loss.poison")) {
+    total = std::numeric_limits<double>::quiet_NaN();
+    if (grad != nullptr) {
+      grad->At(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return GuardLoss(total * inv_batch, grad);
 }
 
 double Mae(const Tensor& pred, const Tensor& target, Tensor* grad,
@@ -62,7 +80,7 @@ double Mae(const Tensor& pred, const Tensor& target, Tensor* grad,
       }
     }
   }
-  return total * inv_batch;
+  return GuardLoss(total * inv_batch, grad);
 }
 
 double Huber(const Tensor& pred, const Tensor& target, double delta,
@@ -89,7 +107,7 @@ double Huber(const Tensor& pred, const Tensor& target, double delta,
       }
     }
   }
-  return total * inv_batch;
+  return GuardLoss(total * inv_batch, grad);
 }
 
 double BinaryCrossEntropy(const Tensor& prob, const Tensor& target,

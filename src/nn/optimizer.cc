@@ -1,8 +1,11 @@
 #include "nn/optimizer.h"
 
 #include <cmath>
+#include <limits>
 
+#include "tensor/guard.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace tasfar {
 
@@ -19,6 +22,22 @@ void CheckBinding(const std::vector<Tensor*>& params,
       TASFAR_CHECK_MSG(state[i].SameShape(*params[i]),
                        "optimizer rebound to a different parameter list");
     }
+  }
+}
+
+/// A non-finite gradient would poison the parameter (and momentum state)
+/// irrecoverably, so the whole parameter tensor sits this step out.
+/// Reported through tasfar.guard.optimizer_grad_nonfinite.
+bool SkipNonFiniteGrad(const Tensor& g) {
+  return !guard::CheckFinite(g, "optimizer_grad_nonfinite");
+}
+
+/// Chaos injection shared by Sgd/Adam: poison one weight after the step,
+/// as a rounding/overflow bug in an update rule would.
+void MaybePoisonStep(const std::vector<Tensor*>& params) {
+  if (TASFAR_FAILPOINT("optimizer.step.poison") && !params.empty() &&
+      params[0]->size() > 0) {
+    (*params[0])[0] = std::numeric_limits<double>::quiet_NaN();
   }
 }
 
@@ -43,6 +62,7 @@ void Sgd::Step(const std::vector<Tensor*>& params,
   for (size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
+    if (SkipNonFiniteGrad(g)) continue;
     for (size_t k = 0; k < p.size(); ++k) {
       double gk = g[k] + weight_decay_ * p[k];
       if (momentum_ > 0.0) {
@@ -52,6 +72,7 @@ void Sgd::Step(const std::vector<Tensor*>& params,
       p[k] -= learning_rate_ * gk;
     }
   }
+  MaybePoisonStep(params);
 }
 
 void Sgd::Reset() { velocity_.clear(); }
@@ -87,6 +108,7 @@ void Adam::Step(const std::vector<Tensor*>& params,
   for (size_t i = 0; i < params.size(); ++i) {
     Tensor& p = *params[i];
     const Tensor& g = *grads[i];
+    if (SkipNonFiniteGrad(g)) continue;
     for (size_t k = 0; k < p.size(); ++k) {
       const double gk = g[k] + weight_decay_ * p[k];
       m_[i][k] = beta1_ * m_[i][k] + (1.0 - beta1_) * gk;
@@ -96,6 +118,7 @@ void Adam::Step(const std::vector<Tensor*>& params,
       p[k] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+  MaybePoisonStep(params);
 }
 
 void Adam::Reset() {

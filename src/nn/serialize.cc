@@ -1,9 +1,13 @@
 #include "nn/serialize.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+
+#include "util/failpoint.h"
 
 namespace tasfar {
 
@@ -33,6 +37,9 @@ std::string SerializeParams(Sequential* model) {
 
 Status DeserializeParams(Sequential* model, const std::string& text) {
   TASFAR_CHECK(model != nullptr);
+  if (TASFAR_FAILPOINT("serialize.load.corrupt")) {
+    return Status::IoError("injected fault: serialize.load.corrupt");
+  }
   std::istringstream in(text);
   std::string magic;
   in >> magic;
@@ -48,26 +55,48 @@ Status DeserializeParams(Sequential* model, const std::string& text) {
                                    std::to_string(count) + ", model has " +
                                    std::to_string(params.size()));
   }
+  // Stage everything before touching the model: a corrupt or truncated
+  // file must leave `model` exactly as it was (the deployment fallback is
+  // "keep serving the weights you already have").
+  std::vector<Tensor> staged;
+  staged.reserve(params.size());
   for (Tensor* p : params) {
     size_t rank = 0;
     in >> rank;
     if (!in) return Status::InvalidArgument("truncated shape header");
     std::vector<size_t> shape(rank);
     for (size_t& d : shape) in >> d;
+    if (!in) return Status::InvalidArgument("truncated shape header");
     if (shape != p->shape()) {
       return Status::InvalidArgument("parameter shape mismatch");
     }
-    for (size_t i = 0; i < p->size(); ++i) {
+    Tensor values(p->shape());
+    for (size_t i = 0; i < values.size(); ++i) {
       std::string tok;
       in >> tok;
       if (!in) return Status::InvalidArgument("truncated parameter data");
-      (*p)[i] = std::strtod(tok.c_str(), nullptr);
+      char* parse_end = nullptr;
+      const double v = std::strtod(tok.c_str(), &parse_end);
+      if (parse_end == tok.c_str() || *parse_end != '\0') {
+        return Status::InvalidArgument("corrupt parameter value '" + tok +
+                                       "'");
+      }
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("non-finite parameter value '" + tok +
+                                       "'");
+      }
+      values[i] = v;
     }
+    staged.push_back(std::move(values));
   }
+  for (size_t i = 0; i < params.size(); ++i) *params[i] = std::move(staged[i]);
   return Status::Ok();
 }
 
 Status SaveParams(Sequential* model, const std::string& path) {
+  if (TASFAR_FAILPOINT("serialize.save.io")) {
+    return Status::IoError("injected fault: serialize.save.io");
+  }
   std::ofstream f(path, std::ios::trunc);
   if (!f.is_open()) return Status::IoError("cannot open " + path);
   f << SerializeParams(model);

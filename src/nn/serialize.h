@@ -15,13 +15,16 @@ namespace tasfar {
 Status SaveParams(Sequential* model, const std::string& path);
 
 /// Loads parameters saved by SaveParams into `model`. Fails with
-/// InvalidArgument if the parameter count or any shape differs.
+/// InvalidArgument if the parameter count or any shape differs, the file
+/// is truncated, or any value fails to parse or is non-finite. Loading is
+/// transactional: on any error `model` keeps its previous parameters.
 Status LoadParams(Sequential* model, const std::string& path);
 
 /// In-memory round trip used by tests: serializes to a string.
 std::string SerializeParams(Sequential* model);
 
-/// Parses a string produced by SerializeParams into `model`.
+/// Parses a string produced by SerializeParams into `model`. Same error
+/// contract as LoadParams (transactional; recoverable Status, no abort).
 Status DeserializeParams(Sequential* model, const std::string& text);
 
 }  // namespace tasfar

@@ -89,6 +89,17 @@ std::vector<EpochStats> Trainer::Fit(
       Tensor pred = model_->Forward(x, config.dropout_during_training);
       Tensor grad;
       const double batch_loss = loss_(pred, y, &grad, w_ptr);
+      // A poisoned loss or loss-gradient (the loss layer already reported
+      // it through tasfar.guard.*) would corrupt every parameter via
+      // Backward+Step; the batch sits the step out instead.
+      if (!std::isfinite(batch_loss) || !grad.AllFinite()) {
+        if (obs::MetricsEnabled()) {
+          static obs::Counter* const kSkipped = obs::Registry::Get()
+              .GetCounter("tasfar.train.skipped_batches");
+          kSkipped->Increment();
+        }
+        continue;
+      }
       model_->ZeroGrads();
       model_->Backward(grad);
       if (config.clip_grad_norm > 0.0) {
@@ -104,7 +115,11 @@ std::vector<EpochStats> Trainer::Fit(
       epoch_loss += batch_loss;
       ++batches;
     }
-    epoch_loss /= static_cast<double>(batches);
+    // All batches skipped → the epoch has no defined loss; NaN keeps the
+    // early-stop logic inert (it requires a finite prev_loss) and flags
+    // the epoch for divergence detection upstream.
+    epoch_loss = batches == 0 ? std::numeric_limits<double>::quiet_NaN()
+                              : epoch_loss / static_cast<double>(batches);
 
     EpochStats st{epoch, epoch_loss};
     history.push_back(st);

@@ -1,0 +1,74 @@
+#include "tensor/guard.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace tasfar::guard {
+
+namespace {
+
+std::atomic<uint64_t> g_detections{0};
+
+/// Sites that already logged a warning since the last reset. Leaked (and
+/// mutex-guarded) for the same static-destruction reasons as the metric
+/// registries.
+struct WarnOnce {
+  std::mutex mu;
+  std::set<std::string> warned;
+};
+
+WarnOnce& GetWarnOnce() {
+  static WarnOnce* const kWarnOnce = new WarnOnce();
+  return *kWarnOnce;
+}
+
+void RecordDetection(const char* site) {
+  g_detections.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::Get()
+      .GetCounter(std::string("tasfar.guard.") + site)
+      ->Increment();
+  WarnOnce& once = GetWarnOnce();
+  bool first;
+  {
+    std::lock_guard<std::mutex> lock(once.mu);
+    first = once.warned.insert(site).second;
+  }
+  if (first) {
+    TASFAR_LOG(kWarning) << "non-finite value detected at guard '" << site
+                         << "'; degrading gracefully (further detections at "
+                            "this site are counted, not logged)";
+  }
+}
+
+}  // namespace
+
+bool CheckFinite(const Tensor& t, const char* site) {
+  if (t.AllFinite()) return true;
+  RecordDetection(site);
+  return false;
+}
+
+bool CheckFiniteValue(double v, const char* site) {
+  if (std::isfinite(v)) return true;
+  RecordDetection(site);
+  return false;
+}
+
+uint64_t NonFiniteDetections() {
+  return g_detections.load(std::memory_order_relaxed);
+}
+
+void ResetNonFiniteDetectionsForTest() {
+  g_detections.store(0, std::memory_order_relaxed);
+  WarnOnce& once = GetWarnOnce();
+  std::lock_guard<std::mutex> lock(once.mu);
+  once.warned.clear();
+}
+
+}  // namespace tasfar::guard

@@ -1,0 +1,37 @@
+#ifndef TASFAR_TENSOR_GUARD_H_
+#define TASFAR_TENSOR_GUARD_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace tasfar::guard {
+
+/// Non-finite detection guards (docs/TESTING.md §Graceful degradation).
+///
+/// A guard checks a value produced by upstream numerics and, when it is
+/// NaN/Inf, *reports* instead of aborting: the detection increments an
+/// always-on process total (NonFiniteDetections()), an obs counter
+/// `tasfar.guard.<site>` (recorded while TASFAR_METRICS is on), and logs
+/// a warning the first time each site trips. The caller decides how to
+/// degrade — skip the batch, drop the sample, roll back, fall back to the
+/// source model — so a poisoned value never propagates silently and never
+/// kills the process.
+
+/// Returns true when every element of `t` is finite. On failure records a
+/// detection under `site` (a short lower.dot name, e.g. "loss_grad").
+bool CheckFinite(const Tensor& t, const char* site);
+
+/// Scalar variant of CheckFinite.
+bool CheckFiniteValue(double v, const char* site);
+
+/// Process-wide count of failed guard checks. Always on (independent of
+/// TASFAR_METRICS) so recovery tests can assert detection happened.
+uint64_t NonFiniteDetections();
+
+/// Zeroes NonFiniteDetections() and re-arms the once-per-site warnings.
+void ResetNonFiniteDetectionsForTest();
+
+}  // namespace tasfar::guard
+
+#endif  // TASFAR_TENSOR_GUARD_H_

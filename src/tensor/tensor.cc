@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -15,6 +17,14 @@ size_t ElementCount(const std::vector<size_t>& shape) {
   size_t n = 1;
   for (size_t d : shape) n *= d;
   return shape.empty() ? 0 : n;
+}
+
+/// Chaos injection: corrupt one element of a MatMul product, as a bad
+/// SIMD kernel or flaky hardware would. Downstream guards must catch it.
+void MaybePoisonMatMul(Tensor& out) {
+  if (TASFAR_FAILPOINT("tensor.matmul.poison") && out.size() > 0) {
+    out[0] = std::numeric_limits<double>::quiet_NaN();
+  }
 }
 
 }  // namespace
@@ -222,6 +232,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
   };
   if (m < 2 || m * k * n < kMatMulParallelMinFlops) {
     row_block(0, m);
+    MaybePoisonMatMul(out);
     return out;
   }
   // Shard over row blocks (not single rows) so each task reuses a
@@ -233,6 +244,7 @@ Tensor Tensor::MatMul(const Tensor& other) const {
     const size_t i0 = s * rows_per_shard;
     row_block(i0, std::min(i0 + rows_per_shard, m));
   });
+  MaybePoisonMatMul(out);
   return out;
 }
 

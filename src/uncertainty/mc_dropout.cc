@@ -1,12 +1,14 @@
 #include "uncertainty/mc_dropout.h"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "nn/trainer.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -86,6 +88,12 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
       out[i].mean[j] = m;
       out[i].std[j] = std::sqrt(var);
     }
+  }
+  // Chaos injection: one prediction comes back poisoned, as a corrupted
+  // pass would leave it. Consumers must drop it, not crash on it.
+  if (TASFAR_FAILPOINT("mc_dropout.poison")) {
+    out[0].mean[0] = std::numeric_limits<double>::quiet_NaN();
+    out[0].std[0] = std::numeric_limits<double>::quiet_NaN();
   }
   return out;
 }

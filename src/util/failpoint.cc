@@ -1,0 +1,275 @@
+#include "util/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace tasfar {
+
+namespace internal_failpoint {
+
+namespace {
+
+/// One activation rule parsed from the spec. An empty site name is the
+/// `random` wildcard.
+struct Rule {
+  std::string site;
+  double p = 1.0;
+  uint64_t seed = 0;
+};
+
+struct State {
+  std::mutex mu;
+  std::vector<Rule> rules;  // Guarded by mu.
+  std::string spec;         // Guarded by mu.
+  std::map<std::string, std::unique_ptr<Site>> sites;  // Guarded by mu.
+};
+
+/// Intentionally leaked so failpoint hits stay safe during static
+/// destruction (same pattern as obs::Registry).
+State& GetState() {
+  static State* const kState = new State();
+  return *kState;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d49bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Uniform double in [0, 1) from 64 bits.
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+Result<std::vector<Rule>> ParseSpec(const std::string& spec) {
+  std::vector<Rule> rules;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) {
+      if (spec.empty()) break;
+      return Status::InvalidArgument("empty failpoint rule in spec '" +
+                                     spec + "'");
+    }
+    // Split on ':' into target + options.
+    std::vector<std::string> parts;
+    size_t p0 = 0;
+    while (p0 <= entry.size()) {
+      size_t p1 = entry.find(':', p0);
+      if (p1 == std::string::npos) p1 = entry.size();
+      parts.push_back(entry.substr(p0, p1 - p0));
+      p0 = p1 + 1;
+    }
+    if (parts[0].empty()) {
+      return Status::InvalidArgument("failpoint rule with empty site name: '" +
+                                     entry + "'");
+    }
+    if (parts[0] == "off") {
+      if (parts.size() != 1) {
+        return Status::InvalidArgument("'off' takes no options: '" + entry +
+                                       "'");
+      }
+      continue;  // Contributes no rule.
+    }
+    Rule rule;
+    if (parts[0] != "random") rule.site = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      const std::string& opt = parts[i];
+      const size_t eq = opt.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument("failpoint option without '=': '" +
+                                       opt + "'");
+      }
+      const std::string key = opt.substr(0, eq);
+      const std::string value = opt.substr(eq + 1);
+      char* parse_end = nullptr;
+      if (key == "p") {
+        rule.p = std::strtod(value.c_str(), &parse_end);
+        if (parse_end == value.c_str() || *parse_end != '\0' ||
+            !(rule.p >= 0.0 && rule.p <= 1.0)) {
+          return Status::InvalidArgument(
+              "failpoint probability must be in [0, 1]: '" + opt + "'");
+        }
+      } else if (key == "seed") {
+        rule.seed = std::strtoull(value.c_str(), &parse_end, 10);
+        if (parse_end == value.c_str() || *parse_end != '\0') {
+          return Status::InvalidArgument("bad failpoint seed: '" + opt + "'");
+        }
+      } else {
+        return Status::InvalidArgument("unknown failpoint option '" + key +
+                                       "' (expected p= or seed=)");
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+}  // namespace
+
+struct Site {
+  explicit Site(std::string site_name)
+      : name(std::move(site_name)),
+        obs_hits(obs::Registry::Get().GetCounter("tasfar.failpoint." + name +
+                                                 ".hits")),
+        obs_fires(obs::Registry::Get().GetCounter("tasfar.failpoint." + name +
+                                                  ".fires")),
+        name_hash(Fnv1a(name)) {}
+
+  const std::string name;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fires{0};
+  obs::Counter* const obs_hits;
+  obs::Counter* const obs_fires;
+  const uint64_t name_hash;
+};
+
+Site* RegisterSite(const char* name) {
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.sites.find(name);
+  if (it == state.sites.end()) {
+    it = state.sites.emplace(name, std::make_unique<Site>(name)).first;
+  }
+  return it->second.get();
+}
+
+bool Hit(Site* site) {
+  const uint64_t index = site->hits.fetch_add(1, std::memory_order_relaxed);
+  site->obs_hits->Increment();
+  double p = -1.0;
+  uint64_t seed = 0;
+  {
+    State& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    // Exact-name rule wins over the wildcard; among equals the first wins.
+    for (const Rule& rule : state.rules) {
+      if (rule.site == site->name) {
+        p = rule.p;
+        seed = rule.seed;
+        break;
+      }
+      if (rule.site.empty() && p < 0.0) {
+        p = rule.p;
+        seed = rule.seed;
+      }
+    }
+  }
+  if (p < 0.0) return false;  // No rule matches this site.
+  bool fire;
+  if (p >= 1.0) {
+    fire = true;
+  } else if (p <= 0.0) {
+    fire = false;
+  } else {
+    fire = ToUnit(SplitMix64(seed ^ site->name_hash ^ index)) < p;
+  }
+  if (fire) {
+    site->fires.fetch_add(1, std::memory_order_relaxed);
+    site->obs_fires->Increment();
+  }
+  return fire;
+}
+
+namespace {
+
+/// Shared by Configure() and the env-var static initializer. Does not
+/// touch g_enabled (which may not be constructed yet during static init);
+/// returns whether any rule is active.
+Result<bool> ConfigureLocked(const std::string& spec) {
+  Result<std::vector<Rule>> rules = ParseSpec(spec);
+  if (!rules.ok()) return rules.status();
+  State& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.rules = std::move(rules.value());
+  state.spec = state.rules.empty() ? "" : spec;
+  for (auto& [name, site] : state.sites) {
+    site->hits.store(0, std::memory_order_relaxed);
+    site->fires.store(0, std::memory_order_relaxed);
+  }
+  return !state.rules.empty();
+}
+
+bool InitFromEnv() {
+  const char* v = std::getenv("TASFAR_FAILPOINTS");
+  if (v == nullptr || v[0] == '\0') return false;
+  Result<bool> active = ConfigureLocked(v);
+  if (!active.ok()) {
+    // Chaos jobs rely on the spec taking effect; a typo must be loud. We
+    // cannot TASFAR_LOG here (static init order), so write stderr directly.
+    std::fprintf(stderr, "TASFAR_FAILPOINTS ignored: %s\n",
+                 active.status().ToString().c_str());
+    return false;
+  }
+  return active.value();
+}
+
+}  // namespace
+
+std::atomic<bool> g_enabled{InitFromEnv()};
+
+}  // namespace internal_failpoint
+
+namespace failpoint {
+
+Status Configure(const std::string& spec) {
+  Result<bool> active = internal_failpoint::ConfigureLocked(spec);
+  if (!active.ok()) return active.status();
+  internal_failpoint::g_enabled.store(active.value(),
+                                      std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void Disable() {
+  internal_failpoint::g_enabled.store(false, std::memory_order_relaxed);
+  internal_failpoint::State& state = internal_failpoint::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.rules.clear();
+  state.spec.clear();
+}
+
+std::string ActiveSpec() {
+  internal_failpoint::State& state = internal_failpoint::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.spec;
+}
+
+SiteStats StatsOf(const std::string& name) {
+  internal_failpoint::State& state = internal_failpoint::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  auto it = state.sites.find(name);
+  if (it == state.sites.end()) return SiteStats{};
+  return SiteStats{it->second->hits.load(std::memory_order_relaxed),
+                   it->second->fires.load(std::memory_order_relaxed)};
+}
+
+std::vector<std::string> RegisteredSites() {
+  internal_failpoint::State& state = internal_failpoint::GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.sites.size());
+  for (const auto& [name, site] : state.sites) names.push_back(name);
+  return names;  // std::map iteration is already sorted.
+}
+
+}  // namespace failpoint
+}  // namespace tasfar

@@ -1,0 +1,116 @@
+#ifndef TASFAR_UTIL_FAILPOINT_H_
+#define TASFAR_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tasfar {
+
+/// Fault-injection failpoints (docs/TESTING.md §Chaos).
+///
+/// A failpoint is a named site in library code where a fault can be
+/// injected on demand:
+///
+///   if (TASFAR_FAILPOINT("serialize.load.corrupt")) {
+///     return Status::IoError("injected fault");
+///   }
+///
+/// The macro evaluates to true when the site should realize its fault this
+/// hit. What "the fault" means is decided at the site (poison a value with
+/// NaN, return an error Status, flag divergence, ...) so the graceful-
+/// degradation path downstream of the site is exercised exactly as a real
+/// fault would exercise it.
+///
+/// Activation is process-wide, via the TASFAR_FAILPOINTS environment
+/// variable at startup or failpoint::Configure() at runtime. Spec grammar
+/// (comma-separated rules, each `target[:opt]...`):
+///
+///   <site>                      fire every hit of that site
+///   <site>:p=<prob>             fire with probability p in [0, 1]
+///   <site>:p=<prob>:seed=<u64>  ... deterministically derived from seed
+///   random:p=<prob>:seed=<u64>  wildcard: every site fires with prob. p
+///   off                         no failpoints (same as unset/empty)
+///
+/// An exact-name rule takes precedence over the `random` wildcard. The
+/// fire decision for hit #k of site s is a pure function of
+/// (seed, s, k), so a chaos run is reproducible from its seed alone: per
+/// site, the k-th hit makes the same decision on every run at every
+/// thread count (under concurrency only the assignment of hit indices to
+/// racing callers varies).
+///
+/// Cost: when no spec is active the macro is a single relaxed atomic load
+/// (BM_FailpointOverhead in bench/bench_micro_obs.cc) — failpoints stay
+/// compiled into release binaries. When active, each hit takes a mutex and
+/// updates counters; chaos mode trades speed for coverage.
+///
+/// Observability: every site exports `tasfar.failpoint.<site>.hits` and
+/// `tasfar.failpoint.<site>.fires` counters through the obs registry
+/// (recorded while TASFAR_METRICS is on), plus always-on internal counts
+/// readable via failpoint::StatsOf().
+namespace internal_failpoint {
+
+extern std::atomic<bool> g_enabled;
+
+struct Site;
+
+/// Returns the (process-lifetime) site registered under `name`, creating
+/// it on first use. Called once per call site via the macro's static.
+Site* RegisterSite(const char* name);
+
+/// Records a hit on `site` and returns true when the active spec says the
+/// fault fires.
+bool Hit(Site* site);
+
+}  // namespace internal_failpoint
+
+/// Whether any failpoint spec is active. Single relaxed load.
+inline bool FailpointsEnabled() {
+  return internal_failpoint::g_enabled.load(std::memory_order_relaxed);
+}
+
+namespace failpoint {
+
+/// Always-on per-site counters (independent of TASFAR_METRICS).
+struct SiteStats {
+  uint64_t hits = 0;   ///< Times the site was evaluated while enabled.
+  uint64_t fires = 0;  ///< Times the site returned true (fault injected).
+};
+
+/// Parses and activates `spec` (grammar above). An empty spec or "off"
+/// deactivates all failpoints. Activation resets every site's stats so a
+/// configured run is reproducible from hit index 0. Returns
+/// InvalidArgument (leaving the previous spec active) when the spec does
+/// not parse.
+Status Configure(const std::string& spec);
+
+/// Deactivates all failpoints (stats are kept until the next Configure).
+void Disable();
+
+/// The currently active spec ("" when disabled).
+std::string ActiveSpec();
+
+/// Stats of the site registered under `name`; zeros for unknown sites.
+SiteStats StatsOf(const std::string& name);
+
+/// Names of every site hit at least once while enabled, sorted.
+std::vector<std::string> RegisteredSites();
+
+}  // namespace failpoint
+}  // namespace tasfar
+
+/// True when the named failpoint should inject its fault at this call
+/// site. `name` must be a string literal. Zero-cost (one relaxed atomic
+/// load) while no spec is active.
+#define TASFAR_FAILPOINT(name)                                          \
+  (::tasfar::FailpointsEnabled() &&                                     \
+   ::tasfar::internal_failpoint::Hit([]() noexcept {                    \
+     static ::tasfar::internal_failpoint::Site* const kFailpointSite =  \
+         ::tasfar::internal_failpoint::RegisterSite(name);              \
+     return kFailpointSite;                                             \
+   }()))
+
+#endif  // TASFAR_UTIL_FAILPOINT_H_

@@ -80,6 +80,36 @@ double PearsonCorrelation(const std::vector<double>& x,
   return sxy / std::sqrt(sxx * syy);
 }
 
+namespace {
+
+/// Average (fractional) ranks, ties sharing the mean of their positions.
+std::vector<double> FractionalRanks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(v.size(), 0.0);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                        2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y) {
+  TASFAR_CHECK(x.size() == y.size());
+  TASFAR_CHECK(x.size() >= 2);
+  return PearsonCorrelation(FractionalRanks(x), FractionalRanks(y));
+}
+
 LinearFit LeastSquares(const std::vector<double>& x,
                        const std::vector<double>& y) {
   TASFAR_CHECK(x.size() == y.size());

@@ -35,6 +35,15 @@ double Quantile(std::vector<double> v, double p);
 double PearsonCorrelation(const std::vector<double>& x,
                           const std::vector<double>& y);
 
+/// Spearman rank correlation: Pearson correlation of the rank vectors,
+/// with ties assigned their average (fractional) rank. Monotone-invariant,
+/// which is what uncertainty-vs-error validation needs (tests/stat/): the
+/// calibration claim is "larger uncertainty ranks with larger error", not
+/// a linear relationship. Same preconditions/degenerate behavior as
+/// PearsonCorrelation.
+double SpearmanCorrelation(const std::vector<double>& x,
+                           const std::vector<double>& y);
+
 /// Ordinary least squares for y = a0 + a1*x (Eq. 9 of the paper).
 /// Requires equal sizes >= 2. When x has zero variance the slope is 0 and
 /// the intercept is mean(y).

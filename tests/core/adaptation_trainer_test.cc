@@ -6,6 +6,7 @@
 
 #include "nn/dense.h"
 #include "nn/trainer.h"
+#include "util/failpoint.h"
 
 namespace tasfar {
 namespace {
@@ -158,6 +159,60 @@ TEST(AdaptationTrainerTest, HistoryRecordsLoss) {
   }
   EXPECT_LE(best, result.history.front().train_loss);
   EXPECT_LT(result.history.back().train_loss, 0.1);
+}
+
+TEST(AdaptationTrainerTest, HealthyRunDoesNotDivergeOrRollBack) {
+  Rng rng(20);
+  auto source = LinearModel(&rng);
+  Tensor x({4, 1}, {1, 2, 3, 4});
+  std::vector<PseudoLabel> pls{Pl(1, 1), Pl(2, 1), Pl(3, 1), Pl(4, 1)};
+  AdaptationTrainer trainer(FastConfig());
+  auto result = trainer.Run(*source, x, pls, Tensor(), Tensor(), &rng);
+  EXPECT_FALSE(result.diverged);
+  EXPECT_FALSE(result.rolled_back);
+}
+
+TEST(AdaptationTrainerChaosTest, InjectedDivergenceRollsBackToBestEpoch) {
+  ASSERT_TRUE(failpoint::Configure("adaptation.diverge").ok());
+  Rng rng(21);
+  auto source = LinearModel(&rng);
+  Tensor x({20, 1});
+  std::vector<PseudoLabel> pls;
+  for (size_t i = 0; i < 20; ++i) {
+    x.At(i, 0) = static_cast<double>(i) / 10.0;
+    pls.push_back(Pl(2.0 * x.At(i, 0) + 1.0, 1.0));
+  }
+  AdaptationTrainer trainer(FastConfig());
+  auto result = trainer.Run(*source, x, pls, Tensor(), Tensor(), &rng);
+  failpoint::Disable();
+  EXPECT_TRUE(result.diverged);
+  EXPECT_TRUE(result.rolled_back);
+  // The rollback snapshot is the best epoch of an otherwise healthy run,
+  // so the model is finite and still fits the pseudo-label line.
+  for (Tensor* p : result.model->Params()) EXPECT_TRUE(p->AllFinite());
+  Tensor pred = result.model->Forward(Tensor({1, 1}, {0.5}), false);
+  EXPECT_NEAR(pred.At(0, 0), 2.0, 0.1);
+}
+
+TEST(AdaptationTrainerChaosTest, PoisonedStepsDivergeWithNoSnapshot) {
+  // optimizer.step.poison at p=1 writes NaN into the weights on the very
+  // first step — there is never a finite snapshot to roll back to, so the
+  // result must advertise itself as unusable (core/tasfar.cc then falls
+  // back to the source model).
+  ASSERT_TRUE(failpoint::Configure("optimizer.step.poison").ok());
+  Rng rng(22);
+  auto source = LinearModel(&rng);
+  Tensor x({4, 1}, {1, 2, 3, 4});
+  std::vector<PseudoLabel> pls{Pl(1, 1), Pl(2, 1), Pl(3, 1), Pl(4, 1)};
+  AdaptationTrainConfig cfg = FastConfig();
+  cfg.train.epochs = 5;
+  AdaptationTrainer trainer(cfg);
+  auto result = trainer.Run(*source, x, pls, Tensor(), Tensor(), &rng);
+  failpoint::Disable();
+  EXPECT_TRUE(result.diverged);
+  EXPECT_FALSE(result.rolled_back);
+  // The source model itself is untouched by the fault.
+  for (Tensor* p : source->Params()) EXPECT_TRUE(p->AllFinite());
 }
 
 TEST(AdaptationTrainerDeathTest, NothingToTrainOnAborts) {

@@ -1,0 +1,100 @@
+// Recoverable-error contract of eval/metrics (ISSUE 4): data-dependent
+// invalid inputs — empty tensors from a degenerate partition, mismatched
+// shapes from a faulted stage, out-of-domain RMSLE targets — must yield a
+// Status / NaN, never kill the harness process.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "util/failpoint.h"
+
+namespace tasfar {
+namespace {
+
+class MetricsRecoveryTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    failpoint::Disable();
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(MetricsRecoveryTest, EmptyInputReturnsInvalidArgument) {
+  Tensor p({0, 2});
+  Tensor t({0, 2});
+  const Result<double> r = metrics::TryMse(p, t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(std::isnan(metrics::Mse(p, t)));
+  EXPECT_TRUE(std::isnan(metrics::Rmse(p, t)));
+  EXPECT_TRUE(std::isnan(metrics::Mae(p, t)));
+  EXPECT_TRUE(std::isnan(metrics::Ste(p, t)));
+  EXPECT_TRUE(std::isnan(metrics::Rte(p, t)));
+  EXPECT_TRUE(metrics::PerSampleL2Error(p, t).empty());
+}
+
+TEST_F(MetricsRecoveryTest, ShapeMismatchReturnsInvalidArgument) {
+  Tensor p({2, 1});
+  Tensor t({2, 2});
+  EXPECT_EQ(metrics::TryMae(p, t).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(std::isnan(metrics::Mae(p, t)));
+}
+
+TEST_F(MetricsRecoveryTest, RankOneTensorReturnsInvalidArgument) {
+  Tensor p({4});
+  Tensor t({4});
+  EXPECT_EQ(metrics::TryRmse(p, t).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(MetricsRecoveryTest, RmsleOutOfDomainTargetIsRecoverable) {
+  Tensor p({2, 1}, {1.0, 1.0});
+  Tensor t({2, 1}, {1.0, -2.0});
+  const Result<double> r = metrics::TryRmsle(p, t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(std::isnan(metrics::Rmsle(p, t)));
+  // The boundary itself (-1, where log1p diverges) is also rejected.
+  Tensor t_edge({1, 1}, {-1.0});
+  Tensor p_edge({1, 1}, {0.0});
+  EXPECT_FALSE(metrics::TryRmsle(p_edge, t_edge).ok());
+}
+
+TEST_F(MetricsRecoveryTest, ValidInputsUnchangedByTryVariants) {
+  Tensor p({2, 1}, {1.0, 3.0});
+  Tensor t({2, 1}, {0.0, 0.0});
+  const Result<double> r = metrics::TryMse(p, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r.value(), metrics::Mse(p, t));
+  EXPECT_DOUBLE_EQ(r.value(), 5.0);
+}
+
+TEST_F(MetricsRecoveryTest, InvalidInputIncrementsGuardCounter) {
+  obs::SetMetricsEnabled(true);
+  obs::Counter* const counter =
+      obs::Registry::Get().GetCounter("tasfar.guard.metrics_invalid");
+  const uint64_t before = counter->value();
+  Tensor p({0, 1});
+  Tensor t({0, 1});
+  EXPECT_TRUE(std::isnan(metrics::Mse(p, t)));
+  EXPECT_EQ(counter->value(), before + 1);
+}
+
+TEST_F(MetricsRecoveryTest, InjectedMetricFaultDegradesToNaN) {
+  ASSERT_TRUE(failpoint::Configure("eval.metric.poison").ok());
+  Tensor p({2, 1}, {1.0, 2.0});
+  Tensor t({2, 1}, {1.0, 2.0});
+  const Result<double> r = metrics::TryMse(p, t);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  EXPECT_TRUE(std::isnan(metrics::Rmse(p, t)));
+  failpoint::Disable();
+  EXPECT_DOUBLE_EQ(metrics::Mse(p, t), 0.0);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -88,10 +88,13 @@ TEST(MetricsTest, ReductionPercent) {
   EXPECT_DOUBLE_EQ(metrics::ReductionPercent(0.0, 5.0), 0.0);
 }
 
-TEST(MetricsDeathTest, ShapeMismatchAborts) {
+TEST(MetricsTest, ShapeMismatchIsRecoverable) {
+  // Degraded pipelines can hand a harness mismatched tensors; that must
+  // poison the metric value, not the process (see metrics_recovery_test.cc
+  // for the full recoverable-error matrix).
   Tensor p({2, 1});
   Tensor t({2, 2});
-  EXPECT_DEATH(metrics::Mse(p, t), "");
+  EXPECT_TRUE(std::isnan(metrics::Mse(p, t)));
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+// Per-site chaos coverage (ISSUE 4): for every failpoint in the adaptation
+// path, an injected fault must degrade gracefully — the pipeline returns
+// the unmodified source model (or a valid rollback snapshot), the
+// `tasfar.adapt.fallback` counter records it, and the process exits 0.
+// The fixture is the 1-D domain-gap regression problem from
+// tasfar_pipeline_test, trained once for the whole suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/tasfar.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace tasfar {
+namespace {
+
+class ChaosPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(11);
+    model_ = new std::unique_ptr<Sequential>(std::make_unique<Sequential>());
+    Sequential* model = model_->get();
+    model->Emplace<Dense>(1, 24, &rng);
+    model->Emplace<Relu>();
+    model->Emplace<Dropout>(0.2, rng.NextU64());
+    model->Emplace<Dense>(24, 1, &rng);
+
+    const size_t n = 300;
+    Tensor src_x({n, 1});
+    Tensor src_y({n, 1});
+    for (size_t i = 0; i < n; ++i) {
+      const double x = rng.Uniform(-2.0, 2.0);
+      src_x.At(i, 0) = x;
+      src_y.At(i, 0) = x + rng.Normal(0.0, 0.05);
+    }
+    Adam opt(0.01);
+    Trainer trainer(model, &opt,
+                    [](const Tensor& p, const Tensor& t, Tensor* g,
+                       const std::vector<double>* w) {
+                      return loss::Mse(p, t, g, w);
+                    });
+    TrainConfig tc;
+    tc.epochs = 40;
+    trainer.Fit(src_x, src_y, tc, &rng);
+
+    const size_t nt = 150;
+    tgt_x_ = new Tensor({nt, 1});
+    for (size_t i = 0; i < nt; ++i) {
+      const bool ood = i % 3 == 0;
+      tgt_x_->At(i, 0) = ood ? rng.Uniform(3.0, 4.5) : rng.Uniform(1.5, 2.0);
+    }
+
+    TasfarOptions options;
+    options.mc_samples = 10;
+    options.num_segments = 10;
+    options.adaptation.train.epochs = 15;
+    options.adaptation.learning_rate = 2e-3;
+    tasfar_ = new Tasfar(options);
+    calib_ = new SourceCalibration(
+        tasfar_->Calibrate(model, src_x, src_y));
+    source_weights_ = new std::string(SerializeParams(model));
+  }
+
+  static void TearDownTestSuite() {
+    delete source_weights_;
+    delete calib_;
+    delete tasfar_;
+    delete tgt_x_;
+    delete model_;
+  }
+
+  void SetUp() override { obs::SetMetricsEnabled(true); }
+
+  void TearDown() override {
+    failpoint::Disable();
+    obs::SetMetricsEnabled(false);
+  }
+
+  /// Adapts under the given failpoint spec; reports how many times the
+  /// source-model fallback fired during the call.
+  TasfarReport AdaptUnderFault(const std::string& spec, uint64_t seed,
+                               uint64_t* fallback_delta) {
+    TASFAR_CHECK(failpoint::Configure(spec).ok());
+    obs::Counter* const fallback =
+        obs::Registry::Get().GetCounter("tasfar.adapt.fallback");
+    const uint64_t before = fallback->value();
+    Rng rng(seed);
+    TasfarReport report =
+        tasfar_->Adapt(model_->get(), *calib_, *tgt_x_, &rng);
+    failpoint::Disable();
+    *fallback_delta = fallback->value() - before;
+    return report;
+  }
+
+  /// The never-worse-than-source guarantee, bit-exact.
+  void ExpectReturnsSourceModel(const TasfarReport& report) {
+    ASSERT_NE(report.target_model, nullptr);
+    EXPECT_EQ(SerializeParams(report.target_model.get()), *source_weights_);
+  }
+
+  static std::unique_ptr<Sequential>* model_;
+  static Tensor* tgt_x_;
+  static Tasfar* tasfar_;
+  static SourceCalibration* calib_;
+  static std::string* source_weights_;
+};
+
+std::unique_ptr<Sequential>* ChaosPipelineTest::model_ = nullptr;
+Tensor* ChaosPipelineTest::tgt_x_ = nullptr;
+Tasfar* ChaosPipelineTest::tasfar_ = nullptr;
+SourceCalibration* ChaosPipelineTest::calib_ = nullptr;
+std::string* ChaosPipelineTest::source_weights_ = nullptr;
+
+TEST_F(ChaosPipelineTest, HealthyRunAdaptsWithoutFallback) {
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("off", 31, &delta);
+  EXPECT_EQ(delta, 0u);
+  ASSERT_FALSE(report.skipped);
+  EXPECT_FALSE(report.fell_back);
+  EXPECT_NE(SerializeParams(report.target_model.get()), *source_weights_);
+}
+
+TEST_F(ChaosPipelineTest, StageFaultFallsBackToSource) {
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("tasfar.stage_fault", 37, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_NE(report.fallback_reason.find("stage_fault"), std::string::npos);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, DegenerateDensityMapFallsBack) {
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("density.degenerate", 41, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.fell_back);
+  EXPECT_NE(report.fallback_reason.find("density"), std::string::npos);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, PoisonedOptimizerStepsFallBack) {
+  // Every step writes NaN into the weights, so no finite snapshot ever
+  // exists: diverged, not rolled back, source model returned.
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("optimizer.step.poison", 43, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_FALSE(report.rolled_back);
+  EXPECT_TRUE(report.fell_back);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, PoisonedLossFallsBack) {
+  // Every batch loss is NaN → every batch skipped → epoch loss NaN →
+  // divergence with no snapshot → fallback.
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("loss.poison", 47, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_TRUE(report.fell_back);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, PoisonedMatMulFallsBack) {
+  // Poisoning every GEMM corrupts some MC predictions (dropped) and every
+  // training batch (skipped) — the run cannot produce a usable model and
+  // must land on the source fallback.
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("tensor.matmul.poison", 53, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.fell_back);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, InjectedDivergenceRollsBackInsteadOfFallingBack) {
+  // With a healthy learning curve the best-epoch snapshot exists, so a
+  // divergence verdict rolls back to it instead of discarding adaptation.
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("adaptation.diverge", 59, &delta);
+  EXPECT_EQ(delta, 0u);
+  EXPECT_TRUE(report.diverged);
+  EXPECT_TRUE(report.rolled_back);
+  EXPECT_FALSE(report.fell_back);
+  ASSERT_NE(report.target_model, nullptr);
+  for (Tensor* p : report.target_model->Params()) {
+    EXPECT_TRUE(p->AllFinite());
+  }
+}
+
+TEST_F(ChaosPipelineTest, PoisonedMcPredictionDegradesGracefully) {
+  // One NaN prediction is dropped, the remaining n-1 samples adapt
+  // normally — degradation, not fallback.
+  obs::Counter* const dropped =
+      obs::Registry::Get().GetCounter("tasfar.guard.dropped_predictions");
+  const uint64_t dropped_before = dropped->value();
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("mc_dropout.poison", 61, &delta);
+  EXPECT_EQ(delta, 0u);
+  EXPECT_FALSE(report.fell_back);
+  ASSERT_FALSE(report.skipped);
+  EXPECT_EQ(report.num_confident + report.num_uncertain,
+            tgt_x_->dim(0) - 1);
+  EXPECT_EQ(dropped->value(), dropped_before + 1);
+  // The poisoned sample (index 0) is in neither split.
+  for (size_t i : report.confident_indices) EXPECT_NE(i, 0u);
+  for (size_t i : report.uncertain_indices) EXPECT_NE(i, 0u);
+}
+
+TEST_F(ChaosPipelineTest, RandomizedChaosRunExitsZero) {
+  // The chaos-CI contract in one process: randomized faults across every
+  // site at p=5% must still let adaptation terminate with a usable model
+  // and a clean exit. threadsafe style re-executes the binary, so the
+  // child owns a fresh thread pool.
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_EXIT(
+      {
+        if (!failpoint::Configure("random:p=0.05:seed=1234").ok()) {
+          std::exit(2);
+        }
+        Rng rng(67);
+        TasfarReport report =
+            tasfar_->Adapt(model_->get(), *calib_, *tgt_x_, &rng);
+        std::exit(report.target_model != nullptr ? 0 : 1);
+      },
+      ::testing::ExitedWithCode(0), "");
+}
+
+TEST_F(ChaosPipelineTest, WritesChaosMetricsSnapshot) {
+  // Defined last so it runs last: exports the counters accumulated by the
+  // tests above so the CI chaos job can archive fallback evidence.
+  uint64_t delta = 0;
+  TasfarReport report = AdaptUnderFault("tasfar.stage_fault", 71, &delta);
+  EXPECT_EQ(delta, 1u);
+  ExpectReturnsSourceModel(report);
+  EXPECT_TRUE(obs::WriteMetricsSnapshot("chaos"));
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,127 @@
+// Golden end-to-end determinism (ISSUE 4): the full TASFAR pipeline —
+// source training → calibration → confidence split → density map →
+// pseudo-labels → weighted fine-tuning — on a fixed-seed housing_sim
+// target must be byte-identical across repeated runs and across thread
+// counts. PR 2 proved layer-level equality; this pins the whole pipeline:
+// pseudo-label values, credibilities, and the serialized final weights are
+// compared as exact doubles / exact bytes, no tolerances.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/tasfar.h"
+#include "data/housing_sim.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "util/thread_pool.h"
+
+namespace tasfar {
+namespace {
+
+/// Everything the pipeline produces, captured in comparable form.
+struct GoldenRun {
+  std::string source_weights;   ///< SerializeParams of the trained source.
+  std::string adapted_weights;  ///< SerializeParams of the adapted model.
+  double tau = 0.0;
+  std::vector<size_t> uncertain_indices;
+  std::vector<double> pseudo_values;
+  std::vector<double> credibilities;
+  bool skipped = false;
+  bool fell_back = false;
+};
+
+GoldenRun RunPipeline() {
+  HousingSimConfig sim_cfg;
+  sim_cfg.source_samples = 240;
+  sim_cfg.target_samples = 120;
+  HousingSimulator sim(sim_cfg, /*seed=*/77);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+  Normalizer norm;
+  norm.Fit(source.inputs);
+  const Tensor src_x = norm.Apply(source.inputs);
+  const Tensor tgt_x = norm.Apply(target.inputs);
+
+  Rng rng(101);
+  auto model = BuildTabularModel(kNumHousingFeatures, &rng);
+  Adam opt(1e-3);
+  Trainer trainer(model.get(), &opt,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 32;
+  trainer.Fit(src_x, source.targets, tc, &rng);
+
+  TasfarOptions options;
+  options.mc_samples = 8;
+  options.num_segments = 10;
+  options.adaptation.train.epochs = 8;
+  Tasfar tasfar(options);
+  const SourceCalibration calib =
+      tasfar.Calibrate(model.get(), src_x, source.targets);
+  Rng adapt_rng(202);
+  TasfarReport report = tasfar.Adapt(model.get(), calib, tgt_x, &adapt_rng);
+
+  GoldenRun run;
+  run.source_weights = SerializeParams(model.get());
+  run.adapted_weights = SerializeParams(report.target_model.get());
+  run.tau = report.tau;
+  run.uncertain_indices = report.uncertain_indices;
+  for (const PseudoLabel& pl : report.pseudo_labels) {
+    for (double v : pl.value) run.pseudo_values.push_back(v);
+    run.credibilities.push_back(pl.credibility);
+  }
+  run.skipped = report.skipped;
+  run.fell_back = report.fell_back;
+  return run;
+}
+
+/// Exact comparison — serialized weights are hex-float strings, so string
+/// equality is bit equality of every parameter.
+void ExpectIdentical(const GoldenRun& a, const GoldenRun& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.source_weights, b.source_weights) << what;
+  EXPECT_EQ(a.adapted_weights, b.adapted_weights) << what;
+  EXPECT_EQ(a.tau, b.tau) << what;
+  EXPECT_EQ(a.uncertain_indices, b.uncertain_indices) << what;
+  EXPECT_EQ(a.pseudo_values, b.pseudo_values) << what;
+  EXPECT_EQ(a.credibilities, b.credibilities) << what;
+}
+
+class GoldenPipelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(0); }  // Restore default pool.
+};
+
+TEST_F(GoldenPipelineTest, RepeatedRunsAreByteIdentical) {
+  const GoldenRun first = RunPipeline();
+  // The fixture must exercise the real pipeline, not a degenerate skip.
+  ASSERT_FALSE(first.skipped);
+  ASSERT_FALSE(first.fell_back);
+  ASSERT_FALSE(first.pseudo_values.empty());
+  ASSERT_NE(first.adapted_weights, first.source_weights);
+  const GoldenRun second = RunPipeline();
+  ExpectIdentical(first, second, "repeat run");
+}
+
+TEST_F(GoldenPipelineTest, ThreadCountDoesNotChangeAnyByte) {
+  SetNumThreads(1);
+  const GoldenRun t1 = RunPipeline();
+  ASSERT_FALSE(t1.skipped);
+  SetNumThreads(2);
+  const GoldenRun t2 = RunPipeline();
+  SetNumThreads(8);
+  const GoldenRun t8 = RunPipeline();
+  ExpectIdentical(t1, t2, "1 vs 2 threads");
+  ExpectIdentical(t1, t8, "1 vs 8 threads");
+}
+
+}  // namespace
+}  // namespace tasfar

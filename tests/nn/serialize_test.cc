@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "nn/activations.h"
 #include "nn/dense.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -89,6 +91,64 @@ TEST(SerializeTest, MissingFileIsNotFound) {
   auto a = Model(14);
   EXPECT_EQ(LoadParams(a.get(), "/no/such/file.txt").code(),
             StatusCode::kNotFound);
+}
+
+// A corrupt load must be transactional: the model keeps its previous
+// parameters bit-for-bit (the deployment fallback is "keep serving the
+// weights you already have").
+TEST(SerializeTest, FailedLoadLeavesModelUntouched) {
+  auto a = Model(15);
+  const std::string before = SerializeParams(a.get());
+
+  std::string truncated = before;
+  truncated.resize(truncated.size() - 10);
+  EXPECT_FALSE(DeserializeParams(a.get(), truncated).ok());
+  EXPECT_EQ(SerializeParams(a.get()), before);
+
+  std::string garbled = before;
+  garbled.replace(garbled.rfind("0x"), 2, "zz");
+  EXPECT_FALSE(DeserializeParams(a.get(), garbled).ok());
+  EXPECT_EQ(SerializeParams(a.get()), before);
+}
+
+TEST(SerializeTest, CorruptTokenRejected) {
+  auto a = Model(16);
+  std::string blob = SerializeParams(a.get());
+  // strtod would silently parse the "0x1..." prefix of a damaged token;
+  // strict end-pointer checking must reject it instead.
+  blob.replace(blob.rfind("0x"), 2, "0y");
+  EXPECT_EQ(DeserializeParams(a.get(), blob).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, NonFiniteValueRejected) {
+  auto a = Model(17);
+  (*a->Params()[0])[0] = std::numeric_limits<double>::quiet_NaN();
+  const std::string blob = SerializeParams(a.get());
+  auto b = Model(18);
+  const std::string before = SerializeParams(b.get());
+  const Status status = DeserializeParams(b.get(), blob);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(SerializeParams(b.get()), before);
+}
+
+TEST(SerializeTest, InjectedLoadFaultIsRecoverable) {
+  ASSERT_TRUE(failpoint::Configure("serialize.load.corrupt").ok());
+  auto a = Model(19);
+  const std::string blob = SerializeParams(a.get());
+  EXPECT_EQ(DeserializeParams(a.get(), blob).code(), StatusCode::kIoError);
+  failpoint::Disable();
+  EXPECT_TRUE(DeserializeParams(a.get(), blob).ok());
+}
+
+TEST(SerializeTest, InjectedSaveFaultIsRecoverable) {
+  ASSERT_TRUE(failpoint::Configure("serialize.save.io").ok());
+  auto a = Model(20);
+  const std::string path = testing::TempDir() + "/params_fault_test.txt";
+  EXPECT_EQ(SaveParams(a.get(), path).code(), StatusCode::kIoError);
+  failpoint::Disable();
+  ASSERT_TRUE(SaveParams(a.get(), path).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,81 @@
+// Statistical tier (ISSUE 4): MC-dropout uncertainty must rank-correlate
+// with true prediction error on a held-out simulator split. This is the
+// property TASFAR's confidence split rests on — if uncertainty were
+// uninformative about error, τ-thresholding would partition noise.
+//
+// Methodology: train the tabular MLP on the housing simulator's source
+// region, then predict the *target* (coastal) region with MC dropout. The
+// target mixes in-support rows with anomalous/coastal rows the source
+// never saw, so both error and uncertainty have real spread. We assert
+// Spearman ρ(uncertainty, |error|) — rank correlation, because the
+// claim is monotone association, not linearity.
+//
+// Everything is seeded (simulator 5, weights 9, dropout streams from the
+// predictor's fixed default seed), so the observed ρ is a deterministic
+// number, not a flaky sample: ρ ≈ 0.347 on this configuration. The
+// threshold below (ρ > 0.25) sits well under that to leave margin for
+// platform-dependent floating-point differences, while still far above
+// what an uninformative uncertainty could produce (|ρ| ≲ 0.1 at n = 300).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "data/housing_sim.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "uncertainty/mc_dropout.h"
+#include "util/stats.h"
+
+namespace tasfar {
+namespace {
+
+TEST(UncertaintyCorrelationTest, McDropoutUncertaintyTracksTrueError) {
+  HousingSimConfig cfg;
+  cfg.source_samples = 600;
+  cfg.target_samples = 300;
+  HousingSimulator sim(cfg, /*seed=*/5);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+  Normalizer norm;
+  norm.Fit(source.inputs);
+
+  Rng rng(9);
+  auto model = BuildTabularModel(kNumHousingFeatures, &rng);
+  Adam opt(1e-3);
+  Trainer trainer(model.get(), &opt,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = 20;
+  tc.batch_size = 32;
+  trainer.Fit(norm.Apply(source.inputs), source.targets, tc, &rng);
+
+  McDropoutPredictor predictor(model.get(), /*num_samples=*/20);
+  const std::vector<McPrediction> preds =
+      predictor.Predict(norm.Apply(target.inputs));
+  ASSERT_EQ(preds.size(), target.size());
+
+  std::vector<double> uncertainty, abs_error;
+  uncertainty.reserve(preds.size());
+  abs_error.reserve(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    uncertainty.push_back(preds[i].ScalarUncertainty());
+    abs_error.push_back(
+        std::fabs(preds[i].mean[0] - target.targets.At(i, 0)));
+  }
+
+  const double rho = stats::SpearmanCorrelation(uncertainty, abs_error);
+  EXPECT_GT(rho, 0.25) << "MC-dropout uncertainty no longer ranks with "
+                          "true error on the held-out target split";
+  // Sanity: the statistic is a genuine correlation, not a degenerate 1.0
+  // from constant vectors.
+  EXPECT_LT(rho, 0.999);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,151 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace tasfar {
+namespace {
+
+/// Every test leaves the process with failpoints disabled so the rest of
+/// the suite (and ctest siblings in this binary) is unaffected.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::Disable(); }
+};
+
+TEST_F(FailpointTest, DisabledByDefaultAndZeroStats) {
+  EXPECT_FALSE(FailpointsEnabled());
+  EXPECT_FALSE(TASFAR_FAILPOINT("fp.test.default"));
+  EXPECT_EQ(failpoint::ActiveSpec(), "");
+  // Disabled hits are not even counted — the macro short-circuits.
+  EXPECT_EQ(failpoint::StatsOf("fp.test.default").hits, 0u);
+}
+
+TEST_F(FailpointTest, ExactSiteAlwaysFires) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.always").ok());
+  EXPECT_TRUE(FailpointsEnabled());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.always"));
+  EXPECT_FALSE(TASFAR_FAILPOINT("fp.test.other_site"));
+  const failpoint::SiteStats stats = failpoint::StatsOf("fp.test.always");
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.fires, 5u);
+  EXPECT_EQ(failpoint::StatsOf("fp.test.other_site").fires, 0u);
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.never:p=0").ok());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(TASFAR_FAILPOINT("fp.test.never"));
+  }
+  EXPECT_EQ(failpoint::StatsOf("fp.test.never").hits, 100u);
+  EXPECT_EQ(failpoint::StatsOf("fp.test.never").fires, 0u);
+}
+
+TEST_F(FailpointTest, FractionalProbabilityFiresApproximately) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.half:p=0.5:seed=7").ok());
+  size_t fires = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (TASFAR_FAILPOINT("fp.test.half")) ++fires;
+  }
+  // Binomial(2000, 0.5): 1000 ± 5σ ≈ ±112.
+  EXPECT_GT(fires, 888u);
+  EXPECT_LT(fires, 1112u);
+  EXPECT_EQ(failpoint::StatsOf("fp.test.half").fires, fires);
+}
+
+TEST_F(FailpointTest, DeterministicUnderSeedAcrossReconfigure) {
+  std::vector<bool> first;
+  ASSERT_TRUE(failpoint::Configure("fp.test.det:p=0.3:seed=42").ok());
+  for (int i = 0; i < 200; ++i) first.push_back(TASFAR_FAILPOINT("fp.test.det"));
+  // Configure resets hit indices, so the same seed replays the same
+  // decision sequence — this is what makes a chaos run reproducible.
+  ASSERT_TRUE(failpoint::Configure("fp.test.det:p=0.3:seed=42").ok());
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(TASFAR_FAILPOINT("fp.test.det"), first[static_cast<size_t>(i)])
+        << "hit " << i;
+  }
+}
+
+TEST_F(FailpointTest, DifferentSeedsGiveDifferentSequences) {
+  std::vector<bool> a, b;
+  ASSERT_TRUE(failpoint::Configure("fp.test.seeds:p=0.5:seed=1").ok());
+  for (int i = 0; i < 64; ++i) a.push_back(TASFAR_FAILPOINT("fp.test.seeds"));
+  ASSERT_TRUE(failpoint::Configure("fp.test.seeds:p=0.5:seed=2").ok());
+  for (int i = 0; i < 64; ++i) b.push_back(TASFAR_FAILPOINT("fp.test.seeds"));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, RandomWildcardMatchesEverySite) {
+  ASSERT_TRUE(failpoint::Configure("random:p=1:seed=3").ok());
+  EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.wild_a"));
+  EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.wild_b"));
+}
+
+TEST_F(FailpointTest, ExactRuleBeatsWildcard) {
+  ASSERT_TRUE(failpoint::Configure("random:p=1,fp.test.quiet:p=0").ok());
+  EXPECT_FALSE(TASFAR_FAILPOINT("fp.test.quiet"));
+  EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.loud"));
+  // Order independence: exact rule listed first behaves the same.
+  ASSERT_TRUE(failpoint::Configure("fp.test.quiet:p=0,random:p=1").ok());
+  EXPECT_FALSE(TASFAR_FAILPOINT("fp.test.quiet"));
+  EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.loud"));
+}
+
+TEST_F(FailpointTest, OffAndEmptyDisable) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.on").ok());
+  EXPECT_TRUE(FailpointsEnabled());
+  ASSERT_TRUE(failpoint::Configure("off").ok());
+  EXPECT_FALSE(FailpointsEnabled());
+  ASSERT_TRUE(failpoint::Configure("fp.test.on").ok());
+  ASSERT_TRUE(failpoint::Configure("").ok());
+  EXPECT_FALSE(FailpointsEnabled());
+}
+
+TEST_F(FailpointTest, BadSpecsRejectedAndPreviousSpecKept) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.keep").ok());
+  const std::vector<std::string> bad = {
+      "fp.test.x:p=1.5",       // p out of range
+      "fp.test.x:p=nope",      // p not a number
+      "fp.test.x:seed=12x",    // trailing garbage in seed
+      "fp.test.x:p",           // option without '='
+      "fp.test.x:q=1",         // unknown option
+      ":p=1",                  // empty site name
+      "fp.test.x,,fp.test.y",  // empty rule
+      "off:p=1",               // off takes no options
+  };
+  for (const std::string& spec : bad) {
+    const Status status = failpoint::Configure(spec);
+    EXPECT_FALSE(status.ok()) << spec;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << spec;
+    EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.keep")) << spec;
+  }
+  EXPECT_EQ(failpoint::ActiveSpec(), "fp.test.keep");
+}
+
+TEST_F(FailpointTest, ConfigureResetsStats) {
+  ASSERT_TRUE(failpoint::Configure("fp.test.reset").ok());
+  EXPECT_TRUE(TASFAR_FAILPOINT("fp.test.reset"));
+  EXPECT_EQ(failpoint::StatsOf("fp.test.reset").hits, 1u);
+  ASSERT_TRUE(failpoint::Configure("fp.test.reset").ok());
+  EXPECT_EQ(failpoint::StatsOf("fp.test.reset").hits, 0u);
+}
+
+TEST_F(FailpointTest, RegisteredSitesSortedAndCumulative) {
+  ASSERT_TRUE(failpoint::Configure("random:p=0").ok());
+  (void)TASFAR_FAILPOINT("fp.test.reg_b");
+  (void)TASFAR_FAILPOINT("fp.test.reg_a");
+  const std::vector<std::string> sites = failpoint::RegisteredSites();
+  size_t pos_a = sites.size(), pos_b = sites.size();
+  for (size_t i = 0; i < sites.size(); ++i) {
+    if (sites[i] == "fp.test.reg_a") pos_a = i;
+    if (sites[i] == "fp.test.reg_b") pos_b = i;
+  }
+  ASSERT_LT(pos_a, sites.size());
+  ASSERT_LT(pos_b, sites.size());
+  EXPECT_LT(pos_a, pos_b);
+}
+
+}  // namespace
+}  // namespace tasfar

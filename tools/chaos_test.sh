@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Chaos-mode test run (docs/TESTING.md): executes every test binary of an
+# existing build with randomized failpoints injected through the
+# TASFAR_FAILPOINTS environment variable.
+#
+# Usage: tools/chaos_test.sh [build_dir] [seed] [p]
+#   build_dir defaults to "build", seed to 1, p (per-hit fire probability)
+#   to 0.01.
+#
+# Pass/fail contract: under injected faults, individual gtest assertions
+# MAY fail — a poisoned GEMM legitimately changes numeric expectations.
+# What must never happen is a crash: no signal deaths (SIGSEGV, SIGABRT
+# from an unguarded TASFAR_CHECK on poisoned data), no hangs. The script
+# therefore fails only when a binary exits >= 126 (shell signal encoding)
+# and reports assertion-failed binaries as tolerated degradation.
+#
+# Reproducing a chaos failure: rerun the failing binary alone with the
+# same spec, e.g.
+#   TASFAR_FAILPOINTS="random:p=0.01:seed=7" ./build/tests/trainer_test
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-build}"
+seed="${2:-1}"
+p="${3:-0.01}"
+
+cd "$repo_root"
+test_dir="$build_dir/tests"
+if [[ ! -d "$test_dir" ]]; then
+  echo "chaos_test.sh: '$test_dir' not found — build the tests first." >&2
+  exit 2
+fi
+
+spec="random:p=${p}:seed=${seed}"
+echo "chaos_test.sh: TASFAR_FAILPOINTS=${spec}"
+
+crashed=()
+degraded=()
+clean=0
+while IFS= read -r bin; do
+  name="$(basename "$bin")"
+  TASFAR_FAILPOINTS="$spec" TASFAR_METRICS=1 "$bin" >/dev/null 2>&1
+  code=$?
+  if [[ $code -ge 126 ]]; then
+    echo "CRASH   $name (exit $code)"
+    crashed+=("$name")
+  elif [[ $code -ne 0 ]]; then
+    echo "degrade $name (exit $code — assertion failures tolerated)"
+    degraded+=("$name")
+  else
+    clean=$((clean + 1))
+  fi
+done < <(find "$test_dir" -maxdepth 1 -type f -perm -u+x | sort)
+
+total=$((clean + ${#degraded[@]} + ${#crashed[@]}))
+echo
+echo "chaos_test.sh: seed=${seed} p=${p}: ${total} binaries —" \
+     "${clean} clean, ${#degraded[@]} degraded, ${#crashed[@]} crashed"
+if [[ ${#crashed[@]} -gt 0 ]]; then
+  echo "chaos_test.sh: FAIL — crashes under fault injection: ${crashed[*]}" >&2
+  exit 1
+fi
+echo "chaos_test.sh: PASS — no crashes"
