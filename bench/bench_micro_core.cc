@@ -10,6 +10,7 @@
 #include "core/pseudo_label_generator.h"
 #include "data/housing_sim.h"
 #include "nn/sequential.h"
+#include "tensor/buffer.h"
 #include "uncertainty/mc_dropout.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -123,6 +124,41 @@ BENCHMARK(BM_McDropoutPredictThreads)
     ->Args({20, 4})
     ->Args({20, 8})
     ->UseRealTime();
+
+// Steady-state allocation discipline of the MC-dropout hot path: once the
+// warm-up calls have populated the replica pool and the per-thread
+// workspace pools (docs/MEMORY.md), further Predict calls must not
+// allocate a single tensor buffer. The bench reports allocations and
+// workspace hits per iteration and fails outright if any measured
+// iteration allocated.
+void BM_McDropoutAllocs(benchmark::State& state) {
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({128, 8}, &rng);
+  McDropoutPredictor predictor(model.get(), /*num_samples=*/20);
+  for (int warm = 0; warm < 3; ++warm) {
+    auto preds = predictor.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const TensorAllocStats before = GetTensorAllocStats();
+  for (auto _ : state) {
+    auto preds = predictor.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const TensorAllocStats after = GetTensorAllocStats();
+  const double iters = static_cast<double>(state.iterations());
+  const uint64_t allocs = after.alloc_count - before.alloc_count;
+  state.counters["tensor_allocs_per_iter"] =
+      static_cast<double>(allocs) / iters;
+  state.counters["workspace_reuses_per_iter"] =
+      static_cast<double>(after.workspace_reuses - before.workspace_reuses) /
+      iters;
+  if (allocs != 0) {
+    state.SkipWithError("steady-state Predict allocated tensor buffers");
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 20);
+}
+BENCHMARK(BM_McDropoutAllocs);
 
 void BM_QsCalibration(benchmark::State& state) {
   Rng rng(6);

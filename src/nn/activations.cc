@@ -3,18 +3,25 @@
 #include <cmath>
 #include <cstdio>
 
+#include "tensor/workspace.h"
+
 namespace tasfar {
 
 Tensor Relu::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
-  return input.Map([](double x) { return x > 0.0 ? x : 0.0; });
+  Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
+  ApplyInto(input, [](double x) { return x > 0.0 ? x : 0.0; }, &out);
+  return out;
 }
 
 Tensor Relu::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad = grad_output;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  const double* in = cached_input_.data();
+  const double* go = grad_output.data();
+  double* g = grad.data();
   for (size_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0) grad[i] = 0.0;
+    g[i] = in[i] <= 0.0 ? 0.0 : go[i];
   }
   return grad;
 }
@@ -27,14 +34,19 @@ LeakyRelu::LeakyRelu(double negative_slope)
 Tensor LeakyRelu::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   const double s = negative_slope_;
-  return input.Map([s](double x) { return x > 0.0 ? x : s * x; });
+  Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
+  ApplyInto(input, [s](double x) { return x > 0.0 ? x : s * x; }, &out);
+  return out;
 }
 
 Tensor LeakyRelu::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad = grad_output;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  const double* in = cached_input_.data();
+  const double* go = grad_output.data();
+  double* g = grad.data();
   for (size_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0) grad[i] *= negative_slope_;
+    g[i] = in[i] <= 0.0 ? go[i] * negative_slope_ : go[i];
   }
   return grad;
 }
@@ -46,37 +58,49 @@ std::string LeakyRelu::Name() const {
 }
 
 Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
-  cached_output_ = input.Map([](double x) { return std::tanh(x); });
-  return cached_output_;
+  Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
+  ApplyInto(input, [](double x) { return std::tanh(x); }, &out);
+  cached_output_ = out;
+  return out;
 }
 
 Tensor Tanh::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad = grad_output;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  const double* y = cached_output_.data();
+  const double* go = grad_output.data();
+  double* g = grad.data();
   for (size_t i = 0; i < grad.size(); ++i) {
-    grad[i] *= 1.0 - cached_output_[i] * cached_output_[i];
+    g[i] = go[i] * (1.0 - y[i] * y[i]);
   }
   return grad;
 }
 
 Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
-  cached_output_ = input.Map([](double x) {
-    // Numerically stable logistic.
-    if (x >= 0.0) {
-      const double z = std::exp(-x);
-      return 1.0 / (1.0 + z);
-    }
-    const double z = std::exp(x);
-    return z / (1.0 + z);
-  });
-  return cached_output_;
+  Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
+  ApplyInto(input,
+            [](double x) {
+              // Numerically stable logistic.
+              if (x >= 0.0) {
+                const double z = std::exp(-x);
+                return 1.0 / (1.0 + z);
+              }
+              const double z = std::exp(x);
+              return z / (1.0 + z);
+            },
+            &out);
+  cached_output_ = out;
+  return out;
 }
 
 Tensor Sigmoid::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_output_));
-  Tensor grad = grad_output;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  const double* y = cached_output_.data();
+  const double* go = grad_output.data();
+  double* g = grad.data();
   for (size_t i = 0; i < grad.size(); ++i) {
-    grad[i] *= cached_output_[i] * (1.0 - cached_output_[i]);
+    g[i] = go[i] * (y[i] * (1.0 - y[i]));
   }
   return grad;
 }

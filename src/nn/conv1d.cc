@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -43,7 +44,10 @@ Tensor Conv1d::Forward(const Tensor& input, bool /*training*/) {
   const size_t batch = input.dim(0);
   const size_t t_in = input.dim(2);
   const size_t t_out = OutputLength(t_in);
-  Tensor out({batch, out_channels_, t_out});
+  // Every element is assigned below, so the uninitialized workspace tensor
+  // is safe.
+  Tensor out =
+      Workspace::ThreadLocal().NewTensor({batch, out_channels_, t_out});
   for (size_t b = 0; b < batch; ++b) {
     for (size_t oc = 0; oc < out_channels_; ++oc) {
       for (size_t to = 0; to < t_out; ++to) {
@@ -72,7 +76,9 @@ Tensor Conv1d::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.rank() == 3 && grad_output.dim(0) == batch &&
                grad_output.dim(1) == out_channels_ &&
                grad_output.dim(2) == t_out);
-  Tensor grad_input(cached_input_.shape());
+  // grad_input accumulates (+=), so it must start zeroed.
+  Tensor grad_input =
+      Workspace::ThreadLocal().ZeroTensor(cached_input_.shape());
   for (size_t b = 0; b < batch; ++b) {
     for (size_t oc = 0; oc < out_channels_; ++oc) {
       for (size_t to = 0; to < t_out; ++to) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -43,7 +44,10 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*training*/) {
   const size_t batch = input.dim(0);
   const size_t h_in = input.dim(2), w_in = input.dim(3);
   const size_t h_out = OutputExtent(h_in), w_out = OutputExtent(w_in);
-  Tensor out({batch, out_channels_, h_out, w_out});
+  // Every element is assigned below; uninitialized workspace contents are
+  // safe.
+  Tensor out = Workspace::ThreadLocal().NewTensor(
+      {batch, out_channels_, h_out, w_out});
   for (size_t b = 0; b < batch; ++b) {
     for (size_t oc = 0; oc < out_channels_; ++oc) {
       for (size_t ho = 0; ho < h_out; ++ho) {
@@ -80,7 +84,9 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.rank() == 4 && grad_output.dim(0) == batch &&
                grad_output.dim(1) == out_channels_ &&
                grad_output.dim(2) == h_out && grad_output.dim(3) == w_out);
-  Tensor grad_input(cached_input_.shape());
+  // grad_input accumulates (+=), so it must start zeroed.
+  Tensor grad_input =
+      Workspace::ThreadLocal().ZeroTensor(cached_input_.shape());
   for (size_t b = 0; b < batch; ++b) {
     for (size_t oc = 0; oc < out_channels_; ++oc) {
       for (size_t ho = 0; ho < h_out; ++ho) {
@@ -138,7 +144,7 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool /*training*/) {
   TASFAR_CHECK_MSG(h_in >= window_ && w_in >= window_,
                    "MaxPool2d window larger than input");
   const size_t h_out = h_in / window_, w_out = w_in / window_;
-  Tensor out({batch, ch, h_out, w_out});
+  Tensor out = Workspace::ThreadLocal().NewTensor({batch, ch, h_out, w_out});
   argmax_.assign(out.size(), 0);
   size_t flat = 0;
   for (size_t b = 0; b < batch; ++b) {
@@ -170,7 +176,8 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool /*training*/) {
 Tensor MaxPool2d::Backward(const Tensor& grad_output) {
   TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
   TASFAR_CHECK(grad_output.size() == argmax_.size());
-  Tensor grad_input(cached_input_.shape());
+  Tensor grad_input =
+      Workspace::ThreadLocal().ZeroTensor(cached_input_.shape());
   for (size_t i = 0; i < argmax_.size(); ++i) {
     grad_input[argmax_[i]] += grad_output[i];
   }
@@ -205,7 +212,7 @@ Tensor GlobalAvgPool2d::Forward(const Tensor& input, bool /*training*/) {
   cached_shape_ = input.shape();
   const size_t batch = input.dim(0), ch = input.dim(1);
   const size_t hw = input.dim(2) * input.dim(3);
-  Tensor out({batch, ch});
+  Tensor out = Workspace::ThreadLocal().NewTensor({batch, ch});
   for (size_t b = 0; b < batch; ++b) {
     for (size_t c = 0; c < ch; ++c) {
       double s = 0.0;
@@ -220,7 +227,8 @@ Tensor GlobalAvgPool2d::Forward(const Tensor& input, bool /*training*/) {
 
 Tensor GlobalAvgPool2d::Backward(const Tensor& grad_output) {
   TASFAR_CHECK_MSG(!cached_shape_.empty(), "Backward before Forward");
-  Tensor grad_input(cached_shape_);
+  // Every element is assigned below.
+  Tensor grad_input = Workspace::ThreadLocal().NewTensor(cached_shape_);
   const size_t batch = cached_shape_[0], ch = cached_shape_[1];
   const size_t h = cached_shape_[2], w = cached_shape_[3];
   const double scale = 1.0 / static_cast<double>(h * w);

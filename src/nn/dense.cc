@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -25,21 +26,34 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   TASFAR_CHECK_MSG(input.rank() == 2 && input.dim(1) == in_dim_,
                    "Dense expects a {batch, in_dim} input");
   cached_input_ = input;
-  return input.MatMul(weight_).AddRowBroadcast(bias_);
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor out = ws.NewTensor({input.dim(0), out_dim_});
+  MatMulInto(input, weight_, &out);
+  AddRowBroadcastInto(out, bias_, &out);
+  return out;
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.rank() == 2 && grad_output.dim(1) == out_dim_);
   TASFAR_CHECK_MSG(cached_input_.size() > 0, "Backward before Forward");
   TASFAR_CHECK(grad_output.dim(0) == cached_input_.dim(0));
-  grad_weight_ += cached_input_.Transposed().MatMul(grad_output);
   const size_t batch = grad_output.dim(0);
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor input_t = ws.NewTensor({in_dim_, batch});
+  TransposedInto(cached_input_, &input_t);
+  Tensor grad_w = ws.NewTensor({in_dim_, out_dim_});
+  MatMulInto(input_t, grad_output, &grad_w);
+  grad_weight_ += grad_w;
   for (size_t i = 0; i < batch; ++i) {
     for (size_t j = 0; j < out_dim_; ++j) {
       grad_bias_[j] += grad_output.At(i, j);
     }
   }
-  return grad_output.MatMul(weight_.Transposed());
+  Tensor weight_t = ws.NewTensor({out_dim_, in_dim_});
+  TransposedInto(weight_, &weight_t);
+  Tensor grad_in = ws.NewTensor({batch, in_dim_});
+  MatMulInto(grad_output, weight_t, &grad_in);
+  return grad_in;
 }
 
 std::unique_ptr<Layer> Dense::Clone() const {

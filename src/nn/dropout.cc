@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "tensor/workspace.h"
+
 namespace tasfar {
 
 Dropout::Dropout(double rate, uint64_t seed)
@@ -13,17 +15,23 @@ Tensor Dropout::Forward(const Tensor& input, bool training) {
   last_training_ = training;
   if (!training || rate_ == 0.0) return input;
   const double keep = 1.0 - rate_;
-  mask_ = Tensor(input.shape());
+  Workspace& ws = Workspace::ThreadLocal();
+  mask_ = ws.NewTensor(input.shape());
+  double* m = mask_.data();
   for (size_t i = 0; i < mask_.size(); ++i) {
-    mask_[i] = rng_.Bernoulli(keep) ? 1.0 / keep : 0.0;
+    m[i] = rng_.Bernoulli(keep) ? 1.0 / keep : 0.0;
   }
-  return input * mask_;
+  Tensor out = ws.NewTensor(input.shape());
+  MulInto(input, mask_, &out);
+  return out;
 }
 
 Tensor Dropout::Backward(const Tensor& grad_output) {
   if (!last_training_ || rate_ == 0.0) return grad_output;
   TASFAR_CHECK(grad_output.SameShape(mask_));
-  return grad_output * mask_;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  MulInto(grad_output, mask_, &grad);
+  return grad;
 }
 
 void Dropout::ReseedStochastic(uint64_t seed) {

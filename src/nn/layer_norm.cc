@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "tensor/workspace.h"
+
 namespace tasfar {
 
 LayerNorm::LayerNorm(size_t features, double epsilon)
@@ -21,9 +23,11 @@ Tensor LayerNorm::Forward(const Tensor& input, bool /*training*/) {
   TASFAR_CHECK_MSG(input.rank() == 2 && input.dim(1) == features_,
                    "LayerNorm expects a {batch, features} input");
   const size_t batch = input.dim(0);
-  cached_normalized_ = Tensor(input.shape());
+  Workspace& ws = Workspace::ThreadLocal();
+  // Both tensors have every element assigned below.
+  cached_normalized_ = ws.NewTensor(input.shape());
   cached_inv_std_.assign(batch, 0.0);
-  Tensor out(input.shape());
+  Tensor out = ws.NewTensor(input.shape());
   for (size_t i = 0; i < batch; ++i) {
     double mean = 0.0;
     for (size_t j = 0; j < features_; ++j) mean += input.At(i, j);
@@ -50,7 +54,7 @@ Tensor LayerNorm::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_normalized_));
   const size_t batch = grad_output.dim(0);
   const double n = static_cast<double>(features_);
-  Tensor grad_input(grad_output.shape());
+  Tensor grad_input = Workspace::ThreadLocal().NewTensor(grad_output.shape());
   for (size_t i = 0; i < batch; ++i) {
     // d loss / d x̂ and the two reduction terms of the layer-norm backward.
     double sum_g = 0.0, sum_gx = 0.0;
@@ -89,18 +93,24 @@ Elu::Elu(double alpha) : alpha_(alpha) { TASFAR_CHECK(alpha > 0.0); }
 Tensor Elu::Forward(const Tensor& input, bool /*training*/) {
   cached_input_ = input;
   const double a = alpha_;
-  cached_output_ = input.Map(
-      [a](double x) { return x > 0.0 ? x : a * (std::exp(x) - 1.0); });
-  return cached_output_;
+  Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
+  ApplyInto(input,
+            [a](double x) { return x > 0.0 ? x : a * (std::exp(x) - 1.0); },
+            &out);
+  cached_output_ = out;
+  return out;
 }
 
 Tensor Elu::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_input_));
-  Tensor grad = grad_output;
+  Tensor grad = Workspace::ThreadLocal().NewTensor(grad_output.shape());
+  const double* in = cached_input_.data();
+  const double* y = cached_output_.data();
+  const double* go = grad_output.data();
+  double* g = grad.data();
   for (size_t i = 0; i < grad.size(); ++i) {
-    if (cached_input_[i] <= 0.0) {
-      grad[i] *= cached_output_[i] + alpha_;  // α e^x.
-    }
+    g[i] = in[i] <= 0.0 ? go[i] * (y[i] + alpha_)  // α e^x.
+                        : go[i];
   }
   return grad;
 }
@@ -124,7 +134,7 @@ Tensor AvgPool2d::Forward(const Tensor& input, bool /*training*/) {
                    "AvgPool2d window larger than input");
   const size_t h_out = h_in / window_, w_out = w_in / window_;
   const double inv = 1.0 / static_cast<double>(window_ * window_);
-  Tensor out({batch, ch, h_out, w_out});
+  Tensor out = Workspace::ThreadLocal().NewTensor({batch, ch, h_out, w_out});
   for (size_t b = 0; b < batch; ++b) {
     for (size_t c = 0; c < ch; ++c) {
       for (size_t ho = 0; ho < h_out; ++ho) {
@@ -145,7 +155,9 @@ Tensor AvgPool2d::Forward(const Tensor& input, bool /*training*/) {
 
 Tensor AvgPool2d::Backward(const Tensor& grad_output) {
   TASFAR_CHECK_MSG(!cached_shape_.empty(), "Backward before Forward");
-  Tensor grad_input(cached_shape_);
+  // Rows/cols beyond the pooled region receive no gradient and must stay
+  // zero, so the buffer is zero-filled.
+  Tensor grad_input = Workspace::ThreadLocal().ZeroTensor(cached_shape_);
   const size_t batch = cached_shape_[0], ch = cached_shape_[1];
   const size_t h_out = grad_output.dim(2), w_out = grad_output.dim(3);
   const double inv = 1.0 / static_cast<double>(window_ * window_);

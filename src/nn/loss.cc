@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/guard.h"
+#include "tensor/workspace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -43,7 +44,10 @@ double Mse(const Tensor& pred, const Tensor& target, Tensor* grad,
   CheckShapes(pred, target, weights);
   const size_t batch = pred.dim(0), dims = pred.dim(1);
   const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (grad != nullptr) *grad = Tensor(pred.shape());
+  if (grad != nullptr) {
+    // Every element is assigned below.
+    *grad = Workspace::ThreadLocal().NewTensor(pred.shape());
+  }
   double total = 0.0;
   for (size_t i = 0; i < batch; ++i) {
     const double w = WeightOf(weights, i);
@@ -67,7 +71,10 @@ double Mae(const Tensor& pred, const Tensor& target, Tensor* grad,
   CheckShapes(pred, target, weights);
   const size_t batch = pred.dim(0), dims = pred.dim(1);
   const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (grad != nullptr) *grad = Tensor(pred.shape());
+  if (grad != nullptr) {
+    // Every element is assigned below.
+    *grad = Workspace::ThreadLocal().NewTensor(pred.shape());
+  }
   double total = 0.0;
   for (size_t i = 0; i < batch; ++i) {
     const double w = WeightOf(weights, i);
@@ -89,7 +96,10 @@ double Huber(const Tensor& pred, const Tensor& target, double delta,
   CheckShapes(pred, target, weights);
   const size_t batch = pred.dim(0), dims = pred.dim(1);
   const double inv_batch = 1.0 / static_cast<double>(batch);
-  if (grad != nullptr) *grad = Tensor(pred.shape());
+  if (grad != nullptr) {
+    // Every element is assigned below.
+    *grad = Workspace::ThreadLocal().NewTensor(pred.shape());
+  }
   double total = 0.0;
   for (size_t i = 0; i < batch; ++i) {
     const double w = WeightOf(weights, i);
@@ -117,7 +127,10 @@ double BinaryCrossEntropy(const Tensor& prob, const Tensor& target,
   TASFAR_CHECK(batch > 0);
   const double inv_batch = 1.0 / static_cast<double>(batch);
   const double eps = 1e-12;
-  if (grad != nullptr) *grad = Tensor(prob.shape());
+  if (grad != nullptr) {
+    // Every element is assigned below.
+    *grad = Workspace::ThreadLocal().NewTensor(prob.shape());
+  }
   double total = 0.0;
   for (size_t i = 0; i < batch; ++i) {
     for (size_t j = 0; j < dims; ++j) {

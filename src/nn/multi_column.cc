@@ -1,5 +1,6 @@
 #include "nn/multi_column.h"
 
+#include "tensor/workspace.h"
 #include "util/rng.h"
 
 namespace tasfar {
@@ -30,7 +31,8 @@ Tensor MultiColumn::Forward(const Tensor& input, bool training) {
     total_width += out.dim(1);
     outputs.push_back(std::move(out));
   }
-  Tensor fused({batch, total_width});
+  // Every element is assigned below.
+  Tensor fused = Workspace::ThreadLocal().NewTensor({batch, total_width});
   for (size_t b = 0; b < batch; ++b) {
     size_t offset = 0;
     for (const Tensor& out : outputs) {
@@ -49,9 +51,10 @@ Tensor MultiColumn::Backward(const Tensor& grad_output) {
   const size_t batch = grad_output.dim(0);
   Tensor grad_input;
   size_t offset = 0;
+  Workspace& ws = Workspace::ThreadLocal();
   for (size_t k = 0; k < branches_.size(); ++k) {
     const size_t width = branch_widths_[k];
-    Tensor grad_branch({batch, width});
+    Tensor grad_branch = ws.NewTensor({batch, width});
     for (size_t b = 0; b < batch; ++b) {
       for (size_t j = 0; j < width; ++j) {
         grad_branch.At(b, j) = grad_output.At(b, offset + j);

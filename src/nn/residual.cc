@@ -1,5 +1,7 @@
 #include "nn/residual.h"
 
+#include "tensor/workspace.h"
+
 namespace tasfar {
 
 Residual::Residual(std::unique_ptr<Sequential> body)
@@ -11,12 +13,17 @@ Tensor Residual::Forward(const Tensor& input, bool training) {
   Tensor out = body_->Forward(input, training);
   TASFAR_CHECK_MSG(out.SameShape(input),
                    "Residual body must preserve the input shape");
-  return out + input;
+  Tensor sum = Workspace::ThreadLocal().NewTensor(out.shape());
+  AddInto(out, input, &sum);
+  return sum;
 }
 
 Tensor Residual::Backward(const Tensor& grad_output) {
   // d(x + f(x)) = grad + f'(x)^T grad.
-  return body_->Backward(grad_output) + grad_output;
+  Tensor body_grad = body_->Backward(grad_output);
+  Tensor sum = Workspace::ThreadLocal().NewTensor(body_grad.shape());
+  AddInto(body_grad, grad_output, &sum);
+  return sum;
 }
 
 std::unique_ptr<Layer> Residual::Clone() const {

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/workspace.h"
+
 namespace tasfar {
 
 Tensor Softmax::Forward(const Tensor& input, bool /*training*/) {
   TASFAR_CHECK_MSG(input.rank() == 2, "Softmax expects {batch, classes}");
   const size_t batch = input.dim(0), classes = input.dim(1);
-  cached_output_ = Tensor(input.shape());
+  // Every element is assigned below.
+  cached_output_ = Workspace::ThreadLocal().NewTensor(input.shape());
   for (size_t i = 0; i < batch; ++i) {
     double max_logit = input.At(i, 0);
     for (size_t c = 1; c < classes; ++c) {
@@ -30,7 +33,8 @@ Tensor Softmax::Backward(const Tensor& grad_output) {
   TASFAR_CHECK(grad_output.SameShape(cached_output_));
   const size_t batch = cached_output_.dim(0);
   const size_t classes = cached_output_.dim(1);
-  Tensor grad_input(cached_output_.shape());
+  Tensor grad_input =
+      Workspace::ThreadLocal().NewTensor(cached_output_.shape());
   // d softmax: J = diag(p) - p p^T, so grad_in = p ⊙ (g - <g, p>).
   for (size_t i = 0; i < batch; ++i) {
     double dot = 0.0;
@@ -55,7 +59,9 @@ double CrossEntropy(const Tensor& prob, const Tensor& target, Tensor* grad,
   if (weights != nullptr) TASFAR_CHECK(weights->size() == batch);
   const double inv_batch = 1.0 / static_cast<double>(batch);
   const double eps = 1e-12;
-  if (grad != nullptr) *grad = Tensor(prob.shape());
+  // Entries with target 0 are skipped below, so the gradient buffer must
+  // start zeroed.
+  if (grad != nullptr) *grad = Workspace::ThreadLocal().ZeroTensor(prob.shape());
   double total = 0.0;
   for (size_t i = 0; i < batch; ++i) {
     const double w = weights == nullptr ? 1.0 : (*weights)[i];

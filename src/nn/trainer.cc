@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/workspace.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -15,8 +16,11 @@ Tensor GatherFirstDim(const Tensor& t, const std::vector<size_t>& indices) {
   const size_t n = t.dim(0);
   size_t row = 1;
   for (size_t i = 1; i < t.rank(); ++i) row *= t.dim(i);
+  // The flat views are zero-copy; only the gather itself writes, into a
+  // workspace tensor so per-batch gathers recycle their buffers.
   Tensor flat = t.Reshape({n, row});
-  Tensor gathered = flat.GatherRows(indices);
+  Tensor gathered = Workspace::ThreadLocal().NewTensor({indices.size(), row});
+  GatherRowsInto(flat, indices, &gathered);
   std::vector<size_t> shape = t.shape();
   shape[0] = indices.size();
   return gathered.Reshape(std::move(shape));
@@ -28,17 +32,21 @@ Tensor BatchedForward(Sequential* model, const Tensor& inputs, bool training,
   TASFAR_CHECK(batch_size > 0);
   const size_t n = inputs.dim(0);
   if (n == 0) return Tensor({0, 0});
-  std::vector<Tensor> rows;
-  rows.reserve(n);
+  // Batches are contiguous row ranges, so each one is a zero-copy view of
+  // `inputs`; per-batch outputs are copied into one preallocated result.
+  Tensor full;
   for (size_t start = 0; start < n; start += batch_size) {
     const size_t end = std::min(start + batch_size, n);
-    std::vector<size_t> idx(end - start);
-    for (size_t i = start; i < end; ++i) idx[i - start] = i;
-    Tensor out = model->Forward(GatherFirstDim(inputs, idx), training);
+    const Tensor out = model->Forward(inputs.SliceRows(start, end), training);
     TASFAR_CHECK(out.rank() == 2);
-    for (size_t i = 0; i < out.dim(0); ++i) rows.push_back(out.Row(i));
+    if (start == 0) {
+      full = Workspace::ThreadLocal().NewTensor({n, out.dim(1)});
+    }
+    TASFAR_CHECK(out.dim(0) == end - start && out.dim(1) == full.dim(1));
+    std::copy(out.data(), out.data() + out.size(),
+              full.data() + start * full.dim(1));
   }
-  return Tensor::StackRows(rows);
+  return full;
 }
 
 Trainer::Trainer(Sequential* model, Optimizer* optimizer, LossFn loss)

@@ -1,0 +1,58 @@
+#include "tensor/buffer.h"
+
+#include "obs/metrics.h"
+
+namespace tasfar {
+
+namespace {
+
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_alloc_bytes{0};
+std::atomic<uint64_t> g_workspace_reuses{0};
+
+void NoteAllocation(size_t bytes) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const kCount =
+        obs::Registry::Get().GetCounter("tasfar.tensor.alloc.count");
+    static obs::Counter* const kBytes =
+        obs::Registry::Get().GetCounter("tasfar.tensor.alloc.bytes");
+    kCount->Increment();
+    kBytes->Increment(static_cast<uint64_t>(bytes));
+  }
+}
+
+}  // namespace
+
+TensorAllocStats GetTensorAllocStats() {
+  TensorAllocStats stats;
+  stats.alloc_count = g_alloc_count.load(std::memory_order_relaxed);
+  stats.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed);
+  stats.workspace_reuses = g_workspace_reuses.load(std::memory_order_relaxed);
+  return stats;
+}
+
+namespace detail {
+
+TensorBuffer::TensorBuffer(size_t n) : data_(n, 0.0) {
+  NoteAllocation(n * sizeof(double));
+}
+
+TensorBuffer::TensorBuffer(std::vector<double> values)
+    : data_(std::move(values)) {
+  NoteAllocation(data_.size() * sizeof(double));
+}
+
+void NoteWorkspaceReuse() {
+  g_workspace_reuses.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* const kReuse =
+        obs::Registry::Get().GetCounter("tasfar.workspace.reuse");
+    kReuse->Increment();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace tasfar

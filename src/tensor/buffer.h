@@ -1,0 +1,71 @@
+#ifndef TASFAR_TENSOR_BUFFER_H_
+#define TASFAR_TENSOR_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tasfar {
+
+/// Process-wide tensor-storage statistics. The counters are always on
+/// (relaxed atomics touched only on the allocation / reuse paths, never per
+/// element) so tests and benches can assert allocation behavior without
+/// enabling the metrics registry; when metrics are enabled the same events
+/// also land in `tasfar.tensor.alloc.count`, `tasfar.tensor.alloc.bytes`
+/// and `tasfar.workspace.reuse`.
+struct TensorAllocStats {
+  uint64_t alloc_count = 0;      ///< TensorBuffer allocations since start.
+  uint64_t alloc_bytes = 0;      ///< Total bytes of those allocations.
+  uint64_t workspace_reuses = 0; ///< Workspace pool hits (no allocation).
+};
+
+TensorAllocStats GetTensorAllocStats();
+
+namespace detail {
+
+/// Refcounted storage block shared by Tensor objects.
+///
+/// Lifetime is managed by std::shared_ptr, but copy-on-write uniqueness and
+/// workspace-pool availability are decided by a separate intrusive count of
+/// *Tensor* references: the Workspace pool holds a shared_ptr to every
+/// pooled buffer (so use_count() alone cannot distinguish "one tensor" from
+/// "one tensor plus the pool"), while `tensor_refs` counts exactly the
+/// Tensor objects currently viewing the block. `tensor_refs == 1` means a
+/// mutation may write in place; `tensor_refs == 0` means the pool may hand
+/// the block to a new tensor.
+class TensorBuffer {
+ public:
+  /// Zero-initialized block of n doubles.
+  explicit TensorBuffer(size_t n);
+
+  /// Block adopting the given values.
+  explicit TensorBuffer(std::vector<double> values);
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  size_t capacity() const { return data_.size(); }
+
+  void AddTensorRef() { tensor_refs_.fetch_add(1, std::memory_order_relaxed); }
+  // Release ordering pairs with the acquire load in TensorRefs(): a thread
+  // that observes tensor_refs == 0 (pool reuse) or == 1 (in-place mutation)
+  // also observes every write made before the other tensors released.
+  void DropTensorRef() { tensor_refs_.fetch_sub(1, std::memory_order_release); }
+  size_t TensorRefs() const {
+    return tensor_refs_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<double> data_;
+  std::atomic<size_t> tensor_refs_{0};
+};
+
+/// Records a workspace pool hit in the process-wide stats (and the metrics
+/// registry when enabled). Called by Workspace, not by user code.
+void NoteWorkspaceReuse();
+
+}  // namespace detail
+
+}  // namespace tasfar
+
+#endif  // TASFAR_TENSOR_BUFFER_H_

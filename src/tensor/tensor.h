@@ -4,25 +4,47 @@
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tensor/buffer.h"
 #include "util/check.h"
 
 namespace tasfar {
 
 class Rng;
+class Workspace;
+
+namespace detail {
+
+/// Element count of a shape with overflow-checked products. A rank-0 shape
+/// has zero elements (this library's convention for "empty"), matching the
+/// default-constructed Tensor.
+size_t CheckedElementCount(const std::vector<size_t>& shape);
+
+}  // namespace detail
 
 /// Dense row-major tensor of doubles with arbitrary rank.
 ///
 /// This is the numeric substrate of the library: the nn/ layers, the
-/// simulators, and the TASFAR core all operate on Tensor. Design goals are
-/// correctness and clarity first — the networks in this repo are small
-/// (hidden dims 16-64), so a straightforward row-major layout with
-/// bounds-checked debug accessors suffices for most operations. The one
-/// hot spot, MatMul, uses a cache-blocked kernel with a row-sharded
-/// parallel outer loop on the global thread pool (util/thread_pool.h);
-/// its results are bit-identical at every thread count.
+/// simulators, and the TASFAR core all operate on Tensor. Storage is a
+/// shared, refcounted buffer (detail::TensorBuffer) plus an (offset, shape)
+/// window: copies, `Reshape`, `Row` and `SliceRows` are zero-copy views of
+/// the same block, and any mutation through a sharing tensor first detaches
+/// it onto its own copy (copy-on-write), so value semantics are preserved
+/// exactly — see docs/MEMORY.md for the ownership rules.
+///
+/// All views are contiguous (full-buffer reshapes and first-dimension row
+/// ranges); `data()` therefore always points at `size()` consecutive
+/// doubles, and kernels may stream it directly.
+///
+/// The one hot spot, MatMul, uses a cache-blocked kernel with a row-sharded
+/// parallel outer loop on the global thread pool (util/thread_pool.h); its
+/// results are bit-identical at every thread count. `MatMulInto` and the
+/// other *Into kernels write into caller-provided tensors (typically drawn
+/// from a per-thread Workspace) so steady-state hot loops allocate nothing.
 ///
 /// The rank-2 case (matrix of shape {rows, cols}) is the workhorse; batch
 /// image tensors use rank 4 ({batch, channels, height, width}) and batch
@@ -40,6 +62,14 @@ class Tensor {
   /// element count.
   Tensor(std::vector<size_t> shape, std::vector<double> data);
 
+  /// Copies share the buffer; the first mutation through either side
+  /// detaches it (copy-on-write).
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
   // --- Factories -----------------------------------------------------------
 
   static Tensor Zeros(std::vector<size_t> shape);
@@ -50,6 +80,7 @@ class Tensor {
   static Tensor FromVector(const std::vector<double>& values);
 
   /// Rank-2 tensor from nested rows; all rows must have equal length.
+  /// An empty row list yields a {0, 0} tensor.
   static Tensor FromRows(const std::vector<std::vector<double>>& rows);
 
   /// i.i.d. N(mean, stddev) entries drawn from `rng`.
@@ -64,7 +95,7 @@ class Tensor {
 
   const std::vector<size_t>& shape() const { return shape_; }
   size_t rank() const { return shape_.size(); }
-  size_t size() const { return data_.size(); }
+  size_t size() const { return size_; }
 
   /// Dimension `axis`; requires axis < rank().
   size_t dim(size_t axis) const {
@@ -72,8 +103,8 @@ class Tensor {
     return shape_[axis];
   }
 
-  /// Returns a tensor with the same data and a new shape of equal element
-  /// count.
+  /// Returns a zero-copy view of the same data with a new shape of equal
+  /// element count.
   Tensor Reshape(std::vector<size_t> new_shape) const;
 
   /// True when shapes match exactly.
@@ -82,53 +113,74 @@ class Tensor {
   /// "[2, 3]"-style shape string for diagnostics.
   std::string ShapeString() const;
 
+  // --- Aliasing ------------------------------------------------------------
+
+  /// True when both tensors view the same underlying buffer (regardless of
+  /// offset or shape). A freshly detached or freshly constructed tensor
+  /// shares with nothing.
+  bool SharesBufferWith(const Tensor& other) const {
+    return buf_ != nullptr && buf_ == other.buf_;
+  }
+
   // --- Element access ------------------------------------------------------
 
-  double* data() { return data_.data(); }
-  const double* data() const { return data_.data(); }
+  /// Mutable data pointer; detaches from any sharing tensors first.
+  double* data() {
+    EnsureUnique();
+    return buf_ ? buf_->data() + offset_ : nullptr;
+  }
+  const double* data() const {
+    return buf_ ? buf_->data() + offset_ : nullptr;
+  }
 
   /// Flat accessors (row-major order).
   double& operator[](size_t i) {
-    TASFAR_CHECK(i < data_.size());
-    return data_[i];
+    TASFAR_CHECK(i < size_);
+    EnsureUnique();
+    return buf_->data()[offset_ + i];
   }
   double operator[](size_t i) const {
-    TASFAR_CHECK(i < data_.size());
-    return data_[i];
+    TASFAR_CHECK(i < size_);
+    return buf_->data()[offset_ + i];
   }
 
   /// Rank-2 accessors.
   double& At(size_t r, size_t c) {
     TASFAR_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
-    return data_[r * shape_[1] + c];
+    EnsureUnique();
+    return buf_->data()[offset_ + r * shape_[1] + c];
   }
   double At(size_t r, size_t c) const {
     TASFAR_CHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
-    return data_[r * shape_[1] + c];
+    return buf_->data()[offset_ + r * shape_[1] + c];
   }
 
   /// Rank-3 accessors ({batch, channels, time}).
   double& At(size_t b, size_t c, size_t t) {
     TASFAR_CHECK(rank() == 3 && b < shape_[0] && c < shape_[1] &&
                  t < shape_[2]);
-    return data_[(b * shape_[1] + c) * shape_[2] + t];
+    EnsureUnique();
+    return buf_->data()[offset_ + (b * shape_[1] + c) * shape_[2] + t];
   }
   double At(size_t b, size_t c, size_t t) const {
     TASFAR_CHECK(rank() == 3 && b < shape_[0] && c < shape_[1] &&
                  t < shape_[2]);
-    return data_[(b * shape_[1] + c) * shape_[2] + t];
+    return buf_->data()[offset_ + (b * shape_[1] + c) * shape_[2] + t];
   }
 
   /// Rank-4 accessors ({batch, channels, height, width}).
   double& At(size_t b, size_t c, size_t h, size_t w) {
     TASFAR_CHECK(rank() == 4 && b < shape_[0] && c < shape_[1] &&
                  h < shape_[2] && w < shape_[3]);
-    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    EnsureUnique();
+    return buf_->data()[offset_ +
+                        ((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
   double At(size_t b, size_t c, size_t h, size_t w) const {
     TASFAR_CHECK(rank() == 4 && b < shape_[0] && c < shape_[1] &&
                  h < shape_[2] && w < shape_[3]);
-    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+    return buf_->data()[offset_ +
+                        ((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
   }
 
   // --- Elementwise arithmetic ----------------------------------------------
@@ -175,8 +227,12 @@ class Tensor {
   /// Adds a rank-1 bias (length = cols) to every row of a rank-2 tensor.
   Tensor AddRowBroadcast(const Tensor& row) const;
 
-  /// Returns row `r` of a rank-2 tensor as a rank-1 tensor.
+  /// Returns row `r` of a rank-2 tensor as a rank-1 zero-copy view.
   Tensor Row(size_t r) const;
+
+  /// Returns rows [begin, end) of a rank >= 1 tensor as a zero-copy view
+  /// sharing this tensor's buffer (first dimension becomes end - begin).
+  Tensor SliceRows(size_t begin, size_t end) const;
 
   /// Copies rank-1 `row` (length = cols) into row `r`.
   void SetRow(size_t r, const Tensor& row);
@@ -210,12 +266,70 @@ class Tensor {
   double MaxAbsDiff(const Tensor& other) const;
 
  private:
+  friend class Workspace;
+
+  /// View of `buf` at `offset` with the given shape; adds a tensor ref.
+  /// The window [offset, offset + elements(shape)) must fit the buffer.
+  Tensor(std::shared_ptr<detail::TensorBuffer> buf, size_t offset,
+         std::vector<size_t> shape);
+
+  /// Detaches onto a private copy of the visible window when the buffer is
+  /// shared with any other tensor, so the caller may mutate in place.
+  void EnsureUnique() {
+    if (buf_ != nullptr && buf_->TensorRefs() > 1) DetachSlow();
+  }
+  void DetachSlow();
+
+  /// Drops this tensor's reference on its buffer (leaves members stale;
+  /// callers reassign or destruct immediately after).
+  void Release() {
+    if (buf_ != nullptr) buf_->DropTensorRef();
+  }
+
+  std::shared_ptr<detail::TensorBuffer> buf_;
+  size_t offset_ = 0;
+  size_t size_ = 0;
   std::vector<size_t> shape_;
-  std::vector<double> data_;
 };
 
 /// Scalar * tensor.
 Tensor operator*(double s, const Tensor& t);
+
+// --- Out-parameter kernels --------------------------------------------------
+//
+// Each writes its result into `*out`, which must already have the result
+// shape (typically a Workspace tensor); none of them allocate when `out` is
+// unshared. If `out` shares a buffer with any other tensor it detaches
+// first, so cross-object aliasing is always safe; passing the *same object*
+// as both an input and `out` is allowed only where noted.
+
+/// *out = src, elementwise. out == &src is a no-op.
+void CopyInto(const Tensor& src, Tensor* out);
+
+/// *out = a + b, elementwise. out may be &a or &b.
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// *out = a * b (Hadamard), elementwise. out may be &a or &b.
+void MulInto(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// *out = fn(in), elementwise. out may be &in.
+void ApplyInto(const Tensor& in, const std::function<double(double)>& fn,
+               Tensor* out);
+
+/// *out = m with rank-1 `row` added to every row. out may be &m.
+void AddRowBroadcastInto(const Tensor& m, const Tensor& row, Tensor* out);
+
+/// *out = a.MatMul(b), bit-identical to MatMul at any thread count.
+/// out must not be &a or &b.
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// *out = a.Transposed(). out must not be &a.
+void TransposedInto(const Tensor& a, Tensor* out);
+
+/// *out = src.GatherRows(indices); out shape {indices.size(), cols}.
+/// out must not be &src.
+void GatherRowsInto(const Tensor& src, const std::vector<size_t>& indices,
+                    Tensor* out);
 
 }  // namespace tasfar
 

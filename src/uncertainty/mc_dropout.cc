@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "nn/trainer.h"
+#include "tensor/workspace.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -31,6 +32,39 @@ McDropoutPredictor::McDropoutPredictor(Sequential* model, size_t num_samples,
   TASFAR_CHECK(batch_size > 0);
 }
 
+std::unique_ptr<Sequential> McDropoutPredictor::CheckoutReplica() const {
+  std::unique_ptr<Sequential> replica;
+  {
+    std::lock_guard<std::mutex> lock(replica_mu_);
+    if (!replica_pool_.empty()) {
+      replica = std::move(replica_pool_.back());
+      replica_pool_.pop_back();
+    }
+  }
+  if (replica == nullptr) {
+    // Cloning shares every parameter buffer with the model (copy-on-write),
+    // so this is a structural copy, not a weight copy.
+    return model_->CloneSequential();
+  }
+  // Re-share parameters the model has mutated since this replica last ran.
+  // Replicas only ever Forward, so their parameters never detach; a buffer
+  // mismatch therefore means the model wrote (and detached) that parameter,
+  // and in the steady state this loop is pure pointer compares.
+  std::vector<Tensor*> dst = replica->Params();
+  std::vector<Tensor*> src = model_->Params();
+  TASFAR_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (!dst[i]->SharesBufferWith(*src[i])) *dst[i] = *src[i];
+  }
+  return replica;
+}
+
+void McDropoutPredictor::ReturnReplica(
+    std::unique_ptr<Sequential> replica) const {
+  std::lock_guard<std::mutex> lock(replica_mu_);
+  replica_pool_.push_back(std::move(replica));
+}
+
 std::vector<McPrediction> McDropoutPredictor::Predict(
     const Tensor& inputs) const {
   const size_t n = inputs.dim(0);
@@ -45,20 +79,22 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
   static obs::Counter* const kPasses =
       obs::Registry::Get().GetCounter("tasfar.mc_dropout.passes");
 
-  // One stochastic pass per task, each on a private model replica whose
-  // dropout streams are pinned to (root seed, call index, pass index).
-  // Tasks only read `inputs`/`model_` and write disjoint `passes` slots,
-  // so the fan-out is race-free and the reduction below — done serially
-  // in ascending pass order — is byte-identical at every thread count.
+  // One stochastic pass per task, each on a pooled model replica whose
+  // dropout streams are pinned to (root seed, call index, pass index) —
+  // which replica object runs a pass is irrelevant to its output. Tasks
+  // only read `inputs`/`model_` and write disjoint `passes` slots, so the
+  // fan-out is race-free and the reduction below — done serially in
+  // ascending pass order — is byte-identical at every thread count.
   const uint64_t call_seed =
       MixSeed(seed_, next_call_.fetch_add(1, std::memory_order_relaxed));
   std::vector<Tensor> passes(num_samples_);
   ParallelFor(0, num_samples_, /*grain=*/1, [&](size_t s) {
     const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
-    std::unique_ptr<Sequential> replica = model_->CloneSequential();
+    std::unique_ptr<Sequential> replica = CheckoutReplica();
     replica->ReseedStochastic(MixSeed(call_seed, s));
     passes[s] = BatchedForward(replica.get(), inputs, /*training=*/true,
                                batch_size_);
+    ReturnReplica(std::move(replica));
     if (metrics) {
       kPassMs->Observe(
           static_cast<double>(obs::MonotonicMicros() - t0) / 1000.0);
@@ -69,13 +105,20 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
     kPasses->Increment(num_samples_);
   }
 
-  // Accumulate sum and sum-of-squares across stochastic passes.
+  // Accumulate sum and sum-of-squares across stochastic passes, in
+  // workspace tensors (the square-then-add two-op order per pass matches
+  // the pre-workspace `sum_sq += p * p` expression byte for byte).
   const size_t out_dim = passes[0].dim(1);
-  Tensor sum = passes[0];
-  Tensor sum_sq = passes[0] * passes[0];
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor sum = ws.NewTensor(passes[0].shape());
+  CopyInto(passes[0], &sum);
+  Tensor sum_sq = ws.NewTensor(passes[0].shape());
+  MulInto(passes[0], passes[0], &sum_sq);
+  Tensor sq = ws.NewTensor(passes[0].shape());
   for (size_t s = 1; s < num_samples_; ++s) {
-    sum += passes[s];
-    sum_sq += passes[s] * passes[s];
+    AddInto(sum, passes[s], &sum);
+    MulInto(passes[s], passes[s], &sq);
+    AddInto(sum_sq, sq, &sum_sq);
   }
   const double inv_s = 1.0 / static_cast<double>(num_samples_);
   for (size_t i = 0; i < n; ++i) {

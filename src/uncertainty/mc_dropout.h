@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "nn/sequential.h"
@@ -31,15 +33,20 @@ struct McPrediction {
 /// uncertainty, which the predictor reports as-is.
 ///
 /// Parallelism and determinism (docs/THREADING.md): Predict fans the
-/// stochastic passes across the global thread pool. Each pass runs on a
-/// private replica of the model whose dropout streams are reseeded from
-/// (seed, call index, pass index), so for a fixed seed the k-th Predict
-/// call on a predictor returns byte-identical results at every thread
-/// count — while successive calls still draw fresh dropout ensembles (the
-/// MC mean remains a statistical estimate). Predict never mutates the
-/// wrapped model; concurrent Predict calls are safe as long as nothing
-/// else mutates the model. PredictMean runs the model itself (layer
-/// activation caches mutate) and is not thread-safe.
+/// stochastic passes across the global thread pool. Each pass checks a
+/// model replica out of an internal pool (created lazily, reused across
+/// passes and Predict calls); replica parameters share the wrapped model's
+/// buffers zero-copy (docs/MEMORY.md), and every checkout re-shares any
+/// parameter whose buffer changed since — e.g. after fine-tuning — so
+/// replicas never serve stale weights. Dropout streams are reseeded from
+/// (seed, call index, pass index), which pins the masks to the pass, not
+/// to the replica object, so for a fixed seed the k-th Predict call on a
+/// predictor returns byte-identical results at every thread count — while
+/// successive calls still draw fresh dropout ensembles (the MC mean
+/// remains a statistical estimate). Predict never mutates the wrapped
+/// model; concurrent Predict calls are safe as long as nothing else
+/// mutates the model. PredictMean runs the model itself (layer activation
+/// caches mutate) and is not thread-safe.
 class McDropoutPredictor {
  public:
   /// `model` must outlive the predictor. num_samples >= 2. `seed` is the
@@ -65,6 +72,11 @@ class McDropoutPredictor {
   size_t num_samples() const { return num_samples_; }
 
  private:
+  /// Pops a pooled replica (or clones one on first use) and re-shares any
+  /// parameter whose buffer no longer matches the model's.
+  std::unique_ptr<Sequential> CheckoutReplica() const;
+  void ReturnReplica(std::unique_ptr<Sequential> replica) const;
+
   Sequential* model_;
   size_t num_samples_;
   size_t batch_size_;
@@ -72,6 +84,10 @@ class McDropoutPredictor {
   /// Stream index of the next Predict call; atomic so concurrent Predict
   /// calls draw disjoint dropout ensembles.
   mutable std::atomic<uint64_t> next_call_{0};
+  /// Replica pool: at most one replica per concurrently running pass ever
+  /// exists; in steady state checkouts are pointer swaps, not clones.
+  mutable std::mutex replica_mu_;
+  mutable std::vector<std::unique_ptr<Sequential>> replica_pool_;
 };
 
 }  // namespace tasfar

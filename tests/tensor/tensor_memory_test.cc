@@ -1,0 +1,204 @@
+// Aliasing and memory-model semantics of the shared-buffer Tensor
+// (docs/MEMORY.md): views share storage zero-copy, mutation detaches via
+// copy-on-write, and the per-thread Workspace recycles buffers whose last
+// tensor reference is gone. Each TEST runs in its own process, so the
+// thread-local workspace pool starts empty in every workspace test.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "tensor/buffer.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+TEST(TensorAliasingTest, CopySharesBufferUntilWrite) {
+  Tensor a = Tensor::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  Tensor b = a;
+  EXPECT_TRUE(a.SharesBufferWith(b));
+  // Const reads must not detach (a non-const accessor would: overload
+  // resolution on a mutable tensor picks the detaching overload).
+  EXPECT_EQ(static_cast<const Tensor&>(b).At(1, 0), 3.0);
+  EXPECT_TRUE(a.SharesBufferWith(b));
+
+  b.At(0, 0) = 42.0;
+  EXPECT_FALSE(a.SharesBufferWith(b));
+  EXPECT_EQ(a.At(0, 0), 1.0);
+  EXPECT_EQ(b.At(0, 0), 42.0);
+}
+
+TEST(TensorAliasingTest, ReshapeIsZeroCopyView) {
+  const Tensor t = Tensor::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  const Tensor r = t.Reshape({3, 2});
+  EXPECT_TRUE(r.SharesBufferWith(t));
+  EXPECT_EQ(r.data(), t.data());
+  EXPECT_EQ(r.At(2, 1), 6.0);
+}
+
+TEST(TensorAliasingTest, SliceRowsIsOffsetViewOfParent) {
+  const Tensor t =
+      Tensor::FromRows({{0.0, 1.0}, {2.0, 3.0}, {4.0, 5.0}, {6.0, 7.0}});
+  const Tensor s = t.SliceRows(1, 3);
+  ASSERT_EQ(s.dim(0), 2u);
+  ASSERT_EQ(s.dim(1), 2u);
+  EXPECT_TRUE(s.SharesBufferWith(t));
+  EXPECT_EQ(s.data(), t.data() + 2);
+  EXPECT_EQ(s.At(0, 0), 2.0);
+  EXPECT_EQ(s.At(1, 1), 5.0);
+}
+
+TEST(TensorAliasingTest, ViewWriteDetachesAndLeavesParentIntact) {
+  Tensor t = Tensor::FromRows({{0.0, 1.0}, {2.0, 3.0}, {4.0, 5.0}});
+  Tensor s = t.SliceRows(1, 2);
+  s.At(0, 0) = 99.0;
+  EXPECT_FALSE(s.SharesBufferWith(t));
+  EXPECT_EQ(t.At(1, 0), 2.0);
+  EXPECT_EQ(s.At(0, 0), 99.0);
+}
+
+TEST(TensorAliasingTest, ParentWriteDetachesAndLeavesViewIntact) {
+  Tensor t = Tensor::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  const Tensor r = t.Reshape({4});
+  t.At(0, 0) = -7.0;
+  EXPECT_FALSE(t.SharesBufferWith(r));
+  EXPECT_EQ(r[0], 1.0);
+  EXPECT_EQ(t.At(0, 0), -7.0);
+}
+
+TEST(TensorAliasingTest, MoveTransfersBufferWithoutCopy) {
+  Tensor a = Tensor::FromRows({{1.0, 2.0}});
+  const double* p = a.data();
+  Tensor b = std::move(a);
+  EXPECT_EQ(static_cast<const Tensor&>(b).data(), p);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(TensorEdgeTest, FromRowsEmptyYieldsZeroByZero) {
+  const Tensor t = Tensor::FromRows({});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.dim(0), 0u);
+  EXPECT_EQ(t.dim(1), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorEdgeTest, FromRowsZeroWidthRows) {
+  const Tensor t = Tensor::FromRows({{}, {}});
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(1), 0u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TensorEdgeTest, ZeroSizeTensorsAndReshapes) {
+  const Tensor empty;
+  EXPECT_EQ(empty.rank(), 0u);
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.data(), nullptr);
+
+  const Tensor z({0, 3});
+  EXPECT_EQ(z.size(), 0u);
+  const Tensor zr = z.Reshape({3, 0});
+  EXPECT_EQ(zr.dim(0), 3u);
+  EXPECT_EQ(zr.size(), 0u);
+  // An empty tensor reshapes to any zero-element shape.
+  EXPECT_EQ(empty.Reshape({0, 5}).dim(1), 5u);
+}
+
+TEST(TensorEdgeDeathTest, ShapeProductOverflowAborts) {
+  const size_t huge = static_cast<size_t>(-1);
+  EXPECT_DEATH(Tensor({huge, huge}), "overflows size_t");
+}
+
+TEST(WorkspaceTest, ReusesDroppedBufferWithoutAllocating) {
+  Workspace& ws = Workspace::ThreadLocal();
+  const TensorAllocStats start = GetTensorAllocStats();
+  const double* first = nullptr;
+  {
+    Tensor a = ws.NewTensor({17, 23});
+    first = static_cast<const Tensor&>(a).data();
+  }
+  EXPECT_EQ(GetTensorAllocStats().alloc_count - start.alloc_count, 1u);
+
+  Tensor b = ws.NewTensor({17, 23});
+  EXPECT_EQ(static_cast<const Tensor&>(b).data(), first);
+  const TensorAllocStats after = GetTensorAllocStats();
+  EXPECT_EQ(after.alloc_count - start.alloc_count, 1u);
+  EXPECT_EQ(after.workspace_reuses - start.workspace_reuses, 1u);
+}
+
+TEST(WorkspaceTest, LiveBuffersAreNeverHandedOutTwice) {
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor a = ws.NewTensor({8, 8});
+  Tensor b = ws.NewTensor({8, 8});
+  EXPECT_NE(static_cast<const Tensor&>(a).data(),
+            static_cast<const Tensor&>(b).data());
+  a.Fill(1.0);
+  b.Fill(2.0);
+  EXPECT_EQ(static_cast<const Tensor&>(a)[0], 1.0);
+  EXPECT_EQ(static_cast<const Tensor&>(b)[0], 2.0);
+}
+
+TEST(WorkspaceTest, ZeroTensorClearsRecycledContents) {
+  Workspace& ws = Workspace::ThreadLocal();
+  {
+    Tensor dirty = ws.NewTensor({5, 5});
+    dirty.Fill(3.14);
+  }
+  const Tensor z = ws.ZeroTensor({5, 5});
+  for (size_t i = 0; i < z.size(); ++i) EXPECT_EQ(z[i], 0.0);
+}
+
+TEST(WorkspaceTest, EscapedCopyPinsTheBuffer) {
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor kept;
+  const double* pinned = nullptr;
+  {
+    Tensor a = ws.NewTensor({4, 4});
+    a.Fill(9.0);
+    pinned = static_cast<const Tensor&>(a).data();
+    kept = a;  // Shares the workspace buffer beyond `a`'s lifetime.
+  }
+  // The buffer still has a live tensor reference, so the pool must hand
+  // out fresh storage instead of recycling it underneath `kept`.
+  Tensor b = ws.NewTensor({4, 4});
+  EXPECT_NE(static_cast<const Tensor&>(b).data(), pinned);
+  for (size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(static_cast<const Tensor&>(kept)[i], 9.0);
+  }
+}
+
+TEST(WorkspaceTest, ParamsStayStableAcrossWorkspaceReuse) {
+  Sequential model;
+  Rng rng(7);
+  model.Add(std::make_unique<Dense>(4, 3, &rng));
+  const std::vector<Tensor*> params = model.Params();
+  std::vector<const double*> ptrs;
+  for (Tensor* p : params) {
+    ptrs.push_back(static_cast<const Tensor&>(*p).data());
+  }
+
+  // Forward/backward cycles churn through workspace buffers; parameter
+  // storage must never be recycled or detached underneath the model.
+  Tensor inputs = Tensor::RandomNormal({6, 4}, &rng);
+  for (int step = 0; step < 5; ++step) {
+    model.ZeroGrads();
+    Tensor out = model.Forward(inputs, /*training=*/false);
+    model.Backward(out);
+    const std::vector<Tensor*> again = model.Params();
+    ASSERT_EQ(again.size(), params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(again[i], params[i]);
+      EXPECT_EQ(static_cast<const Tensor&>(*again[i]).data(), ptrs[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tasfar

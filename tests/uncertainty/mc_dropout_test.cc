@@ -220,6 +220,35 @@ TEST(McDropoutTest, PredictDoesNotMutateTheWrappedModel) {
   EXPECT_DOUBLE_EQ(before.MaxAbsDiff(after), 0.0);
 }
 
+TEST(McDropoutTest, PooledReplicasTrackModelWeightUpdates) {
+  Rng rng(11);
+  auto model = DropoutModel(&rng);
+  Tensor x = Tensor::RandomNormal({5, 2}, &rng);
+  McDropoutPredictor warm(model.get(), 10, 64, 0x5eedULL);
+  (void)warm.Predict(x);  // Call index 0 — fills the replica pool.
+
+  // Fine-tune: mutate every parameter in place. Copy-on-write detaches the
+  // model's buffers from the pooled replicas' shared views, so a replica
+  // that skipped the checkout re-share would keep serving the old weights.
+  for (Tensor* p : model->Params()) *p *= 1.5;
+
+  auto pooled = warm.Predict(x);  // Call index 1, pooled replicas.
+
+  // A fresh predictor clones its replicas directly from the updated model;
+  // its call-index-1 ensemble must match the pooled one byte for byte.
+  McDropoutPredictor fresh(model.get(), 10, 64, 0x5eedULL);
+  (void)fresh.Predict(x);  // Burn call index 0.
+  auto expect = fresh.Predict(x);
+  ASSERT_EQ(pooled.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    ASSERT_EQ(pooled[i].mean.size(), expect[i].mean.size());
+    for (size_t j = 0; j < expect[i].mean.size(); ++j) {
+      EXPECT_EQ(pooled[i].mean[j], expect[i].mean[j]);
+      EXPECT_EQ(pooled[i].std[j], expect[i].std[j]);
+    }
+  }
+}
+
 TEST(McDropoutDeathTest, TooFewSamplesAborts) {
   Rng rng(7);
   auto model = DropoutModel(&rng);

@@ -213,6 +213,78 @@ void CheckNoBareAssert(const std::string& path, const std::string& code,
   }
 }
 
+/// Memory discipline (docs/MEMORY.md). Two bans, both src/-only:
+///
+/// 1. By-value `Tensor` parameters. Tensor copies are cheap O(1) shares,
+///    but a by-value parameter detaches (copies the whole buffer) on the
+///    callee's first write and hides that cost at every call site; APIs
+///    must take `const Tensor&` (read) or `Tensor*` (write).
+/// 2. `std::vector<double>(... .data() ...)` constructions — copying a
+///    tensor's storage into a fresh vector. Share the Tensor
+///    (copy-on-write) or fill a Workspace tensor instead. src/tensor/ is
+///    exempt: the copy-on-write detach itself is implemented this way.
+void CheckMemoryDiscipline(const std::string& path, const std::string& code,
+                           std::vector<Finding>* findings) {
+  const std::string tok = "Tensor";
+  for (size_t pos = code.find(tok); pos != std::string::npos;
+       pos = code.find(tok, pos + 1)) {
+    if (!TokenStartsAt(code, pos, tok)) continue;
+    // Parameter position: the previous token (skipping whitespace and an
+    // optional `const`) must be '(' or ','.
+    size_t before = pos;
+    while (before > 0 &&
+           std::isspace(static_cast<unsigned char>(code[before - 1])) != 0) {
+      --before;
+    }
+    if (before >= 5 && code.compare(before - 5, 5, "const") == 0 &&
+        (before == 5 || !IsIdentChar(code[before - 6]))) {
+      before -= 5;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(code[before - 1])) !=
+                 0) {
+        --before;
+      }
+    }
+    if (before == 0 || (code[before - 1] != '(' && code[before - 1] != ','))
+      continue;
+    // By-value means the next token is the parameter name: an identifier
+    // (not '&' / '*' / '(' / '<' / ':'), followed by ',', ')' or '='.
+    size_t after = code.find_first_not_of(" \t\n", pos + tok.size());
+    if (after == std::string::npos || !IsIdentChar(code[after])) continue;
+    size_t name_end = after;
+    while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
+    size_t delim = code.find_first_not_of(" \t\n", name_end);
+    if (delim == std::string::npos ||
+        (code[delim] != ',' && code[delim] != ')' && code[delim] != '=')) {
+      continue;
+    }
+    findings->push_back(
+        {path, LineOfOffset(code, pos), "memory-discipline",
+         "by-value Tensor parameter: take const Tensor& (read) or Tensor* "
+         "(write) — a by-value copy detaches on first write"});
+  }
+  if (path.compare(0, 11, "src/tensor/") == 0) return;
+  const std::string vec = "std::vector<double>";
+  for (size_t pos = code.find(vec); pos != std::string::npos;
+       pos = code.find(vec, pos + vec.size())) {
+    size_t open = code.find_first_not_of(" \t\n", pos + vec.size());
+    if (open == std::string::npos || code[open] != '(') continue;
+    size_t depth = 1, j = open + 1;
+    while (j < code.size() && depth > 0) {
+      if (code[j] == '(') ++depth;
+      if (code[j] == ')') --depth;
+      ++j;
+    }
+    if (code.substr(open, j - open).find(".data(") == std::string::npos) {
+      continue;
+    }
+    findings->push_back(
+        {path, LineOfOffset(code, pos), "memory-discipline",
+         "copying tensor storage into a std::vector<double>: share the "
+         "Tensor (copy-on-write) or fill a Workspace tensor instead"});
+  }
+}
+
 void CheckHeaderGuard(const std::string& path, const std::string& code,
                       std::vector<Finding>* findings) {
   const std::string expected = ExpectedHeaderGuard(path);
@@ -338,6 +410,7 @@ std::vector<Finding> LintSource(const std::string& repo_rel_path,
     CheckNoIostream(repo_rel_path, code, &findings);
     CheckNoBareAssert(repo_rel_path, code, &findings);
     CheckTimingDiscipline(repo_rel_path, code, &findings);
+    CheckMemoryDiscipline(repo_rel_path, code, &findings);
   }
   const bool is_header = repo_rel_path.size() >= 2 &&
                          repo_rel_path.compare(repo_rel_path.size() - 2, 2,

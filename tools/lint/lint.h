@@ -36,10 +36,13 @@ std::string StripCommentsAndStrings(const std::string& source);
 std::string ExpectedHeaderGuard(const std::string& repo_rel_path);
 
 /// Runs every applicable rule over one file's contents. `repo_rel_path`
-/// selects the rule set: the iostream and assert bans apply only under src/;
-/// the RNG-discipline ban, the thread-discipline ban (raw std::thread /
-/// std::jthread / std::async anywhere but src/util/thread_pool.*), and the
-/// header-guard check apply everywhere.
+/// selects the rule set: the iostream and assert bans, the
+/// timing-discipline ban, and the memory-discipline ban (by-value Tensor
+/// parameters; tensor-storage copies into std::vector<double>, with
+/// src/tensor/ exempt) apply only under src/; the RNG-discipline ban, the
+/// thread-discipline ban (raw std::thread / std::jthread / std::async
+/// anywhere but src/util/thread_pool.*), and the header-guard check apply
+/// everywhere.
 std::vector<Finding> LintSource(const std::string& repo_rel_path,
                                 const std::string& source);
 

@@ -257,6 +257,70 @@ TEST(TimingDisciplineTest, IgnoresCommentsAndStrings) {
                   .empty());
 }
 
+// --- memory-discipline ------------------------------------------------------
+
+TEST(MemoryDisciplineTest, FlagsByValueTensorParam) {
+  const auto findings =
+      LintSource("src/nn/foo.cc", "Tensor Forward(Tensor input);\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "memory-discipline");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(MemoryDisciplineTest, FlagsConstByValueAndSecondParam) {
+  const auto findings = LintSource(
+      "src/nn/foo.cc", "void F(const Tensor t);\nvoid G(int n, Tensor t);\n");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(MemoryDisciplineTest, AllowsReferenceAndPointerParams) {
+  EXPECT_TRUE(LintSource("src/nn/foo.cc",
+                         "Tensor F(const Tensor& a, Tensor* out);\n"
+                         "void G(Tensor& inout, const Tensor* p);\n")
+                  .empty());
+}
+
+TEST(MemoryDisciplineTest, AllowsLocalsReturnsAndTemplates) {
+  EXPECT_TRUE(LintSource("src/nn/foo.cc",
+                         "Tensor F();\n"
+                         "void G() {\n"
+                         "  Tensor local = F();\n"
+                         "  std::vector<Tensor> all;\n"
+                         "  H(Tensor({2, 2}));\n"
+                         "}\n")
+                  .empty());
+}
+
+TEST(MemoryDisciplineTest, FlagsVectorCopyOfTensorData) {
+  const auto findings = LintSource(
+      "src/nn/foo.cc",
+      "std::vector<double> v(std::vector<double>(t.data(), t.data() + "
+      "t.size()));\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "memory-discipline");
+}
+
+TEST(MemoryDisciplineTest, AllowsVectorWithoutTensorData) {
+  EXPECT_TRUE(
+      LintSource("src/nn/foo.cc", "std::vector<double> v(n, 0.0);\n")
+          .empty());
+}
+
+TEST(MemoryDisciplineTest, ExemptsTensorInternalsFromCopyBan) {
+  EXPECT_TRUE(LintSource("src/tensor/tensor.cc",
+                         "auto v = std::vector<double>(src.data(), "
+                         "src.data() + n);\n")
+                  .empty());
+}
+
+TEST(MemoryDisciplineTest, NotAppliedOutsideSrc) {
+  EXPECT_TRUE(
+      LintSource("tests/nn/foo_test.cc", "void F(Tensor by_value);\n")
+          .empty());
+}
+
 // --- header-guard -----------------------------------------------------------
 
 TEST(HeaderGuardTest, ExpectedGuardDropsSrcPrefix) {

@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# Assembles BENCH_PR5.json, the before/after record of the zero-copy
+# memory-model change: real_time (ns) for BM_MatMulThreads,
+# BM_McDropoutPredictThreads, and the steady-state allocation benchmark
+# BM_McDropoutAllocs. "Before" files are the checked-in pre-change runs
+# under bench/baselines/; "after" files come from a fresh run of
+# bench_micro_core / bench_micro_nn with --benchmark_format=json.
+#
+# Usage:
+#   tools/make_bench_pr5.sh BEFORE_MCD BEFORE_MATMUL AFTER_MCD AFTER_MATMUL OUT
+#
+# Fails if any "after" benchmark reported an error — in particular
+# BM_McDropoutAllocs skips with an error when a steady-state Predict
+# allocated a tensor buffer, and that must fail the build.
+set -eu
+
+if [ "$#" -ne 5 ]; then
+  echo "usage: $0 BEFORE_MCD BEFORE_MATMUL AFTER_MCD AFTER_MATMUL OUT" >&2
+  exit 2
+fi
+
+for f in "$3" "$4"; do
+  if jq -e '[.benchmarks[] | select(.error_occurred == true)] | length > 0' \
+      "$f" > /dev/null; then
+    echo "benchmark errors in $f:" >&2
+    jq -r '.benchmarks[] | select(.error_occurred == true) |
+           "  \(.name): \(.error_message)"' "$f" >&2
+    exit 1
+  fi
+done
+
+jq -n \
+  --slurpfile before_mcd "$1" --slurpfile before_matmul "$2" \
+  --slurpfile after_mcd "$3" --slurpfile after_matmul "$4" '
+  def rows($doc): [$doc.benchmarks[] |
+    {name, real_time, time_unit} +
+    (if has("tensor_allocs_per_iter")
+     then {tensor_allocs_per_iter, workspace_reuses_per_iter} else {} end)];
+  def ns($doc; $n): [$doc.benchmarks[] | select(.name == $n) | .real_time][0];
+  {
+    before: {
+      mc_dropout: rows($before_mcd[0]),
+      matmul: rows($before_matmul[0])
+    },
+    after: {
+      mc_dropout: rows($after_mcd[0]),
+      matmul: rows($after_matmul[0])
+    },
+    headline: {
+      benchmark: "BM_McDropoutPredictThreads/20/1/real_time",
+      before_ns: ns($before_mcd[0]; "BM_McDropoutPredictThreads/20/1/real_time"),
+      after_ns: ns($after_mcd[0]; "BM_McDropoutPredictThreads/20/1/real_time"),
+      speedup: (ns($before_mcd[0]; "BM_McDropoutPredictThreads/20/1/real_time")
+                / ns($after_mcd[0]; "BM_McDropoutPredictThreads/20/1/real_time"))
+    }
+  }' > "$5"
+
+echo "wrote $5 (headline speedup: $(jq -r '.headline.speedup' "$5"))"
