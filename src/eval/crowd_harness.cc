@@ -24,6 +24,7 @@ CrowdHarness::CrowdHarness(const CrowdHarnessConfig& config)
 void CrowdHarness::Prepare() {
   TASFAR_CHECK_MSG(!prepared_, "Prepare called twice");
   simulator_ = std::make_unique<CrowdSimulator>(config_.sim, config_.seed);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0x5c0ffeeULL);
 
   Dataset part_a = simulator_->GeneratePartA();
@@ -84,6 +85,7 @@ CrowdSceneData MakeSceneData(int scene_id, const Dataset& data,
 
 std::vector<CrowdSceneData> CrowdHarness::BuildScenes() const {
   TASFAR_CHECK(prepared_);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0xd1ce5ULL);
   std::vector<CrowdSceneData> scenes;
   for (int scene_id : DistinctGroups(part_b_)) {
@@ -98,6 +100,7 @@ std::vector<CrowdSceneData> CrowdHarness::BuildScenes() const {
 
 CrowdSceneData CrowdHarness::BuildPooledScene() const {
   TASFAR_CHECK(prepared_);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0xd1ce6ULL);
   return MakeSceneData(-1, part_b_, config_.sim.adaptation_fraction,
                        source_model_.get(), config_.tasfar,
@@ -145,6 +148,7 @@ std::unique_ptr<Sequential> CrowdHarness::AdaptTasfar(
   TASFAR_CHECK(prepared_);
   TASFAR_TRACE_SPAN("eval.crowd");
   Tasfar tasfar(config_.tasfar);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ (0xabc0ULL + static_cast<uint64_t>(
                                           scene.scene_id + 2)));
   TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
@@ -157,6 +161,7 @@ std::unique_ptr<Sequential> CrowdHarness::AdaptTasfar(
 std::unique_ptr<Sequential> CrowdHarness::AdaptScheme(
     UdaScheme* scheme, const CrowdSceneData& scene) const {
   TASFAR_CHECK(prepared_ && scheme != nullptr);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ (0xdef0ULL + static_cast<uint64_t>(
                                           scene.scene_id + 2)));
   UdaContext context;

@@ -24,6 +24,7 @@ PdrHarness::PdrHarness(const PdrHarnessConfig& config) : config_(config) {}
 void PdrHarness::Prepare() {
   TASFAR_CHECK_MSG(!prepared_, "Prepare called twice");
   simulator_ = std::make_unique<PdrSimulator>(config_.sim, config_.seed);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0xabcdef12345ULL);
 
   Dataset source = simulator_->GenerateSourceDataset();
@@ -160,6 +161,7 @@ PdrSchemeEval PdrHarness::EvaluateTasfarWithOptions(
   TASFAR_CHECK(prepared_);
   TASFAR_TRACE_SPAN("eval.pdr");
   Tasfar tasfar(options);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ (0x77fULL + static_cast<uint64_t>(
                                           cache.user.profile.id)));
   TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
@@ -180,6 +182,7 @@ PdrSchemeEval PdrHarness::EvaluateTasfarWithOptions(
 PdrSchemeEval PdrHarness::EvaluateScheme(UdaScheme* scheme,
                                          const PdrUserCache& cache) const {
   TASFAR_CHECK(prepared_ && scheme != nullptr);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ (0x881ULL + static_cast<uint64_t>(
                                          cache.user.profile.id)));
   // Subsample the source set for the source-based baselines (speed knob).

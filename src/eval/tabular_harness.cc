@@ -29,6 +29,7 @@ TabularHarness::TabularHarness(const TabularHarnessConfig& config,
 
 void TabularHarness::Prepare() {
   TASFAR_CHECK_MSG(!prepared_, "Prepare called twice");
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0x7ab1eULL);
 
   normalizer_.Fit(source_raw_.inputs);
@@ -124,6 +125,7 @@ TabularEval TabularHarness::EvaluateTasfar(TasfarReport* report_out) const {
   TASFAR_CHECK(prepared_);
   TASFAR_TRACE_SPAN("eval.tabular");
   Tasfar tasfar(config_.tasfar);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0x9d7ULL);
   TasfarReport report = tasfar.Adapt(source_model_.get(), calibration_,
                                      target_adapt_.inputs, &rng);
@@ -148,6 +150,7 @@ TabularEval TabularHarness::EvaluateTasfar(TasfarReport* report_out) const {
 
 TabularEval TabularHarness::EvaluateScheme(UdaScheme* scheme) const {
   TASFAR_CHECK(prepared_ && scheme != nullptr);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
   Rng rng(config_.seed ^ 0x8c1ULL);
   UdaContext context;
   context.source_inputs = &source_train_.inputs;

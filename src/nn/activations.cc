@@ -60,6 +60,7 @@ std::string LeakyRelu::Name() const {
 Tensor Tanh::Forward(const Tensor& input, bool /*training*/) {
   Tensor out = Workspace::ThreadLocal().NewTensor(input.shape());
   ApplyInto(input, [](double x) { return std::tanh(x); }, &out);
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   cached_output_ = out;
   return out;
 }
@@ -89,6 +90,7 @@ Tensor Sigmoid::Forward(const Tensor& input, bool /*training*/) {
               return z / (1.0 + z);
             },
             &out);
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   cached_output_ = out;
   return out;
 }

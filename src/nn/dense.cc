@@ -29,6 +29,7 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   Workspace& ws = Workspace::ThreadLocal();
   Tensor out = ws.NewTensor({input.dim(0), out_dim_});
   MatMulInto(input, weight_, &out);
+  // aliased: row broadcast is elementwise over out, in-place is allowed.
   AddRowBroadcastInto(out, bias_, &out);
   return out;
 }

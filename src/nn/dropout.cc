@@ -16,6 +16,7 @@ Tensor Dropout::Forward(const Tensor& input, bool training) {
   if (!training || rate_ == 0.0) return input;
   const double keep = 1.0 - rate_;
   Workspace& ws = Workspace::ThreadLocal();
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   mask_ = ws.NewTensor(input.shape());
   double* m = mask_.data();
   for (size_t i = 0; i < mask_.size(); ++i) {

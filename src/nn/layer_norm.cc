@@ -25,6 +25,7 @@ Tensor LayerNorm::Forward(const Tensor& input, bool /*training*/) {
   const size_t batch = input.dim(0);
   Workspace& ws = Workspace::ThreadLocal();
   // Both tensors have every element assigned below.
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   cached_normalized_ = ws.NewTensor(input.shape());
   cached_inv_std_.assign(batch, 0.0);
   Tensor out = ws.NewTensor(input.shape());
@@ -97,6 +98,7 @@ Tensor Elu::Forward(const Tensor& input, bool /*training*/) {
   ApplyInto(input,
             [a](double x) { return x > 0.0 ? x : a * (std::exp(x) - 1.0); },
             &out);
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   cached_output_ = out;
   return out;
 }

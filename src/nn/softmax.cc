@@ -11,6 +11,7 @@ Tensor Softmax::Forward(const Tensor& input, bool /*training*/) {
   TASFAR_CHECK_MSG(input.rank() == 2, "Softmax expects {batch, classes}");
   const size_t batch = input.dim(0), classes = input.dim(1);
   // Every element is assigned below.
+  // TASFAR_ANALYZE_ALLOW(workspace-escape): Backward reads this cache; pinning one pooled buffer per layer is the documented escape cost (docs/MEMORY.md).
   cached_output_ = Workspace::ThreadLocal().NewTensor(input.shape());
   for (size_t i = 0; i < batch; ++i) {
     double max_logit = input.At(i, 0);

@@ -116,9 +116,9 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
   MulInto(passes[0], passes[0], &sum_sq);
   Tensor sq = ws.NewTensor(passes[0].shape());
   for (size_t s = 1; s < num_samples_; ++s) {
-    AddInto(sum, passes[s], &sum);
+    AddInto(sum, passes[s], &sum);  // aliased: elementwise in-place add.
     MulInto(passes[s], passes[s], &sq);
-    AddInto(sum_sq, sq, &sum_sq);
+    AddInto(sum_sq, sq, &sum_sq);  // aliased: elementwise in-place add.
   }
   const double inv_s = 1.0 / static_cast<double>(num_samples_);
   for (size_t i = 0; i < n; ++i) {

@@ -256,7 +256,7 @@ std::string ActiveSpec() {
 SiteStats StatsOf(const std::string& name) {
   internal_failpoint::State& state = internal_failpoint::GetState();
   std::lock_guard<std::mutex> lock(state.mu);
-  auto it = state.sites.find(name);
+  const auto it = state.sites.find(name);
   if (it == state.sites.end()) return SiteStats{};
   return SiteStats{it->second->hits.load(std::memory_order_relaxed),
                    it->second->fires.load(std::memory_order_relaxed)};

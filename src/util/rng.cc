@@ -79,10 +79,10 @@ double Rng::Normal() {
   // Box–Muller; 1 - Uniform() is in (0,1] and the clamp guards the
   // log(0) = -inf edge even if Uniform() ever returns a value rounding
   // the difference to zero.
-  double u1 = internal_rng::PositiveUnit(1.0 - Uniform());
-  double u2 = Uniform();
-  double r = std::sqrt(-2.0 * std::log(u1));
-  double theta = 2.0 * std::numbers::pi * u2;
+  const double u1 = internal_rng::PositiveUnit(1.0 - Uniform());
+  const double u2 = Uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
   cached_normal_ = r * std::sin(theta);
   has_cached_normal_ = true;
   return r * std::cos(theta);
@@ -98,8 +98,8 @@ double Rng::Laplace(double mu, double b) {
   // When Uniform() returns exactly 0, u = -0.5 and the log argument is 0;
   // the clamp keeps the sample finite (it maps to the most extreme value
   // the generator can otherwise produce).
-  double u = Uniform() - 0.5;
-  double t = internal_rng::PositiveUnit(1.0 - 2.0 * std::fabs(u));
+  const double u = Uniform() - 0.5;
+  const double t = internal_rng::PositiveUnit(1.0 - 2.0 * std::fabs(u));
   return mu - b * std::copysign(std::log(t), u);
 }
 
@@ -121,7 +121,7 @@ int Rng::Poisson(double lambda) {
   }
   // Normal approximation with continuity correction; adequate for the
   // crowd-count simulator where lambda can reach a few hundred.
-  double x = Normal(lambda, std::sqrt(lambda));
+  const double x = Normal(lambda, std::sqrt(lambda));
   return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
 }
 
@@ -133,7 +133,7 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
     total += w;
   }
   TASFAR_CHECK_MSG(total > 0.0, "Categorical weights must not all be zero");
-  double r = Uniform() * total;
+  const double r = Uniform() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
     acc += weights[i];
@@ -146,7 +146,7 @@ std::vector<size_t> Rng::Permutation(size_t n) {
   std::vector<size_t> idx(n);
   for (size_t i = 0; i < n; ++i) idx[i] = i;
   for (size_t i = n; i > 1; --i) {
-    size_t j = UniformInt(i);
+    const size_t j = UniformInt(i);
     std::swap(idx[i - 1], idx[j]);
   }
   return idx;

@@ -139,7 +139,7 @@ std::vector<size_t> Histogram(const std::vector<double>& v, double lo,
   std::vector<size_t> counts(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
   for (double x : v) {
-    double pos = (x - lo) / width;
+    const double pos = (x - lo) / width;
     long bin = static_cast<long>(std::floor(pos));
     bin = std::clamp<long>(bin, 0, static_cast<long>(bins) - 1);
     ++counts[static_cast<size_t>(bin)];

@@ -1,0 +1,46 @@
+#ifndef TASFAR_TOOLS_ANALYZE_ENGINE_H_
+#define TASFAR_TOOLS_ANALYZE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "facts.h"
+
+namespace tasfar::analyze {
+
+struct AnalyzeOptions {
+  /// Repo root; `src/` and `docs/` are resolved under it.
+  std::string repo_root;
+  /// Incremental-cache directory; empty disables the cache. The engine
+  /// creates it on demand; entries are one serialized FileFacts per file,
+  /// keyed by path and validated by content hash + schema version.
+  std::string cache_dir;
+};
+
+struct AnalyzeResult {
+  /// All findings (suppressed ones included), sorted by file/line/rule.
+  std::vector<Finding> findings;
+  /// Per-file facts for every scanned source file, sorted by path.
+  std::vector<FileFacts> facts;
+  int files_scanned = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
+  int unsuppressed = 0;
+  int suppressed = 0;
+  bool io_error = false;
+  std::string error;
+};
+
+/// Runs the whole-program analysis: scans src/**/*.{h,cc} in parallel on
+/// the global ThreadPool (per-file facts through the incremental cache),
+/// re-reads docs/{OBSERVABILITY,TESTING,MEMORY}.md fresh, joins the facts
+/// into the registry-consistency pass, applies TASFAR_ANALYZE_ALLOW
+/// suppressions, and bumps the tasfar.analyze.* metrics.
+AnalyzeResult AnalyzeRepo(const AnalyzeOptions& options);
+
+/// The docs the registry-consistency pass reads, relative to the root.
+const std::vector<std::string>& RegistryDocs();
+
+}  // namespace tasfar::analyze
+
+#endif  // TASFAR_TOOLS_ANALYZE_ENGINE_H_

@@ -1,0 +1,95 @@
+#ifndef TASFAR_TOOLS_ANALYZE_RULES_H_
+#define TASFAR_TOOLS_ANALYZE_RULES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "facts.h"
+#include "lexer.h"
+
+namespace tasfar::analyze {
+
+/// The five whole-program rules (docs/STATIC_ANALYSIS.md has the catalog
+/// with rationale and examples; each check's header comment here is the
+/// normative statement).
+///
+/// Per-file checks take the file's *code* tokens (comments removed) and
+/// append findings. They all apply to files under src/ only — the engine
+/// is responsible for scoping.
+
+/// parallel-capture: a lambda passed to ParallelFor may not write a
+/// by-reference captured variable through a plain assignment, increment,
+/// or a subscript that does not involve the loop index. Writes through
+/// members/methods (e.g. atomic .fetch_add, counter->Increment) and to
+/// body-local variables are out of scope. The static face of the
+/// disjoint-write rule in docs/THREADING.md.
+void CheckParallelCapture(const std::string& path,
+                          const std::vector<Token>& code,
+                          std::vector<Finding>* findings);
+
+/// into-aliasing: at a `*Into(...)` out-parameter kernel call site, the
+/// destination (last argument, '&'/'*' stripped) may not textually equal
+/// any input argument unless the line (or the line above) carries an
+/// `// aliased:` acknowledgment. In-place use is legal for elementwise
+/// kernels (docs/MEMORY.md §Kernels) but must be visibly acknowledged,
+/// because for MatMulInto/TransposedInto/GatherRowsInto it is UB.
+void CheckIntoAliasing(const std::string& path,
+                       const std::vector<Token>& code,
+                       const std::vector<int>& aliased_ack_lines,
+                       std::vector<Finding>* findings);
+
+/// workspace-escape: a tensor acquired from Workspace NewTensor/ZeroTensor
+/// may not be stored into a member (trailing-underscore identifier) or a
+/// static, and may not be returned directly as the unassigned call result
+/// (NewTensor contents are uninitialized). Returning a *named* workspace
+/// tensor after filling it is the documented ownership handoff
+/// (docs/MEMORY.md §Workspaces) and is allowed.
+void CheckWorkspaceEscape(const std::string& path,
+                          const std::vector<Token>& code,
+                          std::vector<Finding>* findings);
+
+/// seed-discipline: a seed expression handed to Rng construction, Fork,
+/// MixSeed, or ReseedStochastic may not combine a seed-named value with
+/// ad-hoc arithmetic (+ - * ^ << >> |) at the argument's top level —
+/// derive child seeds through MixSeed streams instead. src/util/rng.* is
+/// exempt (it *is* the derivation).
+void CheckSeedDiscipline(const std::string& path,
+                         const std::vector<Token>& code,
+                         std::vector<Finding>* findings);
+
+/// Inline-backtick tokens harvested from one documentation file, plus the
+/// failpoint site names declared in docs/TESTING.md's "Injection sites"
+/// table (first column).
+struct DocNames {
+  /// token -> first line it appears on, per file.
+  std::map<std::string, std::pair<std::string, int>> tokens;
+  /// failpoint site -> (file, line), from the injection-site table only.
+  std::map<std::string, std::pair<std::string, int>> failpoint_sites;
+};
+
+/// Harvests `...`-quoted tokens from markdown `content`. Tokens are kept
+/// only when name-like: nonempty, chars in [a-z0-9._], at least one '.'.
+/// Tokens containing '*' or '<' are templates/wildcards and are skipped.
+/// When `content` contains an "Injection sites" section, backticked names
+/// in the first column of its table rows are additionally recorded as
+/// declared failpoint sites.
+void ScanDocNames(const std::string& doc_path, const std::string& content,
+                  DocNames* out);
+
+/// registry-consistency: every exact metric name, trace-span literal, and
+/// failpoint site in src/ must appear in the scanned docs, and every
+/// doc-declared `tasfar.*` name / failpoint-table site must exist in src/.
+/// Dynamic registration prefixes (e.g. "tasfar.failpoint.") cover doc
+/// tokens under them, except "tasfar.span." — span names are statically
+/// known, so tasfar.span.*.ms doc tokens must match a real span.
+std::vector<Finding> CheckRegistryConsistency(
+    const std::vector<FileFacts>& facts, const DocNames& docs);
+
+/// All analyzer rule ids, for SARIF metadata and ALLOW validation.
+const std::vector<std::string>& AnalyzerRuleIds();
+
+}  // namespace tasfar::analyze
+
+#endif  // TASFAR_TOOLS_ANALYZE_RULES_H_

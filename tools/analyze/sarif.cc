@@ -1,0 +1,78 @@
+#include "sarif.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "rules.h"
+
+namespace tasfar::analyze {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToSarif(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"tasfar-analyze\","
+         " \"rules\": [";
+  bool first = true;
+  for (const std::string& id : AnalyzerRuleIds()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"id\": \"" << JsonEscape(id) << "\"}";
+  }
+  out << "]}},\n"
+      << "    \"results\": [";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n      {\"ruleId\": \"" << JsonEscape(f.rule) << "\","
+        << " \"level\": \"error\","
+        << " \"message\": {\"text\": \"" << JsonEscape(f.message) << "\"},"
+        << " \"locations\": [{\"physicalLocation\":"
+        << " {\"artifactLocation\": {\"uri\": \"" << JsonEscape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1)
+        << "}}}]";
+    if (f.suppressed) {
+      out << ", \"suppressions\": [{\"kind\": \"inSource\","
+          << " \"justification\": \"" << JsonEscape(f.suppress_reason)
+          << "\"}]";
+    }
+    out << "}";
+  }
+  if (!findings.empty()) out << "\n    ";
+  out << "]\n"
+      << "  }]\n"
+      << "}\n";
+  return out.str();
+}
+
+}  // namespace tasfar::analyze

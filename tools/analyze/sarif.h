@@ -1,0 +1,20 @@
+#ifndef TASFAR_TOOLS_ANALYZE_SARIF_H_
+#define TASFAR_TOOLS_ANALYZE_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "facts.h"
+
+namespace tasfar::analyze {
+
+/// Renders findings as a minimal SARIF 2.1.0 log (one run, tool
+/// "tasfar-analyze", one result per finding). Suppressed findings are
+/// emitted with a populated `suppressions` array so SARIF viewers show
+/// them as reviewed rather than open. Hand-rolled JSON — the repo has no
+/// JSON dependency and the subset we emit needs only string escaping.
+std::string ToSarif(const std::vector<Finding>& findings);
+
+}  // namespace tasfar::analyze
+
+#endif  // TASFAR_TOOLS_ANALYZE_SARIF_H_

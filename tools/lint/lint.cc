@@ -4,113 +4,116 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "lexer.h"
 
 namespace tasfar::lint {
 
 namespace {
 
+using analyze::CodeTokens;
+using analyze::IsIdent;
+using analyze::IsPunct;
+using analyze::Lex;
+using analyze::MatchingClose;
+using analyze::TokKind;
+using analyze::Token;
+
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// True when `text[pos]` holds the token `tok` with identifier boundaries on
-/// both sides (so "rand" matches neither inside "operand" nor as a prefix of
-/// "random_device").
-bool TokenStartsAt(const std::string& text, size_t pos,
-                   const std::string& tok) {
-  if (text.compare(pos, tok.size(), tok) != 0) return false;
-  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
-  const size_t end = pos + tok.size();
-  if (end < text.size() && IsIdentChar(text[end])) return false;
+/// True when toks[i] is an identifier qualified as std::<name> (so the
+/// finding anchors at the `std` token's line).
+bool IsStdQualified(const std::vector<Token>& toks, size_t i) {
+  return i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std");
+}
+
+/// True when toks[i] is preceded by a `::` qualifier of any kind.
+bool IsQualified(const std::vector<Token>& toks, size_t i) {
+  return i >= 1 && IsPunct(toks[i - 1], "::");
+}
+
+/// Matches the token sequence of an `#include <name>` directive starting
+/// at the `#`: # include < name >. Returns true and leaves the directive
+/// line in *line.
+bool IsIncludeOf(const std::vector<Token>& toks, size_t i, const char* name,
+                 int* line) {
+  if (i + 4 >= toks.size()) return false;
+  if (!IsPunct(toks[i], "#") || !IsIdent(toks[i + 1], "include") ||
+      !IsPunct(toks[i + 2], "<") || !IsIdent(toks[i + 3], name) ||
+      !IsPunct(toks[i + 4], ">")) {
+    return false;
+  }
+  *line = toks[i].line;
   return true;
 }
 
-int LineOfOffset(const std::string& text, size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(),
-                                         text.begin() +
-                                             static_cast<std::ptrdiff_t>(pos),
-                                         '\n'));
+/// Whether the call argument list opening at toks[open] (a "(") is empty
+/// or a single null-ish token — a wall-clock `time()` / `time(NULL)` /
+/// `time(nullptr)` / `time(0)` call used as a seed.
+bool IsNullishArgList(const std::vector<Token>& toks, size_t open) {
+  const size_t close = MatchingClose(toks, open);
+  if (close >= toks.size()) return false;
+  if (close == open + 1) return true;
+  if (close != open + 2) return false;
+  const Token& arg = toks[open + 1];
+  return IsIdent(arg, "NULL") || IsIdent(arg, "nullptr") ||
+         (arg.kind == TokKind::kNumber && arg.text == "0");
 }
-
-/// Whether the parenthesized argument list starting at `open` (which must
-/// index a '(') contains only whitespace or one of the null-ish tokens —
-/// i.e. a wall-clock `time()` / `time(NULL)` / `time(nullptr)` / `time(0)`
-/// call used as a seed.
-bool IsNullishArgList(const std::string& text, size_t open) {
-  size_t close = text.find(')', open);
-  if (close == std::string::npos) return false;
-  std::string inner = text.substr(open + 1, close - open - 1);
-  inner.erase(std::remove_if(inner.begin(), inner.end(),
-                             [](char c) {
-                               return std::isspace(
-                                          static_cast<unsigned char>(c)) != 0;
-                             }),
-              inner.end());
-  return inner.empty() || inner == "NULL" || inner == "nullptr" ||
-         inner == "0";
-}
-
-struct BannedToken {
-  const char* token;
-  const char* why;
-};
 
 /// Implicit-RNG primitives. Everything stochastic must draw from an
 /// explicitly passed tasfar::Rng& so runs are reproducible.
-constexpr BannedToken kBannedRandomTokens[] = {
-    {"std::rand", "use an explicitly passed tasfar::Rng& instead"},
-    {"std::srand", "use an explicitly passed tasfar::Rng& instead"},
-    {"std::random_device", "use an explicitly passed tasfar::Rng& instead"},
-    {"std::mt19937", "use an explicitly passed tasfar::Rng& instead"},
-    {"std::minstd_rand", "use an explicitly passed tasfar::Rng& instead"},
-    {"std::default_random_engine",
-     "use an explicitly passed tasfar::Rng& instead"},
-    {"random_device", "use an explicitly passed tasfar::Rng& instead"},
-    {"mt19937", "use an explicitly passed tasfar::Rng& instead"},
-};
-
-void CheckRngDiscipline(const std::string& path, const std::string& code,
+void CheckRngDiscipline(const std::string& path,
+                        const std::vector<Token>& toks,
                         std::vector<Finding>* findings) {
-  for (const BannedToken& banned : kBannedRandomTokens) {
-    const std::string tok(banned.token);
-    for (size_t pos = code.find(tok); pos != std::string::npos;
-         pos = code.find(tok, pos + 1)) {
-      if (!TokenStartsAt(code, pos, tok)) continue;
-      // Skip "random_device" / "mt19937" already reported via the
-      // std::-qualified form at the same site.
-      if (pos >= 2 && code.compare(pos - 2, 2, "::") == 0) continue;
-      findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
-                           tok + " is banned: " + banned.why});
+  static const std::set<std::string> kQualified = {
+      "rand",        "srand",       "random_device",
+      "mt19937",     "minstd_rand", "default_random_engine",
+  };
+  // Unqualified engine names still in scope after a using-declaration.
+  static const std::set<std::string> kUnqualified = {"random_device",
+                                                     "mt19937"};
+  const std::string why = "use an explicitly passed tasfar::Rng& instead";
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    if (IsStdQualified(toks, i) && kQualified.count(name) != 0) {
+      findings->push_back({path, toks[i - 2].line, "rng-discipline",
+                           "std::" + name + " is banned: " + why});
+      continue;
     }
-  }
-  // Bare rand( / srand( from <cstdlib>.
-  for (const char* fn : {"rand", "srand"}) {
-    const std::string tok(fn);
-    for (size_t pos = code.find(tok); pos != std::string::npos;
-         pos = code.find(tok, pos + 1)) {
-      if (!TokenStartsAt(code, pos, tok)) continue;
-      if (pos >= 2 && code.compare(pos - 2, 2, "::") == 0) continue;
-      size_t after = code.find_first_not_of(" \t", pos + tok.size());
-      if (after == std::string::npos || code[after] != '(') continue;
-      findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
-                           tok + "() is banned: use an explicitly passed "
-                                 "tasfar::Rng& instead"});
+    if (IsQualified(toks, i)) {
+      // Qualified by something other than std:: (or already reported).
+      if (name == "time" && i + 1 < toks.size() &&
+          IsPunct(toks[i + 1], "(") && IsNullishArgList(toks, i + 1)) {
+        findings->push_back({path, toks[i].line, "rng-discipline",
+                             "wall-clock time() seeding is banned: pass a "
+                             "fixed seed through tasfar::Rng"});
+      }
+      continue;
     }
-  }
-  // Argless time() as an entropy source.
-  const std::string time_tok = "time";
-  for (size_t pos = code.find(time_tok); pos != std::string::npos;
-       pos = code.find(time_tok, pos + 1)) {
-    if (!TokenStartsAt(code, pos, time_tok)) continue;
-    size_t after = code.find_first_not_of(" \t", pos + time_tok.size());
-    if (after == std::string::npos || code[after] != '(') continue;
-    if (!IsNullishArgList(code, after)) continue;
-    findings->push_back({path, LineOfOffset(code, pos), "rng-discipline",
-                         "wall-clock time() seeding is banned: pass a fixed "
-                         "seed through tasfar::Rng"});
+    if (kUnqualified.count(name) != 0) {
+      findings->push_back(
+          {path, toks[i].line, "rng-discipline", name + " is banned: " + why});
+      continue;
+    }
+    if ((name == "rand" || name == "srand") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      findings->push_back({path, toks[i].line, "rng-discipline",
+                           name + "() is banned: " + why});
+      continue;
+    }
+    if (name == "time" && i + 1 < toks.size() && IsPunct(toks[i + 1], "(") &&
+        IsNullishArgList(toks, i + 1)) {
+      findings->push_back({path, toks[i].line, "rng-discipline",
+                           "wall-clock time() seeding is banned: pass a "
+                           "fixed seed through tasfar::Rng"});
+    }
   }
 }
 
@@ -118,29 +121,23 @@ void CheckRngDiscipline(const std::string& path, const std::string& code,
 /// ThreadPool / ParallelFor substrate so the determinism contract of
 /// docs/THREADING.md (same seed + any thread count ⇒ identical output)
 /// holds repo-wide; only the substrate itself may spawn threads.
-constexpr BannedToken kBannedThreadTokens[] = {
-    {"std::thread",
-     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
-    {"std::jthread",
-     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
-    {"std::async",
-     "use ThreadPool / ParallelFor from util/thread_pool.h instead"},
-};
-
-void CheckThreadDiscipline(const std::string& path, const std::string& code,
+void CheckThreadDiscipline(const std::string& path,
+                           const std::vector<Token>& toks,
                            std::vector<Finding>* findings) {
   if (path == "src/util/thread_pool.h" || path == "src/util/thread_pool.cc") {
     return;
   }
-  for (const BannedToken& banned : kBannedThreadTokens) {
-    const std::string tok(banned.token);
-    for (size_t pos = code.find(tok); pos != std::string::npos;
-         pos = code.find(tok, pos + 1)) {
-      if (!TokenStartsAt(code, pos, tok)) continue;
-      findings->push_back({path, LineOfOffset(code, pos),
-                           "thread-discipline",
-                           tok + " is banned: " + banned.why});
+  static const std::set<std::string> kBanned = {"thread", "jthread", "async"};
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || kBanned.count(toks[i].text) == 0 ||
+        !IsStdQualified(toks, i)) {
+      continue;
     }
+    findings->push_back(
+        {path, toks[i - 2].line, "thread-discipline",
+         "std::" + toks[i].text +
+             " is banned: use ThreadPool / ParallelFor from "
+             "util/thread_pool.h instead"});
   }
 }
 
@@ -149,67 +146,73 @@ void CheckThreadDiscipline(const std::string& path, const std::string& code,
 /// registry) so stage timings land in one observable place instead of
 /// scattered std::chrono stopwatches; only src/obs/ itself may touch the
 /// clock.
-void CheckTimingDiscipline(const std::string& path, const std::string& code,
+void CheckTimingDiscipline(const std::string& path,
+                           const std::vector<Token>& toks,
                            std::vector<Finding>* findings) {
   if (path.compare(0, 8, "src/obs/") == 0) return;
-  const std::string tok = "chrono";
-  for (size_t pos = code.find(tok); pos != std::string::npos;
-       pos = code.find(tok, pos + 1)) {
-    if (!TokenStartsAt(code, pos, tok)) continue;
-    // `<chrono>` is reported (once) by the include check below.
-    if (pos > 0 && code[pos - 1] == '<') continue;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    int line = 0;
+    if (IsIncludeOf(toks, i, "chrono", &line)) {
+      findings->push_back(
+          {path, line, "timing-discipline",
+           "<chrono> is banned in src/ outside src/obs/: time through "
+           "obs::MonotonicMicros / TASFAR_TRACE_SPAN instead"});
+      i += 4;
+      continue;
+    }
+    if (!IsIdent(toks[i], "chrono")) continue;
+    // `<chrono>` outside an include directive still reads as < chrono >;
+    // skip the token after any '<' so the include form is reported once.
+    if (i >= 1 && IsPunct(toks[i - 1], "<")) continue;
     findings->push_back(
-        {path, LineOfOffset(code, pos), "timing-discipline",
+        {path, toks[i].line, "timing-discipline",
          "std::chrono is banned in src/ outside src/obs/: time through "
          "obs::MonotonicMicros / TASFAR_TRACE_SPAN instead"});
   }
-  for (size_t pos = code.find("#include"); pos != std::string::npos;
-       pos = code.find("#include", pos + 1)) {
-    size_t lt = code.find_first_not_of(" \t", pos + 8);
-    if (lt == std::string::npos) continue;
-    if (code.compare(lt, 8, "<chrono>") == 0) {
-      findings->push_back(
-          {path, LineOfOffset(code, pos), "timing-discipline",
-           "<chrono> is banned in src/ outside src/obs/: time through "
-           "obs::MonotonicMicros / TASFAR_TRACE_SPAN instead"});
-    }
-  }
 }
 
-void CheckNoIostream(const std::string& path, const std::string& code,
+void CheckNoIostream(const std::string& path, const std::vector<Token>& toks,
                      std::vector<Finding>* findings) {
-  for (size_t pos = code.find("#include"); pos != std::string::npos;
-       pos = code.find("#include", pos + 1)) {
-    size_t lt = code.find_first_not_of(" \t", pos + 8);
-    if (lt == std::string::npos) continue;
-    if (code.compare(lt, 10, "<iostream>") == 0) {
-      findings->push_back({path, LineOfOffset(code, pos), "no-iostream",
+  for (size_t i = 0; i < toks.size(); ++i) {
+    int line = 0;
+    if (IsIncludeOf(toks, i, "iostream", &line)) {
+      findings->push_back({path, line, "no-iostream",
                            "<iostream> is banned in src/: use "
                            "util/logging.h (TASFAR_LOG) instead"});
+      i += 4;
     }
   }
 }
 
-void CheckNoBareAssert(const std::string& path, const std::string& code,
+void CheckNoBareAssert(const std::string& path,
+                       const std::vector<Token>& toks,
                        std::vector<Finding>* findings) {
-  for (const char* header : {"<cassert>", "<assert.h>"}) {
-    const std::string h(header);
-    for (size_t pos = code.find(h); pos != std::string::npos;
-         pos = code.find(h, pos + 1)) {
-      findings->push_back({path, LineOfOffset(code, pos), "check-not-assert",
-                           h + " is banned in src/: use util/check.h "
-                               "(TASFAR_CHECK) instead"});
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // <cassert> / <assert.h> anywhere (they only ever appear in includes).
+    if (IsPunct(toks[i], "<") && i + 2 < toks.size()) {
+      if (IsIdent(toks[i + 1], "cassert") && IsPunct(toks[i + 2], ">")) {
+        findings->push_back({path, toks[i].line, "check-not-assert",
+                             "<cassert> is banned in src/: use util/check.h "
+                             "(TASFAR_CHECK) instead"});
+        i += 2;
+        continue;
+      }
+      if (i + 4 < toks.size() && IsIdent(toks[i + 1], "assert") &&
+          IsPunct(toks[i + 2], ".") && IsIdent(toks[i + 3], "h") &&
+          IsPunct(toks[i + 4], ">")) {
+        findings->push_back({path, toks[i].line, "check-not-assert",
+                             "<assert.h> is banned in src/: use util/check.h "
+                             "(TASFAR_CHECK) instead"});
+        i += 4;
+        continue;
+      }
     }
-  }
-  const std::string tok = "assert";
-  for (size_t pos = code.find(tok); pos != std::string::npos;
-       pos = code.find(tok, pos + 1)) {
-    if (!TokenStartsAt(code, pos, tok)) continue;
-    size_t after = code.find_first_not_of(" \t", pos + tok.size());
-    if (after == std::string::npos || code[after] != '(') continue;
-    findings->push_back({path, LineOfOffset(code, pos), "check-not-assert",
-                         "bare assert() is banned in src/: use TASFAR_CHECK "
-                         "(active in all build modes) instead"});
+    if (IsIdent(toks[i], "assert") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      findings->push_back({path, toks[i].line, "check-not-assert",
+                           "bare assert() is banned in src/: use TASFAR_CHECK "
+                           "(active in all build modes) instead"});
+    }
   }
 }
 
@@ -223,63 +226,52 @@ void CheckNoBareAssert(const std::string& path, const std::string& code,
 ///    tensor's storage into a fresh vector. Share the Tensor
 ///    (copy-on-write) or fill a Workspace tensor instead. src/tensor/ is
 ///    exempt: the copy-on-write detach itself is implemented this way.
-void CheckMemoryDiscipline(const std::string& path, const std::string& code,
+void CheckMemoryDiscipline(const std::string& path,
+                           const std::vector<Token>& toks,
                            std::vector<Finding>* findings) {
-  const std::string tok = "Tensor";
-  for (size_t pos = code.find(tok); pos != std::string::npos;
-       pos = code.find(tok, pos + 1)) {
-    if (!TokenStartsAt(code, pos, tok)) continue;
-    // Parameter position: the previous token (skipping whitespace and an
-    // optional `const`) must be '(' or ','.
-    size_t before = pos;
-    while (before > 0 &&
-           std::isspace(static_cast<unsigned char>(code[before - 1])) != 0) {
-      --before;
-    }
-    if (before >= 5 && code.compare(before - 5, 5, "const") == 0 &&
-        (before == 5 || !IsIdentChar(code[before - 6]))) {
-      before -= 5;
-      while (before > 0 &&
-             std::isspace(static_cast<unsigned char>(code[before - 1])) !=
-                 0) {
-        --before;
-      }
-    }
-    if (before == 0 || (code[before - 1] != '(' && code[before - 1] != ','))
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "Tensor")) continue;
+    // Parameter position: the previous token (skipping an optional
+    // `const`) must be '(' or ','.
+    size_t before = i;
+    if (before >= 1 && IsIdent(toks[before - 1], "const")) --before;
+    if (before == 0 ||
+        (!IsPunct(toks[before - 1], "(") && !IsPunct(toks[before - 1], ","))) {
       continue;
-    // By-value means the next token is the parameter name: an identifier
-    // (not '&' / '*' / '(' / '<' / ':'), followed by ',', ')' or '='.
-    size_t after = code.find_first_not_of(" \t\n", pos + tok.size());
-    if (after == std::string::npos || !IsIdentChar(code[after])) continue;
-    size_t name_end = after;
-    while (name_end < code.size() && IsIdentChar(code[name_end])) ++name_end;
-    size_t delim = code.find_first_not_of(" \t\n", name_end);
-    if (delim == std::string::npos ||
-        (code[delim] != ',' && code[delim] != ')' && code[delim] != '=')) {
+    }
+    // By-value means the next token is the parameter name: an identifier,
+    // followed by ',', ')' or '='.
+    if (toks[i + 1].kind != TokKind::kIdent) continue;
+    if (!IsPunct(toks[i + 2], ",") && !IsPunct(toks[i + 2], ")") &&
+        !IsPunct(toks[i + 2], "=")) {
       continue;
     }
     findings->push_back(
-        {path, LineOfOffset(code, pos), "memory-discipline",
+        {path, toks[i].line, "memory-discipline",
          "by-value Tensor parameter: take const Tensor& (read) or Tensor* "
          "(write) — a by-value copy detaches on first write"});
   }
   if (path.compare(0, 11, "src/tensor/") == 0) return;
-  const std::string vec = "std::vector<double>";
-  for (size_t pos = code.find(vec); pos != std::string::npos;
-       pos = code.find(vec, pos + vec.size())) {
-    size_t open = code.find_first_not_of(" \t\n", pos + vec.size());
-    if (open == std::string::npos || code[open] != '(') continue;
-    size_t depth = 1, j = open + 1;
-    while (j < code.size() && depth > 0) {
-      if (code[j] == '(') ++depth;
-      if (code[j] == ')') --depth;
-      ++j;
-    }
-    if (code.substr(open, j - open).find(".data(") == std::string::npos) {
+  for (size_t i = 0; i + 6 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "std") || !IsPunct(toks[i + 1], "::") ||
+        !IsIdent(toks[i + 2], "vector") || !IsPunct(toks[i + 3], "<") ||
+        !IsIdent(toks[i + 4], "double") || !IsPunct(toks[i + 5], ">") ||
+        !IsPunct(toks[i + 6], "(")) {
       continue;
     }
+    const size_t open = i + 6;
+    const size_t close = MatchingClose(toks, open);
+    bool copies_data = false;
+    for (size_t j = open + 1; j + 2 < close; ++j) {
+      if (IsPunct(toks[j], ".") && IsIdent(toks[j + 1], "data") &&
+          IsPunct(toks[j + 2], "(")) {
+        copies_data = true;
+        break;
+      }
+    }
+    if (!copies_data) continue;
     findings->push_back(
-        {path, LineOfOffset(code, pos), "memory-discipline",
+        {path, toks[i].line, "memory-discipline",
          "copying tensor storage into a std::vector<double>: share the "
          "Tensor (copy-on-write) or fill a Workspace tensor instead"});
   }
@@ -337,51 +329,8 @@ bool StartsWith(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 std::string StripCommentsAndStrings(const std::string& source) {
-  std::string out = source;
-  size_t i = 0;
-  const size_t n = source.size();
-  auto blank = [&out](size_t from, size_t to) {
-    for (size_t k = from; k < to && k < out.size(); ++k) {
-      if (out[k] != '\n') out[k] = ' ';
-    }
-  };
-  while (i < n) {
-    char c = source[i];
-    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
-      size_t end = source.find('\n', i);
-      if (end == std::string::npos) end = n;
-      blank(i, end);
-      i = end;
-    } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
-      size_t end = source.find("*/", i + 2);
-      end = (end == std::string::npos) ? n : end + 2;
-      blank(i, end);
-      i = end;
-    } else if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
-      // Raw string literal: R"delim( ... )delim".
-      size_t open = source.find('(', i + 2);
-      if (open == std::string::npos) {
-        ++i;
-        continue;
-      }
-      const std::string delim = source.substr(i + 2, open - (i + 2));
-      size_t end = source.find(")" + delim + "\"", open + 1);
-      end = (end == std::string::npos) ? n : end + delim.size() + 2;
-      blank(i, end);
-      i = end;
-    } else if (c == '"' || c == '\'') {
-      size_t j = i + 1;
-      while (j < n && source[j] != c) {
-        j += (source[j] == '\\') ? 2 : 1;
-      }
-      size_t end = (j < n) ? j + 1 : n;
-      blank(i, end);
-      i = end;
-    } else {
-      ++i;
-    }
-  }
-  return out;
+  // Single implementation in the shared lexer (tools/analyze/lexer.h).
+  return analyze::StripCommentsAndStrings(source);
 }
 
 std::string ExpectedHeaderGuard(const std::string& repo_rel_path) {
@@ -403,24 +352,26 @@ std::string ExpectedHeaderGuard(const std::string& repo_rel_path) {
 std::vector<Finding> LintSource(const std::string& repo_rel_path,
                                 const std::string& source) {
   std::vector<Finding> findings;
-  const std::string code = StripCommentsAndStrings(source);
-  CheckRngDiscipline(repo_rel_path, code, &findings);
-  CheckThreadDiscipline(repo_rel_path, code, &findings);
+  // One lex feeds every rule; comments and literal contents are separate
+  // token kinds, so banned names inside them can never match.
+  const std::vector<Token> toks = CodeTokens(Lex(source));
+  CheckRngDiscipline(repo_rel_path, toks, &findings);
+  CheckThreadDiscipline(repo_rel_path, toks, &findings);
   if (StartsWith(repo_rel_path, "src/")) {
-    CheckNoIostream(repo_rel_path, code, &findings);
-    CheckNoBareAssert(repo_rel_path, code, &findings);
-    CheckTimingDiscipline(repo_rel_path, code, &findings);
-    CheckMemoryDiscipline(repo_rel_path, code, &findings);
+    CheckNoIostream(repo_rel_path, toks, &findings);
+    CheckNoBareAssert(repo_rel_path, toks, &findings);
+    CheckTimingDiscipline(repo_rel_path, toks, &findings);
+    CheckMemoryDiscipline(repo_rel_path, toks, &findings);
   }
   const bool is_header = repo_rel_path.size() >= 2 &&
                          repo_rel_path.compare(repo_rel_path.size() - 2, 2,
                                                ".h") == 0;
   if (is_header) CheckHeaderGuard(repo_rel_path, source, &findings);
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              return a.line < b.line;
-            });
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
   return findings;
 }
 
