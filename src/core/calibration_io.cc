@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/failpoint.h"
 
 namespace tasfar {
@@ -14,6 +15,7 @@ namespace {
 
 constexpr const char kCalibMagic[] = "TASFAR_CALIB_V1";
 constexpr const char kMapMagic[] = "TASFAR_DENSITY_MAP_V1";
+constexpr const char kMatrixMagic[] = "TASFAR_MATRIX_V1";
 
 void EmitHex(std::ostringstream* out, double v) {
   char buf[40];
@@ -112,6 +114,47 @@ Result<SourceCalibration> LoadCalibration(const std::string& path) {
   Result<std::string> content = ReadFile(path);
   if (!content.ok()) return content.status();
   return DeserializeCalibration(content.value());
+}
+
+std::string SerializeMatrix(const Tensor& matrix) {
+  TASFAR_CHECK_MSG(matrix.rank() == 2, "SerializeMatrix requires rank 2");
+  std::ostringstream out;
+  const size_t rows = matrix.dim(0);
+  const size_t cols = matrix.dim(1);
+  out << kMatrixMagic << "\n" << rows << " " << cols << "\n";
+  const double* data = matrix.data();
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      EmitHex(&out, data[r * cols + c]);
+      out << (c + 1 == cols ? "" : " ");
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<Tensor> DeserializeMatrix(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  in >> magic;
+  if (magic != kMatrixMagic) {
+    return Status::InvalidArgument("bad matrix magic");
+  }
+  size_t rows = 0;
+  size_t cols = 0;
+  in >> rows >> cols;
+  if (!in) return Status::InvalidArgument("truncated matrix header");
+  if (rows != 0 && cols == 0) {
+    return Status::InvalidArgument("matrix rows with zero columns");
+  }
+  Tensor matrix(std::vector<size_t>{rows, cols});
+  double* data = matrix.data();
+  for (size_t i = 0; i < rows * cols; ++i) {
+    if (!ReadDouble(&in, &data[i])) {
+      return Status::InvalidArgument("truncated matrix data");
+    }
+  }
+  return matrix;
 }
 
 std::string SerializeDensityMap(const DensityMap& map) {

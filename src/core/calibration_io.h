@@ -33,6 +33,15 @@ Status SaveCalibration(const SourceCalibration& calibration,
 /// Reads and parses a calibration file written by SaveCalibration.
 Result<SourceCalibration> LoadCalibration(const std::string& path);
 
+/// Encodes a rank-2 tensor ({rows, cols}, any size including 0 rows) as
+/// versioned text. Used by the serving layer to persist a session's
+/// accumulated target windows (docs/SERVING.md §Persistence).
+std::string SerializeMatrix(const Tensor& matrix);
+
+/// Parses SerializeMatrix output; kInvalidArgument on malformed,
+/// version-mismatched, or non-finite text.
+Result<Tensor> DeserializeMatrix(const std::string& text);
+
 /// Encodes grid axes and cell masses as versioned text.
 std::string SerializeDensityMap(const DensityMap& map);
 

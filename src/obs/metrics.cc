@@ -251,6 +251,54 @@ std::string Registry::ToJson() const {
   return out.str();
 }
 
+namespace {
+
+/// Prometheus sample-name charset: dots (our namespace separator) map to
+/// underscores; anything else unexpected maps to underscore too.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << JsonNumber(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = PromName(name);
+    out << "# TYPE " << prom << " histogram\n";
+    const std::vector<uint64_t> counts = h->bucket_counts();
+    const std::vector<double>& edges = h->edges();
+    uint64_t cum = 0;
+    for (size_t i = 0; i < counts.size(); ++i) {
+      cum += counts[i];
+      out << prom << "_bucket{le=\"" << JsonNumber(edges[i + 1]) << "\"} "
+          << cum << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    out << prom << "_sum " << JsonNumber(h->sum()) << "\n";
+    out << prom << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
 void Registry::ResetAllForTest() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();

@@ -153,6 +153,14 @@ class Registry {
   /// metrics sorted by name. Histograms carry count/sum/quantiles/buckets.
   std::string ToJson() const;
 
+  /// Prometheus text exposition (version 0.0.4) of the full registry:
+  /// counters and gauges as single samples, histograms as the cumulative
+  /// `_bucket{le=...}` / `_sum` / `_count` triplet. Dots in metric names
+  /// become underscores (`tasfar.serve.requests.total` →
+  /// `tasfar_serve_requests_total`). Served by the daemon's `GET /metrics`
+  /// endpoint (docs/SERVING.md §Metrics).
+  std::string ToPrometheusText() const;
+
   /// Zeroes every metric's value (registrations survive). Test helper.
   void ResetAllForTest();
 

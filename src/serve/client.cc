@@ -1,0 +1,245 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tasfar::serve {
+
+Client::~Client() { Disconnect(); }
+
+Status Client::Connect(uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status st =
+        Status::IoError(std::string("connect: ") + std::strerror(errno));
+    Disconnect();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  reader_ = FrameReader();
+  return Status::Ok();
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Frame> Client::RoundTrip(MessageType type, const std::string& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client not connected");
+  const std::string out = EncodeFrame(type, payload);
+  size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t w =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  for (;;) {
+    Frame frame;
+    const FrameReader::ReadResult r = reader_.Next(&frame);
+    if (r == FrameReader::ReadResult::kFrame) return frame;
+    if (r == FrameReader::ReadResult::kError) return reader_.error();
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    reader_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> Client::Call(MessageType request,
+                                 const std::string& payload,
+                                 MessageType expected_response) {
+  Result<Frame> response = RoundTrip(request, payload);
+  if (!response.ok()) return response.status();
+  const Frame& frame = response.value();
+  if (frame.type == MessageType::kErrorResponse) {
+    PayloadReader r(frame.payload);
+    uint16_t code = 0;
+    std::string message;
+    if (!r.GetU16(&code) || !r.GetString(&message)) {
+      return Status::IoError("malformed error response");
+    }
+    last_wire_error_ = static_cast<WireError>(code);
+    return Status::FailedPrecondition(
+        std::string(WireErrorName(last_wire_error_)) + ": " + message);
+  }
+  if (frame.type != expected_response) {
+    return Status::IoError(std::string("unexpected response type: ") +
+                           MessageTypeName(frame.type));
+  }
+  return frame.payload;
+}
+
+Status Client::CreateSession(const std::string& user_id, uint64_t seed,
+                             uint32_t input_dim, uint64_t budget_bytes) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  w.PutU64(seed);
+  w.PutU32(input_dim);
+  w.PutU64(budget_bytes);
+  return Call(MessageType::kCreateSession, w.Take(),
+              MessageType::kOkResponse)
+      .status();
+}
+
+Status Client::SubmitTargetData(const std::string& user_id, uint32_t rows,
+                                uint32_t cols, const double* data) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  w.PutU32(rows);
+  w.PutU32(cols);
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  for (uint64_t i = 0; i < cells; ++i) w.PutDouble(data[i]);
+  return Call(MessageType::kSubmitTargetData, w.Take(),
+              MessageType::kOkResponse)
+      .status();
+}
+
+Status Client::Adapt(const std::string& user_id, uint64_t adapt_seed) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  w.PutU64(adapt_seed);
+  return Call(MessageType::kAdapt, w.Take(), MessageType::kOkResponse)
+      .status();
+}
+
+Result<ClientSessionInfo> Client::QuerySession(const std::string& user_id) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  Result<std::string> payload = Call(MessageType::kQuerySession, w.Take(),
+                                     MessageType::kSessionInfoResponse);
+  if (!payload.ok()) return payload.status();
+  PayloadReader r(payload.value());
+  ClientSessionInfo info;
+  uint8_t state = 0;
+  uint8_t adapted = 0;
+  if (!r.GetU8(&state) || !r.GetU64(&info.pending_rows) ||
+      !r.GetU64(&info.input_dim) || !r.GetU64(&info.budget_bytes) ||
+      !r.GetU64(&info.used_bytes) || !r.GetU64(&info.adapt_runs) ||
+      !r.GetU8(&adapted) || !r.GetString(&info.degraded_reason) ||
+      !r.AtEnd()) {
+    return Status::IoError("malformed session_info response");
+  }
+  if (state > static_cast<uint8_t>(SessionState::kDegraded)) {
+    return Status::IoError("unknown session state on the wire");
+  }
+  info.state = static_cast<SessionState>(state);
+  info.serving_adapted = adapted != 0;
+  return info;
+}
+
+Result<ClientPrediction> Client::Predict(const std::string& user_id,
+                                         uint32_t rows, uint32_t cols,
+                                         const double* data) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  w.PutU32(rows);
+  w.PutU32(cols);
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  for (uint64_t i = 0; i < cells; ++i) w.PutDouble(data[i]);
+  Result<std::string> payload = Call(MessageType::kPredict, w.Take(),
+                                     MessageType::kPredictResponse);
+  if (!payload.ok()) return payload.status();
+  PayloadReader r(payload.value());
+  ClientPrediction out;
+  uint8_t adapted = 0;
+  uint32_t n = 0;
+  uint32_t out_dim = 0;
+  if (!r.GetU8(&adapted) || !r.GetU32(&n) || !r.GetU32(&out_dim)) {
+    return Status::IoError("malformed predict response");
+  }
+  out.from_adapted = adapted != 0;
+  out.predictions.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WirePrediction& p = out.predictions[i];
+    p.mean.resize(out_dim);
+    p.std.resize(out_dim);
+    for (uint32_t d = 0; d < out_dim; ++d) {
+      if (!r.GetDouble(&p.mean[d])) {
+        return Status::IoError("truncated predict response");
+      }
+    }
+    for (uint32_t d = 0; d < out_dim; ++d) {
+      if (!r.GetDouble(&p.std[d])) {
+        return Status::IoError("truncated predict response");
+      }
+    }
+  }
+  if (!r.AtEnd()) return Status::IoError("trailing bytes in predict response");
+  return out;
+}
+
+Result<std::string> Client::SaveSession(const std::string& user_id) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  Result<std::string> payload =
+      Call(MessageType::kSaveSession, w.Take(), MessageType::kOkResponse);
+  if (!payload.ok()) return payload.status();
+  PayloadReader r(payload.value());
+  std::string blob;
+  if (!r.GetString(&blob) || !r.AtEnd()) {
+    return Status::IoError("malformed save_session response");
+  }
+  return blob;
+}
+
+Status Client::RestoreSession(const std::string& user_id,
+                              const std::string& blob) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  w.PutString(blob);
+  return Call(MessageType::kRestoreSession, w.Take(),
+              MessageType::kOkResponse)
+      .status();
+}
+
+Status Client::CloseSession(const std::string& user_id) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  return Call(MessageType::kCloseSession, w.Take(), MessageType::kOkResponse)
+      .status();
+}
+
+Result<std::string> Client::GetMetrics() {
+  Result<std::string> payload =
+      Call(MessageType::kGetMetrics, "", MessageType::kMetricsResponse);
+  if (!payload.ok()) return payload.status();
+  PayloadReader r(payload.value());
+  std::string text;
+  if (!r.GetString(&text) || !r.AtEnd()) {
+    return Status::IoError("malformed metrics response");
+  }
+  return text;
+}
+
+Status Client::Ping() {
+  return Call(MessageType::kPing, "", MessageType::kPongResponse).status();
+}
+
+}  // namespace tasfar::serve

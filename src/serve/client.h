@@ -1,0 +1,94 @@
+#ifndef TASFAR_SERVE_CLIENT_H_
+#define TASFAR_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace tasfar::serve {
+
+/// Mean/std of one served prediction row, per label dimension.
+struct WirePrediction {
+  std::vector<double> mean;
+  std::vector<double> std;
+};
+
+/// Predict response as seen by a client.
+struct ClientPrediction {
+  std::vector<WirePrediction> predictions;
+  bool from_adapted = false;
+};
+
+/// Session snapshot as seen by a client (mirrors SessionInfo).
+struct ClientSessionInfo {
+  SessionState state = SessionState::kCreated;
+  uint64_t pending_rows = 0;
+  uint64_t input_dim = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t used_bytes = 0;
+  uint64_t adapt_runs = 0;
+  bool serving_adapted = false;
+  std::string degraded_reason;
+};
+
+/// Blocking client for the TASFAR serving protocol (docs/PROTOCOL.md).
+///
+/// One Client wraps one TCP connection; requests are strictly
+/// request/response, so a Client must not be shared between threads
+/// without external serialization. Server-side failures surface as the
+/// wire error name + message in the returned Status (FailedPrecondition
+/// for application errors, IoError for transport failures).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:`port`.
+  Status Connect(uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  Status CreateSession(const std::string& user_id, uint64_t seed,
+                       uint32_t input_dim, uint64_t budget_bytes = 0);
+  /// Row-major `data` of shape rows x cols.
+  Status SubmitTargetData(const std::string& user_id, uint32_t rows,
+                          uint32_t cols, const double* data);
+  /// Queues the adapt job; poll QuerySession for completion.
+  Status Adapt(const std::string& user_id, uint64_t adapt_seed);
+  Result<ClientSessionInfo> QuerySession(const std::string& user_id);
+  Result<ClientPrediction> Predict(const std::string& user_id, uint32_t rows,
+                                   uint32_t cols, const double* data);
+  /// The session's serialized state blob (persist it however you like).
+  Result<std::string> SaveSession(const std::string& user_id);
+  Status RestoreSession(const std::string& user_id, const std::string& blob);
+  Status CloseSession(const std::string& user_id);
+  /// Prometheus text rendering of the server's metrics registry.
+  Result<std::string> GetMetrics();
+  Status Ping();
+
+  /// Wire error carried by the last ErrorResponse (kBadRequest default);
+  /// meaningful right after a call returned FailedPrecondition.
+  WireError last_wire_error() const { return last_wire_error_; }
+
+ private:
+  /// Sends one frame and reads exactly one response frame.
+  Result<Frame> RoundTrip(MessageType type, const std::string& payload);
+  /// RoundTrip + "expect this response type"; decodes ErrorResponse into
+  /// a FailedPrecondition status.
+  Result<std::string> Call(MessageType request, const std::string& payload,
+                           MessageType expected_response);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  WireError last_wire_error_ = WireError::kBadRequest;
+};
+
+}  // namespace tasfar::serve
+
+#endif  // TASFAR_SERVE_CLIENT_H_

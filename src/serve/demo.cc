@@ -1,0 +1,72 @@
+#include "serve/demo.h"
+
+#include <vector>
+
+#include "data/housing_sim.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/trainer.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+HousingSimConfig DemoSimConfig(size_t source_samples, size_t target_samples) {
+  HousingSimConfig cfg;
+  cfg.source_samples = source_samples;
+  cfg.target_samples = target_samples;
+  return cfg;
+}
+
+}  // namespace
+
+DemoBundle BuildDemoBundle(size_t source_samples, size_t target_samples,
+                           size_t epochs) {
+  HousingSimulator sim(DemoSimConfig(source_samples, target_samples),
+                       kDemoSimSeed);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+
+  Normalizer normalizer;
+  normalizer.Fit(source.inputs);
+  const Tensor src_x = normalizer.Apply(source.inputs);
+
+  DemoBundle bundle;
+  bundle.options.grid_cell_size = 0.1;
+  bundle.target_rows = normalizer.Apply(target.inputs);
+
+  Rng rng(1);
+  bundle.model = BuildTabularModel(kNumHousingFeatures, &rng);
+  Adam optimizer(1e-3);
+  Trainer trainer(bundle.model.get(), &optimizer,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = epochs;
+  trainer.Fit(src_x, source.targets, tc, &rng);
+
+  Tasfar tasfar(bundle.options);
+  bundle.calibration =
+      tasfar.Calibrate(bundle.model.get(), src_x, source.targets);
+  return bundle;
+}
+
+Tensor BuildDemoTargetRows(size_t n, size_t source_samples,
+                           size_t target_samples) {
+  TASFAR_CHECK_MSG(n <= target_samples,
+                   "demo target rows: n exceeds target_samples");
+  HousingSimulator sim(DemoSimConfig(source_samples, target_samples),
+                       kDemoSimSeed);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+  Normalizer normalizer;
+  normalizer.Fit(source.inputs);
+  const Tensor all = normalizer.Apply(target.inputs);
+  return all.SliceRows(0, n);
+}
+
+}  // namespace tasfar::serve

@@ -1,0 +1,44 @@
+#ifndef TASFAR_SERVE_DEMO_H_
+#define TASFAR_SERVE_DEMO_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "core/tasfar.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+
+namespace tasfar::serve {
+
+/// The deterministic housing demo the serving stack ships with: a trained
+/// source model, its calibration, and normalized coastal target rows.
+///
+/// Every piece is a pure function of the fixed seeds below, so a daemon
+/// started with --demo and a CLI generating demo rows in a different
+/// process agree byte-for-byte on the preprocessing — no statistics need
+/// to cross the wire (docs/SERVING.md §Quickstart).
+struct DemoBundle {
+  std::unique_ptr<Sequential> model;
+  SourceCalibration calibration;
+  /// Coastal target rows, normalized with the source-fitted normalizer;
+  /// shape {target_samples, kNumHousingFeatures}.
+  Tensor target_rows;
+  TasfarOptions options;
+};
+
+/// Simulator seed shared by BuildDemoBundle and BuildDemoTargetRows.
+inline constexpr uint64_t kDemoSimSeed = 99;
+
+/// Builds the full bundle (trains the source model — takes a few seconds).
+DemoBundle BuildDemoBundle(size_t source_samples = 2000,
+                           size_t target_samples = 400, size_t epochs = 12);
+
+/// Only the normalized target rows (first `n` of them) — cheap; no
+/// training. Identical to BuildDemoBundle(...).target_rows rows when the
+/// sample counts match.
+Tensor BuildDemoTargetRows(size_t n, size_t source_samples = 2000,
+                           size_t target_samples = 400);
+
+}  // namespace tasfar::serve
+
+#endif  // TASFAR_SERVE_DEMO_H_

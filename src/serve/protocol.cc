@@ -1,0 +1,195 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+void AppendLe(std::string* out, uint64_t v, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+uint64_t ReadLe(const char* p, size_t n) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kCreateSession: return "create_session";
+    case MessageType::kSubmitTargetData: return "submit_target_data";
+    case MessageType::kAdapt: return "adapt";
+    case MessageType::kQuerySession: return "query_session";
+    case MessageType::kPredict: return "predict";
+    case MessageType::kSaveSession: return "save_session";
+    case MessageType::kRestoreSession: return "restore_session";
+    case MessageType::kCloseSession: return "close_session";
+    case MessageType::kGetMetrics: return "get_metrics";
+    case MessageType::kPing: return "ping";
+    case MessageType::kOkResponse: return "ok_response";
+    case MessageType::kErrorResponse: return "error_response";
+    case MessageType::kSessionInfoResponse: return "session_info_response";
+    case MessageType::kPredictResponse: return "predict_response";
+    case MessageType::kMetricsResponse: return "metrics_response";
+    case MessageType::kPongResponse: return "pong_response";
+  }
+  return "unknown";
+}
+
+const char* WireErrorName(WireError code) {
+  switch (code) {
+    case WireError::kBadRequest: return "bad_request";
+    case WireError::kUnknownSession: return "unknown_session";
+    case WireError::kWrongState: return "wrong_state";
+    case WireError::kBudgetExceeded: return "budget_exceeded";
+    case WireError::kServerBusy: return "server_busy";
+    case WireError::kInternalError: return "internal_error";
+    case WireError::kUnsupportedVersion: return "unsupported_version";
+  }
+  return "unknown";
+}
+
+bool IsKnownMessageType(uint16_t v) {
+  return MessageTypeName(static_cast<MessageType>(v)) !=
+         std::string("unknown");
+}
+
+std::string EncodeFrame(MessageType type, const std::string& payload) {
+  TASFAR_CHECK_MSG(payload.size() <= kMaxPayloadBytes,
+                   "frame payload exceeds kMaxPayloadBytes");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendLe(&out, kProtocolVersion, 2);
+  AppendLe(&out, static_cast<uint16_t>(type), 2);
+  AppendLe(&out, static_cast<uint32_t>(payload.size()), 4);
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::Append(const char* data, size_t n) {
+  buffer_.append(data, n);
+}
+
+FrameReader::ReadResult FrameReader::Next(Frame* frame) {
+  if (!error_.ok()) return ReadResult::kError;
+  // Drop consumed prefix lazily so long sessions do not grow the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const char* p = buffer_.data() + consumed_;
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) return ReadResult::kNeedMore;
+  if (std::memcmp(p, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    error_ = Status::InvalidArgument("frame magic mismatch");
+    return ReadResult::kError;
+  }
+  const auto version = static_cast<uint16_t>(ReadLe(p + 4, 2));
+  if (version != kProtocolVersion) {
+    error_ = Status::InvalidArgument("unsupported protocol version " +
+                                     std::to_string(version));
+    return ReadResult::kError;
+  }
+  const auto type = static_cast<uint16_t>(ReadLe(p + 6, 2));
+  if (!IsKnownMessageType(type)) {
+    error_ = Status::InvalidArgument("unknown message type " +
+                                     std::to_string(type));
+    return ReadResult::kError;
+  }
+  const auto len = static_cast<uint32_t>(ReadLe(p + 8, 4));
+  if (len > kMaxPayloadBytes) {
+    error_ = Status::InvalidArgument("oversized frame: " +
+                                     std::to_string(len) + " bytes");
+    return ReadResult::kError;
+  }
+  if (avail < kFrameHeaderBytes + len) return ReadResult::kNeedMore;
+  frame->type = static_cast<MessageType>(type);
+  frame->payload.assign(p + kFrameHeaderBytes, len);
+  consumed_ += kFrameHeaderBytes + len;
+  return ReadResult::kFrame;
+}
+
+void PayloadWriter::PutU8(uint8_t v) { AppendLe(&bytes_, v, 1); }
+void PayloadWriter::PutU16(uint16_t v) { AppendLe(&bytes_, v, 2); }
+void PayloadWriter::PutU32(uint32_t v) { AppendLe(&bytes_, v, 4); }
+void PayloadWriter::PutU64(uint64_t v) { AppendLe(&bytes_, v, 8); }
+
+void PayloadWriter::PutDouble(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void PayloadWriter::PutString(const std::string& s) {
+  TASFAR_CHECK_MSG(s.size() <= kMaxPayloadBytes, "string field too large");
+  PutU32(static_cast<uint32_t>(s.size()));
+  bytes_.append(s);
+}
+
+bool PayloadReader::Take(size_t n, const char** out) {
+  if (size_ - pos_ < n) return false;
+  *out = data_ + pos_;
+  pos_ += n;
+  return true;
+}
+
+bool PayloadReader::GetU8(uint8_t* v) {
+  const char* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = static_cast<uint8_t>(ReadLe(p, 1));
+  return true;
+}
+
+bool PayloadReader::GetU16(uint16_t* v) {
+  const char* p = nullptr;
+  if (!Take(2, &p)) return false;
+  *v = static_cast<uint16_t>(ReadLe(p, 2));
+  return true;
+}
+
+bool PayloadReader::GetU32(uint32_t* v) {
+  const char* p = nullptr;
+  if (!Take(4, &p)) return false;
+  *v = static_cast<uint32_t>(ReadLe(p, 4));
+  return true;
+}
+
+bool PayloadReader::GetU64(uint64_t* v) {
+  const char* p = nullptr;
+  if (!Take(8, &p)) return false;
+  *v = ReadLe(p, 8);
+  return true;
+}
+
+bool PayloadReader::GetDouble(double* v) {
+  uint64_t bits = 0;
+  if (!GetU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(bits));
+  return true;
+}
+
+bool PayloadReader::GetString(std::string* s) {
+  uint32_t len = 0;
+  const size_t mark = pos_;
+  if (!GetU32(&len)) return false;
+  const char* p = nullptr;
+  if (!Take(len, &p)) {
+    pos_ = mark;  // Leave the reader where it was (length un-consumed).
+    return false;
+  }
+  s->assign(p, len);
+  return true;
+}
+
+}  // namespace tasfar::serve

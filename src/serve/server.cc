@@ -1,0 +1,486 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+obs::Counter* RequestsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.requests.total");
+  return kCounter;
+}
+
+obs::Counter* RequestErrorsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.requests.errors");
+  return kCounter;
+}
+
+obs::Counter* BytesReadCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.bytes.read");
+  return kCounter;
+}
+
+obs::Counter* BytesWrittenCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.bytes.written");
+  return kCounter;
+}
+
+obs::Counter* AcceptedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.connections.accepted");
+  return kCounter;
+}
+
+obs::Counter* RejectedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.connections.rejected");
+  return kCounter;
+}
+
+/// Default Status → WireError mapping; OutOfRange is context-dependent and
+/// handled by SendStatusError.
+WireError WireErrorFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return WireError::kBadRequest;
+    case StatusCode::kNotFound: return WireError::kUnknownSession;
+    case StatusCode::kFailedPrecondition: return WireError::kWrongState;
+    case StatusCode::kOutOfRange: return WireError::kBudgetExceeded;
+    default: return WireError::kInternalError;
+  }
+}
+
+}  // namespace
+
+Server::Server(const Sequential* source_model,
+               const SourceCalibration* calibration,
+               const TasfarOptions& options, const ServerConfig& config)
+    : config_(config),
+      manager_(source_model, calibration, options, config.manager) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status st =
+        Status::IoError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status st =
+        Status::IoError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+  stop_.store(false, std::memory_order_relaxed);
+  net_thread_ = std::make_unique<BackgroundThread>("serve-net",
+                                                   [this] { NetLoop(); });
+  TASFAR_LOG(kInfo) << "serve: listening on 127.0.0.1:" << bound_port_;
+  return Status::Ok();
+}
+
+void Server::Stop() {
+  if (net_thread_ == nullptr) return;
+  stop_.store(true, std::memory_order_relaxed);
+  net_thread_.reset();  // Joins; the loop closes client fds on exit.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::NetLoop() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (const auto& [fd, conn] : connections_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    // 50 ms tick bounds the Stop() latency without burning CPU.
+    const int ready = ::poll(fds.data(), fds.size(), 50);
+    if (ready <= 0) continue;  // Timeout or EINTR.
+    if ((fds[0].revents & POLLIN) != 0) AcceptOne();
+    // Snapshot the fd list: handlers may erase from connections_.
+    std::vector<pollfd> client_fds(fds.begin() + 1, fds.end());
+    for (const pollfd& p : client_fds) {
+      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      auto it = connections_.find(p.fd);
+      if (it == connections_.end()) continue;
+      char buf[64 * 1024];
+      const ssize_t n = ::recv(p.fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        CloseConnection(p.fd);
+        continue;
+      }
+      BytesReadCounter()->Increment(static_cast<uint64_t>(n));
+      if (!HandleInput(p.fd, &it->second, buf, static_cast<size_t>(n))) {
+        CloseConnection(p.fd);
+      }
+    }
+  }
+  // Drain: close every client before the thread exits.
+  for (const auto& [fd, conn] : connections_) ::close(fd);
+  connections_.clear();
+}
+
+void Server::AcceptOne() {
+  const int fd = ::accept(listen_fd_, nullptr, nullptr);
+  if (fd < 0) return;
+  if (TASFAR_FAILPOINT("serve.accept") ||
+      connections_.size() >= config_.max_connections) {
+    // Reject at the door: existing sessions and connections are worth
+    // more than a new client under overload (docs/SERVING.md §Overload).
+    RejectedCounter()->Increment();
+    ::close(fd);
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  connections_.emplace(fd, Connection{});
+  AcceptedCounter()->Increment();
+}
+
+bool Server::HandleInput(int fd, Connection* conn, const char* data,
+                         size_t n) {
+  if (!conn->decided) {
+    conn->sniff.append(data, n);
+    if (conn->sniff.size() < 4) return true;  // Keep sniffing.
+    conn->decided = true;
+    if (conn->sniff.compare(0, 4, "GET ") == 0) {
+      // Plain-HTTP metrics scrape: answer and close.
+      const std::string body = obs::Registry::Get().ToPrometheusText();
+      std::string resp = "HTTP/1.0 200 OK\r\n";
+      resp += "Content-Type: text/plain; version=0.0.4\r\n";
+      resp += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+      resp += body;
+      WriteAll(fd, resp.data(), resp.size());
+      return false;
+    }
+    conn->reader.Append(conn->sniff.data(), conn->sniff.size());
+    conn->sniff.clear();
+  } else {
+    conn->reader.Append(data, n);
+  }
+  for (;;) {
+    Frame frame;
+    const FrameReader::ReadResult r = conn->reader.Next(&frame);
+    if (r == FrameReader::ReadResult::kNeedMore) return true;
+    if (r == FrameReader::ReadResult::kError) {
+      TASFAR_LOG(kWarning) << "serve: dropping connection: "
+                           << conn->reader.error().ToString();
+      RequestErrorsCounter()->Increment();
+      // Best-effort decline so well-behaved clients see why.
+      SendError(fd, WireError::kBadRequest,
+                conn->reader.error().message());
+      return false;
+    }
+    if (!HandleFrame(fd, frame)) return false;
+  }
+}
+
+bool Server::HandleFrame(int fd, const Frame& frame) {
+  TASFAR_TRACE_SPAN("serve.request");
+  RequestsCounter()->Increment();
+  switch (frame.type) {
+    case MessageType::kCreateSession:
+      return HandleCreateSession(fd, frame.payload);
+    case MessageType::kSubmitTargetData:
+      return HandleSubmitTargetData(fd, frame.payload);
+    case MessageType::kAdapt:
+      return HandleAdapt(fd, frame.payload);
+    case MessageType::kQuerySession:
+      return HandleQuerySession(fd, frame.payload);
+    case MessageType::kPredict:
+      return HandlePredict(fd, frame.payload);
+    case MessageType::kSaveSession:
+      return HandleSaveSession(fd, frame.payload);
+    case MessageType::kRestoreSession:
+      return HandleRestoreSession(fd, frame.payload);
+    case MessageType::kCloseSession:
+      return HandleCloseSession(fd, frame.payload);
+    case MessageType::kGetMetrics: {
+      PayloadWriter w;
+      w.PutString(obs::Registry::Get().ToPrometheusText());
+      return SendFrame(fd, MessageType::kMetricsResponse, w.Take());
+    }
+    case MessageType::kPing:
+      return SendFrame(fd, MessageType::kPongResponse, "");
+    default:
+      // A response type sent as a request.
+      return SendError(fd, WireError::kBadRequest,
+                       std::string("not a request: ") +
+                           MessageTypeName(frame.type));
+  }
+}
+
+bool Server::HandleCreateSession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  uint64_t seed = 0;
+  uint32_t input_dim = 0;
+  uint64_t budget = 0;
+  if (!r.GetString(&user) || !r.GetU64(&seed) || !r.GetU32(&input_dim) ||
+      !r.GetU64(&budget) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed create_session payload");
+  }
+  if (input_dim == 0) {
+    return SendError(fd, WireError::kBadRequest, "input_dim must be > 0");
+  }
+  SessionConfig cfg;
+  cfg.seed = seed;
+  cfg.input_dim = input_dim;
+  cfg.budget_bytes = static_cast<size_t>(budget);
+  const Status st = manager_.Create(user, cfg);
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kOutOfRange) {
+      return SendError(fd, WireError::kServerBusy, st.message());
+    }
+    return SendStatusError(fd, st, /*adapt_context=*/false);
+  }
+  PayloadWriter w;
+  w.PutString("");
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleSubmitTargetData(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!r.GetString(&user) || !r.GetU32(&rows) || !r.GetU32(&cols)) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed submit_target_data payload");
+  }
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  if (r.remaining() != cells * 8) {
+    return SendError(fd, WireError::kBadRequest,
+                     "row data does not match rows*cols");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  std::vector<double> data(cells);
+  for (uint64_t i = 0; i < cells; ++i) r.GetDouble(&data[i]);
+  const Status st = session->SubmitRows(rows, cols, data.data());
+  if (!st.ok()) return SendStatusError(fd, st, /*adapt_context=*/false);
+  PayloadWriter w;
+  w.PutString("");
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleAdapt(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  uint64_t adapt_seed = 0;
+  if (!r.GetString(&user) || !r.GetU64(&adapt_seed) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest, "malformed adapt payload");
+  }
+  const Status st = manager_.SubmitAdapt(user, adapt_seed);
+  if (!st.ok()) return SendStatusError(fd, st, /*adapt_context=*/true);
+  PayloadWriter w;
+  w.PutString("adapt job queued");
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleQuerySession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  if (!r.GetString(&user) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed query_session payload");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  const SessionInfo info = session->Info();
+  PayloadWriter w;
+  w.PutU8(static_cast<uint8_t>(info.state));
+  w.PutU64(info.pending_rows);
+  w.PutU64(info.input_dim);
+  w.PutU64(info.budget_bytes);
+  w.PutU64(info.used_bytes);
+  w.PutU64(info.adapt_runs);
+  w.PutU8(info.serving_adapted ? 1 : 0);
+  w.PutString(info.degraded_reason);
+  return SendFrame(fd, MessageType::kSessionInfoResponse, w.Take());
+}
+
+bool Server::HandlePredict(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  uint32_t rows = 0;
+  uint32_t cols = 0;
+  if (!r.GetString(&user) || !r.GetU32(&rows) || !r.GetU32(&cols)) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed predict payload");
+  }
+  const uint64_t cells = static_cast<uint64_t>(rows) * cols;
+  if (rows == 0 || r.remaining() != cells * 8) {
+    return SendError(fd, WireError::kBadRequest,
+                     "row data does not match rows*cols");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  std::vector<double> data(cells);
+  for (uint64_t i = 0; i < cells; ++i) r.GetDouble(&data[i]);
+  const Tensor inputs(std::vector<size_t>{rows, cols}, std::move(data));
+  Result<ServedPrediction> result = session->Predict(inputs);
+  if (!result.ok()) {
+    return SendStatusError(fd, result.status(), /*adapt_context=*/false);
+  }
+  const ServedPrediction& served = result.value();
+  const uint32_t out_dim =
+      served.predictions.empty()
+          ? 0
+          : static_cast<uint32_t>(served.predictions.front().mean.size());
+  PayloadWriter w;
+  w.PutU8(served.from_adapted ? 1 : 0);
+  w.PutU32(static_cast<uint32_t>(served.predictions.size()));
+  w.PutU32(out_dim);
+  for (const McPrediction& p : served.predictions) {
+    for (double v : p.mean) w.PutDouble(v);
+    for (double v : p.std) w.PutDouble(v);
+  }
+  return SendFrame(fd, MessageType::kPredictResponse, w.Take());
+}
+
+bool Server::HandleSaveSession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  if (!r.GetString(&user) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed save_session payload");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  PayloadWriter w;
+  w.PutString(session->SerializeState());
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleRestoreSession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user, blob;
+  if (!r.GetString(&user) || !r.GetString(&blob) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed restore_session payload");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  const Status st = session->RestoreState(blob);
+  if (!st.ok()) return SendStatusError(fd, st, /*adapt_context=*/false);
+  PayloadWriter w;
+  w.PutString("");
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleCloseSession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  if (!r.GetString(&user) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed close_session payload");
+  }
+  const Status st = manager_.Close(user);
+  if (!st.ok()) return SendStatusError(fd, st, /*adapt_context=*/false);
+  PayloadWriter w;
+  w.PutString("");
+  return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::SendFrame(int fd, MessageType type, const std::string& payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+bool Server::SendError(int fd, WireError code, const std::string& message) {
+  RequestErrorsCounter()->Increment();
+  PayloadWriter w;
+  w.PutU16(static_cast<uint16_t>(code));
+  w.PutString(message);
+  return SendFrame(fd, MessageType::kErrorResponse, w.Take());
+}
+
+bool Server::SendStatusError(int fd, const Status& status,
+                             bool adapt_context) {
+  WireError code = WireErrorFor(status.code());
+  if (adapt_context && status.code() == StatusCode::kOutOfRange &&
+      status.message().find("queue") != std::string::npos) {
+    code = WireError::kServerBusy;
+  }
+  return SendError(fd, code, status.message());
+}
+
+bool Server::WriteAll(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(w);
+  }
+  BytesWrittenCounter()->Increment(n);
+  return true;
+}
+
+void Server::CloseConnection(int fd) {
+  ::close(fd);
+  connections_.erase(fd);
+}
+
+}  // namespace tasfar::serve

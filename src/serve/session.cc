@@ -1,0 +1,386 @@
+#include "serve/session.h"
+
+#include <sstream>
+#include <utility>
+
+#include "core/calibration_io.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+constexpr const char kSessionMagic[] = "TASFAR_SERVE_SESSION_V1";
+
+obs::Counter* DegradedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.session.degraded");
+  return kCounter;
+}
+
+obs::Counter* AdaptCompletedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.adapt.completed");
+  return kCounter;
+}
+
+obs::Counter* BudgetRejectedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.budget.rejected");
+  return kCounter;
+}
+
+SessionState ParseSessionState(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "created") return SessionState::kCreated;
+  if (name == "accumulating") return SessionState::kAccumulating;
+  if (name == "adapting") return SessionState::kAdapting;
+  if (name == "adapted") return SessionState::kAdapted;
+  if (name == "degraded") return SessionState::kDegraded;
+  *ok = false;
+  return SessionState::kCreated;
+}
+
+/// Reads a `<key> <nbytes>\n<raw block>` section. Returns false on a
+/// malformed header or truncated block.
+bool ReadBlock(std::istringstream* in, const std::string& expect_key,
+               std::string* block) {
+  std::string key;
+  size_t nbytes = 0;
+  *in >> key >> nbytes;
+  if (!*in || key != expect_key) return false;
+  in->get();  // The newline terminating the header line.
+  block->resize(nbytes);
+  in->read(block->data(), static_cast<std::streamsize>(nbytes));
+  return in->gcount() == static_cast<std::streamsize>(nbytes);
+}
+
+}  // namespace
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kCreated: return "created";
+    case SessionState::kAccumulating: return "accumulating";
+    case SessionState::kAdapting: return "adapting";
+    case SessionState::kAdapted: return "adapted";
+    case SessionState::kDegraded: return "degraded";
+  }
+  return "unknown";
+}
+
+Session::Session(std::string user_id, const Sequential& source_model,
+                 const SourceCalibration* calibration,
+                 const TasfarOptions& options, const SessionConfig& config)
+    : user_id_(std::move(user_id)),
+      calibration_(calibration),
+      options_(options),
+      config_(config),
+      param_count_(const_cast<Sequential&>(source_model).ParameterCount()),
+      base_model_(source_model.CloneSequential()) {
+  TASFAR_CHECK(calibration_ != nullptr);
+  serving_model_ = base_model_->CloneSequential();
+  predictor_ = std::make_unique<McDropoutPredictor>(
+      serving_model_.get(), options_.mc_samples, config_.predict_batch,
+      config_.seed);
+}
+
+size_t Session::UsedBytesLocked() const {
+  size_t bytes = rows_.size() * sizeof(double);
+  if (serving_adapted_) bytes += param_count_ * sizeof(double);
+  if (density_map_.has_value()) {
+    bytes += density_map_->NumCells() * sizeof(double);
+  }
+  return bytes;
+}
+
+void Session::ServeModelLocked(std::unique_ptr<Sequential> model,
+                               bool adapted) {
+  // Order matters: the predictor holds a raw pointer into the model it
+  // wraps, so it must be torn down before the model it references.
+  predictor_.reset();
+  serving_model_ = std::move(model);
+  predictor_ = std::make_unique<McDropoutPredictor>(
+      serving_model_.get(), options_.mc_samples, config_.predict_batch,
+      config_.seed);
+  serving_adapted_ = adapted;
+}
+
+Status Session::SubmitRows(size_t rows, size_t cols, const double* data) {
+  TASFAR_CHECK(data != nullptr || rows == 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == SessionState::kAdapting) {
+    return Status::FailedPrecondition(
+        "an adapt job is in flight; submit again after it finishes");
+  }
+  if (cols != config_.input_dim) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(config_.input_dim) + " features, got " +
+        std::to_string(cols));
+  }
+  if (rows == 0) {
+    return Status::InvalidArgument("submit carries zero rows");
+  }
+  const size_t incoming = rows * cols * sizeof(double);
+  if (UsedBytesLocked() + incoming > config_.budget_bytes) {
+    BudgetRejectedCounter()->Increment();
+    return Status::OutOfRange(
+        "session budget exceeded: " + std::to_string(UsedBytesLocked()) +
+        " + " + std::to_string(incoming) + " > " +
+        std::to_string(config_.budget_bytes) + " bytes");
+  }
+  rows_.insert(rows_.end(), data, data + rows * cols);
+  num_rows_ += rows;
+  state_ = SessionState::kAccumulating;
+  return Status::Ok();
+}
+
+Status Session::BeginAdapt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != SessionState::kAccumulating) {
+    return Status::FailedPrecondition(
+        std::string("adapt requires an accumulating session, not ") +
+        SessionStateName(state_));
+  }
+  // The adapted model detaches every parameter from the shared source
+  // buffers; charge that future footprint now so a successful adapt
+  // cannot overflow the budget after the fact.
+  if (!serving_adapted_ &&
+      UsedBytesLocked() + param_count_ * sizeof(double) >
+          config_.budget_bytes) {
+    BudgetRejectedCounter()->Increment();
+    return Status::OutOfRange(
+        "session budget cannot hold the adapted model: " +
+        std::to_string(UsedBytesLocked() + param_count_ * sizeof(double)) +
+        " > " + std::to_string(config_.budget_bytes) + " bytes");
+  }
+  adapt_num_rows_ = num_rows_;
+  state_ = SessionState::kAdapting;
+  return Status::Ok();
+}
+
+void Session::AbortAdapt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TASFAR_CHECK(state_ == SessionState::kAdapting);
+  state_ = SessionState::kAccumulating;
+}
+
+void Session::RunAdaptAndFinish(uint64_t adapt_seed) {
+  TASFAR_TRACE_SPAN("serve.adapt_job");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TASFAR_CHECK(state_ == SessionState::kAdapting);
+  }
+  // `rows_` is only appended by SubmitRows, which rejects while the state
+  // is kAdapting, so the job reads it below without holding the lock.
+  TasfarReport report;
+  std::string fault;
+  if (TASFAR_FAILPOINT("serve.adapt_job")) {
+    // Simulates the job dying mid-flight (OOM kill, poisoned batch that
+    // tripped every guard, ...). The session must degrade, never hang.
+    fault = "injected fault: serve.adapt_job";
+  } else {
+    try {
+      Tensor inputs(std::vector<size_t>{adapt_num_rows_, config_.input_dim},
+                    std::vector<double>(rows_.begin(),
+                                        rows_.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                adapt_num_rows_ *
+                                                config_.input_dim)));
+      Tasfar tasfar(options_);
+      Rng rng(adapt_seed);
+      report = tasfar.Adapt(base_model_.get(), *calibration_, inputs, &rng);
+      if (report.fell_back) {
+        fault = "adaptation fell back: " + report.fallback_reason;
+      } else if (report.skipped) {
+        fault = "adaptation skipped: degenerate confident/uncertain split";
+      }
+    } catch (const std::exception& e) {
+      fault = std::string("adapt job threw: ") + e.what();
+    } catch (...) {
+      fault = "adapt job threw a non-exception";
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault.empty()) {
+    // Keep serving whatever model served before the job — the source
+    // replica unless an earlier adapt succeeded. Never-worse-than-source.
+    state_ = SessionState::kDegraded;
+    degraded_reason_ = fault;
+    DegradedCounter()->Increment();
+    TASFAR_LOG(kWarning) << "serve: session '" << user_id_
+                         << "' degraded: " << fault;
+    return;
+  }
+  ServeModelLocked(std::move(report.target_model), /*adapted=*/true);
+  density_map_ = std::move(report.density_map);
+  degraded_reason_.clear();
+  state_ = SessionState::kAdapted;
+  ++adapt_runs_;
+  AdaptCompletedCounter()->Increment();
+}
+
+Result<ServedPrediction> Session::Predict(const Tensor& inputs) {
+  TASFAR_TRACE_SPAN("serve.predict");
+  if (inputs.rank() != 2 || inputs.dim(1) != config_.input_dim) {
+    return Status::InvalidArgument(
+        "predict expects {n, " + std::to_string(config_.input_dim) +
+        "} inputs, got " + inputs.ShapeString());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ServedPrediction out;
+  out.from_adapted = serving_adapted_;
+  out.predictions = predictor_->Predict(inputs);
+  return out;
+}
+
+SessionInfo Session::Info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionInfo info;
+  info.user_id = user_id_;
+  info.state = state_;
+  info.pending_rows = num_rows_;
+  info.input_dim = config_.input_dim;
+  info.budget_bytes = config_.budget_bytes;
+  info.used_bytes = UsedBytesLocked();
+  info.adapt_runs = adapt_runs_;
+  info.serving_adapted = serving_adapted_;
+  info.degraded_reason = degraded_reason_;
+  return info;
+}
+
+std::string Session::SerializeState() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << kSessionMagic << "\n";
+  out << "user " << user_id_ << "\n";
+  // An in-flight job does not survive the file: its data does, so the
+  // restored session can simply re-adapt.
+  const SessionState persisted = state_ == SessionState::kAdapting
+                                     ? SessionState::kAccumulating
+                                     : state_;
+  out << "state " << SessionStateName(persisted) << "\n";
+  out << "input_dim " << config_.input_dim << "\n";
+  out << "adapt_runs " << adapt_runs_ << "\n";
+  const Tensor rows(std::vector<size_t>{num_rows_, config_.input_dim},
+                    rows_);
+  const std::string rows_text = SerializeMatrix(rows);
+  out << "rows " << rows_text.size() << "\n" << rows_text;
+  out << "adapted " << (serving_adapted_ ? 1 : 0) << "\n";
+  if (serving_adapted_) {
+    const std::string params = SerializeParams(serving_model_.get());
+    out << "params " << params.size() << "\n" << params;
+  }
+  if (density_map_.has_value()) {
+    const std::string map_text = SerializeDensityMap(*density_map_);
+    out << "density " << map_text.size() << "\n" << map_text;
+  } else {
+    out << "density 0\n";
+  }
+  out << "reason " << degraded_reason_.size() << "\n" << degraded_reason_;
+  out << "end\n";
+  return out.str();
+}
+
+Status Session::RestoreState(const std::string& text) {
+  if (TASFAR_FAILPOINT("serve.session_restore")) {
+    return Status::IoError("injected fault: serve.session_restore");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != SessionState::kCreated) {
+    return Status::FailedPrecondition(
+        "restore requires a freshly created session");
+  }
+  std::istringstream in(text);
+  std::string magic;
+  in >> magic;
+  if (magic != kSessionMagic) {
+    return Status::InvalidArgument("bad session magic");
+  }
+  std::string key, user, state_name;
+  in >> key >> user;
+  if (!in || key != "user") {
+    return Status::InvalidArgument("missing user line");
+  }
+  in >> key >> state_name;
+  bool state_ok = false;
+  const SessionState restored = ParseSessionState(state_name, &state_ok);
+  if (!in || key != "state" || !state_ok) {
+    return Status::InvalidArgument("missing or bad state line");
+  }
+  size_t input_dim = 0;
+  in >> key >> input_dim;
+  if (!in || key != "input_dim" || input_dim != config_.input_dim) {
+    return Status::InvalidArgument("input_dim mismatch or missing");
+  }
+  uint64_t adapt_runs = 0;
+  in >> key >> adapt_runs;
+  if (!in || key != "adapt_runs") {
+    return Status::InvalidArgument("missing adapt_runs line");
+  }
+  std::string rows_text;
+  if (!ReadBlock(&in, "rows", &rows_text)) {
+    return Status::InvalidArgument("missing or truncated rows block");
+  }
+  Result<Tensor> rows = DeserializeMatrix(rows_text);
+  if (!rows.ok()) return rows.status();
+  if (rows.value().dim(0) != 0 && rows.value().dim(1) != config_.input_dim) {
+    return Status::InvalidArgument("restored rows have wrong width");
+  }
+  int adapted = 0;
+  in >> key >> adapted;
+  if (!in || key != "adapted" || (adapted != 0 && adapted != 1)) {
+    return Status::InvalidArgument("missing or bad adapted line");
+  }
+  std::unique_ptr<Sequential> restored_model;
+  if (adapted == 1) {
+    std::string params;
+    if (!ReadBlock(&in, "params", &params)) {
+      return Status::InvalidArgument("missing or truncated params block");
+    }
+    restored_model = base_model_->CloneSequential();
+    TASFAR_RETURN_IF_ERROR(
+        DeserializeParams(restored_model.get(), params));
+  }
+  std::string map_text;
+  if (!ReadBlock(&in, "density", &map_text)) {
+    return Status::InvalidArgument("missing or truncated density block");
+  }
+  std::optional<DensityMap> restored_map;
+  if (!map_text.empty()) {
+    Result<DensityMap> map = DeserializeDensityMap(map_text);
+    if (!map.ok()) return map.status();
+    restored_map = std::move(map.value());
+  }
+  std::string reason;
+  if (!ReadBlock(&in, "reason", &reason)) {
+    return Status::InvalidArgument("missing or truncated reason block");
+  }
+  in >> key;
+  if (!in || key != "end") {
+    return Status::InvalidArgument("missing end marker");
+  }
+
+  // All parsed and validated — commit (restore is transactional: any
+  // error above leaves the fresh session untouched).
+  const double* data = rows.value().data();
+  rows_.assign(data, data + rows.value().size());
+  num_rows_ = rows.value().dim(0);
+  adapt_runs_ = adapt_runs;
+  density_map_ = std::move(restored_map);
+  degraded_reason_ = reason;
+  if (restored_model != nullptr) {
+    ServeModelLocked(std::move(restored_model), /*adapted=*/true);
+  }
+  state_ = restored == SessionState::kCreated && num_rows_ > 0
+               ? SessionState::kAccumulating
+               : restored;
+  return Status::Ok();
+}
+
+}  // namespace tasfar::serve

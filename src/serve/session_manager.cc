@@ -1,0 +1,183 @@
+#include "serve/session_manager.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+obs::Counter* SessionsCreatedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.sessions.created");
+  return kCounter;
+}
+
+obs::Counter* SessionsClosedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.sessions.closed");
+  return kCounter;
+}
+
+obs::Counter* SessionsRejectedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.sessions.rejected");
+  return kCounter;
+}
+
+obs::Gauge* SessionsActiveGauge() {
+  static obs::Gauge* const kGauge =
+      obs::Registry::Get().GetGauge("tasfar.serve.sessions.active");
+  return kGauge;
+}
+
+obs::Counter* AdaptRejectedCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.adapt.rejected");
+  return kCounter;
+}
+
+obs::Gauge* AdaptQueuedGauge() {
+  static obs::Gauge* const kGauge =
+      obs::Registry::Get().GetGauge("tasfar.serve.adapt.queued");
+  return kGauge;
+}
+
+}  // namespace
+
+JobRunner::JobRunner(size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  worker_ = std::make_unique<BackgroundThread>("serve-adapt-runner",
+                                               [this] { RunLoop(); });
+}
+
+JobRunner::~JobRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.reset();  // Joins after the queue drains.
+}
+
+bool JobRunner::TrySubmit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(job));
+    AdaptQueuedGauge()->Set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void JobRunner::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && !running_job_; });
+}
+
+void JobRunner::RunLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and drained.
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      running_job_ = true;
+      AdaptQueuedGauge()->Set(static_cast<double>(queue_.size()));
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_job_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+SessionManager::SessionManager(const Sequential* source_model,
+                               const SourceCalibration* calibration,
+                               const TasfarOptions& options,
+                               const ManagerConfig& config)
+    : source_model_(source_model),
+      calibration_(calibration),
+      options_(options),
+      config_(config),
+      runner_(config.job_queue_capacity) {
+  TASFAR_CHECK(source_model_ != nullptr && calibration_ != nullptr);
+}
+
+Status SessionManager::Create(const std::string& user_id,
+                              const SessionConfig& config) {
+  if (user_id.empty()) {
+    return Status::InvalidArgument("user id must be non-empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= config_.max_sessions) {
+    SessionsRejectedCounter()->Increment();
+    return Status::OutOfRange(
+        "server at max_sessions (" + std::to_string(config_.max_sessions) +
+        ")");
+  }
+  if (sessions_.count(user_id) != 0) {
+    return Status::FailedPrecondition("session '" + user_id +
+                                      "' already exists");
+  }
+  SessionConfig cfg = config;
+  if (cfg.budget_bytes == 0) cfg.budget_bytes = config_.default_budget_bytes;
+  sessions_.emplace(user_id,
+                    std::make_shared<Session>(user_id, *source_model_,
+                                              calibration_, options_, cfg));
+  SessionsCreatedCounter()->Increment();
+  SessionsActiveGauge()->Set(static_cast<double>(sessions_.size()));
+  return Status::Ok();
+}
+
+std::shared_ptr<Session> SessionManager::Find(
+    const std::string& user_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(user_id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status SessionManager::Close(const std::string& user_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(user_id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session '" + user_id + "'");
+  }
+  sessions_.erase(it);
+  SessionsClosedCounter()->Increment();
+  SessionsActiveGauge()->Set(static_cast<double>(sessions_.size()));
+  return Status::Ok();
+}
+
+Status SessionManager::SubmitAdapt(const std::string& user_id,
+                                   uint64_t adapt_seed) {
+  std::shared_ptr<Session> session = Find(user_id);
+  if (session == nullptr) {
+    return Status::NotFound("no session '" + user_id + "'");
+  }
+  TASFAR_RETURN_IF_ERROR(session->BeginAdapt());
+  // The shared_ptr rides in the closure, so CloseSession racing the queue
+  // cannot leave the job with a dangling session.
+  const bool queued = runner_.TrySubmit(
+      [session, adapt_seed] { session->RunAdaptAndFinish(adapt_seed); });
+  if (!queued) {
+    session->AbortAdapt();
+    AdaptRejectedCounter()->Increment();
+    return Status::OutOfRange("adapt job queue full");
+  }
+  return Status::Ok();
+}
+
+size_t SessionManager::NumSessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+}  // namespace tasfar::serve

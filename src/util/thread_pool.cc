@@ -153,6 +153,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (region->first_error) std::rethrow_exception(region->first_error);
 }
 
+BackgroundThread::BackgroundThread(std::string name,
+                                   std::function<void()> body)
+    : name_(std::move(name)), thread_(std::move(body)) {}
+
+BackgroundThread::~BackgroundThread() {
+  if (thread_.joinable()) thread_.join();
+}
+
 namespace {
 
 size_t DefaultNumThreads() {

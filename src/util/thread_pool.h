@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -67,6 +68,36 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+};
+
+/// A single named long-lived thread with RAII join semantics — the one
+/// sanctioned way to run something *other than* data-parallel chunks off
+/// the calling thread (tools/lint forbids raw `std::thread` outside this
+/// file). The serving layer uses it for its network loop and its adapt-job
+/// runner (docs/THREADING.md §Background threads); compute inside the body
+/// still fans out through the global ParallelFor, so total CPU concurrency
+/// remains bounded by the pool size.
+///
+/// The body runs exactly once. Destruction joins (it does not signal the
+/// body to stop — owners needing cancellation must provide their own flag
+/// and set it before destroying the BackgroundThread).
+class BackgroundThread {
+ public:
+  /// Starts `body` immediately on a fresh thread. `name` is for
+  /// diagnostics only.
+  BackgroundThread(std::string name, std::function<void()> body);
+
+  /// Joins the thread (blocks until `body` returns).
+  ~BackgroundThread();
+
+  BackgroundThread(const BackgroundThread&) = delete;
+  BackgroundThread& operator=(const BackgroundThread&) = delete;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::thread thread_;
 };
 
 /// Number of threads the global pool uses (lazily created on first use).

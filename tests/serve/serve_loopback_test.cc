@@ -1,0 +1,285 @@
+// Integration tier for the serving stack: a live Server on an ephemeral
+// loopback port driven through the real Client. Proves the ISSUE's
+// acceptance criteria: served predictions after an Adapt are
+// byte-identical to the in-process pipeline at several thread counts,
+// concurrent clients are isolated, and a killed adapt job degrades the
+// session to source-model serving instead of killing it.
+
+#include <poll.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tasfar.h"
+#include "obs/metrics.h"
+#include "serve/client.h"
+#include "serve/demo.h"
+#include "serve/server.h"
+#include "uncertainty/mc_dropout.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace tasfar::serve {
+namespace {
+
+constexpr uint64_t kSessionSeed = 42;
+constexpr uint64_t kAdaptSeed = 7;
+
+// Trained once for the whole binary.
+const DemoBundle& Bundle() {
+  static const DemoBundle* bundle =
+      new DemoBundle(BuildDemoBundle(/*source_samples=*/800,
+                                     /*target_samples=*/200, /*epochs=*/6));
+  return *bundle;
+}
+
+std::unique_ptr<Server> StartServer() {
+  const DemoBundle& b = Bundle();
+  ServerConfig config;
+  config.port = 0;  // ephemeral
+  auto server =
+      std::make_unique<Server>(b.model.get(), &b.calibration, b.options, config);
+  const Status s = server->Start();
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return server;
+}
+
+// Polls QuerySession until the session leaves kAdapting (50 ms period,
+// generous deadline — the adapt job runs a real fine-tune).
+bool WaitNotAdapting(Client* client, const std::string& user,
+                     ClientSessionInfo* out) {
+  for (int i = 0; i < 2400; ++i) {
+    Result<ClientSessionInfo> info = client->QuerySession(user);
+    if (!info.ok()) return false;
+    if (info.value().state != SessionState::kAdapting &&
+        info.value().state != SessionState::kCreated &&
+        info.value().state != SessionState::kAccumulating) {
+      *out = info.value();
+      return true;
+    }
+    if (info.value().state == SessionState::kAccumulating &&
+        info.value().adapt_runs > 0) {
+      *out = info.value();
+      return true;
+    }
+    ::poll(nullptr, 0, 50);
+  }
+  return false;
+}
+
+// The in-process reference: the exact pipeline the server runs, on clones
+// of the same bundle. Returns the MC-dropout predictions the session's
+// first post-adapt Predict must reproduce bit for bit.
+std::vector<McPrediction> InProcessReference(const Tensor& adapt_rows,
+                                             const Tensor& probe) {
+  const DemoBundle& b = Bundle();
+  std::unique_ptr<Sequential> model = b.model->CloneSequential();
+  Rng rng(kAdaptSeed);
+  TasfarReport report =
+      Tasfar(b.options).Adapt(model.get(), b.calibration, adapt_rows, &rng);
+  EXPECT_FALSE(report.skipped);
+  EXPECT_FALSE(report.fell_back) << report.fallback_reason;
+  McDropoutPredictor predictor(report.target_model.get(), b.options.mc_samples,
+                               /*batch_size=*/64, kSessionSeed);
+  return predictor.Predict(probe);
+}
+
+// --- byte identity ----------------------------------------------------------
+
+TEST(ServeLoopbackTest, PredictAfterAdaptIsByteIdenticalAcrossThreadCounts) {
+  const DemoBundle& b = Bundle();
+  const Tensor adapt_rows = b.target_rows.SliceRows(0, 200);
+  const Tensor probe = b.target_rows.SliceRows(0, 8);
+  const uint32_t cols = static_cast<uint32_t>(probe.dim(1));
+
+  const size_t original_threads = GetNumThreads();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetNumThreads(threads);
+
+    const std::vector<McPrediction> expected =
+        InProcessReference(adapt_rows, probe);
+
+    std::unique_ptr<Server> server = StartServer();
+    Client client;
+    ASSERT_TRUE(client.Connect(server->port()).ok());
+    ASSERT_TRUE(
+        client.CreateSession("alice", kSessionSeed, cols).ok());
+    ASSERT_TRUE(client
+                    .SubmitTargetData("alice", 200, cols, adapt_rows.data())
+                    .ok());
+    ASSERT_TRUE(client.Adapt("alice", kAdaptSeed).ok());
+    ClientSessionInfo info;
+    ASSERT_TRUE(WaitNotAdapting(&client, "alice", &info));
+    ASSERT_EQ(info.state, SessionState::kAdapted)
+        << "degraded: " << info.degraded_reason;
+
+    Result<ClientPrediction> served =
+        client.Predict("alice", 8, cols, probe.data());
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_TRUE(served.value().from_adapted);
+    ASSERT_EQ(served.value().predictions.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      // Doubles travel as bit patterns; == here is bit equality for the
+      // finite values the pipeline produces.
+      EXPECT_EQ(served.value().predictions[i].mean, expected[i].mean)
+          << "row " << i;
+      EXPECT_EQ(served.value().predictions[i].std, expected[i].std)
+          << "row " << i;
+    }
+    server->Stop();
+  }
+  SetNumThreads(original_threads);
+}
+
+// --- concurrent clients -----------------------------------------------------
+
+TEST(ServeLoopbackTest, ConcurrentClientsAreIsolated) {
+  const DemoBundle& b = Bundle();
+  const Tensor probe = b.target_rows.SliceRows(0, 4);
+  const uint32_t cols = static_cast<uint32_t>(probe.dim(1));
+  std::unique_ptr<Server> server = StartServer();
+  const uint16_t port = server->port();
+
+  constexpr size_t kClients = 4;
+  std::vector<ClientPrediction> results(kClients);
+  std::vector<Status> outcomes(kClients,
+                               Status::Internal("thread never ran"));
+  {
+    std::vector<std::unique_ptr<BackgroundThread>> threads;
+    for (size_t i = 0; i < kClients; ++i) {
+      threads.push_back(std::make_unique<BackgroundThread>(
+          "loopback-client-" + std::to_string(i),
+          [i, port, cols, &probe, &results, &outcomes] {
+            const std::string user = "user-" + std::to_string(i);
+            Client client;
+            Status s = client.Connect(port);
+            if (!s.ok()) {
+              outcomes[i] = s;
+              return;
+            }
+            s = client.CreateSession(user, kSessionSeed, cols);
+            if (!s.ok()) {
+              outcomes[i] = s;
+              return;
+            }
+            Result<ClientPrediction> pred =
+                client.Predict(user, 4, cols, probe.data());
+            if (!pred.ok()) {
+              outcomes[i] = pred.status();
+              return;
+            }
+            results[i] = pred.value();
+            outcomes[i] = Status::Ok();
+          }));
+    }
+  }  // joins all clients
+
+  for (size_t i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(outcomes[i].ok()) << "client " << i << ": "
+                                  << outcomes[i].ToString();
+    ASSERT_EQ(results[i].predictions.size(), 4u);
+    EXPECT_FALSE(results[i].from_adapted);
+  }
+  // Same source model, same session seed, same first call: every client
+  // sees identical predictions — sessions do not bleed into each other.
+  for (size_t i = 1; i < kClients; ++i) {
+    for (size_t r = 0; r < 4; ++r) {
+      EXPECT_EQ(results[i].predictions[r].mean, results[0].predictions[r].mean);
+      EXPECT_EQ(results[i].predictions[r].std, results[0].predictions[r].std);
+    }
+  }
+  EXPECT_EQ(server->manager().NumSessions(), kClients);
+}
+
+// --- graceful degradation ---------------------------------------------------
+
+TEST(ServeLoopbackTest, KilledAdaptJobLeavesSessionServingSource) {
+  obs::SetMetricsEnabled(true);
+  const DemoBundle& b = Bundle();
+  const Tensor rows = b.target_rows.SliceRows(0, 50);
+  const Tensor probe = b.target_rows.SliceRows(0, 3);
+  const uint32_t cols = static_cast<uint32_t>(rows.dim(1));
+
+  std::unique_ptr<Server> server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+  ASSERT_TRUE(client.CreateSession("bob", kSessionSeed, cols).ok());
+  ASSERT_TRUE(client.SubmitTargetData("bob", 50, cols, rows.data()).ok());
+
+  const uint64_t degraded_before =
+      obs::Registry::Get().GetCounter("tasfar.serve.session.degraded")->value();
+  ASSERT_TRUE(failpoint::Configure("serve.adapt_job").ok());
+  ASSERT_TRUE(client.Adapt("bob", kAdaptSeed).ok());
+  ClientSessionInfo info;
+  const bool finished = WaitNotAdapting(&client, "bob", &info);
+  failpoint::Disable();
+  ASSERT_TRUE(finished);
+
+  EXPECT_EQ(info.state, SessionState::kDegraded);
+  EXPECT_FALSE(info.degraded_reason.empty());
+  EXPECT_EQ(
+      obs::Registry::Get().GetCounter("tasfar.serve.session.degraded")->value(),
+      degraded_before + 1);
+
+  // The session is degraded, not dead: predictions flow from the source
+  // replica.
+  Result<ClientPrediction> pred = client.Predict("bob", 3, cols, probe.data());
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_FALSE(pred.value().from_adapted);
+
+  // And the metrics endpoint reports the degradation.
+  Result<std::string> metrics = client.GetMetrics();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(metrics.value().find("tasfar_serve_session_degraded"),
+            std::string::npos);
+}
+
+// --- wire-level error behavior ----------------------------------------------
+
+TEST(ServeLoopbackTest, ApplicationErrorsLeaveConnectionHealthy) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+
+  // Unknown session.
+  EXPECT_FALSE(client.Adapt("ghost", 1).ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kUnknownSession);
+
+  // Duplicate create.
+  ASSERT_TRUE(client.CreateSession("carol", 1, 8).ok());
+  EXPECT_FALSE(client.CreateSession("carol", 1, 8).ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kWrongState);
+
+  // The connection survived both errors.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.CloseSession("carol").ok());
+}
+
+TEST(ServeLoopbackTest, SessionCapRejectsWithServerBusy) {
+  const DemoBundle& b = Bundle();
+  ServerConfig config;
+  config.port = 0;
+  config.manager.max_sessions = 2;
+  Server server(b.model.get(), &b.calibration, b.options, config);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  ASSERT_TRUE(client.CreateSession("a", 1, 8).ok());
+  ASSERT_TRUE(client.CreateSession("b", 1, 8).ok());
+  EXPECT_FALSE(client.CreateSession("c", 1, 8).ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kServerBusy);
+
+  // Closing one admits the next.
+  ASSERT_TRUE(client.CloseSession("a").ok());
+  EXPECT_TRUE(client.CreateSession("c", 1, 8).ok());
+}
+
+}  // namespace
+}  // namespace tasfar::serve

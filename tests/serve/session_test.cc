@@ -1,0 +1,271 @@
+// Unit tier for the serving session (src/serve/session.h): the state
+// machine, budget enforcement, degradation on a killed adapt job, and the
+// save/restore round trip. Uses a small shared demo bundle so the adapt
+// path runs the real TASFAR pipeline end to end.
+
+#include "serve/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/demo.h"
+#include "tensor/tensor.h"
+#include "util/failpoint.h"
+
+namespace tasfar::serve {
+namespace {
+
+// Trained once for the whole binary; every test clones from it.
+const DemoBundle& Bundle() {
+  static const DemoBundle* bundle =
+      new DemoBundle(BuildDemoBundle(/*source_samples=*/800,
+                                     /*target_samples=*/200, /*epochs=*/6));
+  return *bundle;
+}
+
+SessionConfig SmallConfig() {
+  SessionConfig config;
+  config.input_dim = Bundle().target_rows.dim(1);
+  config.seed = 42;
+  return config;
+}
+
+std::unique_ptr<Session> MakeSession(const std::string& user,
+                                     const SessionConfig& config) {
+  const DemoBundle& b = Bundle();
+  return std::make_unique<Session>(user, *b.model, &b.calibration, b.options,
+                                   config);
+}
+
+Tensor Rows(size_t n) {
+  return Bundle().target_rows.SliceRows(0, n);
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::Registry::Get().GetCounter(name)->value();
+}
+
+// --- state machine ----------------------------------------------------------
+
+TEST(SessionTest, FreshSessionIsCreatedAndServesSource) {
+  auto session = MakeSession("u", SmallConfig());
+  const SessionInfo info = session->Info();
+  EXPECT_EQ(info.state, SessionState::kCreated);
+  EXPECT_EQ(info.pending_rows, 0u);
+  EXPECT_FALSE(info.serving_adapted);
+
+  // A created session already answers predictions from the source replica.
+  const Tensor inputs = Rows(3);
+  auto pred = session->Predict(inputs);
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_EQ(pred.value().predictions.size(), 3u);
+  EXPECT_FALSE(pred.value().from_adapted);
+}
+
+TEST(SessionTest, SubmitMovesToAccumulating) {
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(10);
+  ASSERT_TRUE(session
+                  ->SubmitRows(10, rows.dim(1),
+                               rows.data())
+                  .ok());
+  const SessionInfo info = session->Info();
+  EXPECT_EQ(info.state, SessionState::kAccumulating);
+  EXPECT_EQ(info.pending_rows, 10u);
+  EXPECT_GT(info.used_bytes, 0u);
+}
+
+TEST(SessionTest, SubmitRejectsFeatureMismatch) {
+  auto session = MakeSession("u", SmallConfig());
+  const std::vector<double> row(3, 0.0);
+  const Status s = session->SubmitRows(1, 3, row.data());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->Info().state, SessionState::kCreated);
+}
+
+TEST(SessionTest, BeginAdaptRequiresAccumulating) {
+  auto session = MakeSession("u", SmallConfig());
+  EXPECT_EQ(session->BeginAdapt().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, SubmitWhileAdaptingIsRejected) {
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(20);
+  const size_t cols = rows.dim(1);
+  ASSERT_TRUE(session->SubmitRows(20, cols, rows.data()).ok());
+  ASSERT_TRUE(session->BeginAdapt().ok());
+  EXPECT_EQ(session->Info().state, SessionState::kAdapting);
+  EXPECT_EQ(session->SubmitRows(1, cols, rows.data()).code(),
+            StatusCode::kFailedPrecondition);
+  // AbortAdapt (the admission-control bail-out) reopens the session.
+  session->AbortAdapt();
+  EXPECT_EQ(session->Info().state, SessionState::kAccumulating);
+  EXPECT_TRUE(session->SubmitRows(1, cols, rows.data()).ok());
+}
+
+TEST(SessionTest, AdaptInstallsTargetModel) {
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(200);
+  ASSERT_TRUE(session
+                  ->SubmitRows(200, rows.dim(1),
+                               rows.data())
+                  .ok());
+  ASSERT_TRUE(session->BeginAdapt().ok());
+  session->RunAdaptAndFinish(/*adapt_seed=*/7);
+  const SessionInfo info = session->Info();
+  ASSERT_EQ(info.state, SessionState::kAdapted)
+      << "degraded: " << info.degraded_reason;
+  EXPECT_TRUE(info.serving_adapted);
+  EXPECT_EQ(info.adapt_runs, 1u);
+  // Rows are retained across the adapt — they stay in the budget and seed
+  // the next re-adapt.
+  EXPECT_EQ(info.pending_rows, 200u);
+
+  auto pred = session->Predict(Rows(2));
+  ASSERT_TRUE(pred.ok());
+  EXPECT_TRUE(pred.value().from_adapted);
+}
+
+// --- budget -----------------------------------------------------------------
+
+TEST(SessionTest, BudgetRejectsOversizedSubmit) {
+  obs::SetMetricsEnabled(true);
+  SessionConfig config = SmallConfig();
+  config.budget_bytes = 8 * config.input_dim * 4;  // room for 4 rows
+  auto session = MakeSession("u", config);
+  const Tensor rows = Rows(16);
+  const size_t cols = rows.dim(1);
+  ASSERT_TRUE(session->SubmitRows(4, cols, rows.data()).ok());
+
+  const uint64_t rejected_before =
+      CounterValue("tasfar.serve.budget.rejected");
+  const Status s = session->SubmitRows(1, cols, rows.data());
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CounterValue("tasfar.serve.budget.rejected"),
+            rejected_before + 1);
+  // The rejected submit left the session intact.
+  EXPECT_EQ(session->Info().pending_rows, 4u);
+  EXPECT_EQ(session->Info().state, SessionState::kAccumulating);
+}
+
+TEST(SessionTest, BeginAdaptPreChargesModelFootprint) {
+  // Budget fits the rows but not rows + a detached adapted model, so the
+  // overflow is rejected at BeginAdapt, not discovered mid-job.
+  SessionConfig config = SmallConfig();
+  config.budget_bytes = 8 * config.input_dim * 64 + 64;
+  auto session = MakeSession("u", config);
+  const Tensor rows = Rows(64);
+  ASSERT_TRUE(session
+                  ->SubmitRows(64, rows.dim(1),
+                               rows.data())
+                  .ok());
+  EXPECT_EQ(session->BeginAdapt().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(session->Info().state, SessionState::kAccumulating);
+}
+
+// --- degradation ------------------------------------------------------------
+
+TEST(SessionTest, KilledAdaptJobDegradesToSourceServing) {
+  obs::SetMetricsEnabled(true);
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(50);
+  ASSERT_TRUE(session
+                  ->SubmitRows(50, rows.dim(1),
+                               rows.data())
+                  .ok());
+  ASSERT_TRUE(session->BeginAdapt().ok());
+
+  const uint64_t degraded_before =
+      CounterValue("tasfar.serve.session.degraded");
+  ASSERT_TRUE(failpoint::Configure("serve.adapt_job").ok());
+  session->RunAdaptAndFinish(/*adapt_seed=*/7);
+  failpoint::Disable();
+
+  const SessionInfo info = session->Info();
+  EXPECT_EQ(info.state, SessionState::kDegraded);
+  EXPECT_FALSE(info.serving_adapted);
+  EXPECT_FALSE(info.degraded_reason.empty());
+  EXPECT_EQ(CounterValue("tasfar.serve.session.degraded"),
+            degraded_before + 1);
+
+  // Never a dead session: predictions still flow, from the source model.
+  auto pred = session->Predict(Rows(2));
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_FALSE(pred.value().from_adapted);
+}
+
+// --- save / restore ---------------------------------------------------------
+
+TEST(SessionTest, SaveRestoreRoundTripsAdaptedSession) {
+  auto original = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(200);
+  ASSERT_TRUE(original
+                  ->SubmitRows(200, rows.dim(1),
+                               rows.data())
+                  .ok());
+  ASSERT_TRUE(original->BeginAdapt().ok());
+  original->RunAdaptAndFinish(/*adapt_seed=*/7);
+  ASSERT_EQ(original->Info().state, SessionState::kAdapted);
+
+  const std::string blob = original->SerializeState();
+  auto restored = MakeSession("u2", SmallConfig());
+  ASSERT_TRUE(restored->RestoreState(blob).ok());
+
+  const SessionInfo a = original->Info();
+  const SessionInfo b = restored->Info();
+  EXPECT_EQ(b.state, SessionState::kAdapted);
+  EXPECT_EQ(b.pending_rows, a.pending_rows);
+  EXPECT_EQ(b.used_bytes, a.used_bytes);
+  EXPECT_TRUE(b.serving_adapted);
+
+  // Both predictors sit at call index 0 over byte-identical models, so the
+  // next predictions agree exactly.
+  const Tensor probe = Rows(4);
+  auto pa = original->Predict(probe);
+  auto pb = restored->Predict(probe);
+  ASSERT_TRUE(pa.ok());
+  ASSERT_TRUE(pb.ok());
+  ASSERT_EQ(pa.value().predictions.size(), pb.value().predictions.size());
+  for (size_t i = 0; i < pa.value().predictions.size(); ++i) {
+    EXPECT_EQ(pa.value().predictions[i].mean, pb.value().predictions[i].mean);
+    EXPECT_EQ(pa.value().predictions[i].std, pb.value().predictions[i].std);
+  }
+}
+
+TEST(SessionTest, RestoreRequiresFreshSession) {
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(2);
+  ASSERT_TRUE(session
+                  ->SubmitRows(2, rows.dim(1),
+                               rows.data())
+                  .ok());
+  const Status s = session->RestoreState(MakeSession("v", SmallConfig())
+                                             ->SerializeState());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, RestoreRejectsGarbageWithoutMutating) {
+  auto session = MakeSession("u", SmallConfig());
+  EXPECT_FALSE(session->RestoreState("not a session blob").ok());
+  EXPECT_EQ(session->Info().state, SessionState::kCreated);
+  EXPECT_TRUE(session->Predict(Rows(1)).ok());
+}
+
+TEST(SessionTest, RestoreFailpointSurfacesIoError) {
+  auto fresh = MakeSession("u", SmallConfig());
+  const std::string blob = MakeSession("v", SmallConfig())->SerializeState();
+  ASSERT_TRUE(failpoint::Configure("serve.session_restore").ok());
+  const Status s = fresh->RestoreState(blob);
+  failpoint::Disable();
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // The failed restore leaves the session serving.
+  EXPECT_TRUE(fresh->Predict(Rows(1)).ok());
+}
+
+}  // namespace
+}  // namespace tasfar::serve

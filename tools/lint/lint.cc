@@ -4,6 +4,7 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -421,6 +422,186 @@ Result<std::vector<Finding>> LintTree(const std::string& repo_root,
     }
   }
   return all;
+}
+
+namespace {
+
+/// Extracts `kName = N` enumerators from the named `enum class` block in
+/// raw header text. Returns false when the block is absent.
+bool ParseEnumBlock(const std::string& source, const std::string& enum_name,
+                    std::map<std::string, int>* out) {
+  const std::string needle = "enum class " + enum_name;
+  const size_t start = source.find(needle);
+  if (start == std::string::npos) return false;
+  const size_t open = source.find('{', start);
+  const size_t close = source.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  const std::string body = source.substr(open + 1, close - open - 1);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    // Skip to the next identifier start.
+    while (pos < body.size() && !IsIdentChar(body[pos])) {
+      // Line comments inside the block must not contribute identifiers.
+      if (body[pos] == '/' && pos + 1 < body.size() &&
+          body[pos + 1] == '/') {
+        pos = body.find('\n', pos);
+        if (pos == std::string::npos) return true;
+      }
+      ++pos;
+    }
+    const size_t name_begin = pos;
+    while (pos < body.size() && IsIdentChar(body[pos])) ++pos;
+    const std::string name = body.substr(name_begin, pos - name_begin);
+    while (pos < body.size() &&
+           (body[pos] == ' ' || body[pos] == '\n')) {
+      ++pos;
+    }
+    if (pos >= body.size() || body[pos] != '=') {
+      // Enumerator without an explicit value — the doc-sync contract
+      // requires every wire value to be spelled out; flag via value -1.
+      if (!name.empty() && name[0] == 'k') (*out)[name] = -1;
+      continue;
+    }
+    ++pos;
+    while (pos < body.size() && body[pos] == ' ') ++pos;
+    int value = 0;
+    bool any_digit = false;
+    while (pos < body.size() &&
+           std::isdigit(static_cast<unsigned char>(body[pos])) != 0) {
+      value = value * 10 + (body[pos] - '0');
+      any_digit = true;
+      ++pos;
+    }
+    if (!name.empty() && name[0] == 'k' && any_digit) (*out)[name] = value;
+  }
+  return true;
+}
+
+/// Extracts `| \`kName\` | N | ...` table rows from markdown text.
+std::map<std::string, int> ParseDocTableRows(const std::string& doc) {
+  std::map<std::string, int> rows;
+  std::istringstream in(doc);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t p = 0;
+    while (p < line.size() && line[p] == ' ') ++p;
+    if (p >= line.size() || line[p] != '|') continue;
+    // First cell: `kName`.
+    const size_t tick1 = line.find('`', p);
+    if (tick1 == std::string::npos) continue;
+    const size_t tick2 = line.find('`', tick1 + 1);
+    if (tick2 == std::string::npos) continue;
+    const std::string name = line.substr(tick1 + 1, tick2 - tick1 - 1);
+    if (name.size() < 2 || name[0] != 'k' ||
+        std::isupper(static_cast<unsigned char>(name[1])) == 0) {
+      continue;
+    }
+    // Second cell: the wire value.
+    const size_t bar = line.find('|', tick2);
+    if (bar == std::string::npos) continue;
+    size_t q = bar + 1;
+    while (q < line.size() && line[q] == ' ') ++q;
+    if (q >= line.size() ||
+        std::isdigit(static_cast<unsigned char>(line[q])) == 0) {
+      continue;
+    }
+    int value = 0;
+    while (q < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[q])) != 0) {
+      value = value * 10 + (line[q] - '0');
+      ++q;
+    }
+    rows[name] = value;
+  }
+  return rows;
+}
+
+void SyncOneEnum(const std::string& enum_name,
+                 const std::map<std::string, int>& header,
+                 const std::map<std::string, int>& doc,
+                 std::set<std::string>* doc_names_seen,
+                 std::vector<Finding>* findings) {
+  for (const auto& [name, value] : header) {
+    if (value < 0) {
+      findings->push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
+                           enum_name + "::" + name +
+                               " has no explicit wire value"});
+      continue;
+    }
+    auto it = doc.find(name);
+    if (it == doc.end()) {
+      findings->push_back({"docs/PROTOCOL.md", 0, "protocol-doc-sync",
+                           enum_name + "::" + name + " (= " +
+                               std::to_string(value) +
+                               ") is missing from the doc tables"});
+      continue;
+    }
+    doc_names_seen->insert(name);
+    if (it->second != value) {
+      findings->push_back(
+          {"docs/PROTOCOL.md", 0, "protocol-doc-sync",
+           enum_name + "::" + name + " is " + std::to_string(value) +
+               " in the header but " + std::to_string(it->second) +
+               " in the doc"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
+                                          const std::string& doc_source) {
+  std::vector<Finding> findings;
+  std::map<std::string, int> message_types;
+  std::map<std::string, int> wire_errors;
+  if (!ParseEnumBlock(header_source, "MessageType", &message_types)) {
+    findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
+                        "enum class MessageType not found"});
+  }
+  if (!ParseEnumBlock(header_source, "WireError", &wire_errors)) {
+    findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
+                        "enum class WireError not found"});
+  }
+  if (!findings.empty()) return findings;
+
+  const std::map<std::string, int> doc_rows = ParseDocTableRows(doc_source);
+  std::set<std::string> doc_names_seen;
+  SyncOneEnum("MessageType", message_types, doc_rows, &doc_names_seen,
+              &findings);
+  SyncOneEnum("WireError", wire_errors, doc_rows, &doc_names_seen,
+              &findings);
+  for (const auto& [name, value] : doc_rows) {
+    if (doc_names_seen.count(name) != 0) continue;
+    findings.push_back({"docs/PROTOCOL.md", 0, "protocol-doc-sync",
+                        "doc table row `" + name + "` (= " +
+                            std::to_string(value) +
+                            ") matches no protocol.h enumerator"});
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckProtocolDocSyncFiles(const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  auto read = [&](const char* rel, std::string* out) {
+    std::ifstream in(fs::path(repo_root) / rel, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+  };
+  std::string header, doc;
+  std::vector<Finding> findings;
+  if (!read("src/serve/protocol.h", &header)) {
+    findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
+                        "cannot read the protocol header"});
+  }
+  if (!read("docs/PROTOCOL.md", &doc)) {
+    findings.push_back({"docs/PROTOCOL.md", 0, "protocol-doc-sync",
+                        "cannot read the protocol spec"});
+  }
+  if (!findings.empty()) return findings;
+  return CheckProtocolDocSync(header, doc);
 }
 
 }  // namespace tasfar::lint

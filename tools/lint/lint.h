@@ -57,6 +57,21 @@ Result<std::vector<Finding>> LintFile(const std::string& repo_root,
 Result<std::vector<Finding>> LintTree(const std::string& repo_root,
                                       const std::vector<std::string>& roots);
 
+/// Rule "protocol-doc-sync": cross-checks the `MessageType` and `WireError`
+/// enumerators in src/serve/protocol.h against the message/error tables in
+/// docs/PROTOCOL.md, both ways — an enumerator missing from the doc, a doc
+/// row naming no enumerator, or a numeric value disagreement each yield a
+/// finding. Header enumerators are `kName = N` inside the two `enum class`
+/// blocks; doc entries are table rows whose first cell is the backticked
+/// enumerator and whose second cell is its wire value.
+std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
+                                          const std::string& doc_source);
+
+/// Reads src/serve/protocol.h and docs/PROTOCOL.md under `repo_root` and
+/// runs CheckProtocolDocSync; a missing file is itself a finding (the doc
+/// and the header must ship together).
+std::vector<Finding> CheckProtocolDocSyncFiles(const std::string& repo_root);
+
 }  // namespace tasfar::lint
 
 #endif  // TASFAR_TOOLS_LINT_LINT_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -381,6 +382,95 @@ TEST(LintSourceTest, FindingsSortedByLine) {
   ASSERT_EQ(findings.size(), 2u);
   EXPECT_EQ(findings[0].line, 2);
   EXPECT_EQ(findings[1].line, 3);
+}
+
+// --- protocol-doc-sync ------------------------------------------------------
+
+namespace {
+
+// Minimal header/doc pair that is in sync; tests below perturb one side.
+const char kSyncedHeader[] =
+    "enum class MessageType : std::uint16_t {\n"
+    "  kCreateSession = 1,\n"
+    "  kPing = 10,\n"
+    "  kOkResponse = 128,\n"
+    "};\n"
+    "enum class WireError : std::uint16_t {\n"
+    "  kBadRequest = 1,\n"
+    "};\n";
+
+const char kSyncedDoc[] =
+    "| Message | Value |\n"
+    "|---------|-------|\n"
+    "| `kCreateSession` | 1 |\n"
+    "| `kPing` | 10 |\n"
+    "| `kOkResponse` | 128 |\n"
+    "\n"
+    "| Error | Value |\n"
+    "| `kBadRequest` | 1 |\n";
+
+}  // namespace
+
+TEST(ProtocolDocSyncTest, CleanWhenInSync) {
+  EXPECT_TRUE(CheckProtocolDocSync(kSyncedHeader, kSyncedDoc).empty());
+}
+
+TEST(ProtocolDocSyncTest, FlagsEnumeratorMissingFromDoc) {
+  std::string doc(kSyncedDoc);
+  doc.erase(doc.find("| `kPing` | 10 |\n"), sizeof("| `kPing` | 10 |\n") - 1);
+  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "protocol-doc-sync");
+  EXPECT_NE(findings[0].message.find("kPing"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsValueDisagreement) {
+  std::string doc(kSyncedDoc);
+  doc.replace(doc.find("| `kPing` | 10 |"), sizeof("| `kPing` | 10 |") - 1,
+              "| `kPing` | 11 |");
+  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kPing"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("10"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("11"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsDocRowWithNoEnumerator) {
+  std::string doc(kSyncedDoc);
+  doc += "| `kGhostMessage` | 42 |\n";
+  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kGhostMessage"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsEnumeratorWithoutExplicitValue) {
+  std::string header(kSyncedHeader);
+  header.replace(header.find("kPing = 10,"), sizeof("kPing = 10,") - 1,
+                 "kPing,");
+  const auto findings = CheckProtocolDocSync(header, kSyncedDoc);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "protocol-doc-sync");
+}
+
+TEST(ProtocolDocSyncTest, FlagsMissingEnumBlock) {
+  const auto findings = CheckProtocolDocSync("int x;\n", kSyncedDoc);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("MessageType"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, RealRepoFilesAreInSync) {
+  // Guard against the checked-in header and doc drifting apart; the repo
+  // root is two levels up from the build tree's tools/lint cwd, so rely on
+  // ctest running from build/ and probe both candidates.
+  for (const char* root : {".", "..", "../..", "../../.."}) {
+    const std::string probe = std::string(root) + "/docs/PROTOCOL.md";
+    if (FILE* f = std::fopen(probe.c_str(), "rb")) {
+      std::fclose(f);
+      EXPECT_TRUE(CheckProtocolDocSyncFiles(root).empty());
+      return;
+    }
+  }
+  GTEST_SKIP() << "repo root not found from test cwd";
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 //   no-iostream       src/ logs through util/logging.h, never <iostream>
 //   check-not-assert  src/ uses TASFAR_CHECK, never bare assert()
 //   header-guard      headers guard with TASFAR_<PATH>_H_
+//   protocol-doc-sync src/serve/protocol.h enums match docs/PROTOCOL.md
 //
 // Usage: tasfar_lint [repo_root] [root_dir ...]
 // Default roots: src tests bench examples tools. Exits 1 on any finding,
@@ -38,7 +39,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<tasfar::lint::Finding>& findings = result.value();
+  std::vector<tasfar::lint::Finding> findings = result.value();
+  // Repo-level checks that pair a source file with its normative doc.
+  const std::vector<tasfar::lint::Finding> doc_sync =
+      tasfar::lint::CheckProtocolDocSyncFiles(repo_root);
+  findings.insert(findings.end(), doc_sync.begin(), doc_sync.end());
   for (const tasfar::lint::Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());

@@ -1,0 +1,210 @@
+// tasfar_serve_cli: command-line client for tasfar_served
+// (docs/SERVING.md §Quickstart, docs/PROTOCOL.md for the wire format).
+//
+//   tasfar_serve_cli --port P <command> [args]
+//
+// Commands:
+//   ping
+//   create <user> [seed] [budget_mb]     (input_dim fixed to the demo's 8)
+//   submit <user> <demo_rows>            deterministic demo target rows
+//   adapt <user> [adapt_seed]
+//   wait <user> [timeout_ms]             poll until adapted or degraded
+//   query <user>
+//   predict <user> <demo_rows>
+//   save <user> <file>
+//   restore <user> <file>
+//   close <user>
+//   metrics
+
+#include <poll.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/housing_sim.h"
+#include "serve/client.h"
+#include "serve/demo.h"
+
+namespace {
+
+using tasfar::Status;
+using tasfar::Tensor;
+using tasfar::serve::Client;
+using tasfar::serve::ClientSessionInfo;
+using tasfar::serve::SessionState;
+using tasfar::serve::SessionStateName;
+
+int Die(const Status& st) {
+  std::fprintf(stderr, "tasfar_serve_cli: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+void PrintInfo(const ClientSessionInfo& info) {
+  std::printf("state=%s pending_rows=%llu adapt_runs=%llu "
+              "serving_adapted=%d used_bytes=%llu budget_bytes=%llu\n",
+              SessionStateName(info.state),
+              static_cast<unsigned long long>(info.pending_rows),
+              static_cast<unsigned long long>(info.adapt_runs),
+              info.serving_adapted ? 1 : 0,
+              static_cast<unsigned long long>(info.used_bytes),
+              static_cast<unsigned long long>(info.budget_bytes));
+  if (!info.degraded_reason.empty()) {
+    std::printf("degraded_reason=%s\n", info.degraded_reason.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long port = 0;
+  int argi = 1;
+  if (argi + 1 < argc && std::strcmp(argv[argi], "--port") == 0) {
+    port = std::strtol(argv[argi + 1], nullptr, 10);
+    argi += 2;
+  }
+  if (port <= 0 || argi >= argc) {
+    std::fprintf(stderr,
+                 "usage: tasfar_serve_cli --port P <command> [args]\n");
+    return 2;
+  }
+  const std::string cmd = argv[argi++];
+  auto arg = [&](int k) -> std::string {
+    return argi + k < argc ? argv[argi + k] : "";
+  };
+
+  Client client;
+  Status st = client.Connect(static_cast<uint16_t>(port));
+  if (!st.ok()) return Die(st);
+
+  if (cmd == "ping") {
+    st = client.Ping();
+    if (!st.ok()) return Die(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "metrics") {
+    auto text = client.GetMetrics();
+    if (!text.ok()) return Die(text.status());
+    std::fputs(text.value().c_str(), stdout);
+    return 0;
+  }
+
+  const std::string user = arg(0);
+  if (user.empty()) {
+    std::fprintf(stderr, "tasfar_serve_cli: %s needs a user id\n",
+                 cmd.c_str());
+    return 2;
+  }
+
+  if (cmd == "create") {
+    const uint64_t seed =
+        arg(1).empty() ? 0x5eedULL : std::strtoull(arg(1).c_str(),
+                                                   nullptr, 10);
+    const uint64_t budget_mb =
+        arg(2).empty() ? 0 : std::strtoull(arg(2).c_str(), nullptr, 10);
+    st = client.CreateSession(user, seed, tasfar::kNumHousingFeatures,
+                              budget_mb * 1024 * 1024);
+    if (!st.ok()) return Die(st);
+    std::printf("created session '%s'\n", user.c_str());
+    return 0;
+  }
+  if (cmd == "submit" || cmd == "predict") {
+    const size_t n =
+        arg(1).empty() ? 64 : std::strtoul(arg(1).c_str(), nullptr, 10);
+    const Tensor rows = tasfar::serve::BuildDemoTargetRows(n);
+    if (cmd == "submit") {
+      st = client.SubmitTargetData(user, static_cast<uint32_t>(rows.dim(0)),
+                                   static_cast<uint32_t>(rows.dim(1)),
+                                   rows.data());
+      if (!st.ok()) return Die(st);
+      std::printf("submitted %zu rows\n", rows.dim(0));
+      return 0;
+    }
+    auto pred = client.Predict(user, static_cast<uint32_t>(rows.dim(0)),
+                               static_cast<uint32_t>(rows.dim(1)),
+                               rows.data());
+    if (!pred.ok()) return Die(pred.status());
+    std::printf("from_adapted=%d\n", pred.value().from_adapted ? 1 : 0);
+    for (size_t i = 0; i < pred.value().predictions.size(); ++i) {
+      const auto& p = pred.value().predictions[i];
+      std::printf("row %zu:", i);
+      for (size_t d = 0; d < p.mean.size(); ++d) {
+        std::printf(" mean=%.17g std=%.17g", p.mean[d], p.std[d]);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
+  if (cmd == "adapt") {
+    const uint64_t seed =
+        arg(1).empty() ? 7 : std::strtoull(arg(1).c_str(), nullptr, 10);
+    st = client.Adapt(user, seed);
+    if (!st.ok()) return Die(st);
+    std::printf("adapt job queued\n");
+    return 0;
+  }
+  if (cmd == "wait") {
+    const long timeout_ms =
+        arg(1).empty() ? 120000 : std::strtol(arg(1).c_str(), nullptr, 10);
+    long waited = 0;
+    for (;;) {
+      auto info = client.QuerySession(user);
+      if (!info.ok()) return Die(info.status());
+      const SessionState s = info.value().state;
+      if (s == SessionState::kAdapted || s == SessionState::kDegraded) {
+        PrintInfo(info.value());
+        return 0;
+      }
+      if (waited >= timeout_ms) {
+        std::fprintf(stderr, "tasfar_serve_cli: wait timed out in state "
+                             "%s\n", SessionStateName(s));
+        return 1;
+      }
+      ::poll(nullptr, 0, 100);
+      waited += 100;
+    }
+  }
+  if (cmd == "query") {
+    auto info = client.QuerySession(user);
+    if (!info.ok()) return Die(info.status());
+    PrintInfo(info.value());
+    return 0;
+  }
+  if (cmd == "save") {
+    auto blob = client.SaveSession(user);
+    if (!blob.ok()) return Die(blob.status());
+    const std::string path = arg(1);
+    if (path.empty()) return Die(Status::InvalidArgument("save needs a file"));
+    std::ofstream out(path, std::ios::trunc);
+    out << blob.value();
+    if (!out.good()) return Die(Status::IoError("writing " + path));
+    std::printf("saved session '%s' to %s (%zu bytes)\n", user.c_str(),
+                path.c_str(), blob.value().size());
+    return 0;
+  }
+  if (cmd == "restore") {
+    const std::string path = arg(1);
+    std::ifstream in(path);
+    if (!in.is_open()) return Die(Status::NotFound("cannot open " + path));
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    st = client.RestoreSession(user, buf.str());
+    if (!st.ok()) return Die(st);
+    std::printf("restored session '%s' from %s\n", user.c_str(),
+                path.c_str());
+    return 0;
+  }
+  if (cmd == "close") {
+    st = client.CloseSession(user);
+    if (!st.ok()) return Die(st);
+    std::printf("closed session '%s'\n", user.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "tasfar_serve_cli: unknown command '%s'\n",
+               cmd.c_str());
+  return 2;
+}

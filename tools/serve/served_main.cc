@@ -1,0 +1,171 @@
+// tasfar_served: the long-lived TASFAR adaptation daemon (docs/SERVING.md).
+//
+// Serves the wire protocol of docs/PROTOCOL.md on a loopback TCP port and
+// Prometheus metrics to any plain "GET " request on the same port.
+//
+//   tasfar_served --demo                      # built-in housing demo model
+//   tasfar_served --weights w.txt --calib c.txt --input-dim 8
+//
+// Environment:
+//   TASFAR_SERVE_PORT           listen port (0 = ephemeral; --port wins)
+//   TASFAR_SERVE_MAX_SESSIONS   session cap (default 64)
+//   TASFAR_SERVE_SESSION_BUDGET_MB  default per-session budget (default 64)
+
+#include <poll.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/calibration_io.h"
+#include "data/housing_sim.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "serve/demo.h"
+#include "serve/server.h"
+#include "util/rng.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void HandleSignal(int) { g_shutdown = 1; }
+
+size_t EnvSizeOr(const char* var, size_t fallback) {
+  const char* v = std::getenv(var);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tasfar_served (--demo | --weights W --calib C --input-dim D)\n"
+      "                     [--port P] [--port-file PATH] [--oneshot]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tasfar;        // NOLINT
+  using namespace tasfar::serve; // NOLINT
+
+  bool demo = false;
+  bool oneshot = false;
+  std::string weights_path, calib_path, port_file;
+  size_t input_dim = 0;
+  long port_flag = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tasfar_served: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--oneshot") {
+      oneshot = true;  // Exit after binding; CI smoke uses the real loop.
+    } else if (arg == "--weights") {
+      weights_path = next("--weights");
+    } else if (arg == "--calib") {
+      calib_path = next("--calib");
+    } else if (arg == "--input-dim") {
+      input_dim = static_cast<size_t>(std::strtoul(next("--input-dim"),
+                                                   nullptr, 10));
+    } else if (arg == "--port") {
+      port_flag = std::strtol(next("--port"), nullptr, 10);
+    } else if (arg == "--port-file") {
+      port_file = next("--port-file");
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (!demo && (weights_path.empty() || calib_path.empty() ||
+                input_dim == 0)) {
+    Usage();
+    return 2;
+  }
+
+  obs::SetMetricsEnabled(true);
+
+  // --- Source artifacts -------------------------------------------------
+  std::unique_ptr<Sequential> model;
+  SourceCalibration calibration;
+  TasfarOptions options;
+  if (demo) {
+    std::printf("tasfar_served: training the demo housing model...\n");
+    std::fflush(stdout);
+    DemoBundle bundle = BuildDemoBundle();
+    model = std::move(bundle.model);
+    calibration = bundle.calibration;
+    options = bundle.options;
+    input_dim = kNumHousingFeatures;
+  } else {
+    // The tabular MLP architecture is the one deployable from files today;
+    // other architectures embed the server API directly (docs/SERVING.md).
+    Rng rng(1);
+    model = BuildTabularModel(input_dim, &rng);
+    Status st = LoadParams(model.get(), weights_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "tasfar_served: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    Result<SourceCalibration> calib = LoadCalibration(calib_path);
+    if (!calib.ok()) {
+      std::fprintf(stderr, "tasfar_served: %s\n",
+                   calib.status().ToString().c_str());
+      return 1;
+    }
+    calibration = calib.value();
+  }
+
+  // --- Server -----------------------------------------------------------
+  ServerConfig config;
+  config.port = static_cast<uint16_t>(
+      port_flag >= 0 ? port_flag : EnvSizeOr("TASFAR_SERVE_PORT", 0));
+  config.manager.max_sessions = EnvSizeOr("TASFAR_SERVE_MAX_SESSIONS", 64);
+  config.manager.default_budget_bytes =
+      EnvSizeOr("TASFAR_SERVE_SESSION_BUDGET_MB", 64) * 1024 * 1024;
+
+  Server server(model.get(), &calibration, options, config);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tasfar_served: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("tasfar_served: listening on 127.0.0.1:%u (input_dim %zu, "
+              "max_sessions %zu, budget %zu MiB)\n",
+              server.port(), input_dim, config.manager.max_sessions,
+              config.manager.default_budget_bytes / (1024 * 1024));
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%u\n", server.port());
+      std::fclose(f);
+    }
+  }
+  if (oneshot) {
+    server.Stop();
+    return 0;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_shutdown == 0) {
+    ::poll(nullptr, 0, 200);  // Sleep without std::chrono.
+  }
+  std::printf("tasfar_served: shutting down\n");
+  server.Stop();
+  return 0;
+}
