@@ -5,10 +5,12 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <utility>
 #include <vector>
 
@@ -168,13 +170,24 @@ void Server::AcceptOne() {
   if (TASFAR_FAILPOINT("serve.accept") ||
       connections_.size() >= config_.max_connections) {
     // Reject at the door: existing sessions and connections are worth
-    // more than a new client under overload (docs/SERVING.md §Overload).
+    // more than a new client under overload (docs/SERVING.md §Admission
+    // control).
     RejectedCounter()->Increment();
     ::close(fd);
     return;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (config_.write_timeout_ms > 0) {
+    // Bound how long one stalled client can hold the single network
+    // thread inside WriteAll; on expiry send() fails and the connection
+    // is dropped (docs/SERVING.md §Admission control).
+    timeval tv;
+    tv.tv_sec = config_.write_timeout_ms / 1000;
+    tv.tv_usec =
+        static_cast<suseconds_t>(config_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   connections_.emplace(fd, Connection{});
   AcceptedCounter()->Increment();
 }
@@ -213,7 +226,27 @@ bool Server::HandleInput(int fd, Connection* conn, const char* data,
                 conn->reader.error().message());
       return false;
     }
-    if (!HandleFrame(fd, frame)) return false;
+    // A handler that throws (bad_alloc on a hostile payload, a bug in a
+    // deeper layer) must cost its own connection, never the process: an
+    // exception escaping the network thread would std::terminate the
+    // whole multi-tenant daemon.
+    bool keep = false;
+    try {
+      keep = HandleFrame(fd, frame);
+    } catch (const std::exception& e) {
+      TASFAR_LOG(kError) << "serve: exception handling "
+                         << MessageTypeName(frame.type) << ": " << e.what();
+      RequestErrorsCounter()->Increment();
+      SendError(fd, WireError::kInternalError, "internal error");
+      return false;
+    } catch (...) {
+      TASFAR_LOG(kError) << "serve: non-exception thrown handling "
+                         << MessageTypeName(frame.type);
+      RequestErrorsCounter()->Increment();
+      SendError(fd, WireError::kInternalError, "internal error");
+      return false;
+    }
+    if (!keep) return false;
   }
 }
 
@@ -291,8 +324,11 @@ bool Server::HandleSubmitTargetData(int fd, const std::string& payload) {
     return SendError(fd, WireError::kBadRequest,
                      "malformed submit_target_data payload");
   }
+  // Compare via division: `cells * 8` can wrap uint64 for adversarial
+  // rows/cols, letting an empty payload "match" and the vector below
+  // attempt a 2^61-element allocation.
   const uint64_t cells = static_cast<uint64_t>(rows) * cols;
-  if (r.remaining() != cells * 8) {
+  if (r.remaining() % 8 != 0 || r.remaining() / 8 != cells) {
     return SendError(fd, WireError::kBadRequest,
                      "row data does not match rows*cols");
   }
@@ -358,8 +394,9 @@ bool Server::HandlePredict(int fd, const std::string& payload) {
     return SendError(fd, WireError::kBadRequest,
                      "malformed predict payload");
   }
+  // Division instead of `cells * 8`: see HandleSubmitTargetData.
   const uint64_t cells = static_cast<uint64_t>(rows) * cols;
-  if (rows == 0 || r.remaining() != cells * 8) {
+  if (rows == 0 || r.remaining() % 8 != 0 || r.remaining() / 8 != cells) {
     return SendError(fd, WireError::kBadRequest,
                      "row data does not match rows*cols");
   }
@@ -470,6 +507,13 @@ bool Server::WriteAll(int fd, const char* data, size_t n) {
     const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // SO_SNDTIMEO expired: the peer stopped reading. Drop it rather
+        // than stall every other tenant behind its full socket buffer.
+        TASFAR_LOG(kWarning)
+            << "serve: send timed out after " << config_.write_timeout_ms
+            << " ms; dropping stalled client";
+      }
       return false;
     }
     off += static_cast<size_t>(w);

@@ -21,6 +21,11 @@ struct ServerConfig {
   /// Concurrent client connections beyond which accepts are closed
   /// immediately (`tasfar.serve.connections.rejected`).
   size_t max_connections = 64;
+  /// Upper bound on how long one send() to a client may block the network
+  /// thread (SO_SNDTIMEO). A client that stops reading its socket hits
+  /// this and is dropped instead of head-of-line-blocking every other
+  /// tenant. 0 disables the timeout (tests only).
+  uint32_t write_timeout_ms = 5000;
   ManagerConfig manager;
 };
 

@@ -307,11 +307,26 @@ Status Session::RestoreState(const std::string& text) {
   if (!in || key != "user") {
     return Status::InvalidArgument("missing user line");
   }
+  if (user != user_id_) {
+    // Restoring one user's data into another tenant's session is a
+    // cross-tenant leak; re-homing a blob means creating a session under
+    // its original id.
+    return Status::InvalidArgument("blob belongs to user '" + user +
+                                   "', not '" + user_id_ + "'");
+  }
   in >> key >> state_name;
   bool state_ok = false;
   const SessionState restored = ParseSessionState(state_name, &state_ok);
   if (!in || key != "state" || !state_ok) {
     return Status::InvalidArgument("missing or bad state line");
+  }
+  if (restored == SessionState::kAdapting) {
+    // SerializeState never writes kAdapting (in-flight jobs persist as
+    // accumulating), so this is a crafted blob — and committing it would
+    // wedge the session forever: submits and adapts reject while
+    // kAdapting and no job exists to ever finish it.
+    return Status::InvalidArgument(
+        "blob carries state 'adapting', which no save produces");
   }
   size_t input_dim = 0;
   in >> key >> input_dim;
@@ -336,6 +351,10 @@ Status Session::RestoreState(const std::string& text) {
   in >> key >> adapted;
   if (!in || key != "adapted" || (adapted != 0 && adapted != 1)) {
     return Status::InvalidArgument("missing or bad adapted line");
+  }
+  if (restored == SessionState::kAdapted && adapted != 1) {
+    return Status::InvalidArgument(
+        "state 'adapted' without adapted parameters");
   }
   std::unique_ptr<Sequential> restored_model;
   if (adapted == 1) {
@@ -364,6 +383,20 @@ Status Session::RestoreState(const std::string& text) {
   in >> key;
   if (!in || key != "end") {
     return Status::InvalidArgument("missing end marker");
+  }
+  // The blob's footprint counts against this session's budget exactly as
+  // if it had arrived via SubmitRows/BeginAdapt — restore must not be a
+  // side door past admission control.
+  const size_t restored_bytes =
+      rows.value().size() * sizeof(double) +
+      (restored_model != nullptr ? param_count_ * sizeof(double) : 0) +
+      (restored_map.has_value() ? restored_map->NumCells() * sizeof(double)
+                                : 0);
+  if (restored_bytes > config_.budget_bytes) {
+    BudgetRejectedCounter()->Increment();
+    return Status::OutOfRange(
+        "restored session exceeds budget: " + std::to_string(restored_bytes) +
+        " > " + std::to_string(config_.budget_bytes) + " bytes");
   }
 
   // All parsed and validated — commit (restore is transactional: any

@@ -128,10 +128,14 @@ class Session {
   SessionInfo Info() const;
 
   /// Versioned text serialization of the session (state, pending rows,
-  /// adapted parameters, density map). Restore* applies it to a freshly
-  /// created session of the same architecture; an in-flight adapting
-  /// state is saved — and restored — as accumulating (jobs do not survive
-  /// the file).
+  /// adapted parameters, density map). RestoreState applies it to a
+  /// freshly created session of the same architecture *and user id*
+  /// (InvalidArgument on a mismatch — blobs never cross tenants); an
+  /// in-flight adapting state is saved as accumulating (jobs do not
+  /// survive the file) and a blob claiming `adapting` is rejected. The
+  /// blob's footprint is charged against this session's budget
+  /// (OutOfRange on overflow) — restore is not a side door past
+  /// admission control.
   std::string SerializeState() const;
   Status RestoreState(const std::string& text);
 

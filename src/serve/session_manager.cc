@@ -59,6 +59,7 @@ JobRunner::~JobRunner() {
     stop_ = true;
   }
   cv_.notify_all();
+  idle_cv_.notify_all();
   worker_.reset();  // Joins after the queue drains.
 }
 
@@ -84,7 +85,14 @@ void JobRunner::RunLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and drained.
+      if (queue_.empty()) {
+        // stop_ set and drained. Wake Drain() waiters before exiting:
+        // without this, one racing the shutdown against an already-empty
+        // queue would miss its only notification and wait forever.
+        lock.unlock();
+        idle_cv_.notify_all();
+        return;
+      }
       job = std::move(queue_.front());
       queue_.pop_front();
       running_job_ = true;
@@ -115,6 +123,19 @@ Status SessionManager::Create(const std::string& user_id,
                               const SessionConfig& config) {
   if (user_id.empty()) {
     return Status::InvalidArgument("user id must be non-empty");
+  }
+  if (user_id.size() > kMaxUserIdBytes) {
+    return Status::InvalidArgument(
+        "user id longer than " + std::to_string(kMaxUserIdBytes) + " bytes");
+  }
+  // Session blobs serialize the id on a whitespace-delimited text line
+  // (Session::SerializeState), so an id with spaces or control characters
+  // would produce a save its own restore rejects.
+  for (const char c : user_id) {
+    if (static_cast<unsigned char>(c) <= 0x20 || c == 0x7f) {
+      return Status::InvalidArgument(
+          "user id must not contain whitespace or control characters");
+    }
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (sessions_.size() >= config_.max_sessions) {

@@ -53,6 +53,9 @@ class JobRunner {
   std::unique_ptr<BackgroundThread> worker_;
 };
 
+/// Longest accepted user id (docs/PROTOCOL.md §create_session).
+inline constexpr size_t kMaxUserIdBytes = 256;
+
 /// SessionManager limits.
 struct ManagerConfig {
   size_t max_sessions = 64;
@@ -77,9 +80,11 @@ class SessionManager {
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
-  /// Creates a session for `user_id`. FailedPrecondition when the id is
-  /// taken, OutOfRange when the server is at max_sessions (the
-  /// `tasfar.serve.sessions.rejected` counter increments).
+  /// Creates a session for `user_id`. InvalidArgument when the id is
+  /// empty, longer than kMaxUserIdBytes, or contains whitespace/control
+  /// characters (such an id could not round-trip SerializeState);
+  /// FailedPrecondition when the id is taken, OutOfRange when the server
+  /// is at max_sessions (`tasfar.serve.sessions.rejected` increments).
   Status Create(const std::string& user_id, const SessionConfig& config);
 
   /// The live session for `user_id`, or nullptr.

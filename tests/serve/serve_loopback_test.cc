@@ -5,9 +5,15 @@
 // concurrent clients are isolated, and a killed adapt job degrades the
 // session to source-model serving instead of killing it.
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
+
+#include <cstring>
 
 #include <cstdint>
 #include <memory>
@@ -241,6 +247,111 @@ TEST(ServeLoopbackTest, KilledAdaptJobLeavesSessionServingSource) {
 }
 
 // --- wire-level error behavior ----------------------------------------------
+
+// Bare socket speaking raw frames — for payloads the Client refuses to
+// build (it derives lengths from real data, so it cannot lie about them).
+class RawConnection {
+ public:
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Connect(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t w =
+          ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      if (w <= 0) return false;
+      off += static_cast<size_t>(w);
+    }
+    return true;
+  }
+
+  bool ReadFrame(Frame* frame) {
+    for (;;) {
+      switch (reader_.Next(frame)) {
+        case FrameReader::ReadResult::kFrame: return true;
+        case FrameReader::ReadResult::kError: return false;
+        case FrameReader::ReadResult::kNeedMore: break;
+      }
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return false;
+      reader_.Append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameReader reader_;
+};
+
+TEST(ServeLoopbackTest, OverflowingRowCountsAreRejectedNotFatal) {
+  std::unique_ptr<Server> server = StartServer();
+  RawConnection raw;
+  ASSERT_TRUE(raw.Connect(server->port()));
+
+  // rows=2^31, cols=2^30: rows*cols*8 ≡ 0 (mod 2^64), so this empty
+  // payload used to pass the length check; the resulting 2^61-element
+  // vector then threw past the network thread and std::terminate'd the
+  // whole daemon.
+  PayloadWriter w;
+  w.PutString("nobody");
+  w.PutU32(0x80000000u);
+  w.PutU32(0x40000000u);
+  ASSERT_TRUE(
+      raw.Send(EncodeFrame(MessageType::kSubmitTargetData, w.Take())));
+  Frame resp;
+  ASSERT_TRUE(raw.ReadFrame(&resp));
+  ASSERT_EQ(resp.type, MessageType::kErrorResponse);
+  PayloadReader r(resp.payload);
+  uint16_t code = 0;
+  std::string msg;
+  ASSERT_TRUE(r.GetU16(&code));
+  ASSERT_TRUE(r.GetString(&msg));
+  EXPECT_EQ(static_cast<WireError>(code), WireError::kBadRequest);
+
+  // The same wrap through the Predict path.
+  PayloadWriter wp;
+  wp.PutString("nobody");
+  wp.PutU32(0x80000000u);
+  wp.PutU32(0x40000000u);
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageType::kPredict, wp.Take())));
+  ASSERT_TRUE(raw.ReadFrame(&resp));
+  EXPECT_EQ(resp.type, MessageType::kErrorResponse);
+
+  // The connection — and the daemon — survived both.
+  ASSERT_TRUE(raw.Send(EncodeFrame(MessageType::kPing, "")));
+  ASSERT_TRUE(raw.ReadFrame(&resp));
+  EXPECT_EQ(resp.type, MessageType::kPongResponse);
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeLoopbackTest, WhitespaceUserIdIsRejectedAtCreate) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+  EXPECT_FALSE(client.CreateSession("has space", 1, 8).ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kBadRequest);
+  EXPECT_FALSE(client.CreateSession("ctrl\x01id", 1, 8).ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kBadRequest);
+  // The connection survived; a clean id works.
+  EXPECT_TRUE(client.CreateSession("dave", 1, 8).ok());
+}
 
 TEST(ServeLoopbackTest, ApplicationErrorsLeaveConnectionHealthy) {
   std::unique_ptr<Server> server = StartServer();

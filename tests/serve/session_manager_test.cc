@@ -1,0 +1,120 @@
+// Unit tier for the session manager (src/serve/session_manager.h): user-id
+// validation at Create (ids must survive the whitespace-delimited session
+// blob format), the save/restore round trip through the manager, and the
+// adapt JobRunner's drain semantics.
+
+#include "serve/session_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "serve/demo.h"
+#include "util/thread_pool.h"
+
+namespace tasfar::serve {
+namespace {
+
+// Trained once for the whole binary; small — these tests never adapt.
+const DemoBundle& Bundle() {
+  static const DemoBundle* bundle =
+      new DemoBundle(BuildDemoBundle(/*source_samples=*/200,
+                                     /*target_samples=*/50, /*epochs=*/2));
+  return *bundle;
+}
+
+std::unique_ptr<SessionManager> MakeManager(
+    const ManagerConfig& config = ManagerConfig{}) {
+  const DemoBundle& b = Bundle();
+  return std::make_unique<SessionManager>(b.model.get(), &b.calibration,
+                                          b.options, config);
+}
+
+SessionConfig Config() {
+  SessionConfig config;
+  config.input_dim = Bundle().target_rows.dim(1);
+  return config;
+}
+
+// --- user-id validation -----------------------------------------------------
+
+TEST(SessionManagerTest, CreateRejectsMalformedUserIds) {
+  auto manager = MakeManager();
+  const SessionConfig config = Config();
+  EXPECT_EQ(manager->Create("", config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->Create("has space", config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->Create("new\nline", config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->Create("tab\tchar", config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->Create(std::string("nul\0byte", 8), config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->Create(std::string(1, '\x7f'), config).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      manager->Create(std::string(kMaxUserIdBytes + 1, 'a'), config).code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->NumSessions(), 0u);
+
+  // Sane ids (including the length boundary) still work.
+  EXPECT_TRUE(manager->Create("alice-01_x.y", config).ok());
+  EXPECT_TRUE(manager->Create(std::string(kMaxUserIdBytes, 'a'), config).ok());
+  EXPECT_EQ(manager->NumSessions(), 2u);
+}
+
+TEST(SessionManagerTest, EveryCreatableIdRoundTripsItsOwnBlob) {
+  // The charset rule exists so SerializeState → RestoreState can never
+  // choke on the id line; prove it for a tricky-but-legal id (punctuation
+  // and multi-byte UTF-8 are fine — only ASCII whitespace/control bytes
+  // break the text format).
+  auto manager = MakeManager();
+  const std::string user = "ümlaut#42%x";
+  ASSERT_TRUE(manager->Create(user, Config()).ok());
+  std::shared_ptr<Session> session = manager->Find(user);
+  ASSERT_NE(session, nullptr);
+  const Tensor rows = Bundle().target_rows.SliceRows(0, 4);
+  ASSERT_TRUE(session->SubmitRows(4, rows.dim(1), rows.data()).ok());
+  const std::string blob = session->SerializeState();
+
+  ASSERT_TRUE(manager->Close(user).ok());
+  ASSERT_TRUE(manager->Create(user, Config()).ok());
+  std::shared_ptr<Session> fresh = manager->Find(user);
+  ASSERT_NE(fresh, nullptr);
+  ASSERT_TRUE(fresh->RestoreState(blob).ok());
+  EXPECT_EQ(fresh->Info().pending_rows, 4u);
+}
+
+// --- JobRunner drain --------------------------------------------------------
+
+TEST(JobRunnerTest, DrainReturnsOnEmptyAndAfterJobsFinish) {
+  std::atomic<int> ran{0};
+  JobRunner runner(/*queue_capacity=*/4);
+  runner.Drain();  // Empty queue, no job running: returns immediately.
+  ASSERT_TRUE(runner.TrySubmit([&ran] { ran.fetch_add(1); }));
+  ASSERT_TRUE(runner.TrySubmit([&ran] { ran.fetch_add(1); }));
+  runner.Drain();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(JobRunnerTest, DrainConcurrentWithLastJobDoesNotHang) {
+  // Regression for a missed wakeup: RunLoop notifies idle_cv_ only after
+  // finishing a job, and used to exit on stop without a final notify, so
+  // a Drain racing the queue going empty could wait forever. Joining the
+  // drainer thread below is the assertion — a hang fails the test runner.
+  for (int i = 0; i < 200; ++i) {
+    std::atomic<int> ran{0};
+    JobRunner runner(/*queue_capacity=*/4);
+    ASSERT_TRUE(runner.TrySubmit([&ran] { ran.fetch_add(1); }));
+    {
+      BackgroundThread drainer("drainer", [&runner] { runner.Drain(); });
+    }  // Joins: Drain must have returned.
+    EXPECT_EQ(ran.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace tasfar::serve

@@ -213,7 +213,9 @@ TEST(SessionTest, SaveRestoreRoundTripsAdaptedSession) {
   ASSERT_EQ(original->Info().state, SessionState::kAdapted);
 
   const std::string blob = original->SerializeState();
-  auto restored = MakeSession("u2", SmallConfig());
+  // Restore targets a fresh session under the *same* user id (a mismatch
+  // is rejected — see RestoreRejectsUserMismatch).
+  auto restored = MakeSession("u", SmallConfig());
   ASSERT_TRUE(restored->RestoreState(blob).ok());
 
   const SessionInfo a = original->Info();
@@ -254,6 +256,79 @@ TEST(SessionTest, RestoreRejectsGarbageWithoutMutating) {
   EXPECT_FALSE(session->RestoreState("not a session blob").ok());
   EXPECT_EQ(session->Info().state, SessionState::kCreated);
   EXPECT_TRUE(session->Predict(Rows(1)).ok());
+}
+
+TEST(SessionTest, RestoreRejectsUserMismatch) {
+  auto original = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(4);
+  ASSERT_TRUE(original->SubmitRows(4, rows.dim(1), rows.data()).ok());
+  const std::string blob = original->SerializeState();
+
+  // One user's blob must never land in another tenant's session.
+  auto other = MakeSession("v", SmallConfig());
+  const Status s = other->RestoreState(blob);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(other->Info().state, SessionState::kCreated);
+  EXPECT_EQ(other->Info().pending_rows, 0u);
+}
+
+TEST(SessionTest, RestoreRejectsAdaptingStateBlob) {
+  // No save ever writes `state adapting` (SerializeState persists it as
+  // accumulating), so such a blob is crafted — and committing it would
+  // wedge the session: submits/adapts reject while kAdapting and no job
+  // exists to finish it.
+  auto original = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(4);
+  ASSERT_TRUE(original->SubmitRows(4, rows.dim(1), rows.data()).ok());
+  std::string blob = original->SerializeState();
+  const std::string from = "state accumulating";
+  const size_t at = blob.find(from);
+  ASSERT_NE(at, std::string::npos);
+  blob.replace(at, from.size(), "state adapting");
+
+  auto fresh = MakeSession("u", SmallConfig());
+  EXPECT_EQ(fresh->RestoreState(blob).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fresh->Info().state, SessionState::kCreated);
+  // Not wedged: the session still accepts work.
+  EXPECT_TRUE(fresh->SubmitRows(1, rows.dim(1), rows.data()).ok());
+}
+
+TEST(SessionTest, RestoreRejectsAdaptedStateWithoutParams) {
+  auto original = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(4);
+  ASSERT_TRUE(original->SubmitRows(4, rows.dim(1), rows.data()).ok());
+  std::string blob = original->SerializeState();
+  const std::string from = "state accumulating";
+  const size_t at = blob.find(from);
+  ASSERT_NE(at, std::string::npos);
+  blob.replace(at, from.size(), "state adapted");  // but `adapted 0`
+
+  auto fresh = MakeSession("u", SmallConfig());
+  EXPECT_EQ(fresh->RestoreState(blob).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(fresh->Info().state, SessionState::kCreated);
+}
+
+TEST(SessionTest, RestoreEnforcesBudget) {
+  // Restore is not a side door past admission control: the blob's
+  // footprint is charged against the target session's budget exactly as
+  // SubmitRows/BeginAdapt would charge it.
+  obs::SetMetricsEnabled(true);
+  auto original = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(64);
+  ASSERT_TRUE(original->SubmitRows(64, rows.dim(1), rows.data()).ok());
+  const std::string blob = original->SerializeState();
+
+  SessionConfig tiny = SmallConfig();
+  tiny.budget_bytes = 8 * tiny.input_dim * 4;  // room for 4 rows
+  auto fresh = MakeSession("u", tiny);
+  const uint64_t rejected_before =
+      CounterValue("tasfar.serve.budget.rejected");
+  const Status s = fresh->RestoreState(blob);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(CounterValue("tasfar.serve.budget.rejected"),
+            rejected_before + 1);
+  EXPECT_EQ(fresh->Info().state, SessionState::kCreated);
+  EXPECT_EQ(fresh->Info().pending_rows, 0u);
 }
 
 TEST(SessionTest, RestoreFailpointSurfacesIoError) {

@@ -10,6 +10,7 @@
 //   TASFAR_SERVE_PORT           listen port (0 = ephemeral; --port wins)
 //   TASFAR_SERVE_MAX_SESSIONS   session cap (default 64)
 //   TASFAR_SERVE_SESSION_BUDGET_MB  default per-session budget (default 64)
+//   TASFAR_SERVE_WRITE_TIMEOUT_MS   per-send stall bound (default 5000)
 
 #include <poll.h>
 
@@ -136,6 +137,8 @@ int main(int argc, char** argv) {
   config.manager.max_sessions = EnvSizeOr("TASFAR_SERVE_MAX_SESSIONS", 64);
   config.manager.default_budget_bytes =
       EnvSizeOr("TASFAR_SERVE_SESSION_BUDGET_MB", 64) * 1024 * 1024;
+  config.write_timeout_ms = static_cast<uint32_t>(
+      EnvSizeOr("TASFAR_SERVE_WRITE_TIMEOUT_MS", 5000));
 
   Server server(model.get(), &calibration, options, config);
   const Status st = server.Start();
