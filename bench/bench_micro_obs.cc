@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/telemetry.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -107,6 +110,73 @@ void BM_MetricsOverhead_SpanTraced(benchmark::State& state) {
   obs::ClearTraceEvents();
 }
 BENCHMARK(BM_MetricsOverhead_SpanTraced);
+
+// Acceptance bar (ISSUE 8): reading the ambient trace context with
+// tracing off is a thread-local load — the cost every traced-frame
+// encode and flight-event record pays unconditionally.
+void BM_TraceContextOverhead_ReadDisabled(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  uint64_t sum = 0;
+  for (auto _ : state) {
+    sum += obs::CurrentTraceContext().trace_id;
+    benchmark::DoNotOptimize(sum);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceContextOverhead_ReadDisabled);
+
+// Installing + restoring a context (what every queued ParallelFor chunk
+// and adapt-job closure does), tracing off.
+void BM_TraceContextOverhead_ScopedInstall(benchmark::State& state) {
+  obs::SetTracingEnabled(false);
+  const obs::TraceContext ctx{1234, 5678};
+  for (auto _ : state) {
+    obs::ScopedTraceContext scoped(ctx);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TraceContextOverhead_ScopedInstall);
+
+// Acceptance bar (ISSUE 8): a session-telemetry record with metrics off
+// is one relaxed atomic load — the rings are not even touched.
+void BM_SessionTelemetryOverhead_RecordAdaptDisabled(
+    benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  serve::SessionTelemetry telemetry(64, 128);
+  serve::AdaptSample sample;
+  for (auto _ : state) {
+    telemetry.RecordAdapt(sample);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SessionTelemetryOverhead_RecordAdaptDisabled);
+
+void BM_SessionTelemetryOverhead_RecordFlightDisabled(
+    benchmark::State& state) {
+  obs::SetMetricsEnabled(false);
+  serve::SessionTelemetry telemetry(64, 128);
+  const std::string detail = "bench";
+  for (auto _ : state) {
+    telemetry.RecordFlight(serve::FlightCode::kRowsSubmitted, 0, detail);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SessionTelemetryOverhead_RecordFlightDisabled);
+
+// Enabled cost: one ring-slot write, no allocation — the steady-state
+// price a serving session pays per event.
+void BM_SessionTelemetryOverhead_RecordFlightEnabled(
+    benchmark::State& state) {
+  obs::SetMetricsEnabled(true);
+  serve::SessionTelemetry telemetry(64, 128);
+  const std::string detail = "bench";
+  for (auto _ : state) {
+    telemetry.RecordFlight(serve::FlightCode::kRowsSubmitted, 42, detail);
+    benchmark::ClobberMemory();
+  }
+  obs::SetMetricsEnabled(false);
+}
+BENCHMARK(BM_SessionTelemetryOverhead_RecordFlightEnabled);
 
 // Acceptance bar (ISSUE 4): with no failpoint spec active, the macro is
 // one relaxed atomic load — within noise of the disabled metrics gate

@@ -25,8 +25,8 @@ double LabelDistributionEstimator::SigmaFor(const McPrediction& pred,
 }
 
 DensityMap LabelDistributionEstimator::Estimate(
-    const std::vector<McPrediction>& confident,
-    std::vector<GridSpec> axes) const {
+    const std::vector<McPrediction>& confident, std::vector<GridSpec> axes,
+    double* mean_sigma_out) const {
   TASFAR_TRACE_SPAN("density_map");
   TASFAR_CHECK_MSG(!confident.empty(), "no confident data to estimate from");
   TASFAR_CHECK(axes.size() == qs_per_dim_.size());
@@ -51,6 +51,9 @@ DensityMap LabelDistributionEstimator::Estimate(
     map.Deposit(mean, sigma, error_model_);
   }
   map.Normalize(static_cast<double>(confident.size()));  // 1/|SET_C|.
+  const double mean_sigma =
+      sigma_sum / static_cast<double>(confident.size() * dims);
+  if (mean_sigma_out != nullptr) *mean_sigma_out = mean_sigma;
   if (obs::MetricsEnabled()) {
     static obs::Gauge* const kMass =
         obs::Registry::Get().GetGauge("tasfar.density_map.total_mass");
@@ -72,8 +75,7 @@ DensityMap LabelDistributionEstimator::Estimate(
                        ? 0.0
                        : static_cast<double>(occupied) /
                              static_cast<double>(map.NumCells()));
-    kBandwidth->Set(sigma_sum /
-                    static_cast<double>(confident.size() * dims));
+    kBandwidth->Set(mean_sigma);
     kDeposits->Increment(confident.size());
   }
   return map;

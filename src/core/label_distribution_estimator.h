@@ -22,9 +22,14 @@ class LabelDistributionEstimator {
 
   /// Builds the normalized density map of the confident predictions on the
   /// given axes. `confident` must be non-empty, with per-prediction
-  /// dimensionality equal to axes.size().
+  /// dimensionality equal to axes.size(). When `mean_sigma_out` is
+  /// non-null it receives the mean per-dimension bandwidth
+  /// Σσ / (|SET_C| · dims) — the exact value the
+  /// `tasfar.density_map.mean_sigma` gauge publishes, so per-session
+  /// telemetry can mirror the gauge bit-for-bit.
   DensityMap Estimate(const std::vector<McPrediction>& confident,
-                      std::vector<GridSpec> axes) const;
+                      std::vector<GridSpec> axes,
+                      double* mean_sigma_out = nullptr) const;
 
   /// Chooses axes covering all confident predictions ± `margin_sigmas`
   /// spreads, one axis per label dimension, with the given cell size.

@@ -223,7 +223,8 @@ TasfarReport Tasfar::AdaptWithPredictions(
                                        options_.error_model);
   std::vector<GridSpec> axes = estimator.AutoAxes(
       confident_preds, options_.grid_cell_size, options_.grid_margin_sigmas);
-  report.density_map.emplace(estimator.Estimate(confident_preds, axes));
+  report.density_map.emplace(estimator.Estimate(confident_preds, axes,
+                                                &report.density_mean_sigma));
   const double mass = report.density_map->TotalMass();
   if (TASFAR_FAILPOINT("density.degenerate") || !std::isfinite(mass) ||
       mass <= 0.0) {

@@ -47,6 +47,10 @@ struct TasfarReport {
   /// Density map estimated from the confident data (empty optional when
   /// adaptation was skipped for lack of data).
   std::optional<DensityMap> density_map;
+  /// Mean per-dimension bandwidth of the density map — the exact value of
+  /// the `tasfar.density_map.mean_sigma` gauge (0 when no map was built).
+  /// Per-session telemetry mirrors the gauge from this field.
+  double density_mean_sigma = 0.0;
   /// Pseudo-labels of the uncertain samples, parallel to
   /// `uncertain_indices`.
   std::vector<PseudoLabel> pseudo_labels;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "obs/clock.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tasfar::obs {
@@ -54,7 +55,8 @@ void SetMetricsEnabled(bool enabled) {
 Histogram::Histogram(std::string name, std::vector<double> edges)
     : name_(std::move(name)),
       edges_(std::move(edges)),
-      buckets_(edges_.size() - 1) {
+      buckets_(edges_.size() - 1),
+      exemplars_(buckets_.size()) {
   TASFAR_CHECK_MSG(edges_.size() >= 2, "histogram needs >= 2 bucket edges");
   for (size_t i = 1; i < edges_.size(); ++i) {
     TASFAR_CHECK_MSG(edges_[i] > edges_[i - 1],
@@ -91,6 +93,11 @@ std::vector<double> Histogram::LatencyEdgesMs() {
 
 void Histogram::Observe(double v) {
   if (!MetricsEnabled()) return;
+  ObserveWithExemplar(v, CurrentTraceContext().trace_id);
+}
+
+void Histogram::ObserveWithExemplar(double v, uint64_t exemplar_trace_id) {
+  if (!MetricsEnabled()) return;
   const size_t n = buckets_.size();
   size_t idx;
   if (v <= edges_.front()) {
@@ -103,6 +110,9 @@ void Histogram::Observe(double v) {
     idx = static_cast<size_t>(it - edges_.begin()) - 1;
   }
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[idx].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v,
@@ -114,6 +124,14 @@ std::vector<uint64_t> Histogram::bucket_counts() const {
   std::vector<uint64_t> out(buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {
     out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::vector<uint64_t> Histogram::exemplar_trace_ids() const {
+  std::vector<uint64_t> out(exemplars_.size());
+  for (size_t i = 0; i < exemplars_.size(); ++i) {
+    out[i] = exemplars_[i].load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -146,6 +164,7 @@ double Histogram::Quantile(double p) const {
 
 void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
@@ -235,6 +254,7 @@ std::string Registry::ToJson() const {
     }
     out << ", \"buckets\": [";
     const std::vector<uint64_t> counts = h->bucket_counts();
+    const std::vector<uint64_t> exemplars = h->exemplar_trace_ids();
     const std::vector<double>& edges = h->edges();
     bool first_bucket = true;
     for (size_t i = 0; i < counts.size(); ++i) {
@@ -243,7 +263,11 @@ std::string Registry::ToJson() const {
       first_bucket = false;
       out << "{\"lo\": " << JsonNumber(edges[i])
           << ", \"hi\": " << JsonNumber(edges[i + 1])
-          << ", \"count\": " << counts[i] << "}";
+          << ", \"count\": " << counts[i];
+      if (exemplars[i] != 0) {
+        out << ", \"exemplar_trace_id\": " << exemplars[i];
+      }
+      out << "}";
     }
     out << "]}";
   }

@@ -109,13 +109,22 @@ class Histogram {
   /// Default latency edges in milliseconds: 1 µs .. ~33 s, ×2 per bucket.
   static std::vector<double> LatencyEdgesMs();
 
-  /// Lock-free; no-op while metrics are disabled.
+  /// Lock-free; no-op while metrics are disabled. Records the calling
+  /// thread's ambient trace id (if any) as the hit bucket's exemplar.
   void Observe(double v);
+
+  /// Observe with an explicit exemplar trace id (0 = none). When nonzero,
+  /// the id is stored (last-writer-wins, relaxed) in the hit bucket's
+  /// exemplar slot, so a tail-latency bucket links to a concrete trace
+  /// (docs/OBSERVABILITY.md §Exemplars).
+  void ObserveWithExemplar(double v, uint64_t exemplar_trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& edges() const { return edges_; }
   std::vector<uint64_t> bucket_counts() const;
+  /// Per-bucket exemplar trace ids (0 = the bucket has none yet).
+  std::vector<uint64_t> exemplar_trace_ids() const;
 
   /// Quantile estimate (p in [0, 1]) from the bucket counts, linearly
   /// interpolated inside the hit bucket: the error is bounded by the
@@ -129,6 +138,7 @@ class Histogram {
   std::string name_;
   std::vector<double> edges_;
   std::vector<std::atomic<uint64_t>> buckets_;
+  std::vector<std::atomic<uint64_t>> exemplars_;  ///< Parallel to buckets_.
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <mutex>
+#include <unordered_map>
 
 #include "obs/clock.h"
 
@@ -40,6 +41,11 @@ void AppendEvent(const TraceEvent& ev) {
 void AtExitFlush() { FlushTraceToEnvPath(); }
 
 thread_local int tls_span_depth = 0;
+thread_local TraceContext tls_trace_context;
+
+/// Monotonic nonzero id source shared by trace ids and span ids. Relaxed:
+/// uniqueness is all that matters, not ordering.
+std::atomic<uint64_t> g_next_id{1};
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -72,6 +78,19 @@ void SetTracingEnabled(bool enabled) {
   internal_obs::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+TraceContext CurrentTraceContext() { return tls_trace_context; }
+
+uint64_t NewTraceId() {
+  return g_next_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx)
+    : saved_(tls_trace_context) {
+  tls_trace_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace_context = saved_; }
+
 std::vector<TraceEvent> SnapshotTraceEvents() {
   TraceBuffer& buf = Buffer();
   std::lock_guard<std::mutex> lock(buf.mu);
@@ -101,13 +120,50 @@ bool WriteChromeTrace(const std::string& path) {
   const std::vector<TraceEvent> events = SnapshotTraceEvents();
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;
-  out << "{\"traceEvents\": [";
+  // span id -> buffer index, for locating a child's parent when emitting
+  // cross-thread flow arrows. A parent can legitimately be absent (still
+  // open at snapshot time, or dropped at capacity) — then no arrow.
+  std::unordered_map<uint64_t, size_t> by_span_id;
   for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& ev = events[i];
-    if (i > 0) out << ",";
-    out << "\n{\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"pid\": 0"
+    if (events[i].span_id != 0) by_span_id.emplace(events[i].span_id, i);
+  }
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out << ",";
+    first = false;
+    out << "\n";
+  };
+  for (const TraceEvent& ev : events) {
+    sep();
+    out << "{\"name\": \"" << ev.name << "\", \"ph\": \"X\", \"pid\": 0"
         << ", \"tid\": " << ev.tid << ", \"ts\": " << ev.start_us
-        << ", \"dur\": " << ev.dur_us << "}";
+        << ", \"dur\": " << ev.dur_us;
+    if (ev.trace_id != 0) {
+      out << ", \"args\": {\"trace_id\": " << ev.trace_id
+          << ", \"span_id\": " << ev.span_id
+          << ", \"parent_span_id\": " << ev.parent_span_id << "}";
+    }
+    out << "}";
+    // A parent on another thread means the span crossed an execution
+    // boundary (queued chunk, adapt job): draw a Perfetto flow arrow from
+    // the parent span's start to this span's start.
+    if (ev.parent_span_id != 0) {
+      const auto it = by_span_id.find(ev.parent_span_id);
+      if (it != by_span_id.end() && events[it->second].tid != ev.tid) {
+        const TraceEvent& parent = events[it->second];
+        sep();
+        out << "{\"name\": \"" << ev.name << "\", \"cat\": \"flow\""
+            << ", \"ph\": \"s\", \"pid\": 0, \"tid\": " << parent.tid
+            << ", \"ts\": " << parent.start_us
+            << ", \"id\": " << ev.span_id << "}";
+        sep();
+        out << "{\"name\": \"" << ev.name << "\", \"cat\": \"flow\""
+            << ", \"ph\": \"f\", \"bp\": \"e\", \"pid\": 0, \"tid\": "
+            << ev.tid << ", \"ts\": " << ev.start_us
+            << ", \"id\": " << ev.span_id << "}";
+      }
+    }
   }
   out << "\n]}\n";
   return out.good();
@@ -120,7 +176,9 @@ bool WriteTraceJsonl(const std::string& path) {
   for (const TraceEvent& ev : events) {
     out << "{\"name\": \"" << ev.name << "\", \"tid\": " << ev.tid
         << ", \"depth\": " << ev.depth << ", \"start_us\": " << ev.start_us
-        << ", \"dur_us\": " << ev.dur_us << "}\n";
+        << ", \"dur_us\": " << ev.dur_us << ", \"trace_id\": " << ev.trace_id
+        << ", \"span_id\": " << ev.span_id
+        << ", \"parent_span_id\": " << ev.parent_span_id << "}\n";
   }
   return out.good();
 }
@@ -143,6 +201,14 @@ TraceSpan::TraceSpan(const char* name, Histogram* latency_ms)
   record_trace_ = TracingEnabled();
   record_metrics_ = latency_ms_ != nullptr && MetricsEnabled();
   if (!record_trace_ && !record_metrics_) return;
+  if (record_trace_) {
+    const TraceContext parent = tls_trace_context;
+    trace_id_ = parent.trace_id != 0 ? parent.trace_id : NewTraceId();
+    parent_span_id_ = parent.span_id;
+    span_id_ = NewTraceId();
+    saved_ctx_ = parent;
+    tls_trace_context = TraceContext{trace_id_, span_id_};
+  }
   depth_ = tls_span_depth++;
   start_us_ = MonotonicMicros();
 }
@@ -152,10 +218,16 @@ TraceSpan::~TraceSpan() {
   const uint64_t dur = MonotonicMicros() - start_us_;
   --tls_span_depth;
   if (record_trace_) {
-    AppendEvent({name_, CurrentThreadId(), depth_, start_us_, dur});
+    tls_trace_context = saved_ctx_;
+    AppendEvent({name_, CurrentThreadId(), depth_, start_us_, dur, trace_id_,
+                 span_id_, parent_span_id_});
   }
   if (record_metrics_) {
-    latency_ms_->Observe(static_cast<double>(dur) / 1000.0);
+    // Passing the span's own trace id (not the ambient one, which has just
+    // been restored to the parent) links this histogram sample to this
+    // trace even at a trace root.
+    latency_ms_->ObserveWithExemplar(static_cast<double>(dur) / 1000.0,
+                                     trace_id_);
   }
 }
 

@@ -45,6 +45,42 @@ inline bool TracingEnabled() {
 /// output path.
 void SetTracingEnabled(bool enabled);
 
+/// Ambient distributed-tracing identity (docs/OBSERVABILITY.md §Trace
+/// context). `trace_id` names one logical operation end to end — a served
+/// request keeps the id it arrived with across the network thread, the
+/// adapt-job thread, and every ParallelFor worker. `span_id` names the
+/// innermost open span. Zero means "no context".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+};
+
+/// The calling thread's current context ({0, 0} outside any traced span).
+/// One thread-local read; safe from any thread.
+TraceContext CurrentTraceContext();
+
+/// Allocates a fresh process-unique nonzero id (relaxed atomic counter).
+/// Used for trace ids at roots and span ids everywhere.
+uint64_t NewTraceId();
+
+/// Installs `ctx` as the calling thread's ambient context for the scope
+/// and restores the previous context on destruction. This is how a
+/// context crosses threads: capture CurrentTraceContext() into the task,
+/// install it inside the task body (thread pool chunks and the serve
+/// adapt job do exactly this), and any TASFAR_TRACE_SPAN inside chains
+/// onto the originating trace.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx);
+  ~ScopedTraceContext();
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
 /// One completed span. `name` points at the literal passed to the span
 /// (static storage duration required).
 struct TraceEvent {
@@ -53,6 +89,9 @@ struct TraceEvent {
   int depth = 0;          ///< Nesting depth on its thread (0 = outermost).
   uint64_t start_us = 0;  ///< MonotonicMicros at span entry.
   uint64_t dur_us = 0;
+  uint64_t trace_id = 0;  ///< 0 when the span ran with tracing disabled.
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 = root span of its trace.
 };
 
 /// Copy of the event buffer, in completion order.
@@ -98,6 +137,13 @@ class TraceSpan {
   int depth_ = 0;
   bool record_trace_ = false;
   bool record_metrics_ = false;
+  // Tracing identity: set only when record_trace_. The span inherits the
+  // ambient trace id (allocating a fresh one at a root), installs itself
+  // as the ambient context, and restores saved_ctx_ on destruction.
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  TraceContext saved_ctx_;
 };
 
 #define TASFAR_OBS_CONCAT_INNER(a, b) a##b

@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/trace.h"
+
 namespace tasfar::serve {
 
 Client::~Client() { Disconnect(); }
@@ -44,8 +46,17 @@ void Client::Disconnect() {
 }
 
 Result<Frame> Client::RoundTrip(MessageType type, const std::string& payload) {
+  // The client-side leg of the distributed trace: when tracing is on, the
+  // span below allocates (or inherits) a trace id and the request ships it
+  // in a traced frame, so the server's `serve.request` — and the adapt job
+  // it may enqueue — land in this caller's trace.
+  TASFAR_TRACE_SPAN("serve.client.call");
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");
-  const std::string out = EncodeFrame(type, payload);
+  const obs::TraceContext ctx = obs::TracingEnabled()
+                                    ? obs::CurrentTraceContext()
+                                    : obs::TraceContext{};
+  const std::string out =
+      EncodeTracedFrame(type, payload, ctx.trace_id, ctx.span_id);
   size_t off = 0;
   while (off < out.size()) {
     const ssize_t w =
@@ -152,6 +163,64 @@ Result<ClientSessionInfo> Client::QuerySession(const std::string& user_id) {
   info.state = static_cast<SessionState>(state);
   info.serving_adapted = adapted != 0;
   return info;
+}
+
+Result<ClientSessionTelemetry> Client::InspectSession(
+    const std::string& user_id) {
+  PayloadWriter w;
+  w.PutString(user_id);
+  Result<std::string> payload =
+      Call(MessageType::kInspectSession, w.Take(),
+           MessageType::kSessionTelemetryResponse);
+  if (!payload.ok()) return payload.status();
+  PayloadReader r(payload.value());
+  ClientSessionTelemetry out;
+  uint8_t state = 0;
+  uint32_t num_samples = 0;
+  if (!r.GetU8(&state) || !r.GetU32(&num_samples) ||
+      state > static_cast<uint8_t>(SessionState::kDegraded)) {
+    return Status::IoError("malformed session_telemetry response");
+  }
+  out.state = static_cast<SessionState>(state);
+  out.adapt_samples.resize(num_samples);
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    AdaptSample& s = out.adapt_samples[i];
+    if (!r.GetU64(&s.t_us) || !r.GetU64(&s.adapt_run) ||
+        !r.GetU8(&s.outcome) || !r.GetDouble(&s.uncertain_ratio) ||
+        !r.GetDouble(&s.mean_credibility) ||
+        !r.GetDouble(&s.density_total_mass) ||
+        !r.GetDouble(&s.density_mean_sigma) || !r.GetDouble(&s.final_loss) ||
+        !r.GetU64(&s.epochs) || !r.GetU32(&s.epoch_loss_count) ||
+        s.epoch_loss_count > kEpochLossSlots) {
+      return Status::IoError("malformed adapt sample on the wire");
+    }
+    for (uint32_t e = 0; e < s.epoch_loss_count; ++e) {
+      if (!r.GetDouble(&s.epoch_losses[e])) {
+        return Status::IoError("truncated adapt sample on the wire");
+      }
+    }
+  }
+  if (!r.GetU64(&out.predict_count) || !r.GetDouble(&out.predict_p50_ms) ||
+      !r.GetDouble(&out.predict_p99_ms)) {
+    return Status::IoError("malformed session_telemetry response");
+  }
+  uint32_t num_events = 0;
+  if (!r.GetU32(&num_events)) {
+    return Status::IoError("malformed session_telemetry response");
+  }
+  out.flight_events.resize(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    ClientFlightEvent& ev = out.flight_events[i];
+    if (!r.GetU64(&ev.t_us) || !r.GetU8(&ev.code) ||
+        !r.GetString(&ev.code_name) || !r.GetU64(&ev.trace_id) ||
+        !r.GetString(&ev.detail)) {
+      return Status::IoError("malformed flight event on the wire");
+    }
+  }
+  if (!r.GetString(&out.last_dump) || !r.AtEnd()) {
+    return Status::IoError("malformed session_telemetry response");
+  }
+  return out;
 }
 
 Result<ClientPrediction> Client::Predict(const std::string& user_id,

@@ -22,6 +22,29 @@ struct ClientPrediction {
   bool from_adapted = false;
 };
 
+/// One flight-recorder entry as seen by a client. `code_name` is the
+/// server's rendering ("adapt_fault", ...), so a newer server's codes stay
+/// readable on an older client.
+struct ClientFlightEvent {
+  uint64_t t_us = 0;
+  uint8_t code = 0;  ///< FlightCode, possibly newer than this client.
+  std::string code_name;
+  uint64_t trace_id = 0;
+  std::string detail;
+};
+
+/// InspectSession response: the session's telemetry rings (mirrors
+/// TelemetrySnapshot; samples reuse the server-side AdaptSample layout).
+struct ClientSessionTelemetry {
+  SessionState state = SessionState::kCreated;
+  std::vector<AdaptSample> adapt_samples;
+  uint64_t predict_count = 0;
+  double predict_p50_ms = 0.0;
+  double predict_p99_ms = 0.0;
+  std::vector<ClientFlightEvent> flight_events;
+  std::string last_dump;  ///< "" unless the session ever degraded.
+};
+
 /// Session snapshot as seen by a client (mirrors SessionInfo).
 struct ClientSessionInfo {
   SessionState state = SessionState::kCreated;
@@ -62,6 +85,9 @@ class Client {
   /// Queues the adapt job; poll QuerySession for completion.
   Status Adapt(const std::string& user_id, uint64_t adapt_seed);
   Result<ClientSessionInfo> QuerySession(const std::string& user_id);
+  /// The session's telemetry rings and (when degraded) flight-recorder
+  /// dump (docs/OBSERVABILITY.md §Session telemetry).
+  Result<ClientSessionTelemetry> InspectSession(const std::string& user_id);
   Result<ClientPrediction> Predict(const std::string& user_id, uint32_t rows,
                                    uint32_t cols, const double* data);
   /// The session's serialized state blob (persist it however you like).

@@ -36,12 +36,15 @@ const char* MessageTypeName(MessageType type) {
     case MessageType::kCloseSession: return "close_session";
     case MessageType::kGetMetrics: return "get_metrics";
     case MessageType::kPing: return "ping";
+    case MessageType::kInspectSession: return "inspect_session";
     case MessageType::kOkResponse: return "ok_response";
     case MessageType::kErrorResponse: return "error_response";
     case MessageType::kSessionInfoResponse: return "session_info_response";
     case MessageType::kPredictResponse: return "predict_response";
     case MessageType::kMetricsResponse: return "metrics_response";
     case MessageType::kPongResponse: return "pong_response";
+    case MessageType::kSessionTelemetryResponse:
+      return "session_telemetry_response";
   }
   return "unknown";
 }
@@ -77,6 +80,25 @@ std::string EncodeFrame(MessageType type, const std::string& payload) {
   return out;
 }
 
+std::string EncodeTracedFrame(MessageType type, const std::string& payload,
+                              uint64_t trace_id, uint64_t span_id) {
+  if (trace_id == 0) return EncodeFrame(type, payload);
+  TASFAR_CHECK_MSG(payload.size() + 16 <= kMaxPayloadBytes,
+                   "frame payload exceeds kMaxPayloadBytes");
+  std::string out;
+  out.reserve(kFrameHeaderBytes + 16 + payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendLe(&out, kProtocolVersion, 2);
+  AppendLe(&out, static_cast<uint16_t>(static_cast<uint16_t>(type) |
+                                       kTracedFrameBit),
+           2);
+  AppendLe(&out, static_cast<uint32_t>(16 + payload.size()), 4);
+  AppendLe(&out, trace_id, 8);
+  AppendLe(&out, span_id, 8);
+  out.append(payload);
+  return out;
+}
+
 void FrameReader::Append(const char* data, size_t n) {
   buffer_.append(data, n);
 }
@@ -101,7 +123,9 @@ FrameReader::ReadResult FrameReader::Next(Frame* frame) {
                                      std::to_string(version));
     return ReadResult::kError;
   }
-  const auto type = static_cast<uint16_t>(ReadLe(p + 6, 2));
+  const auto raw_type = static_cast<uint16_t>(ReadLe(p + 6, 2));
+  const bool traced = (raw_type & kTracedFrameBit) != 0;
+  const uint16_t type = raw_type & static_cast<uint16_t>(~kTracedFrameBit);
   if (!IsKnownMessageType(type)) {
     error_ = Status::InvalidArgument("unknown message type " +
                                      std::to_string(type));
@@ -113,9 +137,22 @@ FrameReader::ReadResult FrameReader::Next(Frame* frame) {
                                      std::to_string(len) + " bytes");
     return ReadResult::kError;
   }
+  if (traced && len < 16) {
+    error_ = Status::InvalidArgument(
+        "traced frame shorter than its 16-byte trace-context prefix");
+    return ReadResult::kError;
+  }
   if (avail < kFrameHeaderBytes + len) return ReadResult::kNeedMore;
   frame->type = static_cast<MessageType>(type);
-  frame->payload.assign(p + kFrameHeaderBytes, len);
+  if (traced) {
+    frame->trace_id = ReadLe(p + kFrameHeaderBytes, 8);
+    frame->span_id = ReadLe(p + kFrameHeaderBytes + 8, 8);
+    frame->payload.assign(p + kFrameHeaderBytes + 16, len - 16);
+  } else {
+    frame->trace_id = 0;
+    frame->span_id = 0;
+    frame->payload.assign(p + kFrameHeaderBytes, len);
+  }
   consumed_ += kFrameHeaderBytes + len;
   return ReadResult::kFrame;
 }

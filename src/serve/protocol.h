@@ -53,6 +53,7 @@ enum class MessageType : uint16_t {
   kCloseSession = 8,
   kGetMetrics = 9,
   kPing = 10,
+  kInspectSession = 11,
   // Responses.
   kOkResponse = 128,
   kErrorResponse = 129,
@@ -60,7 +61,15 @@ enum class MessageType : uint16_t {
   kPredictResponse = 131,
   kMetricsResponse = 132,
   kPongResponse = 133,
+  kSessionTelemetryResponse = 134,
 };
+
+/// Traced-frame flag: a frame whose type field has this bit set carries a
+/// 16-byte trace-context prefix (trace id u64 LE, span id u64 LE) before
+/// the message payload. The real message type is `type & ~kTracedFrameBit`.
+/// The flag is opt-in per frame, so untraced peers interoperate unchanged
+/// and no payload gains suffix bytes (docs/PROTOCOL.md §Trace context).
+inline constexpr uint16_t kTracedFrameBit = 0x8000;
 
 /// Application-level error codes carried by kErrorResponse.
 enum class WireError : uint16_t {
@@ -83,15 +92,25 @@ const char* WireErrorName(WireError code);
 /// True when `v` is a defined MessageType value.
 bool IsKnownMessageType(uint16_t v);
 
-/// One decoded frame.
+/// One decoded frame. `trace_id`/`span_id` are nonzero only when the
+/// frame arrived with kTracedFrameBit set; the 16-byte prefix has already
+/// been stripped from `payload`.
 struct Frame {
   MessageType type = MessageType::kPing;
   std::string payload;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
 };
 
 /// Encodes a complete frame (header + payload). payload.size() must be
 /// <= kMaxPayloadBytes.
 std::string EncodeFrame(MessageType type, const std::string& payload);
+
+/// Encodes a traced frame: kTracedFrameBit is set on the type and the
+/// 16-byte trace-context prefix precedes `payload`. With trace_id == 0
+/// this degrades to the untraced encoding.
+std::string EncodeTracedFrame(MessageType type, const std::string& payload,
+                              uint64_t trace_id, uint64_t span_id);
 
 /// Incremental frame decoder for a byte stream. Feed arbitrary chunks
 /// with Append; Next yields complete frames in order. A protocol error

@@ -198,20 +198,24 @@ bool Server::HandleInput(int fd, Connection* conn, const char* data,
     conn->sniff.append(data, n);
     if (conn->sniff.size() < 4) return true;  // Keep sniffing.
     conn->decided = true;
-    if (conn->sniff.compare(0, 4, "GET ") == 0) {
-      // Plain-HTTP metrics scrape: answer and close.
-      const std::string body = obs::Registry::Get().ToPrometheusText();
-      std::string resp = "HTTP/1.0 200 OK\r\n";
-      resp += "Content-Type: text/plain; version=0.0.4\r\n";
-      resp += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
-      resp += body;
-      WriteAll(fd, resp.data(), resp.size());
-      return false;
+    conn->http = conn->sniff.compare(0, 4, "GET ") == 0;
+    if (!conn->http) {
+      conn->reader.Append(conn->sniff.data(), conn->sniff.size());
+      conn->sniff.clear();
     }
-    conn->reader.Append(conn->sniff.data(), conn->sniff.size());
-    conn->sniff.clear();
-  } else {
+  } else if (!conn->http) {
     conn->reader.Append(data, n);
+  } else {
+    conn->sniff.append(data, n);
+  }
+  if (conn->http) {
+    // Route once the request line is complete. Anything a scraper or
+    // browser appends after it (headers, body) is irrelevant and unread.
+    if (conn->sniff.find('\n') == std::string::npos) {
+      if (conn->sniff.size() > 8 * 1024) return false;  // Hostile line.
+      return true;  // Keep reading the request line.
+    }
+    return HandleHttpGet(fd, conn->sniff);
   }
   for (;;) {
     Frame frame;
@@ -250,7 +254,44 @@ bool Server::HandleInput(int fd, Connection* conn, const char* data,
   }
 }
 
+bool Server::HandleHttpGet(int fd, const std::string& request) {
+  // Path = second space-separated token of "GET /path HTTP/1.x".
+  std::string path;
+  const size_t start = request.find(' ');
+  if (start != std::string::npos) {
+    const size_t end = request.find_first_of(" \r\n", start + 1);
+    path = request.substr(start + 1,
+                          end == std::string::npos ? std::string::npos
+                                                   : end - start - 1);
+  }
+  std::string body;
+  const char* status = "200 OK";
+  if (path == "/metrics" || path == "/") {
+    // "/" kept as an alias: pre-path-routing scrapers hit the bare port.
+    body = obs::Registry::Get().ToPrometheusText();
+  } else if (path == "/sessions") {
+    body = manager_.SessionsText();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "no such endpoint: " + path +
+           " (try /metrics, /sessions, /healthz)\n";
+  }
+  std::string resp = std::string("HTTP/1.0 ") + status + "\r\n";
+  resp += "Content-Type: text/plain; version=0.0.4\r\n";
+  resp += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+  resp += body;
+  WriteAll(fd, resp.data(), resp.size());
+  return false;  // One response per probe connection.
+}
+
 bool Server::HandleFrame(int fd, const Frame& frame) {
+  // A traced frame carries the client's ambient context; installing it
+  // here makes `serve.request` (and everything under it, including the
+  // adapt job the runner picks up later) part of the caller's trace.
+  obs::ScopedTraceContext tctx(
+      obs::TraceContext{frame.trace_id, frame.span_id});
   TASFAR_TRACE_SPAN("serve.request");
   RequestsCounter()->Increment();
   switch (frame.type) {
@@ -277,6 +318,8 @@ bool Server::HandleFrame(int fd, const Frame& frame) {
     }
     case MessageType::kPing:
       return SendFrame(fd, MessageType::kPongResponse, "");
+    case MessageType::kInspectSession:
+      return HandleInspectSession(fd, frame.payload);
     default:
       // A response type sent as a request.
       return SendError(fd, WireError::kBadRequest,
@@ -476,6 +519,53 @@ bool Server::HandleCloseSession(int fd, const std::string& payload) {
   PayloadWriter w;
   w.PutString("");
   return SendFrame(fd, MessageType::kOkResponse, w.Take());
+}
+
+bool Server::HandleInspectSession(int fd, const std::string& payload) {
+  PayloadReader r(payload);
+  std::string user;
+  if (!r.GetString(&user) || !r.AtEnd()) {
+    return SendError(fd, WireError::kBadRequest,
+                     "malformed inspect_session payload");
+  }
+  std::shared_ptr<Session> session = manager_.Find(user);
+  if (session == nullptr) {
+    return SendError(fd, WireError::kUnknownSession,
+                     "no session '" + user + "'");
+  }
+  const SessionInfo info = session->Info();
+  const TelemetrySnapshot telemetry = session->Telemetry();
+  PayloadWriter w;
+  w.PutU8(static_cast<uint8_t>(info.state));
+  w.PutU32(static_cast<uint32_t>(telemetry.adapt_samples.size()));
+  for (const AdaptSample& s : telemetry.adapt_samples) {
+    w.PutU64(s.t_us);
+    w.PutU64(s.adapt_run);
+    w.PutU8(s.outcome);
+    w.PutDouble(s.uncertain_ratio);
+    w.PutDouble(s.mean_credibility);
+    w.PutDouble(s.density_total_mass);
+    w.PutDouble(s.density_mean_sigma);
+    w.PutDouble(s.final_loss);
+    w.PutU64(s.epochs);
+    w.PutU32(s.epoch_loss_count);
+    for (uint32_t i = 0; i < s.epoch_loss_count; ++i) {
+      w.PutDouble(s.epoch_losses[i]);
+    }
+  }
+  w.PutU64(telemetry.predict_count);
+  w.PutDouble(telemetry.predict_p50_ms);
+  w.PutDouble(telemetry.predict_p99_ms);
+  w.PutU32(static_cast<uint32_t>(telemetry.flight_events.size()));
+  for (const FlightEvent& ev : telemetry.flight_events) {
+    w.PutU64(ev.t_us);
+    w.PutU8(static_cast<uint8_t>(ev.code));
+    w.PutString(FlightCodeName(ev.code));
+    w.PutU64(ev.trace_id);
+    w.PutString(ev.detail);
+  }
+  w.PutString(telemetry.last_dump);
+  return SendFrame(fd, MessageType::kSessionTelemetryResponse, w.Take());
 }
 
 bool Server::SendFrame(int fd, MessageType type, const std::string& payload) {

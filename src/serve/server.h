@@ -37,9 +37,10 @@ struct ServerConfig {
 /// manager's JobRunner, so the network loop never blocks on a fine-tune;
 /// the job's compute fans out through the global ParallelFor pool.
 ///
-/// A connection whose first bytes are "GET " is served the Prometheus
-/// rendering of the metrics registry as an HTTP response and closed — the
-/// `GET /metrics` endpoint, usable with a stock scraper or curl.
+/// A connection whose first bytes are "GET " is treated as a plain-HTTP
+/// probe, routed by path (`/metrics` Prometheus text, `/sessions` the
+/// per-tenant table, `/healthz` liveness; anything else 404), answered,
+/// and closed — usable with a stock scraper, curl, or tasfar_top.
 class Server {
  public:
   /// `source_model` and `calibration` are shared (read-only) by every
@@ -69,9 +70,12 @@ class Server {
   /// Per-connection decode state.
   struct Connection {
     FrameReader reader;
-    /// First bytes, held until protocol-vs-HTTP is decided.
+    /// First bytes, held until protocol-vs-HTTP is decided (and, for
+    /// HTTP, until the request line is complete enough to route).
     std::string sniff;
     bool decided = false;
+    /// Decided as HTTP; still accumulating the request line in `sniff`.
+    bool http = false;
   };
 
   void NetLoop();
@@ -80,6 +84,8 @@ class Server {
   bool HandleInput(int fd, Connection* conn, const char* data, size_t n);
   /// Dispatches one decoded frame; false closes the connection.
   bool HandleFrame(int fd, const Frame& frame);
+  /// Answers one routed HTTP GET (always closes: returns false).
+  bool HandleHttpGet(int fd, const std::string& request);
   bool SendFrame(int fd, MessageType type, const std::string& payload);
   bool SendError(int fd, WireError code, const std::string& message);
   /// Maps a Status from the session layer onto the wire (`adapt` selects
@@ -96,6 +102,7 @@ class Server {
   bool HandleSaveSession(int fd, const std::string& payload);
   bool HandleRestoreSession(int fd, const std::string& payload);
   bool HandleCloseSession(int fd, const std::string& payload);
+  bool HandleInspectSession(int fd, const std::string& payload);
 
   const ServerConfig config_;
   SessionManager manager_;

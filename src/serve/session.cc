@@ -3,8 +3,12 @@
 #include <sstream>
 #include <utility>
 
+#include <cmath>
+#include <limits>
+
 #include "core/calibration_io.h"
 #include "nn/serialize.h"
+#include "obs/clock.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -82,12 +86,15 @@ Session::Session(std::string user_id, const Sequential& source_model,
       options_(options),
       config_(config),
       param_count_(const_cast<Sequential&>(source_model).ParameterCount()),
-      base_model_(source_model.CloneSequential()) {
+      base_model_(source_model.CloneSequential()),
+      telemetry_(kSessionAdaptSampleSlots, kSessionFlightSlots) {
   TASFAR_CHECK(calibration_ != nullptr);
   serving_model_ = base_model_->CloneSequential();
   predictor_ = std::make_unique<McDropoutPredictor>(
       serving_model_.get(), options_.mc_samples, config_.predict_batch,
       config_.seed);
+  telemetry_.RecordFlight(FlightCode::kSessionCreated,
+                          obs::CurrentTraceContext().trace_id, "");
 }
 
 size_t Session::UsedBytesLocked() const {
@@ -96,6 +103,9 @@ size_t Session::UsedBytesLocked() const {
   if (density_map_.has_value()) {
     bytes += density_map_->NumCells() * sizeof(double);
   }
+  // The telemetry rings are preallocated at creation; their constant
+  // footprint is part of the session's budget, not free observability.
+  bytes += telemetry_.MemoryBytes();
   return bytes;
 }
 
@@ -129,6 +139,10 @@ Status Session::SubmitRows(size_t rows, size_t cols, const double* data) {
   const size_t incoming = rows * cols * sizeof(double);
   if (UsedBytesLocked() + incoming > config_.budget_bytes) {
     BudgetRejectedCounter()->Increment();
+    telemetry_.RecordFlight(FlightCode::kBudgetRejected,
+                            obs::CurrentTraceContext().trace_id,
+                            "submit of " + std::to_string(incoming) +
+                                " bytes over budget");
     return Status::OutOfRange(
         "session budget exceeded: " + std::to_string(UsedBytesLocked()) +
         " + " + std::to_string(incoming) + " > " +
@@ -137,6 +151,9 @@ Status Session::SubmitRows(size_t rows, size_t cols, const double* data) {
   rows_.insert(rows_.end(), data, data + rows * cols);
   num_rows_ += rows;
   state_ = SessionState::kAccumulating;
+  telemetry_.RecordFlight(FlightCode::kRowsSubmitted,
+                          obs::CurrentTraceContext().trace_id,
+                          "rows=" + std::to_string(rows));
   return Status::Ok();
 }
 
@@ -154,6 +171,9 @@ Status Session::BeginAdapt() {
       UsedBytesLocked() + param_count_ * sizeof(double) >
           config_.budget_bytes) {
     BudgetRejectedCounter()->Increment();
+    telemetry_.RecordFlight(FlightCode::kBudgetRejected,
+                            obs::CurrentTraceContext().trace_id,
+                            "adapted-model footprint over budget");
     return Status::OutOfRange(
         "session budget cannot hold the adapted model: " +
         std::to_string(UsedBytesLocked() + param_count_ * sizeof(double)) +
@@ -161,6 +181,9 @@ Status Session::BeginAdapt() {
   }
   adapt_num_rows_ = num_rows_;
   state_ = SessionState::kAdapting;
+  telemetry_.RecordFlight(FlightCode::kAdaptQueued,
+                          obs::CurrentTraceContext().trace_id,
+                          "rows=" + std::to_string(adapt_num_rows_));
   return Status::Ok();
 }
 
@@ -175,15 +198,21 @@ void Session::RunAdaptAndFinish(uint64_t adapt_seed) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     TASFAR_CHECK(state_ == SessionState::kAdapting);
+    ++adapt_attempts_;
+    telemetry_.RecordFlight(FlightCode::kAdaptStarted,
+                            obs::CurrentTraceContext().trace_id,
+                            "seed=" + std::to_string(adapt_seed));
   }
   // `rows_` is only appended by SubmitRows, which rejects while the state
   // is kAdapting, so the job reads it below without holding the lock.
   TasfarReport report;
   std::string fault;
+  AdaptOutcome outcome = AdaptOutcome::kAdapted;
   if (TASFAR_FAILPOINT("serve.adapt_job")) {
     // Simulates the job dying mid-flight (OOM kill, poisoned batch that
     // tripped every guard, ...). The session must degrade, never hang.
     fault = "injected fault: serve.adapt_job";
+    outcome = AdaptOutcome::kFault;
   } else {
     try {
       Tensor inputs(std::vector<size_t>{adapt_num_rows_, config_.input_dim},
@@ -197,24 +226,76 @@ void Session::RunAdaptAndFinish(uint64_t adapt_seed) {
       report = tasfar.Adapt(base_model_.get(), *calibration_, inputs, &rng);
       if (report.fell_back) {
         fault = "adaptation fell back: " + report.fallback_reason;
+        outcome = AdaptOutcome::kFellBack;
       } else if (report.skipped) {
         fault = "adaptation skipped: degenerate confident/uncertain split";
+        outcome = AdaptOutcome::kSkipped;
       }
     } catch (const std::exception& e) {
       fault = std::string("adapt job threw: ") + e.what();
+      outcome = AdaptOutcome::kFault;
     } catch (...) {
       fault = "adapt job threw a non-exception";
+      outcome = AdaptOutcome::kFault;
     }
   }
+  const uint64_t trace_id = obs::CurrentTraceContext().trace_id;
   std::lock_guard<std::mutex> lock(mu_);
+  // Quality sample mirroring the process-global gauges: same formulas over
+  // the same report, so InspectSession's final entry is bit-identical to
+  // the in-process pipeline's metric values (asserted by the loopback
+  // test at several thread counts).
+  AdaptSample sample;
+  sample.t_us = obs::MonotonicMicros();
+  sample.adapt_run = adapt_attempts_;
+  sample.outcome = static_cast<uint8_t>(outcome);
+  const size_t split_total = report.num_confident + report.num_uncertain;
+  sample.uncertain_ratio =
+      split_total == 0 ? 0.0
+                       : static_cast<double>(report.num_uncertain) /
+                             static_cast<double>(split_total);
+  double credibility_sum = 0.0;
+  for (const PseudoLabel& pl : report.pseudo_labels) {
+    credibility_sum += pl.credibility;
+  }
+  sample.mean_credibility =
+      report.pseudo_labels.empty()
+          ? 0.0
+          : credibility_sum /
+                static_cast<double>(report.pseudo_labels.size());
+  sample.density_total_mass =
+      report.density_map.has_value() ? report.density_map->TotalMass() : 0.0;
+  sample.density_mean_sigma = report.density_mean_sigma;
+  sample.final_loss = report.history.empty()
+                          ? std::numeric_limits<double>::quiet_NaN()
+                          : report.history.back().train_loss;
+  sample.epochs = report.history.size();
+  const size_t loss_tail =
+      std::min(report.history.size(), kEpochLossSlots);
+  sample.epoch_loss_count = static_cast<uint32_t>(loss_tail);
+  for (size_t i = 0; i < loss_tail; ++i) {
+    sample.epoch_losses[i] =
+        report.history[report.history.size() - loss_tail + i].train_loss;
+  }
+  telemetry_.RecordAdapt(sample);
   if (!fault.empty()) {
     // Keep serving whatever model served before the job — the source
     // replica unless an earlier adapt succeeded. Never-worse-than-source.
     state_ = SessionState::kDegraded;
     degraded_reason_ = fault;
     DegradedCounter()->Increment();
+    const FlightCode code = outcome == AdaptOutcome::kFellBack
+                                ? FlightCode::kAdaptFellBack
+                                : outcome == AdaptOutcome::kSkipped
+                                      ? FlightCode::kAdaptSkipped
+                                      : FlightCode::kAdaptFault;
+    telemetry_.RecordFlight(code, trace_id, fault);
+    telemetry_.RecordFlight(FlightCode::kSessionDegraded, trace_id, fault);
+    // The degradation chain was silent before the flight recorder: dump
+    // the ring to the log and retain the blob for InspectSession.
     TASFAR_LOG(kWarning) << "serve: session '" << user_id_
-                         << "' degraded: " << fault;
+                         << "' degraded: " << fault << "\n"
+                         << telemetry_.DumpFlight(user_id_, fault);
     return;
   }
   ServeModelLocked(std::move(report.target_model), /*adapted=*/true);
@@ -223,6 +304,8 @@ void Session::RunAdaptAndFinish(uint64_t adapt_seed) {
   state_ = SessionState::kAdapted;
   ++adapt_runs_;
   AdaptCompletedCounter()->Increment();
+  telemetry_.RecordFlight(FlightCode::kAdaptCompleted, trace_id,
+                          "run=" + std::to_string(adapt_runs_));
 }
 
 Result<ServedPrediction> Session::Predict(const Tensor& inputs) {
@@ -235,7 +318,14 @@ Result<ServedPrediction> Session::Predict(const Tensor& inputs) {
   std::lock_guard<std::mutex> lock(mu_);
   ServedPrediction out;
   out.from_adapted = serving_adapted_;
-  out.predictions = predictor_->Predict(inputs);
+  if (obs::MetricsEnabled()) {
+    const uint64_t t0 = obs::MonotonicMicros();
+    out.predictions = predictor_->Predict(inputs);
+    telemetry_.RecordPredictLatencyMs(
+        static_cast<double>(obs::MonotonicMicros() - t0) / 1000.0);
+  } else {
+    out.predictions = predictor_->Predict(inputs);
+  }
   return out;
 }
 
@@ -391,9 +481,13 @@ Status Session::RestoreState(const std::string& text) {
       rows.value().size() * sizeof(double) +
       (restored_model != nullptr ? param_count_ * sizeof(double) : 0) +
       (restored_map.has_value() ? restored_map->NumCells() * sizeof(double)
-                                : 0);
+                                : 0) +
+      telemetry_.MemoryBytes();
   if (restored_bytes > config_.budget_bytes) {
     BudgetRejectedCounter()->Increment();
+    telemetry_.RecordFlight(FlightCode::kBudgetRejected,
+                            obs::CurrentTraceContext().trace_id,
+                            "restored blob over budget");
     return Status::OutOfRange(
         "restored session exceeds budget: " + std::to_string(restored_bytes) +
         " > " + std::to_string(config_.budget_bytes) + " bytes");
@@ -413,7 +507,15 @@ Status Session::RestoreState(const std::string& text) {
   state_ = restored == SessionState::kCreated && num_rows_ > 0
                ? SessionState::kAccumulating
                : restored;
+  telemetry_.RecordFlight(FlightCode::kSessionRestored,
+                          obs::CurrentTraceContext().trace_id,
+                          "rows=" + std::to_string(num_rows_));
   return Status::Ok();
+}
+
+TelemetrySnapshot Session::Telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return telemetry_.Snapshot();
 }
 
 }  // namespace tasfar::serve

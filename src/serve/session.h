@@ -10,6 +10,7 @@
 
 #include "core/tasfar.h"
 #include "nn/sequential.h"
+#include "serve/telemetry.h"
 #include "uncertainty/mc_dropout.h"
 #include "util/status.h"
 
@@ -139,6 +140,10 @@ class Session {
   std::string SerializeState() const;
   Status RestoreState(const std::string& text);
 
+  /// Copy of the session's telemetry rings (docs/OBSERVABILITY.md
+  /// §Session telemetry) — the InspectSession / `/sessions` payload.
+  TelemetrySnapshot Telemetry() const;
+
   const std::string& user_id() const { return user_id_; }
 
  private:
@@ -171,8 +176,17 @@ class Session {
   size_t adapt_num_rows_ = 0;
   std::optional<DensityMap> density_map_;
   uint64_t adapt_runs_ = 0;
+  uint64_t adapt_attempts_ = 0;  ///< All adapt jobs run, faulted included.
   std::string degraded_reason_;
+  /// Rings preallocated at creation; their fixed footprint is part of
+  /// UsedBytesLocked (the budget covers observability too).
+  SessionTelemetry telemetry_;
 };
+
+/// Ring capacities of every session's telemetry (fixed at creation; the
+/// resulting SessionTelemetry::MemoryBytes is charged on the budget).
+inline constexpr size_t kSessionAdaptSampleSlots = 64;
+inline constexpr size_t kSessionFlightSlots = 128;
 
 }  // namespace tasfar::serve
 

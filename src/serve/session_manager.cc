@@ -1,8 +1,12 @@
 #include "serve/session_manager.h"
 
+#include <cstdio>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tasfar::serve {
@@ -185,9 +189,16 @@ Status SessionManager::SubmitAdapt(const std::string& user_id,
   }
   TASFAR_RETURN_IF_ERROR(session->BeginAdapt());
   // The shared_ptr rides in the closure, so CloseSession racing the queue
-  // cannot leave the job with a dangling session.
-  const bool queued = runner_.TrySubmit(
-      [session, adapt_seed] { session->RunAdaptAndFinish(adapt_seed); });
+  // cannot leave the job with a dangling session. The submitter's trace
+  // context rides along too, so the job's `serve.adapt_job` span chains
+  // onto the request's trace across the runner thread.
+  const obs::TraceContext trace_ctx = obs::TracingEnabled()
+                                          ? obs::CurrentTraceContext()
+                                          : obs::TraceContext{};
+  const bool queued = runner_.TrySubmit([session, adapt_seed, trace_ctx] {
+    obs::ScopedTraceContext tctx(trace_ctx);
+    session->RunAdaptAndFinish(adapt_seed);
+  });
   if (!queued) {
     session->AbortAdapt();
     AdaptRejectedCounter()->Increment();
@@ -199,6 +210,50 @@ Status SessionManager::SubmitAdapt(const std::string& user_id,
 size_t SessionManager::NumSessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_.size();
+}
+
+std::string SessionManager::SessionsText() const {
+  // Grab the shared_ptrs under the manager lock, render outside it: each
+  // row takes the session's own lock (Info/Telemetry), and holding both
+  // would order manager-lock → session-lock against the adapt runner.
+  std::vector<std::shared_ptr<Session>> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [_, session] : sessions_) sessions.push_back(session);
+  }
+  std::ostringstream out;
+  out << "user state rows used_bytes budget_bytes budget_pct adapt_runs "
+         "last_adapt predict_count predict_p50_ms predict_p99_ms "
+         "degraded_reason\n";
+  for (const std::shared_ptr<Session>& session : sessions) {
+    const SessionInfo info = session->Info();
+    const TelemetrySnapshot telemetry = session->Telemetry();
+    const char* last_adapt =
+        telemetry.adapt_samples.empty()
+            ? "none"
+            : AdaptOutcomeName(static_cast<AdaptOutcome>(
+                  telemetry.adapt_samples.back().outcome));
+    const double pct =
+        info.budget_bytes == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(info.used_bytes) /
+                  static_cast<double>(info.budget_bytes);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), " %.1f %llu %s %llu %.3f %.3f ",
+                  pct, static_cast<unsigned long long>(info.adapt_runs),
+                  last_adapt,
+                  static_cast<unsigned long long>(telemetry.predict_count),
+                  telemetry.predict_p50_ms, telemetry.predict_p99_ms);
+    // The user id cannot contain whitespace (Create rejects it), so the
+    // free-form degraded reason is safe as the final column.
+    out << info.user_id << ' ' << SessionStateName(info.state) << ' '
+        << info.pending_rows << ' ' << info.used_bytes << ' '
+        << info.budget_bytes << buf
+        << (info.degraded_reason.empty() ? "-" : info.degraded_reason)
+        << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace tasfar::serve

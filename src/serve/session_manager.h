@@ -101,6 +101,13 @@ class SessionManager {
 
   size_t NumSessions() const;
 
+  /// One-line-per-session plain-text table (the `/sessions` endpoint and
+  /// `tools/obs/tasfar_top`): a fixed header row, then per session
+  /// space-separated columns ending in the free-form degraded reason
+  /// ("-" when healthy). User ids cannot contain whitespace, so every
+  /// column before the reason splits unambiguously.
+  std::string SessionsText() const;
+
   /// Blocks until queued adapt jobs finished. Test helper.
   void DrainJobs() { runner_.Drain(); }
 

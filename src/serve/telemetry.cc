@@ -1,0 +1,145 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "obs/clock.h"
+
+namespace tasfar::serve {
+
+namespace {
+
+obs::Counter* TelemetrySamplesCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.telemetry.samples");
+  return kCounter;
+}
+
+obs::Counter* FlightEventsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.flight.events");
+  return kCounter;
+}
+
+obs::Counter* FlightDumpsCounter() {
+  static obs::Counter* const kCounter =
+      obs::Registry::Get().GetCounter("tasfar.serve.flight.dumps");
+  return kCounter;
+}
+
+}  // namespace
+
+const char* FlightCodeName(FlightCode code) {
+  switch (code) {
+    case FlightCode::kSessionCreated: return "session_created";
+    case FlightCode::kRowsSubmitted: return "rows_submitted";
+    case FlightCode::kAdaptQueued: return "adapt_queued";
+    case FlightCode::kAdaptStarted: return "adapt_started";
+    case FlightCode::kAdaptCompleted: return "adapt_completed";
+    case FlightCode::kAdaptFellBack: return "adapt_fell_back";
+    case FlightCode::kAdaptSkipped: return "adapt_skipped";
+    case FlightCode::kAdaptFault: return "adapt_fault";
+    case FlightCode::kSessionDegraded: return "session_degraded";
+    case FlightCode::kBudgetRejected: return "budget_rejected";
+    case FlightCode::kSessionRestored: return "session_restored";
+  }
+  return "unknown";
+}
+
+const char* AdaptOutcomeName(AdaptOutcome outcome) {
+  switch (outcome) {
+    case AdaptOutcome::kAdapted: return "adapted";
+    case AdaptOutcome::kFellBack: return "fell_back";
+    case AdaptOutcome::kSkipped: return "skipped";
+    case AdaptOutcome::kFault: return "fault";
+  }
+  return "unknown";
+}
+
+SessionTelemetry::SessionTelemetry(size_t adapt_capacity,
+                                   size_t flight_capacity)
+    : adapt_ring_(std::max<size_t>(1, adapt_capacity)),
+      flight_ring_(std::max<size_t>(1, flight_capacity)),
+      predict_ms_("session.predict.ms", obs::Histogram::LatencyEdgesMs()) {}
+
+size_t SessionTelemetry::MemoryBytes() const {
+  // Fixed at construction: the rings never grow and the histogram's
+  // bucket/edge/exemplar arrays are sized by its (constant) edge count.
+  return adapt_ring_.capacity() * sizeof(AdaptSample) +
+         flight_ring_.capacity() * sizeof(FlightEvent) +
+         predict_ms_.edges().size() * sizeof(double) +
+         (predict_ms_.edges().size() - 1) * 2 * sizeof(uint64_t);
+}
+
+void SessionTelemetry::RecordAdapt(const AdaptSample& sample) {
+  if (!obs::MetricsEnabled()) return;
+  adapt_ring_[adapt_next_ % adapt_ring_.size()] = sample;
+  ++adapt_next_;
+  TelemetrySamplesCounter()->Increment();
+}
+
+void SessionTelemetry::RecordPredictLatencyMs(double ms) {
+  predict_ms_.Observe(ms);  // Gated on MetricsEnabled internally.
+}
+
+void SessionTelemetry::RecordFlight(FlightCode code, uint64_t trace_id,
+                                    const std::string& detail) {
+  if (!obs::MetricsEnabled()) return;
+  FlightEvent& ev = flight_ring_[flight_next_ % flight_ring_.size()];
+  ev.t_us = obs::MonotonicMicros();
+  ev.code = code;
+  ev.trace_id = trace_id;
+  const size_t n = std::min(detail.size(), sizeof(ev.detail) - 1);
+  std::memcpy(ev.detail, detail.data(), n);
+  ev.detail[n] = '\0';
+  ++flight_next_;
+  FlightEventsCounter()->Increment();
+}
+
+const std::string& SessionTelemetry::DumpFlight(const std::string& user_id,
+                                                const std::string& reason) {
+  std::ostringstream out;
+  out << "flight-recorder dump: session '" << user_id << "' reason: "
+      << reason << "\n";
+  const uint64_t count =
+      std::min<uint64_t>(flight_next_, flight_ring_.size());
+  for (uint64_t i = flight_next_ - count; i < flight_next_; ++i) {
+    const FlightEvent& ev = flight_ring_[i % flight_ring_.size()];
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "  [%llu.%06llu] serve.flight.%s trace=%llu %s\n",
+                  static_cast<unsigned long long>(ev.t_us / 1000000),
+                  static_cast<unsigned long long>(ev.t_us % 1000000),
+                  FlightCodeName(ev.code),
+                  static_cast<unsigned long long>(ev.trace_id), ev.detail);
+    out << line;
+  }
+  last_dump_ = out.str();
+  FlightDumpsCounter()->Increment();
+  return last_dump_;
+}
+
+TelemetrySnapshot SessionTelemetry::Snapshot() const {
+  TelemetrySnapshot snap;
+  const uint64_t samples =
+      std::min<uint64_t>(adapt_next_, adapt_ring_.size());
+  snap.adapt_samples.reserve(samples);
+  for (uint64_t i = adapt_next_ - samples; i < adapt_next_; ++i) {
+    snap.adapt_samples.push_back(adapt_ring_[i % adapt_ring_.size()]);
+  }
+  snap.predict_count = predict_ms_.count();
+  snap.predict_p50_ms = predict_ms_.Quantile(0.5);
+  snap.predict_p99_ms = predict_ms_.Quantile(0.99);
+  const uint64_t events =
+      std::min<uint64_t>(flight_next_, flight_ring_.size());
+  snap.flight_events.reserve(events);
+  for (uint64_t i = flight_next_ - events; i < flight_next_; ++i) {
+    snap.flight_events.push_back(flight_ring_[i % flight_ring_.size()]);
+  }
+  snap.last_dump = last_dump_;
+  return snap;
+}
+
+}  // namespace tasfar::serve

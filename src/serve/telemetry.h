@@ -1,0 +1,138 @@
+#ifndef TASFAR_SERVE_TELEMETRY_H_
+#define TASFAR_SERVE_TELEMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tasfar::serve {
+
+/// Per-session observability (docs/OBSERVABILITY.md §Session telemetry):
+/// a fixed-size ring of adaptation-quality samples, a per-session predict
+/// latency histogram, and the flight recorder — a bounded ring of recent
+/// structured events that is dumped whenever the session degrades.
+///
+/// All storage is preallocated at construction (zero steady-state
+/// allocations; MemoryBytes() is charged against the session budget) and
+/// every Record* first checks obs::MetricsEnabled(), keeping the PR 3
+/// disabled-cost contract. Instances are NOT internally locked: the
+/// owning Session serializes access under its own mutex.
+
+/// Structured flight-recorder event codes. Documented (and cross-checked
+/// by the `registry-consistency` analyzer rule) as `serve.flight.<name>`
+/// in docs/OBSERVABILITY.md — adding an enumerator without the doc row
+/// fails `tools/analyze`.
+enum class FlightCode : uint8_t {
+  kSessionCreated = 0,
+  kRowsSubmitted = 1,
+  kAdaptQueued = 2,
+  kAdaptStarted = 3,
+  kAdaptCompleted = 4,
+  kAdaptFellBack = 5,
+  kAdaptSkipped = 6,
+  kAdaptFault = 7,
+  kSessionDegraded = 8,
+  kBudgetRejected = 9,
+  kSessionRestored = 10,
+};
+
+/// Stable lower_snake name ("adapt_fault", ...); "unknown" otherwise.
+const char* FlightCodeName(FlightCode code);
+
+/// Outcome of one adapt attempt, recorded in AdaptSample::outcome.
+enum class AdaptOutcome : uint8_t {
+  kAdapted = 0,
+  kFellBack = 1,
+  kSkipped = 2,
+  kFault = 3,
+};
+
+const char* AdaptOutcomeName(AdaptOutcome outcome);
+
+/// Bounded per-sample slice of the fine-tune learning curve.
+inline constexpr size_t kEpochLossSlots = 16;
+
+/// One adaptation-quality sample, taken when an adapt job finishes. The
+/// quality fields mirror the process-global gauges bit-for-bit (same
+/// formulas, same inputs): uncertain_ratio ↔
+/// `tasfar.partition.uncertain_ratio`, density_total_mass ↔
+/// `tasfar.density_map.total_mass`, density_mean_sigma ↔
+/// `tasfar.density_map.mean_sigma`, final_loss/epochs ↔
+/// `tasfar.adaptation.final_loss`/`.epochs` — the label-free quality
+/// proxies TASFAR has, per tenant instead of process-wide.
+struct AdaptSample {
+  uint64_t t_us = 0;       ///< obs::MonotonicMicros at job completion.
+  uint64_t adapt_run = 0;  ///< 1-based attempt index within the session.
+  uint8_t outcome = 0;     ///< AdaptOutcome.
+  double uncertain_ratio = 0.0;
+  double mean_credibility = 0.0;  ///< Mean pseudo-label β_t (0 if none).
+  double density_total_mass = 0.0;
+  double density_mean_sigma = 0.0;
+  double final_loss = 0.0;  ///< NaN when no epoch ran.
+  uint64_t epochs = 0;
+  uint32_t epoch_loss_count = 0;  ///< Valid leading entries below.
+  double epoch_losses[kEpochLossSlots] = {};  ///< Tail of the curve.
+};
+
+/// One flight-recorder entry. `detail` is a bounded, NUL-terminated copy
+/// of the human-readable cause (truncated, never allocated).
+struct FlightEvent {
+  uint64_t t_us = 0;
+  FlightCode code = FlightCode::kSessionCreated;
+  uint64_t trace_id = 0;  ///< Ambient trace id at record time (0 = none).
+  char detail[96] = {};
+};
+
+/// Read-only copy of a session's telemetry, in record order (oldest
+/// first), taken under the session lock for InspectSession / `/sessions`.
+struct TelemetrySnapshot {
+  std::vector<AdaptSample> adapt_samples;
+  uint64_t predict_count = 0;
+  double predict_p50_ms = 0.0;  ///< NaN until the first predict.
+  double predict_p99_ms = 0.0;
+  std::vector<FlightEvent> flight_events;
+  /// Rendering of the flight ring at the last degradation ("" if the
+  /// session never degraded). Retrievable over the wire.
+  std::string last_dump;
+};
+
+class SessionTelemetry {
+ public:
+  /// Preallocates both rings; no later growth.
+  SessionTelemetry(size_t adapt_capacity, size_t flight_capacity);
+
+  SessionTelemetry(const SessionTelemetry&) = delete;
+  SessionTelemetry& operator=(const SessionTelemetry&) = delete;
+
+  /// Fixed footprint of the preallocated rings + latency histogram,
+  /// charged against the owning session's memory budget.
+  size_t MemoryBytes() const;
+
+  /// Ring appends; no-ops while metrics are disabled.
+  void RecordAdapt(const AdaptSample& sample);
+  void RecordPredictLatencyMs(double ms);
+  void RecordFlight(FlightCode code, uint64_t trace_id,
+                    const std::string& detail);
+
+  /// Renders the flight ring into the retained dump blob and returns it.
+  /// Called on degradation; allocation is fine here (cold path).
+  const std::string& DumpFlight(const std::string& user_id,
+                                const std::string& reason);
+
+  TelemetrySnapshot Snapshot() const;
+
+ private:
+  std::vector<AdaptSample> adapt_ring_;
+  uint64_t adapt_next_ = 0;  ///< Total samples ever recorded.
+  std::vector<FlightEvent> flight_ring_;
+  uint64_t flight_next_ = 0;
+  obs::Histogram predict_ms_;  ///< Unregistered, session-local.
+  std::string last_dump_;
+};
+
+}  // namespace tasfar::serve
+
+#endif  // TASFAR_SERVE_TELEMETRY_H_

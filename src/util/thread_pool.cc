@@ -7,6 +7,7 @@
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace tasfar {
@@ -98,6 +99,12 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     return;
   }
   const bool metrics = obs::MetricsEnabled();
+  // The submitting thread's trace context rides into every queued chunk so
+  // worker-side spans chain onto the submitter's trace (one TLS read here,
+  // only when tracing is on; {0,0} otherwise is a no-op install).
+  const obs::TraceContext trace_ctx =
+      obs::TracingEnabled() ? obs::CurrentTraceContext()
+                            : obs::TraceContext{};
   // ~4 chunks per worker balances uneven iteration costs without a
   // stealing scheduler; `grain` keeps chunks from getting too fine.
   const size_t target_chunks = workers_.size() * 4;
@@ -123,14 +130,18 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
     for (size_t c = 0; c < num_chunks; ++c) {
       const size_t lo = begin + c * chunk;
       const size_t hi = std::min(lo + chunk, end);
-      queue_.emplace_back([region, lo, hi, &fn, metrics] {
+      queue_.emplace_back([region, lo, hi, &fn, metrics, trace_ctx] {
         const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
-        try {
-          for (size_t i = lo; i < hi; ++i) fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> rlock(region->mu);
-          if (!region->first_error) {
-            region->first_error = std::current_exception();
+        {
+          obs::ScopedTraceContext tctx(trace_ctx);
+          TASFAR_TRACE_SPAN("thread_pool.chunk");
+          try {
+            for (size_t i = lo; i < hi; ++i) fn(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> rlock(region->mu);
+            if (!region->first_error) {
+              region->first_error = std::current_exception();
+            }
           }
         }
         if (metrics) {

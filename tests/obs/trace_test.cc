@@ -86,12 +86,18 @@ TEST_F(TraceTest, SpansOnPoolWorkersCarryTheirOwnThreadIds) {
               [](size_t) { TASFAR_TRACE_SPAN("pool_span"); });
   SetNumThreads(prev_threads);
   std::vector<TraceEvent> events = SnapshotTraceEvents();
-  ASSERT_EQ(events.size(), 64u);
+  // 64 body spans plus the pool's own "thread_pool.chunk" wrappers.
   std::map<int, int> per_tid;
+  size_t body_spans = 0;
   for (const TraceEvent& e : events) {
-    EXPECT_STREQ(e.name, "pool_span");
+    if (std::string(e.name) != "pool_span") {
+      EXPECT_STREQ(e.name, "thread_pool.chunk");
+      continue;
+    }
+    ++body_spans;
     ++per_tid[e.tid];
   }
+  EXPECT_EQ(body_spans, 64u);
   EXPECT_GE(per_tid.size(), 1u);
 }
 
@@ -109,6 +115,69 @@ TEST_F(TraceTest, CapacityLimitsBufferAndCountsDrops) {
   { TASFAR_TRACE_SPAN("c"); }
   EXPECT_EQ(SnapshotTraceEvents().size(), 2u);
   EXPECT_GE(DroppedTraceEvents(), 1u);
+}
+
+TEST_F(TraceTest, EightThreadWrapHammerCountsEveryDropExactly) {
+  // ISSUE satellite: hammer the bounded trace buffer from 8 threads past
+  // its capacity and assert the drop counter is *exact* — every recorded
+  // span is either buffered or counted, nothing lost to a race.
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(8);
+  constexpr size_t kCapacity = 1000;
+  constexpr size_t kIters = 3200;
+  SetTraceCapacityForTest(kCapacity);
+
+  // Span arithmetic (deterministic, see ThreadPool::ParallelFor): 8
+  // workers target 8*4 chunks, so range 3200 / chunk 100 = 32 queued
+  // chunks, each wrapped in one "thread_pool.chunk" span, plus one body
+  // span per iteration.
+  ParallelFor(0, kIters, /*grain=*/1,
+              [](size_t) { TASFAR_TRACE_SPAN("hammer"); });
+  SetNumThreads(prev_threads);
+
+  constexpr size_t kTotalSpans = kIters + 32;
+  EXPECT_EQ(SnapshotTraceEvents().size(), kCapacity);
+  EXPECT_EQ(DroppedTraceEvents(), kTotalSpans - kCapacity);
+
+  // A buffer that wrapped mid-burst must still export loadable JSON.
+  const std::string path = ::testing::TempDir() + "/tasfar_trace_wrap.json";
+  ASSERT_TRUE(WriteChromeTrace(path));
+  const std::string content = ReadFile(path);
+  std::remove(path.c_str());
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  long braces = 0, brackets = 0;
+  for (char ch : content) {
+    braces += ch == '{' ? 1 : ch == '}' ? -1 : 0;
+    brackets += ch == '[' ? 1 : ch == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, AmbientContextFlowsAcrossParallelFor) {
+  // One root span on the submitting thread: every queued chunk span must
+  // inherit its trace id — the cross-thread link the Perfetto flow
+  // arrows are drawn from.
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(4);
+  {
+    TASFAR_TRACE_SPAN("flow_root");
+    ParallelFor(0, 256, /*grain=*/1, [](size_t) {});
+  }
+  SetNumThreads(prev_threads);
+  std::vector<TraceEvent> events = SnapshotTraceEvents();
+  uint64_t root_trace = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "flow_root") root_trace = e.trace_id;
+  }
+  ASSERT_NE(root_trace, 0u);
+  size_t chunks = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) != "thread_pool.chunk") continue;
+    ++chunks;
+    EXPECT_EQ(e.trace_id, root_trace);
+  }
+  EXPECT_GT(chunks, 0u);
 }
 
 TEST_F(TraceTest, ChromeTraceIsWellFormedJson) {

@@ -157,12 +157,81 @@ TEST(NamesTest, WireErrorNames) {
 TEST(NamesTest, KnownMessageTypes) {
   EXPECT_TRUE(IsKnownMessageType(1));
   EXPECT_TRUE(IsKnownMessageType(10));
+  EXPECT_TRUE(IsKnownMessageType(11));   // kInspectSession
   EXPECT_TRUE(IsKnownMessageType(128));
   EXPECT_TRUE(IsKnownMessageType(133));
+  EXPECT_TRUE(IsKnownMessageType(134));  // kSessionTelemetryResponse
   EXPECT_FALSE(IsKnownMessageType(0));
-  EXPECT_FALSE(IsKnownMessageType(11));
+  EXPECT_FALSE(IsKnownMessageType(12));
   EXPECT_FALSE(IsKnownMessageType(127));
-  EXPECT_FALSE(IsKnownMessageType(134));
+  EXPECT_FALSE(IsKnownMessageType(135));
+}
+
+// --- traced frames ----------------------------------------------------------
+
+TEST(TracedFrameTest, PrefixRoundTripsAndIsStripped) {
+  const std::string payload = "user";
+  const std::string wire =
+      EncodeTracedFrame(MessageType::kQuerySession, payload,
+                        /*trace_id=*/0x1122334455667788ull,
+                        /*span_id=*/0x99AABBCCDDEEFF00ull);
+  // On the wire: type field carries the flag, length covers prefix+payload.
+  uint16_t wire_type = 0;
+  std::memcpy(&wire_type, wire.data() + 6, sizeof(wire_type));
+  EXPECT_EQ(wire_type & kTracedFrameBit, kTracedFrameBit);
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes + 16 + payload.size());
+
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Next(&frame), FrameReader::ReadResult::kFrame);
+  // The reader strips the prefix: the payload is byte-identical to an
+  // untraced frame's and the context surfaces in dedicated fields.
+  EXPECT_EQ(frame.type, MessageType::kQuerySession);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(frame.trace_id, 0x1122334455667788ull);
+  EXPECT_EQ(frame.span_id, 0x99AABBCCDDEEFF00ull);
+}
+
+TEST(TracedFrameTest, ZeroTraceIdEncodesUntraced) {
+  // Trace id 0 means "no context" — the encoder falls back to a plain
+  // frame rather than shipping a meaningless prefix.
+  const std::string wire =
+      EncodeTracedFrame(MessageType::kPing, "", /*trace_id=*/0,
+                        /*span_id=*/7);
+  EXPECT_EQ(wire, EncodeFrame(MessageType::kPing, ""));
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Next(&frame), FrameReader::ReadResult::kFrame);
+  EXPECT_EQ(frame.trace_id, 0u);
+  EXPECT_EQ(frame.span_id, 0u);
+}
+
+TEST(TracedFrameTest, TracedFrameShorterThanPrefixIsProtocolError) {
+  std::string wire = EncodeFrame(MessageType::kPing, "tiny");
+  uint16_t type = 0;
+  std::memcpy(&type, wire.data() + 6, sizeof(type));
+  type |= kTracedFrameBit;
+  std::memcpy(&wire[6], &type, sizeof(type));
+  FrameReader reader;
+  reader.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(reader.Next(&frame), FrameReader::ReadResult::kError);
+  EXPECT_FALSE(reader.error().ok());
+}
+
+TEST(TracedFrameTest, UnknownRealTypeUnderFlagIsError) {
+  // The flag does not smuggle unknown message types past validation.
+  const std::string wire =
+      EncodeTracedFrame(MessageType::kPing, "", /*trace_id=*/5,
+                        /*span_id=*/6);
+  std::string bad = wire;
+  bad[6] = 99;  // low byte of type: 99 | 0x8000 after the flag byte
+  FrameReader reader;
+  reader.Append(bad.data(), bad.size());
+  Frame frame;
+  EXPECT_EQ(reader.Next(&frame), FrameReader::ReadResult::kError);
 }
 
 // --- payload primitives -----------------------------------------------------

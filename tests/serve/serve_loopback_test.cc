@@ -20,8 +20,14 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
 #include "core/tasfar.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/demo.h"
 #include "serve/server.h"
@@ -138,6 +144,177 @@ TEST(ServeLoopbackTest, PredictAfterAdaptIsByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(served.value().predictions[i].std, expected[i].std)
           << "row " << i;
     }
+    server->Stop();
+  }
+  SetNumThreads(original_threads);
+}
+
+// --- distributed tracing & per-session telemetry ----------------------------
+
+// In-process reference pipeline run, for comparing InspectSession's final
+// adapt sample bit-for-bit.
+TasfarReport ReferenceReport(const Tensor& adapt_rows) {
+  const DemoBundle& b = Bundle();
+  std::unique_ptr<Sequential> model = b.model->CloneSequential();
+  Rng rng(kAdaptSeed);
+  return Tasfar(b.options).Adapt(model.get(), b.calibration, adapt_rows, &rng);
+}
+
+// Extracts (name, trace_id) pairs from an exported Chrome trace: the
+// exporter writes one JSON object per line, so a line-oriented scan is
+// exact enough without a JSON library.
+std::vector<std::pair<std::string, uint64_t>> NamedTraceIds(
+    const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t name_at = line.find("\"name\": \"");
+    const size_t id_at = line.find("\"trace_id\": ");
+    if (name_at == std::string::npos || id_at == std::string::npos) continue;
+    const size_t name_begin = name_at + 9;
+    const size_t name_end = line.find('"', name_begin);
+    out.emplace_back(
+        line.substr(name_begin, name_end - name_begin),
+        std::strtoull(line.c_str() + id_at + 12, nullptr, 10));
+  }
+  return out;
+}
+
+TEST(ServeLoopbackTest, OneTraceIdLinksClientServerAdaptJobAndPoolLeaves) {
+  // ISSUE acceptance: a single trace id links the client call span, the
+  // server dispatch span, the background adapt-job span, and the
+  // ParallelFor leaf spans — asserted from the *exported* trace JSON.
+  const bool was_tracing = obs::TracingEnabled();
+  obs::SetTracingEnabled(true);
+  obs::ClearTraceEvents();
+  const size_t original_threads = GetNumThreads();
+  SetNumThreads(2);  // chunk spans exist only on the queued-worker path
+
+  const DemoBundle& b = Bundle();
+  const Tensor adapt_rows = b.target_rows.SliceRows(0, 200);
+  const uint32_t cols = static_cast<uint32_t>(adapt_rows.dim(1));
+  {
+    std::unique_ptr<Server> server = StartServer();
+    Client client;
+    ASSERT_TRUE(client.Connect(server->port()).ok());
+    ASSERT_TRUE(client.CreateSession("traced", kSessionSeed, cols).ok());
+    ASSERT_TRUE(
+        client.SubmitTargetData("traced", 200, cols, adapt_rows.data()).ok());
+    ASSERT_TRUE(client.Adapt("traced", kAdaptSeed).ok());
+    ClientSessionInfo info;
+    ASSERT_TRUE(WaitNotAdapting(&client, "traced", &info));
+    ASSERT_EQ(info.state, SessionState::kAdapted)
+        << "degraded: " << info.degraded_reason;
+    server->Stop();
+  }
+  SetNumThreads(original_threads);
+
+  const std::string path = ::testing::TempDir() + "/tasfar_serve_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  const auto named = NamedTraceIds(path);
+  std::remove(path.c_str());
+  obs::ClearTraceEvents();
+  obs::SetTracingEnabled(was_tracing);
+
+  // The adapt job ran exactly once; its trace id is the linking key.
+  uint64_t adapt_trace = 0;
+  for (const auto& [name, id] : named) {
+    if (name != "serve.adapt_job") continue;
+    EXPECT_EQ(adapt_trace, 0u) << "more than one adapt-job span";
+    adapt_trace = id;
+  }
+  ASSERT_NE(adapt_trace, 0u);
+
+  std::map<std::string, int> with_adapt_trace;
+  for (const auto& [name, id] : named) {
+    if (id == adapt_trace) ++with_adapt_trace[name];
+  }
+  // One client call (the kAdapt round trip, traced over the wire), one
+  // server dispatch, one job, and at least one pool leaf per parallel
+  // stage of the pipeline — all under the same id.
+  EXPECT_EQ(with_adapt_trace["serve.client.call"], 1);
+  EXPECT_EQ(with_adapt_trace["serve.request"], 1);
+  EXPECT_EQ(with_adapt_trace["serve.adapt_job"], 1);
+  EXPECT_GE(with_adapt_trace["thread_pool.chunk"], 1);
+}
+
+TEST(ServeLoopbackTest, InspectSessionFinalSampleIsByteExactAcrossThreads) {
+  // ISSUE acceptance: the final InspectSession adapt sample matches the
+  // in-process pipeline's quality metrics byte-exactly, at 1/2/8 threads.
+  obs::SetMetricsEnabled(true);
+  const DemoBundle& b = Bundle();
+  const Tensor adapt_rows = b.target_rows.SliceRows(0, 200);
+  const uint32_t cols = static_cast<uint32_t>(adapt_rows.dim(1));
+
+  const size_t original_threads = GetNumThreads();
+  for (const size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    SetNumThreads(threads);
+
+    const TasfarReport ref = ReferenceReport(adapt_rows);
+    ASSERT_FALSE(ref.fell_back);
+    ASSERT_FALSE(ref.skipped);
+
+    std::unique_ptr<Server> server = StartServer();
+    Client client;
+    ASSERT_TRUE(client.Connect(server->port()).ok());
+    ASSERT_TRUE(client.CreateSession("inspect", kSessionSeed, cols).ok());
+    ASSERT_TRUE(
+        client.SubmitTargetData("inspect", 200, cols, adapt_rows.data()).ok());
+    ASSERT_TRUE(client.Adapt("inspect", kAdaptSeed).ok());
+    ClientSessionInfo info;
+    ASSERT_TRUE(WaitNotAdapting(&client, "inspect", &info));
+    ASSERT_EQ(info.state, SessionState::kAdapted);
+
+    Result<ClientSessionTelemetry> t = client.InspectSession("inspect");
+    ASSERT_TRUE(t.ok()) << t.status().ToString();
+    EXPECT_EQ(t.value().state, SessionState::kAdapted);
+    ASSERT_FALSE(t.value().adapt_samples.empty());
+    const AdaptSample& got = t.value().adapt_samples.back();
+
+    // Reference values via the same formulas the gauges use. Doubles
+    // crossed the wire as bit patterns, so == is bit equality.
+    const size_t split_total = ref.num_confident + ref.num_uncertain;
+    const double want_ratio =
+        split_total == 0 ? 0.0
+                         : static_cast<double>(ref.num_uncertain) /
+                               static_cast<double>(split_total);
+    double credibility_sum = 0.0;
+    for (const PseudoLabel& pl : ref.pseudo_labels) {
+      credibility_sum += pl.credibility;
+    }
+    const double want_credibility =
+        ref.pseudo_labels.empty()
+            ? 0.0
+            : credibility_sum / static_cast<double>(ref.pseudo_labels.size());
+
+    EXPECT_EQ(got.outcome, 0u);  // AdaptOutcome::kAdapted
+    EXPECT_EQ(got.adapt_run, 1u);
+    EXPECT_EQ(got.uncertain_ratio, want_ratio);
+    EXPECT_EQ(got.mean_credibility, want_credibility);
+    ASSERT_TRUE(ref.density_map.has_value());
+    EXPECT_EQ(got.density_total_mass, ref.density_map->TotalMass());
+    EXPECT_EQ(got.density_mean_sigma, ref.density_mean_sigma);
+    ASSERT_FALSE(ref.history.empty());
+    EXPECT_EQ(got.final_loss, ref.history.back().train_loss);
+    EXPECT_EQ(got.epochs, ref.history.size());
+    ASSERT_EQ(got.epoch_loss_count,
+              std::min(ref.history.size(), kEpochLossSlots));
+    for (size_t i = 0; i < got.epoch_loss_count; ++i) {
+      EXPECT_EQ(got.epoch_losses[i],
+                ref.history[ref.history.size() - got.epoch_loss_count + i]
+                    .train_loss);
+    }
+
+    // The flight ring tells the same story over the wire.
+    ASSERT_FALSE(t.value().flight_events.empty());
+    bool saw_completed = false;
+    for (const ClientFlightEvent& ev : t.value().flight_events) {
+      if (ev.code_name == "adapt_completed") saw_completed = true;
+    }
+    EXPECT_TRUE(saw_completed);
+    EXPECT_TRUE(t.value().last_dump.empty());  // never degraded
     server->Stop();
   }
   SetNumThreads(original_threads);

@@ -50,6 +50,14 @@ uint64_t CounterValue(const char* name) {
   return obs::Registry::Get().GetCounter(name)->value();
 }
 
+// A fresh session's used_bytes is exactly the preallocated telemetry rings
+// (no rows yet); tight-budget tests add it so their row math stays exact.
+uint64_t TelemetryOverheadBytes() {
+  static const uint64_t bytes =
+      MakeSession("probe", SmallConfig())->Info().used_bytes;
+  return bytes;
+}
+
 // --- state machine ----------------------------------------------------------
 
 TEST(SessionTest, FreshSessionIsCreatedAndServesSource) {
@@ -136,7 +144,8 @@ TEST(SessionTest, AdaptInstallsTargetModel) {
 TEST(SessionTest, BudgetRejectsOversizedSubmit) {
   obs::SetMetricsEnabled(true);
   SessionConfig config = SmallConfig();
-  config.budget_bytes = 8 * config.input_dim * 4;  // room for 4 rows
+  config.budget_bytes =
+      TelemetryOverheadBytes() + 8 * config.input_dim * 4;  // room for 4 rows
   auto session = MakeSession("u", config);
   const Tensor rows = Rows(16);
   const size_t cols = rows.dim(1);
@@ -157,7 +166,7 @@ TEST(SessionTest, BeginAdaptPreChargesModelFootprint) {
   // Budget fits the rows but not rows + a detached adapted model, so the
   // overflow is rejected at BeginAdapt, not discovered mid-job.
   SessionConfig config = SmallConfig();
-  config.budget_bytes = 8 * config.input_dim * 64 + 64;
+  config.budget_bytes = TelemetryOverheadBytes() + 8 * config.input_dim * 64 + 64;
   auto session = MakeSession("u", config);
   const Tensor rows = Rows(64);
   ASSERT_TRUE(session
@@ -197,6 +206,71 @@ TEST(SessionTest, KilledAdaptJobDegradesToSourceServing) {
   auto pred = session->Predict(Rows(2));
   ASSERT_TRUE(pred.ok()) << pred.status().ToString();
   EXPECT_FALSE(pred.value().from_adapted);
+}
+
+TEST(SessionTest, DegradationDumpsFlightRecorder) {
+  obs::SetMetricsEnabled(true);
+  auto session = MakeSession("u", SmallConfig());
+  const Tensor rows = Rows(50);
+  ASSERT_TRUE(session->SubmitRows(50, rows.dim(1), rows.data()).ok());
+  ASSERT_TRUE(session->BeginAdapt().ok());
+  ASSERT_TRUE(failpoint::Configure("serve.adapt_job").ok());
+  session->RunAdaptAndFinish(/*adapt_seed=*/7);
+  failpoint::Disable();
+  ASSERT_EQ(session->Info().state, SessionState::kDegraded);
+
+  const TelemetrySnapshot t = session->Telemetry();
+  // The dump was rendered at degradation time and retained for retrieval.
+  ASSERT_FALSE(t.last_dump.empty());
+  EXPECT_NE(t.last_dump.find("serve.flight.adapt_fault"), std::string::npos);
+  EXPECT_NE(t.last_dump.find("serve.flight.session_degraded"),
+            std::string::npos);
+  EXPECT_NE(t.last_dump.find(session->Info().degraded_reason),
+            std::string::npos)
+      << t.last_dump;
+
+  // The ring itself carries the same story, oldest first.
+  ASSERT_GE(t.flight_events.size(), 4u);
+  EXPECT_EQ(t.flight_events.front().code, FlightCode::kSessionCreated);
+  EXPECT_EQ(t.flight_events.back().code, FlightCode::kSessionDegraded);
+  // The faulted attempt still produced an adapt sample, outcome kFault.
+  ASSERT_EQ(t.adapt_samples.size(), 1u);
+  EXPECT_EQ(t.adapt_samples.back().outcome,
+            static_cast<uint8_t>(AdaptOutcome::kFault));
+}
+
+TEST(SessionTest, ChaosEveryDegradationHasMatchingFlightDump) {
+  // Chaos-tier invariant: under random failpoints, any session that ends
+  // up degraded must hold a non-empty flight dump whose terminal event
+  // matches the degradation reason — no silent degradations.
+  obs::SetMetricsEnabled(true);
+  const Tensor rows = Rows(50);
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    ASSERT_TRUE(failpoint::Configure("random:p=0.3:seed=" +
+                                     std::to_string(seed))
+                    .ok());
+    auto session = MakeSession("u" + std::to_string(seed), SmallConfig());
+    if (session->SubmitRows(50, rows.dim(1), rows.data()).ok() &&
+        session->BeginAdapt().ok()) {
+      session->RunAdaptAndFinish(/*adapt_seed=*/seed);
+    }
+    failpoint::Disable();
+    const SessionInfo info = session->Info();
+    if (info.state != SessionState::kDegraded) continue;
+    const TelemetrySnapshot t = session->Telemetry();
+    ASSERT_FALSE(t.last_dump.empty()) << "degraded without a flight dump";
+    EXPECT_NE(t.last_dump.find("serve.flight.session_degraded"),
+              std::string::npos);
+    // Flight-event details are bounded (96 bytes), so match a prefix of
+    // the reason rather than the whole string.
+    EXPECT_NE(t.last_dump.find(info.degraded_reason.substr(0, 80)),
+              std::string::npos)
+        << "dump does not mention reason `" << info.degraded_reason
+        << "`:\n"
+        << t.last_dump;
+    ASSERT_FALSE(t.flight_events.empty());
+    EXPECT_EQ(t.flight_events.back().code, FlightCode::kSessionDegraded);
+  }
 }
 
 // --- save / restore ---------------------------------------------------------
@@ -319,7 +393,8 @@ TEST(SessionTest, RestoreEnforcesBudget) {
   const std::string blob = original->SerializeState();
 
   SessionConfig tiny = SmallConfig();
-  tiny.budget_bytes = 8 * tiny.input_dim * 4;  // room for 4 rows
+  tiny.budget_bytes =
+      TelemetryOverheadBytes() + 8 * tiny.input_dim * 4;  // room for 4 rows
   auto fresh = MakeSession("u", tiny);
   const uint64_t rejected_before =
       CounterValue("tasfar.serve.budget.rejected");

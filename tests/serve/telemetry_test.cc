@@ -1,0 +1,128 @@
+// Unit tier for the per-session telemetry rings (src/serve/telemetry.h):
+// ring wrap-around order, metrics gating, the flight-recorder dump, and
+// the fixed memory footprint charged to the session budget.
+
+#include "serve/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tasfar::serve {
+namespace {
+
+AdaptSample Sample(uint64_t run) {
+  AdaptSample s;
+  s.t_us = run * 1000;
+  s.adapt_run = run;
+  s.outcome = static_cast<uint8_t>(AdaptOutcome::kAdapted);
+  s.final_loss = static_cast<double>(run) * 0.5;
+  return s;
+}
+
+TEST(SessionTelemetryTest, FlightCodeNamesAreStable) {
+  EXPECT_STREQ(FlightCodeName(FlightCode::kSessionCreated),
+               "session_created");
+  EXPECT_STREQ(FlightCodeName(FlightCode::kAdaptFellBack), "adapt_fell_back");
+  EXPECT_STREQ(FlightCodeName(FlightCode::kBudgetRejected),
+               "budget_rejected");
+  EXPECT_STREQ(FlightCodeName(static_cast<FlightCode>(200)), "unknown");
+  EXPECT_STREQ(AdaptOutcomeName(AdaptOutcome::kFault), "fault");
+}
+
+TEST(SessionTelemetryTest, RecordsNothingWhileMetricsDisabled) {
+  obs::SetMetricsEnabled(false);
+  SessionTelemetry t(4, 4);
+  t.RecordAdapt(Sample(1));
+  t.RecordFlight(FlightCode::kSessionCreated, 0, "x");
+  t.RecordPredictLatencyMs(1.0);
+  const TelemetrySnapshot snap = t.Snapshot();
+  EXPECT_TRUE(snap.adapt_samples.empty());
+  EXPECT_TRUE(snap.flight_events.empty());
+  EXPECT_EQ(snap.predict_count, 0u);
+}
+
+TEST(SessionTelemetryTest, SnapshotIsOldestFirstAfterWrap) {
+  obs::SetMetricsEnabled(true);
+  SessionTelemetry t(4, 4);
+  for (uint64_t run = 1; run <= 10; ++run) t.RecordAdapt(Sample(run));
+  const TelemetrySnapshot snap = t.Snapshot();
+  // Capacity 4, 10 recorded: the ring holds runs 7..10, oldest first.
+  ASSERT_EQ(snap.adapt_samples.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.adapt_samples[i].adapt_run, 7 + i);
+  }
+}
+
+TEST(SessionTelemetryTest, FlightRingWrapsAndTruncatesDetail) {
+  obs::SetMetricsEnabled(true);
+  SessionTelemetry t(2, 3);
+  const std::string longdetail(200, 'x');
+  for (int i = 0; i < 5; ++i) {
+    t.RecordFlight(FlightCode::kRowsSubmitted, 42,
+                   "event-" + std::to_string(i));
+  }
+  t.RecordFlight(FlightCode::kAdaptFault, 7, longdetail);
+  const TelemetrySnapshot snap = t.Snapshot();
+  ASSERT_EQ(snap.flight_events.size(), 3u);
+  EXPECT_EQ(std::string(snap.flight_events[0].detail), "event-3");
+  EXPECT_EQ(snap.flight_events[0].trace_id, 42u);
+  // The 96-byte detail buffer truncates, NUL-terminated, no allocation.
+  const std::string got(snap.flight_events[2].detail);
+  EXPECT_EQ(got.size(), sizeof(FlightEvent{}.detail) - 1);
+  EXPECT_EQ(got, longdetail.substr(0, got.size()));
+  EXPECT_EQ(snap.flight_events[2].code, FlightCode::kAdaptFault);
+}
+
+TEST(SessionTelemetryTest, DumpRendersRingAndIsRetained) {
+  obs::SetMetricsEnabled(true);
+  SessionTelemetry t(4, 8);
+  t.RecordFlight(FlightCode::kSessionCreated, 0, "input_dim=8");
+  t.RecordFlight(FlightCode::kAdaptStarted, 99, "seed=7");
+  t.RecordFlight(FlightCode::kSessionDegraded, 99, "boom");
+  const std::string& dump = t.DumpFlight("alice", "boom");
+  EXPECT_NE(dump.find("alice"), std::string::npos);
+  EXPECT_NE(dump.find("boom"), std::string::npos);
+  EXPECT_NE(dump.find("serve.flight.session_created"), std::string::npos);
+  EXPECT_NE(dump.find("serve.flight.adapt_started"), std::string::npos);
+  EXPECT_NE(dump.find("serve.flight.session_degraded"), std::string::npos);
+  EXPECT_NE(dump.find("trace=99"), std::string::npos);
+  // Retained for later InspectSession retrieval.
+  EXPECT_EQ(t.Snapshot().last_dump, dump);
+}
+
+TEST(SessionTelemetryTest, PredictLatencyQuantiles) {
+  obs::SetMetricsEnabled(true);
+  SessionTelemetry t(4, 4);
+  const TelemetrySnapshot before = t.Snapshot();
+  EXPECT_EQ(before.predict_count, 0u);
+  EXPECT_TRUE(std::isnan(before.predict_p50_ms));
+  for (int i = 0; i < 100; ++i) t.RecordPredictLatencyMs(1.0);
+  const TelemetrySnapshot after = t.Snapshot();
+  EXPECT_EQ(after.predict_count, 100u);
+  EXPECT_GT(after.predict_p50_ms, 0.0);
+  EXPECT_GE(after.predict_p99_ms, after.predict_p50_ms);
+}
+
+TEST(SessionTelemetryTest, MemoryBytesCoversPreallocatedRings) {
+  SessionTelemetry t(64, 128);
+  // The footprint must at least cover both rings — it is what the session
+  // charges against its budget at creation.
+  EXPECT_GE(t.MemoryBytes(),
+            64 * sizeof(AdaptSample) + 128 * sizeof(FlightEvent));
+  // And it is a fixed cost: recording never grows the rings.
+  obs::SetMetricsEnabled(true);
+  const size_t before = t.MemoryBytes();
+  for (int i = 0; i < 1000; ++i) {
+    t.RecordAdapt(Sample(static_cast<uint64_t>(i)));
+    t.RecordFlight(FlightCode::kRowsSubmitted, 0, "r");
+    t.RecordPredictLatencyMs(0.5);
+  }
+  EXPECT_EQ(t.MemoryBytes(), before);
+}
+
+}  // namespace
+}  // namespace tasfar::serve

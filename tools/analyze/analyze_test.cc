@@ -369,6 +369,49 @@ TEST(RegistryConsistencyTest, SpanPrefixDoesNotCoverDocOrphans) {
             std::string::npos);
 }
 
+TEST(RegistryConsistencyTest, FlightCodeRequiresDocRow) {
+  const std::string src =
+      "enum class FlightCode : uint8_t {\n"
+      "  kSessionCreated = 0,\n"
+      "  kAdaptFellBack = 5,\n"
+      "};\n";
+  const auto findings = RegistryFindings(src, "nothing here\n", "");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("serve.flight."), std::string::npos);
+  const std::string doc =
+      "| `serve.flight.session_created` | created |\n"
+      "| `serve.flight.adapt_fell_back` | fell back |\n";
+  EXPECT_TRUE(RegistryFindings(src, doc, "").empty());
+}
+
+TEST(RegistryConsistencyTest, OrphanedFlightCodeDocRowIsFlagged) {
+  // serve.flight.* tokens are not tasfar.-prefixed, so they need their own
+  // reverse sweep: a documented code with no enumerator is an orphan.
+  const auto findings = RegistryFindings(
+      "void F() {}\n", "the `serve.flight.ghost_event` code\n", "");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "docs/OBSERVABILITY.md");
+  EXPECT_NE(findings[0].message.find("serve.flight.ghost_event"),
+            std::string::npos);
+}
+
+TEST(FactsTest, ExtractsFlightCodesAsSnakeCaseNames) {
+  const FileFacts facts = AnalyzeSource(
+      "src/serve/telemetry.h",
+      "enum class FlightCode : uint8_t {\n"
+      "  kSessionCreated = 0,\n"
+      "  kAdaptQueued = 2,\n"
+      "  kBudgetRejected = 9,\n"
+      "};\n"
+      "// Usage elsewhere must not double-count:\n"
+      "inline void F() { auto c = FlightCode::kAdaptQueued; (void)c; }\n");
+  ASSERT_EQ(facts.flight_codes.size(), 3u);
+  EXPECT_EQ(facts.flight_codes[0].name, "serve.flight.session_created");
+  EXPECT_EQ(facts.flight_codes[1].name, "serve.flight.adapt_queued");
+  EXPECT_EQ(facts.flight_codes[2].name, "serve.flight.budget_rejected");
+  EXPECT_EQ(facts.flight_codes[0].line, 2);
+}
+
 // --- suppressions & facts extraction ----------------------------------------
 
 TEST(FactsTest, ParsesAllowCommentsAndAliasAcks) {

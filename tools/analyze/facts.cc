@@ -119,6 +119,43 @@ void ExtractSymbols(const std::vector<Token>& code, FileFacts* facts) {
       }
       continue;
     }
+    // Flight-recorder codes: the `enum class FlightCode` definition is the
+    // registration site; each enumerator is documented (and cross-checked)
+    // as `serve.flight.<snake_case>` in docs/OBSERVABILITY.md.
+    if (IsIdent(code[i], "enum") && i + 2 < code.size() &&
+        IsIdent(code[i + 1], "class") && IsIdent(code[i + 2], "FlightCode")) {
+      size_t j = i + 3;
+      while (j < code.size() && !IsPunct(code[j], "{")) ++j;
+      const size_t close = MatchingClose(code, j);
+      int depth = 0;
+      for (size_t k = j; k <= close && k < code.size(); ++k) {
+        if (code[k].kind == TokKind::kPunct) {
+          const std::string& p = code[k].text;
+          if (p == "(" || p == "[" || p == "{") ++depth;
+          if (p == ")" || p == "]" || p == "}") --depth;
+          continue;
+        }
+        if (depth != 1 || code[k].kind != TokKind::kIdent) continue;
+        const std::string& id = code[k].text;
+        if (id.size() < 2 || id[0] != 'k' ||
+            !(id[1] >= 'A' && id[1] <= 'Z')) {
+          continue;
+        }
+        std::string snake;
+        for (size_t c = 1; c < id.size(); ++c) {
+          if (id[c] >= 'A' && id[c] <= 'Z') {
+            if (c > 1) snake += '_';
+            snake += static_cast<char>(id[c] - 'A' + 'a');
+          } else {
+            snake += id[c];
+          }
+        }
+        facts->flight_codes.push_back(
+            {"serve.flight." + snake, code[k].line});
+      }
+      i = close;
+      continue;
+    }
   }
 }
 
@@ -210,6 +247,7 @@ std::string SerializeFacts(const FileFacts& facts) {
   }
   emit_refs("span", facts.spans);
   emit_refs("failpoint", facts.failpoints);
+  emit_refs("flight", facts.flight_codes);
   for (const Suppression& s : facts.suppressions) {
     std::string rule;
     std::string reason;
@@ -262,6 +300,8 @@ bool ParseFacts(const std::string& text, FileFacts* out) {
       out->spans.push_back({f[2], std::atoi(f[1].c_str())});
     } else if (tag == "failpoint" && f.size() == 3) {
       out->failpoints.push_back({f[2], std::atoi(f[1].c_str())});
+    } else if (tag == "flight" && f.size() == 3) {
+      out->flight_codes.push_back({f[2], std::atoi(f[1].c_str())});
     } else if (tag == "allow" && f.size() == 4) {
       out->suppressions.push_back({std::atoi(f[1].c_str()), f[2], f[3]});
     } else if (tag == "aliased_ack" && f.size() == 2) {

@@ -51,6 +51,9 @@ struct FileFacts {
   std::vector<std::string> metric_prefixes;  ///< Dynamic ("tasfar.guard.").
   std::vector<NameRef> spans;       ///< TASFAR_TRACE_SPAN literals.
   std::vector<NameRef> failpoints;  ///< TASFAR_FAILPOINT literals.
+  /// Flight-recorder event codes from the `enum class FlightCode`
+  /// definition, as their documented `serve.flight.<snake_case>` names.
+  std::vector<NameRef> flight_codes;
   std::vector<Suppression> suppressions;
   std::vector<int> aliased_ack_lines;  ///< Lines with `// aliased:` acks.
   std::vector<Finding> findings;       ///< Per-file rule findings.
@@ -74,7 +77,7 @@ bool ParseFacts(const std::string& text, FileFacts* out);
 /// Bumped whenever FileFacts, the serialization, or any rule's semantics
 /// change, so stale caches self-invalidate. Mirrored in the checked-in
 /// tools/analyze/CACHE_SCHEMA file that CI uses as its cache key.
-constexpr int kFactsSchemaVersion = 1;
+constexpr int kFactsSchemaVersion = 2;
 
 }  // namespace tasfar::analyze
 

@@ -499,6 +499,7 @@ std::vector<Finding> CheckRegistryConsistency(
   std::map<std::string, std::pair<std::string, int>> metrics;
   std::map<std::string, std::pair<std::string, int>> spans;
   std::map<std::string, std::pair<std::string, int>> failpoints;
+  std::map<std::string, std::pair<std::string, int>> flight_codes;
   std::set<std::string> prefixes;
   for (const FileFacts& f : facts) {
     for (const NameRef& m : f.metrics) {
@@ -509,6 +510,9 @@ std::vector<Finding> CheckRegistryConsistency(
     }
     for (const NameRef& p : f.failpoints) {
       failpoints.emplace(p.name, std::make_pair(f.path, p.line));
+    }
+    for (const NameRef& c : f.flight_codes) {
+      flight_codes.emplace(c.name, std::make_pair(f.path, c.line));
     }
     for (const std::string& p : f.metric_prefixes) prefixes.insert(p);
   }
@@ -537,6 +541,23 @@ std::vector<Finding> CheckRegistryConsistency(
                                   "` is missing from the injection-sites "
                                   "table in docs/TESTING.md"));
     }
+  }
+  for (const auto& [name, loc] : flight_codes) {
+    if (docs.tokens.count(name) == 0) {
+      findings.push_back(Make(loc.first, loc.second, "registry-consistency",
+                              "flight-recorder code `" + name +
+                                  "` has no entry in the flight-recorder "
+                                  "table in docs/OBSERVABILITY.md"));
+    }
+  }
+  // Reverse direction for flight codes: they are not tasfar.-prefixed, so
+  // the generic documented-name sweep below never sees them.
+  for (const auto& [tok, loc] : docs.tokens) {
+    if (!StartsWith(tok, "serve.flight.")) continue;
+    if (flight_codes.count(tok) != 0) continue;
+    findings.push_back(Make(loc.first, loc.second, "registry-consistency",
+                            "documented flight-recorder code `" + tok +
+                                "` matches no FlightCode enumerator"));
   }
 
   for (const auto& [tok, loc] : docs.tokens) {

@@ -14,6 +14,7 @@
 //   save <user> <file>
 //   restore <user> <file>
 //   close <user>
+//   inspect <user> [dump_file]           session telemetry + flight dump
 //   metrics
 
 #include <poll.h>
@@ -202,6 +203,46 @@ int main(int argc, char** argv) {
     st = client.CloseSession(user);
     if (!st.ok()) return Die(st);
     std::printf("closed session '%s'\n", user.c_str());
+    return 0;
+  }
+  if (cmd == "inspect") {
+    auto telemetry = client.InspectSession(user);
+    if (!telemetry.ok()) return Die(telemetry.status());
+    const auto& t = telemetry.value();
+    std::printf("state=%s predict_count=%llu predict_p50_ms=%.3f "
+                "predict_p99_ms=%.3f\n",
+                SessionStateName(t.state),
+                static_cast<unsigned long long>(t.predict_count),
+                t.predict_p50_ms, t.predict_p99_ms);
+    for (const auto& s : t.adapt_samples) {
+      std::printf("adapt run=%llu outcome=%s uncertain_ratio=%.17g "
+                  "mean_credibility=%.17g density_total_mass=%.17g "
+                  "density_mean_sigma=%.17g final_loss=%.17g epochs=%llu\n",
+                  static_cast<unsigned long long>(s.adapt_run),
+                  tasfar::serve::AdaptOutcomeName(
+                      static_cast<tasfar::serve::AdaptOutcome>(s.outcome)),
+                  s.uncertain_ratio, s.mean_credibility,
+                  s.density_total_mass, s.density_mean_sigma, s.final_loss,
+                  static_cast<unsigned long long>(s.epochs));
+    }
+    for (const auto& ev : t.flight_events) {
+      std::printf("flight [%llu.%06llu] serve.flight.%s trace=%llu %s\n",
+                  static_cast<unsigned long long>(ev.t_us / 1000000),
+                  static_cast<unsigned long long>(ev.t_us % 1000000),
+                  ev.code_name.c_str(),
+                  static_cast<unsigned long long>(ev.trace_id),
+                  ev.detail.c_str());
+    }
+    const std::string path = arg(1);
+    if (!path.empty()) {
+      std::ofstream out(path, std::ios::trunc);
+      out << t.last_dump;
+      if (!out.good()) return Die(Status::IoError("writing " + path));
+      std::printf("wrote flight-recorder dump (%zu bytes) to %s\n",
+                  t.last_dump.size(), path.c_str());
+    } else if (!t.last_dump.empty()) {
+      std::fputs(t.last_dump.c_str(), stdout);
+    }
     return 0;
   }
   std::fprintf(stderr, "tasfar_serve_cli: unknown command '%s'\n",
