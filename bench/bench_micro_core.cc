@@ -11,6 +11,7 @@
 #include "data/housing_sim.h"
 #include "nn/sequential.h"
 #include "tensor/buffer.h"
+#include "tensor/simd/dispatch.h"
 #include "uncertainty/mc_dropout.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -119,6 +120,36 @@ void BM_McDropoutPredictThreads(benchmark::State& state) {
 // UseRealTime: with pooled workers the main thread's CPU clock misses the
 // work, so wall time is the only honest denominator.
 BENCHMARK(BM_McDropoutPredictThreads)
+    ->Args({20, 1})
+    ->Args({20, 2})
+    ->Args({20, 4})
+    ->Args({20, 8})
+    ->UseRealTime();
+
+// Same fixture on the float32 forward path (docs/MEMORY.md §"Float32
+// compute mode"): identical model, inputs, and RNG streams — the only
+// change is ComputeMode::kF32 routing the stochastic passes through
+// BatchedForwardF32. Divides row-for-row against
+// BM_McDropoutPredictThreads; tools/make_bench_pr9.sh records the
+// 1-thread ratio as the BENCH_PR9.json MC-dropout headline.
+void BM_McDropoutPredictF32Threads(benchmark::State& state) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(1)));
+  simd::ScopedKernelConfig guard;
+  simd::SetComputeMode(simd::ComputeMode::kF32);
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({512, 8}, &rng);
+  McDropoutPredictor predictor(model.get(),
+                               static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto preds = predictor.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * state.range(0));
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_McDropoutPredictF32Threads)
     ->Args({20, 1})
     ->Args({20, 2})
     ->Args({20, 4})

@@ -12,6 +12,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
+#include "tensor/simd/dispatch.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -51,6 +52,36 @@ void BM_MatMulThreads(benchmark::State& state) {
 // UseRealTime: with pooled workers the main thread's CPU clock misses the
 // work, so wall time is the only honest denominator.
 BENCHMARK(BM_MatMulThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->UseRealTime();
+
+// Float32 kernel path (docs/MEMORY.md §"Float32 compute mode"): identical
+// shapes and thread counts to BM_MatMulThreads so the double-vs-f32 rows
+// divide directly — tools/make_bench_pr9.sh records that ratio as the
+// BENCH_PR9.json matmul headline. Includes the narrow→widen staging cost,
+// so this is the speedup a pipeline actually sees, not a raw-kernel
+// number.
+void BM_MatMulF32Threads(benchmark::State& state) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(1)));
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Tensor a = Tensor::RandomNormal({n, n}, &rng);
+  Tensor b = Tensor::RandomNormal({n, n}, &rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    simd::MatMulF32Into(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_MatMulF32Threads)
     ->Args({128, 1})
     ->Args({128, 2})
     ->Args({128, 4})

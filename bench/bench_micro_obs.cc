@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/telemetry.h"
+#include "tensor/simd/dispatch.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -205,6 +206,36 @@ void BM_FailpointOverhead_ActiveOtherSite(benchmark::State& state) {
   failpoint::Disable();
 }
 BENCHMARK(BM_FailpointOverhead_ActiveOtherSite);
+
+// Cost of one trip through the float32 kernel dispatch table
+// (docs/MEMORY.md §"Float32 compute mode"): a relaxed atomic backend
+// load, the table lookup with its completeness TASFAR_CHECK, and an
+// indirect call into the smallest kernel. The acceptance bar mirrors the
+// metrics above — low single-digit nanoseconds over the direct call, so
+// per-layer dispatch (rather than cached function pointers) is free.
+void BM_SimdKernelDispatch(benchmark::State& state) {
+  float a[8] = {1.0f}, b[8] = {2.0f}, out[8];
+  for (auto _ : state) {
+    simd::Kernels().add(a, b, out, 8);
+    benchmark::DoNotOptimize(out);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SimdKernelDispatch);
+
+// Baseline for BM_SimdKernelDispatch: the same kernel called through a
+// pre-resolved table reference (what a hot loop hoisting the lookup would
+// pay). The difference between the two rows is the pure dispatch cost.
+void BM_SimdKernelDirect(benchmark::State& state) {
+  const simd::F32Kernels& kernels = simd::Kernels();
+  float a[8] = {1.0f}, b[8] = {2.0f}, out[8];
+  for (auto _ : state) {
+    kernels.add(a, b, out, 8);
+    benchmark::DoNotOptimize(out);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_SimdKernelDirect);
 
 }  // namespace
 }  // namespace tasfar

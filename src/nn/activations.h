@@ -13,6 +13,9 @@ class Relu : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  bool SupportsF32() const override { return true; }
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Relu>();
   }
@@ -46,6 +49,9 @@ class Tanh : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  bool SupportsF32() const override { return true; }
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Tanh>();
   }
@@ -60,6 +66,9 @@ class Sigmoid : public Layer {
  public:
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  bool SupportsF32() const override { return true; }
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::unique_ptr<Layer> Clone() const override {
     return std::make_unique<Sigmoid>();
   }

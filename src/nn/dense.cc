@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "tensor/simd/dispatch.h"
 #include "tensor/workspace.h"
 #include "util/rng.h"
 
@@ -32,6 +33,23 @@ Tensor Dense::Forward(const Tensor& input, bool /*training*/) {
   // aliased: row broadcast is elementwise over out, in-place is allowed.
   AddRowBroadcastInto(out, bias_, &out);
   return out;
+}
+
+void Dense::ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                       bool /*training*/) {
+  TASFAR_CHECK(out != nullptr && out != &in);
+  TASFAR_CHECK_MSG(in.cols() == in_dim_, "Dense expects a {batch, in_dim} input");
+  weight_f32_.FromTensor(weight_);
+  bias_f32_.FromTensor(bias_);
+  out->ResizeZeroed(in.rows(), out_dim_);
+  simd::MatMulF32Raw(in.data(), weight_f32_.data(), out->data(), in.rows(),
+                     in_dim_, out_dim_);
+  const simd::F32Kernels& kernels = simd::Kernels();
+  for (size_t r = 0; r < out->rows(); ++r) {
+    float* row = out->data() + r * out_dim_;
+    // aliased: row broadcast is elementwise over out, in-place is allowed.
+    kernels.add(row, bias_f32_.data(), row, out_dim_);
+  }
 }
 
 Tensor Dense::Backward(const Tensor& grad_output) {

@@ -21,6 +21,9 @@ class Dense : public Layer {
 
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  bool SupportsF32() const override { return true; }
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::vector<Tensor*> Params() override { return {&weight_, &bias_}; }
   std::vector<Tensor*> Grads() override { return {&grad_weight_, &grad_bias_}; }
   std::unique_ptr<Layer> Clone() const override;
@@ -41,6 +44,10 @@ class Dense : public Layer {
   Tensor grad_weight_;  ///< {in_dim, out_dim}
   Tensor grad_bias_;    ///< {out_dim}
   Tensor cached_input_;
+  // Narrowed-weight staging for ForwardF32, refreshed from the double
+  // parameters on every call (no cache: weights mutate under adaptation).
+  simd::F32Tensor weight_f32_;
+  simd::F32Tensor bias_f32_;
 };
 
 }  // namespace tasfar

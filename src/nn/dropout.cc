@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "tensor/simd/dispatch.h"
 #include "tensor/workspace.h"
 
 namespace tasfar {
@@ -25,6 +26,28 @@ Tensor Dropout::Forward(const Tensor& input, bool training) {
   Tensor out = ws.NewTensor(input.shape());
   MulInto(input, mask_, &out);
   return out;
+}
+
+void Dropout::ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                         bool training) {
+  TASFAR_CHECK(out != nullptr && out != &in);
+  if (!training || rate_ == 0.0) {
+    out->CopyFrom(in);
+    return;
+  }
+  const double keep = 1.0 - rate_;
+  const float scale = static_cast<float>(1.0 / keep);
+  mask_f32_.Resize(in.rows(), in.cols());
+  float* m = mask_f32_.data();
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) {
+    // Branchless select: bool -> 0.0f/1.0f is exact, so the mask values
+    // are identical to the branching form, without the ~rate-probability
+    // mispredict per element.
+    m[i] = scale * static_cast<float>(rng_.Bernoulli(keep));
+  }
+  out->Resize(in.rows(), in.cols());
+  simd::Kernels().mul(in.data(), m, out->data(), n);
 }
 
 Tensor Dropout::Backward(const Tensor& grad_output) {

@@ -23,6 +23,12 @@ class Dropout : public Layer {
 
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  bool SupportsF32() const override { return true; }
+  /// Draws exactly one Bernoulli per element — the same stream consumption
+  /// as the double Forward, so a reseeded replica produces the same mask
+  /// pattern on either path (the mask values are float(1/keep) vs double).
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::unique_ptr<Layer> Clone() const override;
   std::string Name() const override;
 
@@ -37,6 +43,7 @@ class Dropout : public Layer {
   uint64_t seed_;
   Rng rng_;
   Tensor mask_;        ///< Scaled keep-mask of the last training forward.
+  simd::F32Tensor mask_f32_;  ///< Staging mask for ForwardF32 (no Backward).
   bool last_training_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "tensor/simd/f32_tensor.h"
 #include "tensor/tensor.h"
 
 namespace tasfar {
@@ -64,6 +65,30 @@ class Layer {
 
   /// Diagnostic layer name, e.g. "Dense(16->8)".
   virtual std::string Name() const = 0;
+
+  // --- Float32 compute mode (docs/MEMORY.md §"Float32 compute mode") ----
+
+  /// True when the layer implements ForwardF32. Containers report true
+  /// only when every child does; callers fall back to the double Forward
+  /// otherwise. Training always runs in double — only inference has an
+  /// f32 path.
+  virtual bool SupportsF32() const { return false; }
+
+  /// Inference-only float32 forward pass through the simd kernel
+  /// dispatcher (tensor/simd/dispatch.h). Weights stay double and are
+  /// narrowed at the layer boundary; no Backward caches are populated,
+  /// so Backward after ForwardF32 is invalid. Stochastic layers must
+  /// consume their RNG streams exactly as the double Forward would, so a
+  /// reseeded replica produces the same mask pattern on either path.
+  /// `out` must not alias `in`. Only valid when SupportsF32().
+  virtual void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                          bool training) {
+    (void)in;
+    (void)out;
+    (void)training;
+    TASFAR_CHECK_MSG(false, "ForwardF32 called on a layer without f32 "
+                            "support (check SupportsF32 first)");
+  }
 };
 
 }  // namespace tasfar

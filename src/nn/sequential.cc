@@ -20,6 +20,30 @@ Tensor Sequential::Backward(const Tensor& grad_output) {
   return BackwardFrom(grad_output, layers_.size());
 }
 
+bool Sequential::SupportsF32() const {
+  for (const auto& layer : layers_) {
+    if (!layer->SupportsF32()) return false;
+  }
+  return true;
+}
+
+void Sequential::ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                            bool training) {
+  TASFAR_CHECK(out != nullptr && out != &in);
+  if (layers_.empty()) {
+    out->CopyFrom(in);
+    return;
+  }
+  const simd::F32Tensor* cur = &in;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    simd::F32Tensor* dst = (i + 1 == layers_.size())
+                               ? out
+                               : (cur == &stage_a_ ? &stage_b_ : &stage_a_);
+    layers_[i]->ForwardF32(*cur, dst, training);
+    cur = dst;
+  }
+}
+
 Tensor Sequential::ForwardTo(const Tensor& input, size_t cut, bool training) {
   TASFAR_CHECK(cut <= layers_.size());
   Tensor x = input;

@@ -40,6 +40,14 @@ class Sequential : public Layer {
 
   Tensor Forward(const Tensor& input, bool training) override;
   Tensor Backward(const Tensor& grad_output) override;
+  /// True only when every child layer supports f32 (an empty chain is the
+  /// identity and trivially supports it).
+  bool SupportsF32() const override;
+  /// Chains the children's ForwardF32 through two owned staging buffers
+  /// (ping-pong), writing the last layer straight into `out` — zero
+  /// reallocation in steady state.
+  void ForwardF32(const simd::F32Tensor& in, simd::F32Tensor* out,
+                  bool training) override;
   std::vector<Tensor*> Params() override;
   std::vector<Tensor*> Grads() override;
   std::unique_ptr<Layer> Clone() const override;
@@ -73,6 +81,9 @@ class Sequential : public Layer {
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;
+  // ForwardF32 ping-pong staging; capacity persists across calls.
+  simd::F32Tensor stage_a_;
+  simd::F32Tensor stage_b_;
 };
 
 }  // namespace tasfar

@@ -49,6 +49,35 @@ Tensor BatchedForward(Sequential* model, const Tensor& inputs, bool training,
   return full;
 }
 
+Tensor BatchedForwardF32(Sequential* model, const Tensor& inputs,
+                         bool training, size_t batch_size) {
+  TASFAR_CHECK(model != nullptr);
+  TASFAR_CHECK(batch_size > 0);
+  TASFAR_CHECK_MSG(model->SupportsF32(),
+                   "BatchedForwardF32 requires every layer to support f32");
+  TASFAR_CHECK_MSG(inputs.rank() == 2,
+                   "the f32 staging path handles rank-2 inputs only");
+  const size_t n = inputs.dim(0);
+  if (n == 0) return Tensor({0, 0});
+  // Staging reused across calls per thread (the model's ForwardF32 never
+  // re-enters this function, so the buffers cannot be live twice).
+  thread_local simd::F32Tensor staged_in;
+  thread_local simd::F32Tensor staged_out;
+  Tensor full;
+  for (size_t start = 0; start < n; start += batch_size) {
+    const size_t end = std::min(start + batch_size, n);
+    staged_in.FromTensor(inputs.SliceRows(start, end));
+    model->ForwardF32(staged_in, &staged_out, training);
+    if (start == 0) {
+      full = Workspace::ThreadLocal().NewTensor({n, staged_out.cols()});
+    }
+    TASFAR_CHECK(staged_out.rows() == end - start &&
+                 staged_out.cols() == full.dim(1));
+    staged_out.WidenTo(full.data() + start * full.dim(1));
+  }
+  return full;
+}
+
 Trainer::Trainer(Sequential* model, Optimizer* optimizer, LossFn loss)
     : model_(model), optimizer_(optimizer), loss_(std::move(loss)) {
   TASFAR_CHECK(model != nullptr && optimizer != nullptr);

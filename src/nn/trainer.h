@@ -84,6 +84,14 @@ Tensor GatherFirstDim(const Tensor& t, const std::vector<size_t>& indices);
 Tensor BatchedForward(Sequential* model, const Tensor& inputs,
                       bool training = false, size_t batch_size = 64);
 
+/// Float32 counterpart of BatchedForward: stages each rank-2 batch through
+/// the model's ForwardF32 (tensor/simd/dispatch.h) and widens the results
+/// into the usual pooled double output, so downstream consumers are
+/// unchanged. Requires model->SupportsF32(); callers gate on it plus
+/// simd::ComputeModeIsF32() (see uncertainty/mc_dropout.cc).
+Tensor BatchedForwardF32(Sequential* model, const Tensor& inputs,
+                         bool training = false, size_t batch_size = 64);
+
 }  // namespace tasfar
 
 #endif  // TASFAR_NN_TRAINER_H_

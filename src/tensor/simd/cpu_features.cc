@@ -1,0 +1,23 @@
+#include "tensor/simd/cpu_features.h"
+
+namespace tasfar::simd {
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(_M_X64)
+  static const bool kHas =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return kHas;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasNeon() {
+#if defined(__aarch64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace tasfar::simd

@@ -1,0 +1,19 @@
+#ifndef TASFAR_TENSOR_SIMD_CPU_FEATURES_H_
+#define TASFAR_TENSOR_SIMD_CPU_FEATURES_H_
+
+namespace tasfar::simd {
+
+/// True when the running CPU supports AVX2 *and* FMA (the AVX2 backend
+/// requires both — its matmul leans on fused multiply-add for the
+/// bit-identity contract in kernels.h). Always false off x86-64.
+/// Detected once via cpuid on first call; subsequent calls are a load.
+bool CpuHasAvx2Fma();
+
+/// True when the running CPU supports NEON. Architecturally mandatory on
+/// aarch64, so this is a compile-time constant in practice; always false
+/// elsewhere.
+bool CpuHasNeon();
+
+}  // namespace tasfar::simd
+
+#endif  // TASFAR_TENSOR_SIMD_CPU_FEATURES_H_

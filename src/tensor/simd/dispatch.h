@@ -1,0 +1,108 @@
+#ifndef TASFAR_TENSOR_SIMD_DISPATCH_H_
+#define TASFAR_TENSOR_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tensor/simd/kernels.h"
+#include "tensor/tensor.h"
+
+namespace tasfar::simd {
+
+/// Which float32 kernel table serves the process. `kDouble` is not a
+/// kernel table at all — it is the TASFAR_KERNEL_BACKEND spelling for
+/// "stay on the golden double path" (ComputeMode::kDouble below).
+enum class KernelBackend { kScalar, kAvx2, kNeon, kDouble };
+
+/// Whether forward passes run on the float32 staging path or the golden
+/// double path. Defaults to kDouble: enabling f32 is an explicit opt-in
+/// (env var or SetComputeMode), so every existing byte-identity guarantee
+/// — and Adapt, which always trains in double — is untouched by default.
+enum class ComputeMode { kDouble, kF32 };
+
+/// Name as spelled in TASFAR_KERNEL_BACKEND ("scalar"/"avx2"/"neon"/
+/// "double").
+const char* BackendName(KernelBackend backend);
+
+/// True when `backend` can actually run here: compiled into this binary
+/// *and* supported by the running CPU (cpu_features.h). kDouble is always
+/// available; kScalar always; kAvx2/kNeon depend on build + cpuid.
+bool BackendAvailable(KernelBackend backend);
+
+/// The f32 backends available on this machine, scalar first. Never
+/// includes kDouble (it has no F32Kernels table). Test tiers loop over
+/// this so every dispatchable backend gets exercised on every machine.
+std::vector<KernelBackend> DispatchableBackends();
+
+/// The currently selected f32 backend. Selected once at startup: the best
+/// available backend by cpuid (avx2 > neon > scalar), unless
+/// TASFAR_KERNEL_BACKEND overrides it. Never kDouble.
+KernelBackend SelectedBackend();
+
+/// Forces the f32 backend; TASFAR_CHECKs BackendAvailable and rejects
+/// kDouble (use SetComputeMode for that). Not thread-safe against
+/// concurrent forward passes — call between pipelines, as tests do.
+void SetKernelBackend(KernelBackend backend);
+
+ComputeMode GetComputeMode();
+void SetComputeMode(ComputeMode mode);
+
+/// True when forward passes should take the float32 staging path.
+bool ComputeModeIsF32();
+
+/// Kernel table of SelectedBackend().
+const F32Kernels& Kernels();
+
+/// Kernel table for a specific backend, or nullptr when it is unavailable
+/// on this machine (or is kDouble). Property tests use this to compare
+/// backends pairwise.
+const F32Kernels* KernelsFor(KernelBackend backend);
+
+/// RAII save/restore of {backend, compute mode} for tests and benches.
+class ScopedKernelConfig {
+ public:
+  ScopedKernelConfig();
+  ~ScopedKernelConfig();
+  ScopedKernelConfig(const ScopedKernelConfig&) = delete;
+  ScopedKernelConfig& operator=(const ScopedKernelConfig&) = delete;
+
+ private:
+  KernelBackend saved_backend_;
+  ComputeMode saved_mode_;
+};
+
+/// c += a (m×k) · b (k×n) on raw float rows, sharded across the global
+/// thread pool exactly like the double MatMulAccumulate: each output row
+/// is written by one shard, so results are byte-identical at every
+/// TASFAR_NUM_THREADS. c must hold zeros (or a partial sum); must not
+/// alias a or b.
+void MatMulF32Raw(const float* a, const float* b, float* c, size_t m,
+                  size_t k, size_t n);
+
+/// Tensor-level f32 matmul: narrows a and b to float, runs MatMulF32Raw
+/// on the selected backend, widens into `out` (which must be rank-2 m×n
+/// and must not alias a or b). Subject to the same
+/// `tensor.matmul.poison` failpoint as the double MatMulInto, so the
+/// chaos tier covers both paths.
+void MatMulF32Into(const Tensor& a, const Tensor& b, Tensor* out);
+
+namespace internal {
+
+/// Parses a TASFAR_KERNEL_BACKEND spelling; returns false on unknown
+/// values. Exposed for the dispatch tests.
+bool ParseBackendName(const std::string& value, KernelBackend* out);
+
+/// Applies a TASFAR_KERNEL_BACKEND value to the live config exactly as
+/// startup would: "double" → ComputeMode::kDouble; a backend name →
+/// SetKernelBackend + ComputeMode::kF32; unknown or unavailable values
+/// abort with a TASFAR_CHECK message naming the variable. Exposed so the
+/// dispatch tests (including the death tests) can drive the env-override
+/// logic directly instead of mutating the environment of a live process.
+void ApplyEnvOverride(const char* value);
+
+}  // namespace internal
+
+}  // namespace tasfar::simd
+
+#endif  // TASFAR_TENSOR_SIMD_DISPATCH_H_

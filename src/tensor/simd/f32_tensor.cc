@@ -1,0 +1,50 @@
+#include "tensor/simd/f32_tensor.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "util/check.h"
+
+namespace tasfar::simd {
+
+void F32Tensor::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  const size_t n = rows * cols;
+  if (data_.size() < n) data_.resize(n);
+}
+
+void F32Tensor::ResizeZeroed(size_t rows, size_t cols) {
+  Resize(rows, cols);
+  std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(size()),
+            0.0f);
+}
+
+void F32Tensor::FromTensor(const Tensor& src) {
+  TASFAR_CHECK_MSG(src.rank() == 1 || src.rank() == 2,
+                   "F32Tensor stages rank-1 or rank-2 tensors only");
+  if (src.rank() == 1) {
+    Resize(1, src.dim(0));
+  } else {
+    Resize(src.dim(0), src.dim(1));
+  }
+  const double* s = src.data();
+  float* d = data_.data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) d[i] = static_cast<float>(s[i]);
+}
+
+void F32Tensor::CopyFrom(const F32Tensor& src) {
+  Resize(src.rows_, src.cols_);
+  std::copy(src.data_.begin(),
+            src.data_.begin() + static_cast<std::ptrdiff_t>(src.size()),
+            data_.begin());
+}
+
+void F32Tensor::WidenTo(double* dst) const {
+  const float* s = data_.data();
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) dst[i] = static_cast<double>(s[i]);
+}
+
+}  // namespace tasfar::simd

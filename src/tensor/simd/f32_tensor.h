@@ -1,0 +1,59 @@
+#ifndef TASFAR_TENSOR_SIMD_F32_TENSOR_H_
+#define TASFAR_TENSOR_SIMD_F32_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace tasfar::simd {
+
+/// Rank-2 float32 staging matrix for the f32 compute mode.
+///
+/// Not a general tensor: no views, no copy-on-write, no workspace pooling
+/// — just a row-major float buffer that activations pass through between
+/// layer boundaries while the model weights stay double (docs/MEMORY.md
+/// §"Float32 compute mode"). Layers own their F32Tensor staging members,
+/// and `Resize` never shrinks capacity, so a steady-state MC-dropout loop
+/// performs zero reallocations after the first pass.
+///
+/// Rank-1 doubles (biases) load as a 1×n matrix.
+class F32Tensor {
+ public:
+  F32Tensor() = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return rows_ * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Reshapes to rows×cols, growing the backing store if needed (contents
+  /// become unspecified). Capacity is retained across shrinks.
+  void Resize(size_t rows, size_t cols);
+
+  /// Reshape + zero-fill.
+  void ResizeZeroed(size_t rows, size_t cols);
+
+  /// Loads a rank-1 (as 1×n) or rank-2 double tensor, narrowing each
+  /// element with static_cast<float> (round-to-nearest).
+  void FromTensor(const Tensor& src);
+
+  /// Copies another staging matrix (shape and contents).
+  void CopyFrom(const F32Tensor& src);
+
+  /// Widens all elements into `dst`, which must hold size() doubles —
+  /// typically the data() of a workspace tensor (or a row offset into
+  /// one, which is how BatchedForwardF32 writes batch slices).
+  void WidenTo(double* dst) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace tasfar::simd
+
+#endif  // TASFAR_TENSOR_SIMD_F32_TENSOR_H_

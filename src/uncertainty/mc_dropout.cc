@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "nn/trainer.h"
+#include "tensor/simd/dispatch.h"
 #include "tensor/workspace.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -78,6 +79,15 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
       obs::Registry::Get().GetCounter("tasfar.mc_dropout.predictions");
   static obs::Counter* const kPasses =
       obs::Registry::Get().GetCounter("tasfar.mc_dropout.passes");
+  static obs::Counter* const kF32Passes =
+      obs::Registry::Get().GetCounter("tasfar.mc_dropout.f32_passes");
+
+  // Fast path: when the process opted into the f32 compute mode
+  // (TASFAR_KERNEL_BACKEND / simd::SetComputeMode) and every layer
+  // supports it, stochastic passes run through the float32 kernel
+  // dispatcher. Same replica pinning, same RNG stream consumption —
+  // tests/golden_float/ bounds the numerical divergence.
+  const bool use_f32 = simd::ComputeModeIsF32() && model_->SupportsF32();
 
   // One stochastic pass per task, each on a pooled model replica whose
   // dropout streams are pinned to (root seed, call index, pass index) —
@@ -92,8 +102,10 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
     const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
     std::unique_ptr<Sequential> replica = CheckoutReplica();
     replica->ReseedStochastic(MixSeed(call_seed, s));
-    passes[s] = BatchedForward(replica.get(), inputs, /*training=*/true,
-                               batch_size_);
+    passes[s] = use_f32 ? BatchedForwardF32(replica.get(), inputs,
+                                            /*training=*/true, batch_size_)
+                        : BatchedForward(replica.get(), inputs,
+                                         /*training=*/true, batch_size_);
     ReturnReplica(std::move(replica));
     if (metrics) {
       kPassMs->Observe(
@@ -103,6 +115,7 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
   if (metrics) {
     kPredictions->Increment(n);
     kPasses->Increment(num_samples_);
+    if (use_f32) kF32Passes->Increment(num_samples_);
   }
 
   // Accumulate sum and sum-of-squares across stochastic passes, in
@@ -143,6 +156,9 @@ std::vector<McPrediction> McDropoutPredictor::Predict(
 
 Tensor McDropoutPredictor::PredictMean(const Tensor& inputs) const {
   if (inputs.dim(0) == 0) return Tensor({0, 0});
+  if (simd::ComputeModeIsF32() && model_->SupportsF32()) {
+    return BatchedForwardF32(model_, inputs, /*training=*/false, batch_size_);
+  }
   return BatchedForward(model_, inputs, /*training=*/false, batch_size_);
 }
 

@@ -16,8 +16,6 @@ uint64_t SplitMix64(uint64_t* x) {
   return z ^ (z >> 31);
 }
 
-uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 namespace internal_rng {
@@ -36,24 +34,6 @@ uint64_t MixSeed(uint64_t seed, uint64_t stream) {
 Rng::Rng(uint64_t seed) : seed_(seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);
-}
-
-uint64_t Rng::NextU64() {
-  // xoshiro256**
-  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
-  const uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = Rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::Uniform() {
-  // 53 random mantissa bits -> [0, 1).
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
 }
 
 double Rng::Uniform(double lo, double hi) {
@@ -102,8 +82,6 @@ double Rng::Laplace(double mu, double b) {
   const double t = internal_rng::PositiveUnit(1.0 - 2.0 * std::fabs(u));
   return mu - b * std::copysign(std::log(t), u);
 }
-
-bool Rng::Bernoulli(double p) { return Uniform() < p; }
 
 int Rng::Poisson(double lambda) {
   TASFAR_CHECK(lambda >= 0.0);

@@ -41,11 +41,27 @@ class Rng {
   /// identical streams.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
-  /// Next raw 64-bit value.
-  uint64_t NextU64();
+  /// Next raw 64-bit value. Inline: dropout mask generation draws one
+  /// value per activation element inside the MC-dropout hot loop, where
+  /// an out-of-line call per draw measurably dominates the mask cost.
+  uint64_t NextU64() {
+    // xoshiro256**
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double Uniform();
+  double Uniform() {
+    // 53 random mantissa bits -> [0, 1).
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).
   double Uniform(double lo, double hi);
@@ -63,7 +79,7 @@ class Rng {
   double Laplace(double mu, double b);
 
   /// Bernoulli(p) sample.
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) { return Uniform() < p; }
 
   /// Poisson(lambda) sample via inversion (lambda < ~30) or normal
   /// approximation for large lambda. lambda >= 0.
@@ -81,6 +97,10 @@ class Rng {
   Rng Fork(uint64_t stream) const;
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t state_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

@@ -1,0 +1,183 @@
+// Golden float tier, pipeline level: running the TASFAR pipeline with the
+// float32 compute mode enabled must (a) stay deterministic — byte-identical
+// across repeat runs and across TASFAR_NUM_THREADS=1/2/8 — and (b) land
+// within documented margins of the golden double pipeline: the
+// confident/uncertain partition, tau, and the final adapted-model error may
+// drift only by the amounts pinned below (measured on the fixed-seed
+// housing_sim fixture; docs/MEMORY.md §"Float32 compute mode" carries the
+// same table). Training always runs in double — f32 affects only the
+// MC-dropout forward passes that drive calibration and the confidence
+// split — so the two runs share RNG streams draw for draw.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/tasfar.h"
+#include "data/housing_sim.h"
+#include "eval/metrics.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "tensor/simd/dispatch.h"
+#include "util/thread_pool.h"
+
+namespace tasfar {
+namespace {
+
+using simd::ComputeMode;
+using simd::ScopedKernelConfig;
+
+// --- Measured f32-vs-double margins (normative; see docs/MEMORY.md) --------
+// Fixture: housing_sim seed 77, 240/120 samples, model seed 101, adapt seed
+// 202, mc_samples 8, 10 segments, 8 adaptation epochs. Measured on this
+// fixture: tau rel diff 2.0e-7, Jaccard 1.0 (74 = 74 uncertain), MAE abs
+// diff 1.8e-7. Margins leave ~500x headroom so a different libm or FMA
+// contraction choice cannot flake the tier, while still catching any real
+// numerical regression (a wrong kernel moves these by orders of magnitude).
+constexpr double kTauRelMargin = 1e-4;         ///< |tau_f32 - tau| / tau.
+constexpr double kPartitionJaccardMin = 0.95;  ///< Uncertain-set overlap.
+constexpr double kAdaptedMaeMargin = 1e-3;     ///< |MAE_f32 - MAE| on target.
+// ---------------------------------------------------------------------------
+
+struct PipelineRun {
+  std::string adapted_weights;  ///< SerializeParams — exact byte identity.
+  double tau = 0.0;
+  std::vector<size_t> uncertain_indices;
+  std::vector<size_t> confident_indices;
+  double adapted_mae = 0.0;  ///< Adapted model vs target ground truth.
+  bool skipped = false;
+  bool fell_back = false;
+};
+
+/// Trains the source model in double (identical in both modes: Fit never
+/// touches the f32 path), then calibrates and adapts under the currently
+/// configured compute mode.
+PipelineRun RunPipeline() {
+  HousingSimConfig sim_cfg;
+  sim_cfg.source_samples = 240;
+  sim_cfg.target_samples = 120;
+  HousingSimulator sim(sim_cfg, /*seed=*/77);
+  Dataset source = sim.GenerateSource();
+  Dataset target = sim.GenerateTarget();
+  Normalizer norm;
+  norm.Fit(source.inputs);
+  const Tensor src_x = norm.Apply(source.inputs);
+  const Tensor tgt_x = norm.Apply(target.inputs);
+
+  Rng rng(101);
+  auto model = BuildTabularModel(kNumHousingFeatures, &rng);
+  Adam opt(1e-3);
+  Trainer trainer(model.get(), &opt,
+                  [](const Tensor& p, const Tensor& t, Tensor* g,
+                     const std::vector<double>* w) {
+                    return loss::Mse(p, t, g, w);
+                  });
+  TrainConfig tc;
+  tc.epochs = 8;
+  tc.batch_size = 32;
+  trainer.Fit(src_x, source.targets, tc, &rng);
+
+  TasfarOptions options;
+  options.mc_samples = 8;
+  options.num_segments = 10;
+  options.adaptation.train.epochs = 8;
+  Tasfar tasfar(options);
+  const SourceCalibration calib =
+      tasfar.Calibrate(model.get(), src_x, source.targets);
+  Rng adapt_rng(202);
+  TasfarReport report = tasfar.Adapt(model.get(), calib, tgt_x, &adapt_rng);
+
+  PipelineRun run;
+  run.adapted_weights = SerializeParams(report.target_model.get());
+  run.tau = report.tau;
+  run.uncertain_indices = report.uncertain_indices;
+  run.confident_indices = report.confident_indices;
+  const Tensor pred = BatchedForward(report.target_model.get(), tgt_x);
+  run.adapted_mae = metrics::Mae(pred, target.targets);
+  run.skipped = report.skipped;
+  run.fell_back = report.fell_back;
+  return run;
+}
+
+PipelineRun RunPipelineF32() {
+  ScopedKernelConfig guard;
+  simd::SetComputeMode(ComputeMode::kF32);
+  return RunPipeline();
+}
+
+double Jaccard(const std::vector<size_t>& a, const std::vector<size_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const std::set<size_t> sa(a.begin(), a.end());
+  const std::set<size_t> sb(b.begin(), b.end());
+  size_t inter = 0;
+  for (size_t x : sa) inter += sb.count(x);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+class GoldenFloatPipelineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetNumThreads(0); }
+};
+
+TEST_F(GoldenFloatPipelineTest, F32RunIsByteIdenticalAcrossRepeats) {
+  const PipelineRun first = RunPipelineF32();
+  ASSERT_FALSE(first.skipped);
+  ASSERT_FALSE(first.fell_back);
+  const PipelineRun second = RunPipelineF32();
+  EXPECT_EQ(first.adapted_weights, second.adapted_weights);
+  EXPECT_EQ(first.tau, second.tau);
+  EXPECT_EQ(first.uncertain_indices, second.uncertain_indices);
+  EXPECT_EQ(first.confident_indices, second.confident_indices);
+  EXPECT_EQ(first.adapted_mae, second.adapted_mae);
+}
+
+TEST_F(GoldenFloatPipelineTest, F32RunIsByteIdenticalAcrossThreadCounts) {
+  SetNumThreads(1);
+  const PipelineRun t1 = RunPipelineF32();
+  ASSERT_FALSE(t1.skipped);
+  SetNumThreads(2);
+  const PipelineRun t2 = RunPipelineF32();
+  SetNumThreads(8);
+  const PipelineRun t8 = RunPipelineF32();
+  EXPECT_EQ(t1.adapted_weights, t2.adapted_weights) << "1 vs 2 threads";
+  EXPECT_EQ(t1.adapted_weights, t8.adapted_weights) << "1 vs 8 threads";
+  EXPECT_EQ(t1.tau, t2.tau);
+  EXPECT_EQ(t1.tau, t8.tau);
+  EXPECT_EQ(t1.uncertain_indices, t2.uncertain_indices);
+  EXPECT_EQ(t1.uncertain_indices, t8.uncertain_indices);
+}
+
+TEST_F(GoldenFloatPipelineTest, F32StaysWithinDocumentedMarginsOfDouble) {
+  const PipelineRun f64 = RunPipeline();  // Mode defaults to double.
+  ASSERT_FALSE(f64.skipped);
+  ASSERT_FALSE(f64.fell_back);
+  const PipelineRun f32 = RunPipelineF32();
+  ASSERT_FALSE(f32.skipped);
+  ASSERT_FALSE(f32.fell_back);
+
+  // tau: computed from source-side MC-dropout uncertainties, whose only
+  // perturbation is float rounding in the forward passes.
+  EXPECT_NEAR(f32.tau, f64.tau, kTauRelMargin * std::abs(f64.tau));
+
+  // Partition: near-threshold samples may flip sides; the bulk must not.
+  const double jaccard = Jaccard(f32.uncertain_indices, f64.uncertain_indices);
+  EXPECT_GE(jaccard, kPartitionJaccardMin)
+      << "uncertain sets: f32 " << f32.uncertain_indices.size() << ", double "
+      << f64.uncertain_indices.size();
+  EXPECT_EQ(f32.uncertain_indices.size() + f32.confident_indices.size(),
+            f64.uncertain_indices.size() + f64.confident_indices.size());
+
+  // Final adapted-model quality must be indistinguishable at fixture scale.
+  EXPECT_NEAR(f32.adapted_mae, f64.adapted_mae, kAdaptedMaeMargin);
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -1,0 +1,172 @@
+// Backend-dispatch behaviour of the float32 kernel subsystem
+// (src/tensor/simd/dispatch.h): TASFAR_KERNEL_BACKEND parsing and
+// override semantics, clean failure on unknown or unavailable values,
+// forced-scalar operation, and the compute-mode opt-in contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/simd/cpu_features.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace tasfar {
+namespace {
+
+using simd::BackendAvailable;
+using simd::BackendName;
+using simd::ComputeMode;
+using simd::DispatchableBackends;
+using simd::KernelBackend;
+using simd::Kernels;
+using simd::KernelsFor;
+using simd::ScopedKernelConfig;
+
+TEST(SimdDispatchTest, ParseAcceptsEveryDocumentedSpelling) {
+  KernelBackend b = KernelBackend::kAvx2;
+  EXPECT_TRUE(simd::internal::ParseBackendName("scalar", &b));
+  EXPECT_EQ(b, KernelBackend::kScalar);
+  EXPECT_TRUE(simd::internal::ParseBackendName("avx2", &b));
+  EXPECT_EQ(b, KernelBackend::kAvx2);
+  EXPECT_TRUE(simd::internal::ParseBackendName("neon", &b));
+  EXPECT_EQ(b, KernelBackend::kNeon);
+  EXPECT_TRUE(simd::internal::ParseBackendName("double", &b));
+  EXPECT_EQ(b, KernelBackend::kDouble);
+}
+
+TEST(SimdDispatchTest, ParseRejectsUnknownValues) {
+  KernelBackend b = KernelBackend::kScalar;
+  EXPECT_FALSE(simd::internal::ParseBackendName("turbo", &b));
+  EXPECT_FALSE(simd::internal::ParseBackendName("", &b));
+  EXPECT_FALSE(simd::internal::ParseBackendName("AVX2", &b));  // Case matters.
+  EXPECT_FALSE(simd::internal::ParseBackendName("scalar ", &b));
+}
+
+TEST(SimdDispatchDeathTest, UnknownEnvValueDiesWithCleanError) {
+  EXPECT_DEATH(simd::internal::ApplyEnvOverride("turbo"),
+               "TASFAR_KERNEL_BACKEND");
+}
+
+TEST(SimdDispatchDeathTest, UnavailableBackendDiesWithCleanError) {
+  // Exactly one of avx2/neon is impossible per architecture, and on
+  // non-AVX2 x86 machines both are.
+  const KernelBackend unavailable = simd::CpuHasNeon()
+                                        ? KernelBackend::kAvx2
+                                        : KernelBackend::kNeon;
+  if (BackendAvailable(unavailable)) GTEST_SKIP();
+  EXPECT_DEATH(
+      simd::internal::ApplyEnvOverride(BackendName(unavailable)),
+      "not[ \n]+available");
+}
+
+TEST(SimdDispatchTest, EnvOverrideScalarForcesScalarAndEnablesF32) {
+  ScopedKernelConfig guard;
+  simd::internal::ApplyEnvOverride("scalar");
+  EXPECT_EQ(simd::SelectedBackend(), KernelBackend::kScalar);
+  EXPECT_EQ(std::string("scalar"), Kernels().name);
+  EXPECT_TRUE(simd::ComputeModeIsF32());
+}
+
+TEST(SimdDispatchTest, EnvOverrideDoubleDisablesF32WithoutTouchingBackend) {
+  ScopedKernelConfig guard;
+  simd::SetComputeMode(ComputeMode::kF32);
+  const KernelBackend before = simd::SelectedBackend();
+  simd::internal::ApplyEnvOverride("double");
+  EXPECT_EQ(simd::SelectedBackend(), before);
+  EXPECT_FALSE(simd::ComputeModeIsF32());
+}
+
+TEST(SimdDispatchTest, ComputeModeDefaultsToDoubleUnlessEnvOptsIn) {
+  // The test binary runs without TASFAR_KERNEL_BACKEND (or CI sets it
+  // explicitly per leg); either way the mode must match the env, keeping
+  // f32 strictly opt-in.
+  const char* env = std::getenv("TASFAR_KERNEL_BACKEND");
+  const bool env_opts_in =
+      env != nullptr && env[0] != '\0' && std::string(env) != "double";
+  ScopedKernelConfig guard;
+  EXPECT_EQ(simd::ComputeModeIsF32(), env_opts_in);
+}
+
+TEST(SimdDispatchTest, DispatchableBackendsStartWithScalar) {
+  const std::vector<KernelBackend> backends = DispatchableBackends();
+  ASSERT_FALSE(backends.empty());
+  EXPECT_EQ(backends.front(), KernelBackend::kScalar);
+  for (KernelBackend b : backends) {
+    EXPECT_NE(b, KernelBackend::kDouble);
+    EXPECT_TRUE(BackendAvailable(b));
+    EXPECT_NE(KernelsFor(b), nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, Avx2ListedExactlyWhenCpuAndBuildSupportIt) {
+  const std::vector<KernelBackend> backends = DispatchableBackends();
+  const bool listed = std::count(backends.begin(), backends.end(),
+                                 KernelBackend::kAvx2) > 0;
+  EXPECT_EQ(listed, BackendAvailable(KernelBackend::kAvx2));
+  // KernelsFor must agree with BackendAvailable for the vector backends.
+  EXPECT_EQ(KernelsFor(KernelBackend::kAvx2) != nullptr,
+            BackendAvailable(KernelBackend::kAvx2));
+}
+
+TEST(SimdDispatchTest, KernelsForDoubleIsNull) {
+  EXPECT_EQ(KernelsFor(KernelBackend::kDouble), nullptr);
+}
+
+TEST(SimdDispatchDeathTest, SetKernelBackendRejectsDouble) {
+  EXPECT_DEATH(simd::SetKernelBackend(KernelBackend::kDouble),
+               "compute mode");
+}
+
+TEST(SimdDispatchTest, ScopedConfigRestoresBackendAndMode) {
+  const KernelBackend before_backend = simd::SelectedBackend();
+  const ComputeMode before_mode = simd::GetComputeMode();
+  {
+    ScopedKernelConfig guard;
+    simd::SetKernelBackend(KernelBackend::kScalar);
+    simd::SetComputeMode(ComputeMode::kF32);
+  }
+  EXPECT_EQ(simd::SelectedBackend(), before_backend);
+  EXPECT_EQ(simd::GetComputeMode(), before_mode);
+}
+
+// Forcing the scalar backend must produce the same bytes as whichever
+// vector backend cpuid picked — this is the test that keeps the full f32
+// tier meaningful on CI machines without AVX2.
+TEST(SimdDispatchTest, ForcedScalarMatchesSelectedBackendBitForBit) {
+  Rng rng(17);
+  Tensor a = Tensor::RandomNormal({33, 29}, &rng);
+  Tensor b = Tensor::RandomNormal({29, 21}, &rng);
+  Tensor out_native({33, 21});
+  Tensor out_scalar({33, 21});
+  {
+    ScopedKernelConfig guard;
+    simd::MatMulF32Into(a, b, &out_native);
+    simd::SetKernelBackend(KernelBackend::kScalar);
+    simd::MatMulF32Into(a, b, &out_scalar);
+  }
+  EXPECT_EQ(0, std::memcmp(out_native.data(), out_scalar.data(),
+                           out_native.size() * sizeof(double)));
+}
+
+TEST(SimdDispatchTest, MatMulF32IntoMatchesDoubleWithinFloatPrecision) {
+  Rng rng(23);
+  Tensor a = Tensor::RandomNormal({19, 31}, &rng);
+  Tensor b = Tensor::RandomNormal({31, 13}, &rng);
+  Tensor f32({19, 13});
+  simd::MatMulF32Into(a, b, &f32);
+  Tensor f64({19, 13});
+  MatMulInto(a, b, &f64);
+  for (size_t i = 0; i < f32.size(); ++i) {
+    // Inputs are O(1) normals, k = 31: generous absolute bound.
+    EXPECT_NEAR(f32[i], f64[i], 1e-4) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace tasfar

@@ -278,6 +278,62 @@ void CheckMemoryDiscipline(const std::string& path,
   }
 }
 
+/// Raw SIMD intrinsics (docs/MEMORY.md §"Float32 compute mode"). All
+/// vectorized code lives behind the F32Kernels dispatch tables in
+/// src/tensor/simd/ — the only place where per-ISA intrinsics, intrinsic
+/// headers, and vector register types may appear. Everything else calls
+/// through simd::Kernels() / MatMulF32Into, so a new ISA is one new
+/// backend file, not a tree-wide audit.
+void CheckSimdDiscipline(const std::string& path,
+                         const std::vector<Token>& toks,
+                         std::vector<Finding>* findings) {
+  if (path.compare(0, 16, "src/tensor/simd/") == 0) return;
+  static const std::set<std::string> kIntrinsicHeaders = {
+      "immintrin", "emmintrin", "xmmintrin", "smmintrin", "tmmintrin",
+      "pmmintrin", "nmmintrin", "wmmintrin", "ammintrin", "x86intrin",
+      "x86gprintrin", "arm_neon", "arm_sve", "arm_acle",
+  };
+  const std::string why =
+      ": raw SIMD intrinsics are banned outside src/tensor/simd/ — add a "
+      "kernel to the F32Kernels dispatch table instead";
+  auto is_intrinsic_ident = [](const std::string& name) {
+    // x86: _mm_/_mm256_/_mm512_ functions and __m128/__m256/__m512 types.
+    if (name.compare(0, 3, "_mm") == 0) return true;
+    if (name.size() >= 4 && name.compare(0, 3, "__m") == 0 &&
+        std::isdigit(static_cast<unsigned char>(name[3])) != 0) {
+      return true;
+    }
+    // NEON: float32x4_t-style vector types and v*q_f32-style intrinsics.
+    if (name.compare(0, 8, "float32x") == 0 ||
+        name.compare(0, 8, "float64x") == 0) {
+      return true;
+    }
+    if (name[0] == 'v' && (name.find("q_f32") != std::string::npos ||
+                           name.find("q_f64") != std::string::npos)) {
+      return true;
+    }
+    return false;
+  };
+  for (size_t i = 0; i < toks.size(); ++i) {
+    // `#include <name.h>` reads as: # include < name . h >.
+    if (IsPunct(toks[i], "<") && i + 4 < toks.size() &&
+        toks[i + 1].kind == TokKind::kIdent &&
+        kIntrinsicHeaders.count(toks[i + 1].text) != 0 &&
+        IsPunct(toks[i + 2], ".") && IsIdent(toks[i + 3], "h") &&
+        IsPunct(toks[i + 4], ">")) {
+      findings->push_back({path, toks[i].line, "simd-discipline",
+                           "<" + toks[i + 1].text + ".h>" + why});
+      i += 4;
+      continue;
+    }
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (is_intrinsic_ident(toks[i].text)) {
+      findings->push_back(
+          {path, toks[i].line, "simd-discipline", toks[i].text + why});
+    }
+  }
+}
+
 void CheckHeaderGuard(const std::string& path, const std::string& code,
                       std::vector<Finding>* findings) {
   const std::string expected = ExpectedHeaderGuard(path);
@@ -358,6 +414,7 @@ std::vector<Finding> LintSource(const std::string& repo_rel_path,
   const std::vector<Token> toks = CodeTokens(Lex(source));
   CheckRngDiscipline(repo_rel_path, toks, &findings);
   CheckThreadDiscipline(repo_rel_path, toks, &findings);
+  CheckSimdDiscipline(repo_rel_path, toks, &findings);
   if (StartsWith(repo_rel_path, "src/")) {
     CheckNoIostream(repo_rel_path, toks, &findings);
     CheckNoBareAssert(repo_rel_path, toks, &findings);
@@ -577,6 +634,170 @@ std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
                             std::to_string(value) +
                             ") matches no protocol.h enumerator"});
   }
+  return findings;
+}
+
+namespace {
+
+/// Field names of `struct F32Kernels` in declaration order: plain pointer
+/// members (`const char* name;`) and function-pointer members
+/// (`void (*matmul)(...)`). Returns false when the struct is absent.
+bool ParseF32KernelsFields(const std::string& header_source,
+                           std::vector<std::string>* out) {
+  const std::string stripped = StripCommentsAndStrings(header_source);
+  const size_t start = stripped.find("struct F32Kernels");
+  if (start == std::string::npos) return false;
+  const size_t open = stripped.find('{', start);
+  // The struct body holds only member declarations — no nested braces —
+  // so the first '}' closes it.
+  const size_t close = stripped.find('}', open);
+  if (open == std::string::npos || close == std::string::npos) return false;
+  const std::vector<Token> toks =
+      CodeTokens(Lex(stripped.substr(open + 1, close - open - 1)));
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    // Function pointer: ( * name )
+    if (i >= 2 && IsPunct(toks[i - 1], "*") && IsPunct(toks[i - 2], "(") &&
+        i + 1 < toks.size() && IsPunct(toks[i + 1], ")")) {
+      out->push_back(toks[i].text);
+      continue;
+    }
+    // Plain pointer member: * name ;
+    if (i >= 1 && IsPunct(toks[i - 1], "*") && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], ";")) {
+      out->push_back(toks[i].text);
+    }
+  }
+  return !out->empty();
+}
+
+/// Designated-initializer field names (`.field =`) inside the first
+/// F32Kernels brace initializer of a backend translation unit. Returns
+/// false when the file contains no F32Kernels initializer.
+bool ParseBackendTableFields(const std::string& source,
+                             std::vector<std::string>* out) {
+  const std::string stripped = StripCommentsAndStrings(source);
+  size_t pos = 0;
+  while ((pos = stripped.find("F32Kernels", pos)) != std::string::npos) {
+    // Find the '=' ... '{' of `static const F32Kernels kTable = {`;
+    // skip other mentions (function signatures, return types).
+    size_t p = pos + 10;
+    while (p < stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(stripped[p])) != 0 ||
+            IsIdentChar(stripped[p]) || stripped[p] == '&')) {
+      ++p;
+    }
+    if (p >= stripped.size() || stripped[p] != '=') {
+      pos += 10;
+      continue;
+    }
+    const size_t open = stripped.find('{', p);
+    const size_t close = stripped.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) return false;
+    const std::vector<Token> toks =
+        CodeTokens(Lex(stripped.substr(open + 1, close - open - 1)));
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (IsPunct(toks[i], ".") && toks[i + 1].kind == TokKind::kIdent &&
+          IsPunct(toks[i + 2], "=")) {
+        out->push_back(toks[i + 1].text);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckSimdKernelTableSync(
+    const std::string& header_source,
+    const std::vector<std::pair<std::string, std::string>>& backend_sources) {
+  const std::string header_path = "src/tensor/simd/kernels.h";
+  std::vector<Finding> findings;
+  std::vector<std::string> fields;
+  if (!ParseF32KernelsFields(header_source, &fields)) {
+    findings.push_back({header_path, 0, "simd-discipline",
+                        "struct F32Kernels not found (or has no members)"});
+    return findings;
+  }
+  const std::set<std::string> declared(fields.begin(), fields.end());
+  for (const auto& [path, source] : backend_sources) {
+    std::vector<std::string> set_fields;
+    if (!ParseBackendTableFields(source, &set_fields)) {
+      findings.push_back(
+          {path, 0, "simd-discipline",
+           "backend registers no F32Kernels table (expected a designated "
+           "initializer naming every kernels.h field)"});
+      continue;
+    }
+    const std::set<std::string> set_set(set_fields.begin(),
+                                        set_fields.end());
+    for (const std::string& field : fields) {
+      if (set_set.count(field) == 0) {
+        findings.push_back({path, 0, "simd-discipline",
+                            "F32Kernels field `" + field +
+                                "` is declared in kernels.h but never set "
+                                "in this backend's table"});
+      }
+    }
+    for (const std::string& field : set_fields) {
+      if (declared.count(field) == 0) {
+        findings.push_back({path, 0, "simd-discipline",
+                            "designated initializer `." + field +
+                                "` matches no F32Kernels field in "
+                                "kernels.h"});
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckSimdKernelTableSyncFiles(
+    const std::string& repo_root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  const fs::path simd_dir = fs::path(repo_root) / "src/tensor/simd";
+  auto read = [](const fs::path& p, std::string* out) {
+    std::ifstream in(p, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+  };
+  std::string header;
+  if (!read(simd_dir / "kernels.h", &header)) {
+    findings.push_back({"src/tensor/simd/kernels.h", 0, "simd-discipline",
+                        "cannot read the kernel registry header"});
+    return findings;
+  }
+  std::vector<std::pair<std::string, std::string>> backends;
+  std::vector<fs::path> paths;
+  for (const fs::directory_entry& entry : fs::directory_iterator(simd_dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, 8, "kernels_") == 0 &&
+        entry.path().extension() == ".cc") {
+      paths.push_back(entry.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::string source;
+    const std::string rel = fs::relative(p, repo_root).generic_string();
+    if (!read(p, &source)) {
+      findings.push_back(
+          {rel, 0, "simd-discipline", "cannot read backend source"});
+      continue;
+    }
+    backends.emplace_back(rel, source);
+  }
+  if (backends.empty()) {
+    findings.push_back({"src/tensor/simd", 0, "simd-discipline",
+                        "no kernels_*.cc backend translation units found"});
+    return findings;
+  }
+  const std::vector<Finding> sync = CheckSimdKernelTableSync(header, backends);
+  findings.insert(findings.end(), sync.begin(), sync.end());
   return findings;
 }
 

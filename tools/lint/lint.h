@@ -2,6 +2,7 @@
 #define TASFAR_TOOLS_LINT_LINT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/status.h"
@@ -41,8 +42,9 @@ std::string ExpectedHeaderGuard(const std::string& repo_rel_path);
 /// parameters; tensor-storage copies into std::vector<double>, with
 /// src/tensor/ exempt) apply only under src/; the RNG-discipline ban, the
 /// thread-discipline ban (raw std::thread / std::jthread / std::async
-/// anywhere but src/util/thread_pool.*), and the header-guard check apply
-/// everywhere.
+/// anywhere but src/util/thread_pool.*), the simd-discipline ban (raw
+/// vector intrinsics anywhere but src/tensor/simd/), and the header-guard
+/// check apply everywhere.
 std::vector<Finding> LintSource(const std::string& repo_rel_path,
                                 const std::string& source);
 
@@ -71,6 +73,24 @@ std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
 /// runs CheckProtocolDocSync; a missing file is itself a finding (the doc
 /// and the header must ship together).
 std::vector<Finding> CheckProtocolDocSyncFiles(const std::string& repo_root);
+
+/// Rule "simd-discipline", repo-level half: cross-checks the `F32Kernels`
+/// dispatch-table fields declared in src/tensor/simd/kernels.h against the
+/// designated initializers in every backend translation unit
+/// (`kernels_<backend>.cc`), both ways — a struct field a backend never
+/// sets, a backend setting a field the struct does not declare, or a
+/// backend file containing no F32Kernels table at all each yield a
+/// finding. `backend_sources` pairs each backend's repo-relative path with
+/// its contents.
+std::vector<Finding> CheckSimdKernelTableSync(
+    const std::string& header_source,
+    const std::vector<std::pair<std::string, std::string>>& backend_sources);
+
+/// Reads src/tensor/simd/kernels.h and every src/tensor/simd/kernels_*.cc
+/// under `repo_root` and runs CheckSimdKernelTableSync; a missing header
+/// or an empty backend set is itself a finding.
+std::vector<Finding> CheckSimdKernelTableSyncFiles(
+    const std::string& repo_root);
 
 }  // namespace tasfar::lint
 

@@ -473,5 +473,140 @@ TEST(ProtocolDocSyncTest, RealRepoFilesAreInSync) {
   GTEST_SKIP() << "repo root not found from test cwd";
 }
 
+// --- simd-discipline --------------------------------------------------------
+
+TEST(SimdDisciplineTest, FlagsIntrinsicHeaderOutsideSimdDir) {
+  const auto findings =
+      LintSource("src/nn/dense.cc", "#include <immintrin.h>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "simd-discipline");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("immintrin"), std::string::npos);
+}
+
+TEST(SimdDisciplineTest, FlagsNeonHeaderOutsideSimdDir) {
+  const auto findings =
+      LintSource("tests/tensor/foo_test.cc", "#include <arm_neon.h>\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "simd-discipline");
+}
+
+TEST(SimdDisciplineTest, FlagsX86IntrinsicIdentifiers) {
+  const auto findings = LintSource(
+      "src/nn/dense.cc",
+      "__m256 v = _mm256_loadu_ps(p);\n_mm256_storeu_ps(q, v);\n");
+  ASSERT_EQ(findings.size(), 3u);  // __m256 + two _mm256_* calls.
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "simd-discipline");
+}
+
+TEST(SimdDisciplineTest, FlagsNeonIntrinsicIdentifiers) {
+  const auto findings = LintSource(
+      "src/uncertainty/mc_dropout.cc",
+      "float32x4_t v = vld1q_f32(p);\nvst1q_f32(q, vfmaq_f32(v, v, v));\n");
+  ASSERT_EQ(findings.size(), 4u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "simd-discipline");
+}
+
+TEST(SimdDisciplineTest, AllowsIntrinsicsInsideSimdDir) {
+  const auto findings = LintSource(
+      "src/tensor/simd/kernels_avx2.cc",
+      "#include <immintrin.h>\n__m256 v = _mm256_setzero_ps();\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SimdDisciplineTest, AllowsF32SuffixedVariablesAndMentionsInComments) {
+  // weight_f32_ / a_f32 do not match the NEON v*q_f32 pattern, and banned
+  // names inside comments or strings are never findings.
+  const auto findings = LintSource(
+      "src/nn/dense.cc",
+      "int weight_f32_ = 0;  // _mm256_loadu_ps in a comment is fine\n"
+      "const char* s = \"float32x4_t\";\nint a_f32 = weight_f32_;\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+namespace {
+
+// Minimal kernels.h/backend pair that is in sync; tests perturb one side.
+const char kSyncedKernelsHeader[] =
+    "struct F32Kernels {\n"
+    "  const char* name;\n"
+    "  void (*matmul)(const float* a, const float* b, float* c, size_t m,\n"
+    "                 size_t k, size_t n);\n"
+    "  void (*relu)(const float* in, float* out, size_t n);\n"
+    "};\n";
+
+const char kSyncedBackend[] =
+    "const F32Kernels& ScalarKernels() {\n"
+    "  static const F32Kernels kTable = {\n"
+    "      .name = \"scalar\",\n"
+    "      .matmul = ScalarMatMul,\n"
+    "      .relu = ScalarRelu,\n"
+    "  };\n"
+    "  return kTable;\n"
+    "}\n";
+
+}  // namespace
+
+TEST(SimdKernelTableSyncTest, CleanWhenInSync) {
+  EXPECT_TRUE(CheckSimdKernelTableSync(
+                  kSyncedKernelsHeader,
+                  {{"src/tensor/simd/kernels_scalar.cc", kSyncedBackend}})
+                  .empty());
+}
+
+TEST(SimdKernelTableSyncTest, FlagsFieldMissingFromBackendTable) {
+  std::string backend(kSyncedBackend);
+  backend.erase(backend.find("      .relu = ScalarRelu,\n"),
+                sizeof("      .relu = ScalarRelu,\n") - 1);
+  const auto findings = CheckSimdKernelTableSync(
+      kSyncedKernelsHeader, {{"src/tensor/simd/kernels_scalar.cc", backend}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "simd-discipline");
+  EXPECT_NE(findings[0].message.find("relu"), std::string::npos);
+}
+
+TEST(SimdKernelTableSyncTest, FlagsInitializerWithNoDeclaredField) {
+  std::string backend(kSyncedBackend);
+  backend.replace(backend.find(".relu = ScalarRelu"),
+                  sizeof(".relu = ScalarRelu") - 1, ".gelu = ScalarGelu");
+  const auto findings = CheckSimdKernelTableSync(
+      kSyncedKernelsHeader, {{"src/tensor/simd/kernels_scalar.cc", backend}});
+  ASSERT_EQ(findings.size(), 2u);  // relu never set + gelu undeclared.
+  EXPECT_NE(findings[0].message.find("relu"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("gelu"), std::string::npos);
+}
+
+TEST(SimdKernelTableSyncTest, FlagsBackendWithNoTable) {
+  const auto findings = CheckSimdKernelTableSync(
+      kSyncedKernelsHeader,
+      {{"src/tensor/simd/kernels_neon.cc", "void NeonMatMul();\n"}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("no F32Kernels table"),
+            std::string::npos);
+}
+
+TEST(SimdKernelTableSyncTest, FlagsMissingStruct) {
+  const auto findings = CheckSimdKernelTableSync(
+      "int x;\n", {{"src/tensor/simd/kernels_scalar.cc", kSyncedBackend}});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("F32Kernels"), std::string::npos);
+}
+
+TEST(SimdKernelTableSyncTest, RealRepoTablesAreInSync) {
+  for (const char* root : {".", "..", "../..", "../../.."}) {
+    const std::string probe =
+        std::string(root) + "/src/tensor/simd/kernels.h";
+    if (FILE* f = std::fopen(probe.c_str(), "rb")) {
+      std::fclose(f);
+      const auto findings = CheckSimdKernelTableSyncFiles(root);
+      for (const auto& finding : findings) {
+        ADD_FAILURE() << finding.file << ": " << finding.message;
+      }
+      return;
+    }
+  }
+  GTEST_SKIP() << "repo root not found from test cwd";
+}
+
 }  // namespace
 }  // namespace tasfar::lint

@@ -9,6 +9,9 @@
 //                     outside src/util/thread_pool.*), repo-wide
 //   no-iostream       src/ logs through util/logging.h, never <iostream>
 //   check-not-assert  src/ uses TASFAR_CHECK, never bare assert()
+//   simd-discipline   raw vector intrinsics live only in src/tensor/simd/,
+//                     and every backend's F32Kernels table registers every
+//                     field declared in kernels.h, repo-wide
 //   header-guard      headers guard with TASFAR_<PATH>_H_
 //   protocol-doc-sync src/serve/protocol.h enums match docs/PROTOCOL.md
 //
@@ -44,6 +47,9 @@ int main(int argc, char** argv) {
   const std::vector<tasfar::lint::Finding> doc_sync =
       tasfar::lint::CheckProtocolDocSyncFiles(repo_root);
   findings.insert(findings.end(), doc_sync.begin(), doc_sync.end());
+  const std::vector<tasfar::lint::Finding> table_sync =
+      tasfar::lint::CheckSimdKernelTableSyncFiles(repo_root);
+  findings.insert(findings.end(), table_sync.begin(), table_sync.end());
   for (const tasfar::lint::Finding& f : findings) {
     std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
                 f.message.c_str());
