@@ -1,0 +1,83 @@
+// Uncertainty-backend comparison (docs/UNCERTAINTY.md): the full TASFAR
+// pipeline on the housing task under each pluggable backend — MC dropout
+// (the paper's estimator), source-derived deep ensemble, and last-layer
+// Laplace — plus the two uncertainty-driven self-training baselines
+// (U-SFDA, UPL) run with the same backends. The paper's Section III-B
+// claim is that TASFAR is orthogonal to the uncertainty estimator; this
+// table is that claim measured.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "data/housing_sim.h"
+
+namespace tasfar::bench {
+namespace {
+
+constexpr UncertaintyBackend kBackends[] = {
+    UncertaintyBackend::kMcDropout,
+    UncertaintyBackend::kDeepEnsemble,
+    UncertaintyBackend::kLastLayerLaplace,
+};
+
+void Run() {
+  PrintHeader("Backend comparison",
+              "TASFAR and the uncertainty-driven baselines under each "
+              "pluggable uncertainty backend (housing task, test MSE).");
+  HousingSimulator housing(HousingSimConfig{}, PaperHousingConfig().seed);
+  TabularHarness harness(PaperHousingConfig(), housing.GenerateSource(),
+                         housing.GenerateTarget());
+  harness.Prepare();
+
+  TablePrinter table({"scheme / backend", "test before", "test after",
+                      "test reduction %"});
+  CsvWriter csv;
+  csv.SetHeader({"scheme", "backend", "test_before", "test_after",
+                 "test_reduction_pct"});
+  auto add = [&](const std::string& scheme, const char* backend,
+                 const TabularEval& eval) {
+    const double red = metrics::ReductionPercent(eval.metric_test_before,
+                                                 eval.metric_test_after);
+    table.AddRow(scheme + " / " + backend,
+                 {eval.metric_test_before, eval.metric_test_after, red}, 3);
+    csv.AddRow({scheme, backend, std::to_string(eval.metric_test_before),
+                std::to_string(eval.metric_test_after),
+                std::to_string(red)});
+  };
+
+  for (UncertaintyBackend backend : kBackends) {
+    const char* name = UncertaintyBackendName(backend);
+    TasfarOptions options = PaperHousingConfig().tasfar;
+    options.uncertainty_backend = backend;
+    add("TASFAR", name, harness.EvaluateTasfarWithOptions(options));
+
+    UncertaintySdUdaOptions usfda;
+    usfda.epochs = 5;
+    usfda.learning_rate = 1e-4;
+    usfda.estimator.backend = backend;
+    UncertaintySdUda usfda_scheme(usfda);
+    add("U-SFDA", name, harness.EvaluateScheme(&usfda_scheme));
+
+    UplUdaOptions upl;
+    upl.epochs = 5;
+    upl.learning_rate = 1e-4;
+    upl.estimator.backend = backend;
+    UplUda upl_scheme(upl);
+    add("UPL", name, harness.EvaluateScheme(&upl_scheme));
+  }
+  table.Print();
+  WriteCsv("backend_comparison", csv);
+  std::printf(
+      "\nExpectation: TASFAR improves the baseline under every backend "
+      "(the\npipeline is estimator-agnostic); MC dropout and the "
+      "source-derived\nensemble rank similarly, and the stochastic-free "
+      "Laplace backend is the\ncheapest while staying positive. The "
+      "filter/weight baselines track their\nestimator more tightly — "
+      "their pseudo-labels are raw predictive means.\n");
+}
+
+}  // namespace
+}  // namespace tasfar::bench
+
+int main() { tasfar::bench::Run(); }

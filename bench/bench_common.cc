@@ -109,6 +109,14 @@ std::vector<std::unique_ptr<UdaScheme>> MakeSchemes(size_t cut_layer) {
   datafree.epochs = 3;
   datafree.learning_rate = 2e-5;
   schemes.push_back(std::make_unique<DatafreeUda>(datafree));
+  UncertaintySdUdaOptions usfda;
+  usfda.epochs = 5;
+  usfda.learning_rate = 1e-4;
+  schemes.push_back(std::make_unique<UncertaintySdUda>(usfda));
+  UplUdaOptions upl;
+  upl.epochs = 5;
+  upl.learning_rate = 1e-4;
+  schemes.push_back(std::make_unique<UplUda>(upl));
   return schemes;
 }
 
@@ -120,8 +128,10 @@ void RunRteReductionBench(bool seen_group, const std::string& figure_id) {
   harness.Prepare();
   auto schemes = MakeSchemes(PdrModelCutLayer());
 
-  const char* names[] = {"TASFAR", "MMD*", "ADV*", "AUGfree", "Datafree"};
-  std::vector<std::vector<double>> reductions(5);  // Per-trajectory, metres.
+  const char* names[] = {"TASFAR", "MMD*",   "ADV*",
+                         "AUGfree", "Datafree", "U-SFDA", "UPL"};
+  // Per-trajectory reductions, metres, one bucket per scheme.
+  std::vector<std::vector<double>> reductions(1 + schemes.size());
   for (const PdrUserData& user : harness.users()) {
     if (user.profile.seen != seen_group) continue;
     PdrUserCache cache = harness.BuildUserCache(user);
@@ -145,7 +155,7 @@ void RunRteReductionBench(bool seen_group, const std::string& figure_id) {
                       ">4m", "mean (m)"});
   CsvWriter csv;
   csv.SetHeader({"scheme", "threshold_m", "fraction_above"});
-  for (size_t s = 0; s < 5; ++s) {
+  for (size_t s = 0; s < reductions.size(); ++s) {
     std::vector<double> row;
     for (double th : thresholds) {
       size_t above = 0;

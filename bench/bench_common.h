@@ -9,6 +9,8 @@
 #include "baselines/augfree_uda.h"
 #include "baselines/datafree_uda.h"
 #include "baselines/mmd_uda.h"
+#include "baselines/uncertainty_sd_uda.h"
+#include "baselines/upl_uda.h"
 #include "eval/crowd_harness.h"
 #include "eval/pdr_harness.h"
 #include "eval/tabular_harness.h"
@@ -26,9 +28,9 @@ CrowdHarnessConfig PaperCrowdConfig();
 TabularHarnessConfig PaperHousingConfig();
 TabularHarnessConfig PaperTaxiConfig();
 
-/// The four comparison schemes configured for a model with the given
+/// The six comparison schemes configured for a model with the given
 /// feature-cut layer (ownership transferred to the caller). Order:
-/// MMD, ADV, AUGfree, Datafree.
+/// MMD, ADV, AUGfree, Datafree, U-SFDA, UPL.
 std::vector<std::unique_ptr<UdaScheme>> MakeSchemes(size_t cut_layer);
 
 /// Shared implementation of Figs. 17/18: RTE-reduction distribution over

@@ -18,8 +18,8 @@ void Run() {
   harness.Prepare();
   auto schemes = MakeSchemes(PdrModelCutLayer());
 
-  TablePrinter table(
-      {"user", "TASFAR", "MMD*", "ADV*", "AUGfree", "Datafree"});
+  TablePrinter table({"user", "TASFAR", "MMD*", "ADV*", "AUGfree",
+                      "Datafree", "U-SFDA", "UPL"});
   CsvWriter csv;
   csv.SetHeader({"user", "scheme", "ste_reduction_pct"});
   std::vector<std::vector<double>> reductions(1 + schemes.size());
@@ -36,9 +36,10 @@ void Run() {
       row.push_back(metrics::ReductionPercent(eval.ste_adapt_before,
                                               eval.ste_adapt_after));
     }
-    // MakeSchemes order: MMD, ADV, AUGfree, Datafree.
+    // MakeSchemes order: MMD, ADV, AUGfree, Datafree, U-SFDA, UPL.
     table.AddRow("user " + std::to_string(user.profile.id), row, 1);
-    const char* names[] = {"TASFAR", "MMD", "ADV", "AUGfree", "Datafree"};
+    const char* names[] = {"TASFAR",   "MMD",    "ADV", "AUGfree",
+                           "Datafree", "U-SFDA", "UPL"};
     for (size_t s = 0; s < row.size(); ++s) {
       reductions[s].push_back(row[s]);
       csv.AddRow({std::to_string(user.profile.id), names[s],
@@ -54,8 +55,10 @@ void Run() {
       "\n(* = source-based UDA, uses source data at adaptation time)\n"
       "Paper: TASFAR ~13.6%% mean reduction, comparable to MMD/ADV; "
       "AUGfree\nand Datafree are near zero. Reproduced: TASFAR mean %.1f%% "
-      "vs MMD\n%.1f%% / ADV %.1f%%, AUGfree %.1f%% / Datafree %.1f%%.\n",
-      means[0], means[1], means[2], means[3], means[4]);
+      "vs MMD\n%.1f%% / ADV %.1f%%, AUGfree %.1f%% / Datafree %.1f%%, "
+      "U-SFDA %.1f%% /\nUPL %.1f%% (uncertainty-driven self-training "
+      "baselines).\n",
+      means[0], means[1], means[2], means[3], means[4], means[5], means[6]);
 }
 
 }  // namespace

@@ -17,7 +17,8 @@ void Run() {
   harness.Prepare();
   auto schemes = MakeSchemes(PdrModelCutLayer());
 
-  const char* names[] = {"TASFAR", "MMD*", "ADV*", "AUGfree", "Datafree"};
+  const char* names[] = {"TASFAR",   "MMD*",   "ADV*", "AUGfree",
+                         "Datafree", "U-SFDA", "UPL"};
   std::vector<std::vector<double>> adapt_red(5), test_red(5);
   for (const PdrUserData& user : harness.users()) {
     if (!user.profile.seen) continue;

@@ -19,11 +19,11 @@ void Run() {
   auto schemes = MakeSchemes(CrowdModelCutLayer());
 
   TablePrinter table({"scene", "Baseline", "MMD*", "ADV*", "AUGfree",
-                      "Datafree", "TASFAR"});
+                      "Datafree", "U-SFDA", "UPL", "TASFAR"});
   CsvWriter csv;
   csv.SetHeader({"scene", "scheme", "test_mae"});
-  const char* names[] = {"Baseline", "MMD", "ADV", "AUGfree", "Datafree",
-                         "TASFAR"};
+  const char* names[] = {"Baseline", "MMD",    "ADV", "AUGfree",
+                         "Datafree", "U-SFDA", "UPL", "TASFAR"};
   for (const CrowdSceneData& scene : scenes) {
     std::vector<double> row;
     row.push_back(harness.Evaluate(harness.source_model(), scene).mae_test);

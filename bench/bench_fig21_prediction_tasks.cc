@@ -35,7 +35,8 @@ void RunTask(const std::string& label, TabularHarnessConfig cfg,
                  std::to_string(red)});
   };
   add("TASFAR", harness.EvaluateTasfar());
-  const char* names[] = {"MMD*", "ADV*", "AUGfree", "Datafree"};
+  const char* names[] = {"MMD*",     "ADV*",   "AUGfree",
+                         "Datafree", "U-SFDA", "UPL"};
   for (size_t s = 0; s < schemes.size(); ++s) {
     add(names[s], harness.EvaluateScheme(schemes[s].get()));
   }

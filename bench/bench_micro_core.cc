@@ -12,6 +12,7 @@
 #include "nn/sequential.h"
 #include "tensor/buffer.h"
 #include "tensor/simd/dispatch.h"
+#include "uncertainty/ensemble.h"
 #include "uncertainty/mc_dropout.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -190,6 +191,68 @@ void BM_McDropoutAllocs(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 128 * 20);
 }
 BENCHMARK(BM_McDropoutAllocs);
+
+// Deep-ensemble twin of BM_McDropoutPredictThreads: range(0) = ensemble
+// members, range(1) = thread count. Predict fans the member forward
+// passes across ParallelFor with one pinned dropout stream per member
+// (docs/UNCERTAINTY.md), so rows are byte-identical across thread counts;
+// the 1-thread rows are the serial baseline for the BENCH_PR10.json
+// ensemble-scaling headline.
+void BM_EnsemblePredictThreads(benchmark::State& state) {
+  const size_t prev_threads = GetNumThreads();
+  SetNumThreads(static_cast<size_t>(state.range(1)));
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({512, 8}, &rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(
+      model.get(), static_cast<size_t>(state.range(0)), /*seed=*/0x5eed);
+  for (auto _ : state) {
+    auto preds = ensemble.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 512 * state.range(0));
+  SetNumThreads(prev_threads);
+}
+BENCHMARK(BM_EnsemblePredictThreads)
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->Args({5, 8})
+    ->UseRealTime();
+
+// Steady-state allocation discipline of the ensemble hot path, mirroring
+// BM_McDropoutAllocs: member forward passes run on per-thread workspace
+// arenas, so after warm-up further Predict calls must not allocate a
+// single tensor buffer.
+void BM_EnsembleAllocs(benchmark::State& state) {
+  Rng rng(5);
+  auto model = BuildTabularModel(8, &rng);
+  Tensor inputs = Tensor::RandomNormal({128, 8}, &rng);
+  DeepEnsemble ensemble =
+      DeepEnsemble::FromSource(model.get(), /*num_members=*/5, /*seed=*/0x5eed);
+  for (int warm = 0; warm < 3; ++warm) {
+    auto preds = ensemble.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const TensorAllocStats before = GetTensorAllocStats();
+  for (auto _ : state) {
+    auto preds = ensemble.Predict(inputs);
+    benchmark::DoNotOptimize(preds.data());
+  }
+  const TensorAllocStats after = GetTensorAllocStats();
+  const double iters = static_cast<double>(state.iterations());
+  const uint64_t allocs = after.alloc_count - before.alloc_count;
+  state.counters["tensor_allocs_per_iter"] =
+      static_cast<double>(allocs) / iters;
+  state.counters["workspace_reuses_per_iter"] =
+      static_cast<double>(after.workspace_reuses - before.workspace_reuses) /
+      iters;
+  if (allocs != 0) {
+    state.SkipWithError("steady-state Predict allocated tensor buffers");
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 5);
+}
+BENCHMARK(BM_EnsembleAllocs);
 
 void BM_QsCalibration(benchmark::State& state) {
   Rng rng(6);

@@ -65,9 +65,9 @@ void Run() {
   std::vector<CrowdSceneData> scenes = harness.BuildScenes();
   auto schemes = MakeSchemes(CrowdModelCutLayer());
 
-  const char* names[] = {"Baseline", "MMD*", "ADV*", "AUGfree", "Datafree",
-                         "TASFAR"};
-  std::vector<PooledEval> pooled(6);
+  const char* names[] = {"Baseline", "MMD*",   "ADV*", "AUGfree",
+                         "Datafree", "U-SFDA", "UPL",  "TASFAR"};
+  std::vector<PooledEval> pooled(2 + schemes.size());
   for (const CrowdSceneData& scene : scenes) {
     pooled[0].Accumulate(harness, harness.source_model(), scene);
     for (size_t s = 0; s < schemes.size(); ++s) {
@@ -75,7 +75,7 @@ void Run() {
       pooled[1 + s].Accumulate(harness, adapted.get(), scene);
     }
     auto tasfar_model = harness.AdaptTasfar(scene, nullptr);
-    pooled[5].Accumulate(harness, tasfar_model.get(), scene);
+    pooled.back().Accumulate(harness, tasfar_model.get(), scene);
   }
 
   TablePrinter table({"scheme", "adapt MAE", "adapt MSE", "uncertain MAE",
@@ -83,7 +83,7 @@ void Run() {
   CsvWriter csv;
   csv.SetHeader({"scheme", "adapt_mae", "adapt_mse", "uncertain_mae",
                  "uncertain_mse", "test_mae", "test_mse"});
-  for (size_t s = 0; s < 6; ++s) {
+  for (size_t s = 0; s < pooled.size(); ++s) {
     std::vector<double> m = pooled[s].Metrics();
     table.AddRow(names[s], m, 2);
     std::vector<std::string> row{names[s]};

@@ -3,7 +3,7 @@
 
 #include <vector>
 
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 
 namespace tasfar {
 

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/density_map.h"
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 #include "uncertainty/qs_calibration.h"
 
 namespace tasfar {

@@ -5,7 +5,7 @@
 
 #include "core/density_map.h"
 #include "core/label_distribution_estimator.h"
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 
 namespace tasfar {
 

@@ -40,8 +40,19 @@ bool AllParamsFinite(Sequential* model) {
 
 }  // namespace
 
+EstimatorConfig EstimatorConfigFromOptions(const TasfarOptions& options) {
+  EstimatorConfig config;
+  config.backend = options.uncertainty_backend;
+  config.mc_samples = options.mc_samples;
+  config.ensemble_members = options.ensemble_members;
+  config.laplace_prior_precision = options.laplace_prior_precision;
+  return config;
+}
+
 Tasfar::Tasfar(const TasfarOptions& options) : options_(options) {
   TASFAR_CHECK(options.mc_samples >= 2);
+  TASFAR_CHECK(options.ensemble_members >= 2);
+  TASFAR_CHECK(options.laplace_prior_precision > 0.0);
   TASFAR_CHECK(options.eta > 0.0 && options.eta < 1.0);
   TASFAR_CHECK(options.num_segments >= 1);
   TASFAR_CHECK(options.grid_cell_size > 0.0);
@@ -52,8 +63,9 @@ SourceCalibration Tasfar::Calibrate(Sequential* source_model,
                                     const Tensor& source_targets) const {
   TASFAR_CHECK(source_model != nullptr);
   TASFAR_CHECK(source_inputs.dim(0) == source_targets.dim(0));
-  McDropoutPredictor predictor(source_model, options_.mc_samples);
-  return CalibrateFromPredictions(predictor.Predict(source_inputs),
+  std::unique_ptr<UncertaintyEstimator> estimator =
+      MakeEstimator(source_model, EstimatorConfigFromOptions(options_));
+  return CalibrateFromPredictions(estimator->Predict(source_inputs),
                                   source_targets);
 }
 
@@ -119,9 +131,10 @@ TasfarReport Tasfar::Adapt(Sequential* source_model,
                            const SourceCalibration& calibration,
                            const Tensor& target_inputs, Rng* rng) const {
   TASFAR_CHECK(source_model != nullptr);
-  McDropoutPredictor predictor(source_model, options_.mc_samples);
+  std::unique_ptr<UncertaintyEstimator> estimator =
+      MakeEstimator(source_model, EstimatorConfigFromOptions(options_));
   return AdaptWithPredictions(source_model, calibration, target_inputs,
-                              predictor.Predict(target_inputs), rng);
+                              estimator->Predict(target_inputs), rng);
 }
 
 TasfarReport Tasfar::AdaptWithPredictions(

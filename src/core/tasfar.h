@@ -11,16 +11,24 @@
 #include "core/density_map.h"
 #include "core/label_distribution_estimator.h"
 #include "core/pseudo_label_generator.h"
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 #include "uncertainty/qs_calibration.h"
 
 namespace tasfar {
 
 /// End-to-end configuration of TASFAR. Defaults follow the paper's
-/// experimental section: 20 MC-dropout samples, η = 0.9, q = 40 segments,
-/// a Gaussian error model, and confident-data replay during fine-tuning.
+/// experimental section: MC dropout with 20 samples, η = 0.9, q = 40
+/// segments, a Gaussian error model, and confident-data replay during
+/// fine-tuning. The uncertainty estimator is pluggable
+/// (docs/UNCERTAINTY.md): `uncertainty_backend` selects which backend
+/// Calibrate/Adapt build through MakeEstimator.
 struct TasfarOptions {
+  /// Which UncertaintyEstimator Calibrate/Adapt construct internally.
+  UncertaintyBackend uncertainty_backend = UncertaintyBackend::kMcDropout;
   size_t mc_samples = 20;     ///< Stochastic passes for MC dropout.
+  size_t ensemble_members = 5;  ///< Members for the kDeepEnsemble backend.
+  /// λ of the kLastLayerLaplace Gauss–Newton prior, H = λI + ΦᵀΦ.
+  double laplace_prior_precision = 1.0;
   double eta = 0.9;           ///< Source confidence ratio for τ (Alg. 1).
   size_t num_segments = 40;   ///< q of Eq. 7.
   double grid_cell_size = 0.1;  ///< g, in label units.
@@ -28,6 +36,11 @@ struct TasfarOptions {
   ErrorModelKind error_model = ErrorModelKind::kGaussian;
   AdaptationTrainConfig adaptation;
 };
+
+/// The EstimatorConfig implied by `options`. Seed and batch size keep the
+/// EstimatorConfig defaults — callers with per-deployment values (serve
+/// sessions) override those fields before calling MakeEstimator.
+EstimatorConfig EstimatorConfigFromOptions(const TasfarOptions& options);
 
 /// Everything computed on the source side before deployment: the
 /// confidence threshold τ and the per-dimension Q_s curves. In the
@@ -86,9 +99,10 @@ class Tasfar {
   /// and reusable across models and datasets.
   explicit Tasfar(const TasfarOptions& options);
 
-  /// Source-side calibration: runs MC dropout on held-out source data with
-  /// known labels, derives τ (η-quantile of uncertainties) and fits Q_s
-  /// per label dimension (Eq. 7-9). Call once before "shipping" the model.
+  /// Source-side calibration: runs the configured uncertainty backend on
+  /// held-out source data with known labels, derives τ (η-quantile of
+  /// uncertainties) and fits Q_s per label dimension (Eq. 7-9). Call once
+  /// before "shipping" the model.
   SourceCalibration Calibrate(Sequential* source_model,
                               const Tensor& source_inputs,
                               const Tensor& source_targets) const;
@@ -102,8 +116,8 @@ class Tasfar {
 
   /// The uncertainty estimator is orthogonal to TASFAR (Section III-B of
   /// the paper), so both stages also accept externally computed
-  /// predictions — e.g. from a DeepEnsemble — instead of running the
-  /// built-in MC-dropout pass.
+  /// predictions instead of running the configured backend — Calibrate and
+  /// Adapt are thin wrappers that feed MakeEstimator's output into these.
   SourceCalibration CalibrateFromPredictions(
       const std::vector<McPrediction>& predictions,
       const Tensor& source_targets) const;

@@ -74,8 +74,9 @@ CrowdSceneData MakeSceneData(int scene_id, const Dataset& data,
                                     rng);
   scene.adapt = std::move(split.first);
   scene.test = std::move(split.second);
-  McDropoutPredictor predictor(model, opts.mc_samples);
-  scene.adapt_preds = predictor.Predict(scene.adapt.inputs);
+  std::unique_ptr<UncertaintyEstimator> predictor =
+      MakeEstimator(model, EstimatorConfigFromOptions(opts));
+  scene.adapt_preds = predictor->Predict(scene.adapt.inputs);
   ConfidenceClassifier classifier(tau);
   scene.uncertain_indices = classifier.Classify(scene.adapt_preds).uncertain;
   return scene;

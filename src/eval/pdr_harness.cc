@@ -54,9 +54,9 @@ void PdrHarness::Prepare() {
 
   // Source-side MC predictions, cached for calibration re-use.
   Tasfar tasfar(config_.tasfar);
-  McDropoutPredictor predictor(source_model_.get(),
-                               config_.tasfar.mc_samples);
-  source_calib_preds_ = predictor.Predict(source_calib_.inputs);
+  std::unique_ptr<UncertaintyEstimator> predictor = MakeEstimator(
+      source_model_.get(), EstimatorConfigFromOptions(config_.tasfar));
+  source_calib_preds_ = predictor->Predict(source_calib_.inputs);
   calibration_ = CalibrateWith(config_.tasfar.eta,
                                config_.tasfar.num_segments);
 
@@ -120,9 +120,9 @@ PdrUserCache PdrHarness::BuildUserCache(const PdrUserData& user) const {
   cache.user = user;
   cache.adapt_pool = PoolTrajectories(user.adaptation);
   cache.test_pool = PoolTrajectories(user.test);
-  McDropoutPredictor predictor(source_model_.get(),
-                               config_.tasfar.mc_samples);
-  cache.adapt_preds = predictor.Predict(cache.adapt_pool.inputs);
+  std::unique_ptr<UncertaintyEstimator> predictor = MakeEstimator(
+      source_model_.get(), EstimatorConfigFromOptions(config_.tasfar));
+  cache.adapt_preds = predictor->Predict(cache.adapt_pool.inputs);
   return cache;
 }
 

@@ -148,6 +148,22 @@ TabularEval TabularHarness::EvaluateTasfar(TasfarReport* report_out) const {
   return eval;
 }
 
+TabularEval TabularHarness::EvaluateTasfarWithOptions(
+    const TasfarOptions& options, TasfarReport* report_out) const {
+  TASFAR_CHECK(prepared_);
+  TASFAR_TRACE_SPAN("eval.tabular");
+  Tasfar tasfar(options);
+  SourceCalibration calibration = tasfar.Calibrate(
+      source_model_.get(), source_calib_.inputs, source_calib_.targets);
+  // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.
+  Rng rng(config_.seed ^ 0x9d7ULL);
+  TasfarReport report = tasfar.Adapt(source_model_.get(), calibration,
+                                     target_adapt_.inputs, &rng);
+  TabularEval eval = EvaluateModel(report.target_model.get());
+  if (report_out != nullptr) *report_out = std::move(report);
+  return eval;
+}
+
 TabularEval TabularHarness::EvaluateScheme(UdaScheme* scheme) const {
   TASFAR_CHECK(prepared_ && scheme != nullptr);
   // TASFAR_ANALYZE_ALLOW(seed-discipline): pre-MixSeed stream split, pinned: reseeding would shift every EXPERIMENTS.md baseline number.

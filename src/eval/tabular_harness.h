@@ -77,6 +77,14 @@ class TabularHarness {
   /// TASFAR adaptation + evaluation.
   TabularEval EvaluateTasfar(TasfarReport* report_out = nullptr) const;
 
+  /// TASFAR adaptation + evaluation under `options` — e.g. a different
+  /// uncertainty backend (docs/UNCERTAINTY.md). Recalibrates τ/Q_s with
+  /// those options so the calibration matches the backend that produces
+  /// the uncertainties, then adapts with the same pinned stream as
+  /// EvaluateTasfar.
+  TabularEval EvaluateTasfarWithOptions(
+      const TasfarOptions& options, TasfarReport* report_out = nullptr) const;
+
   /// Baseline adaptation + evaluation.
   TabularEval EvaluateScheme(UdaScheme* scheme) const;
 

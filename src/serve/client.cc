@@ -108,12 +108,14 @@ Result<std::string> Client::Call(MessageType request,
 }
 
 Status Client::CreateSession(const std::string& user_id, uint64_t seed,
-                             uint32_t input_dim, uint64_t budget_bytes) {
+                             uint32_t input_dim, uint64_t budget_bytes,
+                             UncertaintyBackend backend) {
   PayloadWriter w;
   w.PutString(user_id);
   w.PutU64(seed);
   w.PutU32(input_dim);
   w.PutU64(budget_bytes);
+  w.PutU8(static_cast<uint8_t>(backend));
   return Call(MessageType::kCreateSession, w.Take(),
               MessageType::kOkResponse)
       .status();
@@ -153,8 +155,8 @@ Result<ClientSessionInfo> Client::QuerySession(const std::string& user_id) {
   if (!r.GetU8(&state) || !r.GetU64(&info.pending_rows) ||
       !r.GetU64(&info.input_dim) || !r.GetU64(&info.budget_bytes) ||
       !r.GetU64(&info.used_bytes) || !r.GetU64(&info.adapt_runs) ||
-      !r.GetU8(&adapted) || !r.GetString(&info.degraded_reason) ||
-      !r.AtEnd()) {
+      !r.GetU8(&adapted) || !r.GetString(&info.backend) ||
+      !r.GetString(&info.degraded_reason) || !r.AtEnd()) {
     return Status::IoError("malformed session_info response");
   }
   if (state > static_cast<uint8_t>(SessionState::kDegraded)) {

@@ -54,6 +54,8 @@ struct ClientSessionInfo {
   uint64_t used_bytes = 0;
   uint64_t adapt_runs = 0;
   bool serving_adapted = false;
+  /// Stable backend label ("mc_dropout", ...) of the session's estimator.
+  std::string backend;
   std::string degraded_reason;
 };
 
@@ -77,8 +79,12 @@ class Client {
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
+  /// `backend` selects the session's uncertainty estimator
+  /// (docs/UNCERTAINTY.md); the default matches the paper's MC dropout.
   Status CreateSession(const std::string& user_id, uint64_t seed,
-                       uint32_t input_dim, uint64_t budget_bytes = 0);
+                       uint32_t input_dim, uint64_t budget_bytes = 0,
+                       UncertaintyBackend backend =
+                           UncertaintyBackend::kMcDropout);
   /// Row-major `data` of shape rows x cols.
   Status SubmitTargetData(const std::string& user_id, uint32_t rows,
                           uint32_t cols, const double* data);

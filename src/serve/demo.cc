@@ -52,7 +52,34 @@ DemoBundle BuildDemoBundle(size_t source_samples, size_t target_samples,
   Tasfar tasfar(bundle.options);
   bundle.calibration =
       tasfar.Calibrate(bundle.model.get(), src_x, source.targets);
+
+  // Per-backend calibrations (each Tasfar instance is independent, so the
+  // default mc_dropout calibration above is byte-identical to what it was
+  // before these existed).
+  TasfarOptions ensemble_options = bundle.options;
+  ensemble_options.uncertainty_backend = UncertaintyBackend::kDeepEnsemble;
+  bundle.ensemble_calibration = Tasfar(ensemble_options)
+                                    .Calibrate(bundle.model.get(), src_x,
+                                               source.targets);
+  TasfarOptions laplace_options = bundle.options;
+  laplace_options.uncertainty_backend = UncertaintyBackend::kLastLayerLaplace;
+  bundle.laplace_calibration = Tasfar(laplace_options)
+                                   .Calibrate(bundle.model.get(), src_x,
+                                              source.targets);
   return bundle;
+}
+
+const SourceCalibration& DemoBundle::CalibrationFor(
+    UncertaintyBackend backend) const {
+  switch (backend) {
+    case UncertaintyBackend::kDeepEnsemble:
+      return ensemble_calibration;
+    case UncertaintyBackend::kLastLayerLaplace:
+      return laplace_calibration;
+    case UncertaintyBackend::kMcDropout:
+      break;
+  }
+  return calibration;
 }
 
 Tensor BuildDemoTargetRows(size_t n, size_t source_samples,

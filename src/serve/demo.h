@@ -20,10 +20,21 @@ namespace tasfar::serve {
 struct DemoBundle {
   std::unique_ptr<Sequential> model;
   SourceCalibration calibration;
+  /// Q_s calibrations fit on the *other* uncertainty backends' scales.
+  /// A session adapts against the calibration matching its backend — the
+  /// absolute uncertainty scale differs per backend (dropout std vs member
+  /// disagreement vs Laplace posterior std), and τ-thresholding a
+  /// laplace-scale uncertainty against a dropout-scale τ degenerates the
+  /// confidence split (docs/UNCERTAINTY.md §Serving).
+  SourceCalibration ensemble_calibration;
+  SourceCalibration laplace_calibration;
   /// Coastal target rows, normalized with the source-fitted normalizer;
   /// shape {target_samples, kNumHousingFeatures}.
   Tensor target_rows;
   TasfarOptions options;
+
+  /// The calibration fit on `backend`'s uncertainty scale.
+  const SourceCalibration& CalibrationFor(UncertaintyBackend backend) const;
 };
 
 /// Simulator seed shared by BuildDemoBundle and BuildDemoTargetRows.

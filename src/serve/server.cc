@@ -334,18 +334,26 @@ bool Server::HandleCreateSession(int fd, const std::string& payload) {
   uint64_t seed = 0;
   uint32_t input_dim = 0;
   uint64_t budget = 0;
+  uint8_t backend_wire = 0;
   if (!r.GetString(&user) || !r.GetU64(&seed) || !r.GetU32(&input_dim) ||
-      !r.GetU64(&budget) || !r.AtEnd()) {
+      !r.GetU64(&budget) || !r.GetU8(&backend_wire) || !r.AtEnd()) {
     return SendError(fd, WireError::kBadRequest,
                      "malformed create_session payload");
   }
   if (input_dim == 0) {
     return SendError(fd, WireError::kBadRequest, "input_dim must be > 0");
   }
+  UncertaintyBackend backend = UncertaintyBackend::kMcDropout;
+  if (!ParseUncertaintyBackendWire(backend_wire, &backend)) {
+    return SendError(fd, WireError::kBadRequest,
+                     "unknown uncertainty backend " +
+                         std::to_string(backend_wire));
+  }
   SessionConfig cfg;
   cfg.seed = seed;
   cfg.input_dim = input_dim;
   cfg.budget_bytes = static_cast<size_t>(budget);
+  cfg.backend = backend;
   const Status st = manager_.Create(user, cfg);
   if (!st.ok()) {
     if (st.code() == StatusCode::kOutOfRange) {
@@ -424,6 +432,7 @@ bool Server::HandleQuerySession(int fd, const std::string& payload) {
   w.PutU64(info.used_bytes);
   w.PutU64(info.adapt_runs);
   w.PutU8(info.serving_adapted ? 1 : 0);
+  w.PutString(info.backend);
   w.PutString(info.degraded_reason);
   return SendFrame(fd, MessageType::kSessionInfoResponse, w.Take());
 }

@@ -54,6 +54,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
+  /// Registers the calibration sessions created with `backend` adapt
+  /// against (the ctor's `calibration` covers `options.uncertainty_backend`
+  /// only). Creates requesting an unregistered backend are rejected with
+  /// `bad_request`. Call before Start(); `calibration` must outlive the
+  /// server.
+  void RegisterBackendCalibration(UncertaintyBackend backend,
+                                  const SourceCalibration* calibration) {
+    manager_.RegisterBackendCalibration(backend, calibration);
+  }
+
   /// Binds, listens, and starts the network thread. IoError when the
   /// socket setup fails (e.g. port in use).
   Status Start();

@@ -40,6 +40,32 @@ obs::Counter* BudgetRejectedCounter() {
   return kCounter;
 }
 
+/// Sessions-created counter of the chosen backend. One literal counter
+/// per backend so the metric registry stays statically enumerable
+/// (docs/OBSERVABILITY.md lists all three).
+obs::Counter* BackendCounter(UncertaintyBackend backend) {
+  static obs::Counter* const kMcDropout = obs::Registry::Get().GetCounter(
+      "tasfar.serve.session.backend.mc_dropout");
+  static obs::Counter* const kEnsemble = obs::Registry::Get().GetCounter(
+      "tasfar.serve.session.backend.ensemble");
+  static obs::Counter* const kLaplace = obs::Registry::Get().GetCounter(
+      "tasfar.serve.session.backend.laplace");
+  switch (backend) {
+    case UncertaintyBackend::kDeepEnsemble: return kEnsemble;
+    case UncertaintyBackend::kLastLayerLaplace: return kLaplace;
+    case UncertaintyBackend::kMcDropout: break;
+  }
+  return kMcDropout;
+}
+
+/// The session's TasfarOptions: the server-wide options with the
+/// session's own backend choice, so the adapt job's internal estimator
+/// matches the serving estimator.
+TasfarOptions WithBackend(TasfarOptions options, UncertaintyBackend backend) {
+  options.uncertainty_backend = backend;
+  return options;
+}
+
 SessionState ParseSessionState(const std::string& name, bool* ok) {
   *ok = true;
   if (name == "created") return SessionState::kCreated;
@@ -83,18 +109,18 @@ Session::Session(std::string user_id, const Sequential& source_model,
                  const TasfarOptions& options, const SessionConfig& config)
     : user_id_(std::move(user_id)),
       calibration_(calibration),
-      options_(options),
+      options_(WithBackend(options, config.backend)),
       config_(config),
       param_count_(const_cast<Sequential&>(source_model).ParameterCount()),
       base_model_(source_model.CloneSequential()),
       telemetry_(kSessionAdaptSampleSlots, kSessionFlightSlots) {
   TASFAR_CHECK(calibration_ != nullptr);
   serving_model_ = base_model_->CloneSequential();
-  predictor_ = std::make_unique<McDropoutPredictor>(
-      serving_model_.get(), options_.mc_samples, config_.predict_batch,
-      config_.seed);
+  ServeModelLocked(std::move(serving_model_), /*adapted=*/false);
+  BackendCounter(config_.backend)->Increment();
   telemetry_.RecordFlight(FlightCode::kSessionCreated,
-                          obs::CurrentTraceContext().trace_id, "");
+                          obs::CurrentTraceContext().trace_id,
+                          std::string("backend=") + predictor_->name());
 }
 
 size_t Session::UsedBytesLocked() const {
@@ -102,6 +128,14 @@ size_t Session::UsedBytesLocked() const {
   if (serving_adapted_) bytes += param_count_ * sizeof(double);
   if (density_map_.has_value()) {
     bytes += density_map_->NumCells() * sizeof(double);
+  }
+  // Ensemble member replicas share the serving model's parameter buffers
+  // (copy-on-write), but the budget charges each extra member at full
+  // detached size — a conservative, stable bound that keeps admission
+  // control independent of buffer-sharing internals (docs/SERVING.md
+  // §Memory budget).
+  if (config_.backend == UncertaintyBackend::kDeepEnsemble) {
+    bytes += (options_.ensemble_members - 1) * param_count_ * sizeof(double);
   }
   // The telemetry rings are preallocated at creation; their constant
   // footprint is part of the session's budget, not free observability.
@@ -111,13 +145,14 @@ size_t Session::UsedBytesLocked() const {
 
 void Session::ServeModelLocked(std::unique_ptr<Sequential> model,
                                bool adapted) {
-  // Order matters: the predictor holds a raw pointer into the model it
+  // Order matters: the estimator holds a raw pointer into the model it
   // wraps, so it must be torn down before the model it references.
   predictor_.reset();
   serving_model_ = std::move(model);
-  predictor_ = std::make_unique<McDropoutPredictor>(
-      serving_model_.get(), options_.mc_samples, config_.predict_batch,
-      config_.seed);
+  EstimatorConfig estimator_config = EstimatorConfigFromOptions(options_);
+  estimator_config.batch_size = config_.predict_batch;
+  estimator_config.seed = config_.seed;
+  predictor_ = MakeEstimator(serving_model_.get(), estimator_config);
   serving_adapted_ = adapted;
 }
 
@@ -293,8 +328,9 @@ void Session::RunAdaptAndFinish(uint64_t adapt_seed) {
     telemetry_.RecordFlight(FlightCode::kSessionDegraded, trace_id, fault);
     // The degradation chain was silent before the flight recorder: dump
     // the ring to the log and retain the blob for InspectSession.
-    TASFAR_LOG(kWarning) << "serve: session '" << user_id_
-                         << "' degraded: " << fault << "\n"
+    TASFAR_LOG(kWarning) << "serve: session '" << user_id_ << "' (backend "
+                         << predictor_->name() << ") degraded: " << fault
+                         << "\n"
                          << telemetry_.DumpFlight(user_id_, fault);
     return;
   }
@@ -341,6 +377,7 @@ SessionInfo Session::Info() const {
   info.adapt_runs = adapt_runs_;
   info.serving_adapted = serving_adapted_;
   info.degraded_reason = degraded_reason_;
+  info.backend = predictor_->name();
   return info;
 }
 
@@ -482,6 +519,9 @@ Status Session::RestoreState(const std::string& text) {
       (restored_model != nullptr ? param_count_ * sizeof(double) : 0) +
       (restored_map.has_value() ? restored_map->NumCells() * sizeof(double)
                                 : 0) +
+      (config_.backend == UncertaintyBackend::kDeepEnsemble
+           ? (options_.ensemble_members - 1) * param_count_ * sizeof(double)
+           : 0) +
       telemetry_.MemoryBytes();
   if (restored_bytes > config_.budget_bytes) {
     BudgetRejectedCounter()->Increment();

@@ -11,7 +11,7 @@
 #include "core/tasfar.h"
 #include "nn/sequential.h"
 #include "serve/telemetry.h"
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 #include "util/status.h"
 
 namespace tasfar::serve {
@@ -44,14 +44,18 @@ struct SessionConfig {
   /// detached parameters, and the retained density map (docs/SERVING.md
   /// §Memory budget). Submits and adapts that would overflow are rejected.
   size_t budget_bytes = 64u * 1024u * 1024u;
-  /// Root seed of the session's MC-dropout prediction streams. The k-th
+  /// Root seed of the session's stochastic prediction streams. The k-th
   /// Predict after the serving model last changed is a deterministic
-  /// function of (model, seed, k).
+  /// function of (model, backend, seed, k).
   uint64_t seed = 0x5eedULL;
   /// Rows per forward batch in Predict.
   size_t predict_batch = 64;
   /// Expected feature count of submitted/predicted rows.
   size_t input_dim = 0;
+  /// Uncertainty backend serving this session's predictions and adapt
+  /// jobs (kCreateSession's `backend` field; docs/UNCERTAINTY.md). The
+  /// kDeepEnsemble backend's member replicas are charged on the budget.
+  UncertaintyBackend backend = UncertaintyBackend::kMcDropout;
 };
 
 /// Snapshot of a session's externally visible state (kQuerySession).
@@ -68,6 +72,8 @@ struct SessionInfo {
   uint64_t adapt_runs = 0;  ///< Completed (successful) adapt jobs.
   bool serving_adapted = false;
   std::string degraded_reason;  ///< "" unless state == kDegraded.
+  /// Stable backend name ("mc_dropout", ...) of the session's estimator.
+  std::string backend;
 };
 
 /// Result of one served prediction.
@@ -81,7 +87,8 @@ struct ServedPrediction {
 /// Owns a zero-copy replica of the shared source model (parameters share
 /// the server's buffers until fine-tuning detaches them — docs/MEMORY.md),
 /// the accumulated unlabeled target rows, the session's density map from
-/// the last adaptation, and the MC-dropout predictor serving requests.
+/// the last adaptation, and the uncertainty estimator serving requests
+/// (the backend chosen at creation — docs/UNCERTAINTY.md).
 ///
 /// Thread model: all public methods are internally locked and may be
 /// called from the network thread and the adapt worker concurrently.
@@ -121,9 +128,9 @@ class Session {
   /// leaves kAdapting.
   void RunAdaptAndFinish(uint64_t adapt_seed);
 
-  /// MC-dropout predictions through the current serving model (adapted
-  /// when available, source otherwise — including while adapting and when
-  /// degraded). InvalidArgument on a feature-count mismatch.
+  /// Uncertainty-annotated predictions through the current serving model
+  /// (adapted when available, source otherwise — including while adapting
+  /// and when degraded). InvalidArgument on a feature-count mismatch.
   Result<ServedPrediction> Predict(const Tensor& inputs);
 
   SessionInfo Info() const;
@@ -148,9 +155,10 @@ class Session {
 
  private:
   /// Budget accounting (callers hold mu_): bytes held by accumulated rows,
-  /// the detached adapted parameters, and the density map.
+  /// the detached adapted parameters, the density map, and — for the
+  /// kDeepEnsemble backend — the member replicas.
   size_t UsedBytesLocked() const;
-  /// Rebuilds the predictor over `model` (callers hold mu_).
+  /// Rebuilds the estimator over `model` (callers hold mu_).
   void ServeModelLocked(std::unique_ptr<Sequential> model, bool adapted);
 
   const std::string user_id_;
@@ -166,7 +174,7 @@ class Session {
   /// The model predictions are served from (== base_model_ until the
   /// first successful adapt installs a fine-tuned model).
   std::unique_ptr<Sequential> serving_model_;
-  std::unique_ptr<McDropoutPredictor> predictor_;
+  std::unique_ptr<UncertaintyEstimator> predictor_;
   bool serving_adapted_ = false;
   /// Accumulated unlabeled target rows, row-major.
   std::vector<double> rows_;

@@ -116,11 +116,17 @@ SessionManager::SessionManager(const Sequential* source_model,
                                const TasfarOptions& options,
                                const ManagerConfig& config)
     : source_model_(source_model),
-      calibration_(calibration),
       options_(options),
       config_(config),
       runner_(config.job_queue_capacity) {
-  TASFAR_CHECK(source_model_ != nullptr && calibration_ != nullptr);
+  TASFAR_CHECK(source_model_ != nullptr && calibration != nullptr);
+  calibrations_[options_.uncertainty_backend] = calibration;
+}
+
+void SessionManager::RegisterBackendCalibration(
+    UncertaintyBackend backend, const SourceCalibration* calibration) {
+  TASFAR_CHECK(calibration != nullptr);
+  calibrations_[backend] = calibration;
 }
 
 Status SessionManager::Create(const std::string& user_id,
@@ -154,9 +160,19 @@ Status SessionManager::Create(const std::string& user_id,
   }
   SessionConfig cfg = config;
   if (cfg.budget_bytes == 0) cfg.budget_bytes = config_.default_budget_bytes;
+  // Sessions adapt against the calibration fit on their backend's
+  // uncertainty scale; thresholding one backend's uncertainty against
+  // another backend's τ silently degenerates the confidence split.
+  const auto calib_it = calibrations_.find(cfg.backend);
+  if (calib_it == calibrations_.end()) {
+    return Status::InvalidArgument(
+        std::string("no calibration registered for backend '") +
+        UncertaintyBackendName(cfg.backend) + "'");
+  }
   sessions_.emplace(user_id,
                     std::make_shared<Session>(user_id, *source_model_,
-                                              calibration_, options_, cfg));
+                                              calib_it->second, options_,
+                                              cfg));
   SessionsCreatedCounter()->Increment();
   SessionsActiveGauge()->Set(static_cast<double>(sessions_.size()));
   return Status::Ok();
@@ -223,9 +239,9 @@ std::string SessionManager::SessionsText() const {
     for (const auto& [_, session] : sessions_) sessions.push_back(session);
   }
   std::ostringstream out;
-  out << "user state rows used_bytes budget_bytes budget_pct adapt_runs "
-         "last_adapt predict_count predict_p50_ms predict_p99_ms "
-         "degraded_reason\n";
+  out << "user state backend rows used_bytes budget_bytes budget_pct "
+         "adapt_runs last_adapt predict_count predict_p50_ms "
+         "predict_p99_ms degraded_reason\n";
   for (const std::shared_ptr<Session>& session : sessions) {
     const SessionInfo info = session->Info();
     const TelemetrySnapshot telemetry = session->Telemetry();
@@ -248,8 +264,8 @@ std::string SessionManager::SessionsText() const {
     // The user id cannot contain whitespace (Create rejects it), so the
     // free-form degraded reason is safe as the final column.
     out << info.user_id << ' ' << SessionStateName(info.state) << ' '
-        << info.pending_rows << ' ' << info.used_bytes << ' '
-        << info.budget_bytes << buf
+        << info.backend << ' ' << info.pending_rows << ' '
+        << info.used_bytes << ' ' << info.budget_bytes << buf
         << (info.degraded_reason.empty() ? "-" : info.degraded_reason)
         << "\n";
   }

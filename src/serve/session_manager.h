@@ -72,17 +72,29 @@ struct ManagerConfig {
 class SessionManager {
  public:
   /// `source_model` and `calibration` are shared by every session and must
-  /// outlive the manager.
+  /// outlive the manager. `calibration` is registered under
+  /// `options.uncertainty_backend` — the backend it was fit on.
   SessionManager(const Sequential* source_model,
                  const SourceCalibration* calibration,
                  const TasfarOptions& options, const ManagerConfig& config);
+
+  /// Registers the Q_s calibration sessions created with `backend` adapt
+  /// against. Q_s maps *that backend's* uncertainty scale to an error
+  /// quantile, so each served backend needs its own fit — a session
+  /// requesting a backend with no registered calibration is rejected at
+  /// create (docs/UNCERTAINTY.md §Serving). `calibration` must outlive
+  /// the manager. Not synchronized against Create: call before the server
+  /// starts accepting connections.
+  void RegisterBackendCalibration(UncertaintyBackend backend,
+                                  const SourceCalibration* calibration);
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Creates a session for `user_id`. InvalidArgument when the id is
   /// empty, longer than kMaxUserIdBytes, or contains whitespace/control
-  /// characters (such an id could not round-trip SerializeState);
+  /// characters (such an id could not round-trip SerializeState), or when
+  /// `config.backend` has no registered calibration;
   /// FailedPrecondition when the id is taken, OutOfRange when the server
   /// is at max_sessions (`tasfar.serve.sessions.rejected` increments).
   Status Create(const std::string& user_id, const SessionConfig& config);
@@ -115,9 +127,11 @@ class SessionManager {
 
  private:
   const Sequential* source_model_;
-  const SourceCalibration* calibration_;
   const TasfarOptions options_;
   const ManagerConfig config_;
+  /// Backend → the Q_s calibration fit on that backend's uncertainty
+  /// scale. Immutable once the server is accepting connections.
+  std::map<UncertaintyBackend, const SourceCalibration*> calibrations_;
 
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Session>> sessions_;

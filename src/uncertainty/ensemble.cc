@@ -1,9 +1,18 @@
 #include "uncertainty/ensemble.h"
 
 #include <cmath>
+#include <limits>
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/simd/dispatch.h"
+#include "tensor/workspace.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 
@@ -40,44 +49,117 @@ DeepEnsemble DeepEnsemble::Train(
   return DeepEnsemble(std::move(members));
 }
 
+DeepEnsemble DeepEnsemble::FromSource(Sequential* source, size_t num_members,
+                                      uint64_t seed, size_t batch_size) {
+  TASFAR_CHECK(source != nullptr);
+  TASFAR_CHECK_MSG(num_members >= 2,
+                   "an ensemble needs at least two members");
+  TASFAR_CHECK(batch_size > 0);
+  std::vector<std::unique_ptr<Sequential>> members;
+  members.reserve(num_members);
+  for (size_t k = 0; k < num_members; ++k) {
+    // Cloning shares every parameter buffer with the source
+    // (copy-on-write), so this is a structural copy, not a weight copy.
+    members.push_back(source->CloneSequential());
+  }
+  DeepEnsemble ensemble(std::move(members));
+  ensemble.stochastic_members_ = true;
+  ensemble.seed_ = seed;
+  ensemble.batch_size_ = batch_size;
+  return ensemble;
+}
+
 std::vector<McPrediction> DeepEnsemble::Predict(const Tensor& inputs) const {
   const size_t n = inputs.dim(0);
-  Tensor sum, sum_sq;
-  size_t out_dim = 0;
-  for (size_t k = 0; k < members_.size(); ++k) {
-    Tensor pass = BatchedForward(members_[k].get(), inputs,
-                                 /*training=*/false);
-    if (k == 0) {
-      out_dim = pass.dim(1);
-      sum = pass;
-      sum_sq = pass * pass;
-    } else {
-      TASFAR_CHECK_MSG(pass.dim(1) == out_dim,
-                       "ensemble members disagree on output width");
-      sum += pass;
-      sum_sq += pass * pass;
-    }
-  }
-  const double inv_k = 1.0 / static_cast<double>(members_.size());
   std::vector<McPrediction> out(n);
+  if (n == 0) return out;
+  TASFAR_TRACE_SPAN("ensemble.predict");
+  const bool metrics = obs::MetricsEnabled();
+  static obs::Histogram* const kPassMs = obs::Registry::Get().GetHistogram(
+      "tasfar.uncertainty.ensemble.pass_ms", obs::Histogram::LatencyEdgesMs());
+  static obs::Counter* const kPredictions = obs::Registry::Get().GetCounter(
+      "tasfar.uncertainty.ensemble.predictions");
+  static obs::Counter* const kPasses =
+      obs::Registry::Get().GetCounter("tasfar.uncertainty.ensemble.passes");
+
+  bool use_f32 = simd::ComputeModeIsF32();
+  for (size_t k = 0; use_f32 && k < members_.size(); ++k) {
+    use_f32 = members_[k]->SupportsF32();
+  }
+
+  // One forward pass per member, each member touched by exactly one task.
+  // Source-derived members re-pin their stochastic streams to
+  // MixSeed(seed_, k) before every pass — which thread runs the pass is
+  // irrelevant to its output. Tasks only read `inputs` and write disjoint
+  // `passes` slots, so the fan-out is race-free and the reduction below —
+  // done serially in ascending member order — is byte-identical at every
+  // thread count.
+  const size_t num_members = members_.size();
+  std::vector<Tensor> passes(num_members);
+  ParallelFor(0, num_members, /*grain=*/1, [&](size_t k) {
+    const uint64_t t0 = metrics ? obs::MonotonicMicros() : 0;
+    Sequential* member = members_[k].get();
+    if (stochastic_members_) member->ReseedStochastic(MixSeed(seed_, k));
+    passes[k] = use_f32 ? BatchedForwardF32(member, inputs,
+                                            stochastic_members_, batch_size_)
+                        : BatchedForward(member, inputs, stochastic_members_,
+                                         batch_size_);
+    if (metrics) {
+      kPassMs->Observe(
+          static_cast<double>(obs::MonotonicMicros() - t0) / 1000.0);
+    }
+  });
+  if (metrics) {
+    kPredictions->Increment(n);
+    kPasses->Increment(num_members);
+  }
+  const size_t out_dim = passes[0].dim(1);
+  for (size_t k = 1; k < num_members; ++k) {
+    TASFAR_CHECK_MSG(passes[k].dim(1) == out_dim,
+                     "ensemble members disagree on output width");
+  }
+
+  // Accumulate sum and sum-of-squares across members, in workspace
+  // tensors (the square-then-add two-op order per member matches the
+  // pre-workspace `sum_sq += pass * pass` expression byte for byte).
+  Workspace& ws = Workspace::ThreadLocal();
+  Tensor sum = ws.NewTensor(passes[0].shape());
+  CopyInto(passes[0], &sum);
+  Tensor sum_sq = ws.NewTensor(passes[0].shape());
+  MulInto(passes[0], passes[0], &sum_sq);
+  Tensor sq = ws.NewTensor(passes[0].shape());
+  for (size_t k = 1; k < num_members; ++k) {
+    AddInto(sum, passes[k], &sum);  // aliased: elementwise in-place add.
+    MulInto(passes[k], passes[k], &sq);
+    AddInto(sum_sq, sq, &sum_sq);  // aliased: elementwise in-place add.
+  }
+  const double inv_k = 1.0 / static_cast<double>(num_members);
   for (size_t i = 0; i < n; ++i) {
     out[i].mean.resize(out_dim);
     out[i].std.resize(out_dim);
     for (size_t j = 0; j < out_dim; ++j) {
       const double m = sum.At(i, j) * inv_k;
       double var = sum_sq.At(i, j) * inv_k - m * m;
-      if (var < 0.0) var = 0.0;
+      if (var < 0.0) var = 0.0;  // Numerical guard.
       out[i].mean[j] = m;
       out[i].std[j] = std::sqrt(var);
     }
+  }
+  // Chaos injection: one prediction comes back poisoned, as a corrupted
+  // member pass would leave it. Consumers must drop it, not crash on it.
+  if (TASFAR_FAILPOINT("ensemble.poison")) {
+    out[0].mean[0] = std::numeric_limits<double>::quiet_NaN();
+    out[0].std[0] = std::numeric_limits<double>::quiet_NaN();
   }
   return out;
 }
 
 Tensor DeepEnsemble::PredictMean(const Tensor& inputs) const {
+  if (inputs.dim(0) == 0) return Tensor({0, 0});
   Tensor sum;
   for (size_t k = 0; k < members_.size(); ++k) {
-    Tensor pass = BatchedForward(members_[k].get(), inputs, false);
+    Tensor pass = BatchedForward(members_[k].get(), inputs,
+                                 /*training=*/false, batch_size_);
     if (k == 0) {
       sum = pass;
     } else {
@@ -85,6 +167,20 @@ Tensor DeepEnsemble::PredictMean(const Tensor& inputs) const {
     }
   }
   return sum / static_cast<double>(members_.size());
+}
+
+void DeepEnsemble::Reseed(uint64_t seed) { seed_ = seed; }
+
+std::unique_ptr<UncertaintyEstimator> DeepEnsemble::Clone(
+    Sequential* model) const {
+  if (stochastic_members_) {
+    return std::make_unique<DeepEnsemble>(
+        FromSource(model, members_.size(), seed_, batch_size_));
+  }
+  std::vector<std::unique_ptr<Sequential>> copies;
+  copies.reserve(members_.size());
+  for (const auto& m : members_) copies.push_back(m->CloneSequential());
+  return std::make_unique<DeepEnsemble>(std::move(copies));
 }
 
 }  // namespace tasfar

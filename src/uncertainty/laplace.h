@@ -1,0 +1,77 @@
+#ifndef TASFAR_UNCERTAINTY_LAPLACE_H_
+#define TASFAR_UNCERTAINTY_LAPLACE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "uncertainty/estimator.h"
+
+namespace tasfar {
+
+/// Last-layer Laplace approximation (UncertaintyBackend::kLastLayerLaplace):
+/// a Gauss–Newton posterior over the final Dense layer with closed-form
+/// predictive variance — no stochastic passes at all, so it is the
+/// cheapest backend (one deterministic forward plus an O(n·d² + d³)
+/// solve, d = last-layer fan-in).
+///
+/// For each Predict call over inputs X the estimator extracts last-layer
+/// features φ(x) (the activation feeding the final Dense, bias-augmented),
+/// forms the Gauss–Newton precision H = λI + ΦᵀΦ over the call's own
+/// batch, and reports per-sample variance φ(x)ᵀ H⁻¹ φ(x). Rows whose
+/// features sit far from the batch's bulk — exactly the rows the source
+/// model extrapolates on — get large variance, which is the signal the
+/// confidence split needs; the absolute scale is calibrated away by the
+/// QS fit like every other backend's. The mean is the model's own
+/// deterministic prediction, and the per-dimension stds are identical
+/// (the MSE Gauss–Newton posterior factorizes per output with a shared
+/// covariance).
+///
+/// Determinism: everything is a pure function of the weights and the
+/// inputs — no RNG streams, no call index. Predict is byte-identical on
+/// every call and at every TASFAR_NUM_THREADS (the only parallel piece is
+/// the forward pass, which is deterministic by the threading contract;
+/// the ΦᵀΦ accumulation and the Cholesky solve run serially). Predict
+/// runs the wrapped model itself (activation caches mutate), so
+/// concurrent calls are NOT safe — matching PredictMean on every backend.
+class LastLayerLaplace : public UncertaintyEstimator {
+ public:
+  /// `model` must outlive the estimator and end in a Dense layer (the
+  /// regression head the posterior is built over). prior_precision > 0 is
+  /// the λ of H = λI + ΦᵀΦ. `batch_size` is accepted for config symmetry;
+  /// feature extraction runs whole-batch.
+  explicit LastLayerLaplace(Sequential* model, double prior_precision = 1.0,
+                            size_t batch_size = 64);
+
+  LastLayerLaplace(const LastLayerLaplace&) = delete;
+  LastLayerLaplace& operator=(const LastLayerLaplace&) = delete;
+
+  std::vector<McPrediction> Predict(const Tensor& inputs) const override;
+
+  /// The model's deterministic predictions, {n, out_dim}; an empty rank-2
+  /// tensor when n == 0.
+  Tensor PredictMean(const Tensor& inputs) const override;
+
+  /// No stochastic streams exist; a no-op kept for interface symmetry.
+  void Reseed(uint64_t seed) override;
+
+  /// Same prior precision over `model`.
+  std::unique_ptr<UncertaintyEstimator> Clone(
+      Sequential* model) const override;
+
+  const char* name() const override { return "laplace"; }
+
+  double prior_precision() const { return prior_precision_; }
+
+ private:
+  Sequential* model_;
+  double prior_precision_;
+  size_t batch_size_;
+  /// Layer index of the final Dense; features are ForwardTo(·, cut_).
+  size_t cut_;
+};
+
+}  // namespace tasfar
+
+#endif  // TASFAR_UNCERTAINTY_LAPLACE_H_

@@ -16,12 +16,6 @@
 
 namespace tasfar {
 
-double McPrediction::ScalarUncertainty() const {
-  double s = 0.0;
-  for (double v : std) s += v * v;
-  return std::sqrt(s);
-}
-
 McDropoutPredictor::McDropoutPredictor(Sequential* model, size_t num_samples,
                                        size_t batch_size, uint64_t seed)
     : model_(model),
@@ -160,6 +154,17 @@ Tensor McDropoutPredictor::PredictMean(const Tensor& inputs) const {
     return BatchedForwardF32(model_, inputs, /*training=*/false, batch_size_);
   }
   return BatchedForward(model_, inputs, /*training=*/false, batch_size_);
+}
+
+void McDropoutPredictor::Reseed(uint64_t seed) {
+  seed_ = seed;
+  next_call_.store(0, std::memory_order_relaxed);
+}
+
+std::unique_ptr<UncertaintyEstimator> McDropoutPredictor::Clone(
+    Sequential* model) const {
+  return std::make_unique<McDropoutPredictor>(model, num_samples_,
+                                              batch_size_, seed_);
 }
 
 }  // namespace tasfar

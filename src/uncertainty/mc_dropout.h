@@ -8,23 +8,13 @@
 #include <vector>
 
 #include "nn/sequential.h"
+#include "uncertainty/estimator.h"
 
 namespace tasfar {
 
-/// Prediction with Monte-Carlo dropout uncertainty.
-struct McPrediction {
-  std::vector<double> mean;  ///< Per-label-dim predictive mean.
-  std::vector<double> std;   ///< Per-label-dim predictive std deviation.
-
-  /// Scalar uncertainty used by the confidence classifier: the L2 norm of
-  /// the per-dimension standard deviations (reduces to |std| for 1-D
-  /// labels, matching the paper's "standard deviation of predictions from
-  /// twenty samplings").
-  double ScalarUncertainty() const;
-};
-
 /// Monte-Carlo dropout predictor (Gal, 2016), the uncertainty estimator
-/// used in the paper's experiments: the prediction is the mean of
+/// used in the paper's experiments and the pipeline's default backend
+/// (UncertaintyBackend::kMcDropout): the prediction is the mean of
 /// `num_samples` stochastic forward passes (dropout active at inference)
 /// and the uncertainty is the standard deviation across passes.
 ///
@@ -47,7 +37,7 @@ struct McPrediction {
 /// model; concurrent Predict calls are safe as long as nothing else
 /// mutates the model. PredictMean runs the model itself (layer activation
 /// caches mutate) and is not thread-safe.
-class McDropoutPredictor {
+class McDropoutPredictor : public UncertaintyEstimator {
  public:
   /// `model` must outlive the predictor. num_samples >= 2. `seed` is the
   /// root of every dropout stream the predictor will ever use; two
@@ -63,11 +53,22 @@ class McDropoutPredictor {
   /// Handles any row count: n == 0 returns an empty vector, and n that is
   /// smaller than or not a multiple of the batch size is forwarded in one
   /// short final batch.
-  std::vector<McPrediction> Predict(const Tensor& inputs) const;
+  std::vector<McPrediction> Predict(const Tensor& inputs) const override;
 
   /// Deterministic (dropout-off) predictions, {n, out_dim}; returns an
   /// empty rank-2 tensor when n == 0.
-  Tensor PredictMean(const Tensor& inputs) const;
+  Tensor PredictMean(const Tensor& inputs) const override;
+
+  /// Rewinds to a fresh stream root: the next Predict is call index 0 of
+  /// `seed`'s stream, as on a freshly constructed predictor.
+  void Reseed(uint64_t seed) override;
+
+  /// Same num_samples/batch_size/seed over `model`, with a fresh call
+  /// counter and an empty replica pool.
+  std::unique_ptr<UncertaintyEstimator> Clone(
+      Sequential* model) const override;
+
+  const char* name() const override { return "mc_dropout"; }
 
   size_t num_samples() const { return num_samples_; }
 

@@ -39,8 +39,10 @@ class ChaosPipelineTest : public ::testing::Test {
     model->Emplace<Dense>(24, 1, &rng);
 
     const size_t n = 300;
-    Tensor src_x({n, 1});
-    Tensor src_y({n, 1});
+    src_x_ = new Tensor({n, 1});
+    src_y_ = new Tensor({n, 1});
+    Tensor& src_x = *src_x_;
+    Tensor& src_y = *src_y_;
     for (size_t i = 0; i < n; ++i) {
       const double x = rng.Uniform(-2.0, 2.0);
       src_x.At(i, 0) = x;
@@ -79,6 +81,8 @@ class ChaosPipelineTest : public ::testing::Test {
     delete calib_;
     delete tasfar_;
     delete tgt_x_;
+    delete src_y_;
+    delete src_x_;
     delete model_;
   }
 
@@ -105,6 +109,33 @@ class ChaosPipelineTest : public ::testing::Test {
     return report;
   }
 
+  /// AdaptUnderFault with a non-default uncertainty backend: builds a
+  /// fresh Tasfar over the shared source model, recalibrates with that
+  /// backend (faults disabled — the fault under test targets Adapt), then
+  /// adapts under the failpoint spec.
+  TasfarReport AdaptBackendUnderFault(UncertaintyBackend backend,
+                                      const std::string& spec, uint64_t seed,
+                                      uint64_t* fallback_delta) {
+    TasfarOptions options;
+    options.mc_samples = 10;
+    options.num_segments = 10;
+    options.adaptation.train.epochs = 15;
+    options.adaptation.learning_rate = 2e-3;
+    options.uncertainty_backend = backend;
+    Tasfar tasfar(options);
+    SourceCalibration calib =
+        tasfar.Calibrate(model_->get(), *src_x_, *src_y_);
+    TASFAR_CHECK(failpoint::Configure(spec).ok());
+    obs::Counter* const fallback =
+        obs::Registry::Get().GetCounter("tasfar.adapt.fallback");
+    const uint64_t before = fallback->value();
+    Rng rng(seed);
+    TasfarReport report = tasfar.Adapt(model_->get(), calib, *tgt_x_, &rng);
+    failpoint::Disable();
+    *fallback_delta = fallback->value() - before;
+    return report;
+  }
+
   /// The never-worse-than-source guarantee, bit-exact.
   void ExpectReturnsSourceModel(const TasfarReport& report) {
     ASSERT_NE(report.target_model, nullptr);
@@ -112,6 +143,8 @@ class ChaosPipelineTest : public ::testing::Test {
   }
 
   static std::unique_ptr<Sequential>* model_;
+  static Tensor* src_x_;
+  static Tensor* src_y_;
   static Tensor* tgt_x_;
   static Tasfar* tasfar_;
   static SourceCalibration* calib_;
@@ -119,6 +152,8 @@ class ChaosPipelineTest : public ::testing::Test {
 };
 
 std::unique_ptr<Sequential>* ChaosPipelineTest::model_ = nullptr;
+Tensor* ChaosPipelineTest::src_x_ = nullptr;
+Tensor* ChaosPipelineTest::src_y_ = nullptr;
 Tensor* ChaosPipelineTest::tgt_x_ = nullptr;
 Tasfar* ChaosPipelineTest::tasfar_ = nullptr;
 SourceCalibration* ChaosPipelineTest::calib_ = nullptr;
@@ -217,6 +252,63 @@ TEST_F(ChaosPipelineTest, PoisonedMcPredictionDegradesGracefully) {
   // The poisoned sample (index 0) is in neither split.
   for (size_t i : report.confident_indices) EXPECT_NE(i, 0u);
   for (size_t i : report.uncertain_indices) EXPECT_NE(i, 0u);
+}
+
+// Per-backend chaos (ISSUE 10): the never-worse-than-source guarantee is
+// backend-agnostic — a faulted Adapt under the ensemble or Laplace
+// estimator must degrade to serving the source model bit-exactly, same
+// as the MC-dropout cases above.
+TEST_F(ChaosPipelineTest, EnsembleBackendStageFaultFallsBackToSource) {
+  uint64_t delta = 0;
+  TasfarReport report = AdaptBackendUnderFault(
+      UncertaintyBackend::kDeepEnsemble, "tasfar.stage_fault", 73, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.fell_back);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, LaplaceBackendStageFaultFallsBackToSource) {
+  uint64_t delta = 0;
+  TasfarReport report =
+      AdaptBackendUnderFault(UncertaintyBackend::kLastLayerLaplace,
+                             "tasfar.stage_fault", 79, &delta);
+  EXPECT_EQ(delta, 1u);
+  EXPECT_TRUE(report.fell_back);
+  ExpectReturnsSourceModel(report);
+}
+
+TEST_F(ChaosPipelineTest, PoisonedEnsemblePredictionDegradesGracefully) {
+  // Mirror of PoisonedMcPredictionDegradesGracefully on the ensemble
+  // backend: one NaN member-pass prediction is dropped by the guard, the
+  // remaining samples adapt normally.
+  obs::Counter* const dropped =
+      obs::Registry::Get().GetCounter("tasfar.guard.dropped_predictions");
+  const uint64_t dropped_before = dropped->value();
+  uint64_t delta = 0;
+  TasfarReport report = AdaptBackendUnderFault(
+      UncertaintyBackend::kDeepEnsemble, "ensemble.poison", 83, &delta);
+  EXPECT_EQ(delta, 0u);
+  EXPECT_FALSE(report.fell_back);
+  ASSERT_FALSE(report.skipped);
+  EXPECT_EQ(report.num_confident + report.num_uncertain,
+            tgt_x_->dim(0) - 1);
+  EXPECT_EQ(dropped->value(), dropped_before + 1);
+}
+
+TEST_F(ChaosPipelineTest, PoisonedLaplacePredictionDegradesGracefully) {
+  obs::Counter* const dropped =
+      obs::Registry::Get().GetCounter("tasfar.guard.dropped_predictions");
+  const uint64_t dropped_before = dropped->value();
+  uint64_t delta = 0;
+  TasfarReport report =
+      AdaptBackendUnderFault(UncertaintyBackend::kLastLayerLaplace,
+                             "laplace.poison", 89, &delta);
+  EXPECT_EQ(delta, 0u);
+  EXPECT_FALSE(report.fell_back);
+  ASSERT_FALSE(report.skipped);
+  EXPECT_EQ(report.num_confident + report.num_uncertain,
+            tgt_x_->dim(0) - 1);
+  EXPECT_EQ(dropped->value(), dropped_before + 1);
 }
 
 TEST_F(ChaosPipelineTest, RandomizedChaosRunExitsZero) {

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 
 #include <cstdint>
@@ -56,6 +57,12 @@ std::unique_ptr<Server> StartServer() {
   config.port = 0;  // ephemeral
   auto server =
       std::make_unique<Server>(b.model.get(), &b.calibration, b.options, config);
+  // Same registration the demo daemon performs: one calibration per
+  // served backend, each fit on that backend's uncertainty scale.
+  server->RegisterBackendCalibration(UncertaintyBackend::kDeepEnsemble,
+                                     &b.ensemble_calibration);
+  server->RegisterBackendCalibration(UncertaintyBackend::kLastLayerLaplace,
+                                     &b.laplace_calibration);
   const Status s = server->Start();
   EXPECT_TRUE(s.ok()) << s.ToString();
   return server;
@@ -147,6 +154,90 @@ TEST(ServeLoopbackTest, PredictAfterAdaptIsByteIdenticalAcrossThreadCounts) {
     server->Stop();
   }
   SetNumThreads(original_threads);
+}
+
+// --- uncertainty backends over the wire (ISSUE 10) --------------------------
+
+TEST(ServeLoopbackTest, EveryBackendAdaptsAndPredictsOverTheWire) {
+  const DemoBundle& b = Bundle();
+  const Tensor adapt_rows = b.target_rows.SliceRows(0, 200);
+  const Tensor probe = b.target_rows.SliceRows(0, 6);
+  const uint32_t cols = static_cast<uint32_t>(probe.dim(1));
+
+  std::unique_ptr<Server> server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+  for (const UncertaintyBackend backend :
+       {UncertaintyBackend::kMcDropout, UncertaintyBackend::kDeepEnsemble,
+        UncertaintyBackend::kLastLayerLaplace}) {
+    const std::string user =
+        std::string("wire-") + UncertaintyBackendName(backend);
+    SCOPED_TRACE(user);
+    ASSERT_TRUE(
+        client.CreateSession(user, kSessionSeed, cols, /*budget_bytes=*/0,
+                             backend)
+            .ok());
+    Result<ClientSessionInfo> created = client.QuerySession(user);
+    ASSERT_TRUE(created.ok());
+    EXPECT_EQ(created.value().backend, UncertaintyBackendName(backend));
+
+    ASSERT_TRUE(
+        client.SubmitTargetData(user, 200, cols, adapt_rows.data()).ok());
+    ASSERT_TRUE(client.Adapt(user, kAdaptSeed).ok());
+    ClientSessionInfo info;
+    ASSERT_TRUE(WaitNotAdapting(&client, user, &info));
+    ASSERT_EQ(info.state, SessionState::kAdapted)
+        << "degraded: " << info.degraded_reason;
+
+    Result<ClientPrediction> served =
+        client.Predict(user, 6, cols, probe.data());
+    ASSERT_TRUE(served.ok()) << served.status().ToString();
+    EXPECT_TRUE(served.value().from_adapted);
+    ASSERT_EQ(served.value().predictions.size(), 6u);
+    for (const WirePrediction& p : served.value().predictions) {
+      for (const double m : p.mean) EXPECT_TRUE(std::isfinite(m));
+      for (const double s : p.std) {
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_GE(s, 0.0);
+      }
+    }
+  }
+}
+
+TEST(ServeLoopbackTest, UnknownBackendByteIsRejectedAtCreate) {
+  std::unique_ptr<Server> server = StartServer();
+  Client client;
+  ASSERT_TRUE(client.Connect(server->port()).ok());
+  const Status st = client.CreateSession(
+      "mallory", kSessionSeed, 8, /*budget_bytes=*/0,
+      static_cast<UncertaintyBackend>(7));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kBadRequest);
+  // The connection (and the server) survived the bad byte.
+  EXPECT_TRUE(client.Ping().ok());
+  EXPECT_TRUE(client.CreateSession("mallory", kSessionSeed, 8).ok());
+}
+
+TEST(ServeLoopbackTest, BackendWithoutCalibrationIsRejectedAtCreate) {
+  // A server given only the ctor calibration (no demo registrations)
+  // serves exactly options.uncertainty_backend — a session on any other
+  // backend would adapt against a mismatched uncertainty scale, so the
+  // create is refused as bad_request rather than degrading later.
+  const DemoBundle& b = Bundle();
+  ServerConfig config;
+  config.port = 0;
+  Server server(b.model.get(), &b.calibration, b.options, config);
+  ASSERT_TRUE(server.Start().ok());
+  Client client;
+  ASSERT_TRUE(client.Connect(server.port()).ok());
+  const uint32_t cols = static_cast<uint32_t>(b.target_rows.dim(1));
+  const Status st =
+      client.CreateSession("u", kSessionSeed, cols, /*budget_bytes=*/0,
+                           UncertaintyBackend::kLastLayerLaplace);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(client.last_wire_error(), WireError::kBadRequest);
+  // The default backend still creates fine.
+  EXPECT_TRUE(client.CreateSession("u", kSessionSeed, cols).ok());
 }
 
 // --- distributed tracing & per-session telemetry ----------------------------

@@ -28,8 +28,14 @@ const DemoBundle& Bundle() {
 std::unique_ptr<SessionManager> MakeManager(
     const ManagerConfig& config = ManagerConfig{}) {
   const DemoBundle& b = Bundle();
-  return std::make_unique<SessionManager>(b.model.get(), &b.calibration,
-                                          b.options, config);
+  auto manager = std::make_unique<SessionManager>(b.model.get(),
+                                                  &b.calibration, b.options,
+                                                  config);
+  manager->RegisterBackendCalibration(UncertaintyBackend::kDeepEnsemble,
+                                      &b.ensemble_calibration);
+  manager->RegisterBackendCalibration(UncertaintyBackend::kLastLayerLaplace,
+                                      &b.laplace_calibration);
+  return manager;
 }
 
 SessionConfig Config() {
@@ -86,6 +92,51 @@ TEST(SessionManagerTest, EveryCreatableIdRoundTripsItsOwnBlob) {
   ASSERT_NE(fresh, nullptr);
   ASSERT_TRUE(fresh->RestoreState(blob).ok());
   EXPECT_EQ(fresh->Info().pending_rows, 4u);
+}
+
+// --- per-backend calibrations (ISSUE 10) ------------------------------------
+
+TEST(SessionManagerTest, CreateRejectsBackendWithoutCalibration) {
+  // A manager given only the ctor calibration serves exactly
+  // options.uncertainty_backend (mc_dropout here): adapting a laplace
+  // session against a dropout-scale τ would silently degenerate the
+  // confidence split, so the mismatch is refused up front.
+  const DemoBundle& b = Bundle();
+  SessionManager manager(b.model.get(), &b.calibration, b.options,
+                         ManagerConfig{});
+  SessionConfig config = Config();
+  config.backend = UncertaintyBackend::kLastLayerLaplace;
+  const Status st = manager.Create("u", config);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("laplace"), std::string::npos);
+  EXPECT_EQ(manager.NumSessions(), 0u);
+
+  config.backend = UncertaintyBackend::kMcDropout;
+  EXPECT_TRUE(manager.Create("u", config).ok());
+}
+
+TEST(SessionManagerTest, RegisteredBackendsCreateWithMatchingLabel) {
+  auto manager = MakeManager();
+  SessionConfig config = Config();
+  config.backend = UncertaintyBackend::kDeepEnsemble;
+  ASSERT_TRUE(manager->Create("ensemble-user", config).ok());
+  config.backend = UncertaintyBackend::kLastLayerLaplace;
+  ASSERT_TRUE(manager->Create("laplace-user", config).ok());
+  EXPECT_EQ(manager->Find("ensemble-user")->Info().backend, "ensemble");
+  EXPECT_EQ(manager->Find("laplace-user")->Info().backend, "laplace");
+}
+
+TEST(SessionManagerTest, SessionsTextReportsTheBackendColumn) {
+  auto manager = MakeManager();
+  SessionConfig config = Config();
+  ASSERT_TRUE(manager->Create("mc-user", config).ok());
+  config.backend = UncertaintyBackend::kDeepEnsemble;
+  ASSERT_TRUE(manager->Create("ens-user", config).ok());
+  const std::string text = manager->SessionsText();
+  // Header names the column; each row carries the session's label in it.
+  EXPECT_NE(text.find("user state backend rows"), std::string::npos);
+  EXPECT_NE(text.find("mc-user created mc_dropout"), std::string::npos);
+  EXPECT_NE(text.find("ens-user created ensemble"), std::string::npos);
 }
 
 // --- JobRunner drain --------------------------------------------------------

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -37,9 +38,12 @@ SessionConfig SmallConfig() {
 
 std::unique_ptr<Session> MakeSession(const std::string& user,
                                      const SessionConfig& config) {
+  // Mirrors SessionManager::Create: the session adapts against the
+  // calibration fit on its own backend's uncertainty scale.
   const DemoBundle& b = Bundle();
-  return std::make_unique<Session>(user, *b.model, &b.calibration, b.options,
-                                   config);
+  return std::make_unique<Session>(user, *b.model,
+                                   &b.CalibrationFor(config.backend),
+                                   b.options, config);
 }
 
 Tensor Rows(size_t n) {
@@ -270,6 +274,107 @@ TEST(SessionTest, ChaosEveryDegradationHasMatchingFlightDump) {
         << t.last_dump;
     ASSERT_FALSE(t.flight_events.empty());
     EXPECT_EQ(t.flight_events.back().code, FlightCode::kSessionDegraded);
+  }
+}
+
+// --- uncertainty backends (ISSUE 10) ----------------------------------------
+
+SessionConfig BackendConfig(UncertaintyBackend backend) {
+  SessionConfig config = SmallConfig();
+  config.backend = backend;
+  return config;
+}
+
+TEST(SessionTest, EveryBackendRunsAdaptAndPredict) {
+  for (UncertaintyBackend backend :
+       {UncertaintyBackend::kMcDropout, UncertaintyBackend::kDeepEnsemble,
+        UncertaintyBackend::kLastLayerLaplace}) {
+    SCOPED_TRACE(UncertaintyBackendName(backend));
+    auto session = MakeSession("u", BackendConfig(backend));
+    EXPECT_EQ(session->Info().backend, UncertaintyBackendName(backend));
+
+    const Tensor rows = Rows(200);
+    ASSERT_TRUE(session->SubmitRows(200, rows.dim(1), rows.data()).ok());
+    ASSERT_TRUE(session->BeginAdapt().ok());
+    session->RunAdaptAndFinish(/*adapt_seed=*/7);
+    const SessionInfo info = session->Info();
+    ASSERT_EQ(info.state, SessionState::kAdapted)
+        << "degraded: " << info.degraded_reason;
+    EXPECT_TRUE(info.serving_adapted);
+
+    auto pred = session->Predict(Rows(3));
+    ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+    EXPECT_TRUE(pred.value().from_adapted);
+    for (const auto& p : pred.value().predictions) {
+      EXPECT_TRUE(std::isfinite(p.mean[0]));
+      EXPECT_GE(p.std[0], 0.0);
+    }
+  }
+}
+
+TEST(SessionTest, BackendCreationIncrementsItsCounter) {
+  obs::SetMetricsEnabled(true);
+  const uint64_t ensemble_before =
+      CounterValue("tasfar.serve.session.backend.ensemble");
+  const uint64_t laplace_before =
+      CounterValue("tasfar.serve.session.backend.laplace");
+  auto a = MakeSession("u", BackendConfig(UncertaintyBackend::kDeepEnsemble));
+  auto b =
+      MakeSession("v", BackendConfig(UncertaintyBackend::kLastLayerLaplace));
+  EXPECT_EQ(CounterValue("tasfar.serve.session.backend.ensemble"),
+            ensemble_before + 1);
+  EXPECT_EQ(CounterValue("tasfar.serve.session.backend.laplace"),
+            laplace_before + 1);
+}
+
+TEST(SessionTest, EnsembleSessionChargesMemberReplicasOnTheBudget) {
+  // docs/SERVING.md: an ensemble session holds num_members - 1 extra
+  // member replicas, charged conservatively at the full detached model
+  // size each.
+  auto mc = MakeSession("u", SmallConfig());
+  auto ens =
+      MakeSession("v", BackendConfig(UncertaintyBackend::kDeepEnsemble));
+  size_t param_count = 0;
+  for (const Tensor* p : Bundle().model->Params()) param_count += p->size();
+  const uint64_t expected_extra =
+      (Bundle().options.ensemble_members - 1) * param_count * sizeof(double);
+  EXPECT_EQ(ens->Info().used_bytes,
+            mc->Info().used_bytes + expected_extra);
+}
+
+TEST(SessionTest, EnsembleBudgetTooSmallForReplicasRejectsCreation) {
+  // The replica charge participates in budget enforcement from the first
+  // submit: a budget that fits rows under mc_dropout overflows under the
+  // ensemble backend.
+  SessionConfig config = BackendConfig(UncertaintyBackend::kDeepEnsemble);
+  config.budget_bytes =
+      TelemetryOverheadBytes() + 8 * config.input_dim * 4;  // rows only
+  auto session = MakeSession("u", config);
+  const Tensor rows = Rows(4);
+  EXPECT_EQ(session->SubmitRows(4, rows.dim(1), rows.data()).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SessionTest, KilledAdaptOnEnsembleBackendDegradesToSourceServing) {
+  // The degradation contract is backend-agnostic: a killed adapt job on an
+  // ensemble session leaves it serving source-model predictions.
+  obs::SetMetricsEnabled(true);
+  auto session =
+      MakeSession("u", BackendConfig(UncertaintyBackend::kDeepEnsemble));
+  const Tensor rows = Rows(50);
+  ASSERT_TRUE(session->SubmitRows(50, rows.dim(1), rows.data()).ok());
+  ASSERT_TRUE(session->BeginAdapt().ok());
+  ASSERT_TRUE(failpoint::Configure("serve.adapt_job").ok());
+  session->RunAdaptAndFinish(/*adapt_seed=*/7);
+  failpoint::Disable();
+  const SessionInfo info = session->Info();
+  EXPECT_EQ(info.state, SessionState::kDegraded);
+  EXPECT_FALSE(info.serving_adapted);
+  auto pred = session->Predict(Rows(2));
+  ASSERT_TRUE(pred.ok()) << pred.status().ToString();
+  EXPECT_FALSE(pred.value().from_adapted);
+  for (const auto& p : pred.value().predictions) {
+    EXPECT_TRUE(std::isfinite(p.mean[0]));
   }
 }
 

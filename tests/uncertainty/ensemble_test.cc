@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "core/tasfar.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/dropout.h"
-#include "core/tasfar.h"
+#include "tensor/buffer.h"
+#include "util/thread_pool.h"
 
 namespace tasfar {
 namespace {
@@ -120,6 +124,125 @@ TEST(DeepEnsembleTest, PluggableIntoTasfarPipeline) {
   EXPECT_EQ(report.predictions.size(), 150u);
   EXPECT_EQ(report.num_confident + report.num_uncertain, 150u);
   ASSERT_NE(report.target_model, nullptr);
+}
+
+std::unique_ptr<Sequential> DropoutModel(Rng* rng) {
+  auto m = std::make_unique<Sequential>();
+  m->Emplace<Dense>(2, 16, rng);
+  m->Emplace<Relu>();
+  m->Emplace<Dropout>(0.2, rng->NextU64());
+  m->Emplace<Dense>(16, 1, rng);
+  return m;
+}
+
+void ExpectIdentical(const std::vector<McPrediction>& a,
+                     const std::vector<McPrediction>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].mean.size(), b[i].mean.size());
+    for (size_t j = 0; j < a[i].mean.size(); ++j) {
+      EXPECT_EQ(a[i].mean[j], b[i].mean[j]);
+      EXPECT_EQ(a[i].std[j], b[i].std[j]);
+    }
+  }
+}
+
+TEST(SourceEnsembleTest, PinnedStreamsDisagreeAcrossMembers) {
+  // Source-derived members share weights; diversity comes entirely from
+  // the per-member pinned dropout streams, so disagreement must be > 0.
+  Rng rng(31);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 5, 0x5eed);
+  Tensor x = Tensor::RandomNormal({16, 2}, &rng, 0.0, 2.0);
+  double total_std = 0.0;
+  for (const auto& p : ensemble.Predict(x)) total_std += p.std[0];
+  EXPECT_GT(total_std, 0.0);
+}
+
+TEST(SourceEnsembleTest, EveryCallIsByteIdentical) {
+  // Masks are pinned to the member index, not the call index — unlike MC
+  // dropout, repeat calls return the same bytes.
+  Rng rng(32);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 4, 0x5eed);
+  Tensor x = Tensor::RandomNormal({9, 2}, &rng);
+  ExpectIdentical(ensemble.Predict(x), ensemble.Predict(x));
+}
+
+TEST(SourceEnsembleTest, PredictIsByteIdenticalAtAnyThreadCount) {
+  // The fan-out across ParallelFor (one task per member, serial reduction
+  // in ascending member order) must be invisible in the bytes.
+  auto run = [](size_t threads) {
+    SetNumThreads(threads);
+    Rng rng(33);
+    auto model = DropoutModel(&rng);
+    DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 5, 0xfeed);
+    Tensor x = Tensor::RandomNormal({37, 2}, &rng);
+    auto preds = ensemble.Predict(x);
+    SetNumThreads(0);
+    return preds;
+  };
+  auto a = run(1);
+  auto b = run(2);
+  auto c = run(8);
+  ExpectIdentical(a, b);
+  ExpectIdentical(a, c);
+}
+
+TEST(SourceEnsembleTest, PredictMeanEqualsSourcePrediction) {
+  // Members share the source weights, so the deterministic ensemble mean
+  // is the source model's own deterministic prediction.
+  Rng rng(34);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 3, 0x5eed);
+  Tensor x = Tensor::RandomNormal({7, 2}, &rng);
+  Tensor mean = ensemble.PredictMean(x);
+  Tensor source = model->Forward(x, /*training=*/false);
+  EXPECT_NEAR(mean.MaxAbsDiff(source), 0.0, 1e-12);
+}
+
+TEST(SourceEnsembleTest, SteadyStatePredictAllocatesNothing) {
+  // Member passes run on per-thread Workspace arenas (docs/MEMORY.md):
+  // once warm, Predict must not allocate a single tensor buffer.
+  Rng rng(35);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 5, 0x5eed);
+  Tensor x = Tensor::RandomNormal({32, 2}, &rng);
+  for (int warm = 0; warm < 3; ++warm) (void)ensemble.Predict(x);
+  const TensorAllocStats before = GetTensorAllocStats();
+  auto preds = ensemble.Predict(x);
+  const TensorAllocStats after = GetTensorAllocStats();
+  EXPECT_EQ(after.alloc_count, before.alloc_count);
+  EXPECT_GT(after.workspace_reuses, before.workspace_reuses);
+  ASSERT_EQ(preds.size(), 32u);
+}
+
+TEST(SourceEnsembleTest, ReseedRerollsTheMemberStreams) {
+  Rng rng(36);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 4, 0x5eed);
+  Tensor x = Tensor::RandomNormal({10, 2}, &rng, 0.0, 2.0);
+  auto original = ensemble.Predict(x);
+  ensemble.Reseed(0xabcdULL);
+  auto rerolled = ensemble.Predict(x);
+  double diff = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    diff += std::fabs(original[i].mean[0] - rerolled[i].mean[0]);
+  }
+  EXPECT_GT(diff, 0.0);
+  ensemble.Reseed(0x5eedULL);  // Replay: back to the original bytes.
+  ExpectIdentical(ensemble.Predict(x), original);
+}
+
+TEST(SourceEnsembleTest, CloneRebuildsOverTheNewModel) {
+  Rng rng(37);
+  auto model = DropoutModel(&rng);
+  DeepEnsemble ensemble = DeepEnsemble::FromSource(model.get(), 3, 0x5eed);
+  auto replica_model = model->CloneSequential();
+  auto clone = ensemble.Clone(replica_model.get());
+  EXPECT_STREQ(clone->name(), "ensemble");
+  Tensor x = Tensor::RandomNormal({8, 2}, &rng);
+  ExpectIdentical(ensemble.Predict(x), clone->Predict(x));
 }
 
 TEST(DeepEnsembleDeathTest, SingleMemberRejected) {

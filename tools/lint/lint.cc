@@ -334,6 +334,32 @@ void CheckSimdDiscipline(const std::string& path,
   }
 }
 
+/// Concrete uncertainty estimators (docs/UNCERTAINTY.md). Pipeline,
+/// serving, and eval code under src/ must go through the
+/// UncertaintyEstimator seam — MakeEstimator(model, EstimatorConfig) —
+/// so the backend choice stays a config value that threads through
+/// TasfarOptions and the serve protocol. Naming a concrete estimator
+/// class outside src/uncertainty/ re-couples a layer to one backend;
+/// tests and benches may construct concrete estimators to pin
+/// backend-specific contracts.
+void CheckEstimatorDiscipline(const std::string& path,
+                              const std::vector<Token>& toks,
+                              std::vector<Finding>* findings) {
+  if (path.compare(0, 16, "src/uncertainty/") == 0) return;
+  static const std::set<std::string> kConcrete = {
+      "McDropoutPredictor", "DeepEnsemble", "LastLayerLaplace"};
+  for (const Token& tok : toks) {
+    if (tok.kind != TokKind::kIdent || kConcrete.count(tok.text) == 0) {
+      continue;
+    }
+    findings->push_back(
+        {path, tok.line, "estimator-discipline",
+         tok.text + " is banned outside src/uncertainty/: construct "
+                    "through MakeEstimator(model, EstimatorConfig) so the "
+                    "uncertainty backend stays pluggable"});
+  }
+}
+
 void CheckHeaderGuard(const std::string& path, const std::string& code,
                       std::vector<Finding>* findings) {
   const std::string expected = ExpectedHeaderGuard(path);
@@ -420,6 +446,7 @@ std::vector<Finding> LintSource(const std::string& repo_rel_path,
     CheckNoBareAssert(repo_rel_path, toks, &findings);
     CheckTimingDiscipline(repo_rel_path, toks, &findings);
     CheckMemoryDiscipline(repo_rel_path, toks, &findings);
+    CheckEstimatorDiscipline(repo_rel_path, toks, &findings);
   }
   const bool is_header = repo_rel_path.size() >= 2 &&
                          repo_rel_path.compare(repo_rel_path.size() - 2, 2,
@@ -574,13 +601,14 @@ std::map<std::string, int> ParseDocTableRows(const std::string& doc) {
 }
 
 void SyncOneEnum(const std::string& enum_name,
+                 const std::string& header_path,
                  const std::map<std::string, int>& header,
                  const std::map<std::string, int>& doc,
                  std::set<std::string>* doc_names_seen,
                  std::vector<Finding>* findings) {
   for (const auto& [name, value] : header) {
     if (value < 0) {
-      findings->push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
+      findings->push_back({header_path, 0, "protocol-doc-sync",
                            enum_name + "::" + name +
                                " has no explicit wire value"});
       continue;
@@ -606,11 +634,13 @@ void SyncOneEnum(const std::string& enum_name,
 
 }  // namespace
 
-std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
-                                          const std::string& doc_source) {
+std::vector<Finding> CheckProtocolDocSync(
+    const std::string& header_source, const std::string& estimator_source,
+    const std::string& doc_source) {
   std::vector<Finding> findings;
   std::map<std::string, int> message_types;
   std::map<std::string, int> wire_errors;
+  std::map<std::string, int> backends;
   if (!ParseEnumBlock(header_source, "MessageType", &message_types)) {
     findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
                         "enum class MessageType not found"});
@@ -619,20 +649,30 @@ std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
     findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
                         "enum class WireError not found"});
   }
+  if (!ParseEnumBlock(estimator_source, "UncertaintyBackend", &backends)) {
+    findings.push_back({"src/uncertainty/estimator.h", 0,
+                        "protocol-doc-sync",
+                        "enum class UncertaintyBackend not found"});
+  }
   if (!findings.empty()) return findings;
 
   const std::map<std::string, int> doc_rows = ParseDocTableRows(doc_source);
   std::set<std::string> doc_names_seen;
-  SyncOneEnum("MessageType", message_types, doc_rows, &doc_names_seen,
-              &findings);
-  SyncOneEnum("WireError", wire_errors, doc_rows, &doc_names_seen,
-              &findings);
+  SyncOneEnum("MessageType", "src/serve/protocol.h", message_types, doc_rows,
+              &doc_names_seen, &findings);
+  SyncOneEnum("WireError", "src/serve/protocol.h", wire_errors, doc_rows,
+              &doc_names_seen, &findings);
+  // kCreateSession's backend byte is defined by the estimator seam's enum;
+  // its table in docs/PROTOCOL.md must track it both ways too.
+  SyncOneEnum("UncertaintyBackend", "src/uncertainty/estimator.h", backends,
+              doc_rows, &doc_names_seen, &findings);
   for (const auto& [name, value] : doc_rows) {
     if (doc_names_seen.count(name) != 0) continue;
     findings.push_back({"docs/PROTOCOL.md", 0, "protocol-doc-sync",
                         "doc table row `" + name + "` (= " +
                             std::to_string(value) +
-                            ") matches no protocol.h enumerator"});
+                            ") matches no protocol.h / estimator.h "
+                            "enumerator"});
   }
   return findings;
 }
@@ -811,18 +851,23 @@ std::vector<Finding> CheckProtocolDocSyncFiles(const std::string& repo_root) {
     *out = buf.str();
     return true;
   };
-  std::string header, doc;
+  std::string header, estimator, doc;
   std::vector<Finding> findings;
   if (!read("src/serve/protocol.h", &header)) {
     findings.push_back({"src/serve/protocol.h", 0, "protocol-doc-sync",
                         "cannot read the protocol header"});
+  }
+  if (!read("src/uncertainty/estimator.h", &estimator)) {
+    findings.push_back({"src/uncertainty/estimator.h", 0,
+                        "protocol-doc-sync",
+                        "cannot read the estimator seam header"});
   }
   if (!read("docs/PROTOCOL.md", &doc)) {
     findings.push_back({"docs/PROTOCOL.md", 0, "protocol-doc-sync",
                         "cannot read the protocol spec"});
   }
   if (!findings.empty()) return findings;
-  return CheckProtocolDocSync(header, doc);
+  return CheckProtocolDocSync(header, estimator, doc);
 }
 
 }  // namespace tasfar::lint

@@ -38,9 +38,11 @@ std::string ExpectedHeaderGuard(const std::string& repo_rel_path);
 
 /// Runs every applicable rule over one file's contents. `repo_rel_path`
 /// selects the rule set: the iostream and assert bans, the
-/// timing-discipline ban, and the memory-discipline ban (by-value Tensor
+/// timing-discipline ban, the memory-discipline ban (by-value Tensor
 /// parameters; tensor-storage copies into std::vector<double>, with
-/// src/tensor/ exempt) apply only under src/; the RNG-discipline ban, the
+/// src/tensor/ exempt), and the estimator-discipline ban (concrete
+/// UncertaintyEstimator classes outside src/uncertainty/ — construct via
+/// MakeEstimator) apply only under src/; the RNG-discipline ban, the
 /// thread-discipline ban (raw std::thread / std::jthread / std::async
 /// anywhere but src/util/thread_pool.*), the simd-discipline ban (raw
 /// vector intrinsics anywhere but src/tensor/simd/), and the header-guard
@@ -60,18 +62,22 @@ Result<std::vector<Finding>> LintTree(const std::string& repo_root,
                                       const std::vector<std::string>& roots);
 
 /// Rule "protocol-doc-sync": cross-checks the `MessageType` and `WireError`
-/// enumerators in src/serve/protocol.h against the message/error tables in
-/// docs/PROTOCOL.md, both ways — an enumerator missing from the doc, a doc
-/// row naming no enumerator, or a numeric value disagreement each yield a
-/// finding. Header enumerators are `kName = N` inside the two `enum class`
-/// blocks; doc entries are table rows whose first cell is the backticked
-/// enumerator and whose second cell is its wire value.
+/// enumerators in src/serve/protocol.h, plus the `UncertaintyBackend`
+/// enumerators in src/uncertainty/estimator.h (kCreateSession's backend
+/// byte), against the tables in docs/PROTOCOL.md, both ways — an
+/// enumerator missing from the doc, a doc row naming no enumerator, or a
+/// numeric value disagreement each yield a finding. Header enumerators are
+/// `kName = N` inside the `enum class` blocks; doc entries are table rows
+/// whose first cell is the backticked enumerator and whose second cell is
+/// its wire value.
 std::vector<Finding> CheckProtocolDocSync(const std::string& header_source,
+                                          const std::string& estimator_source,
                                           const std::string& doc_source);
 
-/// Reads src/serve/protocol.h and docs/PROTOCOL.md under `repo_root` and
-/// runs CheckProtocolDocSync; a missing file is itself a finding (the doc
-/// and the header must ship together).
+/// Reads src/serve/protocol.h, src/uncertainty/estimator.h, and
+/// docs/PROTOCOL.md under `repo_root` and runs CheckProtocolDocSync; a
+/// missing file is itself a finding (the doc and the headers must ship
+/// together).
 std::vector<Finding> CheckProtocolDocSyncFiles(const std::string& repo_root);
 
 /// Rule "simd-discipline", repo-level half: cross-checks the `F32Kernels`

@@ -322,6 +322,58 @@ TEST(MemoryDisciplineTest, NotAppliedOutsideSrc) {
           .empty());
 }
 
+// --- estimator-discipline ---------------------------------------------------
+
+TEST(EstimatorDisciplineTest, FlagsConcreteEstimatorsInSrc) {
+  const auto findings = LintSource(
+      "src/core/tasfar.cc",
+      "McDropoutPredictor p(model, 20);\n"
+      "auto e = DeepEnsemble::FromSource(model, 5, seed);\n"
+      "LastLayerLaplace l(model);\n");
+  ASSERT_EQ(findings.size(), 3u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "estimator-discipline");
+    EXPECT_NE(f.message.find("MakeEstimator"), std::string::npos);
+  }
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_EQ(findings[1].line, 2);
+  EXPECT_EQ(findings[2].line, 3);
+}
+
+TEST(EstimatorDisciplineTest, AllowsTheSeamItself) {
+  EXPECT_TRUE(LintSource("src/uncertainty/estimator.cc",
+                         "return std::make_unique<McDropoutPredictor>(\n"
+                         "    model, config.mc_samples);\n")
+                  .empty());
+}
+
+TEST(EstimatorDisciplineTest, AllowsSeamTypesAndEnumerators) {
+  // The abstract interface, the factory, and backend enumerators are how
+  // the rest of src/ is *supposed* to talk about estimators.
+  EXPECT_TRUE(
+      LintSource("src/serve/session.cc",
+                 "std::unique_ptr<UncertaintyEstimator> e =\n"
+                 "    MakeEstimator(model, config);\n"
+                 "if (b == UncertaintyBackend::kDeepEnsemble) { Charge(); }\n")
+          .empty());
+}
+
+TEST(EstimatorDisciplineTest, NotAppliedOutsideSrc) {
+  EXPECT_TRUE(LintSource("tests/uncertainty/ensemble_test.cc",
+                         "DeepEnsemble e = DeepEnsemble::FromSource(m, 5, 1);\n")
+                  .empty());
+  EXPECT_TRUE(
+      LintSource("bench/bench_micro_core.cc", "LastLayerLaplace l(&model);\n")
+          .empty());
+}
+
+TEST(EstimatorDisciplineTest, IgnoresCommentsAndStrings) {
+  EXPECT_TRUE(LintSource("src/core/foo.cc",
+                         "// McDropoutPredictor would be banned here\n"
+                         "const char* s = \"DeepEnsemble\";\n")
+                  .empty());
+}
+
 // --- header-guard -----------------------------------------------------------
 
 TEST(HeaderGuardTest, ExpectedGuardDropsSrcPrefix) {
@@ -399,6 +451,14 @@ const char kSyncedHeader[] =
     "  kBadRequest = 1,\n"
     "};\n";
 
+// The estimator seam's backend enum rides the same doc-sync rule: its
+// values are kCreateSession's backend byte.
+const char kSyncedEstimatorHeader[] =
+    "enum class UncertaintyBackend : uint8_t {\n"
+    "  kMcDropout = 0,\n"
+    "  kDeepEnsemble = 1,\n"
+    "};\n";
+
 const char kSyncedDoc[] =
     "| Message | Value |\n"
     "|---------|-------|\n"
@@ -407,18 +467,25 @@ const char kSyncedDoc[] =
     "| `kOkResponse` | 128 |\n"
     "\n"
     "| Error | Value |\n"
-    "| `kBadRequest` | 1 |\n";
+    "| `kBadRequest` | 1 |\n"
+    "\n"
+    "| Backend | Value |\n"
+    "| `kMcDropout` | 0 |\n"
+    "| `kDeepEnsemble` | 1 |\n";
 
 }  // namespace
 
 TEST(ProtocolDocSyncTest, CleanWhenInSync) {
-  EXPECT_TRUE(CheckProtocolDocSync(kSyncedHeader, kSyncedDoc).empty());
+  EXPECT_TRUE(CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader,
+                                   kSyncedDoc)
+                  .empty());
 }
 
 TEST(ProtocolDocSyncTest, FlagsEnumeratorMissingFromDoc) {
   std::string doc(kSyncedDoc);
   doc.erase(doc.find("| `kPing` | 10 |\n"), sizeof("| `kPing` | 10 |\n") - 1);
-  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader, doc);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "protocol-doc-sync");
   EXPECT_NE(findings[0].message.find("kPing"), std::string::npos);
@@ -428,7 +495,8 @@ TEST(ProtocolDocSyncTest, FlagsValueDisagreement) {
   std::string doc(kSyncedDoc);
   doc.replace(doc.find("| `kPing` | 10 |"), sizeof("| `kPing` | 10 |") - 1,
               "| `kPing` | 11 |");
-  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader, doc);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("kPing"), std::string::npos);
   EXPECT_NE(findings[0].message.find("10"), std::string::npos);
@@ -438,7 +506,8 @@ TEST(ProtocolDocSyncTest, FlagsValueDisagreement) {
 TEST(ProtocolDocSyncTest, FlagsDocRowWithNoEnumerator) {
   std::string doc(kSyncedDoc);
   doc += "| `kGhostMessage` | 42 |\n";
-  const auto findings = CheckProtocolDocSync(kSyncedHeader, doc);
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader, doc);
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_NE(findings[0].message.find("kGhostMessage"), std::string::npos);
 }
@@ -447,15 +516,49 @@ TEST(ProtocolDocSyncTest, FlagsEnumeratorWithoutExplicitValue) {
   std::string header(kSyncedHeader);
   header.replace(header.find("kPing = 10,"), sizeof("kPing = 10,") - 1,
                  "kPing,");
-  const auto findings = CheckProtocolDocSync(header, kSyncedDoc);
+  const auto findings =
+      CheckProtocolDocSync(header, kSyncedEstimatorHeader, kSyncedDoc);
   ASSERT_FALSE(findings.empty());
   EXPECT_EQ(findings[0].rule, "protocol-doc-sync");
 }
 
 TEST(ProtocolDocSyncTest, FlagsMissingEnumBlock) {
-  const auto findings = CheckProtocolDocSync("int x;\n", kSyncedDoc);
+  const auto findings =
+      CheckProtocolDocSync("int x;\n", kSyncedEstimatorHeader, kSyncedDoc);
   ASSERT_FALSE(findings.empty());
   EXPECT_NE(findings[0].message.find("MessageType"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsBackendEnumeratorMissingFromDoc) {
+  std::string doc(kSyncedDoc);
+  doc.erase(doc.find("| `kDeepEnsemble` | 1 |\n"),
+            sizeof("| `kDeepEnsemble` | 1 |\n") - 1);
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader, doc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "protocol-doc-sync");
+  EXPECT_NE(findings[0].message.find("UncertaintyBackend::kDeepEnsemble"),
+            std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsBackendValueDisagreement) {
+  std::string doc(kSyncedDoc);
+  doc.replace(doc.find("| `kDeepEnsemble` | 1 |"),
+              sizeof("| `kDeepEnsemble` | 1 |") - 1,
+              "| `kDeepEnsemble` | 2 |");
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, kSyncedEstimatorHeader, doc);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("kDeepEnsemble"), std::string::npos);
+}
+
+TEST(ProtocolDocSyncTest, FlagsMissingBackendEnumBlock) {
+  const auto findings =
+      CheckProtocolDocSync(kSyncedHeader, "int x;\n", kSyncedDoc);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("UncertaintyBackend"),
+            std::string::npos);
+  EXPECT_EQ(findings[0].file, "src/uncertainty/estimator.h");
 }
 
 TEST(ProtocolDocSyncTest, RealRepoFilesAreInSync) {

@@ -12,8 +12,13 @@
 //   simd-discipline   raw vector intrinsics live only in src/tensor/simd/,
 //                     and every backend's F32Kernels table registers every
 //                     field declared in kernels.h, repo-wide
+//   estimator-discipline  src/ constructs uncertainty estimators through
+//                     MakeEstimator (concrete McDropoutPredictor /
+//                     DeepEnsemble / LastLayerLaplace only inside
+//                     src/uncertainty/; tests and benches exempt)
 //   header-guard      headers guard with TASFAR_<PATH>_H_
-//   protocol-doc-sync src/serve/protocol.h enums match docs/PROTOCOL.md
+//   protocol-doc-sync src/serve/protocol.h + src/uncertainty/estimator.h
+//                     enums match docs/PROTOCOL.md
 //
 // Usage: tasfar_lint [repo_root] [root_dir ...]
 // Default roots: src tests bench examples tools. Exits 1 on any finding,

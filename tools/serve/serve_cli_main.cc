@@ -5,7 +5,9 @@
 //
 // Commands:
 //   ping
-//   create <user> [seed] [budget_mb]     (input_dim fixed to the demo's 8)
+//   create <user> [seed] [budget_mb] [backend]
+//       input_dim fixed to the demo's 8; backend is mc_dropout (default),
+//       ensemble, or laplace (docs/UNCERTAINTY.md)
 //   submit <user> <demo_rows>            deterministic demo target rows
 //   adapt <user> [adapt_seed]
 //   wait <user> [timeout_ms]             poll until adapted or degraded
@@ -45,9 +47,9 @@ int Die(const Status& st) {
 }
 
 void PrintInfo(const ClientSessionInfo& info) {
-  std::printf("state=%s pending_rows=%llu adapt_runs=%llu "
+  std::printf("state=%s backend=%s pending_rows=%llu adapt_runs=%llu "
               "serving_adapted=%d used_bytes=%llu budget_bytes=%llu\n",
-              SessionStateName(info.state),
+              SessionStateName(info.state), info.backend.c_str(),
               static_cast<unsigned long long>(info.pending_rows),
               static_cast<unsigned long long>(info.adapt_runs),
               info.serving_adapted ? 1 : 0,
@@ -107,10 +109,21 @@ int main(int argc, char** argv) {
                                                    nullptr, 10);
     const uint64_t budget_mb =
         arg(2).empty() ? 0 : std::strtoull(arg(2).c_str(), nullptr, 10);
+    tasfar::UncertaintyBackend backend =
+        tasfar::UncertaintyBackend::kMcDropout;
+    if (!arg(3).empty() &&
+        !tasfar::ParseUncertaintyBackendName(arg(3), &backend)) {
+      std::fprintf(stderr,
+                   "tasfar_serve_cli: unknown backend '%s' (want "
+                   "mc_dropout, ensemble, or laplace)\n",
+                   arg(3).c_str());
+      return 2;
+    }
     st = client.CreateSession(user, seed, tasfar::kNumHousingFeatures,
-                              budget_mb * 1024 * 1024);
+                              budget_mb * 1024 * 1024, backend);
     if (!st.ok()) return Die(st);
-    std::printf("created session '%s'\n", user.c_str());
+    std::printf("created session '%s' (backend %s)\n", user.c_str(),
+                tasfar::UncertaintyBackendName(backend));
     return 0;
   }
   if (cmd == "submit" || cmd == "predict") {

@@ -102,13 +102,28 @@ int main(int argc, char** argv) {
   // --- Source artifacts -------------------------------------------------
   std::unique_ptr<Sequential> model;
   SourceCalibration calibration;
+  // Demo mode serves all three uncertainty backends, each against the
+  // calibration fit on its own scale; file mode ships one calibration
+  // file, so only options.uncertainty_backend is served (docs/SERVING.md).
+  SourceCalibration ensemble_calibration;
+  SourceCalibration laplace_calibration;
   TasfarOptions options;
   if (demo) {
     std::printf("tasfar_served: training the demo housing model...\n");
     std::fflush(stdout);
-    DemoBundle bundle = BuildDemoBundle();
+    // The serve test tier's bundle scale. Beyond demo-scale training the
+    // source model's last-layer features fit the source manifold so
+    // tightly that every covariate-shifted target row carries more
+    // Laplace uncertainty than any source row — the confident set is
+    // empty and the laplace backend (correctly) falls back to source
+    // serving (docs/UNCERTAINTY.md §Backend caveats). At this scale all
+    // three registered backends adapt.
+    DemoBundle bundle = BuildDemoBundle(/*source_samples=*/800,
+                                        /*target_samples=*/200, /*epochs=*/6);
     model = std::move(bundle.model);
     calibration = bundle.calibration;
+    ensemble_calibration = bundle.ensemble_calibration;
+    laplace_calibration = bundle.laplace_calibration;
     options = bundle.options;
     input_dim = kNumHousingFeatures;
   } else {
@@ -141,6 +156,12 @@ int main(int argc, char** argv) {
       EnvSizeOr("TASFAR_SERVE_WRITE_TIMEOUT_MS", 5000));
 
   Server server(model.get(), &calibration, options, config);
+  if (demo) {
+    server.RegisterBackendCalibration(UncertaintyBackend::kDeepEnsemble,
+                                      &ensemble_calibration);
+    server.RegisterBackendCalibration(UncertaintyBackend::kLastLayerLaplace,
+                                      &laplace_calibration);
+  }
   const Status st = server.Start();
   if (!st.ok()) {
     std::fprintf(stderr, "tasfar_served: %s\n", st.ToString().c_str());
